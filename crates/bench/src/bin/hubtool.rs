@@ -1,0 +1,181 @@
+//! `hubtool` — build, inspect, verify and query hub labelings from the
+//! command line, over the plain-text graph/labeling formats of
+//! `hl_graph::io` and `hl_core::io`.
+//!
+//! ```text
+//! hubtool gen <family> <n> <seed> <graph-file>      generate a graph
+//! hubtool build <graph-file> <labels-file> [algo]   construct a labeling
+//! hubtool verify <graph-file> <labels-file>         check exactness
+//! hubtool stats <labels-file>                       size statistics
+//! hubtool query <labels-file> <u> <v>               answer from labels only
+//! ```
+//!
+//! Algorithms: `pll` (default), `pll-random`, `pll-betweenness`, `psl`,
+//! `greedy`, `rs`, `random-threshold`, `centroid`, `separator`.
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use std::process::ExitCode;
+
+use hl_bench::{family_graph, Family};
+use hl_core::cover::verify_exact;
+use hl_core::greedy::greedy_cover;
+use hl_core::pll::PrunedLandmarkLabeling;
+use hl_core::random_threshold::{random_threshold_labeling, RandomThresholdParams};
+use hl_core::rs_based::{rs_labeling, RsParams};
+use hl_core::tree::centroid_labeling;
+use hl_core::{HubLabeling, LabelingStats};
+use hl_graph::Graph;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("gen") => cmd_gen(&args[1..]),
+        Some("build") => cmd_build(&args[1..]),
+        Some("verify") => cmd_verify(&args[1..]),
+        Some("stats") => cmd_stats(&args[1..]),
+        Some("query") => cmd_query(&args[1..]),
+        _ => {
+            eprintln!(
+                "usage: hubtool gen|build|verify|stats|query ... (see --help in the docs)"
+            );
+            return ExitCode::from(2);
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("hubtool: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn load_graph(path: &str) -> Result<Graph, String> {
+    let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    hl_graph::io::read_edge_list(BufReader::new(file)).map_err(|e| e.to_string())
+}
+
+fn load_labels(path: &str) -> Result<HubLabeling, String> {
+    let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    hl_core::io::read_labeling(BufReader::new(file)).map_err(|e| e.to_string())
+}
+
+fn cmd_gen(args: &[String]) -> Result<(), String> {
+    let [family, n, seed, out] = args else {
+        return Err("usage: hubtool gen <family> <n> <seed> <graph-file>".into());
+    };
+    let n: usize = n.parse().map_err(|_| "n must be an integer".to_string())?;
+    let seed: u64 = seed.parse().map_err(|_| "seed must be an integer".to_string())?;
+    let fam = Family::all()
+        .into_iter()
+        .find(|f| f.name() == family)
+        .ok_or_else(|| {
+            format!(
+                "unknown family '{family}'; choose from: {}",
+                Family::all().map(|f| f.name()).join(", ")
+            )
+        })?;
+    let g = family_graph(fam, n, seed);
+    let file = File::create(out).map_err(|e| format!("cannot create {out}: {e}"))?;
+    hl_graph::io::write_edge_list(&g, BufWriter::new(file)).map_err(|e| e.to_string())?;
+    println!("wrote {} ({} nodes, {} edges)", out, g.num_nodes(), g.num_edges());
+    Ok(())
+}
+
+fn cmd_build(args: &[String]) -> Result<(), String> {
+    let (graph_path, labels_path, algo) = match args {
+        [g, l] => (g, l, "pll"),
+        [g, l, a] => (g, l, a.as_str()),
+        _ => return Err("usage: hubtool build <graph-file> <labels-file> [algo]".into()),
+    };
+    let g = load_graph(graph_path)?;
+    let labeling = match algo {
+        "pll" => PrunedLandmarkLabeling::by_degree(&g).into_labeling(),
+        "pll-random" => PrunedLandmarkLabeling::by_random_order(&g, 1).into_labeling(),
+        "pll-betweenness" => PrunedLandmarkLabeling::by_betweenness(&g, 24, 1).into_labeling(),
+        "psl" => hl_core::psl::psl_labeling(&g, hl_core::order::by_degree(&g), 4)
+            .map_err(|e| e.to_string())?,
+        "separator" => hl_core::separator_labeling::separator_labeling(&g),
+        "greedy" => greedy_cover(&g).map_err(|e| e.to_string())?,
+        "rs" => rs_labeling(&g, RsParams::for_size(g.num_nodes(), 1))
+            .map_err(|e| e.to_string())?
+            .0,
+        "random-threshold" => {
+            random_threshold_labeling(&g, RandomThresholdParams::for_size(g.num_nodes(), 1))
+                .map_err(|e| e.to_string())?
+                .0
+        }
+        "centroid" => centroid_labeling(&g).map_err(|e| e.to_string())?,
+        other => return Err(format!("unknown algorithm '{other}'")),
+    };
+    let file =
+        File::create(labels_path).map_err(|e| format!("cannot create {labels_path}: {e}"))?;
+    hl_core::io::write_labeling(&labeling, BufWriter::new(file)).map_err(|e| e.to_string())?;
+    println!("built {algo} labeling: {}", LabelingStats::of(&labeling));
+    Ok(())
+}
+
+fn cmd_verify(args: &[String]) -> Result<(), String> {
+    let [graph_path, labels_path] = args else {
+        return Err("usage: hubtool verify <graph-file> <labels-file>".into());
+    };
+    let g = load_graph(graph_path)?;
+    let labeling = load_labels(labels_path)?;
+    if labeling.num_nodes() != g.num_nodes() {
+        return Err(format!(
+            "labeling covers {} vertices but graph has {}",
+            labeling.num_nodes(),
+            g.num_nodes()
+        ));
+    }
+    let report = verify_exact(&g, &labeling).map_err(|e| e.to_string())?;
+    println!(
+        "checked {} pairs: {}",
+        report.pairs_checked,
+        if report.is_exact() {
+            "exact".to_string()
+        } else {
+            format!("{} violations (accuracy {:.4})", report.num_violations, report.accuracy())
+        }
+    );
+    if report.is_exact() {
+        Ok(())
+    } else {
+        Err("labeling is not an exact cover".into())
+    }
+}
+
+fn cmd_stats(args: &[String]) -> Result<(), String> {
+    let [labels_path] = args else {
+        return Err("usage: hubtool stats <labels-file>".into());
+    };
+    let labeling = load_labels(labels_path)?;
+    println!("{}", LabelingStats::of(&labeling));
+    let bits = hl_labeling::SchemeStats::of(&hl_labeling::hub_scheme::encode_labeling(&labeling));
+    println!(
+        "encoded: avg {:.1} bits/label, max {} bits, total {} bits",
+        bits.average_bits, bits.max_bits, bits.total_bits
+    );
+    Ok(())
+}
+
+fn cmd_query(args: &[String]) -> Result<(), String> {
+    let [labels_path, u, v] = args else {
+        return Err("usage: hubtool query <labels-file> <u> <v>".into());
+    };
+    let labeling = load_labels(labels_path)?;
+    let u: u32 = u.parse().map_err(|_| "u must be a vertex id".to_string())?;
+    let v: u32 = v.parse().map_err(|_| "v must be a vertex id".to_string())?;
+    let n = labeling.num_nodes() as u32;
+    if u >= n || v >= n {
+        return Err(format!("vertex out of range (labeling covers 0..{n})"));
+    }
+    let d = labeling.query(u, v);
+    if d == hl_graph::INFINITY {
+        println!("d({u}, {v}) = unreachable");
+    } else {
+        println!("d({u}, {v}) = {d}");
+    }
+    Ok(())
+}

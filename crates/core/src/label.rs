@@ -1,0 +1,349 @@
+//! Hub label data structures and the merge-join distance query.
+
+use serde::{Deserialize, Serialize};
+
+use hl_graph::{Distance, NodeId, INFINITY};
+
+/// The label of a single vertex: its hubs and exact distances to them,
+/// sorted by hub id.
+///
+/// # Example
+///
+/// ```
+/// use hl_core::HubLabel;
+///
+/// let label = HubLabel::from_pairs(vec![(3, 2), (1, 5), (7, 0)]);
+/// assert_eq!(label.len(), 3);
+/// assert_eq!(label.distance_to_hub(1), Some(5));
+/// assert_eq!(label.distance_to_hub(2), None);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HubLabel {
+    hubs: Vec<NodeId>,
+    dists: Vec<Distance>,
+}
+
+impl HubLabel {
+    /// Creates an empty label.
+    pub fn new() -> Self {
+        HubLabel::default()
+    }
+
+    /// Builds a label from `(hub, distance)` pairs in any order.
+    /// Duplicate hubs keep their minimum distance.
+    pub fn from_pairs(mut pairs: Vec<(NodeId, Distance)>) -> Self {
+        pairs.sort_unstable();
+        pairs.dedup_by(|next, kept| next.0 == kept.0);
+        let (hubs, dists) = pairs.into_iter().unzip();
+        HubLabel { hubs, dists }
+    }
+
+    /// Number of hubs.
+    pub fn len(&self) -> usize {
+        self.hubs.len()
+    }
+
+    /// `true` when the label has no hubs.
+    pub fn is_empty(&self) -> bool {
+        self.hubs.is_empty()
+    }
+
+    /// The sorted hub ids.
+    pub fn hubs(&self) -> &[NodeId] {
+        &self.hubs
+    }
+
+    /// The distances, aligned with [`HubLabel::hubs`].
+    pub fn distances(&self) -> &[Distance] {
+        &self.dists
+    }
+
+    /// Iterates over `(hub, distance)` pairs in increasing hub order.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, Distance)> + '_ {
+        self.hubs.iter().copied().zip(self.dists.iter().copied())
+    }
+
+    /// Distance to hub `h` if `h` is in the label.
+    pub fn distance_to_hub(&self, h: NodeId) -> Option<Distance> {
+        self.hubs.binary_search(&h).ok().map(|i| self.dists[i])
+    }
+
+    /// `true` when `h` is a hub of this label.
+    pub fn contains(&self, h: NodeId) -> bool {
+        self.hubs.binary_search(&h).is_ok()
+    }
+
+    /// Appends a hub; the caller must maintain increasing hub order
+    /// (checked in debug builds).
+    pub fn push(&mut self, hub: NodeId, dist: Distance) {
+        debug_assert!(self.hubs.last().is_none_or(|&last| last < hub));
+        self.hubs.push(hub);
+        self.dists.push(dist);
+    }
+
+    /// The two-label merge-join at the heart of hub labeling: returns
+    /// `min over common hubs h of d(u, h) + d(h, v)`, or [`INFINITY`]
+    /// when the labels share no hub.
+    pub fn join(&self, other: &HubLabel) -> Distance {
+        let mut best = INFINITY;
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < self.hubs.len() && j < other.hubs.len() {
+            match self.hubs[i].cmp(&other.hubs[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    let d = self.dists[i].saturating_add(other.dists[j]);
+                    if d < best {
+                        best = d;
+                    }
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        best
+    }
+
+    /// Like [`HubLabel::join`] but also reports the witnessing hub.
+    pub fn join_with_witness(&self, other: &HubLabel) -> Option<(Distance, NodeId)> {
+        let mut best: Option<(Distance, NodeId)> = None;
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < self.hubs.len() && j < other.hubs.len() {
+            match self.hubs[i].cmp(&other.hubs[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    let d = self.dists[i].saturating_add(other.dists[j]);
+                    if best.is_none_or(|(bd, _)| d < bd) {
+                        best = Some((d, self.hubs[i]));
+                    }
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        best
+    }
+}
+
+impl FromIterator<(NodeId, Distance)> for HubLabel {
+    fn from_iter<T: IntoIterator<Item = (NodeId, Distance)>>(iter: T) -> Self {
+        HubLabel::from_pairs(iter.into_iter().collect())
+    }
+}
+
+/// A complete hub labeling: one [`HubLabel`] per vertex.
+///
+/// # Example
+///
+/// ```
+/// use hl_graph::generators;
+/// use hl_core::pll::PrunedLandmarkLabeling;
+///
+/// let g = generators::path(5);
+/// let labeling = PrunedLandmarkLabeling::by_degree(&g).into_labeling();
+/// assert_eq!(labeling.query(0, 4), 4);
+/// assert_eq!(labeling.num_nodes(), 5);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HubLabeling {
+    labels: Vec<HubLabel>,
+}
+
+impl HubLabeling {
+    /// Creates a labeling of `n` empty labels.
+    pub fn empty(n: usize) -> Self {
+        HubLabeling { labels: vec![HubLabel::new(); n] }
+    }
+
+    /// Wraps per-vertex labels into a labeling.
+    pub fn from_labels(labels: Vec<HubLabel>) -> Self {
+        HubLabeling { labels }
+    }
+
+    /// Number of vertices.
+    pub fn num_nodes(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// The label of vertex `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn label(&self, v: NodeId) -> &HubLabel {
+        &self.labels[v as usize]
+    }
+
+    /// Mutable access to the label of vertex `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn label_mut(&mut self, v: NodeId) -> &mut HubLabel {
+        &mut self.labels[v as usize]
+    }
+
+    /// Iterates over all labels in vertex order.
+    pub fn iter(&self) -> impl Iterator<Item = &HubLabel> {
+        self.labels.iter()
+    }
+
+    /// Answers the distance query `u, v` via the merge-join of the two
+    /// labels. Returns [`INFINITY`] when the labels share no hub — on a
+    /// valid labeling of a connected graph this only happens for
+    /// genuinely unreachable pairs.
+    pub fn query(&self, u: NodeId, v: NodeId) -> Distance {
+        self.labels[u as usize].join(&self.labels[v as usize])
+    }
+
+    /// Like [`HubLabeling::query`] but also reports the hub realizing the
+    /// minimum.
+    pub fn query_with_witness(&self, u: NodeId, v: NodeId) -> Option<(Distance, NodeId)> {
+        self.labels[u as usize].join_with_witness(&self.labels[v as usize])
+    }
+
+    /// Total number of hubs over all vertices, `Σ_v |S_v|`.
+    pub fn total_hubs(&self) -> usize {
+        self.labels.iter().map(|l| l.len()).sum()
+    }
+
+    /// Average hubs per vertex, `Σ_v |S_v| / n`.
+    pub fn average_hubs(&self) -> f64 {
+        if self.labels.is_empty() {
+            return 0.0;
+        }
+        self.total_hubs() as f64 / self.labels.len() as f64
+    }
+
+    /// Largest label size.
+    pub fn max_hubs(&self) -> usize {
+        self.labels.iter().map(|l| l.len()).max().unwrap_or(0)
+    }
+
+    /// Ensures every vertex contains itself as a hub at distance 0
+    /// (required by several constructions, harmless otherwise).
+    pub fn add_self_hubs(&mut self) {
+        for (v, label) in self.labels.iter_mut().enumerate() {
+            if !label.contains(v as NodeId) {
+                let mut pairs: Vec<_> = label.iter().collect();
+                pairs.push((v as NodeId, 0));
+                *label = HubLabel::from_pairs(pairs);
+            }
+        }
+    }
+}
+
+impl FromIterator<HubLabel> for HubLabeling {
+    fn from_iter<T: IntoIterator<Item = HubLabel>>(iter: T) -> Self {
+        HubLabeling { labels: iter.into_iter().collect() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_pairs_sorts_and_dedups() {
+        let l = HubLabel::from_pairs(vec![(5, 1), (2, 9), (5, 3), (2, 4)]);
+        assert_eq!(l.hubs(), &[2, 5]);
+        assert_eq!(l.distances(), &[4, 1]);
+    }
+
+    #[test]
+    fn join_on_shared_hub() {
+        let a = HubLabel::from_pairs(vec![(1, 3), (4, 2)]);
+        let b = HubLabel::from_pairs(vec![(2, 1), (4, 5)]);
+        assert_eq!(a.join(&b), 7);
+        assert_eq!(a.join_with_witness(&b), Some((7, 4)));
+    }
+
+    #[test]
+    fn join_picks_minimum() {
+        let a = HubLabel::from_pairs(vec![(1, 10), (2, 1)]);
+        let b = HubLabel::from_pairs(vec![(1, 1), (2, 3)]);
+        assert_eq!(a.join(&b), 4);
+        assert_eq!(a.join_with_witness(&b).unwrap().1, 2);
+    }
+
+    #[test]
+    fn join_disjoint_is_infinity() {
+        let a = HubLabel::from_pairs(vec![(1, 1)]);
+        let b = HubLabel::from_pairs(vec![(2, 1)]);
+        assert_eq!(a.join(&b), INFINITY);
+        assert_eq!(a.join_with_witness(&b), None);
+    }
+
+    #[test]
+    fn join_empty_labels() {
+        let a = HubLabel::new();
+        assert!(a.is_empty());
+        assert_eq!(a.join(&a), INFINITY);
+    }
+
+    #[test]
+    fn join_saturates_on_overflow() {
+        let a = HubLabel::from_pairs(vec![(0, u64::MAX - 1)]);
+        let b = HubLabel::from_pairs(vec![(0, 5)]);
+        assert_eq!(a.join(&b), INFINITY);
+    }
+
+    #[test]
+    fn push_maintains_order() {
+        let mut l = HubLabel::new();
+        l.push(1, 5);
+        l.push(9, 2);
+        assert_eq!(l.len(), 2);
+        assert_eq!(l.distance_to_hub(9), Some(2));
+    }
+
+    #[test]
+    #[should_panic]
+    #[cfg(debug_assertions)]
+    fn push_rejects_out_of_order() {
+        let mut l = HubLabel::new();
+        l.push(5, 1);
+        l.push(3, 1);
+    }
+
+    #[test]
+    fn labeling_query_symmetric() {
+        let mut hl = HubLabeling::empty(3);
+        *hl.label_mut(0) = HubLabel::from_pairs(vec![(0, 0), (1, 4)]);
+        *hl.label_mut(2) = HubLabel::from_pairs(vec![(1, 2), (2, 0)]);
+        assert_eq!(hl.query(0, 2), 6);
+        assert_eq!(hl.query(2, 0), 6);
+    }
+
+    #[test]
+    fn stats_accessors() {
+        let mut hl = HubLabeling::empty(4);
+        *hl.label_mut(1) = HubLabel::from_pairs(vec![(0, 1), (1, 0)]);
+        *hl.label_mut(3) = HubLabel::from_pairs(vec![(3, 0)]);
+        assert_eq!(hl.total_hubs(), 3);
+        assert_eq!(hl.max_hubs(), 2);
+        assert!((hl.average_hubs() - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn add_self_hubs_idempotent() {
+        let mut hl = HubLabeling::empty(3);
+        *hl.label_mut(0) = HubLabel::from_pairs(vec![(0, 0)]);
+        hl.add_self_hubs();
+        hl.add_self_hubs();
+        for v in 0..3u32 {
+            assert_eq!(hl.label(v).distance_to_hub(v), Some(0));
+        }
+        assert_eq!(hl.total_hubs(), 3);
+        assert_eq!(hl.query(1, 1), 0);
+    }
+
+    #[test]
+    fn from_iterator_impls() {
+        let l: HubLabel = vec![(2u32, 7u64), (0, 1)].into_iter().collect();
+        assert_eq!(l.hubs(), &[0, 2]);
+        let hl: HubLabeling = vec![l.clone(), l].into_iter().collect();
+        assert_eq!(hl.num_nodes(), 2);
+    }
+}

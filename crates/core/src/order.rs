@@ -1,0 +1,154 @@
+//! Vertex orderings for ordering-sensitive constructions (PLL, greedy).
+//!
+//! PLL label sizes depend heavily on processing important vertices first;
+//! these orders are the standard heuristics.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use hl_graph::dijkstra::shortest_path_distances;
+use hl_graph::sptree::ShortestPathTree;
+use hl_graph::{Graph, NodeId, INFINITY};
+
+/// Identity order `0, 1, …, n-1`.
+pub fn identity(g: &Graph) -> Vec<NodeId> {
+    (0..g.num_nodes() as NodeId).collect()
+}
+
+/// Vertices by decreasing degree (ties by id) — the classic PLL heuristic.
+pub fn by_degree(g: &Graph) -> Vec<NodeId> {
+    let mut order: Vec<NodeId> = (0..g.num_nodes() as NodeId).collect();
+    order.sort_by_key(|&v| (std::cmp::Reverse(g.degree(v)), v));
+    order
+}
+
+/// Seeded uniformly random order.
+pub fn random(g: &Graph, seed: u64) -> Vec<NodeId> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut order: Vec<NodeId> = (0..g.num_nodes() as NodeId).collect();
+    order.shuffle(&mut rng);
+    order
+}
+
+/// Approximate-betweenness order: counts, over `samples` seeded random
+/// sources, how often each vertex appears on a canonical shortest-path
+/// tree path, and sorts by decreasing count.
+///
+/// This favors vertices through which many shortest paths route — the
+/// "highway" vertices that make good early hubs.
+pub fn by_sampled_betweenness(g: &Graph, samples: usize, seed: u64) -> Vec<NodeId> {
+    let n = g.num_nodes();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut score = vec![0u64; n];
+    let mut sources: Vec<NodeId> = (0..n as NodeId).collect();
+    sources.shuffle(&mut rng);
+    for &s in sources.iter().take(samples.min(n)) {
+        let t = ShortestPathTree::build(g, s);
+        // Accumulate subtree sizes: each vertex's count of descendants is
+        // the number of shortest paths from s (in the canonical tree)
+        // passing through it.
+        let mut order: Vec<NodeId> = (0..n as NodeId)
+            .filter(|&v| t.distance(v) != INFINITY)
+            .collect();
+        order.sort_unstable_by_key(|&v| std::cmp::Reverse(t.distance(v)));
+        let mut subtree = vec![1u64; n];
+        for &v in &order {
+            if v != s {
+                if let Some(p) = t.parent(v) {
+                    subtree[p as usize] += subtree[v as usize];
+                }
+            }
+            score[v as usize] += subtree[v as usize];
+        }
+    }
+    let mut order: Vec<NodeId> = (0..n as NodeId).collect();
+    order.sort_by_key(|&v| (std::cmp::Reverse(score[v as usize]), v));
+    order
+}
+
+/// Order by decreasing eccentricity-centrality (closeness-like): vertices
+/// with small total distance to everything come first. Quadratic; for small
+/// graphs and experiments only.
+pub fn by_closeness(g: &Graph) -> Vec<NodeId> {
+    let n = g.num_nodes();
+    let mut total = vec![0u128; n];
+    for v in 0..n as NodeId {
+        let d = shortest_path_distances(g, v);
+        total[v as usize] =
+            d.iter().map(|&x| if x == INFINITY { 0u128 } else { x as u128 }).sum();
+    }
+    let mut order: Vec<NodeId> = (0..n as NodeId).collect();
+    order.sort_by_key(|&v| (total[v as usize], v));
+    order
+}
+
+/// Validates that `order` is a permutation of `0..n`.
+pub fn is_permutation(order: &[NodeId], n: usize) -> bool {
+    if order.len() != n {
+        return false;
+    }
+    let mut seen = vec![false; n];
+    for &v in order {
+        if (v as usize) >= n || seen[v as usize] {
+            return false;
+        }
+        seen[v as usize] = true;
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hl_graph::generators;
+
+    #[test]
+    fn all_orders_are_permutations() {
+        let g = generators::connected_gnm(40, 20, 5);
+        for order in [
+            identity(&g),
+            by_degree(&g),
+            random(&g, 7),
+            by_sampled_betweenness(&g, 8, 7),
+            by_closeness(&g),
+        ] {
+            assert!(is_permutation(&order, 40));
+        }
+    }
+
+    #[test]
+    fn degree_order_puts_hub_first() {
+        let g = generators::star(10);
+        assert_eq!(by_degree(&g)[0], 0);
+    }
+
+    #[test]
+    fn closeness_order_on_path_starts_central() {
+        let g = generators::path(9);
+        let order = by_closeness(&g);
+        assert_eq!(order[0], 4, "middle of the path minimizes total distance");
+    }
+
+    #[test]
+    fn betweenness_order_on_star_puts_center_first() {
+        let g = generators::star(12);
+        let order = by_sampled_betweenness(&g, 6, 1);
+        assert_eq!(order[0], 0);
+    }
+
+    #[test]
+    fn random_order_is_seeded() {
+        let g = generators::path(20);
+        assert_eq!(random(&g, 3), random(&g, 3));
+        assert_ne!(random(&g, 3), random(&g, 4));
+    }
+
+    #[test]
+    fn is_permutation_rejects_bad_inputs() {
+        assert!(!is_permutation(&[0, 0], 2));
+        assert!(!is_permutation(&[0, 5], 2));
+        assert!(!is_permutation(&[0], 2));
+        assert!(is_permutation(&[1, 0], 2));
+    }
+}

@@ -1,0 +1,70 @@
+//! Aggregate statistics of hub labelings, shared by every experiment table.
+
+use crate::label::HubLabeling;
+
+/// Size statistics of a labeling.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LabelingStats {
+    /// Number of vertices.
+    pub num_nodes: usize,
+    /// `Σ_v |S_v|`.
+    pub total_hubs: usize,
+    /// `Σ_v |S_v| / n`.
+    pub average_hubs: f64,
+    /// `max_v |S_v|`.
+    pub max_hubs: usize,
+    /// Estimated in-memory bytes (hub ids as `u32` + distances as `u64`).
+    pub memory_bytes: usize,
+}
+
+impl LabelingStats {
+    /// Computes the statistics of `labeling`.
+    pub fn of(labeling: &HubLabeling) -> Self {
+        let total = labeling.total_hubs();
+        LabelingStats {
+            num_nodes: labeling.num_nodes(),
+            total_hubs: total,
+            average_hubs: labeling.average_hubs(),
+            max_hubs: labeling.max_hubs(),
+            memory_bytes: total * (std::mem::size_of::<u32>() + std::mem::size_of::<u64>()),
+        }
+    }
+}
+
+impl std::fmt::Display for LabelingStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "n={} total={} avg={:.2} max={} mem={}B",
+            self.num_nodes, self.total_hubs, self.average_hubs, self.max_hubs, self.memory_bytes
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::label::{HubLabel, HubLabeling};
+
+    #[test]
+    fn stats_of_simple_labeling() {
+        let mut hl = HubLabeling::empty(2);
+        *hl.label_mut(0) = HubLabel::from_pairs(vec![(0, 0), (1, 1)]);
+        *hl.label_mut(1) = HubLabel::from_pairs(vec![(1, 0)]);
+        let s = LabelingStats::of(&hl);
+        assert_eq!(s.num_nodes, 2);
+        assert_eq!(s.total_hubs, 3);
+        assert_eq!(s.max_hubs, 2);
+        assert!((s.average_hubs - 1.5).abs() < 1e-9);
+        assert_eq!(s.memory_bytes, 36);
+        let text = s.to_string();
+        assert!(text.contains("avg=1.50"));
+    }
+
+    #[test]
+    fn stats_of_empty() {
+        let s = LabelingStats::of(&HubLabeling::empty(0));
+        assert_eq!(s.total_hubs, 0);
+        assert_eq!(s.average_hubs, 0.0);
+    }
+}

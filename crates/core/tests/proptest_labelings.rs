@@ -1,0 +1,109 @@
+//! Property-based tests: every construction must be an exact cover on
+//! arbitrary sparse graphs, and the structural invariants of the paper must
+//! hold on any labeling.
+
+use proptest::prelude::*;
+
+use hl_core::cover::{verify_exact, verify_hub_distances};
+use hl_core::greedy::greedy_cover;
+use hl_core::monotone::{check_closure_size_relation, MonotoneClosure};
+use hl_core::pll::PrunedLandmarkLabeling;
+use hl_core::psl::psl_labeling;
+use hl_core::random_threshold::{random_threshold_labeling, RandomThresholdParams};
+use hl_core::rs_based::{rs_labeling, RsParams};
+use hl_core::tree::centroid_labeling;
+use hl_graph::properties::hop_diameter_exact;
+use hl_graph::{generators, NodeId};
+
+fn sparse_graph() -> impl Strategy<Value = hl_graph::Graph> {
+    (5usize..35, 0usize..25, any::<u64>()).prop_map(|(n, extra, seed)| {
+        let max_extra = n * (n - 1) / 2 - (n - 1);
+        generators::connected_gnm(n, extra.min(max_extra), seed)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn pll_exact_on_random_graphs(g in sparse_graph()) {
+        let hl = PrunedLandmarkLabeling::by_degree(&g).into_labeling();
+        prop_assert!(verify_exact(&g, &hl).unwrap().is_exact());
+    }
+
+    #[test]
+    fn pll_random_order_exact(g in sparse_graph(), seed in any::<u64>()) {
+        let hl = PrunedLandmarkLabeling::by_random_order(&g, seed).into_labeling();
+        prop_assert!(verify_exact(&g, &hl).unwrap().is_exact());
+    }
+
+    #[test]
+    fn psl_exact_and_near_pll(g in sparse_graph(), threads in 1usize..5) {
+        let ord = hl_core::order::by_degree(&g);
+        let psl = psl_labeling(&g, ord.clone(), threads).unwrap();
+        prop_assert!(verify_exact(&g, &psl).unwrap().is_exact());
+        let pll = PrunedLandmarkLabeling::with_order(&g, ord).into_labeling();
+        prop_assert!(psl.total_hubs() >= pll.total_hubs());
+        prop_assert!((psl.total_hubs() as f64) <= 1.5 * pll.total_hubs() as f64);
+    }
+
+    #[test]
+    fn greedy_exact_on_random_graphs(g in sparse_graph()) {
+        let hl = greedy_cover(&g).unwrap();
+        prop_assert!(verify_exact(&g, &hl).unwrap().is_exact());
+    }
+
+    #[test]
+    fn random_threshold_exact(g in sparse_graph(), d in 1u64..8, seed in any::<u64>()) {
+        let (hl, _) = random_threshold_labeling(
+            &g,
+            RandomThresholdParams { threshold: d, seed },
+        ).unwrap();
+        prop_assert!(verify_exact(&g, &hl).unwrap().is_exact());
+    }
+
+    #[test]
+    fn rs_labeling_exact(g in sparse_graph(), d in 1u64..6, seed in any::<u64>()) {
+        let (hl, _) = rs_labeling(&g, RsParams { threshold: d, seed }).unwrap();
+        prop_assert!(verify_exact(&g, &hl).unwrap().is_exact());
+    }
+
+    #[test]
+    fn centroid_exact_on_trees(n in 2usize..120, seed in any::<u64>()) {
+        let g = generators::random_tree(n, seed);
+        let hl = centroid_labeling(&g).unwrap();
+        prop_assert!(verify_exact(&g, &hl).unwrap().is_exact());
+        // ceil(log2(n)) + 1 hubs at most.
+        let bound = (n as f64).log2().ceil() as usize + 1;
+        prop_assert!(hl.max_hubs() <= bound, "max {} > bound {}", hl.max_hubs(), bound);
+    }
+
+    #[test]
+    fn all_hub_distances_admissible(g in sparse_graph()) {
+        let hl = PrunedLandmarkLabeling::by_degree(&g).into_labeling();
+        let sources: Vec<NodeId> = (0..g.num_nodes() as NodeId).collect();
+        prop_assert!(verify_hub_distances(&g, &hl, &sources));
+    }
+
+    #[test]
+    fn monotone_closure_relation_any_labeling(g in sparse_graph()) {
+        let hl = greedy_cover(&g).unwrap();
+        let mc = MonotoneClosure::compute(&g, &hl);
+        let diam = hop_diameter_exact(&g);
+        prop_assert_eq!(check_closure_size_relation(&g, &hl, &mc, diam), None);
+    }
+
+    #[test]
+    fn queries_never_underestimate(g in sparse_graph(), d in 1u64..5, seed in any::<u64>()) {
+        // Even a *partial* labeling (here: the exact rs labeling, but the
+        // property is generic) may only overestimate, never underestimate,
+        // because stored distances are true distances.
+        let (hl, _) = rs_labeling(&g, RsParams { threshold: d, seed }).unwrap();
+        let m = hl_graph::apsp::DistanceMatrix::compute(&g).unwrap();
+        for u in 0..g.num_nodes() as NodeId {
+            for v in 0..g.num_nodes() as NodeId {
+                prop_assert!(hl.query(u, v) >= m.distance(u, v));
+            }
+        }
+    }
+}

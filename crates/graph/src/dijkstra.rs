@@ -1,0 +1,314 @@
+//! Dijkstra-based shortest paths for weighted graphs (weight 0 allowed).
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::bfs;
+use crate::graph::{Graph, NodeId, INFINITY};
+use crate::Distance;
+
+/// Single-source shortest-path distances from `source`.
+///
+/// Dispatches to BFS when the graph is unit-weighted. Unreachable vertices
+/// get [`INFINITY`].
+///
+/// # Panics
+///
+/// Panics if `source` is out of range.
+pub fn shortest_path_distances(g: &Graph, source: NodeId) -> Vec<Distance> {
+    if g.is_unit_weighted() {
+        bfs::bfs_distances(g, source)
+    } else {
+        dijkstra_distances(g, source)
+    }
+}
+
+/// Dijkstra distances from `source` (no unit-weight dispatch).
+pub fn dijkstra_distances(g: &Graph, source: NodeId) -> Vec<Distance> {
+    dijkstra_distances_bounded(g, source, INFINITY)
+}
+
+/// Dijkstra distances from `source`, settling only vertices with distance
+/// `<= bound`.
+pub fn dijkstra_distances_bounded(g: &Graph, source: NodeId, bound: Distance) -> Vec<Distance> {
+    let mut dist = vec![INFINITY; g.num_nodes()];
+    let mut heap = BinaryHeap::new();
+    dist[source as usize] = 0;
+    heap.push(Reverse((0u64, source)));
+    while let Some(Reverse((du, u))) = heap.pop() {
+        if du > dist[u as usize] {
+            continue;
+        }
+        for (v, w) in g.neighbors(u) {
+            let nd = du.saturating_add(w);
+            if nd <= bound && nd < dist[v as usize] {
+                dist[v as usize] = nd;
+                heap.push(Reverse((nd, v)));
+            }
+        }
+    }
+    dist
+}
+
+/// Dijkstra with canonical parents: among all optimal predecessors the one
+/// with the smallest id is chosen, making the shortest-path tree unique and
+/// deterministic — the "fixed shortest path trees T_v" of Theorem 2.1's proof.
+///
+/// Returns `(distances, parents)`; `parent[source] == source`, unreachable
+/// vertices get `NodeId::MAX`.
+///
+/// # Panics
+///
+/// Debug-asserts that every edge weight is strictly positive; canonical
+/// smallest-id parents are only well-defined without zero-weight edges.
+pub fn dijkstra_with_parents(g: &Graph, source: NodeId) -> (Vec<Distance>, Vec<NodeId>) {
+    debug_assert!(
+        g.edges().all(|(_, _, w)| w > 0),
+        "dijkstra_with_parents requires strictly positive edge weights"
+    );
+    let dist = dijkstra_distances(g, source);
+    // With final distances known, the canonical parent of v is the
+    // smallest-id neighbor u with dist[u] + w(u, v) == dist[v]. Positive
+    // weights guarantee dist[u] < dist[v] for tight predecessors, so parent
+    // chains strictly decrease in distance and form a tree.
+    let mut parent = vec![NodeId::MAX; g.num_nodes()];
+    parent[source as usize] = source;
+    for v in 0..g.num_nodes() as NodeId {
+        if dist[v as usize] == INFINITY || v == source {
+            continue;
+        }
+        let dv = dist[v as usize];
+        let mut best = NodeId::MAX;
+        for (u, w) in g.neighbors(v) {
+            if dist[u as usize] != INFINITY && dist[u as usize] + w == dv && u < best {
+                best = u;
+            }
+        }
+        parent[v as usize] = best;
+    }
+    (dist, parent)
+}
+
+/// Counts shortest paths from `source` (saturating), along with distances.
+///
+/// Used to certify *uniqueness* of shortest paths (count == 1), the key
+/// structural property of the `H_{b,l}` gadget (Lemma 2.2).
+///
+/// # Panics
+///
+/// Debug-asserts that every edge weight is strictly positive; path counts
+/// are ill-defined in the presence of zero-weight edges.
+pub fn dijkstra_count_paths(g: &Graph, source: NodeId) -> (Vec<Distance>, Vec<u64>) {
+    debug_assert!(
+        g.edges().all(|(_, _, w)| w > 0),
+        "dijkstra_count_paths requires strictly positive edge weights"
+    );
+    let dist = dijkstra_distances(g, source);
+    // With final distances known, count paths over the shortest-path DAG in
+    // increasing-distance order; positive weights make every tight edge go
+    // from a strictly smaller distance to a strictly larger one.
+    let n = g.num_nodes();
+    let mut order: Vec<NodeId> =
+        (0..n as NodeId).filter(|&v| dist[v as usize] != INFINITY).collect();
+    order.sort_unstable_by_key(|&v| dist[v as usize]);
+    let mut count = vec![0u64; n];
+    count[source as usize] = 1;
+    for &v in &order {
+        if v == source {
+            continue;
+        }
+        let dv = dist[v as usize];
+        let mut c = 0u64;
+        for (u, w) in g.neighbors(v) {
+            let du = dist[u as usize];
+            if du != INFINITY && du < dv && du + w == dv {
+                c = c.saturating_add(count[u as usize]);
+            }
+        }
+        count[v as usize] = c;
+    }
+    (dist, count)
+}
+
+/// Point-to-point distance with early termination once `target` is settled.
+pub fn dijkstra_distance_between(g: &Graph, source: NodeId, target: NodeId) -> Distance {
+    if source == target {
+        return 0;
+    }
+    let mut dist = vec![INFINITY; g.num_nodes()];
+    let mut heap = BinaryHeap::new();
+    dist[source as usize] = 0;
+    heap.push(Reverse((0u64, source)));
+    while let Some(Reverse((du, u))) = heap.pop() {
+        if u == target {
+            return du;
+        }
+        if du > dist[u as usize] {
+            continue;
+        }
+        for (v, w) in g.neighbors(u) {
+            let nd = du + w;
+            if nd < dist[v as usize] {
+                dist[v as usize] = nd;
+                heap.push(Reverse((nd, v)));
+            }
+        }
+    }
+    INFINITY
+}
+
+/// Bidirectional Dijkstra point-to-point distance.
+///
+/// Settles vertices from both endpoints alternately and stops when the two
+/// search frontiers certify optimality (`top_f + top_b >= best`).
+pub fn bidirectional_distance(g: &Graph, source: NodeId, target: NodeId) -> Distance {
+    if source == target {
+        return 0;
+    }
+    let n = g.num_nodes();
+    let mut dist_f = vec![INFINITY; n];
+    let mut dist_b = vec![INFINITY; n];
+    let mut heap_f = BinaryHeap::new();
+    let mut heap_b = BinaryHeap::new();
+    dist_f[source as usize] = 0;
+    dist_b[target as usize] = 0;
+    heap_f.push(Reverse((0u64, source)));
+    heap_b.push(Reverse((0u64, target)));
+    let mut best = INFINITY;
+    loop {
+        let tf = heap_f.peek().map(|Reverse((d, _))| *d);
+        let tb = heap_b.peek().map(|Reverse((d, _))| *d);
+        match (tf, tb) {
+            (None, None) => break,
+            (Some(a), Some(b)) if a.saturating_add(b) >= best => break,
+            _ => {}
+        }
+        // Expand the side with the smaller top; a side that ran dry is
+        // skipped (the other may still improve `best`... it cannot, but
+        // breaking keeps the invariant simple).
+        let forward = match (tf, tb) {
+            (Some(a), Some(b)) => a <= b,
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+            (None, None) => unreachable!(),
+        };
+        let (heap, dist, other) = if forward {
+            (&mut heap_f, &mut dist_f, &dist_b)
+        } else {
+            (&mut heap_b, &mut dist_b, &dist_f)
+        };
+        if let Some(Reverse((du, u))) = heap.pop() {
+            if du > dist[u as usize] {
+                continue;
+            }
+            if other[u as usize] != INFINITY {
+                best = best.min(du.saturating_add(other[u as usize]));
+            }
+            for (v, w) in g.neighbors(u) {
+                let nd = du + w;
+                if nd < dist[v as usize] {
+                    dist[v as usize] = nd;
+                    heap.push(Reverse((nd, v)));
+                    if other[v as usize] != INFINITY {
+                        best = best.min(nd.saturating_add(other[v as usize]));
+                    }
+                }
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::graph_from_weighted_edges;
+    use crate::generators;
+
+    fn weighted_diamond() -> Graph {
+        // 0 -1- 1 -1- 3 and 0 -3- 2 -0- 3 : d(0,3) = 2 via 0-1-3
+        graph_from_weighted_edges(4, &[(0, 1, 1), (1, 3, 1), (0, 2, 3), (2, 3, 0)]).unwrap()
+    }
+
+    #[test]
+    fn dijkstra_basic() {
+        let g = weighted_diamond();
+        let d = dijkstra_distances(&g, 0);
+        assert_eq!(d, vec![0, 1, 2, 2]);
+    }
+
+    #[test]
+    fn zero_weight_edges() {
+        let g = graph_from_weighted_edges(3, &[(0, 1, 0), (1, 2, 0)]).unwrap();
+        let d = dijkstra_distances(&g, 0);
+        assert_eq!(d, vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn dispatch_matches_bfs_on_unit_graph() {
+        let g = generators::grid(4, 4);
+        for s in 0..4 {
+            assert_eq!(shortest_path_distances(&g, s), dijkstra_distances(&g, s));
+        }
+    }
+
+    #[test]
+    fn bounded_dijkstra() {
+        let g = weighted_diamond();
+        let d = dijkstra_distances_bounded(&g, 0, 1);
+        assert_eq!(d, vec![0, 1, INFINITY, INFINITY]);
+    }
+
+    #[test]
+    fn parents_are_canonical_and_consistent() {
+        let g = generators::grid(3, 4);
+        let (d, p) = dijkstra_with_parents(&g, 0);
+        for v in 1..g.num_nodes() as NodeId {
+            let pv = p[v as usize];
+            assert!(g.has_edge(pv, v));
+            let w = g.edge_weight(pv, v).unwrap();
+            assert_eq!(d[pv as usize] + w, d[v as usize]);
+            // Canonical: no smaller-id optimal predecessor exists.
+            for (u, w2) in g.neighbors(v) {
+                if d[u as usize] != INFINITY && d[u as usize] + w2 == d[v as usize] {
+                    assert!(pv <= u);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn count_paths_unique_on_tree() {
+        let g = generators::balanced_binary_tree(4);
+        let (_, c) = dijkstra_count_paths(&g, 0);
+        for (v, &count) in c.iter().enumerate() {
+            assert_eq!(count, 1, "vertex {v}: trees have unique shortest paths");
+        }
+    }
+
+    #[test]
+    fn count_paths_matches_bfs_counts() {
+        let g = generators::grid(4, 4);
+        let (d1, c1) = bfs::bfs_count_paths(&g, 0);
+        let (d2, c2) = dijkstra_count_paths(&g, 0);
+        assert_eq!(d1, d2);
+        assert_eq!(c1, c2);
+    }
+
+    #[test]
+    fn point_to_point_and_bidirectional_agree() {
+        let g = generators::weighted_grid(5, 5, 0xC0FFEE);
+        let full = dijkstra_distances(&g, 7);
+        for t in 0..g.num_nodes() as NodeId {
+            assert_eq!(dijkstra_distance_between(&g, 7, t), full[t as usize]);
+            assert_eq!(bidirectional_distance(&g, 7, t), full[t as usize]);
+        }
+    }
+
+    #[test]
+    fn bidirectional_disconnected() {
+        let g = graph_from_weighted_edges(4, &[(0, 1, 2), (2, 3, 2)]).unwrap();
+        assert_eq!(bidirectional_distance(&g, 0, 3), INFINITY);
+        assert_eq!(dijkstra_distance_between(&g, 0, 3), INFINITY);
+    }
+}

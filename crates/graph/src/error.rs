@@ -1,0 +1,79 @@
+//! Error types for graph construction and queries.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building or querying graphs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// A vertex id was at least the declared number of nodes.
+    NodeOutOfRange {
+        /// The offending vertex id.
+        node: u64,
+        /// The number of nodes in the graph.
+        num_nodes: usize,
+    },
+    /// A self-loop `(u, u)` was supplied; the representation is for simple
+    /// undirected graphs.
+    SelfLoop {
+        /// The vertex with the attempted self-loop.
+        node: u64,
+    },
+    /// A distance matrix entry exceeded `u32::MAX` and cannot be stored
+    /// densely.
+    DistanceOverflow {
+        /// The distance value that did not fit.
+        distance: u64,
+    },
+    /// A graph parameter combination was invalid (e.g. more edges requested
+    /// than a simple graph can hold).
+    InvalidParameters {
+        /// Human-readable description of the violated constraint.
+        reason: String,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeOutOfRange { node, num_nodes } => {
+                write!(f, "node id {node} out of range for graph with {num_nodes} nodes")
+            }
+            GraphError::SelfLoop { node } => write!(f, "self-loop at node {node} is not allowed"),
+            GraphError::DistanceOverflow { distance } => {
+                write!(f, "distance {distance} does not fit in the dense matrix entry type")
+            }
+            GraphError::InvalidParameters { reason } => {
+                write!(f, "invalid graph parameters: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase_start() {
+        let errs = [
+            GraphError::NodeOutOfRange { node: 7, num_nodes: 3 },
+            GraphError::SelfLoop { node: 2 },
+            GraphError::DistanceOverflow { distance: u64::MAX - 1 },
+            GraphError::InvalidParameters { reason: "m too large".into() },
+        ];
+        for e in errs {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GraphError>();
+    }
+}

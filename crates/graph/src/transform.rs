@@ -1,0 +1,231 @@
+//! Graph transforms used in the paper's proofs.
+//!
+//! * [`reduce_degree`] — the vertex-splitting gadget from the proof of
+//!   Theorem 1.4: a vertex of degree `d` becomes `ceil(d / cap)` copies
+//!   linked by a weight-0 path, turning a constant *average* degree graph
+//!   into a constant *max* degree one while preserving all distances
+//!   between representatives.
+//! * [`subdivide_weights`] — replaces an integer-weighted edge by a unit
+//!   path of that many edges (used to turn `H_{b,l}`-style weighted graphs
+//!   into unweighted ones while preserving distances), as in the
+//!   construction of `G_{b,l}`.
+
+use crate::builder::GraphBuilder;
+use crate::error::GraphError;
+use crate::graph::{Graph, NodeId};
+
+/// Outcome of [`reduce_degree`]: the transformed graph plus the
+/// correspondence between original and new vertices.
+#[derive(Debug, Clone)]
+pub struct DegreeReduction {
+    /// The transformed graph (max degree `<= cap + 2`).
+    pub graph: Graph,
+    /// For each original vertex, its representative in the new graph.
+    pub representative: Vec<NodeId>,
+    /// For each new vertex, the original vertex it belongs to.
+    pub origin: Vec<NodeId>,
+}
+
+/// Splits every vertex of degree greater than `cap` into a weight-0 chain of
+/// copies, each carrying at most `cap` of the original edges.
+///
+/// Distances between representatives equal original distances because the
+/// connecting chain has total weight 0. The new graph has max degree at most
+/// `cap + 2` and `O(m / cap + n)` vertices.
+///
+/// # Errors
+///
+/// Returns an error if `cap == 0`.
+///
+/// # Example
+///
+/// ```
+/// use hl_graph::{generators, transform::reduce_degree};
+/// use hl_graph::dijkstra::dijkstra_distances;
+///
+/// # fn main() -> Result<(), hl_graph::GraphError> {
+/// let g = generators::star(10);
+/// let red = reduce_degree(&g, 3)?;
+/// assert!(red.graph.max_degree() <= 5);
+/// // Distance between leaves is preserved (2 in the star).
+/// let d = dijkstra_distances(&red.graph, red.representative[1]);
+/// assert_eq!(d[red.representative[2] as usize], 2);
+/// # Ok(())
+/// # }
+/// ```
+pub fn reduce_degree(g: &Graph, cap: usize) -> Result<DegreeReduction, GraphError> {
+    if cap == 0 {
+        return Err(GraphError::InvalidParameters { reason: "degree cap must be positive".into() });
+    }
+    let n = g.num_nodes();
+    // Assign each original vertex a contiguous block of copies.
+    let mut first_copy = vec![0 as NodeId; n];
+    let mut copies = vec![0usize; n];
+    let mut total = 0usize;
+    for v in 0..n {
+        let d = g.degree(v as NodeId);
+        let k = d.div_ceil(cap).max(1);
+        first_copy[v] = total as NodeId;
+        copies[v] = k;
+        total += k;
+    }
+    let mut origin = vec![0 as NodeId; total];
+    for v in 0..n {
+        for c in 0..copies[v] {
+            origin[first_copy[v] as usize + c] = v as NodeId;
+        }
+    }
+    let mut b = GraphBuilder::with_capacity(total, g.num_edges() + total);
+    // Weight-0 chains inside each block.
+    for v in 0..n {
+        for c in 1..copies[v] {
+            b.add_edge(first_copy[v] + c as NodeId - 1, first_copy[v] + c as NodeId, 0)?;
+        }
+    }
+    // Distribute original edges across copies: the i-th incident edge of v
+    // attaches to copy i / cap.
+    let mut used = vec![0usize; n];
+    for (u, v, w) in g.edges() {
+        let cu = first_copy[u as usize] + (used[u as usize] / cap) as NodeId;
+        let cv = first_copy[v as usize] + (used[v as usize] / cap) as NodeId;
+        used[u as usize] += 1;
+        used[v as usize] += 1;
+        b.add_edge(cu, cv, w)?;
+    }
+    Ok(DegreeReduction { graph: b.build(), representative: first_copy, origin })
+}
+
+/// Outcome of [`subdivide_weights`]: the unit-weight graph plus the mapping
+/// from original vertices to their images (auxiliary path vertices have no
+/// preimage).
+#[derive(Debug, Clone)]
+pub struct Subdivision {
+    /// The subdivided unit-weight graph.
+    pub graph: Graph,
+    /// Image of each original vertex (original ids are preserved: vertex `v`
+    /// maps to `v`).
+    pub num_original: usize,
+}
+
+/// Replaces each edge of integer weight `w >= 1` with a path of `w` unit
+/// edges through `w - 1` fresh auxiliary vertices.
+///
+/// Preserves all pairwise distances between original vertices and keeps the
+/// maximum degree unchanged (auxiliary vertices have degree 2).
+///
+/// # Errors
+///
+/// Returns an error if the graph contains a weight-0 edge (subdividing it
+/// cannot preserve distances with unit edges).
+pub fn subdivide_weights(g: &Graph) -> Result<Subdivision, GraphError> {
+    let n = g.num_nodes();
+    let total_edges = g.edges().map(|(_, _, w)| w.max(1)).sum::<u64>() as usize;
+    let mut b = GraphBuilder::with_capacity(n, total_edges);
+    for (u, v, w) in g.edges() {
+        if w == 0 {
+            return Err(GraphError::InvalidParameters {
+                reason: "cannot subdivide a zero-weight edge into unit edges".into(),
+            });
+        }
+        let mut prev = u;
+        for _ in 1..w {
+            let mid = b.add_node();
+            b.add_unit_edge(prev, mid)?;
+            prev = mid;
+        }
+        b.add_unit_edge(prev, v)?;
+    }
+    Ok(Subdivision { graph: b.build(), num_original: n })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apsp::DistanceMatrix;
+    use crate::builder::graph_from_weighted_edges;
+    use crate::dijkstra::dijkstra_distances;
+    use crate::generators;
+
+    #[test]
+    fn reduce_degree_caps_degrees() {
+        let g = generators::skewed_sparse(100, 60, 4);
+        let cap = 4;
+        let red = reduce_degree(&g, cap).unwrap();
+        assert!(red.graph.max_degree() <= cap + 2);
+        assert!(red.graph.num_nodes() >= g.num_nodes());
+        assert_eq!(red.origin.len(), red.graph.num_nodes());
+    }
+
+    #[test]
+    fn reduce_degree_preserves_distances() {
+        let g = generators::skewed_sparse(60, 30, 9);
+        let red = reduce_degree(&g, 3).unwrap();
+        let orig = DistanceMatrix::compute(&g).unwrap();
+        for u in (0..60u32).step_by(7) {
+            let d = dijkstra_distances(&red.graph, red.representative[u as usize]);
+            for v in 0..60u32 {
+                assert_eq!(
+                    d[red.representative[v as usize] as usize],
+                    orig.distance(u, v),
+                    "distance {u}-{v} changed under degree reduction"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_degree_identity_when_low_degree() {
+        let g = generators::path(10);
+        let red = reduce_degree(&g, 4).unwrap();
+        assert_eq!(red.graph.num_nodes(), 10, "no splitting needed");
+    }
+
+    #[test]
+    fn reduce_degree_rejects_zero_cap() {
+        let g = generators::path(3);
+        assert!(reduce_degree(&g, 0).is_err());
+    }
+
+    #[test]
+    fn reduce_degree_isolated_vertices() {
+        let g = Graph::empty(4);
+        let red = reduce_degree(&g, 2).unwrap();
+        assert_eq!(red.graph.num_nodes(), 4);
+    }
+
+    #[test]
+    fn subdivision_preserves_distances() {
+        let g = graph_from_weighted_edges(4, &[(0, 1, 3), (1, 2, 1), (2, 3, 5), (0, 3, 10)])
+            .unwrap();
+        let sub = subdivide_weights(&g).unwrap();
+        assert!(sub.graph.is_unit_weighted());
+        assert_eq!(sub.num_original, 4);
+        // 0-1:3, plus 1-2:1, 2-3:5 -> d(0,3) = min(10, 9) = 9
+        let d = dijkstra_distances(&sub.graph, 0);
+        assert_eq!(d[3], 9);
+        assert_eq!(d[1], 3);
+        // New vertex count: 4 + (2 + 0 + 4 + 9) = 19
+        assert_eq!(sub.graph.num_nodes(), 19);
+    }
+
+    #[test]
+    fn subdivision_keeps_max_degree() {
+        let g = graph_from_weighted_edges(3, &[(0, 1, 4), (0, 2, 4)]).unwrap();
+        let sub = subdivide_weights(&g).unwrap();
+        assert_eq!(sub.graph.max_degree(), 2);
+    }
+
+    #[test]
+    fn subdivision_rejects_zero_weight() {
+        let g = graph_from_weighted_edges(2, &[(0, 1, 0)]).unwrap();
+        assert!(subdivide_weights(&g).is_err());
+    }
+
+    #[test]
+    fn subdivision_of_unit_graph_is_identity_shape() {
+        let g = generators::grid(3, 3);
+        let sub = subdivide_weights(&g).unwrap();
+        assert_eq!(sub.graph.num_nodes(), 9);
+        assert_eq!(sub.graph.num_edges(), g.num_edges());
+    }
+}

@@ -1,0 +1,165 @@
+//! Property-based tests for the graph substrate.
+
+use proptest::prelude::*;
+
+use hl_graph::apsp::DistanceMatrix;
+use hl_graph::bfs::{bfs_count_paths, bfs_distances};
+use hl_graph::dijkstra::{
+    bidirectional_distance, dijkstra_count_paths, dijkstra_distance_between, dijkstra_distances,
+};
+use hl_graph::properties::{connected_components, is_connected};
+use hl_graph::sptree::ShortestPathTree;
+use hl_graph::transform::{reduce_degree, subdivide_weights};
+use hl_graph::{generators, GraphBuilder, NodeId, INFINITY};
+
+/// Strategy: a connected sparse unit-weight graph plus a seed.
+fn sparse_graph() -> impl Strategy<Value = hl_graph::Graph> {
+    (4usize..40, 0usize..30, any::<u64>()).prop_map(|(n, extra, seed)| {
+        let max_extra = n * (n - 1) / 2 - (n - 1);
+        generators::connected_gnm(n, extra.min(max_extra), seed)
+    })
+}
+
+/// Strategy: a connected weighted graph (weights 1..=9).
+fn weighted_graph() -> impl Strategy<Value = hl_graph::Graph> {
+    (4usize..25, any::<u64>()).prop_map(|(side, seed)| generators::weighted_grid(side, 3, seed))
+}
+
+proptest! {
+    #[test]
+    fn bfs_triangle_inequality(g in sparse_graph()) {
+        let d0 = bfs_distances(&g, 0);
+        let d1 = bfs_distances(&g, 1);
+        for v in 0..g.num_nodes() {
+            // d(0, v) <= d(0, 1) + d(1, v)
+            prop_assert!(d0[v] <= d1[v].saturating_add(d0[1]));
+        }
+    }
+
+    #[test]
+    fn bfs_edge_relaxation_consistency(g in sparse_graph()) {
+        let d = bfs_distances(&g, 0);
+        for (u, v, _) in g.edges() {
+            let (du, dv) = (d[u as usize], d[v as usize]);
+            prop_assert!(du.abs_diff(dv) <= 1, "adjacent vertices differ by at most one hop");
+        }
+    }
+
+    #[test]
+    fn dijkstra_matches_bfs_on_unit_graphs(g in sparse_graph()) {
+        prop_assert_eq!(bfs_distances(&g, 0), dijkstra_distances(&g, 0));
+    }
+
+    #[test]
+    fn point_to_point_matches_sssp(g in weighted_graph()) {
+        let d = dijkstra_distances(&g, 2);
+        for t in (0..g.num_nodes() as NodeId).step_by(5) {
+            prop_assert_eq!(dijkstra_distance_between(&g, 2, t), d[t as usize]);
+            prop_assert_eq!(bidirectional_distance(&g, 2, t), d[t as usize]);
+        }
+    }
+
+    #[test]
+    fn apsp_symmetric_and_matches_sssp(g in sparse_graph()) {
+        let m = DistanceMatrix::compute(&g).unwrap();
+        let d = bfs_distances(&g, 3 % g.num_nodes() as NodeId);
+        let s = 3 % g.num_nodes() as NodeId;
+        for v in 0..g.num_nodes() as NodeId {
+            prop_assert_eq!(m.distance(s, v), d[v as usize]);
+            prop_assert_eq!(m.distance(s, v), m.distance(v, s));
+        }
+    }
+
+    #[test]
+    fn path_counts_positive_for_reachable(g in sparse_graph()) {
+        let (d, c) = bfs_count_paths(&g, 0);
+        for v in 0..g.num_nodes() {
+            prop_assert_eq!(d[v] != INFINITY, c[v] > 0);
+        }
+    }
+
+    #[test]
+    fn dijkstra_and_bfs_counts_agree(g in sparse_graph()) {
+        let (d1, c1) = bfs_count_paths(&g, 0);
+        let (d2, c2) = dijkstra_count_paths(&g, 0);
+        prop_assert_eq!(d1, d2);
+        prop_assert_eq!(c1, c2);
+    }
+
+    #[test]
+    fn sptree_paths_have_correct_length(g in weighted_graph()) {
+        let t = ShortestPathTree::build(&g, 0);
+        let d = dijkstra_distances(&g, 0);
+        for v in (0..g.num_nodes() as NodeId).step_by(3) {
+            if let Some(path) = t.path_to(v) {
+                let mut len = 0;
+                for w in path.windows(2) {
+                    len += g.edge_weight(w[0], w[1]).unwrap();
+                }
+                prop_assert_eq!(len, d[v as usize]);
+            }
+        }
+    }
+
+    #[test]
+    fn closure_is_superset_and_closed(g in sparse_graph(), picks in proptest::collection::vec(0usize..1000, 1..6)) {
+        let t = ShortestPathTree::build(&g, 0);
+        let n = g.num_nodes();
+        let set: Vec<NodeId> = picks.iter().map(|&p| (p % n) as NodeId).collect();
+        let closure = t.ancestor_closure(&set);
+        for &v in &set {
+            prop_assert!(closure.contains(&v));
+        }
+        // Closed under parents.
+        for &v in &closure {
+            if let Some(p) = t.parent(v) {
+                prop_assert!(closure.contains(&p));
+            }
+        }
+    }
+
+    #[test]
+    fn degree_reduction_preserves_distances(n in 8usize..30, hub in 4usize..20, seed in any::<u64>()) {
+        let hub = hub.min(n - 1);
+        let g = generators::skewed_sparse(n, hub, seed);
+        let red = reduce_degree(&g, 3).unwrap();
+        prop_assert!(red.graph.max_degree() <= 5);
+        let orig = bfs_distances(&g, 0);
+        let new = dijkstra_distances(&red.graph, red.representative[0]);
+        for v in 0..n {
+            prop_assert_eq!(orig[v], new[red.representative[v] as usize]);
+        }
+    }
+
+    #[test]
+    fn subdivision_preserves_distances(g in weighted_graph()) {
+        let sub = subdivide_weights(&g).unwrap();
+        let orig = dijkstra_distances(&g, 0);
+        let new = dijkstra_distances(&sub.graph, 0);
+        for v in 0..g.num_nodes() {
+            prop_assert_eq!(orig[v], new[v]);
+        }
+    }
+
+    #[test]
+    fn components_partition_vertices(g in sparse_graph()) {
+        let (labels, k) = connected_components(&g);
+        prop_assert!(k >= 1);
+        prop_assert!(labels.iter().all(|&l| (l as usize) < k));
+        prop_assert!(is_connected(&g)); // connected_gnm always connected
+    }
+
+    #[test]
+    fn builder_dedup_idempotent(edges in proptest::collection::vec((0u32..20, 0u32..20, 1u64..50), 0..60)) {
+        let mut b1 = GraphBuilder::new(20);
+        let mut b2 = GraphBuilder::new(20);
+        for &(u, v, w) in &edges {
+            if u != v {
+                b1.add_edge(u, v, w).unwrap();
+                b2.add_edge(u, v, w).unwrap();
+                b2.add_edge(v, u, w).unwrap(); // duplicates must not change result
+            }
+        }
+        prop_assert_eq!(b1.build(), b2.build());
+    }
+}

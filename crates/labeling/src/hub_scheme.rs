@@ -1,0 +1,193 @@
+//! Hub labelings encoded as bit labels — the "hubsets → distance labels"
+//! step the paper calls out ("such constructions usually involve some form
+//! of compression and/or encoding of all distances from a vertex to its
+//! hubs").
+//!
+//! Format per label: γ(k+1) hub count, then `k` hub ids (first id γ-coded
+//! +1, rest gap-coded), then `k` distances (γ-coded +1). Two labels decode
+//! a distance by a sorted merge on hub ids — no graph access needed.
+
+use hl_graph::{Distance, Graph, GraphError, NodeId, INFINITY};
+
+use hl_core::label::{HubLabel, HubLabeling};
+use hl_core::pll::PrunedLandmarkLabeling;
+
+use crate::bits::{BitReader, BitWriter};
+use crate::scheme::{BitLabel, DistanceLabelingScheme};
+
+/// Encodes one hub label into bits.
+pub fn encode_label(label: &HubLabel) -> BitLabel {
+    let mut w = BitWriter::new();
+    w.write_gamma0(label.len() as u64);
+    let mut prev: Option<NodeId> = None;
+    for &h in label.hubs() {
+        match prev {
+            None => w.write_gamma0(h as u64),
+            Some(p) => w.write_gamma((h - p) as u64),
+        }
+        prev = Some(h);
+    }
+    for &d in label.distances() {
+        w.write_gamma0(d);
+    }
+    BitLabel::new(w.into_bits())
+}
+
+/// Decodes a [`BitLabel`] back into a [`HubLabel`].
+pub fn decode_label(label: &BitLabel) -> HubLabel {
+    let mut r = BitReader::new(label.bits());
+    let k = r.read_gamma0() as usize;
+    let mut hubs = Vec::with_capacity(k);
+    let mut cur = 0u64;
+    for i in 0..k {
+        cur = if i == 0 { r.read_gamma0() } else { cur + r.read_gamma() };
+        hubs.push(cur as NodeId);
+    }
+    let mut pairs = Vec::with_capacity(k);
+    for &h in &hubs {
+        pairs.push((h, r.read_gamma0()));
+    }
+    HubLabel::from_pairs(pairs)
+}
+
+/// Encodes a complete hub labeling.
+pub fn encode_labeling(labeling: &HubLabeling) -> Vec<BitLabel> {
+    (0..labeling.num_nodes() as NodeId).map(|v| encode_label(labeling.label(v))).collect()
+}
+
+/// Decodes the distance between two encoded labels (merge on hub ids).
+pub fn decode_distance(a: &BitLabel, b: &BitLabel) -> Distance {
+    decode_label(a).join(&decode_label(b))
+}
+
+/// A [`DistanceLabelingScheme`] built on PLL hub labels.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HubPllScheme;
+
+impl DistanceLabelingScheme for HubPllScheme {
+    fn name(&self) -> &'static str {
+        "hub-pll"
+    }
+
+    fn encode(&self, g: &Graph) -> Result<Vec<BitLabel>, GraphError> {
+        let labeling = PrunedLandmarkLabeling::by_degree(g).into_labeling();
+        Ok(encode_labeling(&labeling))
+    }
+
+    fn decode(&self, u: &BitLabel, v: &BitLabel) -> Distance {
+        decode_distance(u, v)
+    }
+}
+
+/// A scheme built on an arbitrary pre-computed hub labeling (useful when
+/// the caller wants a specific construction, e.g. the Theorem 4.1 one).
+#[derive(Debug, Clone)]
+pub struct PrecomputedHubScheme {
+    labeling: HubLabeling,
+}
+
+impl PrecomputedHubScheme {
+    /// Wraps an existing labeling.
+    pub fn new(labeling: HubLabeling) -> Self {
+        PrecomputedHubScheme { labeling }
+    }
+}
+
+impl DistanceLabelingScheme for PrecomputedHubScheme {
+    fn name(&self) -> &'static str {
+        "hub-precomputed"
+    }
+
+    fn encode(&self, g: &Graph) -> Result<Vec<BitLabel>, GraphError> {
+        if self.labeling.num_nodes() != g.num_nodes() {
+            return Err(GraphError::InvalidParameters {
+                reason: "precomputed labeling does not match graph size".into(),
+            });
+        }
+        Ok(encode_labeling(&self.labeling))
+    }
+
+    fn decode(&self, u: &BitLabel, v: &BitLabel) -> Distance {
+        decode_distance(u, v)
+    }
+}
+
+/// Convenience: encoded distance must equal [`INFINITY`] exactly when the
+/// hub labels share no hub.
+pub fn is_disconnected_answer(d: Distance) -> bool {
+    d == INFINITY
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheme::{verify_scheme, SchemeStats};
+    use hl_graph::generators;
+
+    #[test]
+    fn label_roundtrip() {
+        let label = HubLabel::from_pairs(vec![(0, 0), (7, 3), (8, 12), (1000, 999)]);
+        let encoded = encode_label(&label);
+        assert_eq!(decode_label(&encoded), label);
+    }
+
+    #[test]
+    fn empty_label_roundtrip() {
+        let label = HubLabel::new();
+        assert_eq!(decode_label(&encode_label(&label)), label);
+    }
+
+    #[test]
+    fn distance_decoding_matches_join() {
+        let a = HubLabel::from_pairs(vec![(1, 4), (5, 2)]);
+        let b = HubLabel::from_pairs(vec![(2, 1), (5, 5)]);
+        let (ea, eb) = (encode_label(&a), encode_label(&b));
+        assert_eq!(decode_distance(&ea, &eb), 7);
+    }
+
+    #[test]
+    fn pll_scheme_exact_on_families() {
+        for g in [
+            generators::grid(5, 5),
+            generators::random_tree(40, 2),
+            generators::connected_gnm(40, 20, 3),
+            generators::weighted_grid(4, 4, 4),
+        ] {
+            assert_eq!(verify_scheme(&HubPllScheme, &g).unwrap(), 0);
+        }
+    }
+
+    #[test]
+    fn pll_scheme_handles_disconnection() {
+        let g = hl_graph::builder::graph_from_edges(5, &[(0, 1), (2, 3)]).unwrap();
+        assert_eq!(verify_scheme(&HubPllScheme, &g).unwrap(), 0);
+        let labels = HubPllScheme.encode(&g).unwrap();
+        assert!(is_disconnected_answer(HubPllScheme.decode(&labels[0], &labels[4])));
+    }
+
+    #[test]
+    fn precomputed_scheme_rejects_size_mismatch() {
+        let g = generators::path(5);
+        let labeling = HubLabeling::empty(3);
+        assert!(PrecomputedHubScheme::new(labeling).encode(&g).is_err());
+    }
+
+    #[test]
+    fn precomputed_scheme_exact() {
+        let g = generators::cycle(12);
+        let labeling = PrunedLandmarkLabeling::by_degree(&g).into_labeling();
+        let scheme = PrecomputedHubScheme::new(labeling);
+        assert_eq!(verify_scheme(&scheme, &g).unwrap(), 0);
+    }
+
+    #[test]
+    fn bit_sizes_reasonable() {
+        // A 64-vertex grid label should cost far fewer bits than a full
+        // distance vector (64 * 7 bits).
+        let g = generators::grid(8, 8);
+        let labels = HubPllScheme.encode(&g).unwrap();
+        let stats = SchemeStats::of(&labels);
+        assert!(stats.average_bits < 64.0 * 7.0 / 2.0, "avg = {}", stats.average_bits);
+        assert!(stats.max_bits > 0);
+    }
+}

@@ -1,0 +1,126 @@
+//! The distance-labeling abstraction: per-vertex bit labels from which any
+//! pairwise distance can be decoded *without access to the graph*.
+
+use hl_graph::{Distance, Graph, GraphError};
+
+use crate::bits::BitVec;
+
+/// An encoded per-vertex label.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitLabel {
+    bits: BitVec,
+}
+
+impl BitLabel {
+    /// Wraps raw bits into a label.
+    pub fn new(bits: BitVec) -> Self {
+        BitLabel { bits }
+    }
+
+    /// Label size in bits — the quantity every bound in the paper is about.
+    pub fn num_bits(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// Borrow the raw bits.
+    pub fn bits(&self) -> &BitVec {
+        &self.bits
+    }
+}
+
+/// A distance labeling scheme: an encoder producing one [`BitLabel`] per
+/// vertex and a stateless decoder mapping two labels to the exact distance.
+///
+/// Decoders must return [`hl_graph::INFINITY`] for disconnected pairs.
+pub trait DistanceLabelingScheme {
+    /// Human-readable scheme name for experiment tables.
+    fn name(&self) -> &'static str;
+
+    /// Encodes the graph into per-vertex labels.
+    ///
+    /// # Errors
+    ///
+    /// Implementations surface graph errors (overflow, invalid input
+    /// class — e.g. the tree scheme on a non-tree).
+    fn encode(&self, g: &Graph) -> Result<Vec<BitLabel>, GraphError>;
+
+    /// Decodes the exact distance from two labels.
+    fn decode(&self, u: &BitLabel, v: &BitLabel) -> Distance;
+}
+
+/// Size statistics of an encoded labeling.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SchemeStats {
+    /// Number of labels.
+    pub num_labels: usize,
+    /// Total bits across labels.
+    pub total_bits: usize,
+    /// Average bits per label.
+    pub average_bits: f64,
+    /// Largest single label.
+    pub max_bits: usize,
+}
+
+impl SchemeStats {
+    /// Computes statistics over a label set.
+    pub fn of(labels: &[BitLabel]) -> Self {
+        let total: usize = labels.iter().map(|l| l.num_bits()).sum();
+        SchemeStats {
+            num_labels: labels.len(),
+            total_bits: total,
+            average_bits: if labels.is_empty() { 0.0 } else { total as f64 / labels.len() as f64 },
+            max_bits: labels.iter().map(|l| l.num_bits()).max().unwrap_or(0),
+        }
+    }
+}
+
+/// Verifies a scheme end-to-end on a graph: encodes, then decodes every
+/// pair and compares against APSP ground truth. Returns the number of
+/// violations (0 = exact).
+///
+/// # Errors
+///
+/// Propagates errors from encoding or the APSP computation.
+pub fn verify_scheme(
+    scheme: &dyn DistanceLabelingScheme,
+    g: &Graph,
+) -> Result<usize, GraphError> {
+    let labels = scheme.encode(g)?;
+    let m = hl_graph::apsp::DistanceMatrix::compute(g)?;
+    let mut violations = 0;
+    for u in 0..g.num_nodes() {
+        for v in u..g.num_nodes() {
+            if scheme.decode(&labels[u], &labels[v]) != m.distance(u as u32, v as u32) {
+                violations += 1;
+            }
+        }
+    }
+    Ok(violations)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bits::BitWriter;
+
+    #[test]
+    fn stats_of_labels() {
+        let mut w1 = BitWriter::new();
+        w1.write_bits(3, 8);
+        let mut w2 = BitWriter::new();
+        w2.write_bits(3, 4);
+        let labels = vec![BitLabel::new(w1.into_bits()), BitLabel::new(w2.into_bits())];
+        let s = SchemeStats::of(&labels);
+        assert_eq!(s.num_labels, 2);
+        assert_eq!(s.total_bits, 12);
+        assert_eq!(s.max_bits, 8);
+        assert!((s.average_bits - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stats_of_empty() {
+        let s = SchemeStats::of(&[]);
+        assert_eq!(s.total_bits, 0);
+        assert_eq!(s.average_bits, 0.0);
+    }
+}

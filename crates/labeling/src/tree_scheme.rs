@@ -1,0 +1,66 @@
+//! The `O(log² n)`-bit tree distance labeling (Peleg-style), realized as
+//! our centroid hub labeling plus the bit encoding — matching the
+//! `Θ(log² n)` bits-per-label bound the paper quotes for trees.
+
+use hl_graph::{Distance, Graph, GraphError};
+
+use hl_core::tree::centroid_labeling;
+
+use crate::hub_scheme::{decode_distance, encode_labeling};
+use crate::scheme::{BitLabel, DistanceLabelingScheme};
+
+/// Centroid-decomposition tree scheme.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TreeScheme;
+
+impl DistanceLabelingScheme for TreeScheme {
+    fn name(&self) -> &'static str {
+        "tree-centroid"
+    }
+
+    fn encode(&self, g: &Graph) -> Result<Vec<BitLabel>, GraphError> {
+        let labeling = centroid_labeling(g)?;
+        Ok(encode_labeling(&labeling))
+    }
+
+    fn decode(&self, u: &BitLabel, v: &BitLabel) -> Distance {
+        decode_distance(u, v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheme::{verify_scheme, SchemeStats};
+    use hl_graph::generators;
+
+    #[test]
+    fn exact_on_trees() {
+        for g in [
+            generators::path(33),
+            generators::balanced_binary_tree(5),
+            generators::random_tree(80, 5),
+            generators::caterpillar(8, 3),
+        ] {
+            assert_eq!(verify_scheme(&TreeScheme, &g).unwrap(), 0);
+        }
+    }
+
+    #[test]
+    fn rejects_non_trees() {
+        let g = generators::cycle(6);
+        assert!(TreeScheme.encode(&g).is_err());
+    }
+
+    #[test]
+    fn polylog_label_size() {
+        // ~log n hubs, each costing O(log n) bits: label size must stay far
+        // below the n-bit trivial regime.
+        let g = generators::random_tree(512, 7);
+        let labels = TreeScheme.encode(&g).unwrap();
+        let stats = SchemeStats::of(&labels);
+        assert!(stats.max_bits < 512, "max bits = {}", stats.max_bits);
+        // log2(512) = 9 hubs max, each well under 40 bits.
+        assert!(stats.average_bits < 9.0 * 40.0);
+    }
+}

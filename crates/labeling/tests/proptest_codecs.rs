@@ -1,0 +1,111 @@
+//! Property-based tests for the bit codecs and label encodings.
+
+use proptest::prelude::*;
+
+use hl_core::label::HubLabel;
+use hl_labeling::bits::{BitReader, BitWriter};
+use hl_labeling::hub_scheme::{decode_label, encode_label};
+
+proptest! {
+    #[test]
+    fn gamma_roundtrip(values in proptest::collection::vec(1u64..u64::MAX / 2, 0..100)) {
+        let mut w = BitWriter::new();
+        for &v in &values {
+            w.write_gamma(v);
+        }
+        let bits = w.into_bits();
+        let mut r = BitReader::new(&bits);
+        for &v in &values {
+            prop_assert_eq!(r.read_gamma(), v);
+        }
+        prop_assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn delta_roundtrip(values in proptest::collection::vec(1u64..u64::MAX / 2, 0..100)) {
+        let mut w = BitWriter::new();
+        for &v in &values {
+            w.write_delta(v);
+        }
+        let bits = w.into_bits();
+        let mut r = BitReader::new(&bits);
+        for &v in &values {
+            prop_assert_eq!(r.read_delta(), v);
+        }
+    }
+
+    #[test]
+    fn mixed_codes_roundtrip(ops in proptest::collection::vec((0u8..4, 1u64..1 << 40), 0..60)) {
+        let mut w = BitWriter::new();
+        for &(kind, v) in &ops {
+            match kind {
+                0 => w.write_gamma(v),
+                1 => w.write_delta(v),
+                2 => w.write_unary(v % 64),
+                _ => w.write_bits(v & 0xFFFF, 16),
+            }
+        }
+        let bits = w.into_bits();
+        let mut r = BitReader::new(&bits);
+        for &(kind, v) in &ops {
+            let got = match kind {
+                0 => r.read_gamma(),
+                1 => r.read_delta(),
+                2 => r.read_unary(),
+                _ => r.read_bits(16),
+            };
+            let expect = match kind {
+                2 => v % 64,
+                3 => v & 0xFFFF,
+                _ => v,
+            };
+            prop_assert_eq!(got, expect);
+        }
+    }
+
+    #[test]
+    fn hub_label_roundtrip(pairs in proptest::collection::vec((0u32..10_000, 0u64..1 << 30), 0..80)) {
+        let label = HubLabel::from_pairs(pairs);
+        let decoded = decode_label(&encode_label(&label));
+        prop_assert_eq!(decoded, label);
+    }
+
+    #[test]
+    fn encoding_size_monotone_in_hub_count(k in 0usize..50) {
+        // More hubs never encode smaller (ids are increasing).
+        let small: Vec<(u32, u64)> = (0..k as u32).map(|i| (i, i as u64)).collect();
+        let large: Vec<(u32, u64)> = (0..k as u32 + 1).map(|i| (i, i as u64)).collect();
+        let a = encode_label(&HubLabel::from_pairs(small)).num_bits();
+        let b = encode_label(&HubLabel::from_pairs(large)).num_bits();
+        prop_assert!(b >= a);
+    }
+}
+
+proptest! {
+    #[test]
+    fn compact_roundtrip_arbitrary(
+        pairs in proptest::collection::vec((0u32..5_000, 0u64..100_000), 0..60),
+        near in 1u64..64,
+    ) {
+        use hl_labeling::compact::{decode_compact, encode_compact, CompactParams};
+        let label = HubLabel::from_pairs(pairs);
+        let max_d = label.distances().iter().copied().max().unwrap_or(0);
+        let params = CompactParams::new(5_000, max_d, near);
+        let decoded = decode_compact(&encode_compact(&label, &params), &params);
+        prop_assert_eq!(decoded, label);
+    }
+
+    #[test]
+    fn compact_never_beaten_by_gamma_by_more_than_tag(
+        pairs in proptest::collection::vec((0u32..2_000, 0u64..10_000), 0..40),
+    ) {
+        use hl_labeling::compact::{encode_compact, CompactParams};
+        use hl_labeling::hub_scheme::encode_label;
+        let label = HubLabel::from_pairs(pairs);
+        let max_d = label.distances().iter().copied().max().unwrap_or(0);
+        let params = CompactParams::new(2_000, max_d, 8);
+        let compact = encode_compact(&label, &params).num_bits();
+        let gamma = encode_label(&label).num_bits();
+        prop_assert!(compact <= gamma + 2);
+    }
+}

@@ -1,0 +1,34 @@
+//! The lower-bound gadgets of Section 2 and 3 of the paper: the layered
+//! weighted graph `H_{b,ℓ}`, its max-degree-3 expansion `G_{b,ℓ}`
+//! (Theorem 2.1, Figure 1), the unique-shortest-path midpoint property
+//! (Lemma 2.2), the triplet-counting machinery that yields the
+//! `n / 2^{Θ(√log n)}` average hub-size lower bound (Theorem 1.1), and the
+//! middle-layer removal `G'_{b,ℓ}` that powers the Sum-Index reduction
+//! (Theorem 1.6).
+//!
+//! # The construction in brief
+//!
+//! `H_{b,ℓ}` has `2ℓ+1` levels of `s^ℓ` vertices each (`s = 2^b`), a vertex
+//! per `ℓ`-dimensional vector over `[0, s)`. Edges join consecutive levels
+//! between vectors differing in at most one *designated* coordinate (the
+//! coordinate cycles `1..ℓ` going up, then `ℓ..1`), with weight
+//! `A + (j_c − j'_c)²`, `A = 3ℓs²`. Convexity of the squared step costs
+//! makes the shortest `v_{0,x} → v_{2ℓ,z}` path unique whenever `z − x` is
+//! even, and it passes through the *midpoint* `v_{ℓ,(x+z)/2}` — so
+//! `(s²/2)^ℓ` pairs each pin a distinct middle vertex into one of their two
+//! hubsets, forcing average hubset size `≈ s^ℓ/2^ℓ`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod accounting;
+pub mod ggraph;
+pub mod hgraph;
+pub mod midpoint;
+pub mod params;
+pub mod removal;
+pub mod sampling;
+
+pub use ggraph::GGraph;
+pub use hgraph::HGraph;
+pub use params::GadgetParams;

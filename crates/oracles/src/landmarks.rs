@@ -1,0 +1,194 @@
+//! Landmark selection and triangle-inequality distance bounds (the "L" of
+//! ALT).
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use hl_graph::dijkstra::shortest_path_distances;
+use hl_graph::{Distance, Graph, NodeId, INFINITY};
+
+/// A set of landmarks with precomputed distances to every vertex.
+///
+/// For undirected graphs the triangle inequality gives, for any landmark
+/// `L`: `|d(L,u) − d(L,t)| ≤ d(u,t) ≤ d(L,u) + d(L,t)`.
+#[derive(Debug, Clone)]
+pub struct Landmarks {
+    ids: Vec<NodeId>,
+    dist: Vec<Vec<Distance>>,
+}
+
+impl Landmarks {
+    /// Selects `k` landmarks uniformly at random (seeded).
+    pub fn random(g: &Graph, k: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut all: Vec<NodeId> = (0..g.num_nodes() as NodeId).collect();
+        all.shuffle(&mut rng);
+        let ids: Vec<NodeId> = all.into_iter().take(k.min(g.num_nodes())).collect();
+        Self::from_ids(g, ids)
+    }
+
+    /// Farthest-point selection: start from `seed_vertex`, repeatedly pick
+    /// the vertex maximizing the distance to the chosen set — the standard
+    /// ALT heuristic (good spread yields tight bounds).
+    pub fn farthest(g: &Graph, k: usize, seed_vertex: NodeId) -> Self {
+        let n = g.num_nodes();
+        let mut ids = Vec::with_capacity(k.min(n));
+        let mut dist_rows: Vec<Vec<Distance>> = Vec::new();
+        let mut min_dist = vec![INFINITY; n];
+        let mut next = seed_vertex;
+        for _ in 0..k.min(n) {
+            ids.push(next);
+            let row = shortest_path_distances(g, next);
+            for v in 0..n {
+                if row[v] < min_dist[v] {
+                    min_dist[v] = row[v];
+                }
+            }
+            dist_rows.push(row);
+            // The farthest *reachable* vertex from the current set.
+            next = (0..n as NodeId)
+                .filter(|&v| min_dist[v as usize] != INFINITY)
+                .max_by_key(|&v| min_dist[v as usize])
+                .unwrap_or(seed_vertex);
+            if min_dist[next as usize] == 0 {
+                break; // everything reachable is already a landmark
+            }
+        }
+        Landmarks { ids, dist: dist_rows }
+    }
+
+    /// Builds landmark tables for explicit vertices.
+    pub fn from_ids(g: &Graph, ids: Vec<NodeId>) -> Self {
+        let dist = ids.iter().map(|&l| shortest_path_distances(g, l)).collect();
+        Landmarks { ids, dist }
+    }
+
+    /// The landmark vertices.
+    pub fn ids(&self) -> &[NodeId] {
+        &self.ids
+    }
+
+    /// Number of landmarks.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// `true` when no landmarks were selected.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Lower bound on `d(u, t)` from the triangle inequality, maximized
+    /// over all landmarks. Always admissible; 0 when no landmark reaches
+    /// both vertices.
+    pub fn lower_bound(&self, u: NodeId, t: NodeId) -> Distance {
+        let mut best = 0;
+        for row in &self.dist {
+            let (du, dt) = (row[u as usize], row[t as usize]);
+            if du != INFINITY && dt != INFINITY {
+                let lb = du.abs_diff(dt);
+                if lb > best {
+                    best = lb;
+                }
+            }
+        }
+        best
+    }
+
+    /// Upper bound on `d(u, t)`: `min_L d(L,u) + d(L,t)`.
+    pub fn upper_bound(&self, u: NodeId, t: NodeId) -> Distance {
+        let mut best = INFINITY;
+        for row in &self.dist {
+            let (du, dt) = (row[u as usize], row[t as usize]);
+            if du != INFINITY && dt != INFINITY {
+                best = best.min(du + dt);
+            }
+        }
+        best
+    }
+
+    /// Memory footprint of the distance tables in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.dist.iter().map(|r| r.len() * std::mem::size_of::<Distance>()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hl_graph::apsp::DistanceMatrix;
+    use hl_graph::generators;
+
+    #[test]
+    fn bounds_sandwich_true_distance() {
+        let g = generators::weighted_grid(7, 7, 3);
+        let lm = Landmarks::farthest(&g, 4, 0);
+        let m = DistanceMatrix::compute(&g).unwrap();
+        for u in 0..49u32 {
+            for t in 0..49u32 {
+                let d = m.distance(u, t);
+                assert!(lm.lower_bound(u, t) <= d);
+                assert!(lm.upper_bound(u, t) >= d);
+            }
+        }
+    }
+
+    #[test]
+    fn landmark_to_self_bounds_tight() {
+        let g = generators::grid(5, 5);
+        let lm = Landmarks::from_ids(&g, vec![7]);
+        // For u = landmark, bounds are exact.
+        let m = DistanceMatrix::compute(&g).unwrap();
+        for t in 0..25u32 {
+            assert_eq!(lm.lower_bound(7, t), m.distance(7, t));
+            assert_eq!(lm.upper_bound(7, t), m.distance(7, t));
+        }
+    }
+
+    #[test]
+    fn farthest_selection_spreads() {
+        let g = generators::path(50);
+        let lm = Landmarks::farthest(&g, 2, 10);
+        // Second landmark must be an endpoint-ish vertex (far from 10).
+        assert_eq!(lm.ids()[0], 10);
+        assert!(lm.ids()[1] == 49 || lm.ids()[1] == 0);
+    }
+
+    #[test]
+    fn random_selection_seeded() {
+        let g = generators::grid(6, 6);
+        let a = Landmarks::random(&g, 3, 5);
+        let b = Landmarks::random(&g, 3, 5);
+        assert_eq!(a.ids(), b.ids());
+        assert_eq!(a.len(), 3);
+        assert!(!a.is_empty());
+        assert!(a.memory_bytes() > 0);
+    }
+
+    #[test]
+    fn disconnected_bounds_degrade_gracefully() {
+        let g = hl_graph::builder::graph_from_edges(4, &[(0, 1), (2, 3)]).unwrap();
+        let lm = Landmarks::from_ids(&g, vec![0]);
+        // Landmark 0 cannot see 2 or 3: bounds fall back to trivial.
+        assert_eq!(lm.lower_bound(2, 3), 0);
+        assert_eq!(lm.upper_bound(2, 3), INFINITY);
+    }
+
+    #[test]
+    fn more_landmarks_tighter_lower_bounds() {
+        let g = generators::weighted_grid(8, 8, 9);
+        let few = Landmarks::farthest(&g, 1, 0);
+        let many = Landmarks::farthest(&g, 6, 0);
+        let mut improved = 0;
+        for u in (0..64u32).step_by(5) {
+            for t in (0..64u32).step_by(7) {
+                assert!(many.lower_bound(u, t) >= few.lower_bound(u, t));
+                if many.lower_bound(u, t) > few.lower_bound(u, t) {
+                    improved += 1;
+                }
+            }
+        }
+        assert!(improved > 0, "extra landmarks should help somewhere");
+    }
+}

@@ -1,0 +1,37 @@
+//! Point-to-point distance oracles.
+//!
+//! The paper's introduction frames hub labeling within the wider
+//! distance-oracle landscape — the `ST = Õ(n²)` space/time tradeoff and
+//! the practical heuristics ("contraction hierarchies and algorithms with
+//! arc flags", §1.1). This crate implements the two classical baselines so
+//! the benchmarks can place hub labels on that spectrum:
+//!
+//! * [`landmarks`] / [`alt`] — A* with landmark lower bounds (ALT,
+//!   Goldberg–Harrelson): `O(k·n)` space, goal-directed exact queries;
+//! * [`ch`] — Contraction Hierarchies (Geisberger et al.): node ordering
+//!   by edge difference, witness searches, shortcut edges, bidirectional
+//!   upward query;
+//! * [`highway`] — empirical highway-dimension estimation (ADF+16);
+//! * [`portal`] — the naive S/T interpolation (stored rows + bounded
+//!   bidirectional search), drawing the tradeoff curve of §1;
+//! * [`oracle`] — a common trait plus instrumented query statistics
+//!   (settled vertices), and adapters for plain/bidirectional Dijkstra and
+//!   hub labelings.
+//!
+//! All oracles are **exact**; the tests cross-check every one of them
+//! against ground truth on weighted and unweighted families.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod alt;
+pub mod ch;
+pub mod highway;
+pub mod landmarks;
+pub mod oracle;
+pub mod portal;
+
+pub use alt::AltOracle;
+pub use ch::ContractionHierarchy;
+pub use landmarks::Landmarks;
+pub use oracle::{DistanceOracle, QueryStats};

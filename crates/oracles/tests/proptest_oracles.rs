@@ -1,0 +1,95 @@
+//! Property-based tests: every oracle must agree with ground truth on
+//! arbitrary sparse graphs (weighted and unweighted, connected or not).
+
+use proptest::prelude::*;
+
+use hl_core::pll::PrunedLandmarkLabeling;
+use hl_graph::apsp::DistanceMatrix;
+use hl_graph::{generators, GraphBuilder, NodeId};
+use hl_oracles::oracle::{DistanceOracle, HubLabelOracle};
+use hl_oracles::{AltOracle, ContractionHierarchy, Landmarks};
+
+fn sparse_graph() -> impl Strategy<Value = hl_graph::Graph> {
+    (5usize..30, 0usize..20, any::<u64>()).prop_map(|(n, extra, seed)| {
+        let max_extra = n * (n - 1) / 2 - (n - 1);
+        generators::connected_gnm(n, extra.min(max_extra), seed)
+    })
+}
+
+/// Possibly-disconnected weighted graph from a raw edge list.
+fn arbitrary_graph() -> impl Strategy<Value = hl_graph::Graph> {
+    proptest::collection::vec((0u32..15, 0u32..15, 1u64..20), 0..40).prop_map(|edges| {
+        let mut b = GraphBuilder::new(15);
+        for (u, v, w) in edges {
+            if u != v {
+                b.add_edge(u, v, w).unwrap();
+            }
+        }
+        b.build()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn ch_exact_on_connected_graphs(g in sparse_graph()) {
+        let ch = ContractionHierarchy::build(&g);
+        let m = DistanceMatrix::compute(&g).unwrap();
+        for u in 0..g.num_nodes() as NodeId {
+            for v in 0..g.num_nodes() as NodeId {
+                prop_assert_eq!(ch.query(u, v), m.distance(u, v));
+            }
+        }
+    }
+
+    #[test]
+    fn ch_exact_on_arbitrary_graphs(g in arbitrary_graph()) {
+        let ch = ContractionHierarchy::build(&g);
+        let m = DistanceMatrix::compute(&g).unwrap();
+        for u in 0..g.num_nodes() as NodeId {
+            for v in 0..g.num_nodes() as NodeId {
+                prop_assert_eq!(ch.query(u, v), m.distance(u, v));
+            }
+        }
+    }
+
+    #[test]
+    fn alt_exact_with_any_landmark_count(g in sparse_graph(), k in 0usize..6) {
+        let alt = AltOracle::new(&g, Landmarks::random(&g, k, 7));
+        let m = DistanceMatrix::compute(&g).unwrap();
+        for u in (0..g.num_nodes() as NodeId).step_by(3) {
+            for v in 0..g.num_nodes() as NodeId {
+                prop_assert_eq!(alt.query_with_stats(u, v).0, m.distance(u, v));
+            }
+        }
+    }
+
+    #[test]
+    fn landmark_bounds_always_valid(g in arbitrary_graph(), k in 1usize..5, seed in any::<u64>()) {
+        let lm = Landmarks::random(&g, k, seed);
+        let m = DistanceMatrix::compute(&g).unwrap();
+        for u in 0..g.num_nodes() as NodeId {
+            for v in 0..g.num_nodes() as NodeId {
+                let d = m.distance(u, v);
+                if d != hl_graph::INFINITY {
+                    prop_assert!(lm.lower_bound(u, v) <= d);
+                    prop_assert!(lm.upper_bound(u, v) >= d);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hub_oracle_matches_ch(g in sparse_graph()) {
+        let ch = ContractionHierarchy::build(&g);
+        let hub = HubLabelOracle {
+            labeling: PrunedLandmarkLabeling::by_degree(&g).into_labeling(),
+        };
+        for u in 0..g.num_nodes() as NodeId {
+            for v in (0..g.num_nodes() as NodeId).step_by(2) {
+                prop_assert_eq!(hub.distance(u, v), ch.query(u, v));
+            }
+        }
+    }
+}

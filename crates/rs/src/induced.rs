@@ -1,0 +1,171 @@
+//! Induced matchings: verification and greedy edge-partition.
+//!
+//! `M ⊆ E(G)` is an *induced matching* (Definition 1.2) when (i) it is a
+//! matching and (ii) the subgraph of `G` induced by `M`'s endpoints
+//! contains exactly the edges of `M` — no "cross" edges between different
+//! matching edges.
+
+use std::collections::HashSet;
+
+use hl_graph::{Graph, NodeId};
+
+/// Checks whether `edges` forms an induced matching of `g`.
+///
+/// Quadratic in `|edges|`; fine for verification workloads.
+pub fn is_induced_matching(g: &Graph, edges: &[(NodeId, NodeId)]) -> bool {
+    // (i) matching: endpoints pairwise distinct, and each edge exists.
+    let mut endpoints = HashSet::new();
+    for &(u, v) in edges {
+        if u == v || !g.has_edge(u, v) {
+            return false;
+        }
+        if !endpoints.insert(u) || !endpoints.insert(v) {
+            return false;
+        }
+    }
+    // (ii) induced: no cross edge between endpoints of distinct edges.
+    for (i, &(u1, v1)) in edges.iter().enumerate() {
+        for &(u2, v2) in &edges[i + 1..] {
+            if g.has_edge(u1, u2) || g.has_edge(u1, v2) || g.has_edge(v1, u2) || g.has_edge(v1, v2)
+            {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Checks that `matchings` is an edge *partition* of `g` into induced
+/// matchings (every edge in exactly one matching, each matching induced).
+pub fn is_induced_matching_partition(g: &Graph, matchings: &[Vec<(NodeId, NodeId)>]) -> bool {
+    let mut seen: HashSet<(NodeId, NodeId)> = HashSet::new();
+    for m in matchings {
+        if !is_induced_matching(g, m) {
+            return false;
+        }
+        for &(u, v) in m {
+            if !seen.insert((u.min(v), u.max(v))) {
+                return false; // duplicate edge across matchings
+            }
+        }
+    }
+    seen.len() == g.num_edges()
+}
+
+/// Greedily partitions the edges of `g` into induced matchings, returning
+/// the matchings. The count is an upper bound on the minimum number of
+/// induced matchings needed — the quantity `RS`-type bounds constrain.
+pub fn greedy_induced_partition(g: &Graph) -> Vec<Vec<(NodeId, NodeId)>> {
+    let mut remaining: Vec<(NodeId, NodeId)> =
+        g.edges().map(|(u, v, _)| (u, v)).collect();
+    let mut result = Vec::new();
+    while !remaining.is_empty() {
+        let mut matched: HashSet<NodeId> = HashSet::new();
+        let mut current: Vec<(NodeId, NodeId)> = Vec::new();
+        let mut rest: Vec<(NodeId, NodeId)> = Vec::new();
+        'edges: for &(u, v) in &remaining {
+            if matched.contains(&u) || matched.contains(&v) {
+                rest.push((u, v));
+                continue;
+            }
+            // Induced check against current matching: u and v must not be
+            // adjacent to any already-matched endpoint.
+            for &w in &matched {
+                if g.has_edge(u, w) || g.has_edge(v, w) {
+                    rest.push((u, v));
+                    continue 'edges;
+                }
+            }
+            matched.insert(u);
+            matched.insert(v);
+            current.push((u, v));
+        }
+        debug_assert!(!current.is_empty());
+        result.push(current);
+        remaining = rest;
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hl_graph::builder::graph_from_edges;
+    use hl_graph::generators;
+
+    #[test]
+    fn single_edge_is_induced() {
+        let g = generators::path(3);
+        assert!(is_induced_matching(&g, &[(0, 1)]));
+    }
+
+    #[test]
+    fn adjacent_edges_not_a_matching() {
+        let g = generators::path(3);
+        assert!(!is_induced_matching(&g, &[(0, 1), (1, 2)]));
+    }
+
+    #[test]
+    fn cross_edge_breaks_inducedness() {
+        // Path 0-1-2-3: {(0,1), (2,3)} is a matching but edge (1,2) crosses.
+        let g = generators::path(4);
+        assert!(!is_induced_matching(&g, &[(0, 1), (2, 3)]));
+        // On 0-1 2-3 (disjoint edges) it is induced.
+        let h = graph_from_edges(4, &[(0, 1), (2, 3)]).unwrap();
+        assert!(is_induced_matching(&h, &[(0, 1), (2, 3)]));
+    }
+
+    #[test]
+    fn nonexistent_edge_rejected() {
+        let g = generators::path(4);
+        assert!(!is_induced_matching(&g, &[(0, 2)]));
+    }
+
+    #[test]
+    fn empty_matching_is_induced() {
+        let g = generators::path(2);
+        assert!(is_induced_matching(&g, &[]));
+    }
+
+    #[test]
+    fn partition_validation() {
+        let g = generators::path(4);
+        let p = vec![vec![(0u32, 1u32)], vec![(1, 2)], vec![(2, 3)]];
+        assert!(is_induced_matching_partition(&g, &p));
+        // Missing an edge:
+        let q = vec![vec![(0u32, 1u32)], vec![(1, 2)]];
+        assert!(!is_induced_matching_partition(&g, &q));
+        // Duplicate edge:
+        let r = vec![vec![(0u32, 1u32)], vec![(0, 1)], vec![(1, 2)], vec![(2, 3)]];
+        assert!(!is_induced_matching_partition(&g, &r));
+    }
+
+    #[test]
+    fn greedy_partition_covers_all_edges() {
+        for g in [
+            generators::grid(4, 5),
+            generators::cycle(9),
+            generators::complete(7),
+            generators::connected_gnm(30, 25, 3),
+        ] {
+            let p = greedy_induced_partition(&g);
+            assert!(is_induced_matching_partition(&g, &p));
+        }
+    }
+
+    #[test]
+    fn greedy_partition_of_complete_graph_is_large() {
+        // K_n has no induced matching of size 2, so the partition needs
+        // exactly m = n(n-1)/2 matchings.
+        let g = generators::complete(6);
+        let p = greedy_induced_partition(&g);
+        assert_eq!(p.len(), 15);
+    }
+
+    #[test]
+    fn greedy_partition_of_perfect_matching_is_single() {
+        let g = graph_from_edges(6, &[(0, 1), (2, 3), (4, 5)]).unwrap();
+        let p = greedy_induced_partition(&g);
+        assert_eq!(p.len(), 1);
+    }
+}

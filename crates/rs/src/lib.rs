@@ -1,0 +1,36 @@
+//! Ruzsa–Szemerédi machinery: Behrend progression-free sets, RS graphs and
+//! induced matchings.
+//!
+//! The paper ties both its upper bound (Theorem 4.1) and the limits of its
+//! lower-bound technique to the **Ruzsa–Szemerédi function** `RS(n)`
+//! (Definition 1.3): the largest value such that every graph on `n`
+//! vertices whose edges partition into at most `n` induced matchings has at
+//! most `n²/RS(n)` edges. Current knowledge:
+//!
+//! ```text
+//! 2^{Ω(log* n)}  ≤  RS(n)  ≤  2^{O(√log n)}
+//! ```
+//!
+//! the upper bound coming from Behrend's construction of 3-AP-free sets
+//! (1946). This crate implements:
+//!
+//! * [`behrend`] — Behrend's sphere construction of large progression-free
+//!   subsets of `[n]`, a greedy baseline, and a verifier;
+//! * [`rs_graph`] — the classical RS graph: a bipartite graph whose edges
+//!   `{(x+a, x+2a)}` partition into induced matchings `M_x` indexed by the
+//!   base point `x`, with AP-freeness of `a` guaranteeing induced-ness;
+//! * [`induced`] — induced-matching verification and a greedy
+//!   edge-partition of arbitrary graphs into induced matchings;
+//! * [`rs_function`] — empirical witnesses for the upper-bound side of
+//!   `RS(n)`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod behrend;
+pub mod induced;
+pub mod rs_function;
+pub mod rs_graph;
+
+pub use behrend::{behrend_set, best_ap_free_set, greedy_ap_free_set, is_ap_free};
+pub use rs_graph::RsGraph;

@@ -1,0 +1,85 @@
+//! Empirical study of the Ruzsa–Szemerédi function `RS(n)`.
+//!
+//! `RS(n)` (Definition 1.3) is defined so that every graph on `n` vertices
+//! whose edges partition into `≤ n` induced matchings has `≤ n²/RS(n)`
+//! edges. Exact values are unknown; this module provides the two
+//! computable proxies the experiments chart:
+//!
+//! * **upper-bound witnesses** — our Behrend-based [`crate::RsGraph`]s give
+//!   concrete RS graphs with many edges, certifying `RS(n) ≤ n²/m`;
+//! * **heuristic reading** used by the Theorem 4.1 parameter choice,
+//!   `RS̃(n) = 2^{√(log₂ n)}`, the shape of the true upper bound.
+
+use crate::rs_graph::RsGraph;
+
+/// A row of the RS-function experiment table.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RsWitness {
+    /// Number of vertices of the witness graph.
+    pub n: usize,
+    /// Number of edges.
+    pub m: usize,
+    /// Number of induced matchings in the partition.
+    pub matchings: usize,
+    /// The certified upper bound `RS(n) ≤ n²/m`.
+    pub rs_upper: f64,
+    /// The heuristic shape `2^{√(log₂ n)}` for comparison.
+    pub rs_heuristic: f64,
+}
+
+/// Builds the Behrend witness at roughly `target_vertices` vertices and
+/// reports the certified upper bound on `RS` at that size.
+pub fn witness(target_vertices: usize) -> RsWitness {
+    let rs = RsGraph::behrend(target_vertices);
+    let n = rs.graph().num_nodes();
+    RsWitness {
+        n,
+        m: rs.graph().num_edges(),
+        matchings: rs.matchings().len(),
+        rs_upper: rs.rs_upper_witness(),
+        rs_heuristic: rs_heuristic(n),
+    }
+}
+
+/// The heuristic shape `2^{√(log₂ n)}` of the Behrend upper bound on
+/// `RS(n)`, used by `RsParams::for_size` (in `hl-core`) as
+/// a stand-in for the unknown true value.
+pub fn rs_heuristic(n: usize) -> f64 {
+    if n < 2 {
+        return 1.0;
+    }
+    let log = (n as f64).log2();
+    2f64.powf(log.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn witness_is_consistent() {
+        let w = witness(400);
+        assert!(w.m > 0);
+        assert!(w.matchings <= w.n, "Definition 1.3 requires <= n matchings");
+        assert!(w.rs_upper >= 1.0);
+        let density = w.m as f64 / (w.n as f64 * w.n as f64);
+        assert!((w.rs_upper - 1.0 / density).abs() < 1e-6);
+    }
+
+    #[test]
+    fn heuristic_shape_monotone() {
+        assert!(rs_heuristic(100) < rs_heuristic(10_000));
+        assert!(rs_heuristic(1) >= 1.0);
+        // 2^sqrt(log2 n) is subpolynomial: much smaller than n^0.5 for large n.
+        assert!(rs_heuristic(1_000_000) < (1_000_000f64).sqrt());
+    }
+
+    #[test]
+    fn witnesses_get_denser_with_scale() {
+        // The witness bound n²/m should grow slowly (subpolynomially):
+        // going from n≈250 to n≈2500 must multiply it by far less than 10.
+        let w1 = witness(250);
+        let w2 = witness(2_500);
+        assert!(w2.rs_upper / w1.rs_upper < 10.0);
+    }
+}

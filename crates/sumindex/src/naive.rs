@@ -1,0 +1,77 @@
+//! The trivial Sum-Index protocol: Alice ships the whole word.
+//!
+//! Costs `m + ⌈log m⌉` bits from Alice and `⌈log m⌉` from Bob — the
+//! baseline any interesting protocol must beat, and the upper anchor of
+//! the experiment tables (the lower anchor being `Ω(√m)`).
+
+use hl_labeling::bits::{BitReader, BitWriter};
+use hl_labeling::BitVec;
+
+use crate::problem::SumIndexInstance;
+
+/// Bits needed to address `[0, m)`.
+pub fn index_bits(m: usize) -> u32 {
+    usize::BITS - (m.max(2) - 1).leading_zeros()
+}
+
+/// Alice's message: the word followed by `a`.
+pub fn alice_message(instance: &SumIndexInstance, a: usize) -> BitVec {
+    let mut w = BitWriter::new();
+    for &bit in instance.word() {
+        w.write_bit(bit);
+    }
+    w.write_bits(a as u64, index_bits(instance.len()));
+    w.into_bits()
+}
+
+/// Bob's message: just `b`.
+pub fn bob_message(instance: &SumIndexInstance, b: usize) -> BitVec {
+    let mut w = BitWriter::new();
+    w.write_bits(b as u64, index_bits(instance.len()));
+    w.into_bits()
+}
+
+/// Referee: recovers `S` and `a` from Alice, `b` from Bob, and answers.
+///
+/// `m` is public (part of the protocol description).
+pub fn referee(m: usize, alice: &BitVec, bob: &BitVec) -> bool {
+    let bits = index_bits(m);
+    let mut ra = BitReader::new(alice);
+    let word: Vec<bool> = (0..m).map(|_| ra.read_bit()).collect();
+    let a = ra.read_bits(bits) as usize;
+    let mut rb = BitReader::new(bob);
+    let b = rb.read_bits(bits) as usize;
+    word[(a + b) % m]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn correct_on_all_pairs() {
+        let inst = SumIndexInstance::random(17, 3);
+        for a in 0..17 {
+            for b in 0..17 {
+                let ma = alice_message(&inst, a);
+                let mb = bob_message(&inst, b);
+                assert_eq!(referee(17, &ma, &mb), inst.answer(a, b), "a={a} b={b}");
+            }
+        }
+    }
+
+    #[test]
+    fn message_sizes() {
+        let inst = SumIndexInstance::random(64, 1);
+        assert_eq!(alice_message(&inst, 5).len(), 64 + 6);
+        assert_eq!(bob_message(&inst, 5).len(), 6);
+    }
+
+    #[test]
+    fn index_bits_values() {
+        assert_eq!(index_bits(2), 1);
+        assert_eq!(index_bits(4), 2);
+        assert_eq!(index_bits(5), 3);
+        assert_eq!(index_bits(1024), 10);
+    }
+}

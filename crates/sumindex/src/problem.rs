@@ -1,0 +1,93 @@
+//! Sum-Index instances and ground truth.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One Sum-Index instance: the shared word `S ∈ {0,1}^m`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SumIndexInstance {
+    word: Vec<bool>,
+}
+
+impl SumIndexInstance {
+    /// Wraps a word.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the word is empty.
+    pub fn new(word: Vec<bool>) -> Self {
+        assert!(!word.is_empty(), "Sum-Index requires a nonempty word");
+        SumIndexInstance { word }
+    }
+
+    /// A seeded random word of length `m`.
+    pub fn random(m: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        SumIndexInstance::new((0..m).map(|_| rng.gen_bool(0.5)).collect())
+    }
+
+    /// Word length `m`.
+    pub fn len(&self) -> usize {
+        self.word.len()
+    }
+
+    /// `false` always (instances are nonempty); mirrors the container
+    /// convention.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The shared word.
+    pub fn word(&self) -> &[bool] {
+        &self.word
+    }
+
+    /// Bit `S_i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= m`.
+    pub fn bit(&self, i: usize) -> bool {
+        self.word[i]
+    }
+
+    /// Ground truth `S_{(a+b) mod m}`.
+    pub fn answer(&self, a: usize, b: usize) -> bool {
+        self.word[(a + b) % self.word.len()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn answer_wraps_modulo() {
+        let inst = SumIndexInstance::new(vec![true, false, false, true]);
+        assert!(inst.answer(0, 0));
+        assert!(!inst.answer(1, 1));
+        assert!(inst.answer(2, 1));
+        assert!(inst.answer(3, 1), "wraps to index 0");
+        assert!(!inst.answer(3, 2), "wraps to index 1");
+    }
+
+    #[test]
+    fn random_is_seeded() {
+        assert_eq!(SumIndexInstance::random(64, 9), SumIndexInstance::random(64, 9));
+        assert_ne!(SumIndexInstance::random(64, 9), SumIndexInstance::random(64, 10));
+    }
+
+    #[test]
+    #[should_panic(expected = "nonempty")]
+    fn empty_word_rejected() {
+        let _ = SumIndexInstance::new(vec![]);
+    }
+
+    #[test]
+    fn accessors() {
+        let inst = SumIndexInstance::random(16, 0);
+        assert_eq!(inst.len(), 16);
+        assert!(!inst.is_empty());
+        assert_eq!(inst.bit(3), inst.word()[3]);
+    }
+}

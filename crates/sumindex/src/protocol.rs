@@ -1,0 +1,280 @@
+//! The paper's Sum-Index protocol (proof of Theorem 1.6), executed end to
+//! end.
+//!
+//! Both parties share `S` and the gadget parameters, so both can build the
+//! *same* pruned graph `H'_{b,ℓ}` (middle vertex `v_{ℓ,y}` kept iff
+//! `S_{repr(y)} = 1`) and the same deterministic distance labeling. Alice
+//! sends the label of `v_{0,2x}` (where `repr(x) = a`) plus `a`; Bob sends
+//! the label of `v_{2ℓ,2z}` plus `b`. The referee decodes the exact
+//! `v_{0,2x}`-`v_{2ℓ,2z}` distance from the two labels and applies
+//! Observation 3.1: the distance equals the unique-path length iff the
+//! midpoint `v_{ℓ,x+z}` survived, i.e. iff `S_{(a+b) mod m} = 1`.
+//!
+//! The protocol works over `H'` rather than the degree-3 `G'`: distances
+//! between the queried levels coincide (verified in `hl-lowerbound`), and
+//! the paper's degree-3 expansion matters for the *counting* of `n`, not
+//! for protocol correctness.
+
+use hl_graph::GraphError;
+use hl_labeling::hub_scheme::{decode_distance, encode_labeling};
+use hl_labeling::scheme::BitLabel;
+use hl_lowerbound::removal::{decode_midpoint_presence, RemovedMiddle};
+use hl_lowerbound::{GadgetParams, HGraph};
+
+use hl_core::pll::PrunedLandmarkLabeling;
+
+use crate::naive::index_bits;
+use crate::problem::SumIndexInstance;
+use crate::repr::Repr;
+
+/// One party's message: a distance label plus the party's index.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Message {
+    /// The distance label of the queried vertex.
+    pub label: BitLabel,
+    /// The sender's input index (`a` or `b`).
+    pub index: u64,
+}
+
+impl Message {
+    /// Total message size in bits (label + index).
+    pub fn num_bits(&self, m: usize) -> usize {
+        self.label.num_bits() + index_bits(m) as usize
+    }
+}
+
+/// Cost summary of a protocol instantiation, for the experiment tables.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProtocolCosts {
+    /// Word length `m`.
+    pub m: usize,
+    /// Number of vertices of the pruned gadget.
+    pub graph_nodes: usize,
+    /// Largest message over all inputs (bits).
+    pub max_message_bits: usize,
+    /// Average message size over the level-0/level-2ℓ query vertices.
+    pub avg_message_bits: f64,
+    /// The naive protocol's Alice message (`m + ⌈log m⌉` bits).
+    pub naive_bits: usize,
+    /// The `Ω(√m)` lower-bound anchor.
+    pub sqrt_m: f64,
+}
+
+/// The shared deterministic setup both parties compute from `(params, S)`.
+///
+/// # Example
+///
+/// ```
+/// use hl_lowerbound::GadgetParams;
+/// use hl_sumindex::{protocol::GraphProtocol, repr::Repr, SumIndexInstance};
+///
+/// # fn main() -> Result<(), hl_graph::GraphError> {
+/// let params = GadgetParams::new(2, 2)?;
+/// let m = Repr::new(params).modulus() as usize;
+/// let instance = SumIndexInstance::random(m, 1);
+/// let protocol = GraphProtocol::new(params, &instance)?;
+/// assert_eq!(protocol.run(1, 2), instance.answer(1, 2));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct GraphProtocol {
+    params: GadgetParams,
+    repr: Repr,
+    h: HGraph,
+    labels: Vec<BitLabel>,
+    graph_nodes: usize,
+}
+
+impl GraphProtocol {
+    /// Builds the shared setup: pruned gadget + deterministic labeling.
+    ///
+    /// # Errors
+    ///
+    /// Rejects instances whose length differs from `m = (s/2)^ℓ`.
+    pub fn new(params: GadgetParams, instance: &SumIndexInstance) -> Result<Self, GraphError> {
+        let repr = Repr::new(params);
+        let m = repr.modulus();
+        if instance.len() as u64 != m {
+            return Err(GraphError::InvalidParameters {
+                reason: format!("word length {} != (s/2)^l = {}", instance.len(), m),
+            });
+        }
+        let h = HGraph::build(params);
+        let pruned =
+            RemovedMiddle::build(&h, |y| instance.bit(repr.encode(y) as usize));
+        let labeling = PrunedLandmarkLabeling::by_degree(pruned.graph()).into_labeling();
+        let labels = encode_labeling(&labeling);
+        Ok(GraphProtocol {
+            params,
+            repr,
+            graph_nodes: pruned.graph().num_nodes() - pruned.num_removed(),
+            h,
+            labels,
+        })
+    }
+
+    /// The gadget parameters.
+    pub fn params(&self) -> GadgetParams {
+        self.params
+    }
+
+    /// The modulus `m`.
+    pub fn modulus(&self) -> u64 {
+        self.repr.modulus()
+    }
+
+    /// Alice's query vertex for index `a`: `v_{0,2x}` with `repr(x) = a`.
+    pub fn alice_vertex(&self, a: u64) -> hl_graph::NodeId {
+        let x = self.repr.decode(a);
+        let doubled: Vec<u64> = x.iter().map(|&d| 2 * d).collect();
+        self.h.node_id(0, &doubled)
+    }
+
+    /// Bob's query vertex for index `b`: `v_{2ℓ,2z}` with `repr(z) = b`.
+    pub fn bob_vertex(&self, b: u64) -> hl_graph::NodeId {
+        let z = self.repr.decode(b);
+        let doubled: Vec<u64> = z.iter().map(|&d| 2 * d).collect();
+        self.h.node_id(2 * self.params.ell as u64, &doubled)
+    }
+
+    /// Alice's message for input `a`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a >= m`.
+    pub fn alice_message(&self, a: u64) -> Message {
+        Message { label: self.labels[self.alice_vertex(a) as usize].clone(), index: a }
+    }
+
+    /// Bob's message for input `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b >= m`.
+    pub fn bob_message(&self, b: u64) -> Message {
+        Message { label: self.labels[self.bob_vertex(b) as usize].clone(), index: b }
+    }
+
+    /// The referee: decodes the distance from the two labels and reads the
+    /// bit via Observation 3.1. Uses only public parameters and the two
+    /// messages — never the word or the graph.
+    pub fn referee(&self, alice: &Message, bob: &Message) -> bool {
+        let x = self.repr.decode(alice.index);
+        let z = self.repr.decode(bob.index);
+        let doubled_x: Vec<u64> = x.iter().map(|&d| 2 * d).collect();
+        let doubled_z: Vec<u64> = z.iter().map(|&d| 2 * d).collect();
+        let dist = decode_distance(&alice.label, &bob.label);
+        decode_midpoint_presence(&self.params, &doubled_x, &doubled_z, dist)
+    }
+
+    /// Runs the protocol for inputs `(a, b)`.
+    pub fn run(&self, a: u64, b: u64) -> bool {
+        self.referee(&self.alice_message(a), &self.bob_message(b))
+    }
+
+    /// Cost summary over all possible inputs.
+    pub fn costs(&self) -> ProtocolCosts {
+        let m = self.modulus() as usize;
+        let mut max_bits = 0usize;
+        let mut total_bits = 0usize;
+        for a in 0..m as u64 {
+            for msg in [self.alice_message(a), self.bob_message(a)] {
+                let bits = msg.num_bits(m);
+                max_bits = max_bits.max(bits);
+                total_bits += bits;
+            }
+        }
+        ProtocolCosts {
+            m,
+            graph_nodes: self.graph_nodes,
+            max_message_bits: max_bits,
+            avg_message_bits: total_bits as f64 / (2 * m) as f64,
+            naive_bits: m + index_bits(m) as usize,
+            sqrt_m: (m as f64).sqrt(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exhaustive_check(b: u32, ell: u32, seed: u64) {
+        let params = GadgetParams::new(b, ell).unwrap();
+        let m = Repr::new(params).modulus() as usize;
+        let instance = SumIndexInstance::random(m, seed);
+        let protocol = GraphProtocol::new(params, &instance).unwrap();
+        for a in 0..m as u64 {
+            for bb in 0..m as u64 {
+                assert_eq!(
+                    protocol.run(a, bb),
+                    instance.answer(a as usize, bb as usize),
+                    "params=({b},{ell}) a={a} b={bb}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn correct_exhaustively_b2_l2() {
+        exhaustive_check(2, 2, 11);
+    }
+
+    #[test]
+    fn correct_exhaustively_b3_l2() {
+        exhaustive_check(3, 2, 12);
+    }
+
+    #[test]
+    fn correct_exhaustively_b2_l3() {
+        exhaustive_check(2, 3, 13);
+    }
+
+    #[test]
+    fn correct_on_constant_words() {
+        let params = GadgetParams::new(2, 2).unwrap();
+        for word in [vec![true; 4], vec![false; 4]] {
+            let instance = SumIndexInstance::new(word.clone());
+            let protocol = GraphProtocol::new(params, &instance).unwrap();
+            for a in 0..4u64 {
+                for b in 0..4u64 {
+                    assert_eq!(protocol.run(a, b), word[0]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_wrong_word_length() {
+        let params = GadgetParams::new(2, 2).unwrap();
+        let instance = SumIndexInstance::random(5, 0);
+        assert!(GraphProtocol::new(params, &instance).is_err());
+    }
+
+    #[test]
+    fn costs_are_reported() {
+        let params = GadgetParams::new(3, 2).unwrap();
+        let instance = SumIndexInstance::random(16, 7);
+        let protocol = GraphProtocol::new(params, &instance).unwrap();
+        let costs = protocol.costs();
+        assert_eq!(costs.m, 16);
+        assert_eq!(costs.naive_bits, 16 + 4);
+        assert!(costs.max_message_bits > 0);
+        assert!(costs.avg_message_bits <= costs.max_message_bits as f64);
+        assert!((costs.sqrt_m - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn alice_and_bob_vertices_are_distinct_levels() {
+        let params = GadgetParams::new(2, 2).unwrap();
+        let instance = SumIndexInstance::random(4, 2);
+        let protocol = GraphProtocol::new(params, &instance).unwrap();
+        for i in 0..4u64 {
+            let av = protocol.alice_vertex(i) as u64;
+            let bv = protocol.bob_vertex(i) as u64;
+            assert!(av < 16, "level 0");
+            assert!(bv >= 4 * 16, "level 2l");
+        }
+    }
+}

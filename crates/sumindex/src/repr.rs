@@ -1,0 +1,130 @@
+//! The `repr` codec of Section 3: vectors over `[0, s)^ℓ` read as
+//! `(s/2)`-ary digit strings, modulo `m = (s/2)^ℓ`.
+//!
+//! On the restricted box `[0, s/2)^ℓ` the map is a bijection onto
+//! `[0, m)`; on the full box every index has exactly `2^ℓ` preimages. The
+//! crucial protocol identity is linearity:
+//! `repr(x + z) = (repr(x) + repr(z)) mod m` for the *componentwise* sum —
+//! which is exactly how the midpoint `(2x + 2z)/2 = x + z` of the gadget
+//! picks out the bit `S_{(a+b) mod m}`.
+
+use hl_lowerbound::GadgetParams;
+
+/// The codec for a given gadget parameterization.
+#[derive(Debug, Clone, Copy)]
+pub struct Repr {
+    half_side: u64,
+    ell: u32,
+}
+
+impl Repr {
+    /// Creates the codec for `params` (`half_side = s/2 = 2^{b−1}`).
+    pub fn new(params: GadgetParams) -> Self {
+        Repr { half_side: params.side() / 2, ell: params.ell }
+    }
+
+    /// The modulus `m = (s/2)^ℓ`.
+    pub fn modulus(&self) -> u64 {
+        self.half_side.pow(self.ell)
+    }
+
+    /// `repr(x) = (Σ x_i (s/2)^i) mod m` for any vector over `[0, s)^ℓ`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimension is wrong.
+    pub fn encode(&self, x: &[u64]) -> u64 {
+        assert_eq!(x.len(), self.ell as usize, "wrong dimension");
+        let m = self.modulus();
+        let mut acc = 0u64;
+        for (i, &xi) in x.iter().enumerate() {
+            acc = (acc + xi % m * (self.half_side.pow(i as u32) % m)) % m;
+        }
+        acc
+    }
+
+    /// The unique preimage of `index` inside the restricted box
+    /// `[0, s/2)^ℓ`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= m`.
+    pub fn decode(&self, index: u64) -> Vec<u64> {
+        assert!(index < self.modulus(), "index out of range");
+        let mut digits = Vec::with_capacity(self.ell as usize);
+        let mut rest = index;
+        for _ in 0..self.ell {
+            digits.push(rest % self.half_side);
+            rest /= self.half_side;
+        }
+        digits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn codec22() -> Repr {
+        Repr::new(GadgetParams::new(2, 2).unwrap())
+    }
+
+    #[test]
+    fn modulus_formula() {
+        assert_eq!(codec22().modulus(), 4); // (4/2)^2
+        let c = Repr::new(GadgetParams::new(3, 2).unwrap());
+        assert_eq!(c.modulus(), 16); // 4^2
+    }
+
+    #[test]
+    fn bijection_on_restricted_box() {
+        let c = Repr::new(GadgetParams::new(3, 3).unwrap());
+        let m = c.modulus();
+        let mut seen = std::collections::HashSet::new();
+        for idx in 0..m {
+            let x = c.decode(idx);
+            assert!(x.iter().all(|&d| d < 4), "restricted box digits");
+            assert_eq!(c.encode(&x), idx, "roundtrip");
+            assert!(seen.insert(x));
+        }
+        assert_eq!(seen.len() as u64, m);
+    }
+
+    #[test]
+    fn full_box_has_two_pow_ell_preimages() {
+        let c = codec22();
+        let mut counts = vec![0usize; c.modulus() as usize];
+        for x0 in 0..4u64 {
+            for x1 in 0..4u64 {
+                counts[c.encode(&[x0, x1]) as usize] += 1;
+            }
+        }
+        assert!(counts.iter().all(|&k| k == 4), "2^ℓ = 4 preimages each: {counts:?}");
+    }
+
+    #[test]
+    fn linearity_under_componentwise_sum() {
+        let c = Repr::new(GadgetParams::new(3, 2).unwrap());
+        let m = c.modulus();
+        for a in 0..m {
+            for b in 0..m {
+                let x = c.decode(a);
+                let z = c.decode(b);
+                let sum: Vec<u64> = x.iter().zip(&z).map(|(&p, &q)| p + q).collect();
+                assert_eq!(c.encode(&sum), (a + b) % m, "a={a} b={b}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn decode_rejects_large_index() {
+        codec22().decode(4);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension")]
+    fn encode_rejects_wrong_dimension() {
+        codec22().encode(&[1]);
+    }
+}

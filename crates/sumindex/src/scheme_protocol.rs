@@ -1,0 +1,144 @@
+//! The Theorem 1.6 protocol generalized over *any* distance labeling
+//! scheme — the theorem's statement is scheme-agnostic ("distance labeling
+//! in graphs ... requires at least ... bits per vertex"), so the protocol
+//! should be too. Used as an ablation: hub-label messages vs full-vector
+//! messages on the same instance.
+
+use hl_graph::GraphError;
+use hl_labeling::scheme::{BitLabel, DistanceLabelingScheme, SchemeStats};
+use hl_lowerbound::removal::{decode_midpoint_presence, RemovedMiddle};
+use hl_lowerbound::{GadgetParams, HGraph};
+
+use crate::problem::SumIndexInstance;
+use crate::repr::Repr;
+
+/// Protocol setup parameterized by a labeling scheme.
+pub struct SchemeProtocol<'a, S: DistanceLabelingScheme + ?Sized> {
+    params: GadgetParams,
+    repr: Repr,
+    h: HGraph,
+    labels: Vec<BitLabel>,
+    scheme: &'a S,
+}
+
+impl<'a, S: DistanceLabelingScheme + ?Sized> SchemeProtocol<'a, S> {
+    /// Builds the shared setup with the given scheme.
+    ///
+    /// # Errors
+    ///
+    /// Rejects word-length mismatches and propagates scheme encode errors.
+    pub fn new(
+        params: GadgetParams,
+        instance: &SumIndexInstance,
+        scheme: &'a S,
+    ) -> Result<Self, GraphError> {
+        let repr = Repr::new(params);
+        if instance.len() as u64 != repr.modulus() {
+            return Err(GraphError::InvalidParameters {
+                reason: format!(
+                    "word length {} != (s/2)^l = {}",
+                    instance.len(),
+                    repr.modulus()
+                ),
+            });
+        }
+        let h = HGraph::build(params);
+        let pruned = RemovedMiddle::build(&h, |y| instance.bit(repr.encode(y) as usize));
+        let labels = scheme.encode(pruned.graph())?;
+        Ok(SchemeProtocol { params, repr, h, labels, scheme })
+    }
+
+    /// Runs the protocol for `(a, b)` and also returns the two message
+    /// sizes in bits (label + index).
+    pub fn run(&self, a: u64, b: u64) -> (bool, usize, usize) {
+        let x = self.repr.decode(a);
+        let z = self.repr.decode(b);
+        let dx: Vec<u64> = x.iter().map(|&d| 2 * d).collect();
+        let dz: Vec<u64> = z.iter().map(|&d| 2 * d).collect();
+        let u = self.h.node_id(0, &dx);
+        let v = self.h.node_id(2 * self.params.ell as u64, &dz);
+        let label_u = &self.labels[u as usize];
+        let label_v = &self.labels[v as usize];
+        let dist = self.scheme.decode(label_u, label_v);
+        let idx_bits = crate::naive::index_bits(self.repr.modulus() as usize);
+        (
+            decode_midpoint_presence(&self.params, &dx, &dz, dist),
+            label_u.num_bits() + idx_bits as usize,
+            label_v.num_bits() + idx_bits as usize,
+        )
+    }
+
+    /// Size statistics over all labels (the protocol's message-cost shape).
+    pub fn label_stats(&self) -> SchemeStats {
+        SchemeStats::of(&self.labels)
+    }
+
+    /// The scheme's name, for tables.
+    pub fn scheme_name(&self) -> &'static str {
+        self.scheme.name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hl_labeling::full_vector::FullVectorScheme;
+    use hl_labeling::hub_scheme::HubPllScheme;
+
+    fn check_scheme<S: DistanceLabelingScheme>(scheme: &S) {
+        let params = GadgetParams::new(2, 2).unwrap();
+        let m = Repr::new(params).modulus() as usize;
+        let instance = SumIndexInstance::random(m, 5);
+        let protocol = SchemeProtocol::new(params, &instance, scheme).unwrap();
+        for a in 0..m as u64 {
+            for b in 0..m as u64 {
+                let (answer, bits_a, bits_b) = protocol.run(a, b);
+                assert_eq!(answer, instance.answer(a as usize, b as usize));
+                assert!(bits_a > 0 && bits_b > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn correct_with_hub_scheme() {
+        check_scheme(&HubPllScheme);
+    }
+
+    #[test]
+    fn correct_with_full_vector_scheme() {
+        check_scheme(&FullVectorScheme);
+    }
+
+    #[test]
+    fn matches_specialized_protocol() {
+        let params = GadgetParams::new(3, 2).unwrap();
+        let m = Repr::new(params).modulus() as usize;
+        let instance = SumIndexInstance::random(m, 9);
+        let generic = SchemeProtocol::new(params, &instance, &HubPllScheme).unwrap();
+        let specialized = crate::protocol::GraphProtocol::new(params, &instance).unwrap();
+        for a in 0..m as u64 {
+            for b in 0..m as u64 {
+                assert_eq!(generic.run(a, b).0, specialized.run(a, b));
+            }
+        }
+    }
+
+    #[test]
+    fn hub_labels_smaller_than_full_vectors_here() {
+        let params = GadgetParams::new(3, 2).unwrap();
+        let m = Repr::new(params).modulus() as usize;
+        let instance = SumIndexInstance::random(m, 1);
+        let hub = SchemeProtocol::new(params, &instance, &HubPllScheme).unwrap();
+        let full = SchemeProtocol::new(params, &instance, &FullVectorScheme).unwrap();
+        assert!(hub.label_stats().average_bits < full.label_stats().average_bits);
+        assert_eq!(hub.scheme_name(), "hub-pll");
+        assert_eq!(full.scheme_name(), "full-vector");
+    }
+
+    #[test]
+    fn rejects_wrong_length() {
+        let params = GadgetParams::new(2, 2).unwrap();
+        let instance = SumIndexInstance::random(7, 0);
+        assert!(SchemeProtocol::new(params, &instance, &HubPllScheme).is_err());
+    }
+}

@@ -1,0 +1,105 @@
+//! A road-network-style scenario: a weighted grid ("city blocks" with
+//! varying travel times), several hub labeling constructions, and a
+//! point-to-point query latency comparison against plain Dijkstra — the
+//! practical setting the paper's introduction motivates (§1.1,
+//! "hub labeling in practice").
+//!
+//! Run with: `cargo run --release --example road_network`
+
+use std::time::Instant;
+
+use hub_labeling::core::cover::verify_from_sources;
+use hub_labeling::core::pll::PrunedLandmarkLabeling;
+use hub_labeling::core::LabelingStats;
+use hub_labeling::graph::dijkstra::{bidirectional_distance, dijkstra_distance_between};
+use hub_labeling::graph::{generators, NodeId};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A 50x50 weighted grid: 2500 intersections, ~4900 road segments.
+    let g = generators::weighted_grid(50, 50, 7);
+    println!(
+        "road network: n = {}, m = {}, total length = {}",
+        g.num_nodes(),
+        g.num_edges(),
+        g.total_weight()
+    );
+
+    // Build labelings with two orders; betweenness emulates the
+    // "important junction first" heuristics of practical systems.
+    let t0 = Instant::now();
+    let by_degree = PrunedLandmarkLabeling::by_degree(&g).into_labeling();
+    let t_deg = t0.elapsed();
+    let t0 = Instant::now();
+    let by_btw = PrunedLandmarkLabeling::by_betweenness(&g, 24, 3).into_labeling();
+    let t_btw = t0.elapsed();
+    println!("PLL degree order:      {} (built in {t_deg:.2?})", LabelingStats::of(&by_degree));
+    println!("PLL betweenness order: {} (built in {t_btw:.2?})", LabelingStats::of(&by_btw));
+
+    // Spot-verify exactness from a handful of sources.
+    let sources: Vec<NodeId> = vec![0, 1111, 2345, 2499];
+    let report = verify_from_sources(&g, &by_btw, &sources);
+    println!(
+        "verification from {} sources: exact = {}",
+        sources.len(),
+        report.is_exact()
+    );
+    assert!(report.is_exact());
+
+    // Latency: hub-label queries vs Dijkstra vs bidirectional Dijkstra.
+    let queries: Vec<(NodeId, NodeId)> = (0..2_000u64)
+        .map(|i| (((i * 997) % 2500) as NodeId, ((i * 31) % 2500) as NodeId))
+        .collect();
+    let t0 = Instant::now();
+    let mut acc = 0u64;
+    for &(u, v) in &queries {
+        acc = acc.wrapping_add(by_btw.query(u, v));
+    }
+    let t_labels = t0.elapsed();
+    let t0 = Instant::now();
+    let mut acc2 = 0u64;
+    for &(u, v) in queries.iter().take(50) {
+        acc2 = acc2.wrapping_add(dijkstra_distance_between(&g, u, v));
+    }
+    let t_dij = t0.elapsed() * (queries.len() as u32 / 50);
+    let t0 = Instant::now();
+    let mut acc3 = 0u64;
+    for &(u, v) in queries.iter().take(50) {
+        acc3 = acc3.wrapping_add(bidirectional_distance(&g, u, v));
+    }
+    let t_bid = t0.elapsed() * (queries.len() as u32 / 50);
+    std::hint::black_box((acc, acc2, acc3));
+    println!(
+        "2000 queries: hub labels {t_labels:.2?} | Dijkstra ~{t_dij:.2?} | bidirectional ~{t_bid:.2?}"
+    );
+    println!(
+        "speedup over Dijkstra: ~{:.0}x",
+        t_dij.as_secs_f64() / t_labels.as_secs_f64()
+    );
+
+    // The practical competitors the paper mentions: ALT and Contraction
+    // Hierarchies, cross-checked against the labels on sampled queries.
+    use hub_labeling::oracles::oracle::{cross_check, DistanceOracle, HubLabelOracle};
+    use hub_labeling::oracles::{AltOracle, ContractionHierarchy};
+    let t0 = Instant::now();
+    let alt = AltOracle::with_farthest_landmarks(&g, 8);
+    let t_alt_build = t0.elapsed();
+    let t0 = Instant::now();
+    let ch = ContractionHierarchy::build(&g);
+    let t_ch_build = t0.elapsed();
+    println!(
+        "ALT built in {t_alt_build:.2?} ({} landmarks) | CH built in {t_ch_build:.2?} ({} shortcuts)",
+        alt.landmarks().len(),
+        ch.num_shortcuts()
+    );
+    let hub_oracle = HubLabelOracle { labeling: by_btw };
+    let sample: Vec<_> = queries.iter().copied().take(200).collect();
+    let oracles: [&dyn DistanceOracle; 3] = [&hub_oracle, &alt, &ch];
+    match cross_check(&oracles, &sample) {
+        None => println!("cross-check: hub labels, ALT and CH agree on all sampled queries"),
+        Some((name, u, v, got, want)) => {
+            println!("cross-check FAILED: {name} said d({u},{v}) = {got}, expected {want}");
+            std::process::exit(1);
+        }
+    }
+    Ok(())
+}
