@@ -1,58 +1,54 @@
 //! Ablations over design choices DESIGN.md calls out: PLL vertex order,
 //! canonical HHL vs minimal (PLL), and post-hoc label minimization.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-
+use hl_bench::timing::bench;
 use hl_bench::{family_graph, Family};
 use hl_core::hierarchical::canonical_hhl_by_degree;
 use hl_core::minimize::minimize_labeling;
 use hl_core::order;
 use hl_core::pll::PrunedLandmarkLabeling;
 
-fn bench_ablation(c: &mut Criterion) {
-    let mut orders = c.benchmark_group("pll-order-ablation");
-    orders.sample_size(10);
+fn main() {
     let g = family_graph(Family::Grid, 196, 3);
-    orders.bench_function("degree", |b| {
-        b.iter(|| PrunedLandmarkLabeling::by_degree(&g).into_labeling().total_hubs())
+    bench("pll-order-ablation", "degree", || {
+        PrunedLandmarkLabeling::by_degree(&g)
+            .into_labeling()
+            .total_hubs()
     });
-    orders.bench_function("random", |b| {
-        b.iter(|| PrunedLandmarkLabeling::by_random_order(&g, 1).into_labeling().total_hubs())
+    bench("pll-order-ablation", "random", || {
+        PrunedLandmarkLabeling::by_random_order(&g, 1)
+            .into_labeling()
+            .total_hubs()
     });
-    orders.bench_function("betweenness", |b| {
-        b.iter(|| PrunedLandmarkLabeling::by_betweenness(&g, 16, 1).into_labeling().total_hubs())
+    bench("pll-order-ablation", "betweenness", || {
+        PrunedLandmarkLabeling::by_betweenness(&g, 16, 1)
+            .into_labeling()
+            .total_hubs()
     });
-    orders.bench_function("closeness", |b| {
-        b.iter(|| {
-            PrunedLandmarkLabeling::with_order(&g, order::by_closeness(&g))
-                .into_labeling()
-                .total_hubs()
-        })
+    bench("pll-order-ablation", "closeness", || {
+        PrunedLandmarkLabeling::with_order(&g, order::by_closeness(&g))
+            .into_labeling()
+            .total_hubs()
     });
-    orders.finish();
 
-    let mut hhl = c.benchmark_group("hhl-vs-pll");
-    hhl.sample_size(10);
     for n in [40usize, 80] {
         let g = hl_graph::generators::connected_gnm(n, n / 2, 9);
-        hhl.bench_with_input(BenchmarkId::new("canonical-hhl", n), &g, |b, g| {
-            b.iter(|| canonical_hhl_by_degree(g).expect("hhl").total_hubs())
+        bench("hhl-vs-pll", &format!("canonical-hhl/{n}"), || {
+            canonical_hhl_by_degree(&g).expect("hhl").total_hubs()
         });
-        hhl.bench_with_input(BenchmarkId::new("pll", n), &g, |b, g| {
-            b.iter(|| PrunedLandmarkLabeling::by_degree(g).into_labeling().total_hubs())
+        bench("hhl-vs-pll", &format!("pll/{n}"), || {
+            PrunedLandmarkLabeling::by_degree(&g)
+                .into_labeling()
+                .total_hubs()
         });
     }
-    hhl.finish();
 
-    let mut min = c.benchmark_group("minimize");
-    min.sample_size(10);
     let g = family_graph(Family::SparseRandom, 60, 4);
     let labeling = PrunedLandmarkLabeling::by_random_order(&g, 2).into_labeling();
-    min.bench_function("greedy-prune", |b| {
-        b.iter(|| minimize_labeling(&g, &labeling).expect("minimize").1.removed)
+    bench("minimize", "greedy-prune", || {
+        minimize_labeling(&g, &labeling)
+            .expect("minimize")
+            .1
+            .removed
     });
-    min.finish();
 }
-
-criterion_group!(benches, bench_ablation);
-criterion_main!(benches);

@@ -1,43 +1,41 @@
 //! Construction-time comparison of the four hub labeling algorithms on
 //! sparse random graphs.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-
+use hl_bench::timing::bench;
 use hl_core::greedy::greedy_cover;
-use hl_core::psl::psl_labeling;
 use hl_core::pll::PrunedLandmarkLabeling;
+use hl_core::psl::psl_labeling;
 use hl_core::random_threshold::{random_threshold_labeling, RandomThresholdParams};
 use hl_core::rs_based::{rs_labeling, RsParams};
 use hl_graph::generators;
 
-fn bench_construction(c: &mut Criterion) {
-    let mut group = c.benchmark_group("construction");
-    group.sample_size(10);
+fn main() {
     for n in [50usize, 100, 200] {
         let g = generators::connected_gnm(n, n / 2, 5);
-        group.bench_with_input(BenchmarkId::new("pll-degree", n), &g, |b, g| {
-            b.iter(|| PrunedLandmarkLabeling::by_degree(g).into_labeling())
+        bench("construction", &format!("pll-degree/{n}"), || {
+            PrunedLandmarkLabeling::by_degree(&g).into_labeling()
         });
-        group.bench_with_input(BenchmarkId::new("greedy", n), &g, |b, g| {
-            b.iter(|| greedy_cover(g).expect("greedy"))
+        bench("construction", &format!("greedy/{n}"), || {
+            greedy_cover(&g).expect("greedy")
         });
-        group.bench_with_input(BenchmarkId::new("rand-thresh", n), &g, |b, g| {
-            b.iter(|| {
-                random_threshold_labeling(g, RandomThresholdParams::for_size(g.num_nodes(), 1))
-                    .expect("random threshold")
-            })
+        bench("construction", &format!("rand-thresh/{n}"), || {
+            random_threshold_labeling(&g, RandomThresholdParams::for_size(g.num_nodes(), 1))
+                .expect("random threshold")
         });
-        group.bench_with_input(BenchmarkId::new("rs-based", n), &g, |b, g| {
-            b.iter(|| rs_labeling(g, RsParams { threshold: 3, seed: 1 }).expect("rs"))
+        bench("construction", &format!("rs-based/{n}"), || {
+            rs_labeling(
+                &g,
+                RsParams {
+                    threshold: 3,
+                    seed: 1,
+                },
+            )
+            .expect("rs")
         });
-        group.bench_with_input(BenchmarkId::new("psl-4-threads", n), &g, |b, g| {
-            b.iter(|| {
-                psl_labeling(g, hl_core::order::by_degree(g), 4).expect("psl").total_hubs()
-            })
+        bench("construction", &format!("psl-4-threads/{n}"), || {
+            psl_labeling(&g, hl_core::order::by_degree(&g), 4)
+                .expect("psl")
+                .total_hubs()
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_construction);
-criterion_main!(benches);

@@ -1,52 +1,32 @@
 //! T2.1 / T1.1 / L2.2 — gadget construction, Lemma 2.2 verification and
 //! the PLL hub-size measurement on the lower-bound family.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-
+use hl_bench::timing::bench;
 use hl_core::pll::PrunedLandmarkLabeling;
 use hl_lowerbound::midpoint::check_all_pairs;
-use hl_lowerbound::{GadgetParams, GGraph, HGraph};
+use hl_lowerbound::{GGraph, GadgetParams, HGraph};
 
-fn bench_lowerbound(c: &mut Criterion) {
-    let mut build = c.benchmark_group("gadget-build");
+fn main() {
     for (b, ell) in [(2u32, 2u32), (3, 2), (2, 3)] {
         let p = GadgetParams::new(b, ell).expect("params");
-        build.bench_with_input(BenchmarkId::new("H", format!("{b}-{ell}")), &p, |bch, &p| {
-            bch.iter(|| HGraph::build(p))
-        });
+        bench("gadget-build", &format!("H/{b}-{ell}"), || HGraph::build(p));
     }
     for (b, ell) in [(1u32, 1u32), (2, 1), (1, 2)] {
         let p = GadgetParams::new(b, ell).expect("params");
-        build.bench_with_input(BenchmarkId::new("G", format!("{b}-{ell}")), &p, |bch, &p| {
-            bch.iter(|| GGraph::build(p))
-        });
+        bench("gadget-build", &format!("G/{b}-{ell}"), || GGraph::build(p));
     }
-    build.finish();
 
-    let mut verify = c.benchmark_group("lemma22-verify");
-    verify.sample_size(10);
     for (b, ell) in [(2u32, 2u32), (3, 2)] {
         let h = HGraph::build(GadgetParams::new(b, ell).expect("params"));
-        verify.bench_with_input(
-            BenchmarkId::from_parameter(format!("{b}-{ell}")),
-            &h,
-            |bch, h| bch.iter(|| check_all_pairs(h).len()),
-        );
+        bench("lemma22-verify", &format!("{b}-{ell}"), || {
+            check_all_pairs(&h).len()
+        });
     }
-    verify.finish();
 
-    let mut label = c.benchmark_group("gadget-pll");
-    label.sample_size(10);
     for (b, ell) in [(2u32, 2u32), (3, 2), (2, 3)] {
         let h = HGraph::build(GadgetParams::new(b, ell).expect("params"));
-        label.bench_with_input(
-            BenchmarkId::from_parameter(format!("{b}-{ell}")),
-            &h,
-            |bch, h| bch.iter(|| PrunedLandmarkLabeling::by_degree(h.graph()).into_labeling()),
-        );
+        bench("gadget-pll", &format!("{b}-{ell}"), || {
+            PrunedLandmarkLabeling::by_degree(h.graph()).into_labeling()
+        });
     }
-    label.finish();
 }
-
-criterion_group!(benches, bench_lowerbound);
-criterion_main!(benches);

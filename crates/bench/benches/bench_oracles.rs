@@ -2,27 +2,27 @@
 //! Contraction Hierarchies / hub labels on the same weighted instance —
 //! the `ST = Õ(n²)` tradeoff discussion of the paper's introduction.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-
+use hl_bench::timing::bench;
 use hl_core::pll::PrunedLandmarkLabeling;
 use hl_graph::{generators, NodeId};
 use hl_oracles::oracle::{BidirectionalOracle, DijkstraOracle, DistanceOracle, HubLabelOracle};
 use hl_oracles::{AltOracle, ContractionHierarchy};
 
-fn bench_oracles(c: &mut Criterion) {
+fn main() {
     let g = generators::weighted_grid(20, 20, 13);
     let n = g.num_nodes() as u64;
-    let queries: Vec<(NodeId, NodeId)> =
-        (0..64u64).map(|i| (((i * 97) % n) as NodeId, ((i * 263) % n) as NodeId)).collect();
+    let queries: Vec<(NodeId, NodeId)> = (0..64u64)
+        .map(|i| (((i * 97) % n) as NodeId, ((i * 263) % n) as NodeId))
+        .collect();
 
     let dij = DijkstraOracle { graph: &g };
     let bi = BidirectionalOracle { graph: &g };
     let alt = AltOracle::with_farthest_landmarks(&g, 8);
     let ch = ContractionHierarchy::build(&g);
-    let hub = HubLabelOracle { labeling: PrunedLandmarkLabeling::by_betweenness(&g, 24, 1).into_labeling() };
+    let hub = HubLabelOracle {
+        labeling: PrunedLandmarkLabeling::by_betweenness(&g, 24, 1).into_labeling(),
+    };
 
-    let mut group = c.benchmark_group("oracle-query");
-    group.sample_size(20);
     let run = |oracle: &dyn DistanceOracle| {
         let mut acc = 0u64;
         for &(u, v) in &queries {
@@ -30,24 +30,21 @@ fn bench_oracles(c: &mut Criterion) {
         }
         acc
     };
-    group.bench_function("dijkstra", |b| b.iter(|| run(&dij)));
-    group.bench_function("bidirectional", |b| b.iter(|| run(&bi)));
-    group.bench_function("alt-8", |b| b.iter(|| run(&alt)));
-    group.bench_function("contraction-hierarchy", |b| b.iter(|| run(&ch)));
-    group.bench_function("hub-labels", |b| b.iter(|| run(&hub)));
-    group.finish();
+    bench("oracle-query", "dijkstra", || run(&dij));
+    bench("oracle-query", "bidirectional", || run(&bi));
+    bench("oracle-query", "alt-8", || run(&alt));
+    bench("oracle-query", "contraction-hierarchy", || run(&ch));
+    bench("oracle-query", "hub-labels", || run(&hub));
 
-    let mut build = c.benchmark_group("oracle-build");
-    build.sample_size(10);
-    build.bench_function("ch-build", |b| b.iter(|| ContractionHierarchy::build(&g)));
-    build.bench_function("alt-build", |b| {
-        b.iter(|| AltOracle::with_farthest_landmarks(&g, 8).landmarks().len())
+    bench("oracle-build", "ch-build", || {
+        ContractionHierarchy::build(&g)
     });
-    build.bench_function("pll-build", |b| {
-        b.iter(|| PrunedLandmarkLabeling::by_betweenness(&g, 24, 1).into_labeling().total_hubs())
+    bench("oracle-build", "alt-build", || {
+        AltOracle::with_farthest_landmarks(&g, 8).landmarks().len()
     });
-    build.finish();
+    bench("oracle-build", "pll-build", || {
+        PrunedLandmarkLabeling::by_betweenness(&g, 24, 1)
+            .into_labeling()
+            .total_hubs()
+    });
 }
-
-criterion_group!(benches, bench_oracles);
-criterion_main!(benches);

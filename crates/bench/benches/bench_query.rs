@@ -2,15 +2,13 @@
 //! constructions (the tradeoff discussion of §1.1 / the distance-oracle
 //! motivation in the introduction).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-
+use hl_bench::timing::bench;
 use hl_bench::{family_graph, Family};
 use hl_core::pll::PrunedLandmarkLabeling;
 use hl_core::random_threshold::{random_threshold_labeling, RandomThresholdParams};
 use hl_graph::NodeId;
 
-fn bench_query(c: &mut Criterion) {
-    let mut group = c.benchmark_group("query");
+fn main() {
     for family in [Family::RandomTree, Family::Grid, Family::Degree3Expander] {
         let g = family_graph(family, 400, 11);
         let n = g.num_nodes() as u64;
@@ -21,31 +19,19 @@ fn bench_query(c: &mut Criterion) {
         let queries: Vec<(NodeId, NodeId)> = (0..1024u64)
             .map(|i| (((i * 37) % n) as NodeId, ((i * 613) % n) as NodeId))
             .collect();
-        group.bench_with_input(BenchmarkId::new("pll", family.name()), &queries, |b, qs| {
-            b.iter(|| {
-                let mut acc = 0u64;
-                for &(u, v) in qs {
-                    acc = acc.wrapping_add(pll.query(u, v));
-                }
-                acc
-            })
+        bench("query", &format!("pll/{}", family.name()), || {
+            let mut acc = 0u64;
+            for &(u, v) in &queries {
+                acc = acc.wrapping_add(pll.query(u, v));
+            }
+            acc
         });
-        group.bench_with_input(
-            BenchmarkId::new("rand-thresh", family.name()),
-            &queries,
-            |b, qs| {
-                b.iter(|| {
-                    let mut acc = 0u64;
-                    for &(u, v) in qs {
-                        acc = acc.wrapping_add(rt.query(u, v));
-                    }
-                    acc
-                })
-            },
-        );
+        bench("query", &format!("rand-thresh/{}", family.name()), || {
+            let mut acc = 0u64;
+            for &(u, v) in &queries {
+                acc = acc.wrapping_add(rt.query(u, v));
+            }
+            acc
+        });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_query);
-criterion_main!(benches);

@@ -1,37 +1,27 @@
 //! RS — Behrend / greedy progression-free set construction and
 //! Ruzsa–Szemerédi graph building + induced-matching verification.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-
+use hl_bench::timing::bench;
 use hl_rs::induced::is_induced_matching_partition;
 use hl_rs::{behrend_set, greedy_ap_free_set, RsGraph};
 
-fn bench_rs(c: &mut Criterion) {
-    let mut sets = c.benchmark_group("ap-free-sets");
-    sets.sample_size(10);
+fn main() {
     for n in [1_000u64, 10_000] {
-        sets.bench_with_input(BenchmarkId::new("behrend", n), &n, |b, &n| {
-            b.iter(|| behrend_set(n).len())
+        bench("ap-free-sets", &format!("behrend/{n}"), || {
+            behrend_set(n).len()
         });
-        sets.bench_with_input(BenchmarkId::new("greedy", n), &n, |b, &n| {
-            b.iter(|| greedy_ap_free_set(n).len())
+        bench("ap-free-sets", &format!("greedy/{n}"), || {
+            greedy_ap_free_set(n).len()
         });
     }
-    sets.finish();
 
-    let mut graphs = c.benchmark_group("rs-graphs");
-    graphs.sample_size(10);
     for target in [200usize, 1_000] {
-        graphs.bench_with_input(BenchmarkId::new("build", target), &target, |b, &t| {
-            b.iter(|| RsGraph::behrend(t).graph().num_edges())
+        bench("rs-graphs", &format!("build/{target}"), || {
+            RsGraph::behrend(target).graph().num_edges()
         });
     }
     let rs = RsGraph::behrend(400);
-    graphs.bench_function("verify-induced-partition", |b| {
-        b.iter(|| is_induced_matching_partition(rs.graph(), rs.matchings()))
+    bench("rs-graphs", "verify-induced-partition", || {
+        is_induced_matching_partition(rs.graph(), rs.matchings())
     });
-    graphs.finish();
 }
-
-criterion_group!(benches, bench_rs);
-criterion_main!(benches);

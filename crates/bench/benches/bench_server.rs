@@ -1,0 +1,55 @@
+//! Serving layer: store encode/parse cost, store-vs-decoded query cost,
+//! and engine batch throughput at 1 vs 4 workers.
+
+use hl_bench::timing::{bench, black_box};
+use hl_core::pll::PrunedLandmarkLabeling;
+use hl_graph::rng::Xorshift64;
+use hl_graph::{generators, NodeId};
+use hl_server::{LabelStore, QueryEngine};
+
+fn main() {
+    let g = generators::connected_gnm(2_000, 3_000, 9);
+    let n = g.num_nodes();
+    let hl = PrunedLandmarkLabeling::by_degree(&g).into_labeling();
+
+    let store = LabelStore::from_labeling(&hl);
+    bench("server-store", "encode", || {
+        LabelStore::from_labeling(&hl).blob_len()
+    });
+    let mut serialized = Vec::new();
+    store.write_to(&mut serialized).expect("serialize");
+    bench("server-store", "parse-validate", || {
+        LabelStore::parse(&serialized).expect("parse").num_nodes()
+    });
+    bench("server-store", "decode-all", || {
+        store.to_labeling().expect("decode").num_nodes()
+    });
+
+    let mut rng = Xorshift64::seed_from_u64(3);
+    let pairs: Vec<(NodeId, NodeId)> = (0..4_096)
+        .map(|_| (rng.gen_index(n) as NodeId, rng.gen_index(n) as NodeId))
+        .collect();
+
+    // Per-query cost: decoded in-memory join vs decode-on-the-fly from store.
+    bench("server-query", "decoded-labeling", || {
+        let mut acc = 0u64;
+        for &(u, v) in pairs.iter().take(256) {
+            acc = acc.wrapping_add(hl.query(u, v));
+        }
+        acc
+    });
+    bench("server-query", "store-lazy-decode", || {
+        let mut acc = 0u64;
+        for &(u, v) in pairs.iter().take(256) {
+            acc = acc.wrapping_add(store.query(u, v).expect("query"));
+        }
+        acc
+    });
+
+    for workers in [1usize, 4] {
+        let engine = QueryEngine::new(hl.clone(), workers);
+        bench("server-batch", &format!("{workers}-workers"), || {
+            black_box(engine.query_batch(&pairs).expect("batch").len())
+        });
+    }
+}

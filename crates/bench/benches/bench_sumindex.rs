@@ -1,58 +1,41 @@
 //! T1.6 — Sum-Index protocol: shared-setup construction cost and
 //! per-query (message + referee) cost, versus the naive protocol.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-
+use hl_bench::timing::bench;
 use hl_lowerbound::GadgetParams;
 use hl_sumindex::naive;
 use hl_sumindex::protocol::GraphProtocol;
 use hl_sumindex::repr::Repr;
 use hl_sumindex::SumIndexInstance;
 
-fn bench_sumindex(c: &mut Criterion) {
-    let mut setup = c.benchmark_group("sumindex-setup");
-    setup.sample_size(10);
+fn main() {
     for (b, ell) in [(2u32, 2u32), (3, 2), (2, 3)] {
         let params = GadgetParams::new(b, ell).expect("params");
         let m = Repr::new(params).modulus() as usize;
         let instance = SumIndexInstance::random(m, 5);
-        setup.bench_with_input(
-            BenchmarkId::from_parameter(format!("{b}-{ell}")),
-            &(params, instance),
-            |bch, (params, instance)| {
-                bch.iter(|| GraphProtocol::new(*params, instance).expect("protocol"))
-            },
-        );
+        bench("sumindex-setup", &format!("{b}-{ell}"), || {
+            GraphProtocol::new(params, &instance).expect("protocol")
+        });
     }
-    setup.finish();
 
-    let mut query = c.benchmark_group("sumindex-query");
     let params = GadgetParams::new(3, 2).expect("params");
     let m = Repr::new(params).modulus() as usize;
     let instance = SumIndexInstance::random(m, 5);
     let protocol = GraphProtocol::new(params, &instance).expect("protocol");
-    query.bench_function("graph-protocol", |b| {
-        b.iter(|| {
-            let mut acc = 0u32;
-            for a in 0..m as u64 {
-                acc += protocol.run(a, (a * 7 + 3) % m as u64) as u32;
-            }
-            acc
-        })
+    bench("sumindex-query", "graph-protocol", || {
+        let mut acc = 0u32;
+        for a in 0..m as u64 {
+            acc += protocol.run(a, (a * 7 + 3) % m as u64) as u32;
+        }
+        acc
     });
-    query.bench_function("naive-protocol", |b| {
-        b.iter(|| {
-            let mut acc = 0u32;
-            for a in 0..m {
-                let ma = naive::alice_message(&instance, a);
-                let mb = naive::bob_message(&instance, (a * 7 + 3) % m);
-                acc += naive::referee(m, &ma, &mb) as u32;
-            }
-            acc
-        })
+    bench("sumindex-query", "naive-protocol", || {
+        let mut acc = 0u32;
+        for a in 0..m {
+            let ma = naive::alice_message(&instance, a);
+            let mb = naive::bob_message(&instance, (a * 7 + 3) % m);
+            acc += naive::referee(m, &ma, &mb) as u32;
+        }
+        acc
     });
-    query.finish();
 }
-
-criterion_group!(benches, bench_sumindex);
-criterion_main!(benches);

@@ -1,37 +1,38 @@
 //! T4.1 / T1.4 — the RS-based construction over the threshold `D` and the
 //! degree-reduction pipeline.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-
+use hl_bench::timing::bench;
 use hl_bench::{family_graph, Family};
 use hl_core::rs_based::{project_labeling, rs_labeling, RsParams};
 use hl_graph::generators;
 use hl_graph::transform::reduce_degree;
 
-fn bench_upperbound(c: &mut Criterion) {
-    let mut group = c.benchmark_group("rs-threshold-sweep");
-    group.sample_size(10);
+fn main() {
     let g = family_graph(Family::Degree3Expander, 150, 7);
     for d in [2u64, 3, 4, 6] {
-        group.bench_with_input(BenchmarkId::from_parameter(d), &d, |b, &d| {
-            b.iter(|| rs_labeling(&g, RsParams { threshold: d, seed: 1 }).expect("rs"))
+        bench("rs-threshold-sweep", &format!("{d}"), || {
+            rs_labeling(
+                &g,
+                RsParams {
+                    threshold: d,
+                    seed: 1,
+                },
+            )
+            .expect("rs")
         });
     }
-    group.finish();
 
-    let mut pipeline = c.benchmark_group("theorem14-pipeline");
-    pipeline.sample_size(10);
     let skew = generators::skewed_sparse(150, 80, 3);
-    pipeline.bench_function("reduce-label-project", |b| {
-        b.iter(|| {
-            let red = reduce_degree(&skew, 4).expect("reduce");
-            let (hl, _) =
-                rs_labeling(&red.graph, RsParams { threshold: 3, seed: 1 }).expect("rs");
-            project_labeling(&hl, &red.representative, &red.origin)
-        })
+    bench("theorem14-pipeline", "reduce-label-project", || {
+        let red = reduce_degree(&skew, 4).expect("reduce");
+        let (hl, _) = rs_labeling(
+            &red.graph,
+            RsParams {
+                threshold: 3,
+                seed: 1,
+            },
+        )
+        .expect("rs");
+        project_labeling(&hl, &red.representative, &red.origin)
     });
-    pipeline.finish();
 }
-
-criterion_group!(benches, bench_upperbound);
-criterion_main!(benches);

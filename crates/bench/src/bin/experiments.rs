@@ -21,7 +21,7 @@ use hl_labeling::hub_scheme::encode_labeling;
 use hl_labeling::SchemeStats;
 use hl_lowerbound::accounting::{audit_g, audit_h};
 use hl_lowerbound::midpoint::{check_all_pairs, figure1_check};
-use hl_lowerbound::{GadgetParams, GGraph, HGraph};
+use hl_lowerbound::{GGraph, GadgetParams, HGraph};
 use hl_sumindex::protocol::GraphProtocol;
 use hl_sumindex::repr::Repr;
 use hl_sumindex::SumIndexInstance;
@@ -75,7 +75,13 @@ fn f1() {
     println!("\n== F1: Figure 1 (H_{{b=2,l=2}}, blue vs red path) ==");
     let h = HGraph::build(GadgetParams::new(2, 2).expect("valid params"));
     let (blue, red) = figure1_check(&h);
-    let mut t = Table::new(vec!["path", "endpoints", "length", "unique", "via midpoint"]);
+    let mut t = Table::new(vec![
+        "path",
+        "endpoints",
+        "length",
+        "unique",
+        "via midpoint",
+    ]);
     t.row(vec![
         "blue".to_string(),
         "v0,(1,0) -> v4,(3,2)".to_string(),
@@ -119,7 +125,13 @@ fn l22() {
 fn t21() {
     println!("\n== T2.1: gadget invariants + counting audit (H family) ==");
     let mut t = Table::new(vec![
-        "gadget", "n(H)", "triples", "charged", "PLL avg |S|", "bound avg", "exact",
+        "gadget",
+        "n(H)",
+        "triples",
+        "charged",
+        "PLL avg |S|",
+        "bound avg",
+        "exact",
     ]);
     for (b, ell) in [(1u32, 1u32), (2, 1), (1, 2), (2, 2), (3, 2), (2, 3)] {
         let p = GadgetParams::new(b, ell).expect("valid params");
@@ -140,7 +152,13 @@ fn t21() {
     print!("{t}");
 
     println!("\n== T2.1(G): degree-3 expansion invariants ==");
-    let mut t = Table::new(vec!["gadget", "n(G)", "max deg", "charged/triples", "exact"]);
+    let mut t = Table::new(vec![
+        "gadget",
+        "n(G)",
+        "max deg",
+        "charged/triples",
+        "exact",
+    ]);
     for (b, ell) in [(1u32, 1u32), (2, 1), (1, 2)] {
         let p = GadgetParams::new(b, ell).expect("valid params");
         let h = HGraph::build(p);
@@ -192,12 +210,27 @@ fn t21() {
 fn t41() {
     println!("\n== T4.1: RS-based construction, size breakdown over D ==");
     let mut t = Table::new(vec![
-        "graph", "n", "D", "|S|", "sumQ", "sumR", "sumF", "avg |H_v|", "exact",
+        "graph",
+        "n",
+        "D",
+        "|S|",
+        "sumQ",
+        "sumR",
+        "sumF",
+        "avg |H_v|",
+        "exact",
     ]);
     for family in [Family::Degree3Expander, Family::SparseRandom, Family::Grid] {
         let g = family_graph(family, 150, 21);
         for d in [2u64, 3, 4, 6] {
-            let (hl, bd) = rs_labeling(&g, RsParams { threshold: d, seed: 77 }).expect("rs");
+            let (hl, bd) = rs_labeling(
+                &g,
+                RsParams {
+                    threshold: d,
+                    seed: 77,
+                },
+            )
+            .expect("rs");
             let exact = verify_exact(&g, &hl).expect("verify").is_exact();
             t.row(vec![
                 family.name().to_string(),
@@ -216,7 +249,12 @@ fn t41() {
 
     println!("\n== T4.1(baselines): average hub size by construction ==");
     let mut t = Table::new(vec!["graph", "n", "PLL", "rand-thresh", "RS-based(D*)"]);
-    for family in [Family::Path, Family::RandomTree, Family::Grid, Family::Degree3Expander] {
+    for family in [
+        Family::Path,
+        Family::RandomTree,
+        Family::Grid,
+        Family::Degree3Expander,
+    ] {
         let g = family_graph(family, 150, 22);
         let n = g.num_nodes();
         let pll = PrunedLandmarkLabeling::by_degree(&g).into_labeling();
@@ -238,13 +276,24 @@ fn t41() {
 fn t14() {
     println!("\n== T1.4: degree reduction pipeline on skewed-degree graphs ==");
     let mut t = Table::new(vec![
-        "n", "hub deg", "n(reduced)", "max deg after", "avg |H_v|", "exact",
+        "n",
+        "hub deg",
+        "n(reduced)",
+        "max deg after",
+        "avg |H_v|",
+        "exact",
     ]);
     for (n, hub) in [(120usize, 50usize), (160, 90), (200, 120)] {
         let g = generators::skewed_sparse(n, hub, 9);
         let red = reduce_degree(&g, 4).expect("reduce");
-        let (hl_red, _) =
-            rs_labeling(&red.graph, RsParams { threshold: 3, seed: 5 }).expect("rs");
+        let (hl_red, _) = rs_labeling(
+            &red.graph,
+            RsParams {
+                threshold: 3,
+                seed: 5,
+            },
+        )
+        .expect("rs");
         let hl = project_labeling(&hl_red, &red.representative, &red.origin);
         let exact = verify_exact(&g, &hl).expect("verify").is_exact();
         t.row(vec![
@@ -263,7 +312,13 @@ fn t14() {
 fn t16() {
     println!("\n== T1.6: Sum-Index via distance labels of H'(b,l) ==");
     let mut t = Table::new(vec![
-        "gadget", "m", "graph n", "correct", "max msg bits", "avg msg bits", "naive bits",
+        "gadget",
+        "m",
+        "graph n",
+        "correct",
+        "max msg bits",
+        "avg msg bits",
+        "naive bits",
         "sqrt(m)",
     ]);
     for (b, ell) in [(2u32, 2u32), (3, 2), (2, 3), (4, 2)] {
@@ -293,7 +348,13 @@ fn t16() {
 
     println!("\n== T1.6(G'): on the true max-degree-3 graph ==");
     let mut t = Table::new(vec![
-        "gadget", "m", "n(G')", "max deg", "correct", "avg label bits", "max label bits",
+        "gadget",
+        "m",
+        "n(G')",
+        "max deg",
+        "correct",
+        "avg label bits",
+        "max label bits",
     ]);
     for (b, ell) in [(2u32, 2u32), (3, 2)] {
         let params = GadgetParams::new(b, ell).expect("valid params");
@@ -369,7 +430,12 @@ fn query_tradeoff() {
                     .expect("random threshold")
                     .0,
             ),
-            ("rs-based", rs_labeling(&g, RsParams::for_size(g.num_nodes(), 3)).expect("rs").0),
+            (
+                "rs-based",
+                rs_labeling(&g, RsParams::for_size(g.num_nodes(), 3))
+                    .expect("rs")
+                    .0,
+            ),
         ];
         if family == Family::RandomTree {
             schemes.push(("centroid", centroid_labeling(&g).expect("tree")));
@@ -406,7 +472,14 @@ fn ablation() {
     use hl_sumindex::scheme_protocol::SchemeProtocol;
 
     println!("\n== Ablation A: PLL vertex order (total hubs) ==");
-    let mut t = Table::new(vec!["graph", "n", "degree", "random", "betweenness", "closeness"]);
+    let mut t = Table::new(vec![
+        "graph",
+        "n",
+        "degree",
+        "random",
+        "betweenness",
+        "closeness",
+    ]);
     for family in [Family::RandomTree, Family::Grid, Family::Degree3Expander] {
         let g = family_graph(family, 196, 3);
         let deg = PrunedLandmarkLabeling::by_degree(&g).into_labeling();
@@ -443,7 +516,14 @@ fn ablation() {
     print!("{t}");
 
     println!("\n== Ablation C: Sum-Index message size by labeling scheme ==");
-    let mut t = Table::new(vec!["gadget", "m", "scheme", "avg label bits", "max label bits", "correct"]);
+    let mut t = Table::new(vec![
+        "gadget",
+        "m",
+        "scheme",
+        "avg label bits",
+        "max label bits",
+        "correct",
+    ]);
     for (b, ell) in [(2u32, 2u32), (3, 2)] {
         let params = GadgetParams::new(b, ell).expect("params");
         let m = Repr::new(params).modulus() as usize;
@@ -476,16 +556,15 @@ fn ablation() {
 /// Oracles — the space/time tradeoff of §1: latency and space of five
 /// exact point-to-point methods on one weighted instance.
 fn oracles() {
-    use hl_oracles::oracle::{
-        BidirectionalOracle, DijkstraOracle, DistanceOracle, HubLabelOracle,
-    };
+    use hl_oracles::oracle::{BidirectionalOracle, DijkstraOracle, DistanceOracle, HubLabelOracle};
     use hl_oracles::{AltOracle, ContractionHierarchy};
 
     println!("\n== Oracles: exact point-to-point methods, 20x20 weighted grid ==");
     let g = generators::weighted_grid(20, 20, 13);
     let n = g.num_nodes() as u64;
-    let queries: Vec<(NodeId, NodeId)> =
-        (0..400u64).map(|i| (((i * 97) % n) as NodeId, ((i * 263) % n) as NodeId)).collect();
+    let queries: Vec<(NodeId, NodeId)> = (0..400u64)
+        .map(|i| (((i * 97) % n) as NodeId, ((i * 263) % n) as NodeId))
+        .collect();
 
     let dij = DijkstraOracle { graph: &g };
     let bi = BidirectionalOracle { graph: &g };
@@ -562,10 +641,18 @@ fn big() {
     println!("\n== BIG: H(3,3) — sampled Lemma 2.2 + sampled audit ==");
     let p = GadgetParams::new(3, 3).expect("valid params");
     let h = HGraph::build(p);
-    println!("H(3,3): {} vertices, {} edges", h.graph().num_nodes(), h.graph().num_edges());
+    println!(
+        "H(3,3): {} vertices, {} edges",
+        h.graph().num_nodes(),
+        h.graph().num_edges()
+    );
     let t0 = Instant::now();
     let failures = check_sampled_pairs(&h, 128, 1);
-    println!("Lemma 2.2 on 128 sampled pairs: {} failures ({:.2?})", failures.len(), t0.elapsed());
+    println!(
+        "Lemma 2.2 on 128 sampled pairs: {} failures ({:.2?})",
+        failures.len(),
+        t0.elapsed()
+    );
     let t0 = Instant::now();
     let hl = PrunedLandmarkLabeling::by_degree(h.graph()).into_labeling();
     println!(
@@ -575,7 +662,10 @@ fn big() {
         t0.elapsed()
     );
     let report = audit_sampled(&h, &hl, 96, 2);
-    println!("sampled audit: {}/{} triples charged", report.charged, report.triples);
+    println!(
+        "sampled audit: {}/{} triples charged",
+        report.charged, report.triples
+    );
 
     println!("\n== BIG: G'(3,2) protocol on ~800k max-degree-3 vertices ==");
     let params = GadgetParams::new(3, 2).expect("valid params");
@@ -605,12 +695,25 @@ fn highway() {
     use hl_oracles::highway::{empirical_highway_dimension, estimate};
 
     println!("\n== Highway: empirical highway dimension (greedy estimate) ==");
-    let mut t = Table::new(vec!["graph", "n", "h (max over scales)", "per-scale max_in_ball"]);
-    for family in [Family::Path, Family::Grid, Family::RandomTree, Family::PowerLaw, Family::Degree3Expander] {
+    let mut t = Table::new(vec![
+        "graph",
+        "n",
+        "h (max over scales)",
+        "per-scale max_in_ball",
+    ]);
+    for family in [
+        Family::Path,
+        Family::Grid,
+        Family::RandomTree,
+        Family::PowerLaw,
+        Family::Degree3Expander,
+    ] {
         let g = family_graph(family, 64, 19);
         let sweep = estimate(&g);
-        let per_scale: Vec<String> =
-            sweep.iter().map(|e| format!("r{}:{}", e.r, e.max_in_ball)).collect();
+        let per_scale: Vec<String> = sweep
+            .iter()
+            .map(|e| format!("r{}:{}", e.r, e.max_in_ball))
+            .collect();
         t.row(vec![
             family.name().to_string(),
             g.num_nodes().to_string(),
@@ -628,7 +731,9 @@ fn growth() {
     use hl_core::separator_labeling::separator_labeling;
 
     println!("\n== Growth: avg hub size vs n (PLL betweenness; separator for grids) ==");
-    let mut t = Table::new(vec!["family", "n1", "avg1", "n2", "avg2", "n4", "avg4", "exponent"]);
+    let mut t = Table::new(vec![
+        "family", "n1", "avg1", "n2", "avg2", "n4", "avg4", "exponent",
+    ]);
     // Fitted exponent from the first and last point: log(avg4/avg1)/log(n4/n1).
     let mut row = |name: &str, points: Vec<(usize, f64)>| {
         let (n1, a1) = points[0];
@@ -693,12 +798,22 @@ fn encoding() {
     use hl_labeling::compact::{encode_labeling_compact, CompactParams};
 
     println!("\n== Encoding: avg bits/label, gamma vs best-of-4 compact ==");
-    let mut t = Table::new(vec!["graph", "construction", "avg hubs", "gamma bits", "compact bits", "saved"]);
+    let mut t = Table::new(vec![
+        "graph",
+        "construction",
+        "avg hubs",
+        "gamma bits",
+        "compact bits",
+        "saved",
+    ]);
     for family in [Family::Path, Family::Grid, Family::PowerLaw] {
         let g = family_graph(family, 200, 41);
         let diam = hl_graph::properties::diameter_double_sweep(&g);
         let constructions: Vec<(&str, hl_core::HubLabeling)> = vec![
-            ("pll", PrunedLandmarkLabeling::by_betweenness(&g, 24, 1).into_labeling()),
+            (
+                "pll",
+                PrunedLandmarkLabeling::by_betweenness(&g, 24, 1).into_labeling(),
+            ),
             (
                 "rand-thresh",
                 random_threshold_labeling(&g, RandomThresholdParams::for_size(g.num_nodes(), 2))
@@ -734,7 +849,12 @@ fn tradeoff() {
     let g = generators::weighted_grid(20, 20, 13);
     let n = g.num_nodes();
     let queries: Vec<(NodeId, NodeId)> = (0..300u64)
-        .map(|i| (((i * 97) % n as u64) as NodeId, ((i * 263) % n as u64) as NodeId))
+        .map(|i| {
+            (
+                ((i * 97) % n as u64) as NodeId,
+                ((i * 263) % n as u64) as NodeId,
+            )
+        })
         .collect();
     let mut t = Table::new(vec!["oracle", "space (B)", "avg settled", "us/query"]);
     for k in [0usize, 5, 20, 80, 400] {

@@ -36,9 +36,7 @@ fn main() -> ExitCode {
         Some("stats") => cmd_stats(&args[1..]),
         Some("query") => cmd_query(&args[1..]),
         _ => {
-            eprintln!(
-                "usage: hubtool gen|build|verify|stats|query ... (see --help in the docs)"
-            );
+            eprintln!("usage: hubtool gen|build|verify|stats|query ... (see --help in the docs)");
             return ExitCode::from(2);
         }
     };
@@ -66,7 +64,9 @@ fn cmd_gen(args: &[String]) -> Result<(), String> {
         return Err("usage: hubtool gen <family> <n> <seed> <graph-file>".into());
     };
     let n: usize = n.parse().map_err(|_| "n must be an integer".to_string())?;
-    let seed: u64 = seed.parse().map_err(|_| "seed must be an integer".to_string())?;
+    let seed: u64 = seed
+        .parse()
+        .map_err(|_| "seed must be an integer".to_string())?;
     let fam = Family::all()
         .into_iter()
         .find(|f| f.name() == family)
@@ -79,7 +79,12 @@ fn cmd_gen(args: &[String]) -> Result<(), String> {
     let g = family_graph(fam, n, seed);
     let file = File::create(out).map_err(|e| format!("cannot create {out}: {e}"))?;
     hl_graph::io::write_edge_list(&g, BufWriter::new(file)).map_err(|e| e.to_string())?;
-    println!("wrote {} ({} nodes, {} edges)", out, g.num_nodes(), g.num_edges());
+    println!(
+        "wrote {} ({} nodes, {} edges)",
+        out,
+        g.num_nodes(),
+        g.num_edges()
+    );
     Ok(())
 }
 
@@ -98,9 +103,11 @@ fn cmd_build(args: &[String]) -> Result<(), String> {
             .map_err(|e| e.to_string())?,
         "separator" => hl_core::separator_labeling::separator_labeling(&g),
         "greedy" => greedy_cover(&g).map_err(|e| e.to_string())?,
-        "rs" => rs_labeling(&g, RsParams::for_size(g.num_nodes(), 1))
-            .map_err(|e| e.to_string())?
-            .0,
+        "rs" => {
+            rs_labeling(&g, RsParams::for_size(g.num_nodes(), 1))
+                .map_err(|e| e.to_string())?
+                .0
+        }
         "random-threshold" => {
             random_threshold_labeling(&g, RandomThresholdParams::for_size(g.num_nodes(), 1))
                 .map_err(|e| e.to_string())?
@@ -136,7 +143,11 @@ fn cmd_verify(args: &[String]) -> Result<(), String> {
         if report.is_exact() {
             "exact".to_string()
         } else {
-            format!("{} violations (accuracy {:.4})", report.num_violations, report.accuracy())
+            format!(
+                "{} violations (accuracy {:.4})",
+                report.num_violations,
+                report.accuracy()
+            )
         }
     );
     if report.is_exact() {

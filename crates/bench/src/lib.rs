@@ -7,6 +7,7 @@
 
 pub mod families;
 pub mod table;
+pub mod timing;
 
 pub use families::{family_graph, Family};
 pub use table::Table;

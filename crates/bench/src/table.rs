@@ -10,13 +10,20 @@ pub struct Table {
 impl Table {
     /// Creates a table with the given column headers.
     pub fn new<S: Into<String>>(header: Vec<S>) -> Self {
-        Table { header: header.into_iter().map(Into::into).collect(), rows: Vec::new() }
+        Table {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row (cells are stringified by the caller).
     pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) -> &mut Self {
         let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
-        assert_eq!(cells.len(), self.header.len(), "row arity must match header");
+        assert_eq!(
+            cells.len(),
+            self.header.len(),
+            "row arity must match header"
+        );
         self.rows.push(cells);
         self
     }

@@ -21,13 +21,26 @@ fn gen_build_verify_query_pipeline() {
         .args(["gen", "grid", "49", "1", graph.to_str().unwrap()])
         .output()
         .expect("spawn hubtool gen");
-    assert!(out.status.success(), "gen failed: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "gen failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
 
     let out = hubtool()
-        .args(["build", graph.to_str().unwrap(), labels.to_str().unwrap(), "pll"])
+        .args([
+            "build",
+            graph.to_str().unwrap(),
+            labels.to_str().unwrap(),
+            "pll",
+        ])
         .output()
         .expect("spawn hubtool build");
-    assert!(out.status.success(), "build failed: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "build failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
 
     let out = hubtool()
         .args(["verify", graph.to_str().unwrap(), labels.to_str().unwrap()])
@@ -71,16 +84,27 @@ fn verify_rejects_mismatched_labels() {
         .unwrap()
         .success());
     assert!(hubtool()
-        .args(["build", graph_b.to_str().unwrap(), labels_b.to_str().unwrap()])
+        .args([
+            "build",
+            graph_b.to_str().unwrap(),
+            labels_b.to_str().unwrap()
+        ])
         .status()
         .unwrap()
         .success());
     // Labels of the cycle are NOT an exact cover of the path.
     let out = hubtool()
-        .args(["verify", graph_a.to_str().unwrap(), labels_b.to_str().unwrap()])
+        .args([
+            "verify",
+            graph_a.to_str().unwrap(),
+            labels_b.to_str().unwrap(),
+        ])
         .output()
         .unwrap();
-    assert!(!out.status.success(), "mismatched labeling must fail verification");
+    assert!(
+        !out.status.success(),
+        "mismatched labeling must fail verification"
+    );
 
     let _ = std::fs::remove_file(graph_a);
     let _ = std::fs::remove_file(graph_b);
@@ -91,9 +115,15 @@ fn verify_rejects_mismatched_labels() {
 fn bad_usage_exits_nonzero() {
     let out = hubtool().output().expect("spawn hubtool");
     assert!(!out.status.success());
-    let out = hubtool().args(["gen", "nosuchfamily", "10", "1", "/tmp/x"]).output().unwrap();
+    let out = hubtool()
+        .args(["gen", "nosuchfamily", "10", "1", "/tmp/x"])
+        .output()
+        .unwrap();
     assert!(!out.status.success());
-    let out = hubtool().args(["query", "/nonexistent/file", "0", "1"]).output().unwrap();
+    let out = hubtool()
+        .args(["query", "/nonexistent/file", "0", "1"])
+        .output()
+        .unwrap();
     assert!(!out.status.success());
 }
 
@@ -106,12 +136,31 @@ fn all_build_algorithms_roundtrip() {
         .status()
         .unwrap()
         .success());
-    for algo in ["pll", "pll-random", "pll-betweenness", "psl", "greedy", "rs", "random-threshold", "centroid", "separator"] {
+    for algo in [
+        "pll",
+        "pll-random",
+        "pll-betweenness",
+        "psl",
+        "greedy",
+        "rs",
+        "random-threshold",
+        "centroid",
+        "separator",
+    ] {
         let out = hubtool()
-            .args(["build", graph.to_str().unwrap(), labels.to_str().unwrap(), algo])
+            .args([
+                "build",
+                graph.to_str().unwrap(),
+                labels.to_str().unwrap(),
+                algo,
+            ])
             .output()
             .unwrap();
-        assert!(out.status.success(), "{algo}: {}", String::from_utf8_lossy(&out.stderr));
+        assert!(
+            out.status.success(),
+            "{algo}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
         let out = hubtool()
             .args(["verify", graph.to_str().unwrap(), labels.to_str().unwrap()])
             .output()

@@ -155,7 +155,11 @@ pub fn measure_additive_error(g: &Graph, labeling: &HubLabeling) -> ErrorProfile
                 continue;
             }
             assert!(answer >= truth, "labeling underestimated {u}-{v}");
-            let err = if answer == INFINITY { u64::MAX } else { answer - truth };
+            let err = if answer == INFINITY {
+                u64::MAX
+            } else {
+                answer - truth
+            };
             if err == 0 {
                 profile.exact += 1;
             } else {

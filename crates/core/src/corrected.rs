@@ -34,7 +34,11 @@ impl CorrectedLabeling {
     ///
     /// Propagates [`GraphError`] from the APSP ground-truth computation.
     pub fn build(g: &Graph, slack: Distance, seed: u64) -> Result<Self, GraphError> {
-        let ord = if seed == 0 { order::by_degree(g) } else { order::random(g, seed) };
+        let ord = if seed == 0 {
+            order::by_degree(g)
+        } else {
+            order::random(g, seed)
+        };
         let hubs = approx_pll(g, ord, slack);
         let truth = DistanceMatrix::compute(g)?;
         let n = g.num_nodes() as NodeId;

@@ -45,8 +45,11 @@ const MAX_RECORDED: usize = 32;
 pub fn verify_exact(g: &Graph, labeling: &HubLabeling) -> Result<CoverReport, GraphError> {
     let m = DistanceMatrix::compute(g)?;
     let n = g.num_nodes() as NodeId;
-    let mut report =
-        CoverReport { pairs_checked: 0, violations: Vec::new(), num_violations: 0 };
+    let mut report = CoverReport {
+        pairs_checked: 0,
+        violations: Vec::new(),
+        num_violations: 0,
+    };
     for u in 0..n {
         for v in u..n {
             let truth = m.distance(u, v);
@@ -67,8 +70,11 @@ pub fn verify_exact(g: &Graph, labeling: &HubLabeling) -> Result<CoverReport, Gr
 /// vertex), running one SSSP per source — linear memory, suitable for large
 /// graphs.
 pub fn verify_from_sources(g: &Graph, labeling: &HubLabeling, sources: &[NodeId]) -> CoverReport {
-    let mut report =
-        CoverReport { pairs_checked: 0, violations: Vec::new(), num_violations: 0 };
+    let mut report = CoverReport {
+        pairs_checked: 0,
+        violations: Vec::new(),
+        num_violations: 0,
+    };
     for &s in sources {
         let dist = shortest_path_distances(g, s);
         for v in 0..g.num_nodes() as NodeId {
@@ -95,8 +101,10 @@ pub fn verify_from_sources_parallel(
     labeling: &HubLabeling,
     sources: &[NodeId],
 ) -> CoverReport {
-    let threads =
-        std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1).min(sources.len().max(1));
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(sources.len().max(1));
     let next = std::sync::atomic::AtomicUsize::new(0);
     let merged = std::sync::Mutex::new(CoverReport {
         pairs_checked: 0,
@@ -169,7 +177,10 @@ mod tests {
         let report = verify_exact(&g, &hl).unwrap();
         assert!(!report.is_exact());
         assert!(report.accuracy() < 1.0);
-        assert!(report.violations.iter().any(|&(u, v, t, a)| (u, v) == (1, 2) && t == 1 && a == 3));
+        assert!(report
+            .violations
+            .iter()
+            .any(|&(u, v, t, a)| (u, v) == (1, 2) && t == 1 && a == 3));
     }
 
     #[test]

@@ -119,7 +119,9 @@ pub fn greedy_cover(g: &Graph) -> Result<HubLabeling, GraphError> {
             }
         }
     }
-    Ok(HubLabeling::from_labels(labels.into_iter().map(HubLabel::from_pairs).collect()))
+    Ok(HubLabeling::from_labels(
+        labels.into_iter().map(HubLabel::from_pairs).collect(),
+    ))
 }
 
 #[cfg(test)]

@@ -61,7 +61,9 @@ pub fn canonical_hhl(g: &Graph, order: &[NodeId]) -> Result<HubLabeling, GraphEr
             }
         }
     }
-    Ok(HubLabeling::from_labels(labels.into_iter().map(HubLabel::from_pairs).collect()))
+    Ok(HubLabeling::from_labels(
+        labels.into_iter().map(HubLabel::from_pairs).collect(),
+    ))
 }
 
 /// Convenience: canonical HHL with the decreasing-degree order.

@@ -66,8 +66,9 @@ pub fn read_labeling<R: BufRead>(input: R) -> Result<HubLabeling, GraphError> {
                 labels = Some(vec![HubLabel::new(); n]);
             }
             Some("l") => {
-                let labels =
-                    labels.as_mut().ok_or_else(|| bad("label before header", i + 1))?;
+                let labels = labels
+                    .as_mut()
+                    .ok_or_else(|| bad("label before header", i + 1))?;
                 let v: usize = parts
                     .next()
                     .and_then(|t| t.parse().ok())
@@ -162,9 +163,15 @@ mod tests {
         assert!(from_str("l 0 0\n").is_err(), "label before header");
         assert!(from_str("hl 1 0\nhl 1 0\n").is_err(), "duplicate header");
         assert!(from_str("hl 1 1\nl 0 0\n").is_err(), "hub count mismatch");
-        assert!(from_str("hl 1 1\nl 5 1 0 0\n").is_err(), "vertex out of range");
+        assert!(
+            from_str("hl 1 1\nl 5 1 0 0\n").is_err(),
+            "vertex out of range"
+        );
         assert!(from_str("hl 1 1\nl 0 1 0\n").is_err(), "truncated pair");
-        assert!(from_str("hl 1 1\nl 0 1 0 0 9\n").is_err(), "trailing tokens");
+        assert!(
+            from_str("hl 1 1\nl 0 1 0 0 9\n").is_err(),
+            "trailing tokens"
+        );
         assert!(from_str("hl 1 1\nz\n").is_err(), "unknown record");
     }
 }

@@ -1,7 +1,5 @@
 //! Hub label data structures and the merge-join distance query.
 
-use serde::{Deserialize, Serialize};
-
 use hl_graph::{Distance, NodeId, INFINITY};
 
 /// The label of a single vertex: its hubs and exact distances to them,
@@ -17,7 +15,7 @@ use hl_graph::{Distance, NodeId, INFINITY};
 /// assert_eq!(label.distance_to_hub(1), Some(5));
 /// assert_eq!(label.distance_to_hub(2), None);
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct HubLabel {
     hubs: Vec<NodeId>,
     dists: Vec<Distance>,
@@ -145,7 +143,7 @@ impl FromIterator<(NodeId, Distance)> for HubLabel {
 /// assert_eq!(labeling.query(0, 4), 4);
 /// assert_eq!(labeling.num_nodes(), 5);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct HubLabeling {
     labels: Vec<HubLabel>,
 }
@@ -153,7 +151,9 @@ pub struct HubLabeling {
 impl HubLabeling {
     /// Creates a labeling of `n` empty labels.
     pub fn empty(n: usize) -> Self {
-        HubLabeling { labels: vec![HubLabel::new(); n] }
+        HubLabeling {
+            labels: vec![HubLabel::new(); n],
+        }
     }
 
     /// Wraps per-vertex labels into a labeling.
@@ -236,7 +236,9 @@ impl HubLabeling {
 
 impl FromIterator<HubLabel> for HubLabeling {
     fn from_iter<T: IntoIterator<Item = HubLabel>>(iter: T) -> Self {
-        HubLabeling { labels: iter.into_iter().collect() }
+        HubLabeling {
+            labels: iter.into_iter().collect(),
+        }
     }
 }
 

@@ -38,8 +38,9 @@ pub fn minimize_labeling(
     let n = g.num_nodes();
     let truth = DistanceMatrix::compute(g)?;
     let before = labeling.total_hubs();
-    let mut labels: Vec<HubLabel> =
-        (0..n as NodeId).map(|v| labeling.label(v).clone()).collect();
+    let mut labels: Vec<HubLabel> = (0..n as NodeId)
+        .map(|v| labeling.label(v).clone())
+        .collect();
     // For pair (v, u) exactness after removing h from S_v, only queries
     // involving v change; recheck the row.
     for v in 0..n as NodeId {
@@ -68,7 +69,14 @@ pub fn minimize_labeling(
     }
     let minimized = HubLabeling::from_labels(labels);
     let after = minimized.total_hubs();
-    Ok((minimized, MinimizeReport { before, after, removed: before - after }))
+    Ok((
+        minimized,
+        MinimizeReport {
+            before,
+            after,
+            removed: before - after,
+        },
+    ))
 }
 
 #[cfg(test)]
@@ -94,9 +102,14 @@ mod tests {
         // The random-threshold construction stores whole balls; most of it
         // is redundant on a small graph.
         let g = generators::grid(5, 5);
-        let (hl, _) =
-            random_threshold_labeling(&g, RandomThresholdParams { threshold: 4, seed: 1 })
-                .unwrap();
+        let (hl, _) = random_threshold_labeling(
+            &g,
+            RandomThresholdParams {
+                threshold: 4,
+                seed: 1,
+            },
+        )
+        .unwrap();
         let (min, report) = minimize_labeling(&g, &hl).unwrap();
         assert!(verify_exact(&g, &min).unwrap().is_exact());
         assert!(

@@ -148,7 +148,10 @@ mod tests {
             let tree = ShortestPathTree::build(&g, v);
             for &x in mc.set(v) {
                 if let Some(p) = tree.parent(x) {
-                    assert!(mc.contains(v, p), "parent of closure member must be in closure");
+                    assert!(
+                        mc.contains(v, p),
+                        "parent of closure member must be in closure"
+                    );
                 }
             }
         }

@@ -3,11 +3,8 @@
 //! PLL label sizes depend heavily on processing important vertices first;
 //! these orders are the standard heuristics.
 
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
-
 use hl_graph::dijkstra::shortest_path_distances;
+use hl_graph::rng::Xorshift64;
 use hl_graph::sptree::ShortestPathTree;
 use hl_graph::{Graph, NodeId, INFINITY};
 
@@ -25,9 +22,9 @@ pub fn by_degree(g: &Graph) -> Vec<NodeId> {
 
 /// Seeded uniformly random order.
 pub fn random(g: &Graph, seed: u64) -> Vec<NodeId> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Xorshift64::seed_from_u64(seed);
     let mut order: Vec<NodeId> = (0..g.num_nodes() as NodeId).collect();
-    order.shuffle(&mut rng);
+    rng.shuffle(&mut order);
     order
 }
 
@@ -39,10 +36,10 @@ pub fn random(g: &Graph, seed: u64) -> Vec<NodeId> {
 /// "highway" vertices that make good early hubs.
 pub fn by_sampled_betweenness(g: &Graph, samples: usize, seed: u64) -> Vec<NodeId> {
     let n = g.num_nodes();
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Xorshift64::seed_from_u64(seed);
     let mut score = vec![0u64; n];
     let mut sources: Vec<NodeId> = (0..n as NodeId).collect();
-    sources.shuffle(&mut rng);
+    rng.shuffle(&mut sources);
     for &s in sources.iter().take(samples.min(n)) {
         let t = ShortestPathTree::build(g, s);
         // Accumulate subtree sizes: each vertex's count of descendants is
@@ -75,8 +72,10 @@ pub fn by_closeness(g: &Graph) -> Vec<NodeId> {
     let mut total = vec![0u128; n];
     for v in 0..n as NodeId {
         let d = shortest_path_distances(g, v);
-        total[v as usize] =
-            d.iter().map(|&x| if x == INFINITY { 0u128 } else { x as u128 }).sum();
+        total[v as usize] = d
+            .iter()
+            .map(|&x| if x == INFINITY { 0u128 } else { x as u128 })
+            .sum();
     }
     let mut order: Vec<NodeId> = (0..n as NodeId).collect();
     order.sort_by_key(|&v| (total[v as usize], v));

@@ -85,7 +85,10 @@ struct Pruner {
 
 impl Pruner {
     fn new(n: usize) -> Self {
-        Pruner { dist_from_root: vec![INFINITY; n], touched: Vec::new() }
+        Pruner {
+            dist_from_root: vec![INFINITY; n],
+            touched: Vec::new(),
+        }
     }
 
     fn load_root(&mut self, root_label: &[(NodeId, Distance)]) {
@@ -236,7 +239,10 @@ mod tests {
         let g = hl_graph::builder::graph_from_edges(6, &[(0, 1), (1, 2), (3, 4)]).unwrap();
         let hl = PrunedLandmarkLabeling::by_degree(&g).into_labeling();
         let report = verify_exact(&g, &hl).unwrap();
-        assert!(report.is_exact(), "infinity must round-trip for separated pairs");
+        assert!(
+            report.is_exact(),
+            "infinity must round-trip for separated pairs"
+        );
     }
 
     #[test]
@@ -265,17 +271,17 @@ mod tests {
         let first = pll.order()[0];
         let hl = pll.labeling();
         for v in 0..9u32 {
-            assert!(hl.label(v).contains(first), "first-order vertex is a universal hub");
+            assert!(
+                hl.label(v).contains(first),
+                "first-order vertex is a universal hub"
+            );
         }
     }
 
     #[test]
     fn zero_weight_edges_handled() {
-        let g = hl_graph::builder::graph_from_weighted_edges(
-            4,
-            &[(0, 1, 0), (1, 2, 3), (2, 3, 0)],
-        )
-        .unwrap();
+        let g = hl_graph::builder::graph_from_weighted_edges(4, &[(0, 1, 0), (1, 2, 3), (2, 3, 0)])
+            .unwrap();
         let hl = PrunedLandmarkLabeling::by_degree(&g).into_labeling();
         assert!(verify_exact(&g, &hl).unwrap().is_exact());
         assert_eq!(hl.query(0, 3), 3);

@@ -91,7 +91,10 @@ pub fn psl_labeling(
                     });
                 }
             });
-            results.into_iter().map(|m| m.into_inner().expect("result lock")).collect()
+            results
+                .into_iter()
+                .map(|m| m.into_inner().expect("result lock"))
+                .collect()
         };
         let mut any = false;
         for (v, added) in additions.iter().enumerate() {
@@ -109,7 +112,9 @@ pub fn psl_labeling(
         prev = additions;
         d += 1;
     }
-    Ok(HubLabeling::from_labels(labels.into_iter().map(HubLabel::from_pairs).collect()))
+    Ok(HubLabeling::from_labels(
+        labels.into_iter().map(HubLabel::from_pairs).collect(),
+    ))
 }
 
 /// Merge-join over raw sorted pair slices.
@@ -171,7 +176,10 @@ mod tests {
         let ord = order::by_sampled_betweenness(&g, 16, 1);
         let psl = psl_labeling(&g, ord.clone(), 4).unwrap();
         let pll = PrunedLandmarkLabeling::with_order(&g, ord).into_labeling();
-        assert!(psl.total_hubs() >= pll.total_hubs(), "PSL never prunes harder than PLL");
+        assert!(
+            psl.total_hubs() >= pll.total_hubs(),
+            "PSL never prunes harder than PLL"
+        );
         assert!(
             (psl.total_hubs() as f64) < 1.25 * pll.total_hubs() as f64,
             "PSL {} vs PLL {}: same-round redundancy should be small",
@@ -186,7 +194,10 @@ mod tests {
         let ord = order::by_degree(&g);
         let one = psl_labeling(&g, ord.clone(), 1).unwrap();
         let many = psl_labeling(&g, ord, 8).unwrap();
-        assert_eq!(one, many, "round structure makes the output thread-count invariant");
+        assert_eq!(
+            one, many,
+            "round structure makes the output thread-count invariant"
+        );
     }
 
     #[test]

@@ -14,10 +14,6 @@
 //! size the paper quotes as the state-of-the-art upper bound for sparse
 //! graphs before Theorem 1.4.
 
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
-
 use hl_graph::apsp::DistanceMatrix;
 use hl_graph::{Distance, Graph, GraphError, NodeId, INFINITY};
 
@@ -63,18 +59,20 @@ pub fn random_threshold_labeling(
     params: RandomThresholdParams,
 ) -> Result<(HubLabeling, RandomThresholdBreakdown), GraphError> {
     if params.threshold == 0 {
-        return Err(GraphError::InvalidParameters { reason: "threshold D must be >= 1".into() });
+        return Err(GraphError::InvalidParameters {
+            reason: "threshold D must be >= 1".into(),
+        });
     }
     let n = g.num_nodes();
     let d_thr = params.threshold;
     let m = DistanceMatrix::compute(g)?;
 
     // Global random hubset S of size ceil((n / D) * ln D), at least 1.
-    let mut rng = StdRng::seed_from_u64(params.seed);
+    let mut rng = hl_graph::rng::Xorshift64::seed_from_u64(params.seed);
     let target = ((n as f64 / d_thr as f64) * (d_thr as f64).ln()).ceil() as usize;
     let target = target.clamp(1, n);
     let mut all: Vec<NodeId> = (0..n as NodeId).collect();
-    all.shuffle(&mut rng);
+    rng.shuffle(&mut all);
     let mut global: Vec<NodeId> = all.into_iter().take(target).collect();
     global.sort_unstable();
 
@@ -111,13 +109,11 @@ pub fn random_threshold_labeling(
             if duv == INFINITY || duv < d_thr {
                 continue;
             }
-            let covered = global
-                .iter()
-                .any(|&h| {
-                    let a = m.distance(u, h);
-                    let b = m.distance(h, v);
-                    a != INFINITY && b != INFINITY && a + b == duv
-                });
+            let covered = global.iter().any(|&h| {
+                let a = m.distance(u, h);
+                let b = m.distance(h, v);
+                a != INFINITY && b != INFINITY && a + b == duv
+            });
             if !covered {
                 pairs[u as usize].push((v, duv));
                 breakdown.fallback_pairs += 1;
@@ -125,8 +121,7 @@ pub fn random_threshold_labeling(
         }
     }
 
-    let labeling =
-        HubLabeling::from_labels(pairs.into_iter().map(HubLabel::from_pairs).collect());
+    let labeling = HubLabeling::from_labels(pairs.into_iter().map(HubLabel::from_pairs).collect());
     Ok((labeling, breakdown))
 }
 
@@ -148,9 +143,14 @@ mod tests {
     fn exact_on_long_path() {
         // Far pairs dominate on a path; fallback patching must keep it exact.
         let g = generators::path(100);
-        let (hl, bd) =
-            random_threshold_labeling(&g, RandomThresholdParams { threshold: 5, seed: 2 })
-                .unwrap();
+        let (hl, bd) = random_threshold_labeling(
+            &g,
+            RandomThresholdParams {
+                threshold: 5,
+                seed: 2,
+            },
+        )
+        .unwrap();
         assert!(verify_exact(&g, &hl).unwrap().is_exact());
         assert!(bd.global_hubs >= 1);
     }
@@ -168,9 +168,14 @@ mod tests {
     fn threshold_one_is_all_far() {
         // D = 1: near hubs are only the vertices themselves (d < 1).
         let g = generators::path(20);
-        let (hl, bd) =
-            random_threshold_labeling(&g, RandomThresholdParams { threshold: 1, seed: 5 })
-                .unwrap();
+        let (hl, bd) = random_threshold_labeling(
+            &g,
+            RandomThresholdParams {
+                threshold: 1,
+                seed: 5,
+            },
+        )
+        .unwrap();
         assert!(verify_exact(&g, &hl).unwrap().is_exact());
         assert_eq!(bd.near_hubs, 20, "only self-hubs are near at D = 1");
     }
@@ -180,7 +185,10 @@ mod tests {
         let g = generators::path(3);
         assert!(random_threshold_labeling(
             &g,
-            RandomThresholdParams { threshold: 0, seed: 0 }
+            RandomThresholdParams {
+                threshold: 0,
+                seed: 0
+            }
         )
         .is_err());
     }
@@ -188,7 +196,10 @@ mod tests {
     #[test]
     fn deterministic_by_seed() {
         let g = generators::connected_gnm(40, 20, 11);
-        let p = RandomThresholdParams { threshold: 4, seed: 42 };
+        let p = RandomThresholdParams {
+            threshold: 4,
+            seed: 42,
+        };
         let (a, _) = random_threshold_labeling(&g, p).unwrap();
         let (b, _) = random_threshold_labeling(&g, p).unwrap();
         assert_eq!(a, b);
@@ -197,12 +208,22 @@ mod tests {
     #[test]
     fn larger_threshold_fewer_global_hubs() {
         let g = generators::connected_gnm(100, 50, 13);
-        let (_, bd_small) =
-            random_threshold_labeling(&g, RandomThresholdParams { threshold: 2, seed: 1 })
-                .unwrap();
-        let (_, bd_large) =
-            random_threshold_labeling(&g, RandomThresholdParams { threshold: 16, seed: 1 })
-                .unwrap();
+        let (_, bd_small) = random_threshold_labeling(
+            &g,
+            RandomThresholdParams {
+                threshold: 2,
+                seed: 1,
+            },
+        )
+        .unwrap();
+        let (_, bd_large) = random_threshold_labeling(
+            &g,
+            RandomThresholdParams {
+                threshold: 16,
+                seed: 1,
+            },
+        )
+        .unwrap();
         assert!(bd_large.global_hubs < bd_small.global_hubs);
     }
 

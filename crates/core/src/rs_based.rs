@@ -30,10 +30,6 @@
 
 use std::collections::HashMap;
 
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
-
 use hl_graph::apsp::DistanceMatrix;
 use hl_graph::{Distance, Graph, GraphError, NodeId, INFINITY};
 
@@ -104,12 +100,11 @@ pub struct RsBreakdown {
 /// Propagates [`GraphError`] from APSP, or reports invalid parameters when
 /// `threshold == 0` or the graph has an edge weight `> 1` (use
 /// [`hl_graph::transform::subdivide_weights`] first).
-pub fn rs_labeling(
-    g: &Graph,
-    params: RsParams,
-) -> Result<(HubLabeling, RsBreakdown), GraphError> {
+pub fn rs_labeling(g: &Graph, params: RsParams) -> Result<(HubLabeling, RsBreakdown), GraphError> {
     if params.threshold == 0 {
-        return Err(GraphError::InvalidParameters { reason: "threshold D must be >= 1".into() });
+        return Err(GraphError::InvalidParameters {
+            reason: "threshold D must be >= 1".into(),
+        });
     }
     if g.edges().any(|(_, _, w)| w > 1) {
         return Err(GraphError::InvalidParameters {
@@ -119,21 +114,24 @@ pub fn rs_labeling(
     let n = g.num_nodes();
     let d_thr = params.threshold;
     let m = DistanceMatrix::compute(g)?;
-    let mut rng = StdRng::seed_from_u64(params.seed);
+    let mut rng = hl_graph::rng::Xorshift64::seed_from_u64(params.seed);
 
     // Step 2: random global set S.
     let target = ((n as f64 / d_thr as f64) * (d_thr as f64).ln().max(1.0)).ceil() as usize;
     let target = target.clamp(1, n);
     let mut all: Vec<NodeId> = (0..n as NodeId).collect();
-    all.shuffle(&mut rng);
+    rng.shuffle(&mut all);
     let mut global: Vec<NodeId> = all.into_iter().take(target).collect();
     global.sort_unstable();
 
     // Step 3: coloring with D^3 colors.
     let num_colors = d_thr.saturating_mul(d_thr).saturating_mul(d_thr).max(1);
-    let colors: Vec<u64> = (0..n).map(|_| rng.gen_range(0..num_colors)).collect();
+    let colors: Vec<u64> = (0..n).map(|_| rng.gen_u64_below(num_colors)).collect();
 
-    let mut breakdown = RsBreakdown { global_hubs: global.len(), ..RsBreakdown::default() };
+    let mut breakdown = RsBreakdown {
+        global_hubs: global.len(),
+        ..RsBreakdown::default()
+    };
     let mut extra: Vec<Vec<(NodeId, Distance)>> = vec![Vec::new(); n];
     let mut f_sets: Vec<Vec<NodeId>> = vec![Vec::new(); n];
     // Buckets (a, b, h) -> pair list for the matching stage.
@@ -183,7 +181,10 @@ pub fn rs_labeling(
                 let a = m.distance(u, h);
                 let b = m.distance(h, v);
                 debug_assert!(a + b == duv && a + b >= 1 && a + b <= d_thr);
-                buckets.entry((a as u32, b as u32, h)).or_default().push((u, v));
+                buckets
+                    .entry((a as u32, b as u32, h))
+                    .or_default()
+                    .push((u, v));
             }
         }
     }
@@ -248,8 +249,7 @@ pub fn rs_labeling(
     }
     // Fallback hubs (v stored in S_u) rely on the partner's self-hub, which
     // is present for every vertex.
-    let labeling =
-        HubLabeling::from_labels(labels.into_iter().map(HubLabel::from_pairs).collect());
+    let labeling = HubLabeling::from_labels(labels.into_iter().map(HubLabel::from_pairs).collect());
     Ok((labeling, breakdown))
 }
 
@@ -319,7 +319,14 @@ mod tests {
     #[test]
     fn exact_on_grid() {
         let g = generators::grid(6, 6);
-        let (hl, bd) = rs_labeling(&g, RsParams { threshold: 3, seed: 1 }).unwrap();
+        let (hl, bd) = rs_labeling(
+            &g,
+            RsParams {
+                threshold: 3,
+                seed: 1,
+            },
+        )
+        .unwrap();
         assert!(verify_exact(&g, &hl).unwrap().is_exact());
         assert!(bd.global_hubs > 0);
     }
@@ -327,7 +334,14 @@ mod tests {
     #[test]
     fn exact_on_bounded_degree_random_graph() {
         let g = generators::union_of_matchings(60, 3, 4);
-        let (hl, _) = rs_labeling(&g, RsParams { threshold: 3, seed: 2 }).unwrap();
+        let (hl, _) = rs_labeling(
+            &g,
+            RsParams {
+                threshold: 3,
+                seed: 2,
+            },
+        )
+        .unwrap();
         assert!(verify_exact(&g, &hl).unwrap().is_exact());
     }
 
@@ -335,45 +349,89 @@ mod tests {
     fn exact_on_tree_and_cycle_various_thresholds() {
         for d in [1u64, 2, 4, 8] {
             let g = generators::random_tree(50, 6);
-            let (hl, _) = rs_labeling(&g, RsParams { threshold: d, seed: d }).unwrap();
+            let (hl, _) = rs_labeling(
+                &g,
+                RsParams {
+                    threshold: d,
+                    seed: d,
+                },
+            )
+            .unwrap();
             assert!(verify_exact(&g, &hl).unwrap().is_exact(), "tree, D={d}");
             let c = generators::cycle(41);
-            let (hl, _) = rs_labeling(&c, RsParams { threshold: d, seed: d }).unwrap();
+            let (hl, _) = rs_labeling(
+                &c,
+                RsParams {
+                    threshold: d,
+                    seed: d,
+                },
+            )
+            .unwrap();
             assert!(verify_exact(&c, &hl).unwrap().is_exact(), "cycle, D={d}");
         }
     }
 
     #[test]
     fn exact_on_disconnected() {
-        let g = hl_graph::builder::graph_from_edges(7, &[(0, 1), (1, 2), (3, 4), (5, 6)])
-            .unwrap();
-        let (hl, _) = rs_labeling(&g, RsParams { threshold: 2, seed: 3 }).unwrap();
+        let g = hl_graph::builder::graph_from_edges(7, &[(0, 1), (1, 2), (3, 4), (5, 6)]).unwrap();
+        let (hl, _) = rs_labeling(
+            &g,
+            RsParams {
+                threshold: 2,
+                seed: 3,
+            },
+        )
+        .unwrap();
         assert!(verify_exact(&g, &hl).unwrap().is_exact());
     }
 
     #[test]
     fn rejects_weighted_graphs() {
         let g = generators::weighted_grid(3, 3, 1);
-        assert!(rs_labeling(&g, RsParams { threshold: 2, seed: 0 }).is_err());
+        assert!(rs_labeling(
+            &g,
+            RsParams {
+                threshold: 2,
+                seed: 0
+            }
+        )
+        .is_err());
     }
 
     #[test]
     fn rejects_zero_threshold() {
         let g = generators::path(4);
-        assert!(rs_labeling(&g, RsParams { threshold: 0, seed: 0 }).is_err());
+        assert!(rs_labeling(
+            &g,
+            RsParams {
+                threshold: 0,
+                seed: 0
+            }
+        )
+        .is_err());
     }
 
     #[test]
     fn deterministic_by_seed() {
         let g = generators::connected_gnm(40, 20, 9);
-        let p = RsParams { threshold: 3, seed: 5 };
+        let p = RsParams {
+            threshold: 3,
+            seed: 5,
+        };
         assert_eq!(rs_labeling(&g, p).unwrap().0, rs_labeling(&g, p).unwrap().0);
     }
 
     #[test]
     fn breakdown_terms_reported() {
         let g = generators::connected_gnm(60, 30, 12);
-        let (_, bd) = rs_labeling(&g, RsParams { threshold: 3, seed: 7 }).unwrap();
+        let (_, bd) = rs_labeling(
+            &g,
+            RsParams {
+                threshold: 3,
+                seed: 7,
+            },
+        )
+        .unwrap();
         assert!(bd.buckets > 0);
         assert!(bd.matched_pairs > 0);
         assert!(bd.cover_f >= 60, "every vertex contributes itself to F");
@@ -384,7 +442,14 @@ mod tests {
         // Constant average degree but a huge hub: reduce, label, project.
         let g = generators::skewed_sparse(70, 40, 8);
         let red = reduce_degree(&g, 3).unwrap();
-        let (hl_red, _) = rs_labeling(&red.graph, RsParams { threshold: 3, seed: 4 }).unwrap();
+        let (hl_red, _) = rs_labeling(
+            &red.graph,
+            RsParams {
+                threshold: 3,
+                seed: 4,
+            },
+        )
+        .unwrap();
         assert!(verify_exact(&red.graph, &hl_red).unwrap().is_exact());
         let hl = project_labeling(&hl_red, &red.representative, &red.origin);
         assert!(verify_exact(&g, &hl).unwrap().is_exact());

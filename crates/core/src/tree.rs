@@ -66,7 +66,9 @@ pub fn centroid_labeling(g: &Graph) -> Result<HubLabeling, GraphError> {
             }
         }
     }
-    Ok(HubLabeling::from_labels(pairs.into_iter().map(HubLabel::from_pairs).collect()))
+    Ok(HubLabeling::from_labels(
+        pairs.into_iter().map(HubLabel::from_pairs).collect(),
+    ))
 }
 
 fn collect_component(g: &Graph, start: NodeId, removed: &[bool]) -> Vec<NodeId> {
@@ -212,8 +214,7 @@ mod tests {
     #[test]
     fn rejects_non_trees() {
         assert!(centroid_labeling(&generators::cycle(5)).is_err());
-        let disconnected =
-            hl_graph::builder::graph_from_edges(4, &[(0, 1), (2, 3)]).unwrap();
+        let disconnected = hl_graph::builder::graph_from_edges(4, &[(0, 1), (2, 3)]).unwrap();
         assert!(centroid_labeling(&disconnected).is_err());
     }
 

@@ -1,8 +1,9 @@
-//! Property-based tests: every construction must be an exact cover on
+//! Randomized property tests: every construction must be an exact cover on
 //! arbitrary sparse graphs, and the structural invariants of the paper must
 //! hold on any labeling.
-
-use proptest::prelude::*;
+//!
+//! Seeded [`Xorshift64`] case generation replaces the original `proptest`
+//! strategies so the suite builds offline.
 
 use hl_core::cover::{verify_exact, verify_hub_distances};
 use hl_core::greedy::greedy_cover;
@@ -13,96 +14,162 @@ use hl_core::random_threshold::{random_threshold_labeling, RandomThresholdParams
 use hl_core::rs_based::{rs_labeling, RsParams};
 use hl_core::tree::centroid_labeling;
 use hl_graph::properties::hop_diameter_exact;
+use hl_graph::rng::Xorshift64;
 use hl_graph::{generators, NodeId};
 
-fn sparse_graph() -> impl Strategy<Value = hl_graph::Graph> {
-    (5usize..35, 0usize..25, any::<u64>()).prop_map(|(n, extra, seed)| {
-        let max_extra = n * (n - 1) / 2 - (n - 1);
-        generators::connected_gnm(n, extra.min(max_extra), seed)
-    })
+const CASES: u64 = 24;
+
+fn sparse_graph(rng: &mut Xorshift64) -> hl_graph::Graph {
+    let n = rng.gen_range_usize(5, 35);
+    let max_extra = n * (n - 1) / 2 - (n - 1);
+    let extra = rng.gen_index(25).min(max_extra);
+    generators::connected_gnm(n, extra, rng.next_u64())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn pll_exact_on_random_graphs(g in sparse_graph()) {
+#[test]
+fn pll_exact_on_random_graphs() {
+    for case in 0..CASES {
+        let mut rng = Xorshift64::seed_from_u64(case);
+        let g = sparse_graph(&mut rng);
         let hl = PrunedLandmarkLabeling::by_degree(&g).into_labeling();
-        prop_assert!(verify_exact(&g, &hl).unwrap().is_exact());
+        assert!(verify_exact(&g, &hl).unwrap().is_exact());
     }
+}
 
-    #[test]
-    fn pll_random_order_exact(g in sparse_graph(), seed in any::<u64>()) {
-        let hl = PrunedLandmarkLabeling::by_random_order(&g, seed).into_labeling();
-        prop_assert!(verify_exact(&g, &hl).unwrap().is_exact());
+#[test]
+fn pll_random_order_exact() {
+    for case in 0..CASES {
+        let mut rng = Xorshift64::seed_from_u64(1000 + case);
+        let g = sparse_graph(&mut rng);
+        let hl = PrunedLandmarkLabeling::by_random_order(&g, rng.next_u64()).into_labeling();
+        assert!(verify_exact(&g, &hl).unwrap().is_exact());
     }
+}
 
-    #[test]
-    fn psl_exact_and_near_pll(g in sparse_graph(), threads in 1usize..5) {
+#[test]
+fn psl_exact_and_near_pll() {
+    for case in 0..CASES {
+        let mut rng = Xorshift64::seed_from_u64(2000 + case);
+        let g = sparse_graph(&mut rng);
+        let threads = rng.gen_range_usize(1, 5);
         let ord = hl_core::order::by_degree(&g);
         let psl = psl_labeling(&g, ord.clone(), threads).unwrap();
-        prop_assert!(verify_exact(&g, &psl).unwrap().is_exact());
+        assert!(verify_exact(&g, &psl).unwrap().is_exact());
         let pll = PrunedLandmarkLabeling::with_order(&g, ord).into_labeling();
-        prop_assert!(psl.total_hubs() >= pll.total_hubs());
-        prop_assert!((psl.total_hubs() as f64) <= 1.5 * pll.total_hubs() as f64);
+        assert!(psl.total_hubs() >= pll.total_hubs());
+        assert!((psl.total_hubs() as f64) <= 1.5 * pll.total_hubs() as f64);
     }
+}
 
-    #[test]
-    fn greedy_exact_on_random_graphs(g in sparse_graph()) {
+#[test]
+fn greedy_exact_on_random_graphs() {
+    for case in 0..CASES {
+        let mut rng = Xorshift64::seed_from_u64(3000 + case);
+        let g = sparse_graph(&mut rng);
         let hl = greedy_cover(&g).unwrap();
-        prop_assert!(verify_exact(&g, &hl).unwrap().is_exact());
+        assert!(verify_exact(&g, &hl).unwrap().is_exact());
     }
+}
 
-    #[test]
-    fn random_threshold_exact(g in sparse_graph(), d in 1u64..8, seed in any::<u64>()) {
+#[test]
+fn random_threshold_exact() {
+    for case in 0..CASES {
+        let mut rng = Xorshift64::seed_from_u64(4000 + case);
+        let g = sparse_graph(&mut rng);
+        let d = rng.gen_range_u64(1, 8);
         let (hl, _) = random_threshold_labeling(
             &g,
-            RandomThresholdParams { threshold: d, seed },
-        ).unwrap();
-        prop_assert!(verify_exact(&g, &hl).unwrap().is_exact());
+            RandomThresholdParams {
+                threshold: d,
+                seed: rng.next_u64(),
+            },
+        )
+        .unwrap();
+        assert!(verify_exact(&g, &hl).unwrap().is_exact());
     }
+}
 
-    #[test]
-    fn rs_labeling_exact(g in sparse_graph(), d in 1u64..6, seed in any::<u64>()) {
-        let (hl, _) = rs_labeling(&g, RsParams { threshold: d, seed }).unwrap();
-        prop_assert!(verify_exact(&g, &hl).unwrap().is_exact());
+#[test]
+fn rs_labeling_exact() {
+    for case in 0..CASES {
+        let mut rng = Xorshift64::seed_from_u64(5000 + case);
+        let g = sparse_graph(&mut rng);
+        let d = rng.gen_range_u64(1, 6);
+        let (hl, _) = rs_labeling(
+            &g,
+            RsParams {
+                threshold: d,
+                seed: rng.next_u64(),
+            },
+        )
+        .unwrap();
+        assert!(verify_exact(&g, &hl).unwrap().is_exact());
     }
+}
 
-    #[test]
-    fn centroid_exact_on_trees(n in 2usize..120, seed in any::<u64>()) {
-        let g = generators::random_tree(n, seed);
+#[test]
+fn centroid_exact_on_trees() {
+    for case in 0..CASES {
+        let mut rng = Xorshift64::seed_from_u64(6000 + case);
+        let n = rng.gen_range_usize(2, 120);
+        let g = generators::random_tree(n, rng.next_u64());
         let hl = centroid_labeling(&g).unwrap();
-        prop_assert!(verify_exact(&g, &hl).unwrap().is_exact());
+        assert!(verify_exact(&g, &hl).unwrap().is_exact());
         // ceil(log2(n)) + 1 hubs at most.
         let bound = (n as f64).log2().ceil() as usize + 1;
-        prop_assert!(hl.max_hubs() <= bound, "max {} > bound {}", hl.max_hubs(), bound);
+        assert!(
+            hl.max_hubs() <= bound,
+            "max {} > bound {}",
+            hl.max_hubs(),
+            bound
+        );
     }
+}
 
-    #[test]
-    fn all_hub_distances_admissible(g in sparse_graph()) {
+#[test]
+fn all_hub_distances_admissible() {
+    for case in 0..CASES {
+        let mut rng = Xorshift64::seed_from_u64(7000 + case);
+        let g = sparse_graph(&mut rng);
         let hl = PrunedLandmarkLabeling::by_degree(&g).into_labeling();
         let sources: Vec<NodeId> = (0..g.num_nodes() as NodeId).collect();
-        prop_assert!(verify_hub_distances(&g, &hl, &sources));
+        assert!(verify_hub_distances(&g, &hl, &sources));
     }
+}
 
-    #[test]
-    fn monotone_closure_relation_any_labeling(g in sparse_graph()) {
+#[test]
+fn monotone_closure_relation_any_labeling() {
+    for case in 0..CASES {
+        let mut rng = Xorshift64::seed_from_u64(8000 + case);
+        let g = sparse_graph(&mut rng);
         let hl = greedy_cover(&g).unwrap();
         let mc = MonotoneClosure::compute(&g, &hl);
         let diam = hop_diameter_exact(&g);
-        prop_assert_eq!(check_closure_size_relation(&g, &hl, &mc, diam), None);
+        assert_eq!(check_closure_size_relation(&g, &hl, &mc, diam), None);
     }
+}
 
-    #[test]
-    fn queries_never_underestimate(g in sparse_graph(), d in 1u64..5, seed in any::<u64>()) {
+#[test]
+fn queries_never_underestimate() {
+    for case in 0..CASES {
+        let mut rng = Xorshift64::seed_from_u64(9000 + case);
+        let g = sparse_graph(&mut rng);
+        let d = rng.gen_range_u64(1, 5);
         // Even a *partial* labeling (here: the exact rs labeling, but the
         // property is generic) may only overestimate, never underestimate,
         // because stored distances are true distances.
-        let (hl, _) = rs_labeling(&g, RsParams { threshold: d, seed }).unwrap();
+        let (hl, _) = rs_labeling(
+            &g,
+            RsParams {
+                threshold: d,
+                seed: rng.next_u64(),
+            },
+        )
+        .unwrap();
         let m = hl_graph::apsp::DistanceMatrix::compute(&g).unwrap();
         for u in 0..g.num_nodes() as NodeId {
             for v in 0..g.num_nodes() as NodeId {
-                prop_assert!(hl.query(u, v) >= m.distance(u, v));
+                assert!(hl.query(u, v) >= m.distance(u, v));
             }
         }
     }

@@ -32,14 +32,15 @@ impl DistanceMatrix {
     pub fn compute(g: &Graph) -> Result<Self, GraphError> {
         let n = g.num_nodes();
         let mut data = vec![UNREACHABLE; n * n];
-        let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+        let threads = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1);
         let threads = threads.min(n.max(1));
         let next = std::sync::atomic::AtomicUsize::new(0);
         let error: Mutex<Option<GraphError>> = Mutex::new(None);
 
         // Hand out disjoint row slices to worker threads.
-        let rows: Vec<Mutex<&mut [u32]>> =
-            data.chunks_mut(n.max(1)).map(Mutex::new).collect();
+        let rows: Vec<Mutex<&mut [u32]>> = data.chunks_mut(n.max(1)).map(Mutex::new).collect();
         std::thread::scope(|scope| {
             for _ in 0..threads {
                 scope.spawn(|| loop {
@@ -172,7 +173,11 @@ mod tests {
         let m = DistanceMatrix::compute(&g).unwrap();
         assert_eq!(m.distance(0, 2), INFINITY);
         assert_eq!(m.distance(0, 1), 1);
-        assert_eq!(m.finite_pairs().count(), 8, "2 components of 2 vertices: 4 pairs each");
+        assert_eq!(
+            m.finite_pairs().count(),
+            8,
+            "2 components of 2 vertices: 4 pairs each"
+        );
     }
 
     #[test]

@@ -33,12 +33,18 @@ pub struct GraphBuilder {
 impl GraphBuilder {
     /// Creates a builder for a graph on `num_nodes` vertices.
     pub fn new(num_nodes: usize) -> Self {
-        GraphBuilder { num_nodes, edges: Vec::new() }
+        GraphBuilder {
+            num_nodes,
+            edges: Vec::new(),
+        }
     }
 
     /// Creates a builder with capacity reserved for `num_edges` edges.
     pub fn with_capacity(num_nodes: usize, num_edges: usize) -> Self {
-        GraphBuilder { num_nodes, edges: Vec::with_capacity(num_edges) }
+        GraphBuilder {
+            num_nodes,
+            edges: Vec::with_capacity(num_edges),
+        }
     }
 
     /// Number of vertices the built graph will have.
@@ -73,10 +79,16 @@ impl GraphBuilder {
     /// vertex and [`GraphError::SelfLoop`] when `u == v`.
     pub fn add_edge(&mut self, u: NodeId, v: NodeId, w: Weight) -> Result<(), GraphError> {
         if u as usize >= self.num_nodes {
-            return Err(GraphError::NodeOutOfRange { node: u as u64, num_nodes: self.num_nodes });
+            return Err(GraphError::NodeOutOfRange {
+                node: u as u64,
+                num_nodes: self.num_nodes,
+            });
         }
         if v as usize >= self.num_nodes {
-            return Err(GraphError::NodeOutOfRange { node: v as u64, num_nodes: self.num_nodes });
+            return Err(GraphError::NodeOutOfRange {
+                node: v as u64,
+                num_nodes: self.num_nodes,
+            });
         }
         if u == v {
             return Err(GraphError::SelfLoop { node: u as u64 });
@@ -102,7 +114,8 @@ impl GraphBuilder {
         // Sort (u, v, w); duplicates become adjacent with the smallest weight
         // first, so a linear dedup pass keeps the minimum.
         self.edges.sort_unstable();
-        self.edges.dedup_by(|next, kept| next.0 == kept.0 && next.1 == kept.1);
+        self.edges
+            .dedup_by(|next, kept| next.0 == kept.0 && next.1 == kept.1);
 
         let n = self.num_nodes;
         let mut degree = vec![0usize; n];
@@ -190,11 +203,17 @@ mod tests {
         let mut b = GraphBuilder::new(2);
         assert_eq!(
             b.add_edge(0, 2, 1),
-            Err(GraphError::NodeOutOfRange { node: 2, num_nodes: 2 })
+            Err(GraphError::NodeOutOfRange {
+                node: 2,
+                num_nodes: 2
+            })
         );
         assert_eq!(
             b.add_edge(5, 0, 1),
-            Err(GraphError::NodeOutOfRange { node: 5, num_nodes: 2 })
+            Err(GraphError::NodeOutOfRange {
+                node: 5,
+                num_nodes: 2
+            })
         );
     }
 

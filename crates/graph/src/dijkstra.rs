@@ -108,8 +108,9 @@ pub fn dijkstra_count_paths(g: &Graph, source: NodeId) -> (Vec<Distance>, Vec<u6
     // increasing-distance order; positive weights make every tight edge go
     // from a strictly smaller distance to a strictly larger one.
     let n = g.num_nodes();
-    let mut order: Vec<NodeId> =
-        (0..n as NodeId).filter(|&v| dist[v as usize] != INFINITY).collect();
+    let mut order: Vec<NodeId> = (0..n as NodeId)
+        .filter(|&v| dist[v as usize] != INFINITY)
+        .collect();
     order.sort_unstable_by_key(|&v| dist[v as usize]);
     let mut count = vec![0u64; n];
     count[source as usize] = 1;

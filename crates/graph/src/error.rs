@@ -37,11 +37,17 @@ impl fmt::Display for GraphError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             GraphError::NodeOutOfRange { node, num_nodes } => {
-                write!(f, "node id {node} out of range for graph with {num_nodes} nodes")
+                write!(
+                    f,
+                    "node id {node} out of range for graph with {num_nodes} nodes"
+                )
             }
             GraphError::SelfLoop { node } => write!(f, "self-loop at node {node} is not allowed"),
             GraphError::DistanceOverflow { distance } => {
-                write!(f, "distance {distance} does not fit in the dense matrix entry type")
+                write!(
+                    f,
+                    "distance {distance} does not fit in the dense matrix entry type"
+                )
             }
             GraphError::InvalidParameters { reason } => {
                 write!(f, "invalid graph parameters: {reason}")
@@ -59,10 +65,17 @@ mod tests {
     #[test]
     fn display_is_nonempty_and_lowercase_start() {
         let errs = [
-            GraphError::NodeOutOfRange { node: 7, num_nodes: 3 },
+            GraphError::NodeOutOfRange {
+                node: 7,
+                num_nodes: 3,
+            },
             GraphError::SelfLoop { node: 2 },
-            GraphError::DistanceOverflow { distance: u64::MAX - 1 },
-            GraphError::InvalidParameters { reason: "m too large".into() },
+            GraphError::DistanceOverflow {
+                distance: u64::MAX - 1,
+            },
+            GraphError::InvalidParameters {
+                reason: "m too large".into(),
+            },
         ];
         for e in errs {
             let s = e.to_string();

@@ -3,12 +3,9 @@
 //! All random generators take an explicit `u64` seed and are reproducible
 //! bit-for-bit.
 
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
-
 use crate::builder::GraphBuilder;
 use crate::graph::{Graph, NodeId, Weight};
+use crate::rng::Xorshift64;
 
 /// Path graph `0 - 1 - … - (n-1)`.
 ///
@@ -19,7 +16,8 @@ pub fn path(n: usize) -> Graph {
     assert!(n > 0, "path requires n >= 1");
     let mut b = GraphBuilder::with_capacity(n, n.saturating_sub(1));
     for i in 1..n {
-        b.add_unit_edge((i - 1) as NodeId, i as NodeId).expect("path edges in range");
+        b.add_unit_edge((i - 1) as NodeId, i as NodeId)
+            .expect("path edges in range");
     }
     b.build()
 }
@@ -33,7 +31,8 @@ pub fn cycle(n: usize) -> Graph {
     assert!(n >= 3, "cycle requires n >= 3");
     let mut b = GraphBuilder::with_capacity(n, n);
     for i in 0..n {
-        b.add_unit_edge(i as NodeId, ((i + 1) % n) as NodeId).expect("cycle edges in range");
+        b.add_unit_edge(i as NodeId, ((i + 1) % n) as NodeId)
+            .expect("cycle edges in range");
     }
     b.build()
 }
@@ -47,7 +46,8 @@ pub fn star(n: usize) -> Graph {
     assert!(n > 0, "star requires n >= 1");
     let mut b = GraphBuilder::with_capacity(n, n.saturating_sub(1));
     for i in 1..n {
-        b.add_unit_edge(0, i as NodeId).expect("star edges in range");
+        b.add_unit_edge(0, i as NodeId)
+            .expect("star edges in range");
     }
     b.build()
 }
@@ -62,7 +62,8 @@ pub fn complete(n: usize) -> Graph {
     let mut b = GraphBuilder::with_capacity(n, n * (n - 1) / 2);
     for i in 0..n {
         for j in (i + 1)..n {
-            b.add_unit_edge(i as NodeId, j as NodeId).expect("complete edges in range");
+            b.add_unit_edge(i as NodeId, j as NodeId)
+                .expect("complete edges in range");
         }
     }
     b.build()
@@ -82,10 +83,12 @@ pub fn grid(rows: usize, cols: usize) -> Graph {
     for r in 0..rows {
         for c in 0..cols {
             if c + 1 < cols {
-                b.add_unit_edge(id(r, c), id(r, c + 1)).expect("grid edges in range");
+                b.add_unit_edge(id(r, c), id(r, c + 1))
+                    .expect("grid edges in range");
             }
             if r + 1 < rows {
-                b.add_unit_edge(id(r, c), id(r + 1, c)).expect("grid edges in range");
+                b.add_unit_edge(id(r, c), id(r + 1, c))
+                    .expect("grid edges in range");
             }
         }
     }
@@ -99,20 +102,25 @@ pub fn grid(rows: usize, cols: usize) -> Graph {
 ///
 /// Panics if either dimension is zero.
 pub fn weighted_grid(rows: usize, cols: usize, seed: u64) -> Graph {
-    assert!(rows > 0 && cols > 0, "weighted_grid requires positive dimensions");
-    let mut rng = StdRng::seed_from_u64(seed);
+    assert!(
+        rows > 0 && cols > 0,
+        "weighted_grid requires positive dimensions"
+    );
+    let mut rng = Xorshift64::seed_from_u64(seed);
     let n = rows * cols;
     let mut b = GraphBuilder::with_capacity(n, 2 * n);
     let id = |r: usize, c: usize| (r * cols + c) as NodeId;
     for r in 0..rows {
         for c in 0..cols {
             if c + 1 < cols {
-                let w: Weight = rng.gen_range(1..=10);
-                b.add_edge(id(r, c), id(r, c + 1), w).expect("grid edges in range");
+                let w: Weight = rng.gen_range_inclusive_u64(1, 10);
+                b.add_edge(id(r, c), id(r, c + 1), w)
+                    .expect("grid edges in range");
             }
             if r + 1 < rows {
-                let w: Weight = rng.gen_range(1..=10);
-                b.add_edge(id(r, c), id(r + 1, c), w).expect("grid edges in range");
+                let w: Weight = rng.gen_range_inclusive_u64(1, 10);
+                b.add_edge(id(r, c), id(r + 1, c), w)
+                    .expect("grid edges in range");
             }
         }
     }
@@ -126,7 +134,8 @@ pub fn balanced_binary_tree(depth: u32) -> Graph {
     let n = (1usize << (depth + 1)) - 1;
     let mut b = GraphBuilder::with_capacity(n, n - 1);
     for v in 1..n {
-        b.add_unit_edge(((v - 1) / 2) as NodeId, v as NodeId).expect("tree edges in range");
+        b.add_unit_edge(((v - 1) / 2) as NodeId, v as NodeId)
+            .expect("tree edges in range");
     }
     b.build()
 }
@@ -139,11 +148,12 @@ pub fn balanced_binary_tree(depth: u32) -> Graph {
 /// Panics if `n == 0`.
 pub fn random_tree(n: usize, seed: u64) -> Graph {
     assert!(n > 0, "random_tree requires n >= 1");
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Xorshift64::seed_from_u64(seed);
     let mut b = GraphBuilder::with_capacity(n, n.saturating_sub(1));
     for v in 1..n {
-        let parent = rng.gen_range(0..v);
-        b.add_unit_edge(parent as NodeId, v as NodeId).expect("tree edges in range");
+        let parent = rng.gen_index(v);
+        b.add_unit_edge(parent as NodeId, v as NodeId)
+            .expect("tree edges in range");
     }
     b.build()
 }
@@ -159,12 +169,14 @@ pub fn caterpillar(spine: usize, legs: usize) -> Graph {
     let n = spine * (legs + 1);
     let mut b = GraphBuilder::with_capacity(n, n - 1);
     for i in 1..spine {
-        b.add_unit_edge((i - 1) as NodeId, i as NodeId).expect("spine edges in range");
+        b.add_unit_edge((i - 1) as NodeId, i as NodeId)
+            .expect("spine edges in range");
     }
     let mut next = spine;
     for i in 0..spine {
         for _ in 0..legs {
-            b.add_unit_edge(i as NodeId, next as NodeId).expect("leg edges in range");
+            b.add_unit_edge(i as NodeId, next as NodeId)
+                .expect("leg edges in range");
             next += 1;
         }
     }
@@ -196,24 +208,26 @@ pub fn connected_gnm(n: usize, extra_edges: usize, seed: u64) -> Graph {
         extra_edges <= max_extra,
         "requested {extra_edges} extra edges but only {max_extra} fit in a simple graph"
     );
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Xorshift64::seed_from_u64(seed);
     let mut present = std::collections::HashSet::new();
     let mut b = GraphBuilder::with_capacity(n, n - 1 + extra_edges);
     for v in 1..n {
-        let parent = rng.gen_range(0..v);
-        b.add_unit_edge(parent as NodeId, v as NodeId).expect("tree edges in range");
+        let parent = rng.gen_index(v);
+        b.add_unit_edge(parent as NodeId, v as NodeId)
+            .expect("tree edges in range");
         present.insert((parent.min(v), parent.max(v)));
     }
     let mut added = 0;
     while added < extra_edges {
-        let u = rng.gen_range(0..n);
-        let v = rng.gen_range(0..n);
+        let u = rng.gen_index(n);
+        let v = rng.gen_index(n);
         if u == v {
             continue;
         }
         let key = (u.min(v), u.max(v));
         if present.insert(key) {
-            b.add_unit_edge(u as NodeId, v as NodeId).expect("extra edges in range");
+            b.add_unit_edge(u as NodeId, v as NodeId)
+                .expect("extra edges in range");
             added += 1;
         }
     }
@@ -228,12 +242,15 @@ pub fn connected_gnm(n: usize, extra_edges: usize, seed: u64) -> Graph {
 ///
 /// Panics if `n` is odd or zero.
 pub fn union_of_matchings(n: usize, d: usize, seed: u64) -> Graph {
-    assert!(n > 0 && n.is_multiple_of(2), "union_of_matchings requires positive even n");
-    let mut rng = StdRng::seed_from_u64(seed);
+    assert!(
+        n > 0 && n.is_multiple_of(2),
+        "union_of_matchings requires positive even n"
+    );
+    let mut rng = Xorshift64::seed_from_u64(seed);
     let mut b = GraphBuilder::with_capacity(n, n / 2 * d);
     let mut perm: Vec<usize> = (0..n).collect();
     for _ in 0..d {
-        perm.shuffle(&mut rng);
+        rng.shuffle(&mut perm);
         for pair in perm.chunks_exact(2) {
             b.add_unit_edge(pair[0] as NodeId, pair[1] as NodeId)
                 .expect("matching edges in range");
@@ -254,8 +271,8 @@ pub fn union_of_matchings(n: usize, d: usize, seed: u64) -> Graph {
 pub fn unit_disk(n: usize, radius: f64, seed: u64) -> Graph {
     assert!(n > 0, "unit_disk requires n >= 1");
     assert!(radius > 0.0, "radius must be positive");
-    let mut rng = StdRng::seed_from_u64(seed);
-    let points: Vec<(f64, f64)> = (0..n).map(|_| (rng.gen::<f64>(), rng.gen::<f64>())).collect();
+    let mut rng = Xorshift64::seed_from_u64(seed);
+    let points: Vec<(f64, f64)> = (0..n).map(|_| (rng.gen_f64(), rng.gen_f64())).collect();
     let mut b = GraphBuilder::new(n);
     for i in 0..n {
         for j in (i + 1)..n {
@@ -283,7 +300,7 @@ pub fn unit_disk(n: usize, radius: f64, seed: u64) -> Graph {
 pub fn preferential_attachment(n: usize, m_edges: usize, seed: u64) -> Graph {
     assert!(n >= 2, "preferential_attachment requires n >= 2");
     assert!(m_edges >= 1, "each vertex must attach at least once");
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Xorshift64::seed_from_u64(seed);
     let mut b = GraphBuilder::with_capacity(n, n * m_edges);
     // Endpoint pool: picking a uniform element = degree-proportional vertex.
     let mut pool: Vec<NodeId> = vec![0, 1];
@@ -293,7 +310,7 @@ pub fn preferential_attachment(n: usize, m_edges: usize, seed: u64) -> Graph {
         let want = m_edges.min(v);
         let mut attempts = 0;
         while targets.len() < want && attempts < 50 * want {
-            targets.insert(pool[rng.gen_range(0..pool.len())]);
+            targets.insert(pool[rng.gen_index(pool.len())]);
             attempts += 1;
         }
         for &t in &targets {
@@ -316,15 +333,16 @@ pub fn preferential_attachment(n: usize, m_edges: usize, seed: u64) -> Graph {
 pub fn skewed_sparse(n: usize, hub_degree: usize, seed: u64) -> Graph {
     assert!(n >= 2, "skewed_sparse requires n >= 2");
     assert!(hub_degree < n, "hub_degree must be < n");
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Xorshift64::seed_from_u64(seed);
     let mut b = GraphBuilder::with_capacity(n, n - 1 + hub_degree);
     for v in 1..n {
-        let parent = rng.gen_range(0..v);
-        b.add_unit_edge(parent as NodeId, v as NodeId).expect("tree edges in range");
+        let parent = rng.gen_index(v);
+        b.add_unit_edge(parent as NodeId, v as NodeId)
+            .expect("tree edges in range");
     }
     let mut attached = 0;
     while attached < hub_degree {
-        let v = rng.gen_range(1..n);
+        let v = rng.gen_range_usize(1, n);
         b.add_unit_edge(0, v as NodeId).expect("hub edges in range");
         attached += 1;
     }
@@ -459,7 +477,10 @@ mod tests {
 
     #[test]
     fn preferential_attachment_deterministic() {
-        assert_eq!(preferential_attachment(60, 2, 4), preferential_attachment(60, 2, 4));
+        assert_eq!(
+            preferential_attachment(60, 2, 4),
+            preferential_attachment(60, 2, 4)
+        );
     }
 
     #[test]

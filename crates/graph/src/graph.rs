@@ -1,7 +1,5 @@
 //! The compressed-sparse-row (CSR) undirected graph representation.
 
-use serde::{Deserialize, Serialize};
-
 /// Vertex identifier. Graphs in this workspace are bounded by `u32` ids.
 pub type NodeId = u32;
 
@@ -35,7 +33,7 @@ pub const INFINITY: u64 = u64::MAX;
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Graph {
     offsets: Vec<usize>,
     targets: Vec<NodeId>,
@@ -57,7 +55,13 @@ impl Graph {
     ) -> Self {
         debug_assert_eq!(targets.len(), weights.len());
         debug_assert_eq!(*offsets.last().unwrap_or(&0), targets.len());
-        Graph { offsets, targets, weights, num_edges, unit_weights }
+        Graph {
+            offsets,
+            targets,
+            weights,
+            num_edges,
+            unit_weights,
+        }
     }
 
     /// Creates an empty graph with `n` isolated vertices.
@@ -103,7 +107,10 @@ impl Graph {
 
     /// Maximum degree over all vertices (0 for the empty graph).
     pub fn max_degree(&self) -> usize {
-        (0..self.num_nodes()).map(|v| self.degree(v as NodeId)).max().unwrap_or(0)
+        (0..self.num_nodes())
+            .map(|v| self.degree(v as NodeId))
+            .max()
+            .unwrap_or(0)
     }
 
     /// Average degree `2m / n` as a float (0.0 for the empty graph).
@@ -123,7 +130,11 @@ impl Graph {
     pub fn neighbors(&self, v: NodeId) -> Neighbors<'_> {
         let v = v as usize;
         let (lo, hi) = (self.offsets[v], self.offsets[v + 1]);
-        Neighbors { targets: &self.targets[lo..hi], weights: &self.weights[lo..hi], idx: 0 }
+        Neighbors {
+            targets: &self.targets[lo..hi],
+            weights: &self.weights[lo..hi],
+            idx: 0,
+        }
     }
 
     /// The sorted neighbor ids of `v` (without weights).
@@ -150,7 +161,8 @@ impl Graph {
     /// Iterates over every undirected edge once, as `(u, v, w)` with `u < v`.
     pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId, Weight)> + '_ {
         (0..self.num_nodes() as NodeId).flat_map(move |u| {
-            self.neighbors(u).filter_map(move |(v, w)| if u < v { Some((u, v, w)) } else { None })
+            self.neighbors(u)
+                .filter_map(move |(v, w)| if u < v { Some((u, v, w)) } else { None })
         })
     }
 
@@ -281,18 +293,8 @@ mod tests {
     }
 
     #[test]
-    fn serde_roundtrip() {
+    fn debug_names_fields() {
         let g = triangle();
-        let json = serde_json_like(&g);
-        assert!(json.contains("offsets"));
-    }
-
-    // serde_json is not a dependency; smoke-test Serialize via the debug of
-    // a serde-serializable struct through bincode-free check: just ensure the
-    // trait bounds exist at compile time.
-    fn serde_json_like(g: &Graph) -> String {
-        fn assert_serde<T: serde::Serialize + for<'de> serde::Deserialize<'de>>() {}
-        assert_serde::<Graph>();
-        format!("{:?} offsets", g)
+        assert!(format!("{g:?}").contains("offsets"));
     }
 }

@@ -63,7 +63,9 @@ pub fn read_edge_list<R: BufRead>(input: R) -> Result<Graph, GraphError> {
                 builder = Some(GraphBuilder::with_capacity(n, declared_edges));
             }
             Some("e") => {
-                let b = builder.as_mut().ok_or_else(|| bad("edge before header", i + 1))?;
+                let b = builder
+                    .as_mut()
+                    .ok_or_else(|| bad("edge before header", i + 1))?;
                 let u: u32 = parts
                     .next()
                     .and_then(|t| t.parse().ok())
@@ -149,7 +151,10 @@ mod tests {
     fn malformed_inputs_rejected() {
         assert!(from_str("").is_err(), "missing header");
         assert!(from_str("e 0 1 1\n").is_err(), "edge before header");
-        assert!(from_str("p 2 1\np 2 1\ne 0 1 1\n").is_err(), "duplicate header");
+        assert!(
+            from_str("p 2 1\np 2 1\ne 0 1 1\n").is_err(),
+            "duplicate header"
+        );
         assert!(from_str("p 2 2\ne 0 1 1\n").is_err(), "edge count mismatch");
         assert!(from_str("p x 1\ne 0 1 1\n").is_err(), "bad node count");
         assert!(from_str("p 2 1\ne 0 5 1\n").is_err(), "node out of range");

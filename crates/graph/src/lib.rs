@@ -45,6 +45,7 @@ pub mod generators;
 pub mod graph;
 pub mod io;
 pub mod properties;
+pub mod rng;
 pub mod separator;
 pub mod sptree;
 pub mod subgraph;

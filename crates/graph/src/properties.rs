@@ -96,7 +96,10 @@ pub fn hop_diameter_exact(g: &Graph) -> Distance {
     }
     let mut best = 0;
     for v in 0..n as NodeId {
-        let e = crate::bfs::bfs_distances(g, v).into_iter().max().unwrap_or(0);
+        let e = crate::bfs::bfs_distances(g, v)
+            .into_iter()
+            .max()
+            .unwrap_or(0);
         if e == INFINITY {
             return INFINITY;
         }

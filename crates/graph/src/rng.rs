@@ -1,0 +1,217 @@
+//! Tiny self-contained pseudo-random generator for seeded, reproducible
+//! graph generation and sampling.
+//!
+//! The workspace must build with **no external dependencies** (offline
+//! environments cannot resolve crates.io), so instead of `rand` every
+//! seeded utility uses this xorshift64* generator. It is deterministic
+//! bit-for-bit across platforms and releases: the same seed always yields
+//! the same stream, which the generator tests rely on.
+//!
+//! Not cryptographic — statistical quality only (xorshift64* passes the
+//! usual empirical batteries, which is plenty for graph sampling).
+
+/// Seeded xorshift64* generator with a SplitMix64-scrambled seed.
+///
+/// # Example
+///
+/// ```
+/// use hl_graph::rng::Xorshift64;
+///
+/// let mut a = Xorshift64::seed_from_u64(7);
+/// let mut b = Xorshift64::seed_from_u64(7);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Xorshift64 {
+    state: u64,
+}
+
+impl Xorshift64 {
+    /// Creates a generator from a `u64` seed. Any seed (including 0) is
+    /// valid; a SplitMix64 scramble step decorrelates nearby seeds.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        // xorshift state must be nonzero.
+        Xorshift64 { state: z | 1 }
+    }
+
+    /// Next 64 uniformly random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform value in `[0, bound)`, bias-free (Lemire rejection).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    pub fn gen_u64_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "gen_u64_below requires a positive bound");
+        let threshold = bound.wrapping_neg() % bound;
+        loop {
+            let m = u128::from(self.next_u64()) * u128::from(bound);
+            if (m as u64) >= threshold {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+
+    /// Uniform value in the half-open range `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn gen_range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "gen_range_u64 requires lo < hi");
+        lo + self.gen_u64_below(hi - lo)
+    }
+
+    /// Uniform value in the *closed* range `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn gen_range_inclusive_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo <= hi, "gen_range_inclusive_u64 requires lo <= hi");
+        if lo == 0 && hi == u64::MAX {
+            return self.next_u64();
+        }
+        lo + self.gen_u64_below(hi - lo + 1)
+    }
+
+    /// Uniform index in `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn gen_index(&mut self, n: usize) -> usize {
+        self.gen_u64_below(n as u64) as usize
+    }
+
+    /// Uniform `usize` in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn gen_range_usize(&mut self, lo: usize, hi: usize) -> usize {
+        self.gen_range_u64(lo as u64, hi as u64) as usize
+    }
+
+    /// Uniform `f64` in `[0, 1)` with 53 random mantissa bits.
+    pub fn gen_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Fair coin flip.
+    pub fn gen_bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+
+    /// In-place Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.gen_index(i + 1);
+            xs.swap(i, j);
+        }
+    }
+
+    /// Draws `k` distinct elements from `xs` (seeded partial shuffle);
+    /// returns fewer when `xs` is shorter than `k`.
+    pub fn sample<T: Clone>(&mut self, xs: &[T], k: usize) -> Vec<T> {
+        let mut idx: Vec<usize> = (0..xs.len()).collect();
+        self.shuffle(&mut idx);
+        idx.truncate(k);
+        idx.into_iter().map(|i| xs[i].clone()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_by_seed() {
+        let mut a = Xorshift64::seed_from_u64(42);
+        let mut b = Xorshift64::seed_from_u64(42);
+        let mut c = Xorshift64::seed_from_u64(43);
+        let xs: Vec<u64> = (0..16).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..16).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..16).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn zero_seed_works() {
+        let mut r = Xorshift64::seed_from_u64(0);
+        assert_ne!(r.next_u64(), r.next_u64());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = Xorshift64::seed_from_u64(1);
+        for _ in 0..1000 {
+            assert!(r.gen_u64_below(7) < 7);
+            let v = r.gen_range_u64(10, 20);
+            assert!((10..20).contains(&v));
+            let w = r.gen_range_inclusive_u64(1, 10);
+            assert!((1..=10).contains(&w));
+            let f = r.gen_f64();
+            assert!((0.0..1.0).contains(&f));
+        }
+        assert_eq!(r.gen_u64_below(1), 0);
+        assert_eq!(r.gen_range_inclusive_u64(5, 5), 5);
+    }
+
+    #[test]
+    fn range_values_cover_support() {
+        let mut r = Xorshift64::seed_from_u64(3);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            seen[r.gen_index(10)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues should appear");
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut r = Xorshift64::seed_from_u64(9);
+        let mut xs: Vec<usize> = (0..50).collect();
+        r.shuffle(&mut xs);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(
+            xs,
+            (0..50).collect::<Vec<_>>(),
+            "50! permutations, identity is wildly unlikely"
+        );
+    }
+
+    #[test]
+    fn sample_draws_distinct() {
+        let mut r = Xorshift64::seed_from_u64(11);
+        let xs: Vec<u32> = (0..30).collect();
+        let mut s = r.sample(&xs, 10);
+        assert_eq!(s.len(), 10);
+        s.sort_unstable();
+        s.dedup();
+        assert_eq!(s.len(), 10);
+        assert_eq!(r.sample(&xs, 100).len(), 30, "capped at population size");
+    }
+
+    #[test]
+    fn bools_are_mixed() {
+        let mut r = Xorshift64::seed_from_u64(5);
+        let heads = (0..1000).filter(|_| r.gen_bool()).count();
+        assert!((300..700).contains(&heads), "heads = {heads}");
+    }
+}

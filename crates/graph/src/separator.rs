@@ -35,7 +35,10 @@ pub struct Separator {
 pub fn bfs_level_separator(g: &Graph, part: &[NodeId]) -> Separator {
     assert!(!part.is_empty(), "cannot separate an empty part");
     if part.len() <= 2 {
-        return Separator { vertices: vec![part[0]], parts: split_off(g, part, &[part[0]]) };
+        return Separator {
+            vertices: vec![part[0]],
+            parts: split_off(g, part, &[part[0]]),
+        };
     }
     let in_part = member_mask(g.num_nodes(), part);
     // Double sweep inside the part for a deep root.
@@ -59,7 +62,10 @@ pub fn bfs_level_separator(g: &Graph, part: &[NodeId]) -> Separator {
     if max_level == 0 {
         // Degenerate: the part is a clique-like single level or fully
         // disconnected; cut out the root.
-        return Separator { vertices: vec![far], parts: split_off(g, part, &[far]) };
+        return Separator {
+            vertices: vec![far],
+            parts: split_off(g, part, &[far]),
+        };
     }
     let mut level_count = vec![0usize; (max_level + 1) as usize];
     let mut reachable = 0usize;
@@ -113,7 +119,10 @@ pub fn bfs_level_separator(g: &Graph, part: &[NodeId]) -> Separator {
             parts.push(piece);
         }
     }
-    Separator { vertices: sep, parts }
+    Separator {
+        vertices: sep,
+        parts,
+    }
 }
 
 fn member_mask(n: usize, part: &[NodeId]) -> Vec<bool> {
@@ -180,7 +189,11 @@ mod tests {
         let limit = (2 * part.len()).div_ceil(3).max(1);
         // Parts are balanced.
         for p in &sep.parts {
-            assert!(p.len() <= limit, "part of {} exceeds limit {limit}", p.len());
+            assert!(
+                p.len() <= limit,
+                "part of {} exceeds limit {limit}",
+                p.len()
+            );
         }
         // Separator + parts partition the input.
         let mut all: Vec<NodeId> = sep.vertices.clone();
@@ -210,7 +223,11 @@ mod tests {
         let g = generators::path(30);
         let part: Vec<NodeId> = (0..30).collect();
         let sep = check_separator(&g, &part);
-        assert!(sep.vertices.len() <= 3, "a path splits at one vertex: {:?}", sep.vertices);
+        assert!(
+            sep.vertices.len() <= 3,
+            "a path splits at one vertex: {:?}",
+            sep.vertices
+        );
     }
 
     #[test]

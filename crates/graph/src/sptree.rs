@@ -24,8 +24,11 @@ impl ShortestPathTree {
     ///
     /// Uses BFS for unit-weight graphs and Dijkstra otherwise.
     pub fn build(g: &Graph, root: NodeId) -> Self {
-        let (dist, parent) =
-            if g.is_unit_weighted() { bfs_with_parents(g, root) } else { dijkstra_with_parents(g, root) };
+        let (dist, parent) = if g.is_unit_weighted() {
+            bfs_with_parents(g, root)
+        } else {
+            dijkstra_with_parents(g, root)
+        };
         ShortestPathTree { root, dist, parent }
     }
 
@@ -82,7 +85,9 @@ impl ShortestPathTree {
                 cur = self.parent[cur as usize];
             }
         }
-        (0..self.dist.len() as NodeId).filter(|&v| in_closure[v as usize]).collect()
+        (0..self.dist.len() as NodeId)
+            .filter(|&v| in_closure[v as usize])
+            .collect()
     }
 }
 

@@ -35,20 +35,27 @@ pub fn induced_subgraph(g: &Graph, keep: &[NodeId]) -> InducedSubgraph {
         for (v, w) in g.neighbors(old) {
             if v > old {
                 if let Some(new_v) = to_new[v as usize] {
-                    builder.add_edge(new_u, new_v, w).expect("subgraph edges in range");
+                    builder
+                        .add_edge(new_u, new_v, w)
+                        .expect("subgraph edges in range");
                 }
             }
         }
     }
-    InducedSubgraph { graph: builder.build(), to_original: kept, to_new }
+    InducedSubgraph {
+        graph: builder.build(),
+        to_original: kept,
+        to_new,
+    }
 }
 
 /// Extracts the connected component containing `v` as an induced subgraph.
 pub fn component_of(g: &Graph, v: NodeId) -> InducedSubgraph {
     let (labels, _) = crate::properties::connected_components(g);
     let target = labels[v as usize];
-    let keep: Vec<NodeId> =
-        (0..g.num_nodes() as NodeId).filter(|&u| labels[u as usize] == target).collect();
+    let keep: Vec<NodeId> = (0..g.num_nodes() as NodeId)
+        .filter(|&u| labels[u as usize] == target)
+        .collect();
     induced_subgraph(g, &keep)
 }
 

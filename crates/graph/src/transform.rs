@@ -55,7 +55,9 @@ pub struct DegreeReduction {
 /// ```
 pub fn reduce_degree(g: &Graph, cap: usize) -> Result<DegreeReduction, GraphError> {
     if cap == 0 {
-        return Err(GraphError::InvalidParameters { reason: "degree cap must be positive".into() });
+        return Err(GraphError::InvalidParameters {
+            reason: "degree cap must be positive".into(),
+        });
     }
     let n = g.num_nodes();
     // Assign each original vertex a contiguous block of copies.
@@ -79,7 +81,11 @@ pub fn reduce_degree(g: &Graph, cap: usize) -> Result<DegreeReduction, GraphErro
     // Weight-0 chains inside each block.
     for v in 0..n {
         for c in 1..copies[v] {
-            b.add_edge(first_copy[v] + c as NodeId - 1, first_copy[v] + c as NodeId, 0)?;
+            b.add_edge(
+                first_copy[v] + c as NodeId - 1,
+                first_copy[v] + c as NodeId,
+                0,
+            )?;
         }
     }
     // Distribute original edges across copies: the i-th incident edge of v
@@ -92,7 +98,11 @@ pub fn reduce_degree(g: &Graph, cap: usize) -> Result<DegreeReduction, GraphErro
         used[v as usize] += 1;
         b.add_edge(cu, cv, w)?;
     }
-    Ok(DegreeReduction { graph: b.build(), representative: first_copy, origin })
+    Ok(DegreeReduction {
+        graph: b.build(),
+        representative: first_copy,
+        origin,
+    })
 }
 
 /// Outcome of [`subdivide_weights`]: the unit-weight graph plus the mapping
@@ -135,7 +145,10 @@ pub fn subdivide_weights(g: &Graph) -> Result<Subdivision, GraphError> {
         }
         b.add_unit_edge(prev, v)?;
     }
-    Ok(Subdivision { graph: b.build(), num_original: n })
+    Ok(Subdivision {
+        graph: b.build(),
+        num_original: n,
+    })
 }
 
 #[cfg(test)]
@@ -195,8 +208,8 @@ mod tests {
 
     #[test]
     fn subdivision_preserves_distances() {
-        let g = graph_from_weighted_edges(4, &[(0, 1, 3), (1, 2, 1), (2, 3, 5), (0, 3, 10)])
-            .unwrap();
+        let g =
+            graph_from_weighted_edges(4, &[(0, 1, 3), (1, 2, 1), (2, 3, 5), (0, 3, 10)]).unwrap();
         let sub = subdivide_weights(&g).unwrap();
         assert!(sub.graph.is_unit_weighted());
         assert_eq!(sub.num_original, 4);

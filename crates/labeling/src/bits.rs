@@ -53,6 +53,28 @@ impl BitVec {
     pub fn as_bytes(&self) -> &[u8] {
         &self.bytes
     }
+
+    /// Reassembles a bit vector from its serialized parts: the bytes from
+    /// [`BitVec::as_bytes`] plus the bit length from [`BitVec::len`].
+    /// This is the inverse used by binary label stores (`hl-server`).
+    ///
+    /// Returns `None` when `bytes` is not exactly `ceil(len / 8)` bytes
+    /// long or a bit past `len` in the final byte is set — both are signs
+    /// of a corrupted or misaligned serialization, which callers must
+    /// surface as an error rather than decode garbage.
+    pub fn from_bytes(bytes: Vec<u8>, len: usize) -> Option<Self> {
+        if bytes.len() != len.div_ceil(8) {
+            return None;
+        }
+        if !len.is_multiple_of(8) {
+            let tail = bytes[bytes.len() - 1];
+            let used = len % 8;
+            if tail & ((1u8 << (8 - used)) - 1) != 0 {
+                return None;
+            }
+        }
+        Some(BitVec { bytes, len })
+    }
 }
 
 /// MSB-first bit writer over a [`BitVec`].
@@ -79,7 +101,10 @@ impl BitWriter {
     /// Panics if `width > 64` or `value` does not fit in `width` bits.
     pub fn write_bits(&mut self, value: u64, width: u32) {
         assert!(width <= 64, "width too large");
-        assert!(width == 64 || value < (1u64 << width), "value does not fit width");
+        assert!(
+            width == 64 || value < (1u64 << width),
+            "value does not fit width"
+        );
         for i in (0..width).rev() {
             self.bits.push(value >> i & 1 == 1);
         }

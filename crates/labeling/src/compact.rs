@@ -85,8 +85,10 @@ pub fn encode_compact(label: &HubLabel, params: &CompactParams) -> BitLabel {
         (TAG_SPLIT, encode_split_body(label, params)),
         (TAG_GAP_SPLIT, encode_gap_split_body(label, params)),
     ];
-    let (tag, body) =
-        candidates.into_iter().min_by_key(|(_, b)| b.len()).expect("four candidates");
+    let (tag, body) = candidates
+        .into_iter()
+        .min_by_key(|(_, b)| b.len())
+        .expect("four candidates");
     let mut w = BitWriter::new();
     w.write_bits(tag, 2);
     let mut r = BitReader::new(&body);
@@ -113,10 +115,7 @@ pub fn decode_compact(label: &BitLabel, params: &CompactParams) -> HubLabel {
 }
 
 /// Encodes a whole labeling compactly.
-pub fn encode_labeling_compact(
-    labeling: &HubLabeling,
-    params: &CompactParams,
-) -> Vec<BitLabel> {
+pub fn encode_labeling_compact(labeling: &HubLabeling, params: &CompactParams) -> Vec<BitLabel> {
     (0..labeling.num_nodes() as NodeId)
         .map(|v| encode_compact(labeling.label(v), params))
         .collect()
@@ -145,11 +144,14 @@ fn decode_gamma_body(r: &mut BitReader<'_>) -> HubLabel {
     let mut hubs = Vec::with_capacity(k);
     let mut cur = 0u64;
     for i in 0..k {
-        cur = if i == 0 { r.read_gamma0() } else { cur + r.read_gamma() };
+        cur = if i == 0 {
+            r.read_gamma0()
+        } else {
+            cur + r.read_gamma()
+        };
         hubs.push(cur as NodeId);
     }
-    let pairs: Vec<(NodeId, Distance)> =
-        hubs.iter().map(|&h| (h, r.read_gamma0())).collect();
+    let pairs: Vec<(NodeId, Distance)> = hubs.iter().map(|&h| (h, r.read_gamma0())).collect();
     HubLabel::from_pairs(pairs)
 }
 
@@ -198,7 +200,11 @@ fn decode_split_body(r: &mut BitReader<'_>, params: &CompactParams) -> HubLabel 
     let pairs: Vec<(NodeId, Distance)> = (0..k)
         .map(|_| {
             let h = r.read_bits(params.id_bits) as NodeId;
-            let d = if r.read_bit() { r.read_bits(nb) } else { r.read_bits(params.dist_bits) };
+            let d = if r.read_bit() {
+                r.read_bits(nb)
+            } else {
+                r.read_bits(params.dist_bits)
+            };
             (h, d)
         })
         .collect();
@@ -235,13 +241,21 @@ fn decode_gap_split_body(r: &mut BitReader<'_>, params: &CompactParams) -> HubLa
     let mut hubs = Vec::with_capacity(k);
     let mut cur = 0u64;
     for i in 0..k {
-        cur = if i == 0 { r.read_gamma0() } else { cur + r.read_gamma() };
+        cur = if i == 0 {
+            r.read_gamma0()
+        } else {
+            cur + r.read_gamma()
+        };
         hubs.push(cur as NodeId);
     }
     let pairs: Vec<(NodeId, Distance)> = hubs
         .iter()
         .map(|&h| {
-            let d = if r.read_bit() { r.read_bits(nb) } else { r.read_bits(params.dist_bits) };
+            let d = if r.read_bit() {
+                r.read_bits(nb)
+            } else {
+                r.read_bits(params.dist_bits)
+            };
             (h, d)
         })
         .collect();
@@ -261,7 +275,11 @@ mod tests {
         let params = CompactParams::new(g.num_nodes(), diameter_exact(g), d);
         for v in 0..g.num_nodes() as NodeId {
             let enc = encode_compact(labeling.label(v), &params);
-            assert_eq!(&decode_compact(&enc, &params), labeling.label(v), "vertex {v}");
+            assert_eq!(
+                &decode_compact(&enc, &params),
+                labeling.label(v),
+                "vertex {v}"
+            );
         }
     }
 
@@ -285,7 +303,10 @@ mod tests {
     fn roundtrip_empty_label() {
         let params = CompactParams::new(10, 5, 2);
         let empty = HubLabel::new();
-        assert_eq!(decode_compact(&encode_compact(&empty, &params), &params), empty);
+        assert_eq!(
+            decode_compact(&encode_compact(&empty, &params), &params),
+            empty
+        );
     }
 
     #[test]
@@ -306,9 +327,14 @@ mod tests {
         // should win for them on a long path (large diameter, so full-width
         // distances are expensive).
         let g = generators::path(200);
-        let (hl, _) =
-            random_threshold_labeling(&g, RandomThresholdParams { threshold: 6, seed: 1 })
-                .unwrap();
+        let (hl, _) = random_threshold_labeling(
+            &g,
+            RandomThresholdParams {
+                threshold: 6,
+                seed: 1,
+            },
+        )
+        .unwrap();
         let params = CompactParams::new(200, diameter_exact(&g), 6);
         let compact = SchemeStats::of(&encode_labeling_compact(&hl, &params));
         let gamma = SchemeStats::of(&crate::hub_scheme::encode_labeling(&hl));

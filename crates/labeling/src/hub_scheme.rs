@@ -40,7 +40,11 @@ pub fn decode_label(label: &BitLabel) -> HubLabel {
     let mut hubs = Vec::with_capacity(k);
     let mut cur = 0u64;
     for i in 0..k {
-        cur = if i == 0 { r.read_gamma0() } else { cur + r.read_gamma() };
+        cur = if i == 0 {
+            r.read_gamma0()
+        } else {
+            cur + r.read_gamma()
+        };
         hubs.push(cur as NodeId);
     }
     let mut pairs = Vec::with_capacity(k);
@@ -52,7 +56,9 @@ pub fn decode_label(label: &BitLabel) -> HubLabel {
 
 /// Encodes a complete hub labeling.
 pub fn encode_labeling(labeling: &HubLabeling) -> Vec<BitLabel> {
-    (0..labeling.num_nodes() as NodeId).map(|v| encode_label(labeling.label(v))).collect()
+    (0..labeling.num_nodes() as NodeId)
+        .map(|v| encode_label(labeling.label(v)))
+        .collect()
 }
 
 /// Decodes the distance between two encoded labels (merge on hub ids).
@@ -162,7 +168,9 @@ mod tests {
         let g = hl_graph::builder::graph_from_edges(5, &[(0, 1), (2, 3)]).unwrap();
         assert_eq!(verify_scheme(&HubPllScheme, &g).unwrap(), 0);
         let labels = HubPllScheme.encode(&g).unwrap();
-        assert!(is_disconnected_answer(HubPllScheme.decode(&labels[0], &labels[4])));
+        assert!(is_disconnected_answer(
+            HubPllScheme.decode(&labels[0], &labels[4])
+        ));
     }
 
     #[test]
@@ -187,7 +195,11 @@ mod tests {
         let g = generators::grid(8, 8);
         let labels = HubPllScheme.encode(&g).unwrap();
         let stats = SchemeStats::of(&labels);
-        assert!(stats.average_bits < 64.0 * 7.0 / 2.0, "avg = {}", stats.average_bits);
+        assert!(
+            stats.average_bits < 64.0 * 7.0 / 2.0,
+            "avg = {}",
+            stats.average_bits
+        );
         assert!(stats.max_bits > 0);
     }
 }

@@ -68,7 +68,11 @@ impl SchemeStats {
         SchemeStats {
             num_labels: labels.len(),
             total_bits: total,
-            average_bits: if labels.is_empty() { 0.0 } else { total as f64 / labels.len() as f64 },
+            average_bits: if labels.is_empty() {
+                0.0
+            } else {
+                total as f64 / labels.len() as f64
+            },
             max_bits: labels.iter().map(|l| l.num_bits()).max().unwrap_or(0),
         }
     }
@@ -81,10 +85,7 @@ impl SchemeStats {
 /// # Errors
 ///
 /// Propagates errors from encoding or the APSP computation.
-pub fn verify_scheme(
-    scheme: &dyn DistanceLabelingScheme,
-    g: &Graph,
-) -> Result<usize, GraphError> {
+pub fn verify_scheme(scheme: &dyn DistanceLabelingScheme, g: &Graph) -> Result<usize, GraphError> {
     let labels = scheme.encode(g)?;
     let m = hl_graph::apsp::DistanceMatrix::compute(g)?;
     let mut violations = 0;

@@ -1,14 +1,22 @@
-//! Property-based tests for the bit codecs and label encodings.
-
-use proptest::prelude::*;
+//! Randomized property tests for the bit codecs and label encodings,
+//! driven by seeded [`Xorshift64`] streams (offline-friendly stand-in for
+//! the original `proptest` strategies).
 
 use hl_core::label::HubLabel;
+use hl_graph::rng::Xorshift64;
 use hl_labeling::bits::{BitReader, BitWriter};
 use hl_labeling::hub_scheme::{decode_label, encode_label};
 
-proptest! {
-    #[test]
-    fn gamma_roundtrip(values in proptest::collection::vec(1u64..u64::MAX / 2, 0..100)) {
+const CASES: u64 = 64;
+
+#[test]
+fn gamma_roundtrip() {
+    for case in 0..CASES {
+        let mut rng = Xorshift64::seed_from_u64(case);
+        let count = rng.gen_index(100);
+        let values: Vec<u64> = (0..count)
+            .map(|_| rng.gen_range_u64(1, u64::MAX / 2))
+            .collect();
         let mut w = BitWriter::new();
         for &v in &values {
             w.write_gamma(v);
@@ -16,13 +24,20 @@ proptest! {
         let bits = w.into_bits();
         let mut r = BitReader::new(&bits);
         for &v in &values {
-            prop_assert_eq!(r.read_gamma(), v);
+            assert_eq!(r.read_gamma(), v);
         }
-        prop_assert_eq!(r.remaining(), 0);
+        assert_eq!(r.remaining(), 0);
     }
+}
 
-    #[test]
-    fn delta_roundtrip(values in proptest::collection::vec(1u64..u64::MAX / 2, 0..100)) {
+#[test]
+fn delta_roundtrip() {
+    for case in 0..CASES {
+        let mut rng = Xorshift64::seed_from_u64(1000 + case);
+        let count = rng.gen_index(100);
+        let values: Vec<u64> = (0..count)
+            .map(|_| rng.gen_range_u64(1, u64::MAX / 2))
+            .collect();
         let mut w = BitWriter::new();
         for &v in &values {
             w.write_delta(v);
@@ -30,12 +45,19 @@ proptest! {
         let bits = w.into_bits();
         let mut r = BitReader::new(&bits);
         for &v in &values {
-            prop_assert_eq!(r.read_delta(), v);
+            assert_eq!(r.read_delta(), v);
         }
     }
+}
 
-    #[test]
-    fn mixed_codes_roundtrip(ops in proptest::collection::vec((0u8..4, 1u64..1 << 40), 0..60)) {
+#[test]
+fn mixed_codes_roundtrip() {
+    for case in 0..CASES {
+        let mut rng = Xorshift64::seed_from_u64(2000 + case);
+        let count = rng.gen_index(60);
+        let ops: Vec<(u8, u64)> = (0..count)
+            .map(|_| (rng.gen_index(4) as u8, rng.gen_range_u64(1, 1 << 40)))
+            .collect();
         let mut w = BitWriter::new();
         for &(kind, v) in &ops {
             match kind {
@@ -59,53 +81,69 @@ proptest! {
                 3 => v & 0xFFFF,
                 _ => v,
             };
-            prop_assert_eq!(got, expect);
+            assert_eq!(got, expect);
         }
     }
+}
 
-    #[test]
-    fn hub_label_roundtrip(pairs in proptest::collection::vec((0u32..10_000, 0u64..1 << 30), 0..80)) {
+#[test]
+fn hub_label_roundtrip() {
+    for case in 0..CASES {
+        let mut rng = Xorshift64::seed_from_u64(3000 + case);
+        let count = rng.gen_index(80);
+        let pairs: Vec<(u32, u64)> = (0..count)
+            .map(|_| (rng.gen_index(10_000) as u32, rng.gen_u64_below(1 << 30)))
+            .collect();
         let label = HubLabel::from_pairs(pairs);
         let decoded = decode_label(&encode_label(&label));
-        prop_assert_eq!(decoded, label);
+        assert_eq!(decoded, label);
     }
+}
 
-    #[test]
-    fn encoding_size_monotone_in_hub_count(k in 0usize..50) {
+#[test]
+fn encoding_size_monotone_in_hub_count() {
+    for k in 0usize..50 {
         // More hubs never encode smaller (ids are increasing).
         let small: Vec<(u32, u64)> = (0..k as u32).map(|i| (i, i as u64)).collect();
         let large: Vec<(u32, u64)> = (0..k as u32 + 1).map(|i| (i, i as u64)).collect();
         let a = encode_label(&HubLabel::from_pairs(small)).num_bits();
         let b = encode_label(&HubLabel::from_pairs(large)).num_bits();
-        prop_assert!(b >= a);
+        assert!(b >= a);
     }
 }
 
-proptest! {
-    #[test]
-    fn compact_roundtrip_arbitrary(
-        pairs in proptest::collection::vec((0u32..5_000, 0u64..100_000), 0..60),
-        near in 1u64..64,
-    ) {
-        use hl_labeling::compact::{decode_compact, encode_compact, CompactParams};
+#[test]
+fn compact_roundtrip_arbitrary() {
+    use hl_labeling::compact::{decode_compact, encode_compact, CompactParams};
+    for case in 0..CASES {
+        let mut rng = Xorshift64::seed_from_u64(4000 + case);
+        let count = rng.gen_index(60);
+        let pairs: Vec<(u32, u64)> = (0..count)
+            .map(|_| (rng.gen_index(5_000) as u32, rng.gen_u64_below(100_000)))
+            .collect();
+        let near = rng.gen_range_u64(1, 64);
         let label = HubLabel::from_pairs(pairs);
         let max_d = label.distances().iter().copied().max().unwrap_or(0);
         let params = CompactParams::new(5_000, max_d, near);
         let decoded = decode_compact(&encode_compact(&label, &params), &params);
-        prop_assert_eq!(decoded, label);
+        assert_eq!(decoded, label);
     }
+}
 
-    #[test]
-    fn compact_never_beaten_by_gamma_by_more_than_tag(
-        pairs in proptest::collection::vec((0u32..2_000, 0u64..10_000), 0..40),
-    ) {
-        use hl_labeling::compact::{encode_compact, CompactParams};
-        use hl_labeling::hub_scheme::encode_label;
+#[test]
+fn compact_never_beaten_by_gamma_by_more_than_tag() {
+    use hl_labeling::compact::{encode_compact, CompactParams};
+    for case in 0..CASES {
+        let mut rng = Xorshift64::seed_from_u64(5000 + case);
+        let count = rng.gen_index(40);
+        let pairs: Vec<(u32, u64)> = (0..count)
+            .map(|_| (rng.gen_index(2_000) as u32, rng.gen_u64_below(10_000)))
+            .collect();
         let label = HubLabel::from_pairs(pairs);
         let max_d = label.distances().iter().copied().max().unwrap_or(0);
         let params = CompactParams::new(2_000, max_d, 8);
         let compact = encode_compact(&label, &params).num_bits();
         let gamma = encode_label(&label).num_bits();
-        prop_assert!(compact <= gamma + 2);
+        assert!(compact <= gamma + 2);
     }
 }

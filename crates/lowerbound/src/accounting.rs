@@ -25,7 +25,11 @@ pub fn h_triples(h: &HGraph) -> Vec<Triple> {
     let ell = h.params().ell as u64;
     h.even_pairs()
         .map(|(x, z, mid)| {
-            (h.node_id(0, &x), h.node_id(ell, &mid), h.node_id(2 * ell, &z))
+            (
+                h.node_id(0, &x),
+                h.node_id(ell, &mid),
+                h.node_id(2 * ell, &z),
+            )
         })
         .collect()
 }
@@ -81,8 +85,10 @@ pub fn audit(graph: &Graph, labeling: &HubLabeling, triples: &[Triple]) -> Accou
         closures.insert(e, tree.ancestor_closure(labeling.label(e).hubs()));
     }
     let contains = |v: NodeId, x: NodeId| closures[&v].binary_search(&x).is_ok();
-    let charged =
-        triples.iter().filter(|&&(u, mid, z)| contains(u, mid) || contains(z, mid)).count();
+    let charged = triples
+        .iter()
+        .filter(|&&(u, mid, z)| contains(u, mid) || contains(z, mid))
+        .count();
     AccountingReport {
         triples: triples.len(),
         charged,
@@ -98,11 +104,7 @@ pub fn audit_h(h: &HGraph, labeling: &HubLabeling) -> AccountingReport {
 }
 
 /// Audits a labeling of `G_{b,ℓ}`, mapping the triples through cores.
-pub fn audit_g(
-    h: &HGraph,
-    g: &crate::ggraph::GGraph,
-    labeling: &HubLabeling,
-) -> AccountingReport {
+pub fn audit_g(h: &HGraph, g: &crate::ggraph::GGraph, labeling: &HubLabeling) -> AccountingReport {
     let triples: Vec<Triple> = h_triples(h)
         .into_iter()
         .map(|(u, m, z)| (g.core(u), g.core(m), g.core(z)))
@@ -169,7 +171,11 @@ mod tests {
         let p = GadgetParams::new(2, 2).unwrap();
         let h = HGraph::build(p);
         let hl = PrunedLandmarkLabeling::by_degree(h.graph()).into_labeling();
-        assert!(hl.average_hubs() >= p.h_avg_hub_lower_bound(),
-            "avg {} < bound {}", hl.average_hubs(), p.h_avg_hub_lower_bound());
+        assert!(
+            hl.average_hubs() >= p.h_avg_hub_lower_bound(),
+            "avg {} < bound {}",
+            hl.average_hubs(),
+            p.h_avg_hub_lower_bound()
+        );
     }
 }

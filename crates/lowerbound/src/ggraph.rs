@@ -68,11 +68,17 @@ impl GGraph {
                 if base == NodeId::MAX {
                     continue;
                 }
-                builder.add_unit_edge(core[hv], base).expect("root link in range");
+                builder
+                    .add_unit_edge(core[hv], base)
+                    .expect("root link in range");
                 for k in 0..(s - 1) {
                     let node = base + k as NodeId;
-                    builder.add_unit_edge(node, base + (2 * k + 1) as NodeId).expect("tree edge");
-                    builder.add_unit_edge(node, base + (2 * k + 2) as NodeId).expect("tree edge");
+                    builder
+                        .add_unit_edge(node, base + (2 * k + 1) as NodeId)
+                        .expect("tree edge");
+                    builder
+                        .add_unit_edge(node, base + (2 * k + 2) as NodeId)
+                        .expect("tree edge");
                 }
             }
         }
@@ -107,7 +113,12 @@ impl GGraph {
             }
         }
 
-        GGraph { params, graph: builder.build(), core, structured }
+        GGraph {
+            params,
+            graph: builder.build(),
+            core,
+            structured,
+        }
     }
 
     /// The gadget parameters.
@@ -194,7 +205,8 @@ mod tests {
                     continue;
                 }
                 assert_eq!(
-                    dg[g.core(hv) as usize], dh[hv as usize],
+                    dg[g.core(hv) as usize],
+                    dh[hv as usize],
                     "distance mismatch {hu}-{hv}"
                 );
             }
@@ -220,7 +232,10 @@ mod tests {
         let total_w: u64 = h.graph().edges().map(|(_, _, w)| w).sum();
         let n = g.graph().num_nodes() as u64;
         // n = structured + sum(w - 2b - 3); structured is lower order.
-        assert!(n > total_w / 2 && n < total_w + 10_000, "n = {n}, total weight = {total_w}");
+        assert!(
+            n > total_w / 2 && n < total_w + 10_000,
+            "n = {n}, total weight = {total_w}"
+        );
     }
 
     #[test]

@@ -53,7 +53,10 @@ impl HGraph {
                 }
             }
         }
-        HGraph { params, graph: builder.build() }
+        HGraph {
+            params,
+            graph: builder.build(),
+        }
     }
 
     /// The gadget parameters.

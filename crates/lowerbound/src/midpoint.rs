@@ -84,8 +84,10 @@ pub fn check_all_pairs(h: &HGraph) -> Vec<MidpointCheck> {
             let mid: Vec<u64> = x.iter().zip(&z).map(|(&a, &c)| (a + c) / 2).collect();
             let dst = h.node_id(two_ell, &z);
             let mid_id = h.node_id(params.ell as u64, &mid);
-            let through =
-                tree.path_to(dst).map(|p| p.contains(&mid_id)).unwrap_or(false);
+            let through = tree
+                .path_to(dst)
+                .map(|p| p.contains(&mid_id))
+                .unwrap_or(false);
             let check = MidpointCheck {
                 x: x.clone(),
                 z: z.clone(),
@@ -107,7 +109,11 @@ pub fn check_all_pairs(h: &HGraph) -> Vec<MidpointCheck> {
 /// `4A + 4` and passes `v_{2,(2,1)}`; the red detour through `v_{2,(3,2)}`
 /// costs `4A + 8`.
 pub fn figure1_check(h: &HGraph) -> (MidpointCheck, u64) {
-    assert_eq!((h.params().b, h.params().ell), (2, 2), "Figure 1 uses b = ℓ = 2");
+    assert_eq!(
+        (h.params().b, h.params().ell),
+        (2, 2),
+        "Figure 1 uses b = ℓ = 2"
+    );
     let blue = check_pair(h, &[1, 0], &[3, 2]);
     // Red path length: forced detour keeping coordinate deltas (2,0)+(0,2)
     // in unbalanced splits: climb to (3,2) directly then descend straight:

@@ -88,8 +88,7 @@ impl GadgetParams {
     /// implied by claim (iii): `triplets / (n_H · (2ℓ + 1))`, using the hop
     /// diameter `2ℓ` (+1 for the root) as the `S* → S` conversion factor.
     pub fn h_avg_hub_lower_bound(&self) -> f64 {
-        self.triplet_count() as f64
-            / (self.h_num_nodes() as f64 * (2.0 * self.ell as f64 + 1.0))
+        self.triplet_count() as f64 / (self.h_num_nodes() as f64 * (2.0 * self.ell as f64 + 1.0))
     }
 
     /// The length of the unique shortest `v_{0,x} → v_{2ℓ,z}` path when

@@ -33,14 +33,17 @@ impl RemovedMiddle {
                 removed[h.node_id(ell, &y) as usize] = true;
             }
         }
-        let mut builder =
-            GraphBuilder::with_capacity(h.graph().num_nodes(), h.graph().num_edges());
+        let mut builder = GraphBuilder::with_capacity(h.graph().num_nodes(), h.graph().num_edges());
         for (u, v, w) in h.graph().edges() {
             if !removed[u as usize] && !removed[v as usize] {
                 builder.add_edge(u, v, w).expect("edges in range");
             }
         }
-        RemovedMiddle { params, graph: builder.build(), removed }
+        RemovedMiddle {
+            params,
+            graph: builder.build(),
+            removed,
+        }
     }
 
     /// The gadget parameters.
@@ -137,11 +140,7 @@ mod tests {
         // Remove half the middle layer but keep the midpoint (1,1).
         let pruned = RemovedMiddle::build(&h, |y| (y[0] + y[1]) % 2 == 0);
         assert!(pruned.num_removed() > 0);
-        let d = dijkstra_distance_between(
-            pruned.graph(),
-            h.node_id(0, &x),
-            h.node_id(4, &z),
-        );
+        let d = dijkstra_distance_between(pruned.graph(), h.node_id(0, &x), h.node_id(4, &z));
         assert!(decode_midpoint_presence(&params, &x, &z, d));
     }
 
@@ -153,11 +152,7 @@ mod tests {
         let keep = |y: &[u64]| !(y[0] * 31 + y[1] * 17).is_multiple_of(3);
         let pruned = RemovedMiddle::build(&h, keep);
         for (x, z, mid) in h.even_pairs() {
-            let d = dijkstra_distance_between(
-                pruned.graph(),
-                h.node_id(0, &x),
-                h.node_id(4, &z),
-            );
+            let d = dijkstra_distance_between(pruned.graph(), h.node_id(0, &x), h.node_id(4, &z));
             assert_eq!(
                 decode_midpoint_presence(&params, &x, &z, d),
                 keep(&mid),

@@ -2,9 +2,7 @@
 //! expensive: Lemma 2.2 on a seeded subset of even pairs, and the counting
 //! audit on a seeded subset of triples.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
+use hl_graph::rng::Xorshift64;
 use hl_graph::NodeId;
 
 use hl_core::label::HubLabeling;
@@ -19,16 +17,16 @@ pub fn sample_even_pairs(h: &HGraph, count: usize, seed: u64) -> Vec<(Vec<u64>, 
     let params = h.params();
     let s = params.side();
     let ell = params.ell as usize;
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Xorshift64::seed_from_u64(seed);
     (0..count)
         .map(|_| {
-            let x: Vec<u64> = (0..ell).map(|_| rng.gen_range(0..s)).collect();
+            let x: Vec<u64> = (0..ell).map(|_| rng.gen_u64_below(s)).collect();
             // z_k must match x_k's parity: draw a half-range offset.
             let z: Vec<u64> = x
                 .iter()
                 .map(|&xk| {
                     let parity = xk % 2;
-                    2 * rng.gen_range(0..s / 2) + parity
+                    2 * rng.gen_u64_below(s / 2) + parity
                 })
                 .collect();
             (x, z)

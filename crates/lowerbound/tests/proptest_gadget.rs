@@ -1,51 +1,60 @@
-//! Property-based tests for the lower-bound gadgets.
+//! Randomized property tests for the lower-bound gadgets, driven by seeded
+//! [`Xorshift64`] streams (offline-friendly stand-in for `proptest`).
 
-use proptest::prelude::*;
-
+use hl_graph::rng::Xorshift64;
 use hl_lowerbound::midpoint::check_pair;
 use hl_lowerbound::removal::{decode_midpoint_presence, RemovedMiddle};
 use hl_lowerbound::sampling::sample_even_pairs;
 use hl_lowerbound::{GadgetParams, HGraph};
 
-fn small_params() -> impl Strategy<Value = GadgetParams> {
-    prop_oneof![
-        Just(GadgetParams::new(1, 1).unwrap()),
-        Just(GadgetParams::new(2, 1).unwrap()),
-        Just(GadgetParams::new(1, 2).unwrap()),
-        Just(GadgetParams::new(2, 2).unwrap()),
-        Just(GadgetParams::new(3, 2).unwrap()),
-    ]
+const CASES: u64 = 24;
+
+fn small_params(rng: &mut Xorshift64) -> GadgetParams {
+    let choices = [(1u32, 1u32), (2, 1), (1, 2), (2, 2), (3, 2)];
+    let (b, ell) = choices[rng.gen_index(choices.len())];
+    GadgetParams::new(b, ell).unwrap()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn codec_roundtrips(p in small_params(), raw in any::<u64>()) {
-        let h = HGraph::build(p);
+#[test]
+fn codec_roundtrips() {
+    for case in 0..CASES {
+        let mut rng = Xorshift64::seed_from_u64(case);
+        let h = HGraph::build(small_params(&mut rng));
         let n = h.graph().num_nodes() as u64;
-        let v = (raw % n) as u32;
+        let v = (rng.next_u64() % n) as u32;
         let (level, coords) = h.node_coords(v);
-        prop_assert_eq!(h.node_id(level, &coords), v);
+        assert_eq!(h.node_id(level, &coords), v);
     }
+}
 
-    #[test]
-    fn lemma22_on_sampled_pairs(p in small_params(), seed in any::<u64>()) {
-        let h = HGraph::build(p);
-        for (x, z) in sample_even_pairs(&h, 8, seed) {
+#[test]
+fn lemma22_on_sampled_pairs() {
+    for case in 0..CASES {
+        let mut rng = Xorshift64::seed_from_u64(1000 + case);
+        let h = HGraph::build(small_params(&mut rng));
+        for (x, z) in sample_even_pairs(&h, 8, rng.next_u64()) {
             let check = check_pair(&h, &x, &z);
-            prop_assert!(check.holds(), "pair {:?} {:?}: {:?}", x, z, check);
+            assert!(check.holds(), "pair {x:?} {z:?}: {check:?}");
         }
     }
+}
 
-    #[test]
-    fn removal_monotone_in_distance(p in small_params(), seed in any::<u64>()) {
+#[test]
+fn removal_monotone_in_distance() {
+    for case in 0..CASES {
+        let mut rng = Xorshift64::seed_from_u64(2000 + case);
+        let p = small_params(&mut rng);
+        let seed = rng.next_u64();
         // Removing vertices can only increase distances; decoding must flag
         // exactly the removed midpoints.
         let h = HGraph::build(p);
         let keep_mask = seed;
         let keep = |y: &[u64]| {
-            let idx: u64 = y.iter().enumerate().map(|(i, &d)| d << (3 * i as u64)).sum();
+            let idx: u64 = y
+                .iter()
+                .enumerate()
+                .map(|(i, &d)| d << (3 * i as u64))
+                .sum();
             (keep_mask >> (idx % 64)) & 1 == 1
         };
         let pruned = RemovedMiddle::build(&h, keep);
@@ -54,18 +63,21 @@ proptest! {
             let src = h.node_id(0, &x);
             let dst = h.node_id(2 * p.ell as u64, &z);
             let d_full = hl_graph::dijkstra::dijkstra_distance_between(h.graph(), src, dst);
-            let d_pruned =
-                hl_graph::dijkstra::dijkstra_distance_between(pruned.graph(), src, dst);
-            prop_assert!(d_pruned >= d_full);
-            prop_assert_eq!(decode_midpoint_presence(&p, &x, &z, d_pruned), keep(&mid));
+            let d_pruned = hl_graph::dijkstra::dijkstra_distance_between(pruned.graph(), src, dst);
+            assert!(d_pruned >= d_full);
+            assert_eq!(decode_midpoint_presence(&p, &x, &z, d_pruned), keep(&mid));
         }
     }
+}
 
-    #[test]
-    fn predicted_length_formula_symmetric(p in small_params(), seed in any::<u64>()) {
+#[test]
+fn predicted_length_formula_symmetric() {
+    for case in 0..CASES {
+        let mut rng = Xorshift64::seed_from_u64(3000 + case);
+        let p = small_params(&mut rng);
         let h = HGraph::build(p);
-        for (x, z) in sample_even_pairs(&h, 6, seed) {
-            prop_assert_eq!(p.unique_sp_length(&x, &z), p.unique_sp_length(&z, &x));
+        for (x, z) in sample_even_pairs(&h, 6, rng.next_u64()) {
+            assert_eq!(p.unique_sp_length(&x, &z), p.unique_sp_length(&z, &x));
         }
     }
 }

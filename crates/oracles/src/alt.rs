@@ -24,7 +24,10 @@ impl<'g> AltOracle<'g> {
 
     /// Builds with `k` farthest-point landmarks.
     pub fn with_farthest_landmarks(graph: &'g Graph, k: usize) -> Self {
-        AltOracle { graph, landmarks: Landmarks::farthest(graph, k, 0) }
+        AltOracle {
+            graph,
+            landmarks: Landmarks::farthest(graph, k, 0),
+        }
     }
 
     /// The landmark set in use.

@@ -102,7 +102,11 @@ impl ContractionHierarchy {
         // Upward adjacency from every edge ever created.
         let mut up: Vec<Vec<(NodeId, Distance)>> = vec![Vec::new(); n];
         for (u, v, w) in all_edges {
-            let (lo, hi) = if rank[u as usize] < rank[v as usize] { (u, v) } else { (v, u) };
+            let (lo, hi) = if rank[u as usize] < rank[v as usize] {
+                (u, v)
+            } else {
+                (v, u)
+            };
             up[lo as usize].push((hi, w));
         }
         for row in &mut up {
@@ -117,7 +121,11 @@ impl ContractionHierarchy {
                 }
             });
         }
-        ContractionHierarchy { rank, up, num_shortcuts }
+        ContractionHierarchy {
+            rank,
+            up,
+            num_shortcuts,
+        }
     }
 
     /// Number of shortcut edges added during construction.
@@ -194,12 +202,7 @@ fn insert_min(adj: &mut [HashMap<NodeId, Distance>], u: NodeId, v: NodeId, w: Di
 /// current remaining graph (the contracted vertex is already detached)?
 /// Bounded Dijkstra with a hop limit — failing to find a witness is always
 /// safe (an extra shortcut never breaks correctness).
-fn has_witness(
-    adj: &[HashMap<NodeId, Distance>],
-    a: NodeId,
-    b: NodeId,
-    cap: Distance,
-) -> bool {
+fn has_witness(adj: &[HashMap<NodeId, Distance>], a: NodeId, b: NodeId, cap: Distance) -> bool {
     const HOP_LIMIT: u32 = 16;
     let mut dist: HashMap<NodeId, (Distance, u32)> = HashMap::new();
     let mut heap = BinaryHeap::new();

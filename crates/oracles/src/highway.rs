@@ -64,7 +64,9 @@ pub fn estimate_at_scale(g: &Graph, r: Distance) -> ScaleEstimate {
                 }
             }
         }
-        let best = (0..n).max_by_key(|&v| count[v as usize]).expect("nonempty graph");
+        let best = (0..n)
+            .max_by_key(|&v| count[v as usize])
+            .expect("nonempty graph");
         debug_assert!(count[best as usize] > 0);
         hitting.push(best);
         for (i, p) in paths.iter().enumerate() {
@@ -79,12 +81,19 @@ pub fn estimate_at_scale(g: &Graph, r: Distance) -> ScaleEstimate {
     if !hitting.is_empty() {
         for v in 0..n {
             let dist = hl_graph::dijkstra::shortest_path_distances(g, v);
-            let in_ball =
-                hitting.iter().filter(|&&x| dist[x as usize] <= 2 * r).count();
+            let in_ball = hitting
+                .iter()
+                .filter(|&&x| dist[x as usize] <= 2 * r)
+                .count();
             max_in_ball = max_in_ball.max(in_ball);
         }
     }
-    ScaleEstimate { r, num_paths, hitting_set: hitting.len(), max_in_ball }
+    ScaleEstimate {
+        r,
+        num_paths,
+        hitting_set: hitting.len(),
+        max_in_ball,
+    }
 }
 
 /// Sweeps scales `r = 1, 2, 4, …` up to the diameter and returns the

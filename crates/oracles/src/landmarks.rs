@@ -1,10 +1,6 @@
 //! Landmark selection and triangle-inequality distance bounds (the "L" of
 //! ALT).
 
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
-
 use hl_graph::dijkstra::shortest_path_distances;
 use hl_graph::{Distance, Graph, NodeId, INFINITY};
 
@@ -21,9 +17,9 @@ pub struct Landmarks {
 impl Landmarks {
     /// Selects `k` landmarks uniformly at random (seeded).
     pub fn random(g: &Graph, k: usize, seed: u64) -> Self {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = hl_graph::rng::Xorshift64::seed_from_u64(seed);
         let mut all: Vec<NodeId> = (0..g.num_nodes() as NodeId).collect();
-        all.shuffle(&mut rng);
+        rng.shuffle(&mut all);
         let ids: Vec<NodeId> = all.into_iter().take(k.min(g.num_nodes())).collect();
         Self::from_ids(g, ids)
     }
@@ -55,7 +51,10 @@ impl Landmarks {
                 break; // everything reachable is already a landmark
             }
         }
-        Landmarks { ids, dist: dist_rows }
+        Landmarks {
+            ids,
+            dist: dist_rows,
+        }
     }
 
     /// Builds landmark tables for explicit vertices.
@@ -110,7 +109,10 @@ impl Landmarks {
 
     /// Memory footprint of the distance tables in bytes.
     pub fn memory_bytes(&self) -> usize {
-        self.dist.iter().map(|r| r.len() * std::mem::size_of::<Distance>()).sum()
+        self.dist
+            .iter()
+            .map(|r| r.len() * std::mem::size_of::<Distance>())
+            .sum()
     }
 }
 

@@ -132,10 +132,12 @@ mod tests {
         let bi = BidirectionalOracle { graph: &g };
         let alt = AltOracle::with_farthest_landmarks(&g, 4);
         let ch = ContractionHierarchy::build(&g);
-        let hub =
-            HubLabelOracle { labeling: PrunedLandmarkLabeling::by_degree(&g).into_labeling() };
-        let queries: Vec<(NodeId, NodeId)> =
-            (0..49).flat_map(|u| [(u, (u * 3) % 49), (u, 48 - u)]).collect();
+        let hub = HubLabelOracle {
+            labeling: PrunedLandmarkLabeling::by_degree(&g).into_labeling(),
+        };
+        let queries: Vec<(NodeId, NodeId)> = (0..49)
+            .flat_map(|u| [(u, (u * 3) % 49), (u, 48 - u)])
+            .collect();
         let oracles: [&dyn DistanceOracle; 5] = [&dij, &bi, &alt, &ch, &hub];
         assert_eq!(cross_check(&oracles, &queries), None);
     }

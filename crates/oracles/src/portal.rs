@@ -40,15 +40,23 @@ impl<'g> PortalOracle<'g> {
 
     /// Builds the oracle with explicit portals.
     pub fn with_portals(graph: &'g Graph, portals: Vec<NodeId>) -> Self {
-        let rows: Vec<Vec<Distance>> =
-            portals.iter().map(|&p| shortest_path_distances(graph, p)).collect();
+        let rows: Vec<Vec<Distance>> = portals
+            .iter()
+            .map(|&p| shortest_path_distances(graph, p))
+            .collect();
         let mut is_portal = vec![false; graph.num_nodes()];
         let mut portal_index = vec![usize::MAX; graph.num_nodes()];
         for (i, &p) in portals.iter().enumerate() {
             is_portal[p as usize] = true;
             portal_index[p as usize] = i;
         }
-        PortalOracle { graph, portals, rows, is_portal, portal_index }
+        PortalOracle {
+            graph,
+            portals,
+            rows,
+            is_portal,
+            portal_index,
+        }
     }
 
     /// Number of portals.
@@ -58,7 +66,10 @@ impl<'g> PortalOracle<'g> {
 
     /// Table space in bytes (`k · n` distances).
     pub fn memory_bytes(&self) -> usize {
-        self.rows.iter().map(|r| r.len() * std::mem::size_of::<Distance>()).sum()
+        self.rows
+            .iter()
+            .map(|r| r.len() * std::mem::size_of::<Distance>())
+            .sum()
     }
 
     /// Upper bound on `d(u, v)` through the best portal.

@@ -1,94 +1,116 @@
-//! Property-based tests: every oracle must agree with ground truth on
+//! Randomized property tests: every oracle must agree with ground truth on
 //! arbitrary sparse graphs (weighted and unweighted, connected or not).
-
-use proptest::prelude::*;
+//! Seeded [`Xorshift64`] case generation keeps the suite offline-buildable.
 
 use hl_core::pll::PrunedLandmarkLabeling;
 use hl_graph::apsp::DistanceMatrix;
+use hl_graph::rng::Xorshift64;
 use hl_graph::{generators, GraphBuilder, NodeId};
 use hl_oracles::oracle::{DistanceOracle, HubLabelOracle};
 use hl_oracles::{AltOracle, ContractionHierarchy, Landmarks};
 
-fn sparse_graph() -> impl Strategy<Value = hl_graph::Graph> {
-    (5usize..30, 0usize..20, any::<u64>()).prop_map(|(n, extra, seed)| {
-        let max_extra = n * (n - 1) / 2 - (n - 1);
-        generators::connected_gnm(n, extra.min(max_extra), seed)
-    })
+const CASES: u64 = 24;
+
+fn sparse_graph(rng: &mut Xorshift64) -> hl_graph::Graph {
+    let n = rng.gen_range_usize(5, 30);
+    let max_extra = n * (n - 1) / 2 - (n - 1);
+    let extra = rng.gen_index(20).min(max_extra);
+    generators::connected_gnm(n, extra, rng.next_u64())
 }
 
 /// Possibly-disconnected weighted graph from a raw edge list.
-fn arbitrary_graph() -> impl Strategy<Value = hl_graph::Graph> {
-    proptest::collection::vec((0u32..15, 0u32..15, 1u64..20), 0..40).prop_map(|edges| {
-        let mut b = GraphBuilder::new(15);
-        for (u, v, w) in edges {
-            if u != v {
-                b.add_edge(u, v, w).unwrap();
-            }
+fn arbitrary_graph(rng: &mut Xorshift64) -> hl_graph::Graph {
+    let m = rng.gen_index(40);
+    let mut b = GraphBuilder::new(15);
+    for _ in 0..m {
+        let u = rng.gen_index(15) as u32;
+        let v = rng.gen_index(15) as u32;
+        let w = rng.gen_range_u64(1, 20);
+        if u != v {
+            b.add_edge(u, v, w).unwrap();
         }
-        b.build()
-    })
+    }
+    b.build()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(40))]
-
-    #[test]
-    fn ch_exact_on_connected_graphs(g in sparse_graph()) {
+#[test]
+fn ch_exact_on_connected_graphs() {
+    for case in 0..CASES {
+        let mut rng = Xorshift64::seed_from_u64(case);
+        let g = sparse_graph(&mut rng);
         let ch = ContractionHierarchy::build(&g);
         let m = DistanceMatrix::compute(&g).unwrap();
         for u in 0..g.num_nodes() as NodeId {
             for v in 0..g.num_nodes() as NodeId {
-                prop_assert_eq!(ch.query(u, v), m.distance(u, v));
+                assert_eq!(ch.query(u, v), m.distance(u, v));
             }
         }
     }
+}
 
-    #[test]
-    fn ch_exact_on_arbitrary_graphs(g in arbitrary_graph()) {
+#[test]
+fn ch_exact_on_arbitrary_graphs() {
+    for case in 0..CASES {
+        let mut rng = Xorshift64::seed_from_u64(1000 + case);
+        let g = arbitrary_graph(&mut rng);
         let ch = ContractionHierarchy::build(&g);
         let m = DistanceMatrix::compute(&g).unwrap();
         for u in 0..g.num_nodes() as NodeId {
             for v in 0..g.num_nodes() as NodeId {
-                prop_assert_eq!(ch.query(u, v), m.distance(u, v));
+                assert_eq!(ch.query(u, v), m.distance(u, v));
             }
         }
     }
+}
 
-    #[test]
-    fn alt_exact_with_any_landmark_count(g in sparse_graph(), k in 0usize..6) {
+#[test]
+fn alt_exact_with_any_landmark_count() {
+    for case in 0..CASES {
+        let mut rng = Xorshift64::seed_from_u64(2000 + case);
+        let g = sparse_graph(&mut rng);
+        let k = rng.gen_index(6);
         let alt = AltOracle::new(&g, Landmarks::random(&g, k, 7));
         let m = DistanceMatrix::compute(&g).unwrap();
         for u in (0..g.num_nodes() as NodeId).step_by(3) {
             for v in 0..g.num_nodes() as NodeId {
-                prop_assert_eq!(alt.query_with_stats(u, v).0, m.distance(u, v));
+                assert_eq!(alt.query_with_stats(u, v).0, m.distance(u, v));
             }
         }
     }
+}
 
-    #[test]
-    fn landmark_bounds_always_valid(g in arbitrary_graph(), k in 1usize..5, seed in any::<u64>()) {
-        let lm = Landmarks::random(&g, k, seed);
+#[test]
+fn landmark_bounds_always_valid() {
+    for case in 0..CASES {
+        let mut rng = Xorshift64::seed_from_u64(3000 + case);
+        let g = arbitrary_graph(&mut rng);
+        let k = rng.gen_range_usize(1, 5);
+        let lm = Landmarks::random(&g, k, rng.next_u64());
         let m = DistanceMatrix::compute(&g).unwrap();
         for u in 0..g.num_nodes() as NodeId {
             for v in 0..g.num_nodes() as NodeId {
                 let d = m.distance(u, v);
                 if d != hl_graph::INFINITY {
-                    prop_assert!(lm.lower_bound(u, v) <= d);
-                    prop_assert!(lm.upper_bound(u, v) >= d);
+                    assert!(lm.lower_bound(u, v) <= d);
+                    assert!(lm.upper_bound(u, v) >= d);
                 }
             }
         }
     }
+}
 
-    #[test]
-    fn hub_oracle_matches_ch(g in sparse_graph()) {
+#[test]
+fn hub_oracle_matches_ch() {
+    for case in 0..CASES {
+        let mut rng = Xorshift64::seed_from_u64(4000 + case);
+        let g = sparse_graph(&mut rng);
         let ch = ContractionHierarchy::build(&g);
         let hub = HubLabelOracle {
             labeling: PrunedLandmarkLabeling::by_degree(&g).into_labeling(),
         };
         for u in 0..g.num_nodes() as NodeId {
             for v in (0..g.num_nodes() as NodeId).step_by(2) {
-                prop_assert_eq!(hub.distance(u, v), ch.query(u, v));
+                assert_eq!(hub.distance(u, v), ch.query(u, v));
             }
         }
     }

@@ -120,7 +120,11 @@ pub fn behrend_for_dimension(n: u64, d: u32) -> Option<Vec<u64>> {
     if base_max < 3 {
         return None;
     }
-    let base = if base_max.is_multiple_of(2) { base_max - 1 } else { base_max };
+    let base = if base_max.is_multiple_of(2) {
+        base_max - 1
+    } else {
+        base_max
+    };
     let c = base.div_ceil(2); // digits 0..c-1, doubled digits stay < base
     if c < 2 {
         return None;
@@ -140,8 +144,10 @@ pub fn behrend_for_dimension(n: u64, d: u32) -> Option<Vec<u64>> {
         loop {
             if pos == d as usize {
                 // Finished; take the best sphere.
-                let best =
-                    by_norm.into_values().max_by_key(|v| v.len()).unwrap_or_default();
+                let best = by_norm
+                    .into_values()
+                    .max_by_key(|v| v.len())
+                    .unwrap_or_default();
                 return Some(best);
             }
             digits[pos] += 1;
@@ -175,9 +181,18 @@ pub struct ApFreeDensity {
 /// to a work cap and reported as 0 beyond it).
 pub fn density(n: u64) -> ApFreeDensity {
     let behrend = behrend_set(n).len();
-    let greedy = if n <= 150_000 { greedy_ap_free_set(n).len() } else { 0 };
+    let greedy = if n <= 150_000 {
+        greedy_ap_free_set(n).len()
+    } else {
+        0
+    };
     let best = behrend.max(greedy).max(1);
-    ApFreeDensity { n, greedy, behrend, gap_factor: n as f64 / best as f64 }
+    ApFreeDensity {
+        n,
+        greedy,
+        behrend,
+        gap_factor: n as f64 / best as f64,
+    }
 }
 
 #[cfg(test)]

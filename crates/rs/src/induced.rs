@@ -56,8 +56,7 @@ pub fn is_induced_matching_partition(g: &Graph, matchings: &[Vec<(NodeId, NodeId
 /// the matchings. The count is an upper bound on the minimum number of
 /// induced matchings needed — the quantity `RS`-type bounds constrain.
 pub fn greedy_induced_partition(g: &Graph) -> Vec<Vec<(NodeId, NodeId)>> {
-    let mut remaining: Vec<(NodeId, NodeId)> =
-        g.edges().map(|(u, v, _)| (u, v)).collect();
+    let mut remaining: Vec<(NodeId, NodeId)> = g.edges().map(|(u, v, _)| (u, v)).collect();
     let mut result = Vec::new();
     while !remaining.is_empty() {
         let mut matched: HashSet<NodeId> = HashSet::new();

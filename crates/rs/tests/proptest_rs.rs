@@ -1,69 +1,97 @@
-//! Property-based tests for the Ruzsa–Szemerédi machinery.
+//! Randomized property tests for the Ruzsa–Szemerédi machinery, driven by
+//! seeded [`Xorshift64`] streams (offline-friendly stand-in for `proptest`).
 
-use proptest::prelude::*;
-
+use hl_graph::rng::Xorshift64;
 use hl_rs::behrend::{behrend_for_dimension, greedy_ap_free_set, is_ap_free};
 use hl_rs::induced::{greedy_induced_partition, is_induced_matching_partition};
 use hl_rs::{behrend_set, best_ap_free_set, RsGraph};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+const CASES: u64 = 32;
 
-    #[test]
-    fn greedy_sets_are_ap_free(n in 1u64..600) {
+#[test]
+fn greedy_sets_are_ap_free() {
+    for case in 0..CASES {
+        let mut rng = Xorshift64::seed_from_u64(case);
+        let n = rng.gen_range_u64(1, 600);
         let s = greedy_ap_free_set(n);
-        prop_assert!(is_ap_free(&s));
-        prop_assert!(s.iter().all(|&x| x < n));
+        assert!(is_ap_free(&s));
+        assert!(s.iter().all(|&x| x < n));
     }
+}
 
-    #[test]
-    fn greedy_is_monotone_prefix(n in 2u64..300) {
+#[test]
+fn greedy_is_monotone_prefix() {
+    for case in 0..CASES {
+        let mut rng = Xorshift64::seed_from_u64(1000 + case);
+        let n = rng.gen_range_u64(2, 300);
         // The greedy set for a smaller universe is a prefix of the larger.
         let small = greedy_ap_free_set(n);
         let large = greedy_ap_free_set(n + 50);
-        prop_assert!(large.starts_with(&small));
+        assert!(large.starts_with(&small));
     }
+}
 
-    #[test]
-    fn behrend_sets_are_ap_free(n in 8u64..40_000) {
+#[test]
+fn behrend_sets_are_ap_free() {
+    for case in 0..CASES {
+        let mut rng = Xorshift64::seed_from_u64(2000 + case);
+        let n = rng.gen_range_u64(8, 40_000);
         let s = behrend_set(n);
-        prop_assert!(is_ap_free(&s));
-        prop_assert!(s.iter().all(|&x| x < n));
+        assert!(is_ap_free(&s));
+        assert!(s.iter().all(|&x| x < n));
     }
+}
 
-    #[test]
-    fn behrend_dimension_slices_are_ap_free(n in 64u64..20_000, d in 2u32..6) {
+#[test]
+fn behrend_dimension_slices_are_ap_free() {
+    for case in 0..CASES {
+        let mut rng = Xorshift64::seed_from_u64(3000 + case);
+        let n = rng.gen_range_u64(64, 20_000);
+        let d = rng.gen_range_u64(2, 6) as u32;
         if let Some(s) = behrend_for_dimension(n, d) {
-            prop_assert!(is_ap_free(&s));
-            prop_assert!(s.iter().all(|&x| x < n));
+            assert!(is_ap_free(&s));
+            assert!(s.iter().all(|&x| x < n));
         }
     }
+}
 
-    #[test]
-    fn best_set_at_least_as_large(n in 8u64..5_000) {
+#[test]
+fn best_set_at_least_as_large() {
+    for case in 0..CASES {
+        let mut rng = Xorshift64::seed_from_u64(4000 + case);
+        let n = rng.gen_range_u64(8, 5_000);
         let best = best_ap_free_set(n);
-        prop_assert!(best.len() >= behrend_set(n).len());
-        prop_assert!(is_ap_free(&best));
+        assert!(best.len() >= behrend_set(n).len());
+        assert!(is_ap_free(&best));
     }
+}
 
-    #[test]
-    fn rs_graph_matchings_always_induced(base in 2usize..25, pick in any::<u64>()) {
+#[test]
+fn rs_graph_matchings_always_induced() {
+    for case in 0..CASES {
+        let mut rng = Xorshift64::seed_from_u64(5000 + case);
+        let base = rng.gen_range_usize(2, 25);
         // Use a greedy AP-free difference set over a random-ish universe.
-        let universe = 4 + (pick % 40);
+        let universe = 4 + rng.gen_u64_below(40);
         let b = greedy_ap_free_set(universe);
         let rs = RsGraph::from_ap_free_set(base, &b);
-        prop_assert!(rs.is_ruzsa_szemeredi());
-        prop_assert!(is_induced_matching_partition(rs.graph(), rs.matchings()));
-        prop_assert_eq!(rs.graph().num_edges(), base * b.len());
+        assert!(rs.is_ruzsa_szemeredi());
+        assert!(is_induced_matching_partition(rs.graph(), rs.matchings()));
+        assert_eq!(rs.graph().num_edges(), base * b.len());
     }
+}
 
-    #[test]
-    fn greedy_partition_valid_on_random_graphs(n in 4usize..30, extra in 0usize..25, seed in any::<u64>()) {
+#[test]
+fn greedy_partition_valid_on_random_graphs() {
+    for case in 0..CASES {
+        let mut rng = Xorshift64::seed_from_u64(6000 + case);
+        let n = rng.gen_range_usize(4, 30);
+        let extra = rng.gen_index(25);
         let max_extra = n * (n - 1) / 2 - (n - 1);
-        let g = hl_graph::generators::connected_gnm(n, extra.min(max_extra), seed);
+        let g = hl_graph::generators::connected_gnm(n, extra.min(max_extra), rng.next_u64());
         let p = greedy_induced_partition(&g);
-        prop_assert!(is_induced_matching_partition(&g, &p));
+        assert!(is_induced_matching_partition(&g, &p));
         // A partition never needs more matchings than edges.
-        prop_assert!(p.len() <= g.num_edges());
+        assert!(p.len() <= g.num_edges());
     }
 }

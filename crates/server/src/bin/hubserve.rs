@@ -1,0 +1,304 @@
+//! `hubserve` — build, serve and load-test binary hub label stores.
+//!
+//! ```text
+//! hubserve build <graph-file> <store-file> [algo]    graph -> binary store
+//! hubserve query <store-file> [pairs-file]           answer "u v" lines
+//! hubserve bench <store-file> [options]              synthetic load test
+//! ```
+//!
+//! `build` reads the plain-text edge list of `hl_graph::io`, constructs a
+//! labeling (`pll` by default; also `pll-random`, `pll-betweenness`) and
+//! writes the versioned binary store of `hl_server::store`.
+//!
+//! `query` reads whitespace-separated `u v` pairs — from a file when given
+//! (served as one batch across the pool), else line-by-line from stdin
+//! through the cached single-query path — and prints `u v <distance>` per
+//! pair, with `inf` for unreachable.
+//!
+//! `bench` drives the engine with seeded random batches on 1 worker and on
+//! N workers, reports throughput and the speedup, then replays a skewed
+//! single-query workload to exercise the cache, and dumps the metrics
+//! snapshot.
+//!
+//! Exit codes: 0 success, 1 runtime failure (bad store, i/o), 2 usage.
+
+use std::fs::File;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::process::ExitCode;
+use std::time::Instant;
+
+use hl_core::pll::PrunedLandmarkLabeling;
+use hl_core::HubLabeling;
+use hl_graph::rng::Xorshift64;
+use hl_graph::{NodeId, INFINITY};
+use hl_server::{LabelStore, QueryEngine};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("build") => cmd_build(&args[1..]),
+        Some("query") => cmd_query(&args[1..]),
+        Some("bench") => cmd_bench(&args[1..]),
+        _ => {
+            eprintln!("usage: hubserve build|query|bench ...");
+            eprintln!("  build <graph-file> <store-file> [pll|pll-random|pll-betweenness]");
+            eprintln!("  query <store-file> [pairs-file]");
+            eprintln!("  bench <store-file> [--queries N] [--workers N] [--batch N] [--seed S]");
+            return ExitCode::from(2);
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("hubserve: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn default_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4)
+}
+
+fn open_store(path: &str) -> Result<LabelStore, String> {
+    LabelStore::open(path).map_err(|e| format!("cannot open store {path}: {e}"))
+}
+
+fn cmd_build(args: &[String]) -> Result<(), String> {
+    let (graph_path, store_path, algo) = match args {
+        [g, s] => (g, s, "pll"),
+        [g, s, a] => (g, s, a.as_str()),
+        _ => return Err("usage: hubserve build <graph-file> <store-file> [algo]".into()),
+    };
+    let file = File::open(graph_path).map_err(|e| format!("cannot open {graph_path}: {e}"))?;
+    let g = hl_graph::io::read_edge_list(BufReader::new(file)).map_err(|e| e.to_string())?;
+    let started = Instant::now();
+    let labeling: HubLabeling = match algo {
+        "pll" => PrunedLandmarkLabeling::by_degree(&g).into_labeling(),
+        "pll-random" => PrunedLandmarkLabeling::by_random_order(&g, 1).into_labeling(),
+        "pll-betweenness" => PrunedLandmarkLabeling::by_betweenness(&g, 24, 1).into_labeling(),
+        other => return Err(format!("unknown algorithm '{other}'")),
+    };
+    let build_s = started.elapsed().as_secs_f64();
+    let store = LabelStore::from_labeling(&labeling);
+    store
+        .save(store_path)
+        .map_err(|e| format!("cannot write {store_path}: {e}"))?;
+    println!(
+        "built {algo} labels for {} nodes in {build_s:.2}s; store {} bytes ({:.1} bits/label)",
+        labeling.num_nodes(),
+        store.file_len(),
+        store.total_bits() as f64 / labeling.num_nodes().max(1) as f64,
+    );
+    Ok(())
+}
+
+fn parse_pair(line: &str, n: usize) -> Result<Option<(NodeId, NodeId)>, String> {
+    let line = line.trim();
+    if line.is_empty() || line.starts_with('#') {
+        return Ok(None);
+    }
+    let mut it = line.split_whitespace();
+    let (Some(u), Some(v), None) = (it.next(), it.next(), it.next()) else {
+        return Err(format!("expected 'u v', got '{line}'"));
+    };
+    let u: NodeId = u.parse().map_err(|_| format!("bad vertex id '{u}'"))?;
+    let v: NodeId = v.parse().map_err(|_| format!("bad vertex id '{v}'"))?;
+    if u as usize >= n || v as usize >= n {
+        return Err(format!(
+            "vertex out of range in '{line}' (store covers 0..{n})"
+        ));
+    }
+    Ok(Some((u, v)))
+}
+
+fn print_answer(out: &mut impl Write, u: NodeId, v: NodeId, d: u64) -> Result<(), String> {
+    let r = if d == INFINITY {
+        writeln!(out, "{u} {v} inf")
+    } else {
+        writeln!(out, "{u} {v} {d}")
+    };
+    r.map_err(|e| e.to_string())
+}
+
+fn cmd_query(args: &[String]) -> Result<(), String> {
+    let (store_path, pairs_path) = match args {
+        [s] => (s, None),
+        [s, p] => (s, Some(p)),
+        _ => return Err("usage: hubserve query <store-file> [pairs-file]".into()),
+    };
+    let store = open_store(store_path)?;
+    let n = store.num_nodes();
+    let engine = QueryEngine::from_store(&store, default_workers())
+        .map_err(|e| format!("cannot decode store: {e}"))?;
+    let stdout = std::io::stdout();
+    let mut out = BufWriter::new(stdout.lock());
+
+    match pairs_path {
+        Some(path) => {
+            // Batch mode: load all pairs, shard them across the pool.
+            let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+            let mut pairs = Vec::new();
+            for line in BufReader::new(file).lines() {
+                let line = line.map_err(|e| e.to_string())?;
+                if let Some(pair) = parse_pair(&line, n)? {
+                    pairs.push(pair);
+                }
+            }
+            let distances = engine.query_batch(&pairs).map_err(|e| e.to_string())?;
+            for (&(u, v), &d) in pairs.iter().zip(&distances) {
+                print_answer(&mut out, u, v, d)?;
+            }
+        }
+        None => {
+            // Line protocol: answer as lines arrive, through the cache.
+            let stdin = std::io::stdin();
+            for line in stdin.lock().lines() {
+                let line = line.map_err(|e| e.to_string())?;
+                if let Some((u, v)) = parse_pair(&line, n)? {
+                    let d = engine.query(u, v).map_err(|e| e.to_string())?;
+                    print_answer(&mut out, u, v, d)?;
+                }
+            }
+        }
+    }
+    out.flush().map_err(|e| e.to_string())?;
+    Ok(())
+}
+
+struct BenchOpts {
+    queries: usize,
+    workers: usize,
+    batch: usize,
+    seed: u64,
+}
+
+fn parse_bench_opts(args: &[String]) -> Result<(String, BenchOpts), String> {
+    let mut store_path = None;
+    let mut opts = BenchOpts {
+        queries: 100_000,
+        workers: default_workers(),
+        batch: 1024,
+        seed: 42,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut take = |name: &str| {
+            it.next()
+                .map(String::as_str)
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--queries" => {
+                opts.queries = take("--queries")?
+                    .parse()
+                    .map_err(|e| format!("--queries: {e}"))?
+            }
+            "--workers" => {
+                opts.workers = take("--workers")?
+                    .parse()
+                    .map_err(|e| format!("--workers: {e}"))?
+            }
+            "--batch" => {
+                opts.batch = take("--batch")?
+                    .parse()
+                    .map_err(|e| format!("--batch: {e}"))?
+            }
+            "--seed" => {
+                opts.seed = take("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?
+            }
+            other if store_path.is_none() && !other.starts_with('-') => {
+                store_path = Some(other.to_string())
+            }
+            other => return Err(format!("unexpected argument '{other}'")),
+        }
+    }
+    let store_path = store_path.ok_or_else(|| {
+        "usage: hubserve bench <store-file> [--queries N] [--workers N] [--batch N] [--seed S]"
+            .to_string()
+    })?;
+    if opts.queries == 0 || opts.batch == 0 {
+        return Err("--queries and --batch must be positive".into());
+    }
+    Ok((store_path, opts))
+}
+
+fn run_batches(
+    engine: &QueryEngine,
+    pairs: &[(NodeId, NodeId)],
+    batch: usize,
+) -> Result<f64, String> {
+    let started = Instant::now();
+    let mut sink = 0u64;
+    for chunk in pairs.chunks(batch) {
+        let distances = engine.query_batch(chunk).map_err(|e| e.to_string())?;
+        sink = sink.wrapping_add(distances.iter().fold(0u64, |a, &d| a.wrapping_add(d)));
+    }
+    std::hint::black_box(sink);
+    Ok(started.elapsed().as_secs_f64())
+}
+
+fn cmd_bench(args: &[String]) -> Result<(), String> {
+    let (store_path, opts) = parse_bench_opts(args)?;
+    let store = open_store(&store_path)?;
+    let n = store.num_nodes();
+    if n < 2 {
+        return Err("store too small to bench".into());
+    }
+    let labeling = store
+        .to_labeling()
+        .map_err(|e| format!("cannot decode store: {e}"))?;
+
+    let mut rng = Xorshift64::seed_from_u64(opts.seed);
+    let pairs: Vec<(NodeId, NodeId)> = (0..opts.queries)
+        .map(|_| (rng.gen_index(n) as NodeId, rng.gen_index(n) as NodeId))
+        .collect();
+
+    println!(
+        "store: {n} nodes, {} bytes; load: {} queries in batches of {}",
+        store.file_len(),
+        opts.queries,
+        opts.batch
+    );
+
+    let single = QueryEngine::new(labeling.clone(), 1);
+    let t1 = run_batches(&single, &pairs, opts.batch)?;
+    println!(
+        "  1 worker : {:>10.0} queries/s ({t1:.3}s)",
+        opts.queries as f64 / t1
+    );
+    drop(single);
+
+    let pooled = QueryEngine::new(labeling, opts.workers);
+    let tn = run_batches(&pooled, &pairs, opts.batch)?;
+    println!(
+        "  {} workers: {:>10.0} queries/s ({tn:.3}s)  speedup {:.2}x",
+        opts.workers,
+        opts.queries as f64 / tn,
+        t1 / tn
+    );
+
+    // Skewed point lookups: a small hot set replayed through the cache.
+    let hot: Vec<(NodeId, NodeId)> = (0..256)
+        .map(|_| (rng.gen_index(n) as NodeId, rng.gen_index(n) as NodeId))
+        .collect();
+    let singles = opts.queries.min(50_000);
+    let started = Instant::now();
+    for i in 0..singles {
+        let (u, v) = hot[rng.gen_index(hot.len().min(1 + i))];
+        pooled.query(u, v).map_err(|e| e.to_string())?;
+    }
+    let ts = started.elapsed().as_secs_f64();
+    println!(
+        "  cached singles: {:>10.0} queries/s ({singles} queries)",
+        singles as f64 / ts
+    );
+
+    println!("--- metrics ({} workers engine) ---", opts.workers);
+    println!("{}", pooled.snapshot());
+    Ok(())
+}

@@ -1,0 +1,228 @@
+//! A sharded LRU cache for distance answers.
+//!
+//! Point queries in a serving workload are heavily skewed, so a small cache
+//! in front of label decoding pays for itself. The cache is sharded to keep
+//! lock contention low under the engine's worker pool: each shard is an
+//! independent LRU behind its own mutex, and keys hash to shards with a
+//! multiplicative mix so adjacent vertex pairs spread out.
+//!
+//! Shards store entries in a plain `Vec` threaded into an intrusive
+//! doubly-linked list (indices, not pointers), so an LRU touch is a few
+//! index swaps and no allocation.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+use hl_graph::Distance;
+
+const NIL: usize = usize::MAX;
+
+struct Entry {
+    key: u64,
+    value: Distance,
+    prev: usize,
+    next: usize,
+}
+
+struct LruShard {
+    map: HashMap<u64, usize>,
+    entries: Vec<Entry>,
+    head: usize,
+    tail: usize,
+    capacity: usize,
+}
+
+impl LruShard {
+    fn new(capacity: usize) -> Self {
+        LruShard {
+            map: HashMap::with_capacity(capacity),
+            entries: Vec::with_capacity(capacity),
+            head: NIL,
+            tail: NIL,
+            capacity,
+        }
+    }
+
+    fn unlink(&mut self, idx: usize) {
+        let (prev, next) = (self.entries[idx].prev, self.entries[idx].next);
+        if prev == NIL {
+            self.head = next;
+        } else {
+            self.entries[prev].next = next;
+        }
+        if next == NIL {
+            self.tail = prev;
+        } else {
+            self.entries[next].prev = prev;
+        }
+    }
+
+    fn push_front(&mut self, idx: usize) {
+        self.entries[idx].prev = NIL;
+        self.entries[idx].next = self.head;
+        if self.head != NIL {
+            self.entries[self.head].prev = idx;
+        }
+        self.head = idx;
+        if self.tail == NIL {
+            self.tail = idx;
+        }
+    }
+
+    fn get(&mut self, key: u64) -> Option<Distance> {
+        let idx = *self.map.get(&key)?;
+        if idx != self.head {
+            self.unlink(idx);
+            self.push_front(idx);
+        }
+        Some(self.entries[idx].value)
+    }
+
+    fn insert(&mut self, key: u64, value: Distance) {
+        if let Some(&idx) = self.map.get(&key) {
+            self.entries[idx].value = value;
+            if idx != self.head {
+                self.unlink(idx);
+                self.push_front(idx);
+            }
+            return;
+        }
+        let idx = if self.entries.len() < self.capacity {
+            self.entries.push(Entry {
+                key,
+                value,
+                prev: NIL,
+                next: NIL,
+            });
+            self.entries.len() - 1
+        } else {
+            // Evict the least-recently-used entry and reuse its slot.
+            let idx = self.tail;
+            self.unlink(idx);
+            self.map.remove(&self.entries[idx].key);
+            self.entries[idx].key = key;
+            self.entries[idx].value = value;
+            idx
+        };
+        self.map.insert(key, idx);
+        self.push_front(idx);
+    }
+
+    fn len(&self) -> usize {
+        self.map.len()
+    }
+}
+
+/// A thread-safe LRU cache split over power-of-two many shards.
+pub struct ShardedLruCache {
+    shards: Vec<Mutex<LruShard>>,
+    mask: u64,
+}
+
+impl ShardedLruCache {
+    /// Creates a cache holding about `capacity` entries across `shards`
+    /// shards. The shard count is rounded up to a power of two; every
+    /// shard holds at least one entry.
+    pub fn new(capacity: usize, shards: usize) -> Self {
+        let shards = shards.max(1).next_power_of_two();
+        let per_shard = capacity.div_ceil(shards).max(1);
+        ShardedLruCache {
+            shards: (0..shards)
+                .map(|_| Mutex::new(LruShard::new(per_shard)))
+                .collect(),
+            mask: shards as u64 - 1,
+        }
+    }
+
+    /// Packs an unordered vertex pair into a cache key. Normalizing to
+    /// `(min, max)` means `(u, v)` and `(v, u)` share an entry, which is
+    /// sound because all labelings here answer symmetric distances.
+    pub fn pair_key(u: u32, v: u32) -> u64 {
+        let (lo, hi) = if u <= v { (u, v) } else { (v, u) };
+        (lo as u64) << 32 | hi as u64
+    }
+
+    fn shard(&self, key: u64) -> &Mutex<LruShard> {
+        // Fibonacci hashing spreads sequential keys across shards.
+        let mixed = key.wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 32;
+        &self.shards[(mixed & self.mask) as usize]
+    }
+
+    /// Looks up a key, refreshing its recency on hit.
+    pub fn get(&self, key: u64) -> Option<Distance> {
+        self.shard(key).lock().unwrap().get(key)
+    }
+
+    /// Inserts or refreshes a key, evicting the shard's LRU entry if full.
+    pub fn insert(&self, key: u64, value: Distance) {
+        self.shard(key).lock().unwrap().insert(key, value)
+    }
+
+    /// Number of cached entries across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().unwrap().len()).sum()
+    }
+
+    /// `true` when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_and_miss() {
+        let cache = ShardedLruCache::new(64, 4);
+        assert_eq!(cache.get(7), None);
+        cache.insert(7, 42);
+        assert_eq!(cache.get(7), Some(42));
+        cache.insert(7, 43);
+        assert_eq!(cache.get(7), Some(43));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn pair_key_is_symmetric() {
+        assert_eq!(
+            ShardedLruCache::pair_key(3, 9),
+            ShardedLruCache::pair_key(9, 3)
+        );
+        assert_ne!(
+            ShardedLruCache::pair_key(3, 9),
+            ShardedLruCache::pair_key(3, 8)
+        );
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        // Single shard of capacity 2 makes the eviction order observable.
+        let cache = ShardedLruCache::new(2, 1);
+        cache.insert(1, 10);
+        cache.insert(2, 20);
+        assert_eq!(cache.get(1), Some(10)); // 2 is now LRU
+        cache.insert(3, 30);
+        assert_eq!(cache.get(2), None);
+        assert_eq!(cache.get(1), Some(10));
+        assert_eq!(cache.get(3), Some(30));
+    }
+
+    #[test]
+    fn heavy_churn_stays_bounded() {
+        let cache = ShardedLruCache::new(128, 8);
+        for k in 0..10_000u64 {
+            cache.insert(k, k * 2);
+        }
+        assert!(cache.len() <= 128 + 8); // per-shard rounding slack
+                                         // The most recent keys per shard must still be present.
+        let mut hits = 0;
+        for k in 9_900..10_000u64 {
+            if cache.get(k) == Some(k * 2) {
+                hits += 1;
+            }
+        }
+        assert!(hits > 0);
+    }
+}

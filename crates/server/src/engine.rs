@@ -1,0 +1,349 @@
+//! The query engine: a fixed-size worker pool answering distance queries
+//! from a decoded, read-only labeling shared across threads.
+//!
+//! Labels are decoded from the store once at construction — serving then
+//! touches only the in-memory [`HubLabeling`], which is immutable, so
+//! workers share it through a plain `Arc` with no locking on the hot path.
+//!
+//! Two paths:
+//!
+//! - [`QueryEngine::query_batch`] shards a batch of pairs across the pool
+//!   over an mpsc channel and reassembles results in input order. Batches
+//!   bypass the cache: bulk workloads rarely repeat pairs, and the merge
+//!   join is cheap enough that cache traffic would only add contention.
+//! - [`QueryEngine::query`] answers one pair on the calling thread through
+//!   the sharded LRU cache — the point-lookup path, where skew is common.
+//!
+//! Both paths record into the shared [`Metrics`].
+
+use std::fmt;
+use std::sync::atomic::Ordering::Relaxed;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use hl_core::HubLabeling;
+use hl_graph::{Distance, NodeId};
+
+use crate::cache::ShardedLruCache;
+use crate::metrics::{Metrics, MetricsSnapshot};
+use crate::store::{LabelStore, StoreError};
+
+/// Default number of entries the single-query cache holds.
+pub const DEFAULT_CACHE_CAPACITY: usize = 1 << 16;
+
+/// Errors surfaced by the serving paths.
+#[derive(Debug)]
+pub enum EngineError {
+    /// A query named a vertex outside the labeling.
+    NodeOutOfRange { node: NodeId, num_nodes: usize },
+    /// The worker pool is gone (the engine is mid-drop).
+    PoolShutdown,
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::NodeOutOfRange { node, num_nodes } => {
+                write!(
+                    f,
+                    "node {node} out of range for labeling with {num_nodes} nodes"
+                )
+            }
+            EngineError::PoolShutdown => write!(f, "worker pool is shut down"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// State shared between the engine handle and its workers.
+struct Shared {
+    labeling: HubLabeling,
+    cache: ShardedLruCache,
+    metrics: Metrics,
+}
+
+struct BatchJob {
+    pairs: Vec<(NodeId, NodeId)>,
+    /// Index of this shard's first pair within the original batch.
+    offset: usize,
+    reply: Sender<(usize, Vec<Distance>)>,
+}
+
+/// A multi-threaded distance-query server over one immutable labeling.
+pub struct QueryEngine {
+    shared: Arc<Shared>,
+    /// `Some` while serving; taken and dropped on shutdown so workers see
+    /// a closed channel and exit their receive loops.
+    sender: Mutex<Option<Sender<BatchJob>>>,
+    workers: Vec<JoinHandle<()>>,
+    num_workers: usize,
+}
+
+impl QueryEngine {
+    /// Decodes every label out of `store` and starts `num_workers` worker
+    /// threads (at least one) with the default cache size.
+    pub fn from_store(store: &LabelStore, num_workers: usize) -> Result<Self, StoreError> {
+        Ok(Self::new(store.to_labeling()?, num_workers))
+    }
+
+    /// Starts an engine over an already-decoded labeling.
+    pub fn new(labeling: HubLabeling, num_workers: usize) -> Self {
+        Self::with_cache_capacity(labeling, num_workers, DEFAULT_CACHE_CAPACITY)
+    }
+
+    /// Starts an engine with an explicit single-query cache capacity.
+    pub fn with_cache_capacity(
+        labeling: HubLabeling,
+        num_workers: usize,
+        cache_capacity: usize,
+    ) -> Self {
+        let num_workers = num_workers.max(1);
+        let shared = Arc::new(Shared {
+            labeling,
+            cache: ShardedLruCache::new(cache_capacity, num_workers.max(4)),
+            metrics: Metrics::new(),
+        });
+        let (tx, rx) = channel::<BatchJob>();
+        let rx = Arc::new(Mutex::new(rx));
+        let workers = (0..num_workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                let rx = Arc::clone(&rx);
+                std::thread::Builder::new()
+                    .name(format!("hubserve-worker-{i}"))
+                    .spawn(move || worker_loop(shared, rx))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        QueryEngine {
+            shared,
+            sender: Mutex::new(Some(tx)),
+            workers,
+            num_workers,
+        }
+    }
+
+    /// Number of worker threads in the pool.
+    pub fn num_workers(&self) -> usize {
+        self.num_workers
+    }
+
+    /// Number of vertices the engine serves.
+    pub fn num_nodes(&self) -> usize {
+        self.shared.labeling.num_nodes()
+    }
+
+    /// Live metrics for this engine.
+    pub fn metrics(&self) -> &Metrics {
+        &self.shared.metrics
+    }
+
+    /// Convenience for [`Metrics::snapshot`].
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        self.shared.metrics.snapshot()
+    }
+
+    fn check_node(&self, v: NodeId) -> Result<(), EngineError> {
+        if (v as usize) < self.shared.labeling.num_nodes() {
+            Ok(())
+        } else {
+            Err(EngineError::NodeOutOfRange {
+                node: v,
+                num_nodes: self.shared.labeling.num_nodes(),
+            })
+        }
+    }
+
+    /// Answers one query through the LRU cache, on the calling thread.
+    pub fn query(&self, u: NodeId, v: NodeId) -> Result<Distance, EngineError> {
+        self.check_node(u)?;
+        self.check_node(v)?;
+        let started = Instant::now();
+        let key = ShardedLruCache::pair_key(u, v);
+        let m = &self.shared.metrics;
+        let d = match self.shared.cache.get(key) {
+            Some(d) => {
+                m.cache_hits.fetch_add(1, Relaxed);
+                d
+            }
+            None => {
+                let d = self.shared.labeling.query(u, v);
+                self.shared.cache.insert(key, d);
+                m.cache_misses.fetch_add(1, Relaxed);
+                d
+            }
+        };
+        m.single_queries.fetch_add(1, Relaxed);
+        m.latency.record(elapsed_ns(started));
+        Ok(d)
+    }
+
+    /// Answers a batch of queries, sharded across the worker pool.
+    /// Results come back in input order. The whole batch is validated
+    /// before any work is dispatched, so an out-of-range pair costs
+    /// nothing but the scan.
+    pub fn query_batch(&self, pairs: &[(NodeId, NodeId)]) -> Result<Vec<Distance>, EngineError> {
+        for &(u, v) in pairs {
+            self.check_node(u)?;
+            self.check_node(v)?;
+        }
+        let m = &self.shared.metrics;
+        m.batches.fetch_add(1, Relaxed);
+        if pairs.is_empty() {
+            return Ok(Vec::new());
+        }
+
+        let chunk = pairs.len().div_ceil(self.num_workers);
+        let (reply_tx, reply_rx) = channel();
+        let mut shards = 0;
+        {
+            let guard = self.sender.lock().unwrap();
+            let tx = guard.as_ref().ok_or(EngineError::PoolShutdown)?;
+            for (i, part) in pairs.chunks(chunk).enumerate() {
+                tx.send(BatchJob {
+                    pairs: part.to_vec(),
+                    offset: i * chunk,
+                    reply: reply_tx.clone(),
+                })
+                .map_err(|_| EngineError::PoolShutdown)?;
+                shards += 1;
+            }
+        }
+        drop(reply_tx);
+
+        let mut out = vec![0 as Distance; pairs.len()];
+        for _ in 0..shards {
+            let (offset, distances) = reply_rx.recv().map_err(|_| EngineError::PoolShutdown)?;
+            out[offset..offset + distances.len()].copy_from_slice(&distances);
+        }
+        Ok(out)
+    }
+}
+
+impl Drop for QueryEngine {
+    fn drop(&mut self) {
+        // Closing the channel wakes every worker out of `recv`.
+        drop(self.sender.lock().unwrap().take());
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn elapsed_ns(started: Instant) -> u64 {
+    u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+fn worker_loop(shared: Arc<Shared>, rx: Arc<Mutex<Receiver<BatchJob>>>) {
+    loop {
+        // Hold the receiver lock only while dequeuing, never while working.
+        let job = match rx.lock().unwrap().recv() {
+            Ok(job) => job,
+            Err(_) => return, // channel closed: engine dropped
+        };
+        let mut distances = Vec::with_capacity(job.pairs.len());
+        for &(u, v) in &job.pairs {
+            let started = Instant::now();
+            distances.push(shared.labeling.query(u, v));
+            shared.metrics.latency.record(elapsed_ns(started));
+        }
+        shared
+            .metrics
+            .batch_queries
+            .fetch_add(job.pairs.len() as u64, Relaxed);
+        // A dead reply receiver just means the caller gave up; drop the result.
+        let _ = job.reply.send((job.offset, distances));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hl_core::pll::PrunedLandmarkLabeling;
+    use hl_graph::generators;
+    use hl_graph::INFINITY;
+
+    fn engine(workers: usize) -> (hl_graph::Graph, QueryEngine) {
+        let g = generators::grid(6, 7);
+        let hl = PrunedLandmarkLabeling::by_degree(&g).into_labeling();
+        (g, QueryEngine::new(hl, workers))
+    }
+
+    #[test]
+    fn batch_matches_bfs() {
+        let (g, eng) = engine(3);
+        let n = g.num_nodes() as NodeId;
+        let pairs: Vec<(NodeId, NodeId)> =
+            (0..n).flat_map(|u| (0..n).map(move |v| (u, v))).collect();
+        let got = eng.query_batch(&pairs).unwrap();
+        let mut at = 0;
+        for u in 0..n {
+            let dist = hl_graph::bfs::bfs_distances(&g, u);
+            for v in 0..n {
+                assert_eq!(got[at], dist[v as usize], "d({u},{v})");
+                at += 1;
+            }
+        }
+        assert_eq!(eng.snapshot().batch_queries, pairs.len() as u64);
+    }
+
+    #[test]
+    fn single_path_uses_cache() {
+        let (_, eng) = engine(2);
+        let a = eng.query(0, 5).unwrap();
+        let b = eng.query(5, 0).unwrap(); // symmetric pair shares the entry
+        assert_eq!(a, b);
+        let s = eng.snapshot();
+        assert_eq!(s.single_queries, 2);
+        assert_eq!(s.cache_misses, 1);
+        assert_eq!(s.cache_hits, 1);
+    }
+
+    #[test]
+    fn out_of_range_is_typed_error() {
+        let (_, eng) = engine(1);
+        let n = eng.num_nodes() as NodeId;
+        assert!(matches!(
+            eng.query(0, n),
+            Err(EngineError::NodeOutOfRange { .. })
+        ));
+        assert!(matches!(
+            eng.query_batch(&[(0, 1), (n + 3, 0)]),
+            Err(EngineError::NodeOutOfRange { .. })
+        ));
+        // The failed batch must not have dispatched partial work.
+        assert_eq!(eng.snapshot().batch_queries, 0);
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let (_, eng) = engine(2);
+        assert_eq!(eng.query_batch(&[]).unwrap(), Vec::<Distance>::new());
+    }
+
+    #[test]
+    fn batch_smaller_than_pool() {
+        let (g, eng) = engine(8);
+        let d = eng.query_batch(&[(0, 1)]).unwrap();
+        assert_eq!(d, vec![hl_graph::bfs::bfs_distances(&g, 0)[1]]);
+    }
+
+    #[test]
+    fn disconnected_pairs_serve_infinity() {
+        // Two disjoint copies of a 3x3 grid: distance across them is ∞.
+        let base = generators::grid(3, 3);
+        let n = base.num_nodes();
+        let mut all: Vec<(NodeId, NodeId)> = base.edges().map(|(u, v, _)| (u, v)).collect();
+        all.extend(
+            base.edges()
+                .map(|(u, v, _)| (u + n as NodeId, v + n as NodeId)),
+        );
+        let g = hl_graph::builder::graph_from_edges(2 * n, &all).unwrap();
+        let hl = PrunedLandmarkLabeling::by_degree(&g).into_labeling();
+        let eng = QueryEngine::new(hl, 2);
+        assert_eq!(eng.query(0, n as NodeId).unwrap(), INFINITY);
+    }
+}

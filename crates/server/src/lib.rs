@@ -1,0 +1,31 @@
+//! Serving layer for hub labelings: a versioned binary label store, a
+//! multi-threaded query engine with an LRU cache, and serving metrics.
+//!
+//! The rest of the workspace is about *constructing* labelings and proving
+//! bounds on their size; this crate is about *answering queries from them*
+//! at volume. The pieces:
+//!
+//! - [`store`]: an on-disk binary format for γ-coded labels
+//!   ([`store::LabelStore`]) with corruption detection — truncation, bad
+//!   magic and checksum mismatches surface as typed [`store::StoreError`]s,
+//!   never as wrong distances.
+//! - [`engine`]: [`engine::QueryEngine`], a fixed-size worker pool over a
+//!   shared read-only labeling. Batches shard across workers; single
+//!   queries go through a sharded LRU cache.
+//! - [`cache`]: the [`cache::ShardedLruCache`] used by the engine.
+//! - [`metrics`]: atomic counters and a latency histogram with
+//!   p50/p95/p99 snapshots ([`metrics::Metrics`]).
+//!
+//! The `hubserve` binary wires these into a CLI: `build` a store from a
+//! graph, `query` it over a line protocol, and `bench` it under synthetic
+//! load.
+
+pub mod cache;
+pub mod engine;
+pub mod metrics;
+pub mod store;
+
+pub use cache::ShardedLruCache;
+pub use engine::{EngineError, QueryEngine};
+pub use metrics::{Metrics, MetricsSnapshot};
+pub use store::{LabelStore, StoreError};

@@ -1,0 +1,239 @@
+//! Serving metrics: lock-free counters plus a fixed-bucket latency
+//! histogram good enough for p50/p95/p99 under concurrent load.
+//!
+//! Everything is `AtomicU64` with relaxed ordering — the counters are
+//! statistics, not synchronization. The histogram buckets latencies by
+//! power of two nanoseconds (bucket `i` covers `[2^(i-1), 2^i)` ns), so
+//! recording is a `leading_zeros` and one atomic add, and percentile
+//! estimates are exact to within a factor of two, which is all a serving
+//! dashboard needs.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+
+const BUCKETS: usize = 64;
+
+/// Power-of-two-bucketed latency histogram.
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; BUCKETS],
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram::default()
+    }
+
+    fn bucket_of(nanos: u64) -> usize {
+        // 0 ns -> bucket 0; otherwise floor(log2) + 1, saturating.
+        if nanos == 0 {
+            0
+        } else {
+            ((64 - nanos.leading_zeros()) as usize).min(BUCKETS - 1)
+        }
+    }
+
+    /// Upper bound (exclusive) of a bucket in nanoseconds.
+    fn bucket_bound(i: usize) -> u64 {
+        if i >= 63 {
+            u64::MAX
+        } else {
+            1u64 << i
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&self, nanos: u64) {
+        self.buckets[Self::bucket_of(nanos)].fetch_add(1, Relaxed);
+    }
+
+    /// Total observations recorded.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Relaxed)).sum()
+    }
+
+    /// Upper bound (in ns) of the bucket containing the `q`-quantile,
+    /// for `q` in `[0, 1]`. Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let counts: Vec<u64> = self.buckets.iter().map(|b| b.load(Relaxed)).collect();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (i, &c) in counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Self::bucket_bound(i);
+            }
+        }
+        Self::bucket_bound(BUCKETS - 1)
+    }
+}
+
+/// Counters for one engine instance. Shared by reference between the
+/// workers and whoever renders snapshots.
+#[derive(Default)]
+pub struct Metrics {
+    /// Queries answered via the single-query (cached) path.
+    pub single_queries: AtomicU64,
+    /// Batch calls served.
+    pub batches: AtomicU64,
+    /// Queries answered inside batches.
+    pub batch_queries: AtomicU64,
+    /// Single-query cache hits.
+    pub cache_hits: AtomicU64,
+    /// Single-query cache misses.
+    pub cache_misses: AtomicU64,
+    /// Label decode/store errors observed while serving.
+    pub decode_errors: AtomicU64,
+    /// Per-query latency across both paths.
+    pub latency: LatencyHistogram,
+}
+
+impl Metrics {
+    /// Creates zeroed metrics.
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    /// Queries served over both paths.
+    pub fn total_queries(&self) -> u64 {
+        self.single_queries.load(Relaxed) + self.batch_queries.load(Relaxed)
+    }
+
+    /// Takes a consistent-enough snapshot for rendering. (Counters are
+    /// read individually; exact cross-counter consistency is not needed.)
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            single_queries: self.single_queries.load(Relaxed),
+            batches: self.batches.load(Relaxed),
+            batch_queries: self.batch_queries.load(Relaxed),
+            cache_hits: self.cache_hits.load(Relaxed),
+            cache_misses: self.cache_misses.load(Relaxed),
+            decode_errors: self.decode_errors.load(Relaxed),
+            latency_count: self.latency.count(),
+            p50_ns: self.latency.quantile(0.50),
+            p95_ns: self.latency.quantile(0.95),
+            p99_ns: self.latency.quantile(0.99),
+        }
+    }
+}
+
+/// A point-in-time copy of [`Metrics`], renderable with `Display`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    pub single_queries: u64,
+    pub batches: u64,
+    pub batch_queries: u64,
+    pub cache_hits: u64,
+    pub cache_misses: u64,
+    pub decode_errors: u64,
+    pub latency_count: u64,
+    /// Bucket upper bounds: latency percentiles are exact to a factor of 2.
+    pub p50_ns: u64,
+    pub p95_ns: u64,
+    pub p99_ns: u64,
+}
+
+impl MetricsSnapshot {
+    /// Queries served over both paths.
+    pub fn total_queries(&self) -> u64 {
+        self.single_queries + self.batch_queries
+    }
+
+    /// Cache hit rate over the single-query path, in `[0, 1]`.
+    pub fn hit_rate(&self) -> f64 {
+        let denom = self.cache_hits + self.cache_misses;
+        if denom == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / denom as f64
+        }
+    }
+}
+
+impl fmt::Display for MetricsSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "queries served      {}", self.total_queries())?;
+        writeln!(f, "  single            {}", self.single_queries)?;
+        writeln!(
+            f,
+            "  batched           {} (in {} batches)",
+            self.batch_queries, self.batches
+        )?;
+        writeln!(
+            f,
+            "cache               {} hits / {} misses ({:.1}% hit rate)",
+            self.cache_hits,
+            self.cache_misses,
+            100.0 * self.hit_rate()
+        )?;
+        writeln!(f, "decode errors       {}", self.decode_errors)?;
+        writeln!(f, "latency (n={})", self.latency_count)?;
+        writeln!(f, "  p50  < {} ns", self.p50_ns)?;
+        writeln!(f, "  p95  < {} ns", self.p95_ns)?;
+        write!(f, "  p99  < {} ns", self.p99_ns)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_edges() {
+        assert_eq!(LatencyHistogram::bucket_of(0), 0);
+        assert_eq!(LatencyHistogram::bucket_of(1), 1);
+        assert_eq!(LatencyHistogram::bucket_of(2), 2);
+        assert_eq!(LatencyHistogram::bucket_of(3), 2);
+        assert_eq!(LatencyHistogram::bucket_of(4), 3);
+        assert_eq!(LatencyHistogram::bucket_of(u64::MAX), 63);
+    }
+
+    #[test]
+    fn quantiles_on_known_distribution() {
+        let h = LatencyHistogram::new();
+        // 90 fast observations (~100 ns) and 10 slow (~1 ms).
+        for _ in 0..90 {
+            h.record(100);
+        }
+        for _ in 0..10 {
+            h.record(1_000_000);
+        }
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.quantile(0.5), 128); // 100 ns lands in (64, 128]
+        assert!(h.quantile(0.95) >= 1_000_000 / 2);
+        assert!(h.quantile(0.99) >= 1_000_000 / 2);
+    }
+
+    #[test]
+    fn empty_histogram_quantile_is_zero() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.quantile(0.99), 0);
+    }
+
+    #[test]
+    fn snapshot_totals_add_up() {
+        let m = Metrics::new();
+        m.single_queries.fetch_add(3, Relaxed);
+        m.batch_queries.fetch_add(7, Relaxed);
+        m.cache_hits.fetch_add(1, Relaxed);
+        m.cache_misses.fetch_add(2, Relaxed);
+        let s = m.snapshot();
+        assert_eq!(s.total_queries(), 10);
+        assert!((s.hit_rate() - 1.0 / 3.0).abs() < 1e-12);
+        let rendered = s.to_string();
+        assert!(rendered.contains("queries served      10"));
+        assert!(rendered.contains("p99"));
+    }
+}

@@ -1,0 +1,524 @@
+//! Versioned binary on-disk store for γ-coded hub labels.
+//!
+//! The text format of `hl_core::io` is convenient for experiments but slow
+//! and bulky to serve from. The binary store keeps each vertex label in the
+//! Elias-γ encoding of `hl_labeling::hub_scheme` — the same codec whose
+//! bit counts the paper's bounds are stated in — behind an offset table,
+//! so a reader can locate any label in O(1) and decode it independently.
+//!
+//! ## Format (all integers little-endian)
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic  b"HLBS"
+//! 4       2     format version (currently 1)
+//! 6       2     flags (must be 0 in version 1)
+//! 8       8     node count n
+//! 16      8     body length in bytes
+//! 24      8     FNV-1a-64 checksum of the body
+//! 32      ...   body
+//! ```
+//!
+//! The body is, in order: `n + 1` byte offsets (u64) into the label blob,
+//! `n` bit lengths (u32), then the concatenated label bytes. Label `v`
+//! occupies bytes `offsets[v] .. offsets[v + 1]` of the blob and exactly
+//! `bit_lens[v]` bits of those bytes.
+//!
+//! Every read validates magic, version, length and checksum before any
+//! label is decoded: a truncated or bit-flipped file yields a typed
+//! [`StoreError`], never a wrong distance.
+
+use std::fmt;
+use std::fs::File;
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+use hl_core::{HubLabel, HubLabeling};
+use hl_graph::{Distance, NodeId};
+use hl_labeling::bits::BitVec;
+use hl_labeling::hub_scheme::{decode_label, encode_label};
+use hl_labeling::scheme::BitLabel;
+
+/// File magic: "Hub Label Binary Store".
+pub const MAGIC: [u8; 4] = *b"HLBS";
+/// Current format version.
+pub const VERSION: u16 = 1;
+/// Size of the fixed header in bytes.
+pub const HEADER_LEN: usize = 32;
+
+/// Everything that can go wrong opening or reading a store.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The first four bytes are not `b"HLBS"` — not a label store.
+    BadMagic([u8; 4]),
+    /// The file declares a format version this reader does not speak.
+    UnsupportedVersion(u16),
+    /// Reserved flag bits were set.
+    UnsupportedFlags(u16),
+    /// The file ends before the declared body does.
+    Truncated { expected: u64, actual: u64 },
+    /// The body checksum does not match the header.
+    ChecksumMismatch { expected: u64, actual: u64 },
+    /// The body is internally inconsistent (offsets out of order,
+    /// bit lengths disagreeing with byte spans, trailing bytes, ...).
+    Corrupt(String),
+    /// A query or label access named a vertex the store does not have.
+    NodeOutOfRange { node: NodeId, num_nodes: usize },
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "i/o error: {e}"),
+            StoreError::BadMagic(m) => {
+                write!(f, "bad magic {m:?}: not a hub label store")
+            }
+            StoreError::UnsupportedVersion(v) => {
+                write!(f, "unsupported store version {v} (reader speaks {VERSION})")
+            }
+            StoreError::UnsupportedFlags(bits) => {
+                write!(f, "unsupported flag bits {bits:#06x}")
+            }
+            StoreError::Truncated { expected, actual } => {
+                write!(
+                    f,
+                    "truncated store: expected {expected} body bytes, found {actual}"
+                )
+            }
+            StoreError::ChecksumMismatch { expected, actual } => {
+                write!(f, "checksum mismatch: header says {expected:#018x}, body hashes to {actual:#018x}")
+            }
+            StoreError::Corrupt(msg) => write!(f, "corrupt store: {msg}"),
+            StoreError::NodeOutOfRange { node, num_nodes } => {
+                write!(
+                    f,
+                    "node {node} out of range for store with {num_nodes} nodes"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for StoreError {
+    fn from(e: io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+/// FNV-1a 64-bit hash; simple, dependency-free, and plenty for
+/// detecting accidental corruption (it is not cryptographic).
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// A validated, in-memory label store: the offset table plus the raw
+/// γ-coded label blob. Labels decode lazily per vertex.
+#[derive(Debug, Clone)]
+pub struct LabelStore {
+    num_nodes: usize,
+    /// `num_nodes + 1` byte offsets into `blob`.
+    offsets: Vec<u64>,
+    /// Bit length of each label within its byte span.
+    bit_lens: Vec<u32>,
+    /// Concatenated label bytes.
+    blob: Vec<u8>,
+}
+
+impl LabelStore {
+    /// Encodes a labeling into store form (in memory).
+    pub fn from_labeling(labeling: &HubLabeling) -> Self {
+        let n = labeling.num_nodes();
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut bit_lens = Vec::with_capacity(n);
+        let mut blob = Vec::new();
+        offsets.push(0u64);
+        for v in 0..n {
+            let bits = encode_label(labeling.label(v as NodeId));
+            blob.extend_from_slice(bits.bits().as_bytes());
+            bit_lens.push(bits.num_bits() as u32);
+            offsets.push(blob.len() as u64);
+        }
+        LabelStore {
+            num_nodes: n,
+            offsets,
+            bit_lens,
+            blob,
+        }
+    }
+
+    /// Number of vertices the store holds labels for.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Total size of the label blob in bytes (excluding tables and header).
+    pub fn blob_len(&self) -> usize {
+        self.blob.len()
+    }
+
+    /// Total γ-coded size of all labels in bits.
+    pub fn total_bits(&self) -> u64 {
+        self.bit_lens.iter().map(|&b| b as u64).sum()
+    }
+
+    /// Size of the serialized file in bytes.
+    pub fn file_len(&self) -> usize {
+        HEADER_LEN + self.body_len()
+    }
+
+    fn body_len(&self) -> usize {
+        (self.num_nodes + 1) * 8 + self.num_nodes * 4 + self.blob.len()
+    }
+
+    fn check_node(&self, v: NodeId) -> Result<usize, StoreError> {
+        let idx = v as usize;
+        if idx >= self.num_nodes {
+            return Err(StoreError::NodeOutOfRange {
+                node: v,
+                num_nodes: self.num_nodes,
+            });
+        }
+        Ok(idx)
+    }
+
+    /// The γ-coded label of vertex `v`, without decoding it.
+    pub fn bit_label(&self, v: NodeId) -> Result<BitLabel, StoreError> {
+        let idx = self.check_node(v)?;
+        let lo = self.offsets[idx] as usize;
+        let hi = self.offsets[idx + 1] as usize;
+        let len = self.bit_lens[idx] as usize;
+        let bits = BitVec::from_bytes(self.blob[lo..hi].to_vec(), len).ok_or_else(|| {
+            StoreError::Corrupt(format!(
+                "label {v}: bit length {len} inconsistent with {} bytes",
+                hi - lo
+            ))
+        })?;
+        Ok(BitLabel::new(bits))
+    }
+
+    /// Decodes the hub label of vertex `v`.
+    pub fn decode_label(&self, v: NodeId) -> Result<HubLabel, StoreError> {
+        Ok(decode_label(&self.bit_label(v)?))
+    }
+
+    /// Decodes every label back into a [`HubLabeling`].
+    pub fn to_labeling(&self) -> Result<HubLabeling, StoreError> {
+        let mut labels = Vec::with_capacity(self.num_nodes);
+        for v in 0..self.num_nodes {
+            labels.push(self.decode_label(v as NodeId)?);
+        }
+        Ok(HubLabeling::from_labels(labels))
+    }
+
+    /// Answers a distance query straight from the stored labels.
+    pub fn query(&self, u: NodeId, v: NodeId) -> Result<Distance, StoreError> {
+        let lu = self.decode_label(u)?;
+        let lv = self.decode_label(v)?;
+        Ok(lu.join(&lv))
+    }
+
+    /// Serializes the store to a writer.
+    pub fn write_to<W: Write>(&self, mut out: W) -> Result<(), StoreError> {
+        let mut body = Vec::with_capacity(self.body_len());
+        for &off in &self.offsets {
+            body.extend_from_slice(&off.to_le_bytes());
+        }
+        for &bl in &self.bit_lens {
+            body.extend_from_slice(&bl.to_le_bytes());
+        }
+        body.extend_from_slice(&self.blob);
+
+        out.write_all(&MAGIC)?;
+        out.write_all(&VERSION.to_le_bytes())?;
+        out.write_all(&0u16.to_le_bytes())?; // flags
+        out.write_all(&(self.num_nodes as u64).to_le_bytes())?;
+        out.write_all(&(body.len() as u64).to_le_bytes())?;
+        out.write_all(&fnv1a64(&body).to_le_bytes())?;
+        out.write_all(&body)?;
+        out.flush()?;
+        Ok(())
+    }
+
+    /// Serializes the store to a file.
+    pub fn save<P: AsRef<Path>>(&self, path: P) -> Result<(), StoreError> {
+        let file = File::create(path)?;
+        self.write_to(io::BufWriter::new(file))
+    }
+
+    /// Reads and fully validates a store from a reader.
+    pub fn read_from<R: Read>(mut input: R) -> Result<Self, StoreError> {
+        let mut bytes = Vec::new();
+        input.read_to_end(&mut bytes)?;
+        Self::parse(&bytes)
+    }
+
+    /// Reads and fully validates a store from a file.
+    pub fn open<P: AsRef<Path>>(path: P) -> Result<Self, StoreError> {
+        Self::read_from(File::open(path)?)
+    }
+
+    /// Parses and validates a serialized store.
+    pub fn parse(bytes: &[u8]) -> Result<Self, StoreError> {
+        if bytes.len() < HEADER_LEN {
+            return Err(StoreError::Truncated {
+                expected: HEADER_LEN as u64,
+                actual: bytes.len() as u64,
+            });
+        }
+        let magic: [u8; 4] = bytes[0..4].try_into().unwrap();
+        if magic != MAGIC {
+            return Err(StoreError::BadMagic(magic));
+        }
+        let version = u16::from_le_bytes(bytes[4..6].try_into().unwrap());
+        if version != VERSION {
+            return Err(StoreError::UnsupportedVersion(version));
+        }
+        let flags = u16::from_le_bytes(bytes[6..8].try_into().unwrap());
+        if flags != 0 {
+            return Err(StoreError::UnsupportedFlags(flags));
+        }
+        let n = u64::from_le_bytes(bytes[8..16].try_into().unwrap());
+        let body_len = u64::from_le_bytes(bytes[16..24].try_into().unwrap());
+        let checksum = u64::from_le_bytes(bytes[24..32].try_into().unwrap());
+
+        let n_usize = usize::try_from(n)
+            .map_err(|_| StoreError::Corrupt(format!("node count {n} exceeds address space")))?;
+        let actual_body = (bytes.len() - HEADER_LEN) as u64;
+        if actual_body < body_len {
+            return Err(StoreError::Truncated {
+                expected: body_len,
+                actual: actual_body,
+            });
+        }
+        if actual_body > body_len {
+            return Err(StoreError::Corrupt(format!(
+                "{} trailing bytes after declared body",
+                actual_body - body_len
+            )));
+        }
+        let body = &bytes[HEADER_LEN..];
+        let actual_checksum = fnv1a64(body);
+        if actual_checksum != checksum {
+            return Err(StoreError::ChecksumMismatch {
+                expected: checksum,
+                actual: actual_checksum,
+            });
+        }
+
+        // Tables: (n + 1) u64 offsets, n u32 bit lengths, then the blob.
+        let tables_len = (n_usize + 1)
+            .checked_mul(8)
+            .and_then(|o| o.checked_add(n_usize.checked_mul(4)?))
+            .ok_or_else(|| StoreError::Corrupt(format!("node count {n} overflows table size")))?;
+        if body.len() < tables_len {
+            return Err(StoreError::Corrupt(format!(
+                "body too small for offset tables: {} < {tables_len}",
+                body.len()
+            )));
+        }
+        let mut offsets = Vec::with_capacity(n_usize + 1);
+        for i in 0..=n_usize {
+            offsets.push(u64::from_le_bytes(
+                body[i * 8..i * 8 + 8].try_into().unwrap(),
+            ));
+        }
+        let bl_base = (n_usize + 1) * 8;
+        let mut bit_lens = Vec::with_capacity(n_usize);
+        for i in 0..n_usize {
+            let at = bl_base + i * 4;
+            bit_lens.push(u32::from_le_bytes(body[at..at + 4].try_into().unwrap()));
+        }
+        let blob = body[tables_len..].to_vec();
+
+        if offsets[0] != 0 {
+            return Err(StoreError::Corrupt(format!(
+                "first offset is {}, not 0",
+                offsets[0]
+            )));
+        }
+        if offsets[n_usize] != blob.len() as u64 {
+            return Err(StoreError::Corrupt(format!(
+                "final offset {} does not match blob length {}",
+                offsets[n_usize],
+                blob.len()
+            )));
+        }
+        for v in 0..n_usize {
+            let lo = offsets[v];
+            let hi = offsets[v + 1];
+            if lo > hi {
+                return Err(StoreError::Corrupt(format!(
+                    "offsets out of order at label {v}: {lo} > {hi}"
+                )));
+            }
+            let span = hi - lo;
+            let need = (bit_lens[v] as u64).div_ceil(8);
+            if span != need {
+                return Err(StoreError::Corrupt(format!(
+                    "label {v}: {} bits need {need} bytes but span is {span}",
+                    bit_lens[v]
+                )));
+            }
+        }
+
+        Ok(LabelStore {
+            num_nodes: n_usize,
+            offsets,
+            bit_lens,
+            blob,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hl_core::pll::PrunedLandmarkLabeling;
+    use hl_graph::generators;
+
+    fn sample_store() -> (HubLabeling, LabelStore) {
+        let g = generators::grid(5, 6);
+        let hl = PrunedLandmarkLabeling::by_degree(&g).into_labeling();
+        let store = LabelStore::from_labeling(&hl);
+        (hl, store)
+    }
+
+    #[test]
+    fn fnv_vector() {
+        // Standard FNV-1a test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+    }
+
+    #[test]
+    fn roundtrip_in_memory() {
+        let (hl, store) = sample_store();
+        let mut buf = Vec::new();
+        store.write_to(&mut buf).unwrap();
+        let back = LabelStore::parse(&buf).unwrap();
+        assert_eq!(back.num_nodes(), hl.num_nodes());
+        let decoded = back.to_labeling().unwrap();
+        assert_eq!(decoded, hl);
+    }
+
+    #[test]
+    fn query_matches_labeling() {
+        let (hl, store) = sample_store();
+        let n = hl.num_nodes() as NodeId;
+        for u in 0..n {
+            for v in 0..n {
+                assert_eq!(store.query(u, v).unwrap(), hl.query(u, v));
+            }
+        }
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let (_, store) = sample_store();
+        let mut buf = Vec::new();
+        store.write_to(&mut buf).unwrap();
+        buf[0] = b'X';
+        assert!(matches!(
+            LabelStore::parse(&buf),
+            Err(StoreError::BadMagic(_))
+        ));
+    }
+
+    #[test]
+    fn wrong_version_rejected() {
+        let (_, store) = sample_store();
+        let mut buf = Vec::new();
+        store.write_to(&mut buf).unwrap();
+        buf[4] = 99;
+        assert!(matches!(
+            LabelStore::parse(&buf),
+            Err(StoreError::UnsupportedVersion(99))
+        ));
+    }
+
+    #[test]
+    fn truncation_rejected_at_every_length() {
+        let (_, store) = sample_store();
+        let mut buf = Vec::new();
+        store.write_to(&mut buf).unwrap();
+        for cut in [
+            0,
+            3,
+            HEADER_LEN - 1,
+            HEADER_LEN,
+            buf.len() / 2,
+            buf.len() - 1,
+        ] {
+            assert!(
+                LabelStore::parse(&buf[..cut]).is_err(),
+                "prefix of {cut} bytes must not parse"
+            );
+        }
+    }
+
+    #[test]
+    fn flipped_body_byte_rejected() {
+        let (_, store) = sample_store();
+        let mut buf = Vec::new();
+        store.write_to(&mut buf).unwrap();
+        let mid = HEADER_LEN + (buf.len() - HEADER_LEN) / 2;
+        buf[mid] ^= 0x40;
+        assert!(matches!(
+            LabelStore::parse(&buf),
+            Err(StoreError::ChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let (_, store) = sample_store();
+        let mut buf = Vec::new();
+        store.write_to(&mut buf).unwrap();
+        buf.extend_from_slice(b"junk");
+        assert!(matches!(
+            LabelStore::parse(&buf),
+            Err(StoreError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn node_out_of_range() {
+        let (_, store) = sample_store();
+        let n = store.num_nodes() as NodeId;
+        assert!(matches!(
+            store.query(0, n),
+            Err(StoreError::NodeOutOfRange { .. })
+        ));
+        assert!(matches!(
+            store.decode_label(n + 7),
+            Err(StoreError::NodeOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_labeling_roundtrips() {
+        let hl = HubLabeling::empty(0);
+        let store = LabelStore::from_labeling(&hl);
+        let mut buf = Vec::new();
+        store.write_to(&mut buf).unwrap();
+        let back = LabelStore::parse(&buf).unwrap();
+        assert_eq!(back.num_nodes(), 0);
+        assert!(back.to_labeling().unwrap().num_nodes() == 0);
+    }
+}

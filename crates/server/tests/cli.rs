@@ -1,0 +1,224 @@
+//! End-to-end tests of the `hubserve` binary (spawned as a subprocess).
+
+use std::io::Write;
+use std::process::{Command, Stdio};
+
+fn hubserve() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_hubserve"))
+}
+
+fn tempfile(name: &str) -> std::path::PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("hubserve-test-{}-{name}", std::process::id()));
+    p
+}
+
+fn write_grid_graph(path: &std::path::Path, rows: usize, cols: usize) {
+    let g = hl_graph::generators::grid(rows, cols);
+    let file = std::fs::File::create(path).unwrap();
+    hl_graph::io::write_edge_list(&g, std::io::BufWriter::new(file)).unwrap();
+}
+
+#[test]
+fn build_then_query_pipeline() {
+    let graph = tempfile("g.txt");
+    let store = tempfile("s.hlbs");
+    let pairs = tempfile("p.txt");
+    write_grid_graph(&graph, 7, 7);
+
+    let out = hubserve()
+        .args(["build", graph.to_str().unwrap(), store.to_str().unwrap()])
+        .output()
+        .expect("spawn hubserve build");
+    assert!(
+        out.status.success(),
+        "build failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // Batch mode over a pairs file.
+    std::fs::write(&pairs, "0 48\n0 0\n12 13\n").unwrap();
+    let out = hubserve()
+        .args(["query", store.to_str().unwrap(), pairs.to_str().unwrap()])
+        .output()
+        .expect("spawn hubserve query (batch)");
+    assert!(
+        out.status.success(),
+        "query failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    // 7x7 grid: corner to corner = 12.
+    assert_eq!(
+        stdout.lines().collect::<Vec<_>>(),
+        vec!["0 48 12", "0 0 0", "12 13 1"]
+    );
+
+    // Line-protocol mode over stdin.
+    let mut child = hubserve()
+        .args(["query", store.to_str().unwrap()])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("spawn hubserve query (stdin)");
+    child
+        .stdin
+        .as_mut()
+        .unwrap()
+        .write_all(b"0 48\n# comment\n\n48 0\n")
+        .unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(
+        stdout.lines().collect::<Vec<_>>(),
+        vec!["0 48 12", "48 0 12"]
+    );
+
+    let _ = std::fs::remove_file(graph);
+    let _ = std::fs::remove_file(store);
+    let _ = std::fs::remove_file(pairs);
+}
+
+#[test]
+fn query_agrees_with_hub_labeling_everywhere() {
+    let graph = tempfile("agree-g.txt");
+    let store = tempfile("agree-s.hlbs");
+    let pairs = tempfile("agree-p.txt");
+    let g = hl_graph::generators::random_tree(30, 13);
+    let file = std::fs::File::create(&graph).unwrap();
+    hl_graph::io::write_edge_list(&g, std::io::BufWriter::new(file)).unwrap();
+
+    let out = hubserve()
+        .args(["build", graph.to_str().unwrap(), store.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let n = g.num_nodes() as u32;
+    let mut expect = String::new();
+    let mut input = String::new();
+    let hl = hl_core::pll::PrunedLandmarkLabeling::by_degree(&g).into_labeling();
+    for u in 0..n {
+        for v in 0..n {
+            input.push_str(&format!("{u} {v}\n"));
+            expect.push_str(&format!("{u} {v} {}\n", hl.query(u, v)));
+        }
+    }
+    std::fs::write(&pairs, &input).unwrap();
+    let out = hubserve()
+        .args(["query", store.to_str().unwrap(), pairs.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    assert_eq!(String::from_utf8_lossy(&out.stdout), expect);
+
+    let _ = std::fs::remove_file(graph);
+    let _ = std::fs::remove_file(store);
+    let _ = std::fs::remove_file(pairs);
+}
+
+#[test]
+fn corrupt_store_fails_with_nonzero_exit() {
+    let graph = tempfile("bad-g.txt");
+    let store = tempfile("bad-s.hlbs");
+    write_grid_graph(&graph, 5, 5);
+
+    let out = hubserve()
+        .args(["build", graph.to_str().unwrap(), store.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+
+    // Flip a byte in the middle of the store.
+    let mut bytes = std::fs::read(&store).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x10;
+    std::fs::write(&store, &bytes).unwrap();
+
+    let mut child = hubserve()
+        .args(["query", store.to_str().unwrap()])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .unwrap();
+    drop(child.stdin.take());
+    let out = child.wait_with_output().unwrap();
+    assert!(!out.status.success(), "corrupt store must not serve");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("checksum") || stderr.contains("corrupt") || stderr.contains("truncated"),
+        "unexpected error text: {stderr}"
+    );
+
+    let _ = std::fs::remove_file(graph);
+    let _ = std::fs::remove_file(store);
+}
+
+#[test]
+fn bench_reports_throughput_and_metrics() {
+    let graph = tempfile("bench-g.txt");
+    let store = tempfile("bench-s.hlbs");
+    write_grid_graph(&graph, 10, 10);
+
+    let out = hubserve()
+        .args(["build", graph.to_str().unwrap(), store.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+
+    let out = hubserve()
+        .args([
+            "bench",
+            store.to_str().unwrap(),
+            "--queries",
+            "2000",
+            "--workers",
+            "4",
+            "--batch",
+            "256",
+            "--seed",
+            "7",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "bench failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("1 worker"),
+        "missing single-worker line: {stdout}"
+    );
+    assert!(
+        stdout.contains("4 workers"),
+        "missing pooled line: {stdout}"
+    );
+    assert!(stdout.contains("speedup"), "missing speedup: {stdout}");
+    assert!(
+        stdout.contains("queries served"),
+        "missing metrics snapshot: {stdout}"
+    );
+    assert!(
+        stdout.contains("p99"),
+        "missing latency percentiles: {stdout}"
+    );
+
+    let _ = std::fs::remove_file(graph);
+    let _ = std::fs::remove_file(store);
+}
+
+#[test]
+fn usage_errors_exit_2() {
+    let out = hubserve().output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let out = hubserve().args(["frobnicate"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+}

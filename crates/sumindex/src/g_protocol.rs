@@ -17,7 +17,7 @@ use hl_graph::{Graph, GraphBuilder, GraphError, NodeId, INFINITY};
 use hl_labeling::hub_scheme::{decode_distance, encode_label};
 use hl_labeling::scheme::{BitLabel, SchemeStats};
 use hl_lowerbound::removal::decode_midpoint_presence;
-use hl_lowerbound::{GadgetParams, GGraph, HGraph};
+use hl_lowerbound::{GGraph, GadgetParams, HGraph};
 
 use hl_core::label::HubLabel;
 
@@ -70,8 +70,10 @@ impl GPrimeProtocol {
 
         // Middle hubs: all middle cores, surviving or not (unreachable ones
         // simply drop out of the labels).
-        let middle_cores: Vec<NodeId> =
-            h.all_vectors().map(|y| g.core(h.node_id(ell, &y))).collect();
+        let middle_cores: Vec<NodeId> = h
+            .all_vectors()
+            .map(|y| g.core(h.node_id(ell, &y)))
+            .collect();
 
         let label_of = |v: NodeId| -> BitLabel {
             let dist = bfs_distances(&g_pruned, v);
@@ -114,10 +116,7 @@ impl GPrimeProtocol {
     ///
     /// Panics if `a` or `b` is `>= m`.
     pub fn run(&self, a: u64, b: u64) -> bool {
-        let dist = decode_distance(
-            &self.alice_labels[a as usize],
-            &self.bob_labels[b as usize],
-        );
+        let dist = decode_distance(&self.alice_labels[a as usize], &self.bob_labels[b as usize]);
         let x = self.repr.decode(a);
         let z = self.repr.decode(b);
         let dx: Vec<u64> = x.iter().map(|&d| 2 * d).collect();
@@ -137,8 +136,12 @@ impl GPrimeProtocol {
 
     /// Label-size statistics across all query vertices.
     pub fn label_stats(&self) -> SchemeStats {
-        let all: Vec<BitLabel> =
-            self.alice_labels.iter().chain(&self.bob_labels).cloned().collect();
+        let all: Vec<BitLabel> = self
+            .alice_labels
+            .iter()
+            .chain(&self.bob_labels)
+            .cloned()
+            .collect();
         SchemeStats::of(&all)
     }
 

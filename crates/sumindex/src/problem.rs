@@ -1,7 +1,6 @@
 //! Sum-Index instances and ground truth.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use hl_graph::rng::Xorshift64;
 
 /// One Sum-Index instance: the shared word `S ∈ {0,1}^m`.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -22,8 +21,8 @@ impl SumIndexInstance {
 
     /// A seeded random word of length `m`.
     pub fn random(m: usize, seed: u64) -> Self {
-        let mut rng = StdRng::seed_from_u64(seed);
-        SumIndexInstance::new((0..m).map(|_| rng.gen_bool(0.5)).collect())
+        let mut rng = Xorshift64::seed_from_u64(seed);
+        SumIndexInstance::new((0..m).map(|_| rng.gen_bool()).collect())
     }
 
     /// Word length `m`.
@@ -73,8 +72,14 @@ mod tests {
 
     #[test]
     fn random_is_seeded() {
-        assert_eq!(SumIndexInstance::random(64, 9), SumIndexInstance::random(64, 9));
-        assert_ne!(SumIndexInstance::random(64, 9), SumIndexInstance::random(64, 10));
+        assert_eq!(
+            SumIndexInstance::random(64, 9),
+            SumIndexInstance::random(64, 9)
+        );
+        assert_ne!(
+            SumIndexInstance::random(64, 9),
+            SumIndexInstance::random(64, 10)
+        );
     }
 
     #[test]

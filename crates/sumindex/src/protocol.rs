@@ -101,8 +101,7 @@ impl GraphProtocol {
             });
         }
         let h = HGraph::build(params);
-        let pruned =
-            RemovedMiddle::build(&h, |y| instance.bit(repr.encode(y) as usize));
+        let pruned = RemovedMiddle::build(&h, |y| instance.bit(repr.encode(y) as usize));
         let labeling = PrunedLandmarkLabeling::by_degree(pruned.graph()).into_labeling();
         let labels = encode_labeling(&labeling);
         Ok(GraphProtocol {
@@ -144,7 +143,10 @@ impl GraphProtocol {
     ///
     /// Panics if `a >= m`.
     pub fn alice_message(&self, a: u64) -> Message {
-        Message { label: self.labels[self.alice_vertex(a) as usize].clone(), index: a }
+        Message {
+            label: self.labels[self.alice_vertex(a) as usize].clone(),
+            index: a,
+        }
     }
 
     /// Bob's message for input `b`.
@@ -153,7 +155,10 @@ impl GraphProtocol {
     ///
     /// Panics if `b >= m`.
     pub fn bob_message(&self, b: u64) -> Message {
-        Message { label: self.labels[self.bob_vertex(b) as usize].clone(), index: b }
+        Message {
+            label: self.labels[self.bob_vertex(b) as usize].clone(),
+            index: b,
+        }
     }
 
     /// The referee: decodes the distance from the two labels and reads the

@@ -20,7 +20,10 @@ pub struct Repr {
 impl Repr {
     /// Creates the codec for `params` (`half_side = s/2 = 2^{b−1}`).
     pub fn new(params: GadgetParams) -> Self {
-        Repr { half_side: params.side() / 2, ell: params.ell }
+        Repr {
+            half_side: params.side() / 2,
+            ell: params.ell,
+        }
     }
 
     /// The modulus `m = (s/2)^ℓ`.
@@ -99,7 +102,10 @@ mod tests {
                 counts[c.encode(&[x0, x1]) as usize] += 1;
             }
         }
-        assert!(counts.iter().all(|&k| k == 4), "2^ℓ = 4 preimages each: {counts:?}");
+        assert!(
+            counts.iter().all(|&k| k == 4),
+            "2^ℓ = 4 preimages each: {counts:?}"
+        );
     }
 
     #[test]

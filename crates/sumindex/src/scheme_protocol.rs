@@ -45,7 +45,13 @@ impl<'a, S: DistanceLabelingScheme + ?Sized> SchemeProtocol<'a, S> {
         let h = HGraph::build(params);
         let pruned = RemovedMiddle::build(&h, |y| instance.bit(repr.encode(y) as usize));
         let labels = scheme.encode(pruned.graph())?;
-        Ok(SchemeProtocol { params, repr, h, labels, scheme })
+        Ok(SchemeProtocol {
+            params,
+            repr,
+            h,
+            labels,
+            scheme,
+        })
     }
 
     /// Runs the protocol for `(a, b)` and also returns the two message

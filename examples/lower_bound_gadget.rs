@@ -12,11 +12,15 @@
 use hub_labeling::core::pll::PrunedLandmarkLabeling;
 use hub_labeling::lowerbound::accounting::audit_h;
 use hub_labeling::lowerbound::midpoint::{check_all_pairs, figure1_check};
-use hub_labeling::lowerbound::{GadgetParams, GGraph, HGraph};
+use hub_labeling::lowerbound::{GGraph, GadgetParams, HGraph};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let params = GadgetParams::new(2, 2)?;
-    println!("gadget {params}: s = {}, A = {}", params.side(), params.base_weight());
+    println!(
+        "gadget {params}: s = {}, A = {}",
+        params.side(),
+        params.base_weight()
+    );
 
     // 1. Build H and G.
     let h = HGraph::build(params);

@@ -32,8 +32,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let t0 = Instant::now();
     let by_btw = PrunedLandmarkLabeling::by_betweenness(&g, 24, 3).into_labeling();
     let t_btw = t0.elapsed();
-    println!("PLL degree order:      {} (built in {t_deg:.2?})", LabelingStats::of(&by_degree));
-    println!("PLL betweenness order: {} (built in {t_btw:.2?})", LabelingStats::of(&by_btw));
+    println!(
+        "PLL degree order:      {} (built in {t_deg:.2?})",
+        LabelingStats::of(&by_degree)
+    );
+    println!(
+        "PLL betweenness order: {} (built in {t_btw:.2?})",
+        LabelingStats::of(&by_btw)
+    );
 
     // Spot-verify exactness from a handful of sources.
     let sources: Vec<NodeId> = vec![0, 1111, 2345, 2499];

@@ -21,7 +21,10 @@ fn main() {
     }
     let b = behrend::best_ap_free_set(10_000);
     assert!(is_ap_free(&b));
-    println!("best set at n = 10000 has {} elements (verified 3-AP-free)", b.len());
+    println!(
+        "best set at n = 10000 has {} elements (verified 3-AP-free)",
+        b.len()
+    );
 
     // 2. The RS graph: one induced matching per base point.
     let rs = RsGraph::behrend(2_000);
@@ -35,7 +38,10 @@ fn main() {
     assert!(rs.is_ruzsa_szemeredi());
     assert!(is_induced_matching_partition(rs.graph(), rs.matchings()));
     println!("induced-matching partition verified ✓");
-    println!("certified upper-bound witness: RS(n) <= n²/m = {:.1}", rs.rs_upper_witness());
+    println!(
+        "certified upper-bound witness: RS(n) <= n²/m = {:.1}",
+        rs.rs_upper_witness()
+    );
 
     // 3. Compare with a generic graph: the greedy partitioner needs many
     //    more matchings on dense structures.

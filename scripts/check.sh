@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# One-command gate: formatting, lints, tier-1 build + tests, and the
+# end-to-end serving smoke test. Everything runs offline.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check =="
+cargo fmt --all -- --check
+
+echo "== cargo clippy (workspace, warnings are errors) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== tier-1: cargo build --release && cargo test -q =="
+cargo build --release
+cargo test -q
+
+echo "== workspace tests =="
+cargo test --workspace -q
+
+echo "== kick-tires =="
+bash scripts/kick-tires.sh
+
+echo "check: OK"

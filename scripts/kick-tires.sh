@@ -1,0 +1,67 @@
+#!/usr/bin/env bash
+# Offline end-to-end smoke test of the serving pipeline:
+#   hubtool gen       -> plain-text graph
+#   hubtool build     -> text labeling  (ground-truth path)
+#   hubtool verify    -> labels are exact against the graph
+#   hubserve build    -> binary label store
+#   hubserve query    -> answers from the store
+#   diff              -> store answers == ground-truth label answers
+#   hubserve bench    -> the load generator runs and reports a snapshot
+# Exits nonzero on the first mismatch or failure.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+NODES=${NODES:-400}
+SEED=${SEED:-1}
+SAMPLE=${SAMPLE:-8}   # diff all pairs over the first SAMPLE vertices
+
+echo "== kick-tires: building binaries =="
+cargo build --release -p hl-bench -p hl-server >/dev/null
+
+HUBTOOL=target/release/hubtool
+HUBSERVE=target/release/hubserve
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT
+
+echo "== generating a ${NODES}-node grid =="
+"$HUBTOOL" gen grid "$NODES" "$SEED" "$TMP/graph.txt"
+
+echo "== ground truth: text labeling, verified exact =="
+"$HUBTOOL" build "$TMP/graph.txt" "$TMP/labels.txt" pll
+"$HUBTOOL" verify "$TMP/graph.txt" "$TMP/labels.txt"
+
+echo "== serving path: binary store =="
+"$HUBSERVE" build "$TMP/graph.txt" "$TMP/store.hlbs"
+
+echo "== diffing store answers against ground truth on ${SAMPLE}x${SAMPLE} pairs =="
+: > "$TMP/pairs.txt"
+: > "$TMP/expected.txt"
+for ((u = 0; u < SAMPLE; u++)); do
+  for ((v = 0; v < SAMPLE; v++)); do
+    echo "$u $v" >> "$TMP/pairs.txt"
+    d=$("$HUBTOOL" query "$TMP/labels.txt" "$u" "$v" | sed -e 's/.*= //' -e 's/unreachable/inf/')
+    echo "$u $v $d" >> "$TMP/expected.txt"
+  done
+done
+"$HUBSERVE" query "$TMP/store.hlbs" "$TMP/pairs.txt" > "$TMP/served.txt"
+if ! diff -u "$TMP/expected.txt" "$TMP/served.txt"; then
+  echo "kick-tires: FAIL — served distances disagree with ground truth" >&2
+  exit 1
+fi
+echo "all $((SAMPLE * SAMPLE)) sampled distances agree"
+
+echo "== corruption check: a damaged store must refuse to serve =="
+cp "$TMP/store.hlbs" "$TMP/bad.hlbs"
+size=$(wc -c < "$TMP/bad.hlbs")
+printf '\xff' | dd of="$TMP/bad.hlbs" bs=1 seek=$((size / 2)) conv=notrunc status=none
+if "$HUBSERVE" query "$TMP/bad.hlbs" "$TMP/pairs.txt" > /dev/null 2> "$TMP/bad.err"; then
+  echo "kick-tires: FAIL — corrupt store served answers" >&2
+  exit 1
+fi
+grep -qi 'checksum\|corrupt\|truncated' "$TMP/bad.err"
+echo "corrupt store rejected: $(cat "$TMP/bad.err")"
+
+echo "== load generator =="
+"$HUBSERVE" bench "$TMP/store.hlbs" --queries 20000 --batch 512 --workers 4 --seed 7
+
+echo "kick-tires: OK"

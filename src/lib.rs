@@ -35,4 +35,5 @@ pub use hl_labeling as labeling;
 pub use hl_lowerbound as lowerbound;
 pub use hl_oracles as oracles;
 pub use hl_rs as rs;
+pub use hl_server as server;
 pub use hl_sumindex as sumindex;

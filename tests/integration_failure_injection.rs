@@ -2,8 +2,7 @@
 //! corruption we inject, not just pass on good data. A verifier that never
 //! fails is worthless.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use hub_labeling::graph::rng::Xorshift64;
 
 use hub_labeling::core::cover::{verify_exact, verify_hub_distances};
 use hub_labeling::core::label::{HubLabel, HubLabeling};
@@ -16,19 +15,26 @@ use hub_labeling::rs::RsGraph;
 
 /// Returns a copy of `labeling` with one hub distance perturbed.
 fn corrupt_distance(labeling: &HubLabeling, seed: u64) -> (HubLabeling, NodeId) {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut labels: Vec<HubLabel> =
-        (0..labeling.num_nodes() as NodeId).map(|v| labeling.label(v).clone()).collect();
+    let mut rng = Xorshift64::seed_from_u64(seed);
+    let mut labels: Vec<HubLabel> = (0..labeling.num_nodes() as NodeId)
+        .map(|v| labeling.label(v).clone())
+        .collect();
     loop {
-        let v = rng.gen_range(0..labels.len());
+        let v = rng.gen_index(labels.len());
         if labels[v].is_empty() {
             continue;
         }
-        let k = rng.gen_range(0..labels[v].len());
+        let k = rng.gen_index(labels[v].len());
         let pairs: Vec<(NodeId, u64)> = labels[v]
             .iter()
             .enumerate()
-            .map(|(i, (h, d))| if i == k { (h, d + 1 + rng.gen_range(0..5)) } else { (h, d) })
+            .map(|(i, (h, d))| {
+                if i == k {
+                    (h, d + 1 + rng.gen_u64_below(5))
+                } else {
+                    (h, d)
+                }
+            })
             .collect();
         labels[v] = HubLabel::from_pairs(pairs);
         return (HubLabeling::from_labels(labels), v as NodeId);
@@ -38,7 +44,13 @@ fn corrupt_distance(labeling: &HubLabeling, seed: u64) -> (HubLabeling, NodeId) 
 /// Returns a copy with one entire label emptied.
 fn drop_label(labeling: &HubLabeling, victim: NodeId) -> HubLabeling {
     let labels: Vec<HubLabel> = (0..labeling.num_nodes() as NodeId)
-        .map(|v| if v == victim { HubLabel::new() } else { labeling.label(v).clone() })
+        .map(|v| {
+            if v == victim {
+                HubLabel::new()
+            } else {
+                labeling.label(v).clone()
+            }
+        })
         .collect();
     HubLabeling::from_labels(labels)
 }
@@ -66,9 +78,15 @@ fn verifier_catches_dropped_labels() {
     for victim in [0u32, 17, 35] {
         let bad = drop_label(&good, victim);
         let report = verify_exact(&g, &bad).unwrap();
-        assert!(!report.is_exact(), "dropping label {victim} must break the cover");
+        assert!(
+            !report.is_exact(),
+            "dropping label {victim} must break the cover"
+        );
         // Every violation involves the victim.
-        assert!(report.violations.iter().all(|&(u, v, _, _)| u == victim || v == victim));
+        assert!(report
+            .violations
+            .iter()
+            .all(|&(u, v, _, _)| u == victim || v == victim));
     }
 }
 
@@ -157,10 +175,14 @@ fn protocol_referee_detects_wrong_word_on_one_side() {
     use hub_labeling::sumindex::protocol::GraphProtocol;
     use hub_labeling::sumindex::repr::Repr;
     use hub_labeling::sumindex::SumIndexInstance;
-    let params = GadgetParams::new(2, 2).unwrap();
+    // ℓ = 3 so the word actually shapes Bob-side distances; at ℓ = 2 the
+    // gadget is too shallow for a swapped Bob label to corrupt anything.
+    let params = GadgetParams::new(2, 3).unwrap();
     let m = Repr::new(params).modulus() as usize;
-    let word_a = SumIndexInstance::random(m, 1);
-    let word_b = SumIndexInstance::random(m, 2);
+    // Complementary words: every bit differs, so the two worlds disagree
+    // regardless of which positions a random draw would have flipped.
+    let word_a = SumIndexInstance::new(vec![false; m]);
+    let word_b = SumIndexInstance::new(vec![true; m]);
     assert_ne!(word_a, word_b);
     let proto_a = GraphProtocol::new(params, &word_a).unwrap();
     let proto_b = GraphProtocol::new(params, &word_b).unwrap();

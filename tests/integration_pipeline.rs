@@ -23,7 +23,14 @@ fn all_constructions_agree_on_all_queries() {
     let g = generators::connected_gnm(60, 35, 99);
     let pll = PrunedLandmarkLabeling::by_degree(&g).into_labeling();
     let (rt, _) = random_threshold_labeling(&g, RandomThresholdParams::for_size(60, 4)).unwrap();
-    let (rs, _) = rs_labeling(&g, RsParams { threshold: 3, seed: 4 }).unwrap();
+    let (rs, _) = rs_labeling(
+        &g,
+        RsParams {
+            threshold: 3,
+            seed: 4,
+        },
+    )
+    .unwrap();
     let greedy = hub_labeling::core::greedy::greedy_cover(&g).unwrap();
     for u in 0..60u32 {
         for v in 0..60u32 {
@@ -40,7 +47,15 @@ fn bit_encoding_roundtrips_every_construction() {
     let g = generators::grid(7, 7);
     for labeling in [
         PrunedLandmarkLabeling::by_degree(&g).into_labeling(),
-        rs_labeling(&g, RsParams { threshold: 3, seed: 1 }).unwrap().0,
+        rs_labeling(
+            &g,
+            RsParams {
+                threshold: 3,
+                seed: 1,
+            },
+        )
+        .unwrap()
+        .0,
     ] {
         let encoded = encode_labeling(&labeling);
         for u in 0..49u32 {
@@ -61,16 +76,27 @@ fn schemes_all_exact_on_a_tree() {
     assert_eq!(verify_scheme(&TreeScheme, &g).unwrap(), 0);
     assert_eq!(verify_scheme(&FullVectorScheme, &g).unwrap(), 0);
     let centroid = centroid_labeling(&g).unwrap();
-    assert_eq!(verify_scheme(&PrecomputedHubScheme::new(centroid), &g).unwrap(), 0);
+    assert_eq!(
+        verify_scheme(&PrecomputedHubScheme::new(centroid), &g).unwrap(),
+        0
+    );
 }
 
 #[test]
 fn tree_scheme_much_smaller_than_full_vector() {
     let g = generators::random_tree(256, 8);
-    let tree_bits: usize =
-        TreeScheme.encode(&g).unwrap().iter().map(|l| l.num_bits()).sum();
-    let full_bits: usize =
-        FullVectorScheme.encode(&g).unwrap().iter().map(|l| l.num_bits()).sum();
+    let tree_bits: usize = TreeScheme
+        .encode(&g)
+        .unwrap()
+        .iter()
+        .map(|l| l.num_bits())
+        .sum();
+    let full_bits: usize = FullVectorScheme
+        .encode(&g)
+        .unwrap()
+        .iter()
+        .map(|l| l.num_bits())
+        .sum();
     assert!(
         tree_bits * 4 < full_bits,
         "centroid labels ({tree_bits}) should be far below full vectors ({full_bits})"
@@ -84,7 +110,14 @@ fn theorem_14_pipeline_on_weighted_input() {
     let g = generators::weighted_grid(6, 6, 5);
     let sub = subdivide_weights(&g).unwrap();
     let red = reduce_degree(&sub.graph, 3).unwrap();
-    let (hl_red, _) = rs_labeling(&red.graph, RsParams { threshold: 3, seed: 2 }).unwrap();
+    let (hl_red, _) = rs_labeling(
+        &red.graph,
+        RsParams {
+            threshold: 3,
+            seed: 2,
+        },
+    )
+    .unwrap();
     assert!(verify_exact(&red.graph, &hl_red).unwrap().is_exact());
     // Project to the subdivided graph's original vertices.
     let hl_sub = project_labeling(&hl_red, &red.representative, &red.origin);
@@ -118,5 +151,8 @@ fn rs_graph_feeds_induced_partition_checker() {
     ));
     let greedy = hub_labeling::rs::induced::greedy_induced_partition(rs.graph());
     assert!(!greedy.is_empty());
-    assert!(hub_labeling::rs::induced::is_induced_matching_partition(rs.graph(), &greedy));
+    assert!(hub_labeling::rs::induced::is_induced_matching_partition(
+        rs.graph(),
+        &greedy
+    ));
 }

@@ -7,7 +7,7 @@ use hub_labeling::core::rs_based::{rs_labeling, RsParams};
 use hub_labeling::lowerbound::accounting::{audit_g, audit_h, h_triples};
 use hub_labeling::lowerbound::midpoint::{check_all_pairs, check_g_matches_h};
 use hub_labeling::lowerbound::removal::{decode_midpoint_presence, RemovedMiddle};
-use hub_labeling::lowerbound::{GadgetParams, GGraph, HGraph};
+use hub_labeling::lowerbound::{GGraph, GadgetParams, HGraph};
 use hub_labeling::sumindex::naive;
 use hub_labeling::sumindex::protocol::GraphProtocol;
 use hub_labeling::sumindex::repr::Repr;
@@ -26,7 +26,10 @@ fn theorem21_claims_i_and_ii() {
         let s = p.side();
         let upper = 4 * s * p.h_num_nodes() + (3 * ell as u64 + 1) * s * s * p.h_num_edges();
         assert!((g.graph().num_nodes() as u64) <= upper, "G({b},{ell})");
-        assert!((g.graph().num_nodes() as u64) >= p.h_num_nodes(), "G({b},{ell})");
+        assert!(
+            (g.graph().num_nodes() as u64) >= p.h_num_nodes(),
+            "G({b},{ell})"
+        );
     }
 }
 
@@ -92,8 +95,17 @@ fn theorem11_hub_growth_shape() {
 #[test]
 fn theorem14_rs_construction_on_bounded_degree() {
     let g = hub_labeling::graph::generators::union_of_matchings(80, 3, 17);
-    let (hl, bd) = rs_labeling(&g, RsParams { threshold: 3, seed: 6 }).unwrap();
-    assert!(hub_labeling::core::cover::verify_exact(&g, &hl).unwrap().is_exact());
+    let (hl, bd) = rs_labeling(
+        &g,
+        RsParams {
+            threshold: 3,
+            seed: 6,
+        },
+    )
+    .unwrap();
+    assert!(hub_labeling::core::cover::verify_exact(&g, &hl)
+        .unwrap()
+        .is_exact());
     assert!(bd.global_hubs > 0);
     let mc = MonotoneClosure::compute(&g, &hl);
     assert!(mc.total_size() >= hl.total_hubs());
@@ -171,10 +183,18 @@ fn theorem41_construction_on_theorem21_gadget() {
     let h = HGraph::build(p);
     let g = GGraph::from_hgraph(&h);
     assert_eq!(g.graph().max_degree(), 3);
-    let (labeling, breakdown) =
-        rs_labeling(g.graph(), RsParams { threshold: 3, seed: 12 }).unwrap();
+    let (labeling, breakdown) = rs_labeling(
+        g.graph(),
+        RsParams {
+            threshold: 3,
+            seed: 12,
+        },
+    )
+    .unwrap();
     assert!(
-        hub_labeling::core::cover::verify_exact(g.graph(), &labeling).unwrap().is_exact()
+        hub_labeling::core::cover::verify_exact(g.graph(), &labeling)
+            .unwrap()
+            .is_exact()
     );
     assert!(breakdown.global_hubs > 0);
     let report = audit_g(&h, &g, &labeling);
