@@ -47,7 +47,7 @@ fn main() {
     });
 
     for workers in [1usize, 4] {
-        let engine = QueryEngine::new(hl.clone(), workers);
+        let engine = QueryEngine::new(hl.clone(), workers).unwrap();
         bench("server-batch", &format!("{workers}-workers"), || {
             black_box(engine.query_batch(&pairs).expect("batch").len())
         });

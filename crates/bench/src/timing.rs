@@ -42,6 +42,6 @@ pub fn bench<R>(group: &str, id: &str, mut f: impl FnMut() -> R) -> f64 {
         iters = iters.saturating_mul(2);
     };
     let label = format!("{group}/{id}");
-    println!("{label:<48} {per_iter:>14.1} ns/iter");
+    println!("{label:<48} {per_iter:>14.1} ns/iter"); // lint:allow(no-print): stdout is the micro-benchmark harness's one reporting channel
     per_iter
 }

@@ -136,12 +136,20 @@ impl ErrorProfile {
 
 /// Measures the additive error of `labeling` on all pairs (APSP-based).
 ///
+/// # Errors
+///
+/// Propagates [`hl_graph::GraphError`] from the ground-truth APSP
+/// computation (e.g. a distance overflowing its dense-matrix encoding).
+///
 /// # Panics
 ///
 /// Panics if the labeling ever *under*estimates — stored distances are
 /// required to be true distances, so that would indicate corruption.
-pub fn measure_additive_error(g: &Graph, labeling: &HubLabeling) -> ErrorProfile {
-    let m = hl_graph::apsp::DistanceMatrix::compute(g).expect("apsp");
+pub fn measure_additive_error(
+    g: &Graph,
+    labeling: &HubLabeling,
+) -> Result<ErrorProfile, hl_graph::GraphError> {
+    let m = hl_graph::apsp::DistanceMatrix::compute(g)?;
     let n = g.num_nodes() as NodeId;
     let mut profile = ErrorProfile::default();
     for u in 0..n {
@@ -168,7 +176,7 @@ pub fn measure_additive_error(g: &Graph, labeling: &HubLabeling) -> ErrorProfile
             }
         }
     }
-    profile
+    Ok(profile)
 }
 
 #[cfg(test)]
@@ -204,7 +212,7 @@ mod tests {
     fn error_measured_and_bounded_by_observation() {
         let g = generators::grid(8, 8);
         let labeling = approx_pll(&g, order::by_degree(&g), 2);
-        let profile = measure_additive_error(&g, &labeling);
+        let profile = measure_additive_error(&g, &labeling).unwrap();
         assert!(profile.exact <= profile.pairs);
         // Empirically small; assert a loose sanity bound rather than a
         // theorem (pruning can compound).
@@ -216,7 +224,7 @@ mod tests {
     fn exact_labeling_has_zero_error_profile() {
         let g = generators::random_tree(50, 2);
         let labeling = PrunedLandmarkLabeling::by_degree(&g).into_labeling();
-        let profile = measure_additive_error(&g, &labeling);
+        let profile = measure_additive_error(&g, &labeling).unwrap();
         assert_eq!(profile.exact, profile.pairs);
         assert_eq!(profile.max_error, 0);
         assert_eq!(profile.mean_error(), 0.0);
@@ -226,7 +234,7 @@ mod tests {
     fn weighted_graphs_supported() {
         let g = generators::weighted_grid(6, 6, 4);
         let labeling = approx_pll(&g, order::by_degree(&g), 3);
-        let profile = measure_additive_error(&g, &labeling);
+        let profile = measure_additive_error(&g, &labeling).unwrap();
         assert!(profile.pairs > 0);
     }
 
@@ -235,7 +243,7 @@ mod tests {
         let g = hl_graph::builder::graph_from_edges(5, &[(0, 1), (2, 3)]).unwrap();
         let labeling = approx_pll(&g, order::by_degree(&g), 2);
         assert_eq!(labeling.query(0, 3), INFINITY);
-        let profile = measure_additive_error(&g, &labeling);
+        let profile = measure_additive_error(&g, &labeling).unwrap();
         assert!(profile.pairs > 0);
     }
 }

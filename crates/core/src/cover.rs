@@ -3,6 +3,7 @@
 
 use hl_graph::apsp::DistanceMatrix;
 use hl_graph::dijkstra::shortest_path_distances;
+use hl_graph::sync::{into_inner_unpoisoned, lock_unpoisoned};
 use hl_graph::{Graph, GraphError, NodeId};
 
 use crate::label::HubLabeling;
@@ -119,7 +120,7 @@ pub fn verify_from_sources_parallel(
                     break;
                 }
                 let local = verify_from_sources(g, labeling, &sources[i..=i]);
-                let mut m = merged.lock().expect("report lock");
+                let mut m = lock_unpoisoned(&merged);
                 m.pairs_checked += local.pairs_checked;
                 m.num_violations += local.num_violations;
                 for v in local.violations {
@@ -130,7 +131,7 @@ pub fn verify_from_sources_parallel(
             });
         }
     });
-    merged.into_inner().expect("report lock")
+    into_inner_unpoisoned(merged)
 }
 
 /// Verifies that the labeling is *admissible*: every stored hub distance

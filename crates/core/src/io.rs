@@ -116,8 +116,8 @@ pub fn read_labeling<R: BufRead>(input: R) -> Result<HubLabeling, GraphError> {
 /// Serializes to a string (convenience).
 pub fn to_string(labeling: &HubLabeling) -> String {
     let mut buf = Vec::new();
-    write_labeling(labeling, &mut buf).expect("writing to a Vec cannot fail");
-    String::from_utf8(buf).expect("labeling output is ASCII")
+    write_labeling(labeling, &mut buf).expect("io::Write for Vec<u8> is infallible"); // lint:allow(no-panic): the io::Write impl for Vec<u8> never errors
+    String::from_utf8_lossy(&buf).into_owned()
 }
 
 /// Parses from a string (convenience).

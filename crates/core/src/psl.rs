@@ -10,6 +10,7 @@
 //! empirically, within a few percent of PLL's size. Unweighted graphs only
 //! (rounds are BFS levels).
 
+use hl_graph::sync::{into_inner_unpoisoned, lock_unpoisoned};
 use hl_graph::{Distance, Graph, GraphError, NodeId};
 
 use crate::label::{HubLabel, HubLabeling};
@@ -86,15 +87,12 @@ pub fn psl_labeling(
                             }
                         }
                         if !added.is_empty() {
-                            *results[v].lock().expect("result lock") = added;
+                            *lock_unpoisoned(&results[v]) = added;
                         }
                     });
                 }
             });
-            results
-                .into_iter()
-                .map(|m| m.into_inner().expect("result lock"))
-                .collect()
+            results.into_iter().map(into_inner_unpoisoned).collect()
         };
         let mut any = false;
         for (v, added) in additions.iter().enumerate() {

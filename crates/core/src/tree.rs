@@ -111,7 +111,8 @@ fn find_centroid(g: &Graph, component: &[NodeId], removed: &[bool]) -> NodeId {
     for &u in order.iter().rev() {
         let p = parent[&u];
         if p != u {
-            *size.get_mut(&p).expect("parent in component") += size[&u];
+            let su = size.get(&u).copied().unwrap_or(0);
+            *size.entry(p).or_insert(0) += su;
         }
     }
     // The centroid minimizes the largest piece after removal.

@@ -9,6 +9,7 @@ use std::sync::Mutex;
 use crate::dijkstra::shortest_path_distances;
 use crate::error::GraphError;
 use crate::graph::{Graph, NodeId, INFINITY};
+use crate::sync::{into_inner_unpoisoned, lock_unpoisoned};
 use crate::Distance;
 
 /// Sentinel for "unreachable" inside the dense matrix.
@@ -49,12 +50,12 @@ impl DistanceMatrix {
                         break;
                     }
                     let dist = shortest_path_distances(g, v as NodeId);
-                    let mut row = rows[v].lock().expect("row lock");
+                    let mut row = lock_unpoisoned(&rows[v]);
                     for (u, &d) in dist.iter().enumerate() {
                         if d == INFINITY {
                             row[u] = UNREACHABLE;
                         } else if d >= UNREACHABLE as u64 {
-                            *error.lock().expect("error lock") =
+                            *lock_unpoisoned(&error) =
                                 Some(GraphError::DistanceOverflow { distance: d });
                             return;
                         } else {
@@ -64,7 +65,7 @@ impl DistanceMatrix {
                 });
             }
         });
-        if let Some(e) = error.into_inner().expect("error lock") {
+        if let Some(e) = into_inner_unpoisoned(error) {
             return Err(e);
         }
         Ok(DistanceMatrix { n, data })

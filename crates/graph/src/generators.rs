@@ -7,6 +7,19 @@ use crate::builder::GraphBuilder;
 use crate::graph::{Graph, NodeId, Weight};
 use crate::rng::Xorshift64;
 
+/// Every generator computes endpoints as indices below the builder's `n`,
+/// so [`GraphBuilder::add_edge`] — whose only failure is an out-of-range
+/// endpoint — cannot fail here. Funneling all insertions through this one
+/// place keeps that argument (and its single waiver) in one spot.
+fn must_add(b: &mut GraphBuilder, u: NodeId, v: NodeId, w: Weight) {
+    b.add_edge(u, v, w)
+        .expect("generator endpoints are below n by construction"); // lint:allow(no-panic): every generator derives endpoints from indices < n, the only error add_edge can return
+}
+
+fn must_add_unit(b: &mut GraphBuilder, u: NodeId, v: NodeId) {
+    must_add(b, u, v, 1);
+}
+
 /// Path graph `0 - 1 - … - (n-1)`.
 ///
 /// # Panics
@@ -16,8 +29,7 @@ pub fn path(n: usize) -> Graph {
     assert!(n > 0, "path requires n >= 1");
     let mut b = GraphBuilder::with_capacity(n, n.saturating_sub(1));
     for i in 1..n {
-        b.add_unit_edge((i - 1) as NodeId, i as NodeId)
-            .expect("path edges in range");
+        must_add_unit(&mut b, (i - 1) as NodeId, i as NodeId);
     }
     b.build()
 }
@@ -31,8 +43,7 @@ pub fn cycle(n: usize) -> Graph {
     assert!(n >= 3, "cycle requires n >= 3");
     let mut b = GraphBuilder::with_capacity(n, n);
     for i in 0..n {
-        b.add_unit_edge(i as NodeId, ((i + 1) % n) as NodeId)
-            .expect("cycle edges in range");
+        must_add_unit(&mut b, i as NodeId, ((i + 1) % n) as NodeId);
     }
     b.build()
 }
@@ -46,8 +57,7 @@ pub fn star(n: usize) -> Graph {
     assert!(n > 0, "star requires n >= 1");
     let mut b = GraphBuilder::with_capacity(n, n.saturating_sub(1));
     for i in 1..n {
-        b.add_unit_edge(0, i as NodeId)
-            .expect("star edges in range");
+        must_add_unit(&mut b, 0, i as NodeId);
     }
     b.build()
 }
@@ -62,8 +72,7 @@ pub fn complete(n: usize) -> Graph {
     let mut b = GraphBuilder::with_capacity(n, n * (n - 1) / 2);
     for i in 0..n {
         for j in (i + 1)..n {
-            b.add_unit_edge(i as NodeId, j as NodeId)
-                .expect("complete edges in range");
+            must_add_unit(&mut b, i as NodeId, j as NodeId);
         }
     }
     b.build()
@@ -83,12 +92,10 @@ pub fn grid(rows: usize, cols: usize) -> Graph {
     for r in 0..rows {
         for c in 0..cols {
             if c + 1 < cols {
-                b.add_unit_edge(id(r, c), id(r, c + 1))
-                    .expect("grid edges in range");
+                must_add_unit(&mut b, id(r, c), id(r, c + 1));
             }
             if r + 1 < rows {
-                b.add_unit_edge(id(r, c), id(r + 1, c))
-                    .expect("grid edges in range");
+                must_add_unit(&mut b, id(r, c), id(r + 1, c));
             }
         }
     }
@@ -114,13 +121,11 @@ pub fn weighted_grid(rows: usize, cols: usize, seed: u64) -> Graph {
         for c in 0..cols {
             if c + 1 < cols {
                 let w: Weight = rng.gen_range_inclusive_u64(1, 10);
-                b.add_edge(id(r, c), id(r, c + 1), w)
-                    .expect("grid edges in range");
+                must_add(&mut b, id(r, c), id(r, c + 1), w);
             }
             if r + 1 < rows {
                 let w: Weight = rng.gen_range_inclusive_u64(1, 10);
-                b.add_edge(id(r, c), id(r + 1, c), w)
-                    .expect("grid edges in range");
+                must_add(&mut b, id(r, c), id(r + 1, c), w);
             }
         }
     }
@@ -134,8 +139,7 @@ pub fn balanced_binary_tree(depth: u32) -> Graph {
     let n = (1usize << (depth + 1)) - 1;
     let mut b = GraphBuilder::with_capacity(n, n - 1);
     for v in 1..n {
-        b.add_unit_edge(((v - 1) / 2) as NodeId, v as NodeId)
-            .expect("tree edges in range");
+        must_add_unit(&mut b, ((v - 1) / 2) as NodeId, v as NodeId);
     }
     b.build()
 }
@@ -152,8 +156,7 @@ pub fn random_tree(n: usize, seed: u64) -> Graph {
     let mut b = GraphBuilder::with_capacity(n, n.saturating_sub(1));
     for v in 1..n {
         let parent = rng.gen_index(v);
-        b.add_unit_edge(parent as NodeId, v as NodeId)
-            .expect("tree edges in range");
+        must_add_unit(&mut b, parent as NodeId, v as NodeId);
     }
     b.build()
 }
@@ -169,14 +172,12 @@ pub fn caterpillar(spine: usize, legs: usize) -> Graph {
     let n = spine * (legs + 1);
     let mut b = GraphBuilder::with_capacity(n, n - 1);
     for i in 1..spine {
-        b.add_unit_edge((i - 1) as NodeId, i as NodeId)
-            .expect("spine edges in range");
+        must_add_unit(&mut b, (i - 1) as NodeId, i as NodeId);
     }
     let mut next = spine;
     for i in 0..spine {
         for _ in 0..legs {
-            b.add_unit_edge(i as NodeId, next as NodeId)
-                .expect("leg edges in range");
+            must_add_unit(&mut b, i as NodeId, next as NodeId);
             next += 1;
         }
     }
@@ -213,8 +214,7 @@ pub fn connected_gnm(n: usize, extra_edges: usize, seed: u64) -> Graph {
     let mut b = GraphBuilder::with_capacity(n, n - 1 + extra_edges);
     for v in 1..n {
         let parent = rng.gen_index(v);
-        b.add_unit_edge(parent as NodeId, v as NodeId)
-            .expect("tree edges in range");
+        must_add_unit(&mut b, parent as NodeId, v as NodeId);
         present.insert((parent.min(v), parent.max(v)));
     }
     let mut added = 0;
@@ -226,8 +226,7 @@ pub fn connected_gnm(n: usize, extra_edges: usize, seed: u64) -> Graph {
         }
         let key = (u.min(v), u.max(v));
         if present.insert(key) {
-            b.add_unit_edge(u as NodeId, v as NodeId)
-                .expect("extra edges in range");
+            must_add_unit(&mut b, u as NodeId, v as NodeId);
             added += 1;
         }
     }
@@ -252,8 +251,7 @@ pub fn union_of_matchings(n: usize, d: usize, seed: u64) -> Graph {
     for _ in 0..d {
         rng.shuffle(&mut perm);
         for pair in perm.chunks_exact(2) {
-            b.add_unit_edge(pair[0] as NodeId, pair[1] as NodeId)
-                .expect("matching edges in range");
+            must_add_unit(&mut b, pair[0] as NodeId, pair[1] as NodeId);
         }
     }
     b.build()
@@ -280,8 +278,12 @@ pub fn unit_disk(n: usize, radius: f64, seed: u64) -> Graph {
             let dy = points[i].1 - points[j].1;
             let d = (dx * dx + dy * dy).sqrt();
             if d <= radius {
-                b.add_edge(i as NodeId, j as NodeId, (d * 1000.0).round() as Weight + 1)
-                    .expect("disk edges in range");
+                must_add(
+                    &mut b,
+                    i as NodeId,
+                    j as NodeId,
+                    (d * 1000.0).round() as Weight + 1,
+                );
             }
         }
     }
@@ -304,7 +306,7 @@ pub fn preferential_attachment(n: usize, m_edges: usize, seed: u64) -> Graph {
     let mut b = GraphBuilder::with_capacity(n, n * m_edges);
     // Endpoint pool: picking a uniform element = degree-proportional vertex.
     let mut pool: Vec<NodeId> = vec![0, 1];
-    b.add_unit_edge(0, 1).expect("seed edge in range");
+    must_add_unit(&mut b, 0, 1);
     for v in 2..n {
         let mut targets = std::collections::BTreeSet::new();
         let want = m_edges.min(v);
@@ -314,7 +316,7 @@ pub fn preferential_attachment(n: usize, m_edges: usize, seed: u64) -> Graph {
             attempts += 1;
         }
         for &t in &targets {
-            b.add_unit_edge(v as NodeId, t).expect("pa edges in range");
+            must_add_unit(&mut b, v as NodeId, t);
             pool.push(v as NodeId);
             pool.push(t);
         }
@@ -337,13 +339,12 @@ pub fn skewed_sparse(n: usize, hub_degree: usize, seed: u64) -> Graph {
     let mut b = GraphBuilder::with_capacity(n, n - 1 + hub_degree);
     for v in 1..n {
         let parent = rng.gen_index(v);
-        b.add_unit_edge(parent as NodeId, v as NodeId)
-            .expect("tree edges in range");
+        must_add_unit(&mut b, parent as NodeId, v as NodeId);
     }
     let mut attached = 0;
     while attached < hub_degree {
         let v = rng.gen_range_usize(1, n);
-        b.add_unit_edge(0, v as NodeId).expect("hub edges in range");
+        must_add_unit(&mut b, 0, v as NodeId);
         attached += 1;
     }
     b.build()

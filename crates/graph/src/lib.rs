@@ -49,6 +49,7 @@ pub mod rng;
 pub mod separator;
 pub mod sptree;
 pub mod subgraph;
+pub mod sync;
 pub mod transform;
 pub mod unionfind;
 

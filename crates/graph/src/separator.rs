@@ -112,7 +112,7 @@ pub fn bfs_level_separator(g: &Graph, part: &[NodeId]) -> Separator {
         let peel = *big
             .iter()
             .min_by_key(|&&v| (dist[v as usize], v))
-            .expect("oversized part is nonempty");
+            .expect("oversized part is nonempty"); // lint:allow(no-panic): big.len() > limit >= 1, so the minimum exists
         sep.push(peel);
         let rest: Vec<NodeId> = big.into_iter().filter(|&v| v != peel).collect();
         for piece in split_off(g, &rest, &[]) {

@@ -29,15 +29,20 @@ pub fn induced_subgraph(g: &Graph, keep: &[NodeId]) -> InducedSubgraph {
         assert!((old as usize) < g.num_nodes(), "vertex {old} out of range");
         to_new[old as usize] = Some(new as NodeId);
     }
+    // Both endpoints are remapped indices into `kept`, which sized the
+    // builder, so the out-of-range error is unreachable.
+    fn must_add(builder: &mut GraphBuilder, u: NodeId, v: NodeId, w: crate::Weight) {
+        builder
+            .add_edge(u, v, w)
+            .expect("subgraph endpoints remapped below kept.len()"); // lint:allow(no-panic): both endpoints are indices into kept, which sized the builder
+    }
+
     let mut builder = GraphBuilder::new(kept.len());
-    for &old in &kept {
-        let new_u = to_new[old as usize].expect("kept vertex mapped");
+    for (new_u, &old) in kept.iter().enumerate() {
         for (v, w) in g.neighbors(old) {
             if v > old {
                 if let Some(new_v) = to_new[v as usize] {
-                    builder
-                        .add_edge(new_u, new_v, w)
-                        .expect("subgraph edges in range");
+                    must_add(&mut builder, new_u as NodeId, new_v, w);
                 }
             }
         }

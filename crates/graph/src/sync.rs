@@ -1,0 +1,48 @@
+//! Panic-free mutex access.
+//!
+//! A poisoned `Mutex` means some other thread panicked while holding the
+//! lock. Every mutex in this workspace guards data whose invariants are
+//! maintained *before* the lock is released (caches, accumulators,
+//! worklists), so the guarded value is still coherent after a poison —
+//! recovering it is strictly better than propagating a second panic out
+//! of an otherwise-healthy thread. These helpers centralize that policy
+//! so callers never need `lock().unwrap()`.
+
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+/// Locks `m`, recovering the guard if the mutex was poisoned.
+pub fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Unwraps a `Mutex` into its inner value, recovering from poison.
+pub fn into_inner_unpoisoned<T>(m: Mutex<T>) -> T {
+    m.into_inner().unwrap_or_else(PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    #[test]
+    fn lock_and_into_inner_roundtrip() {
+        let m = Mutex::new(7u32);
+        *lock_unpoisoned(&m) += 1;
+        assert_eq!(into_inner_unpoisoned(m), 8);
+    }
+
+    #[test]
+    fn poisoned_mutex_is_recovered() {
+        let m = std::sync::Arc::new(Mutex::new(41u32));
+        let m2 = m.clone();
+        let _ = std::thread::spawn(move || {
+            let _guard = m2.lock();
+            panic!("poison the lock");
+        })
+        .join();
+        assert!(m.is_poisoned());
+        *lock_unpoisoned(&m) += 1;
+        assert_eq!(*lock_unpoisoned(&m), 42);
+    }
+}

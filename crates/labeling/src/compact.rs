@@ -85,10 +85,11 @@ pub fn encode_compact(label: &HubLabel, params: &CompactParams) -> BitLabel {
         (TAG_SPLIT, encode_split_body(label, params)),
         (TAG_GAP_SPLIT, encode_gap_split_body(label, params)),
     ];
-    let (tag, body) = candidates
-        .into_iter()
-        .min_by_key(|(_, b)| b.len())
-        .expect("four candidates");
+    let [first, rest @ ..] = candidates;
+    let (tag, body) = rest.into_iter().fold(
+        first,
+        |best, c| if c.1.len() < best.1.len() { c } else { best },
+    );
     let mut w = BitWriter::new();
     w.write_bits(tag, 2);
     let mut r = BitReader::new(&body);
@@ -99,18 +100,15 @@ pub fn encode_compact(label: &HubLabel, params: &CompactParams) -> BitLabel {
 }
 
 /// Decodes a compact label.
-///
-/// # Panics
-///
-/// Panics on a corrupted tag or truncated body.
 pub fn decode_compact(label: &BitLabel, params: &CompactParams) -> HubLabel {
     let mut r = BitReader::new(label.bits());
+    // `read_bits(2)` yields a value in 0..=3, and the three explicit arms
+    // cover 0..=2, so the wildcard is exactly TAG_GAP_SPLIT (3).
     match r.read_bits(2) {
         TAG_GAMMA => decode_gamma_body(&mut r),
         TAG_FIXED => decode_fixed_body(&mut r, params),
         TAG_SPLIT => decode_split_body(&mut r, params),
-        TAG_GAP_SPLIT => decode_gap_split_body(&mut r, params),
-        other => panic!("corrupted compact label tag {other}"),
+        _ => decode_gap_split_body(&mut r, params),
     }
 }
 

@@ -1,0 +1,128 @@
+//! Orchestration: discover the workspace, run every rule, apply waivers.
+
+use std::fs;
+use std::path::Path;
+
+use crate::manifest::scan_manifest;
+use crate::rules::{check_unsafe_attr, scan_source, Diagnostic, FileContext};
+use crate::tokenizer::tokenize;
+use crate::waivers::{apply_waivers, extract_waivers, Waiver};
+use crate::workspace::{classify, discover, rust_files, DiscoverError};
+
+/// The complete result of one lint run.
+#[derive(Debug, Default)]
+pub struct LintReport {
+    /// Violations that survived waiver resolution, in path order.
+    pub violations: Vec<Diagnostic>,
+    /// Diagnostics silenced by a waiver, with the waiver that did it.
+    pub waived: Vec<(Diagnostic, Waiver)>,
+    /// Well-formed waivers that matched no diagnostic (likely stale).
+    pub unused_waivers: Vec<Waiver>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+    /// Number of manifests scanned.
+    pub manifests_scanned: usize,
+}
+
+impl LintReport {
+    /// `true` when the workspace is clean (unused waivers do not count).
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+fn rel_path(root: &Path, abs: &Path) -> String {
+    abs.strip_prefix(root)
+        .unwrap_or(abs)
+        .to_string_lossy()
+        .replace('\\', "/")
+}
+
+/// Lints the workspace rooted at `root`.
+pub fn lint_workspace(root: &Path) -> Result<LintReport, DiscoverError> {
+    let ws = discover(root)?;
+    let mut report = LintReport::default();
+    let mut diagnostics: Vec<Diagnostic> = Vec::new();
+    let mut waivers: Vec<Waiver> = Vec::new();
+
+    // Manifests: the workspace root plus every member.
+    let root_manifest = root.join("Cargo.toml");
+    let mut manifest_paths = vec![root_manifest];
+    for c in &ws.crates {
+        if !c.dir.as_os_str().is_empty() {
+            manifest_paths.push(root.join(&c.dir).join("Cargo.toml"));
+        }
+    }
+    manifest_paths.dedup();
+    for path in manifest_paths {
+        let contents = fs::read_to_string(&path).map_err(|e| DiscoverError::Io(path.clone(), e))?;
+        diagnostics.extend(scan_manifest(&contents, &rel_path(root, &path)));
+        report.manifests_scanned += 1;
+    }
+
+    for c in &ws.crates {
+        let crate_abs = root.join(&c.dir);
+        let files = rust_files(&crate_abs)?;
+
+        // Pass 1: tokenize everything, collecting out-of-line
+        // `#[cfg(test)] mod x;` declarations so pass 2 can exempt their
+        // files. Tokenized sources are kept so each file is read once.
+        let mut parsed = Vec::new();
+        let mut test_mod_names: Vec<String> = Vec::new();
+        for path in files {
+            let src = fs::read_to_string(&path).map_err(|e| DiscoverError::Io(path.clone(), e))?;
+            let rel_in_crate = path.strip_prefix(&crate_abs).unwrap_or(&path).to_path_buf();
+            let ctx = classify(&rel_in_crate);
+            let tokens = tokenize(&src);
+            if ctx == FileContext::Lib {
+                // Cheap pre-pass: only the skip logic, to learn mod names.
+                let scan = scan_source(&tokens, FileContext::Test, "");
+                test_mod_names.extend(scan.test_mod_files);
+            }
+            parsed.push((path, rel_in_crate, ctx, tokens));
+        }
+
+        // Pass 2: run the rules with final contexts.
+        for (path, rel_in_crate, mut ctx, tokens) in parsed {
+            let rel = rel_path(root, &path);
+            let stem = path
+                .file_stem()
+                .map(|s| s.to_string_lossy().to_string())
+                .unwrap_or_default();
+            let is_test_mod_file = test_mod_names.iter().any(|m| {
+                *m == stem
+                    || (stem == "mod" && rel_in_crate.parent().is_some_and(|p| p.ends_with(m)))
+            });
+            if ctx == FileContext::Lib && is_test_mod_file {
+                ctx = FileContext::Test;
+            }
+
+            let scan = scan_source(&tokens, ctx, &rel);
+            diagnostics.extend(scan.diagnostics);
+
+            if ctx == FileContext::Lib {
+                let wscan = extract_waivers(&tokens.comments, &rel);
+                diagnostics.extend(wscan.errors);
+                waivers.extend(wscan.waivers);
+            }
+
+            if c.has_lib && rel_in_crate == Path::new("src/lib.rs") {
+                if let Some(d) = check_unsafe_attr(&tokens, &rel) {
+                    diagnostics.push(d);
+                }
+            }
+            report.files_scanned += 1;
+        }
+    }
+
+    diagnostics.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    let (violations, waived, used) = apply_waivers(diagnostics, &waivers);
+    report.violations = violations;
+    report.waived = waived;
+    report.unused_waivers = waivers
+        .into_iter()
+        .zip(used)
+        .filter_map(|(w, u)| if u { None } else { Some(w) })
+        .collect();
+    Ok(report)
+}

@@ -1,0 +1,36 @@
+//! `hublint` — dependency-free static analysis for the hub-labeling
+//! workspace.
+//!
+//! The workspace carries two invariants the compiler cannot enforce:
+//!
+//! 1. **Panic-freedom in library code.** Corruption and bad input must be
+//!    *typed errors, never wrong answers and never panics* — the serving
+//!    paths in particular may not `unwrap()` their way into an abort.
+//! 2. **Offline builds.** Everything builds with no network access, so no
+//!    manifest may name a crates.io or git dependency.
+//!
+//! `hublint` enforces both (plus `#![forbid(unsafe_code)]` coverage, a
+//! print ban in libraries, and a `process::exit` ban outside bin mains)
+//! with a token-level scan: a small Rust tokenizer (raw strings, char
+//! literals, nested block comments, lifetimes) feeds a rule engine, so
+//! rules never fire inside strings or comments. Justified exceptions are
+//! declared per line with `// lint:allow(rule): reason` and surfaced in
+//! the lint summary.
+//!
+//! See `DESIGN.md` ("Static analysis") for the rule catalog and the
+//! reasoning behind token-level — rather than AST-level — matching.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod manifest;
+pub mod output;
+pub mod rules;
+pub mod tokenizer;
+pub mod waivers;
+pub mod workspace;
+
+pub use engine::{lint_workspace, LintReport};
+pub use rules::{Diagnostic, FileContext};
+pub use workspace::DiscoverError;

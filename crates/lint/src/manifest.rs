@@ -1,0 +1,173 @@
+//! The `offline-deps` rule: a line-oriented `Cargo.toml` scanner.
+//!
+//! The workspace must build with no network access, so every dependency in
+//! every manifest has to resolve inside the repository: either an inline
+//! table with a `path` key, or `workspace = true` delegating to
+//! `[workspace.dependencies]` (which is itself scanned and must be
+//! path-only). Anything else — a bare version string, a `git` source, a
+//! registry table — would reach for crates.io and is flagged.
+//!
+//! This is deliberately not a full TOML parser: manifests here are simple,
+//! and a line-oriented scan that understands section headers, `key = value`
+//! lines and dotted `key.workspace = true` shorthand covers all of them.
+//! Comment lines (`#`) are ignored.
+
+use crate::rules::Diagnostic;
+
+/// Dependency-carrying sections: `[dependencies]`, `[dev-dependencies]`,
+/// `[build-dependencies]`, `[workspace.dependencies]` and their
+/// `[target.'…'.dependencies]` variants.
+fn is_dependency_section(header: &str) -> bool {
+    header == "workspace.dependencies"
+        || header
+            .rsplit('.')
+            .next()
+            .is_some_and(|last| last.ends_with("dependencies"))
+}
+
+/// A `[dependencies.foo]`-style per-dependency table; returns `foo`.
+fn dependency_table_name(header: &str) -> Option<&str> {
+    let (prefix, name) = header.rsplit_once('.')?;
+    if is_dependency_section(prefix) {
+        Some(name)
+    } else {
+        None
+    }
+}
+
+fn value_is_offline(value: &str) -> bool {
+    let v = value.trim();
+    // Inline table with a local path, or deferral to workspace deps.
+    (v.starts_with('{') && v.contains("path")) || v.contains("workspace = true")
+}
+
+/// Scans one manifest; `file` is the workspace-relative path for reporting.
+pub fn scan_manifest(contents: &str, file: &str) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let mut section = String::new();
+    // State for a `[dependencies.foo]` table spanning multiple lines.
+    let mut table: Option<(String, u32, bool)> = None;
+
+    let flush_table = |table: &mut Option<(String, u32, bool)>, out: &mut Vec<Diagnostic>| {
+        if let Some((name, line, offline)) = table.take() {
+            if !offline {
+                out.push(Diagnostic {
+                    rule: "offline-deps",
+                    file: file.to_string(),
+                    line,
+                    message: format!(
+                        "dependency table '{name}' has no path key; only path dependencies build offline"
+                    ),
+                });
+            }
+        }
+    };
+
+    for (idx, raw) in contents.lines().enumerate() {
+        let line_no = idx as u32 + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if line.starts_with('[') {
+            flush_table(&mut table, &mut out);
+            section = line
+                .trim_start_matches('[')
+                .trim_end_matches(']')
+                .trim()
+                .to_string();
+            if let Some(name) = dependency_table_name(&section) {
+                table = Some((name.to_string(), line_no, false));
+            }
+            continue;
+        }
+        if let Some((_, _, offline)) = table.as_mut() {
+            // Inside `[dependencies.foo]`: look for `path = …`.
+            if line.starts_with("path") && line.contains('=') {
+                *offline = true;
+            }
+            if line.starts_with("workspace") && line.contains("true") {
+                *offline = true;
+            }
+            continue;
+        }
+        if !is_dependency_section(&section) {
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            continue;
+        };
+        let key = key.trim();
+        // `hl-graph.workspace = true` shorthand.
+        if key.ends_with(".workspace") && value.contains("true") {
+            continue;
+        }
+        if !value_is_offline(value) {
+            out.push(Diagnostic {
+                rule: "offline-deps",
+                file: file.to_string(),
+                line: line_no,
+                message: format!(
+                    "dependency '{key}' is not a path dependency; the workspace must build offline"
+                ),
+            });
+        }
+    }
+    flush_table(&mut table, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_and_workspace_deps_pass() {
+        let m = "[dependencies]\nhl-graph = { path = \"../graph\" }\nhl-core.workspace = true\nhl-rs = { workspace = true }\n";
+        assert!(scan_manifest(m, "Cargo.toml").is_empty());
+    }
+
+    #[test]
+    fn version_string_dep_flagged_with_line() {
+        let m = "[package]\nname = \"x\"\n\n[dependencies]\nserde = \"1.0\"\n";
+        let d = scan_manifest(m, "Cargo.toml");
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].line, 5);
+        assert!(d[0].message.contains("serde"));
+    }
+
+    #[test]
+    fn git_dep_flagged() {
+        let m = "[dev-dependencies]\nfoo = { git = \"https://example.com/foo\" }\n";
+        assert_eq!(scan_manifest(m, "Cargo.toml").len(), 1);
+    }
+
+    #[test]
+    fn workspace_dependencies_section_scanned() {
+        let m =
+            "[workspace.dependencies]\nhl-graph = { path = \"crates/graph\" }\nrand = \"0.8\"\n";
+        let d = scan_manifest(m, "Cargo.toml");
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("rand"));
+    }
+
+    #[test]
+    fn dotted_dependency_table_with_path_passes() {
+        let m = "[dependencies.hl-graph]\npath = \"../graph\"\n\n[package]\nname = \"x\"\n";
+        assert!(scan_manifest(m, "Cargo.toml").is_empty());
+    }
+
+    #[test]
+    fn dotted_dependency_table_with_version_flagged() {
+        let m = "[dependencies.serde]\nversion = \"1\"\nfeatures = [\"derive\"]\n";
+        let d = scan_manifest(m, "Cargo.toml");
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].line, 1);
+    }
+
+    #[test]
+    fn non_dependency_sections_ignored() {
+        let m = "[package]\nversion = \"1.2.3\"\n[features]\ndefault = []\n";
+        assert!(scan_manifest(m, "Cargo.toml").is_empty());
+    }
+}

@@ -1,0 +1,24 @@
+pub fn panics(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+
+pub fn prints() {
+    println!("hello");
+}
+
+pub fn exits() {
+    std::process::exit(2);
+}
+
+pub fn waived(x: Option<u32>) -> u32 {
+    x.unwrap() // lint:allow(no-panic): fixture demonstrates an honored waiver
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn exempt() {
+        None::<u32>.unwrap();
+        panic!("fine in tests");
+    }
+}

@@ -1,0 +1,4 @@
+fn main() {
+    println!("fixture bin: prints and exits are fine here");
+    std::process::exit(0);
+}

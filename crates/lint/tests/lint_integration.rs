@@ -1,0 +1,135 @@
+//! End-to-end lint tests: the seeded-violation fixture crate, waiver
+//! honoring, the real workspace's cleanliness, and the `hublint` CLI.
+//!
+//! The fixture crate under `tests/fixtures/violations/` is invisible to
+//! cargo (the workspace's `crates/*` glob matches only direct children)
+//! and to workspace-level lint runs (everything under `tests/` is test
+//! context), so it can seed one violation per rule without tripping
+//! either build.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use hl_lint::lint_workspace;
+
+fn fixture_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/violations")
+}
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+#[test]
+fn fixture_crate_trips_every_rule_at_exact_lines() {
+    let report = lint_workspace(&fixture_root()).expect("lint fixture");
+    let got: Vec<(&str, &str, u32)> = report
+        .violations
+        .iter()
+        .map(|d| (d.rule, d.file.as_str(), d.line))
+        .collect();
+    assert_eq!(
+        got,
+        vec![
+            ("offline-deps", "Cargo.toml", 9),
+            ("no-unsafe-attr", "src/lib.rs", 1),
+            ("no-panic", "src/lib.rs", 2),
+            ("no-print", "src/lib.rs", 6),
+            ("exit-in-lib", "src/lib.rs", 10),
+        ]
+    );
+}
+
+#[test]
+fn fixture_waiver_is_honored_and_reported() {
+    let report = lint_workspace(&fixture_root()).expect("lint fixture");
+    assert_eq!(report.waived.len(), 1);
+    let (d, w) = &report.waived[0];
+    assert_eq!(
+        (d.rule, d.file.as_str(), d.line),
+        ("no-panic", "src/lib.rs", 14)
+    );
+    assert!(w.reason.contains("fixture"));
+    assert!(report.unused_waivers.is_empty());
+}
+
+#[test]
+fn fixture_bin_and_cfg_test_code_is_exempt() {
+    let report = lint_workspace(&fixture_root()).expect("lint fixture");
+    // src/main.rs prints and exits; the #[cfg(test)] module unwraps and
+    // panics. None of that may surface.
+    assert!(report.violations.iter().all(|d| d.file != "src/main.rs"));
+    assert!(report.violations.iter().all(|d| d.line < 17));
+}
+
+#[test]
+fn real_workspace_is_clean_and_server_needs_no_waivers() {
+    let report = lint_workspace(&workspace_root()).expect("lint workspace");
+    assert!(
+        report.violations.is_empty(),
+        "workspace must lint clean: {:#?}",
+        report.violations
+    );
+    assert!(
+        report
+            .waived
+            .iter()
+            .all(|(_, w)| !w.file.starts_with("crates/server/")),
+        "crates/server must hold the no-panic invariant without waivers: {:#?}",
+        report.waived
+    );
+}
+
+#[test]
+fn cli_reports_fixture_violations_with_exit_code_1() {
+    let out = Command::new(env!("CARGO_BIN_EXE_hublint"))
+        .arg("--root")
+        .arg(fixture_root())
+        .output()
+        .expect("run hublint");
+    assert_eq!(out.status.code(), Some(1));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("src/lib.rs:2: [no-panic]"), "{text}");
+    assert!(text.contains("Cargo.toml:9: [offline-deps]"), "{text}");
+    assert!(text.contains("hublint: 5 violation(s)"), "{text}");
+}
+
+#[test]
+fn cli_json_mode_has_violations_waivers_and_summary() {
+    let out = Command::new(env!("CARGO_BIN_EXE_hublint"))
+        .arg("--json")
+        .arg("--root")
+        .arg(fixture_root())
+        .output()
+        .expect("run hublint");
+    assert_eq!(out.status.code(), Some(1));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("\"rule\": \"no-print\""), "{text}");
+    assert!(text.contains("\"rule\": \"exit-in-lib\""), "{text}");
+    assert!(
+        text.contains("\"reason\": \"fixture demonstrates an honored waiver\""),
+        "{text}"
+    );
+    assert!(text.contains("\"summary\": {\"violations\": 5"), "{text}");
+}
+
+#[test]
+fn cli_clean_workspace_exits_0_and_usage_error_exits_2() {
+    let ok = Command::new(env!("CARGO_BIN_EXE_hublint"))
+        .arg("--root")
+        .arg(workspace_root())
+        .output()
+        .expect("run hublint");
+    assert_eq!(
+        ok.status.code(),
+        Some(0),
+        "{}",
+        String::from_utf8_lossy(&ok.stdout)
+    );
+
+    let usage = Command::new(env!("CARGO_BIN_EXE_hublint"))
+        .arg("--no-such-flag")
+        .output()
+        .expect("run hublint");
+    assert_eq!(usage.status.code(), Some(2));
+}

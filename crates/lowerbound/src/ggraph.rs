@@ -13,6 +13,15 @@ use hl_graph::{Distance, Graph, GraphBuilder, NodeId};
 use crate::hgraph::HGraph;
 use crate::params::GadgetParams;
 
+/// Every gadget endpoint is either an id the builder handed out via
+/// `add_node` or an offset inside the preallocated core/tree blocks, so
+/// the out-of-range error `add_unit_edge` can return is unreachable.
+fn must_link(builder: &mut GraphBuilder, u: NodeId, v: NodeId) {
+    builder
+        .add_unit_edge(u, v)
+        .expect("gadget endpoints are inside the preallocated layout"); // lint:allow(no-panic): endpoints come from the builder or the precomputed block layout
+}
+
 /// The graph `G_{b,ℓ}` with its mapping back to `H_{b,ℓ}`.
 #[derive(Debug, Clone)]
 pub struct GGraph {
@@ -68,17 +77,11 @@ impl GGraph {
                 if base == NodeId::MAX {
                     continue;
                 }
-                builder
-                    .add_unit_edge(core[hv], base)
-                    .expect("root link in range");
+                must_link(&mut builder, core[hv], base);
                 for k in 0..(s - 1) {
                     let node = base + k as NodeId;
-                    builder
-                        .add_unit_edge(node, base + (2 * k + 1) as NodeId)
-                        .expect("tree edge");
-                    builder
-                        .add_unit_edge(node, base + (2 * k + 2) as NodeId)
-                        .expect("tree edge");
+                    must_link(&mut builder, node, base + (2 * k + 1) as NodeId);
+                    must_link(&mut builder, node, base + (2 * k + 2) as NodeId);
                 }
             }
         }
@@ -105,10 +108,10 @@ impl GGraph {
                     let mut prev = from;
                     for _ in 1..hops {
                         let mid = builder.add_node();
-                        builder.add_unit_edge(prev, mid).expect("aux edge");
+                        must_link(&mut builder, prev, mid);
                         prev = mid;
                     }
-                    builder.add_unit_edge(prev, to).expect("aux edge");
+                    must_link(&mut builder, prev, to);
                 }
             }
         }

@@ -66,7 +66,7 @@ pub fn estimate_at_scale(g: &Graph, r: Distance) -> ScaleEstimate {
         }
         let best = (0..n)
             .max_by_key(|&v| count[v as usize])
-            .expect("nonempty graph");
+            .expect("nonempty graph"); // lint:allow(no-panic): callers pass n >= 1, so 0..n is nonempty
         debug_assert!(count[best as usize] > 0);
         hitting.push(best);
         for (i, p) in paths.iter().enumerate() {

@@ -54,7 +54,7 @@ impl RsGraph {
             for &a in difference_set {
                 let y = (x + a) as NodeId;
                 let z = (offset + x + 2 * a) as NodeId;
-                builder.add_unit_edge(y, z).expect("rs vertices in range");
+                builder.add_unit_edge(y, z).expect("rs vertices in range"); // lint:allow(no-panic): y < left_size and z < left_size + right_size by the difference-set bounds
                 m.push((y, z));
             }
             if !m.is_empty() {

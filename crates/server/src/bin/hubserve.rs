@@ -132,7 +132,7 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
     let store = open_store(store_path)?;
     let n = store.num_nodes();
     let engine = QueryEngine::from_store(&store, default_workers())
-        .map_err(|e| format!("cannot decode store: {e}"))?;
+        .map_err(|e| format!("cannot start engine: {e}"))?;
     let stdout = std::io::stdout();
     let mut out = BufWriter::new(stdout.lock());
 
@@ -265,7 +265,8 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
         opts.batch
     );
 
-    let single = QueryEngine::new(labeling.clone(), 1);
+    let single =
+        QueryEngine::new(labeling.clone(), 1).map_err(|e| format!("cannot start engine: {e}"))?;
     let t1 = run_batches(&single, &pairs, opts.batch)?;
     println!(
         "  1 worker : {:>10.0} queries/s ({t1:.3}s)",
@@ -273,7 +274,8 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
     );
     drop(single);
 
-    let pooled = QueryEngine::new(labeling, opts.workers);
+    let pooled = QueryEngine::new(labeling, opts.workers)
+        .map_err(|e| format!("cannot start engine: {e}"))?;
     let tn = run_batches(&pooled, &pairs, opts.batch)?;
     println!(
         "  {} workers: {:>10.0} queries/s ({tn:.3}s)  speedup {:.2}x",

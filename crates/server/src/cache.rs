@@ -13,6 +13,7 @@
 use std::collections::HashMap;
 use std::sync::Mutex;
 
+use hl_graph::sync::lock_unpoisoned;
 use hl_graph::Distance;
 
 const NIL: usize = usize::MAX;
@@ -150,17 +151,17 @@ impl ShardedLruCache {
 
     /// Looks up a key, refreshing its recency on hit.
     pub fn get(&self, key: u64) -> Option<Distance> {
-        self.shard(key).lock().unwrap().get(key)
+        lock_unpoisoned(self.shard(key)).get(key)
     }
 
     /// Inserts or refreshes a key, evicting the shard's LRU entry if full.
     pub fn insert(&self, key: u64, value: Distance) {
-        self.shard(key).lock().unwrap().insert(key, value)
+        lock_unpoisoned(self.shard(key)).insert(key, value)
     }
 
     /// Number of cached entries across all shards.
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.lock().unwrap().len()).sum()
+        self.shards.iter().map(|s| lock_unpoisoned(s).len()).sum()
     }
 
     /// `true` when nothing is cached.

@@ -24,6 +24,7 @@ use std::thread::JoinHandle;
 use std::time::Instant;
 
 use hl_core::HubLabeling;
+use hl_graph::sync::lock_unpoisoned;
 use hl_graph::{Distance, NodeId};
 
 use crate::cache::ShardedLruCache;
@@ -40,6 +41,10 @@ pub enum EngineError {
     NodeOutOfRange { node: NodeId, num_nodes: usize },
     /// The worker pool is gone (the engine is mid-drop).
     PoolShutdown,
+    /// The OS refused to start a worker thread at construction.
+    WorkerSpawn(std::io::Error),
+    /// The backing label store failed to decode.
+    Store(StoreError),
 }
 
 impl fmt::Display for EngineError {
@@ -52,11 +57,27 @@ impl fmt::Display for EngineError {
                 )
             }
             EngineError::PoolShutdown => write!(f, "worker pool is shut down"),
+            EngineError::WorkerSpawn(e) => write!(f, "failed to spawn worker thread: {e}"),
+            EngineError::Store(e) => write!(f, "label store error: {e}"),
         }
     }
 }
 
-impl std::error::Error for EngineError {}
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::WorkerSpawn(e) => Some(e),
+            EngineError::Store(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StoreError> for EngineError {
+    fn from(e: StoreError) -> Self {
+        EngineError::Store(e)
+    }
+}
 
 /// State shared between the engine handle and its workers.
 struct Shared {
@@ -85,21 +106,24 @@ pub struct QueryEngine {
 impl QueryEngine {
     /// Decodes every label out of `store` and starts `num_workers` worker
     /// threads (at least one) with the default cache size.
-    pub fn from_store(store: &LabelStore, num_workers: usize) -> Result<Self, StoreError> {
-        Ok(Self::new(store.to_labeling()?, num_workers))
+    pub fn from_store(store: &LabelStore, num_workers: usize) -> Result<Self, EngineError> {
+        Self::new(store.to_labeling()?, num_workers)
     }
 
     /// Starts an engine over an already-decoded labeling.
-    pub fn new(labeling: HubLabeling, num_workers: usize) -> Self {
+    pub fn new(labeling: HubLabeling, num_workers: usize) -> Result<Self, EngineError> {
         Self::with_cache_capacity(labeling, num_workers, DEFAULT_CACHE_CAPACITY)
     }
 
     /// Starts an engine with an explicit single-query cache capacity.
+    ///
+    /// Fails with [`EngineError::WorkerSpawn`] if the OS cannot start a
+    /// worker thread; any workers already started are reaped first.
     pub fn with_cache_capacity(
         labeling: HubLabeling,
         num_workers: usize,
         cache_capacity: usize,
-    ) -> Self {
+    ) -> Result<Self, EngineError> {
         let num_workers = num_workers.max(1);
         let shared = Arc::new(Shared {
             labeling,
@@ -108,22 +132,32 @@ impl QueryEngine {
         });
         let (tx, rx) = channel::<BatchJob>();
         let rx = Arc::new(Mutex::new(rx));
-        let workers = (0..num_workers)
-            .map(|i| {
-                let shared = Arc::clone(&shared);
-                let rx = Arc::clone(&rx);
-                std::thread::Builder::new()
-                    .name(format!("hubserve-worker-{i}"))
-                    .spawn(move || worker_loop(shared, rx))
-                    .expect("spawn worker thread")
-            })
-            .collect();
-        QueryEngine {
+        let mut workers = Vec::with_capacity(num_workers);
+        for i in 0..num_workers {
+            let shared = Arc::clone(&shared);
+            let rx = Arc::clone(&rx);
+            let spawned = std::thread::Builder::new()
+                .name(format!("hubserve-worker-{i}"))
+                .spawn(move || worker_loop(shared, rx));
+            match spawned {
+                Ok(handle) => workers.push(handle),
+                Err(e) => {
+                    // Close the channel so the workers that did start see
+                    // a disconnect and exit, then reap them before failing.
+                    drop(tx);
+                    for handle in workers {
+                        let _ = handle.join();
+                    }
+                    return Err(EngineError::WorkerSpawn(e));
+                }
+            }
+        }
+        Ok(QueryEngine {
             shared,
             sender: Mutex::new(Some(tx)),
             workers,
             num_workers,
-        }
+        })
     }
 
     /// Number of worker threads in the pool.
@@ -200,7 +234,7 @@ impl QueryEngine {
         let (reply_tx, reply_rx) = channel();
         let mut shards = 0;
         {
-            let guard = self.sender.lock().unwrap();
+            let guard = lock_unpoisoned(&self.sender);
             let tx = guard.as_ref().ok_or(EngineError::PoolShutdown)?;
             for (i, part) in pairs.chunks(chunk).enumerate() {
                 tx.send(BatchJob {
@@ -226,7 +260,7 @@ impl QueryEngine {
 impl Drop for QueryEngine {
     fn drop(&mut self) {
         // Closing the channel wakes every worker out of `recv`.
-        drop(self.sender.lock().unwrap().take());
+        drop(lock_unpoisoned(&self.sender).take());
         for handle in self.workers.drain(..) {
             let _ = handle.join();
         }
@@ -240,7 +274,7 @@ fn elapsed_ns(started: Instant) -> u64 {
 fn worker_loop(shared: Arc<Shared>, rx: Arc<Mutex<Receiver<BatchJob>>>) {
     loop {
         // Hold the receiver lock only while dequeuing, never while working.
-        let job = match rx.lock().unwrap().recv() {
+        let job = match lock_unpoisoned(&rx).recv() {
             Ok(job) => job,
             Err(_) => return, // channel closed: engine dropped
         };
@@ -269,7 +303,7 @@ mod tests {
     fn engine(workers: usize) -> (hl_graph::Graph, QueryEngine) {
         let g = generators::grid(6, 7);
         let hl = PrunedLandmarkLabeling::by_degree(&g).into_labeling();
-        (g, QueryEngine::new(hl, workers))
+        (g, QueryEngine::new(hl, workers).unwrap())
     }
 
     #[test]
@@ -343,7 +377,7 @@ mod tests {
         );
         let g = hl_graph::builder::graph_from_edges(2 * n, &all).unwrap();
         let hl = PrunedLandmarkLabeling::by_degree(&g).into_labeling();
-        let eng = QueryEngine::new(hl, 2);
+        let eng = QueryEngine::new(hl, 2).unwrap();
         assert_eq!(eng.query(0, n as NodeId).unwrap(), INFINITY);
     }
 }

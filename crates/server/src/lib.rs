@@ -20,6 +20,8 @@
 //! graph, `query` it over a line protocol, and `bench` it under synthetic
 //! load.
 
+#![forbid(unsafe_code)]
+
 pub mod cache;
 pub mod engine;
 pub mod metrics;

@@ -275,27 +275,38 @@ impl LabelStore {
 
     /// Parses and validates a serialized store.
     pub fn parse(bytes: &[u8]) -> Result<Self, StoreError> {
+        /// Reads an `N`-byte field at `at`; a short or out-of-bounds read
+        /// is `StoreError::Corrupt`, never a slice-index panic.
+        fn fixed<const N: usize>(bytes: &[u8], at: usize) -> Result<[u8; N], StoreError> {
+            at.checked_add(N)
+                .and_then(|end| bytes.get(at..end))
+                .and_then(|s| <[u8; N]>::try_from(s).ok())
+                .ok_or_else(|| {
+                    StoreError::Corrupt(format!("truncated read of {N} bytes at offset {at}"))
+                })
+        }
+
         if bytes.len() < HEADER_LEN {
             return Err(StoreError::Truncated {
                 expected: HEADER_LEN as u64,
                 actual: bytes.len() as u64,
             });
         }
-        let magic: [u8; 4] = bytes[0..4].try_into().unwrap();
+        let magic: [u8; 4] = fixed(bytes, 0)?;
         if magic != MAGIC {
             return Err(StoreError::BadMagic(magic));
         }
-        let version = u16::from_le_bytes(bytes[4..6].try_into().unwrap());
+        let version = u16::from_le_bytes(fixed(bytes, 4)?);
         if version != VERSION {
             return Err(StoreError::UnsupportedVersion(version));
         }
-        let flags = u16::from_le_bytes(bytes[6..8].try_into().unwrap());
+        let flags = u16::from_le_bytes(fixed(bytes, 6)?);
         if flags != 0 {
             return Err(StoreError::UnsupportedFlags(flags));
         }
-        let n = u64::from_le_bytes(bytes[8..16].try_into().unwrap());
-        let body_len = u64::from_le_bytes(bytes[16..24].try_into().unwrap());
-        let checksum = u64::from_le_bytes(bytes[24..32].try_into().unwrap());
+        let n = u64::from_le_bytes(fixed(bytes, 8)?);
+        let body_len = u64::from_le_bytes(fixed(bytes, 16)?);
+        let checksum = u64::from_le_bytes(fixed(bytes, 24)?);
 
         let n_usize = usize::try_from(n)
             .map_err(|_| StoreError::Corrupt(format!("node count {n} exceeds address space")))?;
@@ -334,15 +345,12 @@ impl LabelStore {
         }
         let mut offsets = Vec::with_capacity(n_usize + 1);
         for i in 0..=n_usize {
-            offsets.push(u64::from_le_bytes(
-                body[i * 8..i * 8 + 8].try_into().unwrap(),
-            ));
+            offsets.push(u64::from_le_bytes(fixed(body, i * 8)?));
         }
         let bl_base = (n_usize + 1) * 8;
         let mut bit_lens = Vec::with_capacity(n_usize);
         for i in 0..n_usize {
-            let at = bl_base + i * 4;
-            bit_lens.push(u32::from_le_bytes(body[at..at + 4].try_into().unwrap()));
+            bit_lens.push(u32::from_le_bytes(fixed(body, bl_base + i * 4)?));
         }
         let blob = body[tables_len..].to_vec();
 

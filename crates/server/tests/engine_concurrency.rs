@@ -20,7 +20,7 @@ fn four_client_threads_batch_and_single() {
     let truth: Vec<Vec<Distance>> = (0..n).map(|u| bfs_distances(&g, u as NodeId)).collect();
     let truth = Arc::new(truth);
 
-    let engine = Arc::new(QueryEngine::new(hl, 4));
+    let engine = Arc::new(QueryEngine::new(hl, 4).unwrap());
     const CLIENTS: usize = 4;
     const ROUNDS: usize = 40;
     const BATCH: usize = 64;
@@ -86,7 +86,7 @@ fn concurrent_batches_keep_input_order() {
     let g = generators::grid(10, 10);
     let n = g.num_nodes();
     let hl = PrunedLandmarkLabeling::by_degree(&g).into_labeling();
-    let engine = Arc::new(QueryEngine::new(hl, 8));
+    let engine = Arc::new(QueryEngine::new(hl, 8).unwrap());
 
     // Each thread sends a batch whose expected answers are distinguishable
     // by construction (distance from a fixed source in scan order), so any
@@ -116,7 +116,7 @@ fn engine_shutdown_joins_workers_cleanly() {
     let g = generators::random_tree(50, 2);
     let hl = PrunedLandmarkLabeling::by_degree(&g).into_labeling();
     for workers in [1, 2, 8] {
-        let engine = QueryEngine::new(hl.clone(), workers);
+        let engine = QueryEngine::new(hl.clone(), workers).unwrap();
         let d = engine.query_batch(&[(0, 1), (1, 2)]).unwrap();
         assert_eq!(d.len(), 2);
         drop(engine);

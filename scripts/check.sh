@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
-# One-command gate: formatting, lints, tier-1 build + tests, and the
-# end-to-end serving smoke test. Everything runs offline.
+# One-command gate: formatting, lints, static analysis, tier-1 build +
+# tests, and the end-to-end serving smoke test. Everything runs offline.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -10,10 +10,14 @@ cargo fmt --all -- --check
 echo "== cargo clippy (workspace, warnings are errors) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "== tier-1: cargo build --release && cargo test -q =="
-cargo build --release
-cargo test -q
+echo "== hublint (panic-freedom + offline-deps invariants) =="
+cargo run -q --release -p hl-lint
 
+echo "== tier-1 build =="
+cargo build --release
+
+# The workspace suite is a strict superset of the root package's suite
+# (root targets are workspace members), so one invocation covers tier-1.
 echo "== workspace tests =="
 cargo test --workspace -q
 
