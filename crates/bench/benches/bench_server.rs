@@ -5,6 +5,7 @@ use hl_bench::timing::{bench, black_box};
 use hl_core::pll::PrunedLandmarkLabeling;
 use hl_graph::rng::Xorshift64;
 use hl_graph::{generators, NodeId};
+use hl_server::engine::SMALL_BATCH_INLINE;
 use hl_server::{LabelStore, QueryEngine};
 
 fn main() {
@@ -50,6 +51,17 @@ fn main() {
         let engine = QueryEngine::new(hl.clone(), workers).unwrap();
         bench("server-batch", &format!("{workers}-workers"), || {
             black_box(engine.query_batch(&pairs).expect("batch").len())
+        });
+    }
+
+    // Small batches: at or below SMALL_BATCH_INLINE the engine answers on
+    // the calling thread; one past the threshold it pays the worker-pool
+    // handoff. Per-pair cost should drop sharply for the inline sizes.
+    let engine = QueryEngine::new(hl.clone(), 4).unwrap();
+    for batch in [1usize, SMALL_BATCH_INLINE, SMALL_BATCH_INLINE + 1, 64] {
+        let small = &pairs[..batch];
+        bench("server-small-batch", &format!("{batch}-pairs"), || {
+            black_box(engine.query_batch(small).expect("batch").len())
         });
     }
 }

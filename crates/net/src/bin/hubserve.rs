@@ -1,9 +1,11 @@
-//! `hubserve` — build, serve and load-test binary hub label stores.
+//! `hubserve` — build, query, load-test and *serve* binary hub label
+//! stores.
 //!
 //! ```text
 //! hubserve build <graph-file> <store-file> [algo]    graph -> binary store
 //! hubserve query <store-file> [pairs-file]           answer "u v" lines
-//! hubserve bench <store-file> [options]              synthetic load test
+//! hubserve bench <store-file> [options]              in-process load test
+//! hubserve serve <store-file> [options]              TCP daemon (HLNP)
 //! ```
 //!
 //! `build` reads the plain-text edge list of `hl_graph::io`, constructs a
@@ -20,17 +22,24 @@
 //! single-query workload to exercise the cache, and dumps the metrics
 //! snapshot.
 //!
+//! `serve` loads the store into a [`hl_net::NetServer`] and answers HLNP
+//! frames until a `Shutdown` request arrives, then drains and prints the
+//! final metrics snapshot. It announces `listening on <addr>` on stdout
+//! so scripts binding port 0 can discover the ephemeral port.
+//!
 //! Exit codes: 0 success, 1 runtime failure (bad store, i/o), 2 usage.
 
 use std::fs::File;
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::process::ExitCode;
-use std::time::Instant;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use hl_core::pll::PrunedLandmarkLabeling;
 use hl_core::HubLabeling;
 use hl_graph::rng::Xorshift64;
 use hl_graph::{NodeId, INFINITY};
+use hl_net::{NetServer, ServerConfig};
 use hl_server::{LabelStore, QueryEngine};
 
 fn main() -> ExitCode {
@@ -39,11 +48,14 @@ fn main() -> ExitCode {
         Some("build") => cmd_build(&args[1..]),
         Some("query") => cmd_query(&args[1..]),
         Some("bench") => cmd_bench(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
         _ => {
-            eprintln!("usage: hubserve build|query|bench ...");
+            eprintln!("usage: hubserve build|query|bench|serve ...");
             eprintln!("  build <graph-file> <store-file> [pll|pll-random|pll-betweenness]");
             eprintln!("  query <store-file> [pairs-file]");
             eprintln!("  bench <store-file> [--queries N] [--workers N] [--batch N] [--seed S]");
+            eprintln!("  serve <store-file> [--addr HOST:PORT] [--workers N] [--max-conns N]");
+            eprintln!("        [--read-timeout-ms N] [--write-timeout-ms N]");
             return ExitCode::from(2);
         }
     };
@@ -301,6 +313,104 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
     );
 
     println!("--- metrics ({} workers engine) ---", opts.workers);
-    println!("{}", pooled.snapshot());
+    println!("{}", pooled.snapshot().render_text());
+    Ok(())
+}
+
+struct ServeOpts {
+    addr: String,
+    workers: usize,
+    max_conns: usize,
+    read_timeout: Duration,
+    write_timeout: Duration,
+}
+
+fn parse_serve_opts(args: &[String]) -> Result<(String, ServeOpts), String> {
+    let mut store_path = None;
+    let mut opts = ServeOpts {
+        addr: "127.0.0.1:4890".to_string(),
+        workers: default_workers(),
+        max_conns: 64,
+        read_timeout: Duration::from_secs(30),
+        write_timeout: Duration::from_secs(10),
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut take = |name: &str| {
+            it.next()
+                .map(String::as_str)
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--addr" => opts.addr = take("--addr")?.to_string(),
+            "--workers" => {
+                opts.workers = take("--workers")?
+                    .parse()
+                    .map_err(|e| format!("--workers: {e}"))?
+            }
+            "--max-conns" => {
+                opts.max_conns = take("--max-conns")?
+                    .parse()
+                    .map_err(|e| format!("--max-conns: {e}"))?
+            }
+            "--read-timeout-ms" => {
+                let ms: u64 = take("--read-timeout-ms")?
+                    .parse()
+                    .map_err(|e| format!("--read-timeout-ms: {e}"))?;
+                opts.read_timeout = Duration::from_millis(ms.max(1));
+            }
+            "--write-timeout-ms" => {
+                let ms: u64 = take("--write-timeout-ms")?
+                    .parse()
+                    .map_err(|e| format!("--write-timeout-ms: {e}"))?;
+                opts.write_timeout = Duration::from_millis(ms.max(1));
+            }
+            other if store_path.is_none() && !other.starts_with('-') => {
+                store_path = Some(other.to_string())
+            }
+            other => return Err(format!("unexpected argument '{other}'")),
+        }
+    }
+    let store_path = store_path.ok_or_else(|| {
+        "usage: hubserve serve <store-file> [--addr HOST:PORT] [--workers N] [--max-conns N] \
+         [--read-timeout-ms N] [--write-timeout-ms N]"
+            .to_string()
+    })?;
+    if opts.max_conns == 0 {
+        return Err("--max-conns must be positive".into());
+    }
+    Ok((store_path, opts))
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let (store_path, opts) = parse_serve_opts(args)?;
+    let store = open_store(&store_path)?;
+    let engine = Arc::new(
+        QueryEngine::from_store(&store, opts.workers)
+            .map_err(|e| format!("cannot start engine: {e}"))?,
+    );
+    let config = ServerConfig {
+        max_connections: opts.max_conns,
+        read_timeout: opts.read_timeout,
+        write_timeout: opts.write_timeout,
+        ..ServerConfig::default()
+    };
+    let server = NetServer::bind(Arc::clone(&engine), opts.addr.as_str(), config)
+        .map_err(|e| format!("cannot bind {}: {e}", opts.addr))?;
+    println!(
+        "serving {} nodes ({} workers, {} max conns)",
+        store.num_nodes(),
+        opts.workers,
+        opts.max_conns
+    );
+    // Scripts parse this line to discover an ephemeral port (--addr :0).
+    println!("listening on {}", server.local_addr());
+    std::io::stdout().flush().map_err(|e| e.to_string())?;
+
+    server.serve().map_err(|e| format!("serve failed: {e}"))?;
+
+    println!("--- final metrics ---");
+    println!("{}", engine.snapshot().render_text());
+    println!("shutdown complete");
     Ok(())
 }

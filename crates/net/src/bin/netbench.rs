@@ -1,0 +1,316 @@
+//! `netbench` — open- and closed-loop load generator for a live
+//! `hubserve serve` daemon.
+//!
+//! ```text
+//! netbench <addr> [--mode closed|open] [--conns N] [--queries N]
+//!          [--batch N] [--pipeline W] [--rate R] [--seed S] [--shutdown]
+//! ```
+//!
+//! **Closed loop** (default): `--conns` client threads issue requests
+//! back to back — each thread times every round trip and the run reports
+//! achieved throughput plus client-observed p50/p95/p99 from the shared
+//! [`hl_server::LatencyHistogram`]. `--batch 1` sends single `Query`
+//! frames; `--batch N` sends `QueryBatch` frames of N pairs;
+//! `--pipeline W` keeps up to W batch frames in flight per connection.
+//!
+//! **Open loop**: requests are launched on a fixed schedule of `--rate`
+//! requests/second spread across the connections, whether or not earlier
+//! responses have returned; a schedule slot that finds its connection
+//! still busy waits (the blocking client has one lane), so sustained
+//! overload shows up as the reported *lag* between schedule and send —
+//! the honest open-loop signal that the daemon is saturated.
+//!
+//! Vertex pairs are drawn uniformly from the served labeling's node
+//! count (learned in the handshake), seeded per connection so runs are
+//! reproducible. With `--shutdown`, the last thing the run does is send
+//! a `Shutdown` frame and confirm the daemon acknowledged it.
+//!
+//! Exit codes: 0 success, 1 runtime failure, 2 usage.
+
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use hl_graph::rng::Xorshift64;
+use hl_graph::NodeId;
+use hl_net::{ClientConfig, NetClient};
+use hl_server::LatencyHistogram;
+
+struct Opts {
+    addr: String,
+    mode: Mode,
+    conns: usize,
+    queries: usize,
+    batch: usize,
+    pipeline: usize,
+    rate: f64,
+    seed: u64,
+    shutdown: bool,
+}
+
+#[derive(PartialEq, Clone, Copy)]
+enum Mode {
+    Closed,
+    Open,
+}
+
+fn usage() -> String {
+    "usage: netbench <addr> [--mode closed|open] [--conns N] [--queries N] \
+     [--batch N] [--pipeline W] [--rate R] [--seed S] [--shutdown]"
+        .to_string()
+}
+
+fn parse_opts(args: &[String]) -> Result<Opts, String> {
+    let mut addr = None;
+    let mut opts = Opts {
+        addr: String::new(),
+        mode: Mode::Closed,
+        conns: 4,
+        queries: 100_000,
+        batch: 256,
+        pipeline: 1,
+        rate: 10_000.0,
+        seed: 42,
+        shutdown: false,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut take = |name: &str| {
+            it.next()
+                .map(String::as_str)
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--mode" => {
+                opts.mode = match take("--mode")? {
+                    "closed" => Mode::Closed,
+                    "open" => Mode::Open,
+                    other => return Err(format!("--mode must be closed|open, got '{other}'")),
+                }
+            }
+            "--conns" => {
+                opts.conns = take("--conns")?
+                    .parse()
+                    .map_err(|e| format!("--conns: {e}"))?
+            }
+            "--queries" => {
+                opts.queries = take("--queries")?
+                    .parse()
+                    .map_err(|e| format!("--queries: {e}"))?
+            }
+            "--batch" => {
+                opts.batch = take("--batch")?
+                    .parse()
+                    .map_err(|e| format!("--batch: {e}"))?
+            }
+            "--pipeline" => {
+                opts.pipeline = take("--pipeline")?
+                    .parse()
+                    .map_err(|e| format!("--pipeline: {e}"))?
+            }
+            "--rate" => {
+                opts.rate = take("--rate")?
+                    .parse()
+                    .map_err(|e| format!("--rate: {e}"))?
+            }
+            "--seed" => {
+                opts.seed = take("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?
+            }
+            "--shutdown" => opts.shutdown = true,
+            other if addr.is_none() && !other.starts_with('-') => {
+                addr = Some(other.to_string());
+            }
+            other => return Err(format!("unexpected argument '{other}'")),
+        }
+    }
+    opts.addr = addr.ok_or_else(usage)?;
+    if opts.conns == 0 || opts.queries == 0 || opts.batch == 0 || opts.pipeline == 0 {
+        return Err("--conns, --queries, --batch and --pipeline must be positive".into());
+    }
+    if opts.mode == Mode::Open && opts.rate <= 0.0 {
+        return Err("--rate must be positive in open-loop mode".into());
+    }
+    Ok(Opts { ..opts })
+}
+
+fn client_config(seed: u64) -> ClientConfig {
+    ClientConfig {
+        seed,
+        ..ClientConfig::default()
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        eprintln!("{}", usage());
+        return ExitCode::from(2);
+    }
+    let opts = match parse_opts(&args) {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("netbench: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+    match run(&opts) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("netbench: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+struct WorkerReport {
+    queries: u64,
+    /// Open loop only: worst send-time lag behind schedule, in ns.
+    max_lag_ns: u64,
+}
+
+fn run(opts: &Opts) -> Result<(), String> {
+    // Probe connection: learn the node count, verify the daemon is up.
+    let mut probe = NetClient::connect(opts.addr.as_str(), client_config(opts.seed))
+        .map_err(|e| format!("cannot connect to {}: {e}", opts.addr))?;
+    probe.ping().map_err(|e| format!("ping failed: {e}"))?;
+    let n = probe.num_nodes();
+    if n < 2 {
+        return Err(format!("served labeling has {n} nodes; nothing to query"));
+    }
+    println!(
+        "daemon at {} serves {n} nodes; {} mode, {} conns, {} queries, batch {}, pipeline {}",
+        opts.addr,
+        if opts.mode == Mode::Closed {
+            "closed-loop"
+        } else {
+            "open-loop"
+        },
+        opts.conns,
+        opts.queries,
+        opts.batch,
+        opts.pipeline,
+    );
+
+    let latency = Arc::new(LatencyHistogram::new());
+    let per_conn = opts.queries.div_ceil(opts.conns);
+    let started = Instant::now();
+    let mut workers = Vec::with_capacity(opts.conns);
+    for worker in 0..opts.conns {
+        let latency = Arc::clone(&latency);
+        let addr = opts.addr.clone();
+        let seed = opts.seed.wrapping_add(worker as u64).wrapping_mul(0x9e37);
+        let (mode, batch, pipeline, rate, conns) =
+            (opts.mode, opts.batch, opts.pipeline, opts.rate, opts.conns);
+        let handle = std::thread::Builder::new()
+            .name(format!("netbench-{worker}"))
+            .spawn(move || -> Result<WorkerReport, String> {
+                let mut client = NetClient::connect(addr.as_str(), client_config(seed))
+                    .map_err(|e| format!("worker {worker} cannot connect: {e}"))?;
+                let mut rng = Xorshift64::seed_from_u64(seed);
+                let mut pair = move || -> (NodeId, NodeId) {
+                    (
+                        rng.gen_index(n as usize) as NodeId,
+                        rng.gen_index(n as usize) as NodeId,
+                    )
+                };
+                let mut done = 0u64;
+                let mut max_lag_ns = 0u64;
+                let open_period = Duration::from_secs_f64(conns as f64 / rate.max(1e-9));
+                let t0 = Instant::now();
+                let mut shot = 0u32;
+                while (done as usize) < per_conn {
+                    if mode == Mode::Open {
+                        // Fixed schedule: slot k fires at t0 + k*period.
+                        let due = open_period
+                            .checked_mul(shot)
+                            .unwrap_or(Duration::from_secs(3600));
+                        shot = shot.saturating_add(1);
+                        let now = t0.elapsed();
+                        if now < due {
+                            std::thread::sleep(due - now);
+                        } else {
+                            max_lag_ns = max_lag_ns.max((now - due).as_nanos() as u64);
+                        }
+                    }
+                    let want = batch.min(per_conn - done as usize);
+                    let sent = Instant::now();
+                    if want == 1 {
+                        let (u, v) = pair();
+                        client
+                            .query(u, v)
+                            .map_err(|e| format!("worker {worker} query: {e}"))?;
+                    } else {
+                        let pairs: Vec<(NodeId, NodeId)> = (0..want).map(|_| pair()).collect();
+                        let got = if pipeline > 1 {
+                            client.query_batch_pipelined(
+                                &pairs,
+                                want.div_ceil(pipeline).max(1),
+                                pipeline,
+                            )
+                        } else {
+                            client.query_batch(&pairs)
+                        }
+                        .map_err(|e| format!("worker {worker} batch: {e}"))?;
+                        if got.len() != pairs.len() {
+                            return Err(format!(
+                                "worker {worker}: {} answers for {} pairs",
+                                got.len(),
+                                pairs.len()
+                            ));
+                        }
+                    }
+                    latency.record(sent.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64);
+                    done += want as u64;
+                }
+                Ok(WorkerReport {
+                    queries: done,
+                    max_lag_ns,
+                })
+            })
+            .map_err(|e| format!("cannot spawn worker {worker}: {e}"))?;
+        workers.push(handle);
+    }
+
+    let mut total = 0u64;
+    let mut max_lag_ns = 0u64;
+    for handle in workers {
+        let report = handle.join().map_err(|_| "worker panicked".to_string())??;
+        total += report.queries;
+        max_lag_ns = max_lag_ns.max(report.max_lag_ns);
+    }
+    let wall = started.elapsed().as_secs_f64();
+
+    println!(
+        "completed {total} queries in {wall:.3}s: {:>10.0} queries/s",
+        total as f64 / wall
+    );
+    println!(
+        "round-trip latency (per request frame, n={})",
+        latency.count()
+    );
+    println!("  p50  < {} ns", latency.quantile(0.50));
+    println!("  p95  < {} ns", latency.quantile(0.95));
+    println!("  p99  < {} ns", latency.quantile(0.99));
+    if opts.mode == Mode::Open {
+        println!(
+            "open-loop schedule lag: max {:.3} ms (0 means the daemon kept up)",
+            max_lag_ns as f64 / 1e6
+        );
+    }
+
+    let snapshot = probe
+        .metrics()
+        .map_err(|e| format!("cannot fetch server metrics: {e}"))?;
+    println!("--- server metrics ---");
+    println!("{}", snapshot.render_text());
+
+    if opts.shutdown {
+        probe
+            .shutdown()
+            .map_err(|e| format!("shutdown not acknowledged: {e}"))?;
+        println!("daemon acknowledged shutdown");
+    }
+    Ok(())
+}

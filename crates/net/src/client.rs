@@ -1,0 +1,423 @@
+//! Blocking HLNP client: connect/request timeouts, bounded retry with
+//! jittered exponential backoff, and batch pipelining.
+//!
+//! Retry policy: only socket-level failures ([`NetError::is_retryable`])
+//! are retried, on a *fresh* connection, at most `max_retries` times,
+//! sleeping `backoff_base * 2^attempt` (capped) plus deterministic
+//! jitter from [`hl_graph::rng::Xorshift64`] between attempts — seeded
+//! jitter keeps load tests reproducible while still decorrelating real
+//! fleets started with distinct seeds. Protocol violations and typed
+//! server errors are returned immediately: retrying a malformed frame
+//! or an out-of-range vertex cannot succeed.
+//!
+//! All request methods are safe to retry because every HLNP request is
+//! idempotent — queries are pure reads and `Shutdown` is
+//! at-least-once — but `shutdown` still skips retries: a dead socket
+//! after sending usually *is* the shutdown taking effect.
+
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use hl_graph::rng::Xorshift64;
+use hl_graph::{Distance, NodeId};
+use hl_server::MetricsSnapshot;
+
+use crate::error::NetError;
+use crate::wire::{
+    read_frame, write_frame, ClientHello, Request, Response, ServerHello, DEFAULT_MAX_FRAME_LEN,
+    PROTOCOL_VERSION,
+};
+
+/// Tunables for one client.
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// TCP connect budget per attempt.
+    pub connect_timeout: Duration,
+    /// Read/write budget per request round-trip.
+    pub request_timeout: Duration,
+    /// Reconnect attempts after the first failure (0 disables retry).
+    pub max_retries: u32,
+    /// First backoff sleep; doubles per attempt.
+    pub backoff_base: Duration,
+    /// Ceiling on a single backoff sleep.
+    pub backoff_cap: Duration,
+    /// Seed for backoff jitter (deterministic per client).
+    pub seed: u64,
+    /// Per-frame payload cap (must be at least the server's).
+    pub max_frame_len: u32,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            connect_timeout: Duration::from_secs(5),
+            request_timeout: Duration::from_secs(10),
+            max_retries: 2,
+            backoff_base: Duration::from_millis(25),
+            backoff_cap: Duration::from_secs(1),
+            seed: 0x68_6c_6e_65_74, // "hlnet"
+            max_frame_len: DEFAULT_MAX_FRAME_LEN,
+        }
+    }
+}
+
+/// One live, handshaken connection.
+struct Conn {
+    stream: TcpStream,
+    hello: ServerHello,
+}
+
+/// A blocking client for one HLNP daemon.
+pub struct NetClient {
+    addr: SocketAddr,
+    config: ClientConfig,
+    rng: Xorshift64,
+    conn: Option<Conn>,
+}
+
+impl NetClient {
+    /// Resolves `addr`, connects, and completes the handshake.
+    pub fn connect<A: ToSocketAddrs>(addr: A, config: ClientConfig) -> Result<Self, NetError> {
+        let addr = addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| NetError::Handshake("address resolved to nothing".into()))?;
+        let mut client = NetClient {
+            addr,
+            config: config.clone(),
+            rng: Xorshift64::seed_from_u64(config.seed),
+            conn: None,
+        };
+        client.ensure_connected()?;
+        Ok(client)
+    }
+
+    /// The server hello from the most recent handshake, if connected.
+    pub fn server_hello(&self) -> Option<&ServerHello> {
+        self.conn.as_ref().map(|c| &c.hello)
+    }
+
+    /// Number of vertices the served labeling covers (0 if disconnected,
+    /// which cannot happen right after a successful `connect`).
+    pub fn num_nodes(&self) -> u64 {
+        self.conn.as_ref().map_or(0, |c| c.hello.num_nodes)
+    }
+
+    fn dial(&self) -> Result<Conn, NetError> {
+        let stream = TcpStream::connect_timeout(&self.addr, self.config.connect_timeout)?;
+        stream.set_read_timeout(Some(self.config.request_timeout))?;
+        stream.set_write_timeout(Some(self.config.request_timeout))?;
+        let _ = stream.set_nodelay(true);
+        let mut conn = Conn {
+            stream,
+            hello: ServerHello {
+                protocol_version: 0,
+                store_version: 0,
+                num_nodes: 0,
+            },
+        };
+        let payload = read_frame(&mut conn.stream, self.config.max_frame_len)?;
+        let hello = ServerHello::decode(&payload)?;
+        if hello.protocol_version != PROTOCOL_VERSION {
+            return Err(NetError::Handshake(format!(
+                "server speaks protocol {}, this client speaks {PROTOCOL_VERSION}",
+                hello.protocol_version
+            )));
+        }
+        write_frame(
+            &mut conn.stream,
+            &ClientHello {
+                protocol_version: PROTOCOL_VERSION,
+            }
+            .encode(),
+        )?;
+        conn.hello = hello;
+        Ok(conn)
+    }
+
+    fn ensure_connected(&mut self) -> Result<(), NetError> {
+        if self.conn.is_none() {
+            self.conn = Some(self.dial()?);
+        }
+        Ok(())
+    }
+
+    /// Drops the connection (the next request redials).
+    pub fn disconnect(&mut self) {
+        self.conn = None;
+    }
+
+    /// Backoff for retry `attempt` (0-based): `base * 2^attempt` capped,
+    /// plus up to 50% deterministic jitter.
+    fn backoff(&mut self, attempt: u32) -> Duration {
+        let base = self.config.backoff_base.as_nanos() as u64;
+        let cap = self.config.backoff_cap.as_nanos() as u64;
+        let exp = base.saturating_shl(attempt.min(32)).min(cap.max(1));
+        let jitter = self.rng.gen_u64_below(exp / 2 + 1);
+        Duration::from_nanos(exp.saturating_add(jitter))
+    }
+
+    /// One request/response round trip on the current connection.
+    fn round_trip(&mut self, request: &Request) -> Result<Response, NetError> {
+        self.ensure_connected()?;
+        let max_len = self.config.max_frame_len;
+        let conn = self
+            .conn
+            .as_mut()
+            .ok_or_else(|| NetError::Handshake("connection vanished".into()))?;
+        let result = (|| {
+            write_frame(&mut conn.stream, &request.encode())?;
+            let payload = read_frame(&mut conn.stream, max_len)?;
+            Ok(Response::decode(&payload)?)
+        })();
+        if result.is_err() {
+            // Whatever happened, the stream position is unknown: redial.
+            self.conn = None;
+        }
+        result
+    }
+
+    /// Sends `request`, retrying socket failures with jittered backoff.
+    fn request(&mut self, request: &Request) -> Result<Response, NetError> {
+        let attempts = self.config.max_retries.saturating_add(1);
+        let mut last = None;
+        for attempt in 0..attempts {
+            match self.round_trip(request) {
+                Ok(resp) => return Ok(resp),
+                Err(e) if e.is_retryable() && attempt + 1 < attempts => {
+                    let pause = self.backoff(attempt);
+                    std::thread::sleep(pause);
+                    last = Some(e);
+                }
+                Err(e) => {
+                    return if attempt == 0 {
+                        Err(e)
+                    } else {
+                        Err(NetError::RetriesExhausted {
+                            attempts: attempt + 1,
+                            last: Box::new(e),
+                        })
+                    };
+                }
+            }
+        }
+        Err(NetError::RetriesExhausted {
+            attempts,
+            last: Box::new(last.unwrap_or_else(|| {
+                NetError::Handshake("retry loop ended without an error".into())
+            })),
+        })
+    }
+
+    fn expect_error(resp: Response, expected: &'static str) -> NetError {
+        match resp {
+            Response::Error { code, message } => NetError::Remote { code, message },
+            other => NetError::UnexpectedResponse {
+                expected,
+                got: format!("{other:?}"),
+            },
+        }
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<(), NetError> {
+        match self.request(&Request::Ping)? {
+            Response::Pong => Ok(()),
+            other => Err(Self::expect_error(other, "Pong")),
+        }
+    }
+
+    /// One distance query.
+    pub fn query(&mut self, u: NodeId, v: NodeId) -> Result<Distance, NetError> {
+        match self.request(&Request::Query { u, v })? {
+            Response::Distance(d) => Ok(d),
+            other => Err(Self::expect_error(other, "Distance")),
+        }
+    }
+
+    /// A batch of distance queries, answered in request order.
+    pub fn query_batch(&mut self, pairs: &[(NodeId, NodeId)]) -> Result<Vec<Distance>, NetError> {
+        match self.request(&Request::QueryBatch(pairs.to_vec()))? {
+            Response::DistanceBatch(ds) if ds.len() == pairs.len() => Ok(ds),
+            Response::DistanceBatch(ds) => Err(NetError::UnexpectedResponse {
+                expected: "DistanceBatch of matching length",
+                got: format!("DistanceBatch of {} (sent {})", ds.len(), pairs.len()),
+            }),
+            other => Err(Self::expect_error(other, "DistanceBatch")),
+        }
+    }
+
+    /// Answers a large workload by splitting it into `chunk`-pair batch
+    /// frames and keeping up to `window` of them in flight on the wire,
+    /// so the socket round-trip overlaps the server's work. Results come
+    /// back in input order. Retried as a unit on socket failure.
+    pub fn query_batch_pipelined(
+        &mut self,
+        pairs: &[(NodeId, NodeId)],
+        chunk: usize,
+        window: usize,
+    ) -> Result<Vec<Distance>, NetError> {
+        let chunk = chunk.max(1);
+        let window = window.max(1);
+        let attempts = self.config.max_retries.saturating_add(1);
+        let mut attempt = 0;
+        loop {
+            match self.try_pipelined(pairs, chunk, window) {
+                Ok(out) => return Ok(out),
+                Err(e) if e.is_retryable() && attempt + 1 < attempts => {
+                    let pause = self.backoff(attempt);
+                    std::thread::sleep(pause);
+                    attempt += 1;
+                }
+                Err(e) if attempt > 0 => {
+                    return Err(NetError::RetriesExhausted {
+                        attempts: attempt + 1,
+                        last: Box::new(e),
+                    })
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    fn try_pipelined(
+        &mut self,
+        pairs: &[(NodeId, NodeId)],
+        chunk: usize,
+        window: usize,
+    ) -> Result<Vec<Distance>, NetError> {
+        self.ensure_connected()?;
+        let max_len = self.config.max_frame_len;
+        let conn = self
+            .conn
+            .as_mut()
+            .ok_or_else(|| NetError::Handshake("connection vanished".into()))?;
+        let result = (|| {
+            let mut out = Vec::with_capacity(pairs.len());
+            let chunks: Vec<&[(NodeId, NodeId)]> = pairs.chunks(chunk).collect();
+            let mut sent = 0usize;
+            let mut received = 0usize;
+            while received < chunks.len() {
+                while sent < chunks.len() && sent - received < window {
+                    let req = Request::QueryBatch(chunks[sent].to_vec());
+                    write_frame(&mut conn.stream, &req.encode())?;
+                    sent += 1;
+                }
+                let payload = read_frame(&mut conn.stream, max_len)?;
+                match Response::decode(&payload)? {
+                    Response::DistanceBatch(ds) if ds.len() == chunks[received].len() => {
+                        out.extend_from_slice(&ds);
+                        received += 1;
+                    }
+                    Response::DistanceBatch(ds) => {
+                        return Err(NetError::UnexpectedResponse {
+                            expected: "DistanceBatch of matching length",
+                            got: format!(
+                                "DistanceBatch of {} (sent {})",
+                                ds.len(),
+                                chunks[received].len()
+                            ),
+                        })
+                    }
+                    other => return Err(Self::expect_error(other, "DistanceBatch")),
+                }
+            }
+            Ok(out)
+        })();
+        if result.is_err() {
+            self.conn = None;
+        }
+        result
+    }
+
+    /// Fetches the server's metrics snapshot.
+    pub fn metrics(&mut self) -> Result<MetricsSnapshot, NetError> {
+        match self.request(&Request::Metrics)? {
+            Response::Metrics(s) => Ok(s),
+            other => Err(Self::expect_error(other, "Metrics")),
+        }
+    }
+
+    /// Asks the daemon to drain and exit. Never retried: a socket error
+    /// after the request was written usually means it worked.
+    pub fn shutdown(&mut self) -> Result<(), NetError> {
+        match self.round_trip(&Request::Shutdown)? {
+            Response::ShutdownAck => {
+                self.conn = None;
+                Ok(())
+            }
+            other => Err(Self::expect_error(other, "ShutdownAck")),
+        }
+    }
+}
+
+/// `u64::checked_shl` that saturates instead of wrapping to zero.
+trait SaturatingShl {
+    fn saturating_shl(self, rhs: u32) -> Self;
+}
+
+impl SaturatingShl for u64 {
+    fn saturating_shl(self, rhs: u32) -> u64 {
+        if rhs >= 64 {
+            u64::MAX
+        } else {
+            self.checked_shl(rhs).unwrap_or(u64::MAX)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_grows_and_caps() {
+        let mut client = NetClient {
+            addr: "127.0.0.1:1".parse().unwrap(),
+            config: ClientConfig {
+                backoff_base: Duration::from_millis(10),
+                backoff_cap: Duration::from_millis(100),
+                ..ClientConfig::default()
+            },
+            rng: Xorshift64::seed_from_u64(7),
+            conn: None,
+        };
+        let b0 = client.backoff(0);
+        assert!(b0 >= Duration::from_millis(10) && b0 <= Duration::from_millis(15));
+        let b3 = client.backoff(3);
+        assert!(b3 >= Duration::from_millis(80));
+        // Far past the cap: bounded by cap + 50% jitter.
+        let b9 = client.backoff(9);
+        assert!(b9 <= Duration::from_millis(150));
+    }
+
+    #[test]
+    fn backoff_is_deterministic_per_seed() {
+        let mk = |seed| NetClient {
+            addr: "127.0.0.1:1".parse().unwrap(),
+            config: ClientConfig::default(),
+            rng: Xorshift64::seed_from_u64(seed),
+            conn: None,
+        };
+        let (mut a, mut b, mut c) = (mk(1), mk(1), mk(2));
+        let seq_a: Vec<Duration> = (0..4).map(|i| a.backoff(i)).collect();
+        let seq_b: Vec<Duration> = (0..4).map(|i| b.backoff(i)).collect();
+        let seq_c: Vec<Duration> = (0..4).map(|i| c.backoff(i)).collect();
+        assert_eq!(seq_a, seq_b);
+        assert_ne!(seq_a, seq_c, "different seeds must jitter differently");
+    }
+
+    #[test]
+    fn connect_to_dead_port_is_io_error() {
+        // Port 1 on loopback is essentially never listening.
+        let err = NetClient::connect(
+            "127.0.0.1:1",
+            ClientConfig {
+                connect_timeout: Duration::from_millis(200),
+                max_retries: 0,
+                ..ClientConfig::default()
+            },
+        );
+        assert!(matches!(err, Err(NetError::Io(_))));
+    }
+}

@@ -1,0 +1,101 @@
+//! The crate-wide error type for client and server operations.
+
+use std::fmt;
+use std::io;
+
+use crate::wire::{ErrorCode, WireError};
+
+/// Everything the TCP stack can fail with, on either side of the socket.
+#[derive(Debug)]
+pub enum NetError {
+    /// Socket-level failure: connect, bind, read, write, timeout.
+    Io(io::Error),
+    /// A frame failed to read or decode.
+    Wire(WireError),
+    /// The handshake did not complete (bad magic, wrong version, or the
+    /// peer closed early).
+    Handshake(String),
+    /// The server answered with a typed error frame.
+    Remote {
+        /// Machine-readable cause from the wire.
+        code: ErrorCode,
+        /// Human-readable detail from the wire.
+        message: String,
+    },
+    /// The server answered, but with the wrong response kind.
+    UnexpectedResponse {
+        /// What the request called for.
+        expected: &'static str,
+        /// What actually arrived.
+        got: String,
+    },
+    /// Every reconnect attempt failed; holds the final error.
+    RetriesExhausted {
+        /// Total attempts made (first try plus retries).
+        attempts: u32,
+        /// The error the last attempt died with.
+        last: Box<NetError>,
+    },
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::Io(e) => write!(f, "i/o error: {e}"),
+            NetError::Wire(e) => write!(f, "wire error: {e}"),
+            NetError::Handshake(msg) => write!(f, "handshake failed: {msg}"),
+            NetError::Remote { code, message } => {
+                write!(f, "server error [{code}]: {message}")
+            }
+            NetError::UnexpectedResponse { expected, got } => {
+                write!(f, "expected {expected} response, got {got}")
+            }
+            NetError::RetriesExhausted { attempts, last } => {
+                write!(f, "gave up after {attempts} attempts: {last}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NetError::Io(e) => Some(e),
+            NetError::Wire(e) => Some(e),
+            NetError::RetriesExhausted { last, .. } => Some(last.as_ref()),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for NetError {
+    fn from(e: io::Error) -> Self {
+        NetError::Io(e)
+    }
+}
+
+impl From<WireError> for NetError {
+    fn from(e: WireError) -> Self {
+        match e {
+            // Socket errors keep their i/o identity so retry policy can
+            // tell a dead connection from a protocol violation.
+            WireError::Io(io) => NetError::Io(io),
+            other => NetError::Wire(other),
+        }
+    }
+}
+
+impl NetError {
+    /// `true` for failures a fresh connection might fix (socket death,
+    /// timeouts); protocol and server-side errors are not retryable.
+    pub fn is_retryable(&self) -> bool {
+        match self {
+            NetError::Io(_) => true,
+            NetError::Handshake(_) => false,
+            NetError::Wire(_) => false,
+            NetError::Remote { code, .. } => *code == ErrorCode::Busy,
+            NetError::UnexpectedResponse { .. } => false,
+            NetError::RetriesExhausted { .. } => false,
+        }
+    }
+}

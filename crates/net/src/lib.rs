@@ -1,0 +1,37 @@
+//! TCP serving stack for hub labelings: the HLNP wire protocol, a
+//! serving daemon, and a blocking client library.
+//!
+//! `hl-server` answers distance queries in-process; this crate puts a
+//! network boundary in front of it, std-only and offline like the rest
+//! of the workspace:
+//!
+//! - [`wire`]: versioned length-prefixed binary frames — handshake
+//!   ([`wire::ServerHello`]/[`wire::ClientHello`]), requests
+//!   ([`wire::Request`]), responses ([`wire::Response`]) and typed error
+//!   frames. Checked reads everywhere, mirroring the HLBS store
+//!   discipline: truncated, oversized or trailing-byte frames are typed
+//!   errors, never panics.
+//! - [`server`]: [`server::NetServer`], the daemon behind
+//!   `hubserve serve` — bounded accept loop, per-connection worker
+//!   threads, per-socket timeouts, graceful drain-and-shutdown, metrics
+//!   into the engine's existing [`hl_server::Metrics`].
+//! - [`client`]: [`client::NetClient`], a blocking client with connect
+//!   and request timeouts, bounded retry with deterministic jittered
+//!   backoff, and batch pipelining.
+//!
+//! Two binaries ride on top: `hubserve` (build/query/bench/serve) and
+//! `netbench`, an open- and closed-loop load generator reporting
+//! throughput and latency percentiles against a live daemon.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod error;
+pub mod server;
+pub mod wire;
+
+pub use client::{ClientConfig, NetClient};
+pub use error::NetError;
+pub use server::{NetServer, ServerConfig, StopHandle};
+pub use wire::{ErrorCode, Request, Response, WireError, PROTOCOL_VERSION};

@@ -1,0 +1,391 @@
+//! The serving daemon: a bounded accept loop over per-connection worker
+//! threads, answering HLNP frames from a shared [`QueryEngine`].
+//!
+//! Design constraints, in order:
+//!
+//! - **Never panic, never hang past a timeout.** Every socket carries
+//!   read/write timeouts; every frame is length-capped before buffering;
+//!   every malformed input is answered with a typed error frame.
+//! - **Bounded resources.** At most `max_connections` handler threads
+//!   exist at once; a connection over the cap is greeted and turned away
+//!   with [`ErrorCode::Busy`] so the client can back off and retry.
+//! - **Graceful shutdown.** A `Shutdown` request (or [`StopHandle`])
+//!   flips one atomic flag and nudges the accept loop awake. The loop
+//!   stops accepting, half-closes the read side of every live connection
+//!   (in-flight responses still flush), and joins every handler before
+//!   [`NetServer::serve`] returns.
+//!
+//! Metrics flow into the engine's existing [`hl_server::Metrics`]:
+//! connections opened/rejected, request frames handled, error frames
+//! sent, and per-query latency via the engine's own histogram.
+
+use std::collections::HashMap;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use hl_graph::sync::lock_unpoisoned;
+use hl_server::{store, EngineError, QueryEngine};
+
+use crate::error::NetError;
+use crate::wire::{
+    read_frame, write_frame, ClientHello, ErrorCode, Request, Response, ServerHello, WireError,
+    DEFAULT_MAX_FRAME_LEN, PROTOCOL_VERSION,
+};
+
+/// Tunables for one daemon instance.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Maximum concurrently served connections; further clients are
+    /// greeted with [`ErrorCode::Busy`] and closed.
+    pub max_connections: usize,
+    /// Idle limit per read: a client silent this long is dropped.
+    pub read_timeout: Duration,
+    /// Stall limit per write: a client not draining responses this long
+    /// is dropped (slow-client protection).
+    pub write_timeout: Duration,
+    /// Per-frame payload cap; larger frames are rejected unread.
+    pub max_frame_len: u32,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            max_connections: 64,
+            read_timeout: Duration::from_secs(30),
+            write_timeout: Duration::from_secs(10),
+            max_frame_len: DEFAULT_MAX_FRAME_LEN,
+        }
+    }
+}
+
+/// Live connections, indexed by id, so shutdown can half-close them.
+#[derive(Default)]
+struct ConnRegistry {
+    streams: Mutex<HashMap<u64, TcpStream>>,
+}
+
+impl ConnRegistry {
+    fn register(&self, id: u64, stream: &TcpStream) {
+        if let Ok(clone) = stream.try_clone() {
+            lock_unpoisoned(&self.streams).insert(id, clone);
+        }
+    }
+
+    fn deregister(&self, id: u64) {
+        lock_unpoisoned(&self.streams).remove(&id);
+    }
+
+    /// Half-closes the read side of every live connection: blocked reads
+    /// wake with EOF while responses still in flight can finish writing.
+    fn shutdown_reads(&self) {
+        for stream in lock_unpoisoned(&self.streams).values() {
+            let _ = stream.shutdown(Shutdown::Read);
+        }
+    }
+}
+
+/// Deregisters a connection even when its handler errors out early.
+struct Registration {
+    conns: Arc<ConnRegistry>,
+    id: u64,
+}
+
+impl Drop for Registration {
+    fn drop(&mut self) {
+        self.conns.deregister(self.id);
+    }
+}
+
+/// Shared state between the accept loop, handlers, and stop handles.
+struct Inner {
+    engine: Arc<QueryEngine>,
+    config: ServerConfig,
+    stop: Arc<AtomicBool>,
+    conns: Arc<ConnRegistry>,
+    local_addr: SocketAddr,
+}
+
+impl Inner {
+    /// Flips the stop flag (once) and nudges the accept loop awake with a
+    /// throwaway connection to ourselves.
+    fn trigger_stop(&self) {
+        if !self.stop.swap(true, Ordering::SeqCst) {
+            let _ = TcpStream::connect_timeout(&self.local_addr, Duration::from_secs(1));
+        }
+    }
+}
+
+/// Cloneable remote control for a running [`NetServer`].
+#[derive(Clone)]
+pub struct StopHandle {
+    inner: Arc<Inner>,
+}
+
+impl StopHandle {
+    /// Asks the daemon to drain and exit; returns immediately.
+    pub fn stop(&self) {
+        self.inner.trigger_stop();
+    }
+
+    /// `true` once shutdown has been requested.
+    pub fn is_stopping(&self) -> bool {
+        self.inner.stop.load(Ordering::SeqCst)
+    }
+}
+
+/// A bound-but-not-yet-serving HLNP daemon.
+pub struct NetServer {
+    listener: TcpListener,
+    inner: Arc<Inner>,
+}
+
+impl NetServer {
+    /// Binds a listener (use port 0 for an ephemeral port) over `engine`.
+    pub fn bind<A: ToSocketAddrs>(
+        engine: Arc<QueryEngine>,
+        addr: A,
+        config: ServerConfig,
+    ) -> Result<Self, NetError> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let inner = Arc::new(Inner {
+            engine,
+            config,
+            stop: Arc::new(AtomicBool::new(false)),
+            conns: Arc::new(ConnRegistry::default()),
+            local_addr,
+        });
+        Ok(NetServer { listener, inner })
+    }
+
+    /// The address actually bound (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.inner.local_addr
+    }
+
+    /// A handle that can stop the daemon from another thread.
+    pub fn stop_handle(&self) -> StopHandle {
+        StopHandle {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+
+    /// Runs the accept loop on the calling thread until a `Shutdown`
+    /// request or [`StopHandle::stop`] arrives, then drains: stops
+    /// accepting, half-closes live connections, joins every handler.
+    pub fn serve(self) -> Result<(), NetError> {
+        let mut handlers: Vec<JoinHandle<()>> = Vec::new();
+        let conn_ids = AtomicU64::new(0);
+        loop {
+            let (stream, _peer) = match self.listener.accept() {
+                Ok(pair) => pair,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => {
+                    if self.inner.stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    return Err(NetError::Io(e));
+                }
+            };
+            if self.inner.stop.load(Ordering::SeqCst) {
+                break; // the stream may be the shutdown nudge; drop it
+            }
+            handlers.retain(|h| !h.is_finished());
+            let metrics = self.inner.engine.metrics();
+            if handlers.len() >= self.inner.config.max_connections {
+                metrics.connections_rejected.fetch_add(1, Ordering::Relaxed);
+                metrics.net_errors.fetch_add(1, Ordering::Relaxed);
+                reject_over_cap(stream, &self.inner);
+                continue;
+            }
+            let id = conn_ids.fetch_add(1, Ordering::Relaxed);
+            let inner = Arc::clone(&self.inner);
+            let spawned = std::thread::Builder::new()
+                .name(format!("hlnet-conn-{id}"))
+                .spawn(move || {
+                    let _ = handle_connection(&inner, stream, id);
+                });
+            match spawned {
+                Ok(handle) => {
+                    metrics.connections_opened.fetch_add(1, Ordering::Relaxed);
+                    handlers.push(handle);
+                }
+                Err(_) => {
+                    // Thread exhaustion. The stream died with the closure,
+                    // so no greeting is possible — just account for it.
+                    metrics.connections_rejected.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        self.inner.conns.shutdown_reads();
+        for handle in handlers {
+            let _ = handle.join();
+        }
+        Ok(())
+    }
+}
+
+/// Greets an over-cap client with hello + `Busy` so it can back off,
+/// then closes. Short write timeout: a client that cannot even absorb
+/// two tiny frames is not worth blocking the accept loop for.
+fn reject_over_cap(stream: TcpStream, inner: &Inner) {
+    let mut stream = stream;
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
+    let _ = write_frame(&mut stream, &server_hello(inner).encode());
+    let busy = Response::Error {
+        code: ErrorCode::Busy,
+        message: format!(
+            "server at its {}-connection cap; retry with backoff",
+            inner.config.max_connections
+        ),
+    };
+    let _ = write_frame(&mut stream, &busy.encode());
+}
+
+fn server_hello(inner: &Inner) -> ServerHello {
+    ServerHello {
+        protocol_version: PROTOCOL_VERSION,
+        store_version: store::VERSION,
+        num_nodes: inner.engine.num_nodes() as u64,
+    }
+}
+
+/// Writes a response frame, counting error frames into the metrics.
+fn send(stream: &mut TcpStream, inner: &Inner, resp: &Response) -> Result<(), NetError> {
+    if matches!(resp, Response::Error { .. }) {
+        inner
+            .engine
+            .metrics()
+            .net_errors
+            .fetch_add(1, Ordering::Relaxed);
+    }
+    write_frame(stream, &resp.encode())?;
+    Ok(())
+}
+
+/// Serves one connection to completion. Socket-level failures end the
+/// connection silently (the peer is gone); protocol violations are
+/// answered with a typed error frame first.
+fn handle_connection(inner: &Inner, mut stream: TcpStream, id: u64) -> Result<(), NetError> {
+    stream.set_read_timeout(Some(inner.config.read_timeout))?;
+    stream.set_write_timeout(Some(inner.config.write_timeout))?;
+    let _ = stream.set_nodelay(true);
+    inner.conns.register(id, &stream);
+    let _guard = Registration {
+        conns: Arc::clone(&inner.conns),
+        id,
+    };
+
+    write_frame(&mut stream, &server_hello(inner).encode())?;
+
+    // Handshake: the client must identify itself before anything else.
+    let payload = match read_frame(&mut stream, inner.config.max_frame_len) {
+        Ok(p) => p,
+        Err(e) => return close_on_read_error(&mut stream, inner, e),
+    };
+    match ClientHello::decode(&payload) {
+        Ok(hello) if hello.protocol_version == PROTOCOL_VERSION => {}
+        Ok(hello) => {
+            let resp = Response::Error {
+                code: ErrorCode::VersionMismatch,
+                message: format!(
+                    "server speaks protocol {PROTOCOL_VERSION}, client spoke {}",
+                    hello.protocol_version
+                ),
+            };
+            let _ = send(&mut stream, inner, &resp);
+            return Ok(());
+        }
+        Err(e) => {
+            let resp = Response::Error {
+                code: ErrorCode::Malformed,
+                message: format!("expected client hello: {e}"),
+            };
+            let _ = send(&mut stream, inner, &resp);
+            return Ok(());
+        }
+    }
+
+    loop {
+        let payload = match read_frame(&mut stream, inner.config.max_frame_len) {
+            Ok(p) => p,
+            Err(e) => return close_on_read_error(&mut stream, inner, e),
+        };
+        let metrics = inner.engine.metrics();
+        metrics.net_requests.fetch_add(1, Ordering::Relaxed);
+        let request = match Request::decode(&payload) {
+            Ok(r) => r,
+            Err(e) => {
+                // The frame boundary is intact, so the connection can
+                // keep serving after reporting the bad frame.
+                let resp = Response::Error {
+                    code: ErrorCode::Malformed,
+                    message: e.to_string(),
+                };
+                send(&mut stream, inner, &resp)?;
+                continue;
+            }
+        };
+        let response = match request {
+            Request::Ping => Response::Pong,
+            Request::Query { u, v } => match inner.engine.query(u, v) {
+                Ok(d) => Response::Distance(d),
+                Err(e) => engine_error_response(&e),
+            },
+            Request::QueryBatch(pairs) => match inner.engine.query_batch(&pairs) {
+                Ok(ds) => Response::DistanceBatch(ds),
+                Err(e) => engine_error_response(&e),
+            },
+            Request::Metrics => Response::Metrics(inner.engine.snapshot()),
+            Request::Shutdown => {
+                let _ = send(&mut stream, inner, &Response::ShutdownAck);
+                inner.trigger_stop();
+                return Ok(());
+            }
+        };
+        send(&mut stream, inner, &response)?;
+    }
+}
+
+/// A failed frame read either means the peer left (close silently) or
+/// broke protocol (answer with a typed error, then close — the frame
+/// boundary is unrecoverable).
+fn close_on_read_error(
+    stream: &mut TcpStream,
+    inner: &Inner,
+    e: WireError,
+) -> Result<(), NetError> {
+    match e {
+        WireError::Io(_) => Ok(()), // disconnect, idle timeout, or drain
+        WireError::FrameTooLarge { len, max } => {
+            let resp = Response::Error {
+                code: ErrorCode::FrameTooLarge,
+                message: format!("frame of {len} bytes exceeds cap of {max}"),
+            };
+            let _ = send(stream, inner, &resp);
+            Ok(())
+        }
+        other => {
+            let resp = Response::Error {
+                code: ErrorCode::Malformed,
+                message: other.to_string(),
+            };
+            let _ = send(stream, inner, &resp);
+            Ok(())
+        }
+    }
+}
+
+fn engine_error_response(e: &EngineError) -> Response {
+    let code = match e {
+        EngineError::NodeOutOfRange { .. } => ErrorCode::NodeOutOfRange,
+        _ => ErrorCode::Internal,
+    };
+    Response::Error {
+        code,
+        message: e.to_string(),
+    }
+}

@@ -1,0 +1,770 @@
+//! The HLNP wire protocol: versioned, length-prefixed binary frames.
+//!
+//! Every frame on the wire is a 4-byte little-endian payload length
+//! followed by the payload; the payload's first byte is an opcode and the
+//! rest is the message body. All integers are little-endian, mirroring
+//! the HLBS store format.
+//!
+//! ```text
+//! [len: u32][opcode: u8][body: len-1 bytes]
+//! ```
+//!
+//! A connection opens with a handshake: the server sends [`ServerHello`]
+//! (magic, protocol version, store format version, node count), the
+//! client answers with [`ClientHello`] (magic, protocol version), and
+//! only then do [`Request`]/[`Response`] frames flow. Either side closes
+//! on a version it does not speak — the server with a typed
+//! [`Response::Error`] frame, the client with [`WireError::Version`].
+//!
+//! Decoding follows the label-store discipline: every read is
+//! length-checked, a short body is a typed error (never a panic), a
+//! frame longer than the negotiated cap is rejected before it is
+//! buffered, and a body with trailing bytes is malformed — a frame must
+//! decode exactly.
+
+use std::fmt;
+use std::io::{self, Read, Write};
+
+use hl_graph::Distance;
+use hl_server::MetricsSnapshot;
+
+/// Handshake magic: "Hub Label Net Protocol".
+pub const MAGIC: [u8; 4] = *b"HLNP";
+/// Protocol version spoken by this module.
+pub const PROTOCOL_VERSION: u16 = 1;
+/// Default cap on a frame payload. A `QueryBatch` of 64k pairs fits with
+/// room to spare; anything larger is a protocol violation, not load.
+pub const DEFAULT_MAX_FRAME_LEN: u32 = 1 << 20;
+/// Largest batch a single `QueryBatch` frame may carry.
+pub const MAX_BATCH_LEN: u32 = (DEFAULT_MAX_FRAME_LEN - 16) / 8;
+
+// Opcodes. Handshake frames are 0x0_, requests 0x1_, responses 0x9_,
+// and the error response stands alone at 0xEE.
+const OP_SERVER_HELLO: u8 = 0x01;
+const OP_CLIENT_HELLO: u8 = 0x02;
+const OP_PING: u8 = 0x10;
+const OP_QUERY: u8 = 0x11;
+const OP_QUERY_BATCH: u8 = 0x12;
+const OP_METRICS: u8 = 0x13;
+const OP_SHUTDOWN: u8 = 0x14;
+const OP_PONG: u8 = 0x90;
+const OP_DISTANCE: u8 = 0x91;
+const OP_DISTANCE_BATCH: u8 = 0x92;
+const OP_METRICS_SNAPSHOT: u8 = 0x93;
+const OP_SHUTDOWN_ACK: u8 = 0x94;
+const OP_ERROR: u8 = 0xEE;
+
+/// Typed error codes carried by [`Response::Error`] frames.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// A query named a vertex outside the labeling.
+    NodeOutOfRange,
+    /// The request frame did not decode.
+    Malformed,
+    /// The request frame exceeded the server's frame cap.
+    FrameTooLarge,
+    /// The client's protocol version is not spoken here.
+    VersionMismatch,
+    /// The server is at its connection cap.
+    Busy,
+    /// The server is draining and no longer answers queries.
+    ShuttingDown,
+    /// Anything else (engine failure, i/o while answering).
+    Internal,
+}
+
+impl ErrorCode {
+    /// Wire representation.
+    pub fn as_u16(self) -> u16 {
+        match self {
+            ErrorCode::NodeOutOfRange => 1,
+            ErrorCode::Malformed => 2,
+            ErrorCode::FrameTooLarge => 3,
+            ErrorCode::VersionMismatch => 4,
+            ErrorCode::Busy => 5,
+            ErrorCode::ShuttingDown => 6,
+            ErrorCode::Internal => 7,
+        }
+    }
+
+    /// Decodes a wire error code.
+    pub fn from_u16(code: u16) -> Option<Self> {
+        match code {
+            1 => Some(ErrorCode::NodeOutOfRange),
+            2 => Some(ErrorCode::Malformed),
+            3 => Some(ErrorCode::FrameTooLarge),
+            4 => Some(ErrorCode::VersionMismatch),
+            5 => Some(ErrorCode::Busy),
+            6 => Some(ErrorCode::ShuttingDown),
+            7 => Some(ErrorCode::Internal),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            ErrorCode::NodeOutOfRange => "node-out-of-range",
+            ErrorCode::Malformed => "malformed-frame",
+            ErrorCode::FrameTooLarge => "frame-too-large",
+            ErrorCode::VersionMismatch => "version-mismatch",
+            ErrorCode::Busy => "busy",
+            ErrorCode::ShuttingDown => "shutting-down",
+            ErrorCode::Internal => "internal",
+        };
+        write!(f, "{name}")
+    }
+}
+
+/// Everything that can go wrong reading or decoding frames.
+#[derive(Debug)]
+pub enum WireError {
+    /// Underlying socket/stream failure (includes timeouts).
+    Io(io::Error),
+    /// A frame declared a payload longer than the cap.
+    FrameTooLarge {
+        /// Declared payload length.
+        len: u32,
+        /// The enforced cap.
+        max: u32,
+    },
+    /// A zero-length payload (every frame needs at least an opcode).
+    EmptyFrame,
+    /// The body ended before a field did.
+    Truncated {
+        /// Bytes the next field needed.
+        needed: usize,
+        /// Bytes actually left in the body.
+        available: usize,
+    },
+    /// The body kept going after the message ended.
+    TrailingBytes(usize),
+    /// The handshake magic was wrong — not an HLNP peer.
+    BadMagic([u8; 4]),
+    /// The peer speaks a protocol version we do not.
+    Version {
+        /// The version this module speaks.
+        ours: u16,
+        /// The version the peer announced.
+        theirs: u16,
+    },
+    /// An opcode this decoder does not know.
+    UnknownOpcode(u8),
+    /// A structurally valid frame with nonsense content (bad error code,
+    /// batch length over the cap, non-UTF-8 error text, ...).
+    Invalid(String),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Io(e) => write!(f, "i/o error: {e}"),
+            WireError::FrameTooLarge { len, max } => {
+                write!(f, "frame of {len} bytes exceeds cap of {max}")
+            }
+            WireError::EmptyFrame => write!(f, "empty frame (no opcode)"),
+            WireError::Truncated { needed, available } => {
+                write!(f, "truncated frame: needed {needed} bytes, had {available}")
+            }
+            WireError::TrailingBytes(n) => {
+                write!(f, "{n} trailing bytes after message body")
+            }
+            WireError::BadMagic(m) => write!(f, "bad handshake magic {m:?}: not an HLNP peer"),
+            WireError::Version { ours, theirs } => {
+                write!(
+                    f,
+                    "protocol version mismatch: we speak {ours}, peer speaks {theirs}"
+                )
+            }
+            WireError::UnknownOpcode(op) => write!(f, "unknown opcode {op:#04x}"),
+            WireError::Invalid(msg) => write!(f, "invalid frame: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WireError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for WireError {
+    fn from(e: io::Error) -> Self {
+        WireError::Io(e)
+    }
+}
+
+impl WireError {
+    /// `true` when the error is a socket-level failure (worth a retry on
+    /// a fresh connection) rather than a protocol-level one (not).
+    pub fn is_io(&self) -> bool {
+        matches!(self, WireError::Io(_))
+    }
+}
+
+/// Checked sequential reader over one frame body.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Cursor { buf, at: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        let end = self.at.checked_add(n).ok_or(WireError::Truncated {
+            needed: n,
+            available: self.buf.len().saturating_sub(self.at),
+        })?;
+        let slice = self.buf.get(self.at..end).ok_or(WireError::Truncated {
+            needed: n,
+            available: self.buf.len().saturating_sub(self.at),
+        })?;
+        self.at = end;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, WireError> {
+        let b = self.take(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    /// The body must be fully consumed: trailing bytes are an error.
+    fn finish(self) -> Result<(), WireError> {
+        if self.at == self.buf.len() {
+            Ok(())
+        } else {
+            Err(WireError::TrailingBytes(self.buf.len() - self.at))
+        }
+    }
+}
+
+/// Writes one frame (length prefix + payload) to `w` as a single write,
+/// so a framed message never straddles two TCP segments needlessly.
+pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> Result<(), WireError> {
+    let len = u32::try_from(payload.len()).map_err(|_| WireError::FrameTooLarge {
+        len: u32::MAX,
+        max: DEFAULT_MAX_FRAME_LEN,
+    })?;
+    let mut framed = Vec::with_capacity(4 + payload.len());
+    framed.extend_from_slice(&len.to_le_bytes());
+    framed.extend_from_slice(payload);
+    w.write_all(&framed)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads one frame payload from `r`, enforcing the length cap *before*
+/// buffering the body so an adversarial length prefix cannot balloon
+/// memory. Partial reads are handled by `read_exact`; a peer that stops
+/// mid-frame surfaces as [`WireError::Io`] (timeout or unexpected EOF).
+pub fn read_frame<R: Read>(r: &mut R, max_len: u32) -> Result<Vec<u8>, WireError> {
+    let mut len_bytes = [0u8; 4];
+    r.read_exact(&mut len_bytes)?;
+    let len = u32::from_le_bytes(len_bytes);
+    if len == 0 {
+        return Err(WireError::EmptyFrame);
+    }
+    if len > max_len {
+        return Err(WireError::FrameTooLarge { len, max: max_len });
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    Ok(payload)
+}
+
+/// First frame on a connection, server to client.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServerHello {
+    /// Protocol version the server speaks.
+    pub protocol_version: u16,
+    /// Format version of the label store being served (HLBS version).
+    pub store_version: u16,
+    /// Number of vertices the served labeling covers.
+    pub num_nodes: u64,
+}
+
+impl ServerHello {
+    /// Encodes into a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(17);
+        out.push(OP_SERVER_HELLO);
+        out.extend_from_slice(&MAGIC);
+        out.extend_from_slice(&self.protocol_version.to_le_bytes());
+        out.extend_from_slice(&self.store_version.to_le_bytes());
+        out.extend_from_slice(&self.num_nodes.to_le_bytes());
+        out
+    }
+
+    /// Decodes a frame payload; checks magic but *not* the version, so
+    /// the caller can render a precise mismatch error.
+    pub fn decode(payload: &[u8]) -> Result<Self, WireError> {
+        let mut c = Cursor::new(payload);
+        let op = c.u8()?;
+        if op != OP_SERVER_HELLO {
+            return Err(WireError::UnknownOpcode(op));
+        }
+        let magic: [u8; 4] = c.take(4)?.try_into().map_err(|_| WireError::Truncated {
+            needed: 4,
+            available: 0,
+        })?;
+        if magic != MAGIC {
+            return Err(WireError::BadMagic(magic));
+        }
+        let hello = ServerHello {
+            protocol_version: c.u16()?,
+            store_version: c.u16()?,
+            num_nodes: c.u64()?,
+        };
+        c.finish()?;
+        Ok(hello)
+    }
+}
+
+/// Second frame on a connection, client to server.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClientHello {
+    /// Protocol version the client speaks.
+    pub protocol_version: u16,
+}
+
+impl ClientHello {
+    /// Encodes into a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(7);
+        out.push(OP_CLIENT_HELLO);
+        out.extend_from_slice(&MAGIC);
+        out.extend_from_slice(&self.protocol_version.to_le_bytes());
+        out
+    }
+
+    /// Decodes a frame payload, checking magic.
+    pub fn decode(payload: &[u8]) -> Result<Self, WireError> {
+        let mut c = Cursor::new(payload);
+        let op = c.u8()?;
+        if op != OP_CLIENT_HELLO {
+            return Err(WireError::UnknownOpcode(op));
+        }
+        let magic: [u8; 4] = c.take(4)?.try_into().map_err(|_| WireError::Truncated {
+            needed: 4,
+            available: 0,
+        })?;
+        if magic != MAGIC {
+            return Err(WireError::BadMagic(magic));
+        }
+        let hello = ClientHello {
+            protocol_version: c.u16()?,
+        };
+        c.finish()?;
+        Ok(hello)
+    }
+}
+
+/// A client request frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Liveness probe.
+    Ping,
+    /// One distance query.
+    Query {
+        /// Source vertex.
+        u: u32,
+        /// Target vertex.
+        v: u32,
+    },
+    /// Many distance queries answered in one frame.
+    QueryBatch(Vec<(u32, u32)>),
+    /// Ask for the server's metrics snapshot.
+    Metrics,
+    /// Ask the daemon to drain and exit.
+    Shutdown,
+}
+
+impl Request {
+    /// Encodes into a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            Request::Ping => vec![OP_PING],
+            Request::Query { u, v } => {
+                let mut out = Vec::with_capacity(9);
+                out.push(OP_QUERY);
+                out.extend_from_slice(&u.to_le_bytes());
+                out.extend_from_slice(&v.to_le_bytes());
+                out
+            }
+            Request::QueryBatch(pairs) => {
+                let mut out = Vec::with_capacity(5 + pairs.len() * 8);
+                out.push(OP_QUERY_BATCH);
+                out.extend_from_slice(&(pairs.len() as u32).to_le_bytes());
+                for &(u, v) in pairs {
+                    out.extend_from_slice(&u.to_le_bytes());
+                    out.extend_from_slice(&v.to_le_bytes());
+                }
+                out
+            }
+            Request::Metrics => vec![OP_METRICS],
+            Request::Shutdown => vec![OP_SHUTDOWN],
+        }
+    }
+
+    /// Decodes a frame payload.
+    pub fn decode(payload: &[u8]) -> Result<Self, WireError> {
+        let mut c = Cursor::new(payload);
+        let req = match c.u8()? {
+            OP_PING => Request::Ping,
+            OP_QUERY => Request::Query {
+                u: c.u32()?,
+                v: c.u32()?,
+            },
+            OP_QUERY_BATCH => {
+                let count = c.u32()?;
+                if count > MAX_BATCH_LEN {
+                    return Err(WireError::Invalid(format!(
+                        "batch of {count} pairs exceeds cap of {MAX_BATCH_LEN}"
+                    )));
+                }
+                let mut pairs = Vec::with_capacity(count as usize);
+                for _ in 0..count {
+                    pairs.push((c.u32()?, c.u32()?));
+                }
+                Request::QueryBatch(pairs)
+            }
+            OP_METRICS => Request::Metrics,
+            OP_SHUTDOWN => Request::Shutdown,
+            op => return Err(WireError::UnknownOpcode(op)),
+        };
+        c.finish()?;
+        Ok(req)
+    }
+}
+
+/// A server response frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// Answer to [`Request::Ping`].
+    Pong,
+    /// Answer to [`Request::Query`].
+    Distance(Distance),
+    /// Answer to [`Request::QueryBatch`], in request order.
+    DistanceBatch(Vec<Distance>),
+    /// Answer to [`Request::Metrics`].
+    Metrics(MetricsSnapshot),
+    /// Answer to [`Request::Shutdown`]; the connection closes after.
+    ShutdownAck,
+    /// Typed failure; the server never closes a live connection without
+    /// one except on socket death.
+    Error {
+        /// Machine-readable cause.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+impl Response {
+    /// Encodes into a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            Response::Pong => vec![OP_PONG],
+            Response::Distance(d) => {
+                let mut out = Vec::with_capacity(9);
+                out.push(OP_DISTANCE);
+                out.extend_from_slice(&d.to_le_bytes());
+                out
+            }
+            Response::DistanceBatch(ds) => {
+                let mut out = Vec::with_capacity(5 + ds.len() * 8);
+                out.push(OP_DISTANCE_BATCH);
+                out.extend_from_slice(&(ds.len() as u32).to_le_bytes());
+                for &d in ds {
+                    out.extend_from_slice(&d.to_le_bytes());
+                }
+                out
+            }
+            Response::Metrics(s) => {
+                let mut out = Vec::with_capacity(1 + 14 * 8);
+                out.push(OP_METRICS_SNAPSHOT);
+                for field in [
+                    s.single_queries,
+                    s.batches,
+                    s.batch_queries,
+                    s.cache_hits,
+                    s.cache_misses,
+                    s.decode_errors,
+                    s.connections_opened,
+                    s.connections_rejected,
+                    s.net_requests,
+                    s.net_errors,
+                    s.latency_count,
+                    s.p50_ns,
+                    s.p95_ns,
+                    s.p99_ns,
+                ] {
+                    out.extend_from_slice(&field.to_le_bytes());
+                }
+                out
+            }
+            Response::ShutdownAck => vec![OP_SHUTDOWN_ACK],
+            Response::Error { code, message } => {
+                let bytes = message.as_bytes();
+                let mut out = Vec::with_capacity(7 + bytes.len());
+                out.push(OP_ERROR);
+                out.extend_from_slice(&code.as_u16().to_le_bytes());
+                out.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+                out.extend_from_slice(bytes);
+                out
+            }
+        }
+    }
+
+    /// Decodes a frame payload.
+    pub fn decode(payload: &[u8]) -> Result<Self, WireError> {
+        let mut c = Cursor::new(payload);
+        let resp = match c.u8()? {
+            OP_PONG => Response::Pong,
+            OP_DISTANCE => Response::Distance(c.u64()?),
+            OP_DISTANCE_BATCH => {
+                let count = c.u32()?;
+                if count > MAX_BATCH_LEN {
+                    return Err(WireError::Invalid(format!(
+                        "batch of {count} distances exceeds cap of {MAX_BATCH_LEN}"
+                    )));
+                }
+                let mut ds = Vec::with_capacity(count as usize);
+                for _ in 0..count {
+                    ds.push(c.u64()?);
+                }
+                Response::DistanceBatch(ds)
+            }
+            OP_METRICS_SNAPSHOT => {
+                let mut fields = [0u64; 14];
+                for f in fields.iter_mut() {
+                    *f = c.u64()?;
+                }
+                Response::Metrics(MetricsSnapshot {
+                    single_queries: fields[0],
+                    batches: fields[1],
+                    batch_queries: fields[2],
+                    cache_hits: fields[3],
+                    cache_misses: fields[4],
+                    decode_errors: fields[5],
+                    connections_opened: fields[6],
+                    connections_rejected: fields[7],
+                    net_requests: fields[8],
+                    net_errors: fields[9],
+                    latency_count: fields[10],
+                    p50_ns: fields[11],
+                    p95_ns: fields[12],
+                    p99_ns: fields[13],
+                })
+            }
+            OP_SHUTDOWN_ACK => Response::ShutdownAck,
+            OP_ERROR => {
+                let raw = c.u16()?;
+                let code = ErrorCode::from_u16(raw)
+                    .ok_or_else(|| WireError::Invalid(format!("unknown error code {raw}")))?;
+                let len = c.u32()? as usize;
+                let bytes = c.take(len)?;
+                let message = String::from_utf8(bytes.to_vec())
+                    .map_err(|_| WireError::Invalid("error text is not UTF-8".into()))?;
+                Response::Error { code, message }
+            }
+            op => return Err(WireError::UnknownOpcode(op)),
+        };
+        c.finish()?;
+        Ok(resp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_req(req: Request) {
+        let payload = req.encode();
+        assert_eq!(Request::decode(&payload).unwrap(), req);
+    }
+
+    fn roundtrip_resp(resp: Response) {
+        let payload = resp.encode();
+        assert_eq!(Response::decode(&payload).unwrap(), resp);
+    }
+
+    #[test]
+    fn requests_roundtrip() {
+        roundtrip_req(Request::Ping);
+        roundtrip_req(Request::Query { u: 3, v: 99 });
+        roundtrip_req(Request::QueryBatch(vec![]));
+        roundtrip_req(Request::QueryBatch(vec![(0, 1), (7, 7), (u32::MAX, 0)]));
+        roundtrip_req(Request::Metrics);
+        roundtrip_req(Request::Shutdown);
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        roundtrip_resp(Response::Pong);
+        roundtrip_resp(Response::Distance(0));
+        roundtrip_resp(Response::Distance(u64::MAX));
+        roundtrip_resp(Response::DistanceBatch(vec![1, 2, 3]));
+        roundtrip_resp(Response::ShutdownAck);
+        roundtrip_resp(Response::Error {
+            code: ErrorCode::NodeOutOfRange,
+            message: "node 42 out of range".into(),
+        });
+        let snap = MetricsSnapshot {
+            single_queries: 1,
+            batches: 2,
+            batch_queries: 3,
+            cache_hits: 4,
+            cache_misses: 5,
+            decode_errors: 6,
+            connections_opened: 7,
+            connections_rejected: 8,
+            net_requests: 9,
+            net_errors: 10,
+            latency_count: 11,
+            p50_ns: 12,
+            p95_ns: 13,
+            p99_ns: 14,
+        };
+        roundtrip_resp(Response::Metrics(snap));
+    }
+
+    #[test]
+    fn hellos_roundtrip() {
+        let sh = ServerHello {
+            protocol_version: PROTOCOL_VERSION,
+            store_version: 1,
+            num_nodes: 12_000,
+        };
+        assert_eq!(ServerHello::decode(&sh.encode()).unwrap(), sh);
+        let ch = ClientHello {
+            protocol_version: PROTOCOL_VERSION,
+        };
+        assert_eq!(ClientHello::decode(&ch.encode()).unwrap(), ch);
+    }
+
+    #[test]
+    fn truncated_bodies_are_typed_errors() {
+        let full = Request::Query { u: 5, v: 9 }.encode();
+        for cut in 0..full.len() {
+            let err = Request::decode(&full[..cut]);
+            assert!(err.is_err(), "prefix of {cut} bytes must not decode");
+        }
+        let full = Response::Error {
+            code: ErrorCode::Internal,
+            message: "boom".into(),
+        }
+        .encode();
+        for cut in 1..full.len() {
+            assert!(Response::decode(&full[..cut]).is_err());
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut payload = Request::Ping.encode();
+        payload.push(0);
+        assert!(matches!(
+            Request::decode(&payload),
+            Err(WireError::TrailingBytes(1))
+        ));
+    }
+
+    #[test]
+    fn batch_length_lies_are_rejected() {
+        // Declared count larger than the body actually carries.
+        let mut payload = vec![0x12u8]; // OP_QUERY_BATCH
+        payload.extend_from_slice(&10u32.to_le_bytes());
+        payload.extend_from_slice(&[0u8; 8]); // only one pair present
+        assert!(matches!(
+            Request::decode(&payload),
+            Err(WireError::Truncated { .. })
+        ));
+        // Declared count over the protocol cap.
+        let mut payload = vec![0x12u8];
+        payload.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            Request::decode(&payload),
+            Err(WireError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_opcode_rejected() {
+        assert!(matches!(
+            Request::decode(&[0x7f]),
+            Err(WireError::UnknownOpcode(0x7f))
+        ));
+        assert!(matches!(
+            Response::decode(&[0x00]),
+            Err(WireError::UnknownOpcode(0x00))
+        ));
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut payload = ServerHello {
+            protocol_version: 1,
+            store_version: 1,
+            num_nodes: 5,
+        }
+        .encode();
+        payload[1] = b'X';
+        assert!(matches!(
+            ServerHello::decode(&payload),
+            Err(WireError::BadMagic(_))
+        ));
+    }
+
+    #[test]
+    fn frame_io_roundtrip_and_caps() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &Request::Ping.encode()).unwrap();
+        let mut r = &buf[..];
+        assert_eq!(read_frame(&mut r, 64).unwrap(), Request::Ping.encode());
+
+        // Oversized declared length is rejected before buffering.
+        let mut huge = Vec::new();
+        huge.extend_from_slice(&(1u32 << 30).to_le_bytes());
+        let mut r = &huge[..];
+        assert!(matches!(
+            read_frame(&mut r, DEFAULT_MAX_FRAME_LEN),
+            Err(WireError::FrameTooLarge { .. })
+        ));
+
+        // Zero-length frame is rejected.
+        let zero = 0u32.to_le_bytes();
+        let mut r = &zero[..];
+        assert!(matches!(read_frame(&mut r, 64), Err(WireError::EmptyFrame)));
+
+        // A frame cut mid-body is an i/o error, not a hang or panic.
+        let mut cut = Vec::new();
+        write_frame(&mut cut, &[1, 2, 3, 4]).unwrap();
+        cut.truncate(6);
+        let mut r = &cut[..];
+        assert!(matches!(read_frame(&mut r, 64), Err(WireError::Io(_))));
+    }
+}

@@ -1,0 +1,249 @@
+//! Protocol robustness against an in-process [`NetServer`]: truncated
+//! frames, version mismatches, and oversized frames must each get a
+//! typed error frame back — the server never panics and never hangs
+//! past its timeouts.
+//!
+//! Raw [`TcpStream`]s (not [`NetClient`]) drive the hostile cases, so
+//! the bytes on the wire are exactly what each test says they are.
+//! Every test socket carries a read timeout: a hung server fails the
+//! test instead of wedging the suite.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use hl_core::pll::PrunedLandmarkLabeling;
+use hl_graph::generators;
+use hl_net::wire::{read_frame, write_frame, ClientHello, ServerHello};
+use hl_net::{ErrorCode, NetServer, Request, Response, ServerConfig, StopHandle};
+use hl_server::QueryEngine;
+
+const TEST_MAX_FRAME: u32 = 4096;
+
+struct TestServer {
+    addr: SocketAddr,
+    stop: StopHandle,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl TestServer {
+    fn start() -> Self {
+        let g = generators::grid(5, 5);
+        let hl = PrunedLandmarkLabeling::by_degree(&g).into_labeling();
+        let engine = Arc::new(QueryEngine::new(hl, 1).expect("engine"));
+        let config = ServerConfig {
+            max_connections: 4,
+            read_timeout: Duration::from_secs(2),
+            write_timeout: Duration::from_secs(2),
+            max_frame_len: TEST_MAX_FRAME,
+        };
+        let server = NetServer::bind(engine, "127.0.0.1:0", config).expect("bind");
+        let addr = server.local_addr();
+        let stop = server.stop_handle();
+        let thread = std::thread::spawn(move || {
+            server.serve().expect("serve");
+        });
+        TestServer {
+            addr,
+            stop,
+            thread: Some(thread),
+        }
+    }
+
+    /// A raw socket that has consumed the server hello but sent nothing.
+    fn raw_socket(&self) -> (TcpStream, ServerHello) {
+        let mut stream = TcpStream::connect(self.addr).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        stream
+            .set_write_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        let payload = read_frame(&mut stream, TEST_MAX_FRAME).expect("server hello");
+        let hello = ServerHello::decode(&payload).expect("decode server hello");
+        (stream, hello)
+    }
+
+    /// A raw socket past a correct handshake, ready for request frames.
+    fn handshaken_socket(&self) -> TcpStream {
+        let (mut stream, hello) = self.raw_socket();
+        let client_hello = ClientHello {
+            protocol_version: hello.protocol_version,
+        };
+        write_frame(&mut stream, &client_hello.encode()).expect("client hello");
+        stream
+    }
+}
+
+impl Drop for TestServer {
+    fn drop(&mut self) {
+        self.stop.stop();
+        if let Some(t) = self.thread.take() {
+            t.join().expect("server thread");
+        }
+    }
+}
+
+fn expect_error(stream: &mut TcpStream, code: ErrorCode) -> String {
+    let payload = read_frame(stream, TEST_MAX_FRAME).expect("error frame");
+    match Response::decode(&payload).expect("decode response") {
+        Response::Error { code: got, message } => {
+            assert_eq!(got, code, "wrong error code: {message}");
+            message
+        }
+        other => panic!("expected an Error frame with {code:?}, got {other:?}"),
+    }
+}
+
+#[test]
+fn version_mismatch_gets_typed_error_then_close() {
+    let server = TestServer::start();
+    let (mut stream, hello) = server.raw_socket();
+    assert!(hello.num_nodes > 0);
+
+    let bad_hello = ClientHello {
+        protocol_version: hello.protocol_version + 1,
+    };
+    write_frame(&mut stream, &bad_hello.encode()).expect("send bad hello");
+    let message = expect_error(&mut stream, ErrorCode::VersionMismatch);
+    assert!(message.contains("protocol"), "uninformative: {message}");
+
+    // The server closes after a failed handshake: next read sees EOF.
+    let mut rest = Vec::new();
+    assert_eq!(stream.read_to_end(&mut rest).expect("EOF"), 0);
+}
+
+#[test]
+fn truncated_request_body_gets_malformed_and_connection_survives() {
+    let server = TestServer::start();
+    let mut stream = server.handshaken_socket();
+
+    // A Query frame is opcode + 8 bytes of vertex ids; send only 3.
+    let truncated = [0x11u8, 0x00, 0x00, 0x00];
+    write_frame(&mut stream, &truncated).expect("send truncated query");
+    expect_error(&mut stream, ErrorCode::Malformed);
+
+    // The frame boundary was intact, so the connection still serves.
+    write_frame(&mut stream, &Request::Query { u: 0, v: 24 }.encode()).expect("send good query");
+    let payload = read_frame(&mut stream, TEST_MAX_FRAME).expect("response");
+    match Response::decode(&payload).expect("decode") {
+        Response::Distance(d) => assert_eq!(d, 8), // corners of a 5x5 grid
+        other => panic!("expected Distance, got {other:?}"),
+    }
+}
+
+#[test]
+fn batch_length_lie_gets_malformed_not_a_hang() {
+    let server = TestServer::start();
+    let mut stream = server.handshaken_socket();
+
+    // QueryBatch claiming 1000 pairs but carrying none: the decoder must
+    // reject the count against the actual body, not wait for more bytes.
+    let mut lie = vec![0x12u8];
+    lie.extend_from_slice(&1000u32.to_le_bytes());
+    write_frame(&mut stream, &lie).expect("send lying batch");
+    expect_error(&mut stream, ErrorCode::Malformed);
+}
+
+#[test]
+fn oversized_frame_is_rejected_unread_with_typed_error() {
+    let server = TestServer::start();
+    let mut stream = server.handshaken_socket();
+
+    // Announce a frame far over the server's cap. The server must answer
+    // from the length prefix alone — we never send the body.
+    let huge = (TEST_MAX_FRAME + 1).to_le_bytes();
+    stream.write_all(&huge).expect("send oversized prefix");
+    stream.flush().unwrap();
+    let message = expect_error(&mut stream, ErrorCode::FrameTooLarge);
+    assert!(
+        message.contains(&TEST_MAX_FRAME.to_string()),
+        "cap missing from message: {message}"
+    );
+
+    // Framing is unrecoverable after an oversized announcement: EOF next.
+    let mut rest = Vec::new();
+    assert_eq!(stream.read_to_end(&mut rest).expect("EOF"), 0);
+}
+
+#[test]
+fn zero_length_frame_is_rejected() {
+    let server = TestServer::start();
+    let mut stream = server.handshaken_socket();
+    stream
+        .write_all(&0u32.to_le_bytes())
+        .expect("send zero len");
+    stream.flush().unwrap();
+    expect_error(&mut stream, ErrorCode::Malformed);
+}
+
+#[test]
+fn half_a_frame_then_silence_times_out_instead_of_hanging() {
+    let server = TestServer::start();
+    let mut stream = server.handshaken_socket();
+
+    // Promise 100 bytes, deliver 2, then go quiet. The server's read
+    // timeout (2s here) must end the connection; we observe EOF well
+    // before our own 5s socket timeout would fire.
+    stream.write_all(&100u32.to_le_bytes()).expect("prefix");
+    stream.write_all(&[0x11, 0x00]).expect("partial body");
+    stream.flush().unwrap();
+
+    let started = std::time::Instant::now();
+    let mut rest = Vec::new();
+    stream.read_to_end(&mut rest).expect("server must close");
+    assert!(rest.is_empty(), "no error frame for a socket-level timeout");
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "server held a dead connection open too long"
+    );
+}
+
+#[test]
+fn over_cap_connection_is_greeted_and_turned_away_busy() {
+    let g = generators::grid(4, 4);
+    let hl = PrunedLandmarkLabeling::by_degree(&g).into_labeling();
+    let engine = Arc::new(QueryEngine::new(hl, 1).expect("engine"));
+    let config = ServerConfig {
+        max_connections: 0, // everyone is over the cap
+        read_timeout: Duration::from_secs(2),
+        write_timeout: Duration::from_secs(2),
+        max_frame_len: TEST_MAX_FRAME,
+    };
+    let server = NetServer::bind(engine, "127.0.0.1:0", config).expect("bind");
+    let addr = server.local_addr();
+    let stop = server.stop_handle();
+    let thread = std::thread::spawn(move || server.serve().expect("serve"));
+
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    let payload = read_frame(&mut stream, TEST_MAX_FRAME).expect("hello before rejection");
+    ServerHello::decode(&payload).expect("valid hello even when busy");
+    expect_error(&mut stream, ErrorCode::Busy);
+
+    stop.stop();
+    thread.join().expect("server thread");
+}
+
+#[test]
+fn stop_handle_drains_idle_connections() {
+    let server = TestServer::start();
+    // An idle handshaken connection is parked in a blocking read.
+    let mut idle = server.handshaken_socket();
+    // Give the handler a moment to reach its read loop.
+    std::thread::sleep(Duration::from_millis(50));
+
+    server.stop.stop();
+    assert!(server.stop.is_stopping());
+
+    // Drop joins the server thread; it must come back promptly because
+    // shutdown half-closes the idle connection's read side.
+    drop(server);
+
+    let mut rest = Vec::new();
+    let _ = idle.read_to_end(&mut rest); // EOF or reset, either is fine
+}

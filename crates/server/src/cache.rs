@@ -9,6 +9,12 @@
 //! Shards store entries in a plain `Vec` threaded into an intrusive
 //! doubly-linked list (indices, not pointers), so an LRU touch is a few
 //! index swaps and no allocation.
+//!
+//! Every shard counts its own hits, misses, insertions and evictions
+//! under the shard lock ([`CacheStats`]), so the cache is self-auditing:
+//! `hits + misses` equals the number of lookups ever made and
+//! `insertions - evictions` equals the current occupancy, exactly, even
+//! under concurrent churn.
 
 use std::collections::HashMap;
 use std::sync::Mutex;
@@ -31,6 +37,30 @@ struct LruShard {
     head: usize,
     tail: usize,
     capacity: usize,
+    stats: CacheStats,
+}
+
+/// Point-in-time counters for a cache (or one shard of it). Maintained
+/// under the shard lock, so within a shard they are exactly consistent.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that found their key.
+    pub hits: u64,
+    /// Lookups that did not.
+    pub misses: u64,
+    /// New entries added (refreshing an existing key does not count).
+    pub insertions: u64,
+    /// Entries evicted to make room.
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    fn add(&mut self, other: &CacheStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.insertions += other.insertions;
+        self.evictions += other.evictions;
+    }
 }
 
 impl LruShard {
@@ -41,6 +71,7 @@ impl LruShard {
             head: NIL,
             tail: NIL,
             capacity,
+            stats: CacheStats::default(),
         }
     }
 
@@ -71,7 +102,11 @@ impl LruShard {
     }
 
     fn get(&mut self, key: u64) -> Option<Distance> {
-        let idx = *self.map.get(&key)?;
+        let Some(&idx) = self.map.get(&key) else {
+            self.stats.misses += 1;
+            return None;
+        };
+        self.stats.hits += 1;
         if idx != self.head {
             self.unlink(idx);
             self.push_front(idx);
@@ -88,6 +123,7 @@ impl LruShard {
             }
             return;
         }
+        self.stats.insertions += 1;
         let idx = if self.entries.len() < self.capacity {
             self.entries.push(Entry {
                 key,
@@ -98,6 +134,7 @@ impl LruShard {
             self.entries.len() - 1
         } else {
             // Evict the least-recently-used entry and reuse its slot.
+            self.stats.evictions += 1;
             let idx = self.tail;
             self.unlink(idx);
             self.map.remove(&self.entries[idx].key);
@@ -162,6 +199,16 @@ impl ShardedLruCache {
     /// Number of cached entries across all shards.
     pub fn len(&self) -> usize {
         self.shards.iter().map(|s| lock_unpoisoned(s).len()).sum()
+    }
+
+    /// Aggregated counters across all shards. Each shard's contribution
+    /// is exact; the sum is a consistent-enough snapshot under load.
+    pub fn stats(&self) -> CacheStats {
+        let mut total = CacheStats::default();
+        for shard in &self.shards {
+            total.add(&lock_unpoisoned(shard).stats);
+        }
+        total
     }
 
     /// `true` when nothing is cached.

@@ -11,6 +11,9 @@
 //!   over an mpsc channel and reassembles results in input order. Batches
 //!   bypass the cache: bulk workloads rarely repeat pairs, and the merge
 //!   join is cheap enough that cache traffic would only add contention.
+//!   Batches of at most [`SMALL_BATCH_INLINE`] pairs skip the pool
+//!   entirely and are answered on the calling thread — for tiny batches
+//!   the channel round-trip costs more than the queries themselves.
 //! - [`QueryEngine::query`] answers one pair on the calling thread through
 //!   the sharded LRU cache — the point-lookup path, where skew is common.
 //!
@@ -33,6 +36,11 @@ use crate::store::{LabelStore, StoreError};
 
 /// Default number of entries the single-query cache holds.
 pub const DEFAULT_CACHE_CAPACITY: usize = 1 << 16;
+
+/// Largest batch answered inline on the calling thread instead of being
+/// sharded across the worker pool (the mpsc round-trip dominates below
+/// this; `bench_server` measures the crossover).
+pub const SMALL_BATCH_INLINE: usize = 4;
 
 /// Errors surfaced by the serving paths.
 #[derive(Debug)]
@@ -230,6 +238,20 @@ impl QueryEngine {
             return Ok(Vec::new());
         }
 
+        // Small-batch fast path: answer on the calling thread. The pool
+        // exists to spread *work*, and a handful of merge joins is less
+        // work than one channel send plus a reply-channel wakeup.
+        if pairs.len() <= SMALL_BATCH_INLINE {
+            let mut out = Vec::with_capacity(pairs.len());
+            for &(u, v) in pairs {
+                let started = Instant::now();
+                out.push(self.shared.labeling.query(u, v));
+                m.latency.record(elapsed_ns(started));
+            }
+            m.batch_queries.fetch_add(pairs.len() as u64, Relaxed);
+            return Ok(out);
+        }
+
         let chunk = pairs.len().div_ceil(self.num_workers);
         let (reply_tx, reply_rx) = channel();
         let mut shards = 0;
@@ -363,6 +385,32 @@ mod tests {
         let (g, eng) = engine(8);
         let d = eng.query_batch(&[(0, 1)]).unwrap();
         assert_eq!(d, vec![hl_graph::bfs::bfs_distances(&g, 0)[1]]);
+    }
+
+    #[test]
+    fn small_batches_take_the_inline_path_and_still_count() {
+        let (g, eng) = engine(4);
+        let dist0 = hl_graph::bfs::bfs_distances(&g, 0);
+        // Exactly at, and just over, the inline threshold.
+        let small: Vec<(NodeId, NodeId)> =
+            (1..=SMALL_BATCH_INLINE as NodeId).map(|v| (0, v)).collect();
+        let over: Vec<(NodeId, NodeId)> = (1..=SMALL_BATCH_INLINE as NodeId + 1)
+            .map(|v| (0, v))
+            .collect();
+        let got_small = eng.query_batch(&small).unwrap();
+        let got_over = eng.query_batch(&over).unwrap();
+        for (i, &(_, v)) in small.iter().enumerate() {
+            assert_eq!(got_small[i], dist0[v as usize]);
+        }
+        for (i, &(_, v)) in over.iter().enumerate() {
+            assert_eq!(got_over[i], dist0[v as usize]);
+        }
+        let s = eng.snapshot();
+        assert_eq!(s.batches, 2);
+        assert_eq!(s.batch_queries, (small.len() + over.len()) as u64);
+        assert_eq!(s.latency_count, s.batch_queries);
+        // The inline path must not touch the single-query cache.
+        assert_eq!(s.cache_hits + s.cache_misses, 0);
     }
 
     #[test]

@@ -16,9 +16,10 @@
 //! - [`metrics`]: atomic counters and a latency histogram with
 //!   p50/p95/p99 snapshots ([`metrics::Metrics`]).
 //!
-//! The `hubserve` binary wires these into a CLI: `build` a store from a
-//! graph, `query` it over a line protocol, and `bench` it under synthetic
-//! load.
+//! The `hubserve` binary (in `hl-net`, which also adds the TCP serving
+//! stack on top of this crate) wires these into a CLI: `build` a store
+//! from a graph, `query` it over a line protocol, `bench` it under
+//! synthetic load, and `serve` it over the network.
 
 #![forbid(unsafe_code)]
 
@@ -27,7 +28,7 @@ pub mod engine;
 pub mod metrics;
 pub mod store;
 
-pub use cache::ShardedLruCache;
+pub use cache::{CacheStats, ShardedLruCache};
 pub use engine::{EngineError, QueryEngine};
-pub use metrics::{Metrics, MetricsSnapshot};
+pub use metrics::{LatencyHistogram, Metrics, MetricsSnapshot};
 pub use store::{LabelStore, StoreError};

@@ -96,6 +96,14 @@ pub struct Metrics {
     pub cache_misses: AtomicU64,
     /// Label decode/store errors observed while serving.
     pub decode_errors: AtomicU64,
+    /// TCP connections accepted and served (hl-net daemon).
+    pub connections_opened: AtomicU64,
+    /// TCP connections turned away at the connection cap.
+    pub connections_rejected: AtomicU64,
+    /// Request frames handled over the network.
+    pub net_requests: AtomicU64,
+    /// Error frames sent over the network.
+    pub net_errors: AtomicU64,
     /// Per-query latency across both paths.
     pub latency: LatencyHistogram,
 }
@@ -121,6 +129,10 @@ impl Metrics {
             cache_hits: self.cache_hits.load(Relaxed),
             cache_misses: self.cache_misses.load(Relaxed),
             decode_errors: self.decode_errors.load(Relaxed),
+            connections_opened: self.connections_opened.load(Relaxed),
+            connections_rejected: self.connections_rejected.load(Relaxed),
+            net_requests: self.net_requests.load(Relaxed),
+            net_errors: self.net_errors.load(Relaxed),
             latency_count: self.latency.count(),
             p50_ns: self.latency.quantile(0.50),
             p95_ns: self.latency.quantile(0.95),
@@ -138,6 +150,10 @@ pub struct MetricsSnapshot {
     pub cache_hits: u64,
     pub cache_misses: u64,
     pub decode_errors: u64,
+    pub connections_opened: u64,
+    pub connections_rejected: u64,
+    pub net_requests: u64,
+    pub net_errors: u64,
     pub latency_count: u64,
     /// Bucket upper bounds: latency percentiles are exact to a factor of 2.
     pub p50_ns: u64,
@@ -160,29 +176,53 @@ impl MetricsSnapshot {
             self.cache_hits as f64 / denom as f64
         }
     }
-}
 
-impl fmt::Display for MetricsSnapshot {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "queries served      {}", self.total_queries())?;
-        writeln!(f, "  single            {}", self.single_queries)?;
-        writeln!(
-            f,
+    /// Renders the snapshot as the multi-line text block shown by the
+    /// `hubserve` and `netbench` CLIs (no trailing newline). The network
+    /// lines only appear once the daemon has seen traffic, so in-process
+    /// reports stay unchanged.
+    pub fn render_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        // Writing to a String cannot fail; errors are discarded.
+        let _ = writeln!(out, "queries served      {}", self.total_queries());
+        let _ = writeln!(out, "  single            {}", self.single_queries);
+        let _ = writeln!(
+            out,
             "  batched           {} (in {} batches)",
             self.batch_queries, self.batches
-        )?;
-        writeln!(
-            f,
+        );
+        let _ = writeln!(
+            out,
             "cache               {} hits / {} misses ({:.1}% hit rate)",
             self.cache_hits,
             self.cache_misses,
             100.0 * self.hit_rate()
-        )?;
-        writeln!(f, "decode errors       {}", self.decode_errors)?;
-        writeln!(f, "latency (n={})", self.latency_count)?;
-        writeln!(f, "  p50  < {} ns", self.p50_ns)?;
-        writeln!(f, "  p95  < {} ns", self.p95_ns)?;
-        write!(f, "  p99  < {} ns", self.p99_ns)
+        );
+        let _ = writeln!(out, "decode errors       {}", self.decode_errors);
+        if self.connections_opened + self.connections_rejected + self.net_requests > 0 {
+            let _ = writeln!(
+                out,
+                "connections         {} served / {} rejected",
+                self.connections_opened, self.connections_rejected
+            );
+            let _ = writeln!(
+                out,
+                "net requests        {} ({} error frames)",
+                self.net_requests, self.net_errors
+            );
+        }
+        let _ = writeln!(out, "latency (n={})", self.latency_count);
+        let _ = writeln!(out, "  p50  < {} ns", self.p50_ns);
+        let _ = writeln!(out, "  p95  < {} ns", self.p95_ns);
+        let _ = write!(out, "  p99  < {} ns", self.p99_ns);
+        out
+    }
+}
+
+impl fmt::Display for MetricsSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render_text())
     }
 }
 
@@ -235,5 +275,20 @@ mod tests {
         let rendered = s.to_string();
         assert!(rendered.contains("queries served      10"));
         assert!(rendered.contains("p99"));
+    }
+
+    #[test]
+    fn render_text_adds_net_lines_only_under_traffic() {
+        let m = Metrics::new();
+        let quiet = m.snapshot().render_text();
+        assert!(!quiet.contains("net requests"));
+        m.connections_opened.fetch_add(2, Relaxed);
+        m.net_requests.fetch_add(5, Relaxed);
+        m.net_errors.fetch_add(1, Relaxed);
+        let s = m.snapshot();
+        let text = s.render_text();
+        assert!(text.contains("connections         2 served / 0 rejected"));
+        assert!(text.contains("net requests        5 (1 error frames)"));
+        assert_eq!(text, s.to_string(), "Display must match render_text");
     }
 }

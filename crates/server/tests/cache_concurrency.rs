@@ -1,0 +1,111 @@
+//! Concurrency tests for the sharded LRU cache under eviction pressure.
+//!
+//! The cache capacity is deliberately smaller than the working set, so
+//! shards evict continuously while several threads hammer them. The
+//! counters maintained under the shard locks must still reconcile:
+//! every lookup is a hit or a miss, and occupancy is exactly
+//! insertions minus evictions.
+
+use std::sync::Arc;
+use std::thread;
+
+use hl_server::ShardedLruCache;
+
+const SHARDS: usize = 4;
+const CAPACITY: usize = 64;
+const WORKING_SET: u64 = 1024; // 16x the capacity: constant eviction
+const THREADS: u64 = 4;
+const OPS_PER_THREAD: u64 = 20_000;
+
+#[test]
+fn counters_reconcile_under_concurrent_eviction() {
+    let cache = Arc::new(ShardedLruCache::new(CAPACITY, SHARDS));
+
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let cache = Arc::clone(&cache);
+            thread::spawn(move || {
+                // Each thread walks the working set from its own offset
+                // with a miss-then-insert loop, mixing hits (keys another
+                // thread just inserted) with misses and evictions.
+                let mut gets = 0u64;
+                let mut state = t.wrapping_mul(0x9e37_79b9).wrapping_add(1);
+                for i in 0..OPS_PER_THREAD {
+                    // Cheap xorshift so threads diverge quickly.
+                    state ^= state << 13;
+                    state ^= state >> 7;
+                    state ^= state << 17;
+                    let key = (state.wrapping_add(i * t)) % WORKING_SET;
+                    gets += 1;
+                    if cache.get(key).is_none() {
+                        cache.insert(key, key * 2);
+                    }
+                }
+                gets
+            })
+        })
+        .collect();
+
+    let mut total_gets = 0u64;
+    for handle in handles {
+        total_gets += handle.join().expect("cache worker panicked");
+    }
+
+    let stats = cache.stats();
+    let len = cache.len() as u64;
+
+    // Every lookup ever made was either a hit or a miss.
+    assert_eq!(
+        stats.hits + stats.misses,
+        total_gets,
+        "hits {} + misses {} must equal lookups {}",
+        stats.hits,
+        stats.misses,
+        total_gets
+    );
+
+    // Occupancy is exactly what was inserted and never evicted.
+    assert_eq!(
+        stats.insertions,
+        stats.evictions + len,
+        "insertions {} must equal evictions {} + live entries {}",
+        stats.insertions,
+        stats.evictions,
+        len
+    );
+
+    // Capacity is respected up to per-shard rounding slack.
+    assert!(
+        len <= (CAPACITY + SHARDS) as u64,
+        "cache holds {len} entries, capacity is {CAPACITY}"
+    );
+
+    // With a working set 16x the capacity, eviction pressure must have
+    // been real, and the skew-free walk still produces some hits.
+    assert!(stats.evictions > 0, "expected evictions under pressure");
+    assert!(stats.misses > 0, "expected misses under pressure");
+    assert!(stats.hits > 0, "expected some hits from shared keys");
+}
+
+#[test]
+fn stats_are_exact_single_threaded() {
+    let cache = ShardedLruCache::new(8, 1);
+    for k in 0..16u64 {
+        cache.insert(k, k);
+    }
+    let stats = cache.stats();
+    assert_eq!(stats.insertions, 16);
+    assert_eq!(stats.evictions, 8);
+    assert_eq!(cache.len(), 8);
+
+    // Refreshing an existing key is neither an insertion nor an eviction.
+    cache.insert(15, 99);
+    assert_eq!(cache.stats().insertions, 16);
+    assert_eq!(cache.stats().evictions, 8);
+
+    assert_eq!(cache.get(15), Some(99));
+    assert_eq!(cache.get(0), None); // evicted long ago
+    let stats = cache.stats();
+    assert_eq!(stats.hits, 1);
+    assert_eq!(stats.misses, 1);
+}

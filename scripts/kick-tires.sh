@@ -7,6 +7,9 @@
 #   hubserve query    -> answers from the store
 #   diff              -> store answers == ground-truth label answers
 #   hubserve bench    -> the load generator runs and reports a snapshot
+#   hubserve serve    -> TCP daemon on an ephemeral loopback port
+#   netbench          -> drives the daemon over the wire, then shuts it
+#                        down; the daemon must exit 0
 # Exits nonzero on the first mismatch or failure.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -16,10 +19,11 @@ SEED=${SEED:-1}
 SAMPLE=${SAMPLE:-8}   # diff all pairs over the first SAMPLE vertices
 
 echo "== kick-tires: building binaries =="
-cargo build --release -p hl-bench -p hl-server >/dev/null
+cargo build --release -p hl-bench -p hl-net >/dev/null
 
 HUBTOOL=target/release/hubtool
 HUBSERVE=target/release/hubserve
+NETBENCH=target/release/netbench
 TMP=$(mktemp -d)
 trap 'rm -rf "$TMP"' EXIT
 
@@ -63,5 +67,29 @@ echo "corrupt store rejected: $(cat "$TMP/bad.err")"
 
 echo "== load generator =="
 "$HUBSERVE" bench "$TMP/store.hlbs" --queries 20000 --batch 512 --workers 4 --seed 7
+
+echo "== network serving: daemon on loopback + netbench over the wire =="
+"$HUBSERVE" serve "$TMP/store.hlbs" --addr 127.0.0.1:0 > "$TMP/serve.log" 2>&1 &
+SERVE_PID=$!
+ADDR=""
+for _ in $(seq 1 100); do
+  ADDR=$(sed -n 's/^listening on //p' "$TMP/serve.log" | head -n 1)
+  [ -n "$ADDR" ] && break
+  sleep 0.1
+done
+if [ -z "$ADDR" ]; then
+  echo "kick-tires: FAIL — daemon never announced its address" >&2
+  cat "$TMP/serve.log" >&2
+  kill "$SERVE_PID" 2>/dev/null || true
+  exit 1
+fi
+echo "daemon is listening on $ADDR"
+"$NETBENCH" "$ADDR" --mode closed --conns 2 --queries 20000 --batch 256 --seed 7 --shutdown
+if ! wait "$SERVE_PID"; then
+  echo "kick-tires: FAIL — daemon did not exit cleanly after shutdown" >&2
+  cat "$TMP/serve.log" >&2
+  exit 1
+fi
+echo "daemon exited 0 after graceful shutdown"
 
 echo "kick-tires: OK"

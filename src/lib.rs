@@ -13,7 +13,9 @@
 //!   Lemma 2.2 verification and hub-size accounting;
 //! * [`sumindex`] — the Sum-Index problem and the Theorem 1.6 reduction;
 //! * [`labeling`] — bit-level distance labeling schemes;
-//! * [`oracles`] — ALT and Contraction Hierarchies baselines.
+//! * [`oracles`] — ALT and Contraction Hierarchies baselines;
+//! * [`server`] — binary label store, worker-pool query engine, metrics;
+//! * [`net`] — the HLNP TCP wire protocol, serving daemon and client.
 //!
 //! # Quickstart
 //!
@@ -33,6 +35,7 @@ pub use hl_core as core;
 pub use hl_graph as graph;
 pub use hl_labeling as labeling;
 pub use hl_lowerbound as lowerbound;
+pub use hl_net as net;
 pub use hl_oracles as oracles;
 pub use hl_rs as rs;
 pub use hl_server as server;
