@@ -25,17 +25,29 @@ fn main() {
     bench("server-store", "decode-all", || {
         store.to_labeling().expect("decode").num_nodes()
     });
+    bench("server-store", "decode-all-flat", || {
+        store.to_flat().expect("decode").num_entries()
+    });
 
     let mut rng = Xorshift64::seed_from_u64(3);
     let pairs: Vec<(NodeId, NodeId)> = (0..4_096)
         .map(|_| (rng.gen_index(n) as NodeId, rng.gen_index(n) as NodeId))
         .collect();
 
-    // Per-query cost: decoded in-memory join vs decode-on-the-fly from store.
+    // Per-query cost: nested in-memory join vs flat CSR arena (what the
+    // engine actually serves from) vs decode-on-the-fly from the store.
     bench("server-query", "decoded-labeling", || {
         let mut acc = 0u64;
         for &(u, v) in pairs.iter().take(256) {
             acc = acc.wrapping_add(hl.query(u, v));
+        }
+        acc
+    });
+    let flat = store.to_flat().expect("flat decode");
+    bench("server-query", "flat-arena", || {
+        let mut acc = 0u64;
+        for &(u, v) in pairs.iter().take(256) {
+            acc = acc.wrapping_add(flat.query(u, v));
         }
         acc
     });
@@ -47,6 +59,8 @@ fn main() {
         acc
     });
 
+    // The engine converts to the flat arena at construction, so both
+    // worker counts below measure the flat serving path.
     for workers in [1usize, 4] {
         let engine = QueryEngine::new(hl.clone(), workers).unwrap();
         bench("server-batch", &format!("{workers}-workers"), || {

@@ -6,7 +6,7 @@ use hl_graph::dijkstra::shortest_path_distances;
 use hl_graph::sync::{into_inner_unpoisoned, lock_unpoisoned};
 use hl_graph::{Graph, GraphError, NodeId};
 
-use crate::label::HubLabeling;
+use crate::label::LabelingView;
 
 /// Outcome of a cover verification.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -40,10 +40,13 @@ const MAX_RECORDED: usize = 32;
 /// Verifies the labeling against ground truth for **all** pairs, computing a
 /// full APSP matrix. Quadratic memory — use on small/medium graphs.
 ///
+/// Accepts any [`LabelingView`] — the nested [`crate::HubLabeling`] or
+/// the flat arena [`crate::FlatLabeling`] verify identically.
+///
 /// # Errors
 ///
 /// Propagates [`GraphError`] from the APSP computation (distance overflow).
-pub fn verify_exact(g: &Graph, labeling: &HubLabeling) -> Result<CoverReport, GraphError> {
+pub fn verify_exact<L: LabelingView>(g: &Graph, labeling: &L) -> Result<CoverReport, GraphError> {
     let m = DistanceMatrix::compute(g)?;
     let n = g.num_nodes() as NodeId;
     let mut report = CoverReport {
@@ -70,7 +73,11 @@ pub fn verify_exact(g: &Graph, labeling: &HubLabeling) -> Result<CoverReport, Gr
 /// Verifies the labeling from `sources` only (each source against every
 /// vertex), running one SSSP per source — linear memory, suitable for large
 /// graphs.
-pub fn verify_from_sources(g: &Graph, labeling: &HubLabeling, sources: &[NodeId]) -> CoverReport {
+pub fn verify_from_sources<L: LabelingView>(
+    g: &Graph,
+    labeling: &L,
+    sources: &[NodeId],
+) -> CoverReport {
     let mut report = CoverReport {
         pairs_checked: 0,
         violations: Vec::new(),
@@ -97,9 +104,9 @@ pub fn verify_from_sources(g: &Graph, labeling: &HubLabeling, sources: &[NodeId]
 /// fanned out over the available cores. Violation *examples* are capped as
 /// in the sequential version (which sources' examples survive depends on
 /// thread timing, but counts are exact).
-pub fn verify_from_sources_parallel(
+pub fn verify_from_sources_parallel<L: LabelingView + Sync>(
     g: &Graph,
-    labeling: &HubLabeling,
+    labeling: &L,
     sources: &[NodeId],
 ) -> CoverReport {
     let threads = std::thread::available_parallelism()
@@ -137,10 +144,10 @@ pub fn verify_from_sources_parallel(
 /// Verifies that the labeling is *admissible*: every stored hub distance
 /// equals the true graph distance. (A labeling can be admissible without
 /// being a cover, but never the other way around for correct stores.)
-pub fn verify_hub_distances(g: &Graph, labeling: &HubLabeling, sources: &[NodeId]) -> bool {
+pub fn verify_hub_distances<L: LabelingView>(g: &Graph, labeling: &L, sources: &[NodeId]) -> bool {
     for &s in sources {
         let dist = shortest_path_distances(g, s);
-        for (h, d) in labeling.label(s).iter() {
+        for (&h, &d) in labeling.hubs_of(s).iter().zip(labeling.dists_of(s)) {
             if dist[h as usize] != d {
                 return false;
             }
@@ -233,6 +240,19 @@ mod tests {
         let mut hl = HubLabeling::empty(3);
         *hl.label_mut(0) = HubLabel::from_pairs(vec![(1, 99)]);
         assert!(!verify_hub_distances(&g, &hl, &[0]));
+    }
+
+    #[test]
+    fn flat_form_verifies_identically() {
+        let g = generators::grid(5, 5);
+        let nested = PrunedLandmarkLabeling::by_degree(&g).into_labeling();
+        let flat = crate::flat::FlatLabeling::from_labeling(&nested);
+        let report = verify_exact(&g, &flat).unwrap();
+        assert!(report.is_exact());
+        let sources: Vec<_> = (0..25u32).collect();
+        assert!(verify_from_sources(&g, &flat, &sources).is_exact());
+        assert!(verify_from_sources_parallel(&g, &flat, &sources).is_exact());
+        assert!(verify_hub_distances(&g, &flat, &sources));
     }
 
     #[test]

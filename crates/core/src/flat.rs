@@ -1,0 +1,383 @@
+//! `FlatLabeling` — the CSR label arena, the canonical query-time
+//! representation of a hub labeling.
+//!
+//! The nested [`HubLabeling`] pays two heap pointers per vertex; on the
+//! query path that means a pointer chase (and usually a cold cache line)
+//! per endpoint before the merge-join even starts. The flat form stores
+//! every label back to back in three arrays, exactly like the graph
+//! crate's CSR adjacency:
+//!
+//! ```text
+//! offsets: [0, |S_0|, |S_0|+|S_1|, ...]          (n + 1 entries, u64)
+//! hubs:    [S_0 sorted | S_1 sorted | ... ]      (Σ|S_v| NodeIds)
+//! dists:   [d(0,·)     | d(1,·)     | ... ]      (Σ|S_v| Distances)
+//! ```
+//!
+//! Vertex `v`'s label is the slice `offsets[v]..offsets[v+1]` of `hubs`
+//! and `dists` — contiguous, allocation-free to access, and friendly to
+//! whatever comes next (SIMD merges, mmap-backed stores, sharding).
+//!
+//! Conversions to and from [`HubLabeling`] are lossless; construction
+//! code keeps the mutable per-vertex API and converts once at the end.
+//!
+//! # Example
+//!
+//! ```
+//! use hl_graph::generators;
+//! use hl_core::pll::PrunedLandmarkLabeling;
+//! use hl_core::FlatLabeling;
+//!
+//! let g = generators::grid(4, 4);
+//! let nested = PrunedLandmarkLabeling::by_degree(&g).into_labeling();
+//! let flat = FlatLabeling::from_labeling(&nested);
+//! assert_eq!(flat.query(0, 15), nested.query(0, 15));
+//! assert_eq!(flat.to_labeling(), nested);
+//! ```
+
+use hl_graph::{Distance, NodeId};
+
+use crate::label::{merge_join, merge_join_with_witness, HubLabel, HubLabeling, LabelingView};
+
+/// A complete hub labeling in a single CSR arena: three flat arrays
+/// instead of two heap vectors per vertex. Immutable once built — grow it
+/// with [`FlatLabeling::push_label`] (vertices append in id order), or
+/// convert from a finished [`HubLabeling`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlatLabeling {
+    /// `num_nodes + 1` entry offsets; vertex `v` owns `offsets[v]..offsets[v+1]`.
+    offsets: Vec<u64>,
+    /// All hub ids, per-vertex runs sorted by hub id.
+    hubs: Vec<NodeId>,
+    /// All distances, aligned with `hubs`.
+    dists: Vec<Distance>,
+}
+
+impl Default for FlatLabeling {
+    fn default() -> Self {
+        FlatLabeling::new()
+    }
+}
+
+impl FlatLabeling {
+    /// An empty arena with zero vertices; grow it with
+    /// [`FlatLabeling::push_label`].
+    pub fn new() -> Self {
+        FlatLabeling {
+            offsets: vec![0],
+            hubs: Vec::new(),
+            dists: Vec::new(),
+        }
+    }
+
+    /// An empty arena with room for `nodes` vertices and `entries` total
+    /// hubs, so a decode loop never reallocates.
+    pub fn with_capacity(nodes: usize, entries: usize) -> Self {
+        let mut offsets = Vec::with_capacity(nodes + 1);
+        offsets.push(0);
+        FlatLabeling {
+            offsets,
+            hubs: Vec::with_capacity(entries),
+            dists: Vec::with_capacity(entries),
+        }
+    }
+
+    /// Appends the label of the next vertex (vertex ids are assigned in
+    /// call order). `hubs` must be strictly increasing (checked in debug
+    /// builds) and the slices equally long.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hubs` and `dists` differ in length.
+    pub fn push_label(&mut self, hubs: &[NodeId], dists: &[Distance]) {
+        assert_eq!(
+            hubs.len(),
+            dists.len(),
+            "hub and distance slices must be parallel"
+        );
+        debug_assert!(hubs.windows(2).all(|w| w[0] < w[1]));
+        self.hubs.extend_from_slice(hubs);
+        self.dists.extend_from_slice(dists);
+        self.offsets.push(self.hubs.len() as u64);
+    }
+
+    /// Flattens a nested labeling into one arena (lossless).
+    pub fn from_labeling(labeling: &HubLabeling) -> Self {
+        let mut flat = FlatLabeling::with_capacity(labeling.num_nodes(), labeling.total_hubs());
+        for label in labeling.iter() {
+            flat.push_label(label.hubs(), label.distances());
+        }
+        flat
+    }
+
+    /// Expands the arena back into per-vertex labels (lossless; exact
+    /// inverse of [`FlatLabeling::from_labeling`]).
+    pub fn to_labeling(&self) -> HubLabeling {
+        (0..self.num_nodes() as NodeId)
+            .map(|v| {
+                self.hubs_of(v)
+                    .iter()
+                    .copied()
+                    .zip(self.dists_of(v).iter().copied())
+                    .collect::<HubLabel>()
+            })
+            .collect()
+    }
+
+    /// Number of vertices.
+    pub fn num_nodes(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Total number of `(hub, distance)` entries in the arena, `Σ_v |S_v|`.
+    pub fn num_entries(&self) -> usize {
+        self.hubs.len()
+    }
+
+    fn span(&self, v: NodeId) -> std::ops::Range<usize> {
+        let lo = self.offsets[v as usize] as usize;
+        let hi = self.offsets[v as usize + 1] as usize;
+        lo..hi
+    }
+
+    /// The sorted hub ids of vertex `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn hubs_of(&self, v: NodeId) -> &[NodeId] {
+        &self.hubs[self.span(v)]
+    }
+
+    /// The distances of vertex `v`, aligned with [`FlatLabeling::hubs_of`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn dists_of(&self, v: NodeId) -> &[Distance] {
+        &self.dists[self.span(v)]
+    }
+
+    /// Iterates over vertex `v`'s `(hub, distance)` pairs in increasing
+    /// hub order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn pairs_of(&self, v: NodeId) -> impl Iterator<Item = (NodeId, Distance)> + '_ {
+        let span = self.span(v);
+        self.hubs[span.clone()]
+            .iter()
+            .copied()
+            .zip(self.dists[span].iter().copied())
+    }
+
+    /// Answers the distance query `u, v` via the merge-join of the two
+    /// label slices. Returns [`hl_graph::INFINITY`] when the labels share
+    /// no hub.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` or `v` is out of range.
+    pub fn query(&self, u: NodeId, v: NodeId) -> Distance {
+        merge_join(
+            self.hubs_of(u),
+            self.dists_of(u),
+            self.hubs_of(v),
+            self.dists_of(v),
+        )
+    }
+
+    /// Like [`FlatLabeling::query`] but also reports the hub realizing
+    /// the minimum.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` or `v` is out of range.
+    pub fn query_with_witness(&self, u: NodeId, v: NodeId) -> Option<(Distance, NodeId)> {
+        merge_join_with_witness(
+            self.hubs_of(u),
+            self.dists_of(u),
+            self.hubs_of(v),
+            self.dists_of(v),
+        )
+    }
+
+    /// Total number of hubs over all vertices (same as
+    /// [`FlatLabeling::num_entries`]; named for parity with
+    /// [`HubLabeling::total_hubs`]).
+    pub fn total_hubs(&self) -> usize {
+        self.num_entries()
+    }
+
+    /// Average hubs per vertex, `Σ_v |S_v| / n`.
+    pub fn average_hubs(&self) -> f64 {
+        if self.num_nodes() == 0 {
+            return 0.0;
+        }
+        self.num_entries() as f64 / self.num_nodes() as f64
+    }
+
+    /// Largest label size.
+    pub fn max_hubs(&self) -> usize {
+        (0..self.num_nodes())
+            .map(|v| self.span(v as NodeId).len())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Heap footprint of the three arena arrays, in bytes — the same
+    /// accounting as [`hl_graph::Graph::memory_bytes`] for the adjacency
+    /// CSR, so store-size claims are comparable across both structures.
+    pub fn heap_bytes(&self) -> usize {
+        self.offsets.len() * std::mem::size_of::<u64>()
+            + self.hubs.len() * std::mem::size_of::<NodeId>()
+            + self.dists.len() * std::mem::size_of::<Distance>()
+    }
+}
+
+impl LabelingView for FlatLabeling {
+    fn num_nodes(&self) -> usize {
+        FlatLabeling::num_nodes(self)
+    }
+
+    fn hubs_of(&self, v: NodeId) -> &[NodeId] {
+        FlatLabeling::hubs_of(self, v)
+    }
+
+    fn dists_of(&self, v: NodeId) -> &[Distance] {
+        FlatLabeling::dists_of(self, v)
+    }
+}
+
+impl From<&HubLabeling> for FlatLabeling {
+    fn from(labeling: &HubLabeling) -> Self {
+        FlatLabeling::from_labeling(labeling)
+    }
+}
+
+impl From<HubLabeling> for FlatLabeling {
+    fn from(labeling: HubLabeling) -> Self {
+        FlatLabeling::from_labeling(&labeling)
+    }
+}
+
+impl From<&FlatLabeling> for HubLabeling {
+    fn from(flat: &FlatLabeling) -> Self {
+        flat.to_labeling()
+    }
+}
+
+impl From<FlatLabeling> for HubLabeling {
+    fn from(flat: FlatLabeling) -> Self {
+        flat.to_labeling()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hl_graph::INFINITY;
+
+    fn sample_nested() -> HubLabeling {
+        let mut hl = HubLabeling::empty(4);
+        *hl.label_mut(0) = HubLabel::from_pairs(vec![(0, 0), (2, 3)]);
+        *hl.label_mut(1) = HubLabel::from_pairs(vec![(1, 0)]);
+        // vertex 2 keeps an empty label on purpose
+        *hl.label_mut(3) = HubLabel::from_pairs(vec![(2, 1), (3, 0)]);
+        hl
+    }
+
+    #[test]
+    fn roundtrip_is_lossless() {
+        let nested = sample_nested();
+        let flat = FlatLabeling::from_labeling(&nested);
+        assert_eq!(flat.to_labeling(), nested);
+        assert_eq!(HubLabeling::from(&flat), nested);
+        assert_eq!(FlatLabeling::from(nested.clone()), flat);
+    }
+
+    #[test]
+    fn queries_match_nested() {
+        let nested = sample_nested();
+        let flat = FlatLabeling::from_labeling(&nested);
+        for u in 0..4u32 {
+            for v in 0..4u32 {
+                assert_eq!(flat.query(u, v), nested.query(u, v), "d({u},{v})");
+                assert_eq!(
+                    flat.query_with_witness(u, v),
+                    nested.query_with_witness(u, v)
+                );
+            }
+        }
+        assert_eq!(flat.query(0, 3), 4); // via shared hub 2
+        assert_eq!(flat.query(1, 3), INFINITY);
+    }
+
+    #[test]
+    fn accessors_and_stats() {
+        let nested = sample_nested();
+        let flat = FlatLabeling::from_labeling(&nested);
+        assert_eq!(flat.num_nodes(), 4);
+        assert_eq!(flat.num_entries(), 5);
+        assert_eq!(flat.total_hubs(), nested.total_hubs());
+        assert_eq!(flat.max_hubs(), nested.max_hubs());
+        assert!((flat.average_hubs() - nested.average_hubs()).abs() < 1e-12);
+        assert_eq!(flat.hubs_of(0), &[0, 2]);
+        assert_eq!(flat.dists_of(0), &[0, 3]);
+        assert!(flat.hubs_of(2).is_empty());
+        assert_eq!(flat.pairs_of(3).collect::<Vec<_>>(), vec![(2, 1), (3, 0)]);
+    }
+
+    #[test]
+    fn push_label_builds_incrementally() {
+        let mut flat = FlatLabeling::with_capacity(3, 4);
+        flat.push_label(&[0, 1], &[0, 2]);
+        flat.push_label(&[], &[]);
+        flat.push_label(&[1], &[0]);
+        assert_eq!(flat.num_nodes(), 3);
+        assert_eq!(flat.num_entries(), 3);
+        assert_eq!(flat.query(0, 2), 2);
+        assert_eq!(flat, FlatLabeling::from_labeling(&flat.to_labeling()));
+    }
+
+    #[test]
+    #[should_panic]
+    fn push_label_rejects_mismatched_slices() {
+        let mut flat = FlatLabeling::new();
+        flat.push_label(&[0, 1], &[0]);
+    }
+
+    #[test]
+    fn heap_bytes_beats_nested_per_vertex_overhead() {
+        let nested = sample_nested();
+        let flat = FlatLabeling::from_labeling(&nested);
+        let payload =
+            flat.num_entries() * (std::mem::size_of::<NodeId>() + std::mem::size_of::<Distance>());
+        let offsets = (flat.num_nodes() + 1) * std::mem::size_of::<u64>();
+        assert_eq!(flat.heap_bytes(), payload + offsets);
+        // The arena trades 2 Vec headers (48 B) per vertex for one u64
+        // offset; it must never be larger than the nested form.
+        assert!(flat.heap_bytes() <= nested.heap_bytes());
+    }
+
+    #[test]
+    fn empty_and_default() {
+        let flat = FlatLabeling::default();
+        assert_eq!(flat.num_nodes(), 0);
+        assert_eq!(flat.num_entries(), 0);
+        assert_eq!(flat.heap_bytes(), std::mem::size_of::<u64>());
+        assert_eq!(flat.to_labeling().num_nodes(), 0);
+        assert_eq!(flat.max_hubs(), 0);
+        assert_eq!(flat.average_hubs(), 0.0);
+    }
+
+    #[test]
+    fn view_trait_dispatch() {
+        let nested = sample_nested();
+        let flat = FlatLabeling::from_labeling(&nested);
+        fn total<L: LabelingView>(l: &L) -> usize {
+            l.total_hubs()
+        }
+        assert_eq!(total(&flat), total(&nested));
+    }
+}

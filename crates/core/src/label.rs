@@ -1,6 +1,145 @@
 //! Hub label data structures and the merge-join distance query.
+//!
+//! Two owned representations share one query algorithm:
+//!
+//! * [`HubLabeling`] — one [`HubLabel`] (two heap `Vec`s) per vertex; the
+//!   *construction-time* form, cheap to grow and mutate per vertex;
+//! * [`crate::flat::FlatLabeling`] — a single CSR arena; the blessed
+//!   *query-time* form, one allocation for the whole labeling.
+//!
+//! The [`LabelingView`] trait is the borrowed read-only view both forms
+//! implement, so verification, statistics, and oracles work on either.
 
 use hl_graph::{Distance, NodeId, INFINITY};
+
+/// The sorted-merge join over two labels given as parallel slices:
+/// `min over common hubs h of d(u, h) + d(h, v)`, or [`INFINITY`] when the
+/// hub sets are disjoint. Both hub slices must be sorted by hub id, with
+/// `a_dists[i]` the distance to `a_hubs[i]` (and likewise for `b`).
+///
+/// This is *the* hot-path kernel: every representation's `query` bottoms
+/// out here, so layout experiments (SIMD, prefetch) have one place to go.
+pub fn merge_join(
+    a_hubs: &[NodeId],
+    a_dists: &[Distance],
+    b_hubs: &[NodeId],
+    b_dists: &[Distance],
+) -> Distance {
+    let mut best = INFINITY;
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a_hubs.len() && j < b_hubs.len() {
+        match a_hubs[i].cmp(&b_hubs[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                let d = a_dists[i].saturating_add(b_dists[j]);
+                if d < best {
+                    best = d;
+                }
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    best
+}
+
+/// Like [`merge_join`] but also reports the hub realizing the minimum;
+/// `None` when the hub sets are disjoint.
+pub fn merge_join_with_witness(
+    a_hubs: &[NodeId],
+    a_dists: &[Distance],
+    b_hubs: &[NodeId],
+    b_dists: &[Distance],
+) -> Option<(Distance, NodeId)> {
+    let mut best: Option<(Distance, NodeId)> = None;
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a_hubs.len() && j < b_hubs.len() {
+        match a_hubs[i].cmp(&b_hubs[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                let d = a_dists[i].saturating_add(b_dists[j]);
+                if best.is_none_or(|(bd, _)| d < bd) {
+                    best = Some((d, a_hubs[i]));
+                }
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    best
+}
+
+/// A borrowed, read-only view of a complete hub labeling: per-vertex
+/// sorted hub/distance slices plus the merge-join query over them.
+///
+/// Implemented by both the nested [`HubLabeling`] (construction-time form)
+/// and the arena [`crate::flat::FlatLabeling`] (query-time form), so code
+/// that only *reads* a labeling — verification, statistics, oracles —
+/// accepts either without conversion.
+pub trait LabelingView {
+    /// Number of vertices.
+    fn num_nodes(&self) -> usize;
+
+    /// The sorted hub ids of vertex `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    fn hubs_of(&self, v: NodeId) -> &[NodeId];
+
+    /// The distances of vertex `v`, aligned with [`LabelingView::hubs_of`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    fn dists_of(&self, v: NodeId) -> &[Distance];
+
+    /// Answers the distance query `u, v` via the merge-join; [`INFINITY`]
+    /// when the labels share no hub.
+    fn query(&self, u: NodeId, v: NodeId) -> Distance {
+        merge_join(
+            self.hubs_of(u),
+            self.dists_of(u),
+            self.hubs_of(v),
+            self.dists_of(v),
+        )
+    }
+
+    /// Like [`LabelingView::query`] but also reports the witnessing hub.
+    fn query_with_witness(&self, u: NodeId, v: NodeId) -> Option<(Distance, NodeId)> {
+        merge_join_with_witness(
+            self.hubs_of(u),
+            self.dists_of(u),
+            self.hubs_of(v),
+            self.dists_of(v),
+        )
+    }
+
+    /// Total number of hubs over all vertices, `Σ_v |S_v|`.
+    fn total_hubs(&self) -> usize {
+        (0..self.num_nodes() as NodeId)
+            .map(|v| self.hubs_of(v).len())
+            .sum()
+    }
+
+    /// Average hubs per vertex, `Σ_v |S_v| / n`.
+    fn average_hubs(&self) -> f64 {
+        if self.num_nodes() == 0 {
+            return 0.0;
+        }
+        self.total_hubs() as f64 / self.num_nodes() as f64
+    }
+
+    /// Largest label size.
+    fn max_hubs(&self) -> usize {
+        (0..self.num_nodes() as NodeId)
+            .map(|v| self.hubs_of(v).len())
+            .max()
+            .unwrap_or(0)
+    }
+}
 
 /// The label of a single vertex: its hubs and exact distances to them,
 /// sorted by hub id.
@@ -83,44 +222,19 @@ impl HubLabel {
     /// `min over common hubs h of d(u, h) + d(h, v)`, or [`INFINITY`]
     /// when the labels share no hub.
     pub fn join(&self, other: &HubLabel) -> Distance {
-        let mut best = INFINITY;
-        let (mut i, mut j) = (0usize, 0usize);
-        while i < self.hubs.len() && j < other.hubs.len() {
-            match self.hubs[i].cmp(&other.hubs[j]) {
-                std::cmp::Ordering::Less => i += 1,
-                std::cmp::Ordering::Greater => j += 1,
-                std::cmp::Ordering::Equal => {
-                    let d = self.dists[i].saturating_add(other.dists[j]);
-                    if d < best {
-                        best = d;
-                    }
-                    i += 1;
-                    j += 1;
-                }
-            }
-        }
-        best
+        merge_join(&self.hubs, &self.dists, &other.hubs, &other.dists)
     }
 
     /// Like [`HubLabel::join`] but also reports the witnessing hub.
     pub fn join_with_witness(&self, other: &HubLabel) -> Option<(Distance, NodeId)> {
-        let mut best: Option<(Distance, NodeId)> = None;
-        let (mut i, mut j) = (0usize, 0usize);
-        while i < self.hubs.len() && j < other.hubs.len() {
-            match self.hubs[i].cmp(&other.hubs[j]) {
-                std::cmp::Ordering::Less => i += 1,
-                std::cmp::Ordering::Greater => j += 1,
-                std::cmp::Ordering::Equal => {
-                    let d = self.dists[i].saturating_add(other.dists[j]);
-                    if best.is_none_or(|(bd, _)| d < bd) {
-                        best = Some((d, self.hubs[i]));
-                    }
-                    i += 1;
-                    j += 1;
-                }
-            }
-        }
-        best
+        merge_join_with_witness(&self.hubs, &self.dists, &other.hubs, &other.dists)
+    }
+
+    /// Heap footprint of this label's two vectors, in bytes (by length,
+    /// not capacity — the steady-state size once construction is done).
+    pub fn heap_bytes(&self) -> usize {
+        self.hubs.len() * std::mem::size_of::<NodeId>()
+            + self.dists.len() * std::mem::size_of::<Distance>()
     }
 }
 
@@ -221,6 +335,15 @@ impl HubLabeling {
         self.labels.iter().map(|l| l.len()).max().unwrap_or(0)
     }
 
+    /// Heap footprint of the nested representation, in bytes: every
+    /// per-vertex `HubLabel` header plus its two vectors' contents.
+    /// Comparable with [`crate::flat::FlatLabeling::heap_bytes`] — the
+    /// difference is exactly what the arena layout saves.
+    pub fn heap_bytes(&self) -> usize {
+        self.labels.len() * std::mem::size_of::<HubLabel>()
+            + self.labels.iter().map(HubLabel::heap_bytes).sum::<usize>()
+    }
+
     /// Ensures every vertex contains itself as a hub at distance 0
     /// (required by several constructions, harmless otherwise).
     pub fn add_self_hubs(&mut self) {
@@ -239,6 +362,20 @@ impl FromIterator<HubLabel> for HubLabeling {
         HubLabeling {
             labels: iter.into_iter().collect(),
         }
+    }
+}
+
+impl LabelingView for HubLabeling {
+    fn num_nodes(&self) -> usize {
+        HubLabeling::num_nodes(self)
+    }
+
+    fn hubs_of(&self, v: NodeId) -> &[NodeId] {
+        self.labels[v as usize].hubs()
+    }
+
+    fn dists_of(&self, v: NodeId) -> &[Distance] {
+        self.labels[v as usize].distances()
     }
 }
 
@@ -347,5 +484,54 @@ mod tests {
         assert_eq!(l.hubs(), &[0, 2]);
         let hl: HubLabeling = vec![l.clone(), l].into_iter().collect();
         assert_eq!(hl.num_nodes(), 2);
+    }
+
+    #[test]
+    fn view_trait_agrees_with_inherent_api() {
+        let mut hl = HubLabeling::empty(3);
+        *hl.label_mut(0) = HubLabel::from_pairs(vec![(0, 0), (1, 4)]);
+        *hl.label_mut(2) = HubLabel::from_pairs(vec![(1, 2), (2, 0)]);
+        fn via_view<L: LabelingView>(l: &L) -> (Distance, usize, usize, f64) {
+            (
+                l.query(0, 2),
+                l.total_hubs(),
+                l.max_hubs(),
+                l.average_hubs(),
+            )
+        }
+        let (d, total, max, avg) = via_view(&hl);
+        assert_eq!(d, hl.query(0, 2));
+        assert_eq!(total, hl.total_hubs());
+        assert_eq!(max, hl.max_hubs());
+        assert!((avg - hl.average_hubs()).abs() < 1e-12);
+        assert_eq!(hl.hubs_of(2), &[1, 2]);
+        assert_eq!(hl.dists_of(2), &[2, 0]);
+    }
+
+    #[test]
+    fn merge_join_slices_match_label_join() {
+        let a = HubLabel::from_pairs(vec![(1, 10), (2, 1), (9, 3)]);
+        let b = HubLabel::from_pairs(vec![(1, 1), (2, 3), (8, 0)]);
+        assert_eq!(
+            merge_join(a.hubs(), a.distances(), b.hubs(), b.distances()),
+            a.join(&b)
+        );
+        assert_eq!(
+            merge_join_with_witness(a.hubs(), a.distances(), b.hubs(), b.distances()),
+            a.join_with_witness(&b)
+        );
+    }
+
+    #[test]
+    fn heap_bytes_counts_vectors_and_headers() {
+        let mut hl = HubLabeling::empty(2);
+        *hl.label_mut(0) = HubLabel::from_pairs(vec![(0, 0), (1, 1)]);
+        *hl.label_mut(1) = HubLabel::from_pairs(vec![(1, 0)]);
+        let entries = 3;
+        let payload = entries * (std::mem::size_of::<NodeId>() + std::mem::size_of::<Distance>());
+        assert_eq!(
+            hl.heap_bytes(),
+            payload + 2 * std::mem::size_of::<HubLabel>()
+        );
     }
 }

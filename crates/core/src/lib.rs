@@ -10,7 +10,10 @@
 //!
 //! The crate provides:
 //!
-//! * [`label`] — the labeling data structures and the merge-join query;
+//! * [`label`] — the labeling data structures, the merge-join query, and
+//!   the [`LabelingView`] borrowed view both representations implement;
+//! * [`flat`] — [`FlatLabeling`], the single-arena CSR layout that is the
+//!   canonical query-time representation (serving code holds this form);
 //! * [`cover`] — verification that a labeling answers every query exactly;
 //! * [`pll`] — Pruned Landmark Labeling (the canonical practical
 //!   construction, exact by design);
@@ -46,6 +49,7 @@
 pub mod approx;
 pub mod corrected;
 pub mod cover;
+pub mod flat;
 pub mod greedy;
 pub mod hierarchical;
 pub mod io;
@@ -61,5 +65,6 @@ pub mod separator_labeling;
 pub mod stats;
 pub mod tree;
 
-pub use label::{HubLabel, HubLabeling};
+pub use flat::FlatLabeling;
+pub use label::{HubLabel, HubLabeling, LabelingView};
 pub use stats::LabelingStats;

@@ -1,6 +1,6 @@
 //! Aggregate statistics of hub labelings, shared by every experiment table.
 
-use crate::label::HubLabeling;
+use crate::label::LabelingView;
 
 /// Size statistics of a labeling.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -18,8 +18,9 @@ pub struct LabelingStats {
 }
 
 impl LabelingStats {
-    /// Computes the statistics of `labeling`.
-    pub fn of(labeling: &HubLabeling) -> Self {
+    /// Computes the statistics of `labeling` — either representation
+    /// (nested [`crate::HubLabeling`] or flat [`crate::FlatLabeling`]).
+    pub fn of<L: LabelingView>(labeling: &L) -> Self {
         let total = labeling.total_hubs();
         LabelingStats {
             num_nodes: labeling.num_nodes(),
@@ -66,5 +67,14 @@ mod tests {
         let s = LabelingStats::of(&HubLabeling::empty(0));
         assert_eq!(s.total_hubs, 0);
         assert_eq!(s.average_hubs, 0.0);
+    }
+
+    #[test]
+    fn stats_agree_across_representations() {
+        let mut hl = HubLabeling::empty(3);
+        *hl.label_mut(0) = HubLabel::from_pairs(vec![(0, 0), (2, 5)]);
+        *hl.label_mut(2) = HubLabel::from_pairs(vec![(2, 0)]);
+        let flat = crate::flat::FlatLabeling::from_labeling(&hl);
+        assert_eq!(LabelingStats::of(&hl), LabelingStats::of(&flat));
     }
 }

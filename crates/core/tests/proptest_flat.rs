@@ -1,0 +1,132 @@
+//! Randomized property tests for the flat CSR arena: on arbitrary random
+//! graphs, `FlatLabeling::query` must agree entry-for-entry with the
+//! nested `HubLabeling::query` *and* with BFS ground truth, and the
+//! nested → flat → nested conversion must round-trip exactly.
+//!
+//! Seeded [`Xorshift64`] case generation keeps the suite deterministic
+//! and offline (same style as `proptest_labelings.rs`).
+
+use hl_core::flat::FlatLabeling;
+use hl_core::pll::PrunedLandmarkLabeling;
+use hl_core::{HubLabel, HubLabeling};
+use hl_graph::bfs::bfs_distances;
+use hl_graph::rng::Xorshift64;
+use hl_graph::{generators, NodeId};
+
+const CASES: u64 = 24;
+
+/// A connected sparse unit-weight gnm graph drawn from the case rng.
+fn gnm_graph(rng: &mut Xorshift64) -> hl_graph::Graph {
+    let n = rng.gen_range_usize(5, 40);
+    let max_extra = n * (n - 1) / 2 - (n - 1);
+    let extra = rng.gen_index(30).min(max_extra);
+    generators::connected_gnm(n, extra, rng.next_u64())
+}
+
+/// A small grid with random dimensions.
+fn grid_graph(rng: &mut Xorshift64) -> hl_graph::Graph {
+    let rows = rng.gen_range_usize(2, 8);
+    let cols = rng.gen_range_usize(2, 8);
+    generators::grid(rows, cols)
+}
+
+/// Checks `flat == nested == BFS` for **all** pairs of `g`.
+fn assert_flat_matches_everywhere(g: &hl_graph::Graph, nested: &HubLabeling) {
+    let flat = FlatLabeling::from_labeling(nested);
+    let n = g.num_nodes() as NodeId;
+    for u in 0..n {
+        let truth = bfs_distances(g, u);
+        for v in 0..n {
+            let want = truth[v as usize];
+            assert_eq!(nested.query(u, v), want, "nested d({u},{v})");
+            assert_eq!(flat.query(u, v), want, "flat d({u},{v})");
+        }
+    }
+}
+
+#[test]
+fn flat_query_matches_nested_and_bfs_on_gnm() {
+    for case in 0..CASES {
+        let mut rng = Xorshift64::seed_from_u64(case);
+        let g = gnm_graph(&mut rng);
+        let nested = PrunedLandmarkLabeling::by_degree(&g).into_labeling();
+        assert_flat_matches_everywhere(&g, &nested);
+    }
+}
+
+#[test]
+fn flat_query_matches_nested_and_bfs_on_grids() {
+    for case in 0..CASES {
+        let mut rng = Xorshift64::seed_from_u64(1000 + case);
+        let g = grid_graph(&mut rng);
+        let nested = PrunedLandmarkLabeling::by_degree(&g).into_labeling();
+        assert_flat_matches_everywhere(&g, &nested);
+    }
+}
+
+#[test]
+fn roundtrip_is_exact_on_random_graphs() {
+    for case in 0..CASES {
+        let mut rng = Xorshift64::seed_from_u64(2000 + case);
+        let g = gnm_graph(&mut rng);
+        let nested = PrunedLandmarkLabeling::by_degree(&g).into_labeling();
+        let flat = FlatLabeling::from_labeling(&nested);
+        // Lossless both ways, through both the named and `From` paths.
+        assert_eq!(flat.to_labeling(), nested);
+        assert_eq!(FlatLabeling::from_labeling(&flat.to_labeling()), flat);
+        assert_eq!(
+            HubLabeling::from(FlatLabeling::from(nested.clone())),
+            nested
+        );
+    }
+}
+
+#[test]
+fn roundtrip_preserves_arbitrary_labels_not_just_pll() {
+    // Labels with gaps, empty vertices, and duplicate-free random hub
+    // sets — not necessarily a valid cover, but conversion must not care.
+    for case in 0..CASES {
+        let mut rng = Xorshift64::seed_from_u64(3000 + case);
+        let n = rng.gen_range_usize(1, 30);
+        let mut nested = HubLabeling::empty(n);
+        for v in 0..n {
+            let k = rng.gen_index(6);
+            let pairs: Vec<(NodeId, u64)> = (0..k)
+                .map(|_| (rng.gen_index(n) as NodeId, rng.gen_index(100) as u64))
+                .collect();
+            *nested.label_mut(v as NodeId) = HubLabel::from_pairs(pairs);
+        }
+        let flat = FlatLabeling::from_labeling(&nested);
+        assert_eq!(flat.to_labeling(), nested);
+        assert_eq!(flat.num_entries(), nested.total_hubs());
+        for v in 0..n as NodeId {
+            assert_eq!(flat.hubs_of(v), nested.label(v).hubs());
+            assert_eq!(flat.dists_of(v), nested.label(v).distances());
+        }
+    }
+}
+
+#[test]
+fn view_stats_agree_between_representations() {
+    for case in 0..8 {
+        let mut rng = Xorshift64::seed_from_u64(4000 + case);
+        let g = gnm_graph(&mut rng);
+        let nested = PrunedLandmarkLabeling::by_degree(&g).into_labeling();
+        let flat = FlatLabeling::from_labeling(&nested);
+        assert_eq!(flat.total_hubs(), nested.total_hubs());
+        assert_eq!(flat.max_hubs(), nested.max_hubs());
+        assert!((flat.average_hubs() - nested.average_hubs()).abs() < 1e-12);
+        // The arena never costs more heap than the nested form.
+        assert!(flat.heap_bytes() <= nested.heap_bytes());
+        // Witness queries agree too.
+        let n = g.num_nodes() as NodeId;
+        for u in 0..n.min(8) {
+            for v in 0..n.min(8) {
+                assert_eq!(
+                    flat.query_with_witness(u, v),
+                    nested.query_with_witness(u, v)
+                );
+            }
+        }
+    }
+}

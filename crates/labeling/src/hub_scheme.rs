@@ -35,9 +35,23 @@ pub fn encode_label(label: &HubLabel) -> BitLabel {
 
 /// Decodes a [`BitLabel`] back into a [`HubLabel`].
 pub fn decode_label(label: &BitLabel) -> HubLabel {
+    let mut hubs = Vec::new();
+    let mut dists = Vec::new();
+    decode_label_append(label, &mut hubs, &mut dists);
+    HubLabel::from_pairs(hubs.into_iter().zip(dists).collect())
+}
+
+/// Decodes a [`BitLabel`], *appending* its `(hub, distance)` entries to
+/// `hubs` and `dists` in increasing hub order (the gap coding guarantees
+/// sortedness). This is the allocation-free decode path: a caller
+/// assembling a [`hl_core::FlatLabeling`] arena decodes every label
+/// straight into the arena's backing vectors (or a reused scratch pair)
+/// without building a per-vertex [`HubLabel`].
+pub fn decode_label_append(label: &BitLabel, hubs: &mut Vec<NodeId>, dists: &mut Vec<Distance>) {
     let mut r = BitReader::new(label.bits());
     let k = r.read_gamma0() as usize;
-    let mut hubs = Vec::with_capacity(k);
+    let start = hubs.len();
+    hubs.reserve(k);
     let mut cur = 0u64;
     for i in 0..k {
         cur = if i == 0 {
@@ -47,11 +61,11 @@ pub fn decode_label(label: &BitLabel) -> HubLabel {
         };
         hubs.push(cur as NodeId);
     }
-    let mut pairs = Vec::with_capacity(k);
-    for &h in &hubs {
-        pairs.push((h, r.read_gamma0()));
+    dists.reserve(k);
+    for _ in 0..k {
+        dists.push(r.read_gamma0());
     }
-    HubLabel::from_pairs(pairs)
+    debug_assert!(hubs[start..].windows(2).all(|w| w[0] < w[1]));
 }
 
 /// Encodes a complete hub labeling.
@@ -141,6 +155,21 @@ mod tests {
     fn empty_label_roundtrip() {
         let label = HubLabel::new();
         assert_eq!(decode_label(&encode_label(&label)), label);
+    }
+
+    #[test]
+    fn append_decode_concatenates_sorted_entries() {
+        let a = HubLabel::from_pairs(vec![(0, 0), (7, 3), (1000, 999)]);
+        let b = HubLabel::from_pairs(vec![(2, 1), (5, 5)]);
+        let mut hubs = Vec::new();
+        let mut dists = Vec::new();
+        decode_label_append(&encode_label(&a), &mut hubs, &mut dists);
+        let a_end = hubs.len();
+        decode_label_append(&encode_label(&b), &mut hubs, &mut dists);
+        assert_eq!(&hubs[..a_end], a.hubs());
+        assert_eq!(&dists[..a_end], a.distances());
+        assert_eq!(&hubs[a_end..], b.hubs());
+        assert_eq!(&dists[a_end..], b.distances());
     }
 
     #[test]

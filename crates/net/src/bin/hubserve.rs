@@ -4,6 +4,7 @@
 //! ```text
 //! hubserve build <graph-file> <store-file> [algo]    graph -> binary store
 //! hubserve query <store-file> [pairs-file]           answer "u v" lines
+//! hubserve stats <store-file>                        store + arena sizes
 //! hubserve bench <store-file> [options]              in-process load test
 //! hubserve serve <store-file> [options]              TCP daemon (HLNP)
 //! ```
@@ -16,6 +17,11 @@
 //! (served as one batch across the pool), else line-by-line from stdin
 //! through the cached single-query path — and prints `u v <distance>` per
 //! pair, with `inf` for unreachable.
+//!
+//! `stats` validates the store, decodes it into the flat query-time arena
+//! (`hl_core::FlatLabeling`, exactly what `serve`/`bench` load), and
+//! prints both the on-disk and in-memory sizes, so the store-size claims
+//! in EXPERIMENTS.md regenerate from the CLI.
 //!
 //! `bench` drives the engine with seeded random batches on 1 worker and on
 //! N workers, reports throughput and the speedup, then replays a skewed
@@ -47,12 +53,14 @@ fn main() -> ExitCode {
     let result = match args.first().map(String::as_str) {
         Some("build") => cmd_build(&args[1..]),
         Some("query") => cmd_query(&args[1..]),
+        Some("stats") => cmd_stats(&args[1..]),
         Some("bench") => cmd_bench(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
         _ => {
-            eprintln!("usage: hubserve build|query|bench|serve ...");
+            eprintln!("usage: hubserve build|query|stats|bench|serve ...");
             eprintln!("  build <graph-file> <store-file> [pll|pll-random|pll-betweenness]");
             eprintln!("  query <store-file> [pairs-file]");
+            eprintln!("  stats <store-file>");
             eprintln!("  bench <store-file> [--queries N] [--workers N] [--batch N] [--seed S]");
             eprintln!("  serve <store-file> [--addr HOST:PORT] [--workers N] [--max-conns N]");
             eprintln!("        [--read-timeout-ms N] [--write-timeout-ms N]");
@@ -180,6 +188,32 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_stats(args: &[String]) -> Result<(), String> {
+    let [store_path] = args else {
+        return Err("usage: hubserve stats <store-file>".into());
+    };
+    let store = open_store(store_path)?;
+    let n = store.num_nodes();
+    let flat = store
+        .to_flat()
+        .map_err(|e| format!("cannot decode store: {e}"))?;
+    println!("store {store_path}");
+    println!("  nodes              {n}");
+    println!(
+        "  file bytes         {} ({:.1} bits/label gamma-coded)",
+        store.file_len(),
+        store.total_bits() as f64 / n.max(1) as f64
+    );
+    println!("  arena entries      {}", flat.num_entries());
+    println!(
+        "  arena heap bytes   {} ({:.1} avg hubs/vertex, max {})",
+        flat.heap_bytes(),
+        flat.average_hubs(),
+        flat.max_hubs()
+    );
+    Ok(())
+}
+
 struct BenchOpts {
     queries: usize,
     workers: usize,
@@ -262,7 +296,7 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
         return Err("store too small to bench".into());
     }
     let labeling = store
-        .to_labeling()
+        .to_flat()
         .map_err(|e| format!("cannot decode store: {e}"))?;
 
     let mut rng = Xorshift64::seed_from_u64(opts.seed);
@@ -398,8 +432,10 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     let server = NetServer::bind(Arc::clone(&engine), opts.addr.as_str(), config)
         .map_err(|e| format!("cannot bind {}: {e}", opts.addr))?;
     println!(
-        "serving {} nodes ({} workers, {} max conns)",
+        "serving {} nodes, {} label entries ({} arena bytes, {} workers, {} max conns)",
         store.num_nodes(),
+        engine.num_entries(),
+        engine.heap_bytes(),
         opts.workers,
         opts.max_conns
     );

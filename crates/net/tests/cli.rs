@@ -123,6 +123,46 @@ fn query_agrees_with_hub_labeling_everywhere() {
 }
 
 #[test]
+fn stats_reports_arena_size() {
+    let graph = tempfile("stats-g.txt");
+    let store = tempfile("stats-s.hlbs");
+    write_grid_graph(&graph, 6, 6);
+
+    let out = hubserve()
+        .args(["build", graph.to_str().unwrap(), store.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let out = hubserve()
+        .args(["stats", store.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "stats failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("nodes              36"), "{stdout}");
+    assert!(stdout.contains("arena entries"), "{stdout}");
+    assert!(stdout.contains("arena heap bytes"), "{stdout}");
+
+    // The reported numbers must match the in-process decode.
+    let parsed = hl_server::LabelStore::open(&store).unwrap();
+    let flat = parsed.to_flat().unwrap();
+    assert!(stdout.contains(&format!("arena entries      {}", flat.num_entries())));
+    assert!(stdout.contains(&format!("arena heap bytes   {}", flat.heap_bytes())));
+
+    let _ = std::fs::remove_file(graph);
+    let _ = std::fs::remove_file(store);
+}
+
+#[test]
 fn corrupt_store_fails_with_nonzero_exit() {
     let graph = tempfile("bad-g.txt");
     let store = tempfile("bad-s.hlbs");

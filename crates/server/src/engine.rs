@@ -1,9 +1,13 @@
 //! The query engine: a fixed-size worker pool answering distance queries
 //! from a decoded, read-only labeling shared across threads.
 //!
-//! Labels are decoded from the store once at construction — serving then
-//! touches only the in-memory [`HubLabeling`], which is immutable, so
-//! workers share it through a plain `Arc` with no locking on the hot path.
+//! Labels are decoded from the store once at construction — straight into
+//! a [`FlatLabeling`] CSR arena, the canonical query-time representation.
+//! Serving then touches only that immutable arena, so workers share it
+//! through a plain `Arc` with no locking (and no per-vertex pointer
+//! chasing) on the hot path. Construction-time code hands the engine a
+//! nested [`hl_core::HubLabeling`] if that is what it has; the engine
+//! flattens it once at startup.
 //!
 //! Two paths:
 //!
@@ -26,7 +30,7 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
-use hl_core::HubLabeling;
+use hl_core::FlatLabeling;
 use hl_graph::sync::lock_unpoisoned;
 use hl_graph::{Distance, NodeId};
 
@@ -89,7 +93,7 @@ impl From<StoreError> for EngineError {
 
 /// State shared between the engine handle and its workers.
 struct Shared {
-    labeling: HubLabeling,
+    labeling: FlatLabeling,
     cache: ShardedLruCache,
     metrics: Metrics,
 }
@@ -112,14 +116,18 @@ pub struct QueryEngine {
 }
 
 impl QueryEngine {
-    /// Decodes every label out of `store` and starts `num_workers` worker
-    /// threads (at least one) with the default cache size.
+    /// Decodes every label out of `store` — straight into the flat arena,
+    /// with no intermediate per-vertex allocations — and starts
+    /// `num_workers` worker threads (at least one) with the default cache
+    /// size.
     pub fn from_store(store: &LabelStore, num_workers: usize) -> Result<Self, EngineError> {
-        Self::new(store.to_labeling()?, num_workers)
+        Self::new(store.to_flat()?, num_workers)
     }
 
-    /// Starts an engine over an already-decoded labeling.
-    pub fn new(labeling: HubLabeling, num_workers: usize) -> Result<Self, EngineError> {
+    /// Starts an engine over an already-decoded labeling. Accepts the
+    /// flat arena directly or anything convertible into it (a nested
+    /// [`hl_core::HubLabeling`] is flattened once, here).
+    pub fn new(labeling: impl Into<FlatLabeling>, num_workers: usize) -> Result<Self, EngineError> {
         Self::with_cache_capacity(labeling, num_workers, DEFAULT_CACHE_CAPACITY)
     }
 
@@ -128,13 +136,13 @@ impl QueryEngine {
     /// Fails with [`EngineError::WorkerSpawn`] if the OS cannot start a
     /// worker thread; any workers already started are reaped first.
     pub fn with_cache_capacity(
-        labeling: HubLabeling,
+        labeling: impl Into<FlatLabeling>,
         num_workers: usize,
         cache_capacity: usize,
     ) -> Result<Self, EngineError> {
         let num_workers = num_workers.max(1);
         let shared = Arc::new(Shared {
-            labeling,
+            labeling: labeling.into(),
             cache: ShardedLruCache::new(cache_capacity, num_workers.max(4)),
             metrics: Metrics::new(),
         });
@@ -176,6 +184,16 @@ impl QueryEngine {
     /// Number of vertices the engine serves.
     pub fn num_nodes(&self) -> usize {
         self.shared.labeling.num_nodes()
+    }
+
+    /// Total `(hub, distance)` entries in the served arena, `Σ_v |S_v|`.
+    pub fn num_entries(&self) -> usize {
+        self.shared.labeling.num_entries()
+    }
+
+    /// Heap footprint of the served [`FlatLabeling`] arena, in bytes.
+    pub fn heap_bytes(&self) -> usize {
+        self.shared.labeling.heap_bytes()
     }
 
     /// Live metrics for this engine.

@@ -10,8 +10,10 @@
 //!   magic and checksum mismatches surface as typed [`store::StoreError`]s,
 //!   never as wrong distances.
 //! - [`engine`]: [`engine::QueryEngine`], a fixed-size worker pool over a
-//!   shared read-only labeling. Batches shard across workers; single
-//!   queries go through a sharded LRU cache.
+//!   shared read-only [`hl_core::FlatLabeling`] arena — the store decodes
+//!   straight into the flat form and the serving path never touches the
+//!   nested per-vertex representation. Batches shard across workers;
+//!   single queries go through a sharded LRU cache.
 //! - [`cache`]: the [`cache::ShardedLruCache`] used by the engine.
 //! - [`metrics`]: atomic counters and a latency histogram with
 //!   p50/p95/p99 snapshots ([`metrics::Metrics`]).

@@ -33,10 +33,10 @@ use std::fs::File;
 use std::io::{self, Read, Write};
 use std::path::Path;
 
-use hl_core::{HubLabel, HubLabeling};
+use hl_core::{FlatLabeling, HubLabel, HubLabeling};
 use hl_graph::{Distance, NodeId};
 use hl_labeling::bits::BitVec;
-use hl_labeling::hub_scheme::{decode_label, encode_label};
+use hl_labeling::hub_scheme::{decode_label, decode_label_append, encode_label};
 use hl_labeling::scheme::BitLabel;
 
 /// File magic: "Hub Label Binary Store".
@@ -217,13 +217,33 @@ impl LabelStore {
         Ok(decode_label(&self.bit_label(v)?))
     }
 
-    /// Decodes every label back into a [`HubLabeling`].
+    /// Decodes every label back into a [`HubLabeling`] (the nested,
+    /// construction-time form — two heap vectors per vertex).
     pub fn to_labeling(&self) -> Result<HubLabeling, StoreError> {
         let mut labels = Vec::with_capacity(self.num_nodes);
         for v in 0..self.num_nodes {
             labels.push(self.decode_label(v as NodeId)?);
         }
         Ok(HubLabeling::from_labels(labels))
+    }
+
+    /// Decodes every label straight into a [`FlatLabeling`] arena — the
+    /// canonical query-time form. One pass over the γ-coded blob; each
+    /// label decodes into a reused scratch pair and is appended to the
+    /// arena, so no per-vertex `HubLabel` (or any other per-vertex heap
+    /// allocation) is ever built. This is how [`crate::QueryEngine`]
+    /// loads a store.
+    pub fn to_flat(&self) -> Result<FlatLabeling, StoreError> {
+        let mut flat = FlatLabeling::with_capacity(self.num_nodes, 0);
+        let mut hubs: Vec<NodeId> = Vec::new();
+        let mut dists: Vec<Distance> = Vec::new();
+        for v in 0..self.num_nodes {
+            hubs.clear();
+            dists.clear();
+            decode_label_append(&self.bit_label(v as NodeId)?, &mut hubs, &mut dists);
+            flat.push_label(&hubs, &dists);
+        }
+        Ok(flat)
     }
 
     /// Answers a distance query straight from the stored labels.
@@ -423,6 +443,15 @@ mod tests {
         assert_eq!(back.num_nodes(), hl.num_nodes());
         let decoded = back.to_labeling().unwrap();
         assert_eq!(decoded, hl);
+    }
+
+    #[test]
+    fn to_flat_matches_nested_decode() {
+        let (hl, store) = sample_store();
+        let flat = store.to_flat().unwrap();
+        assert_eq!(flat.to_labeling(), hl);
+        assert_eq!(flat, hl_core::FlatLabeling::from_labeling(&hl));
+        assert_eq!(flat.num_entries(), hl.total_hubs());
     }
 
     #[test]

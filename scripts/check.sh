@@ -13,6 +13,9 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== hublint (panic-freedom + offline-deps invariants) =="
 cargo run -q --release -p hl-lint
 
+echo "== cargo doc (no-deps, warnings are errors) =="
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+
 echo "== tier-1 build =="
 cargo build --release
 

@@ -4,6 +4,7 @@
 #   hubtool build     -> text labeling  (ground-truth path)
 #   hubtool verify    -> labels are exact against the graph
 #   hubserve build    -> binary label store
+#   hubserve stats    -> store reports the flat arena it decodes into
 #   hubserve query    -> answers from the store
 #   diff              -> store answers == ground-truth label answers
 #   hubserve bench    -> the load generator runs and reports a snapshot
@@ -36,6 +37,11 @@ echo "== ground truth: text labeling, verified exact =="
 
 echo "== serving path: binary store =="
 "$HUBSERVE" build "$TMP/graph.txt" "$TMP/store.hlbs"
+
+echo "== store stats report the flat arena =="
+"$HUBSERVE" stats "$TMP/store.hlbs" | tee "$TMP/stats.txt"
+grep -q 'arena entries' "$TMP/stats.txt"
+grep -q 'arena heap bytes' "$TMP/stats.txt"
 
 echo "== diffing store answers against ground truth on ${SAMPLE}x${SAMPLE} pairs =="
 : > "$TMP/pairs.txt"
