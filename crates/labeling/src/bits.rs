@@ -241,6 +241,68 @@ impl<'a> BitReader<'a> {
         let rest = if n == 0 { 0 } else { self.read_bits(n as u32) };
         (1u64 << n) | rest
     }
+
+    // --- Checked variants -------------------------------------------------
+    //
+    // The panicking readers above are for bits this process itself wrote
+    // (encode → decode round trips). Bits arriving from *outside* — a label
+    // store file, a network peer — may be arbitrary, and a checksum only
+    // guards against accidents, not crafted input. The `try_` readers
+    // return `None` instead of panicking on exhaustion, over-long unary
+    // runs, or γ codes too wide for `u64`, so untrusted decode paths can
+    // surface a typed error.
+
+    /// Reads one bit, or `None` if the reader is exhausted.
+    pub fn try_read_bit(&mut self) -> Option<bool> {
+        if self.pos >= self.bits.len() {
+            return None;
+        }
+        let b = self.bits.get(self.pos);
+        self.pos += 1;
+        Some(b)
+    }
+
+    /// Reads `width` bits MSB-first, or `None` if fewer remain.
+    pub fn try_read_bits(&mut self, width: u32) -> Option<u64> {
+        if width as usize > self.remaining() || width > 64 {
+            return None;
+        }
+        Some(self.read_bits(width))
+    }
+
+    /// Reads a unary code, or `None` if the run hits the end of the bits
+    /// before its terminating 1.
+    pub fn try_read_unary(&mut self) -> Option<u64> {
+        let mut n = 0u64;
+        loop {
+            match self.try_read_bit() {
+                Some(true) => return Some(n),
+                Some(false) => n += 1,
+                None => return None,
+            }
+        }
+    }
+
+    /// Reads an Elias-γ code, or `None` on exhaustion or a value that
+    /// does not fit in a `u64` (unary prefix of 64 or more).
+    pub fn try_read_gamma(&mut self) -> Option<u64> {
+        let n = self.try_read_unary()?;
+        if n >= 64 {
+            return None;
+        }
+        let rest = if n == 0 {
+            0
+        } else {
+            self.try_read_bits(n as u32)?
+        };
+        Some((1u64 << n) | rest)
+    }
+
+    /// Reads a γ-coded `value + 1` and returns `value`, or `None` on any
+    /// malformed code.
+    pub fn try_read_gamma0(&mut self) -> Option<u64> {
+        self.try_read_gamma().map(|v| v - 1)
+    }
 }
 
 #[cfg(test)]

@@ -7,6 +7,8 @@
 //! +1, rest gap-coded), then `k` distances (γ-coded +1). Two labels decode
 //! a distance by a sorted merge on hub ids — no graph access needed.
 
+use std::fmt;
+
 use hl_graph::{Distance, Graph, GraphError, NodeId, INFINITY};
 
 use hl_core::label::{HubLabel, HubLabeling};
@@ -66,6 +68,126 @@ pub fn decode_label_append(label: &BitLabel, hubs: &mut Vec<NodeId>, dists: &mut
         dists.push(r.read_gamma0());
     }
     debug_assert!(hubs[start..].windows(2).all(|w| w[0] < w[1]));
+}
+
+/// Why an untrusted bit label failed to decode.
+///
+/// [`decode_label_append`] trusts its input — it panics (or worse,
+/// over-reserves) on bits this process did not encode itself. Anything
+/// read from disk or the network goes through
+/// [`try_decode_label_append`] instead, which reports one of these.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LabelDecodeError {
+    /// A γ code ran off the end of the bits, or encoded a value too wide
+    /// for `u64`.
+    BadGamma {
+        /// Bit position the reader had reached.
+        at_bit: usize,
+    },
+    /// The declared entry count cannot fit in the remaining bits (each
+    /// `(hub, distance)` entry costs at least two bits), so it is a lie —
+    /// rejecting it early also stops attacker-controlled allocations.
+    CountTooLarge {
+        /// The declared number of entries.
+        count: u64,
+        /// Bits left after the count, an upper bound on plausible entries.
+        remaining_bits: usize,
+    },
+    /// Accumulated hub-id gaps overflowed the node-id space.
+    HubOverflow,
+    /// Bits were left over after the declared entries — a valid label
+    /// consumes its bit length exactly.
+    TrailingBits(usize),
+}
+
+impl fmt::Display for LabelDecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LabelDecodeError::BadGamma { at_bit } => {
+                write!(f, "malformed gamma code at bit {at_bit}")
+            }
+            LabelDecodeError::CountTooLarge {
+                count,
+                remaining_bits,
+            } => {
+                write!(
+                    f,
+                    "declared {count} entries but only {remaining_bits} bits remain"
+                )
+            }
+            LabelDecodeError::HubOverflow => write!(f, "hub id gaps overflow the node-id space"),
+            LabelDecodeError::TrailingBits(n) => {
+                write!(f, "{n} trailing bits after the last entry")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LabelDecodeError {}
+
+/// Checked variant of [`decode_label_append`] for *untrusted* bits (label
+/// stores on disk, frames off the wire): every read is bounds-checked,
+/// the entry count is validated against the remaining bits before any
+/// allocation, hub-id accumulation is overflow-checked, and the label
+/// must consume its bits exactly. On error, `hubs` and `dists` are
+/// truncated back to their input lengths.
+pub fn try_decode_label_append(
+    label: &BitLabel,
+    hubs: &mut Vec<NodeId>,
+    dists: &mut Vec<Distance>,
+) -> Result<(), LabelDecodeError> {
+    let start_hubs = hubs.len();
+    let start_dists = dists.len();
+    let result = try_decode_label_inner(label, hubs, dists);
+    if result.is_err() {
+        hubs.truncate(start_hubs);
+        dists.truncate(start_dists);
+    }
+    result
+}
+
+fn try_decode_label_inner(
+    label: &BitLabel,
+    hubs: &mut Vec<NodeId>,
+    dists: &mut Vec<Distance>,
+) -> Result<(), LabelDecodeError> {
+    let mut r = BitReader::new(label.bits());
+    let bad_gamma = |r: &BitReader<'_>| LabelDecodeError::BadGamma {
+        at_bit: r.position(),
+    };
+    let count = r.try_read_gamma0().ok_or_else(|| bad_gamma(&r))?;
+    // Each entry is one γ-coded hub (≥ 1 bit) plus one γ-coded distance
+    // (≥ 1 bit), so a count beyond remaining/2 cannot be honest. This
+    // also bounds the reserves below by the label's physical size.
+    if count > (r.remaining() / 2) as u64 {
+        return Err(LabelDecodeError::CountTooLarge {
+            count,
+            remaining_bits: r.remaining(),
+        });
+    }
+    let k = count as usize;
+    hubs.reserve(k);
+    let mut cur = 0u64;
+    for i in 0..k {
+        cur = if i == 0 {
+            r.try_read_gamma0().ok_or_else(|| bad_gamma(&r))?
+        } else {
+            let gap = r.try_read_gamma().ok_or_else(|| bad_gamma(&r))?;
+            cur.checked_add(gap).ok_or(LabelDecodeError::HubOverflow)?
+        };
+        if cur > NodeId::MAX as u64 {
+            return Err(LabelDecodeError::HubOverflow);
+        }
+        hubs.push(cur as NodeId);
+    }
+    dists.reserve(k);
+    for _ in 0..k {
+        dists.push(r.try_read_gamma0().ok_or_else(|| bad_gamma(&r))?);
+    }
+    if r.remaining() != 0 {
+        return Err(LabelDecodeError::TrailingBits(r.remaining()));
+    }
+    Ok(())
 }
 
 /// Encodes a complete hub labeling.
@@ -155,6 +277,70 @@ mod tests {
     fn empty_label_roundtrip() {
         let label = HubLabel::new();
         assert_eq!(decode_label(&encode_label(&label)), label);
+    }
+
+    #[test]
+    fn try_decode_accepts_everything_the_encoder_writes() {
+        for label in [
+            HubLabel::new(),
+            HubLabel::from_pairs(vec![(0, 0)]),
+            HubLabel::from_pairs(vec![(0, 0), (7, 3), (8, 12), (1000, 999)]),
+        ] {
+            let encoded = encode_label(&label);
+            let mut hubs = Vec::new();
+            let mut dists = Vec::new();
+            try_decode_label_append(&encoded, &mut hubs, &mut dists).unwrap();
+            assert_eq!(hubs, label.hubs());
+            assert_eq!(dists, label.distances());
+        }
+    }
+
+    #[test]
+    fn try_decode_rejects_garbage_bits_instead_of_panicking() {
+        use crate::bits::{BitVec, BitWriter};
+
+        let mut hubs = Vec::new();
+        let mut dists = Vec::new();
+
+        // All-zero bits: the count's unary run never terminates. The
+        // trusting decoder panics on this input; the checked one must not.
+        let mut zeros = BitVec::new();
+        for _ in 0..64 {
+            zeros.push(false);
+        }
+        let err = try_decode_label_append(&BitLabel::new(zeros), &mut hubs, &mut dists);
+        assert!(matches!(err, Err(LabelDecodeError::BadGamma { .. })));
+        assert!(
+            hubs.is_empty() && dists.is_empty(),
+            "buffers must roll back"
+        );
+
+        // A count far beyond what the remaining bits could carry: must be
+        // rejected *before* any reserve, or a one-byte label could demand
+        // gigabytes.
+        let mut w = BitWriter::new();
+        w.write_gamma0(1u64 << 40);
+        let err = try_decode_label_append(&BitLabel::new(w.into_bits()), &mut hubs, &mut dists);
+        assert!(matches!(err, Err(LabelDecodeError::CountTooLarge { .. })));
+
+        // Hub ids past the 32-bit node-id space.
+        let mut w = BitWriter::new();
+        w.write_gamma0(1); // one entry
+        w.write_gamma0(1u64 << 33); // first hub id, too wide for NodeId
+        w.write_gamma0(5); // its distance
+        let err = try_decode_label_append(&BitLabel::new(w.into_bits()), &mut hubs, &mut dists);
+        assert!(matches!(err, Err(LabelDecodeError::HubOverflow)));
+
+        // A structurally valid label followed by leftover bits.
+        let mut trailing = encode_label(&HubLabel::from_pairs(vec![(3, 1)]));
+        let mut bits = BitVec::new();
+        for i in 0..trailing.bits().len() {
+            bits.push(trailing.bits().get(i));
+        }
+        bits.push(true);
+        trailing = BitLabel::new(bits);
+        let err = try_decode_label_append(&trailing, &mut hubs, &mut dists);
+        assert!(matches!(err, Err(LabelDecodeError::TrailingBits(1))));
     }
 
     #[test]

@@ -1,0 +1,514 @@
+//! `hlnp-fuzz` — seeded, bounded fuzzer for the HLNP serving stack.
+//!
+//! ```text
+//! hlnp-fuzz [--seed S] [--iters N] [--nodes N] [--probe-every K]
+//!           [--max-seconds T]
+//! ```
+//!
+//! Three campaigns, all driven from one seed so any finding replays
+//! exactly:
+//!
+//! 1. **Network**: a live [`NetServer`] over a real labeling is hammered
+//!    with `--iters` connections, each playing a [`FaultPlan`] script —
+//!    bit flips, truncations, length-prefix lies, handshake garbage,
+//!    slow-loris pacing, mid-frame stalls. Every `--probe-every`
+//!    iterations a clean [`NetClient`] probe asserts *exact* distances
+//!    against BFS ground truth: the server must stay both alive and
+//!    correct while being abused.
+//! 2. **Store**: the serialized HLBS image takes seeded byte flips
+//!    (checksum must catch them), crafted flips with a refreshed
+//!    checksum (the decoder must reject them without panicking), and
+//!    random truncations.
+//! 3. **Wire**: random payloads through every frame decoder.
+//!
+//! Any panic, hang, wrong answer, or silently-accepted corruption is a
+//! defect. Exit codes: 0 clean, 1 defect found, 2 usage or the
+//! `--max-seconds` wall-clock guard fired (a hang somewhere in the
+//! stack).
+
+use std::io::Read;
+use std::net::{SocketAddr, TcpStream};
+use std::panic::{self, AssertUnwindSafe};
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use hl_core::pll::PrunedLandmarkLabeling;
+use hl_graph::rng::Xorshift64;
+use hl_graph::{bfs, generators, Distance, NodeId};
+use hl_net::faults::{apply_script, FaultConfig, FaultKind, FaultPlan, Outcome};
+use hl_net::wire::{
+    read_frame, write_frame, ClientHello, Request, Response, ServerHello, DEFAULT_MAX_FRAME_LEN,
+    PROTOCOL_VERSION,
+};
+use hl_net::{ClientConfig, NetClient, NetServer, ServerConfig};
+use hl_server::{store, LabelStore, QueryEngine};
+
+struct Opts {
+    seed: u64,
+    iters: usize,
+    nodes: usize,
+    probe_every: usize,
+    max_seconds: u64,
+}
+
+fn usage() -> String {
+    "usage: hlnp-fuzz [--seed S] [--iters N] [--nodes N] [--probe-every K] [--max-seconds T]"
+        .to_string()
+}
+
+fn parse_opts(args: &[String]) -> Result<Opts, String> {
+    let mut opts = Opts {
+        seed: 5,
+        iters: 10_000,
+        nodes: 256,
+        probe_every: 32,
+        max_seconds: 300,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut take = |name: &str| {
+            it.next()
+                .map(String::as_str)
+                .ok_or_else(|| format!("{name} needs a value\n{}", usage()))
+        };
+        match arg.as_str() {
+            "--seed" => {
+                opts.seed = take("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?
+            }
+            "--iters" => {
+                opts.iters = take("--iters")?
+                    .parse()
+                    .map_err(|e| format!("--iters: {e}"))?
+            }
+            "--nodes" => {
+                opts.nodes = take("--nodes")?
+                    .parse()
+                    .map_err(|e| format!("--nodes: {e}"))?
+            }
+            "--probe-every" => {
+                opts.probe_every = take("--probe-every")?
+                    .parse()
+                    .map_err(|e| format!("--probe-every: {e}"))?
+            }
+            "--max-seconds" => {
+                opts.max_seconds = take("--max-seconds")?
+                    .parse()
+                    .map_err(|e| format!("--max-seconds: {e}"))?
+            }
+            other => return Err(format!("unknown argument {other}\n{}", usage())),
+        }
+    }
+    if opts.nodes < 8 {
+        return Err("--nodes must be at least 8".to_string());
+    }
+    if opts.probe_every == 0 {
+        return Err("--probe-every must be positive".to_string());
+    }
+    Ok(opts)
+}
+
+/// A defect (exit 1) or the wall-clock guard (exit 2).
+enum Failure {
+    Defect(String),
+    Timeout(String),
+}
+
+#[derive(Default)]
+struct Summary {
+    fault_iterations: usize,
+    by_kind: Vec<(FaultKind, usize)>,
+    peer_closed: usize,
+    probes: usize,
+    probe_queries: usize,
+    store_mutations: usize,
+    store_parses_survived: usize,
+    wire_decodes: usize,
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_opts(&args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    match run(&opts) {
+        Ok(s) => {
+            println!(
+                "hlnp-fuzz: clean. {} fault iterations ({} cut off by the server), \
+                 {} probes / {} exact answers verified, {} store mutations \
+                 ({} parsed anyway, none panicked), {} wire decodes.",
+                s.fault_iterations,
+                s.peer_closed,
+                s.probes,
+                s.probe_queries,
+                s.store_mutations,
+                s.store_parses_survived,
+                s.wire_decodes,
+            );
+            let kinds: Vec<String> = s
+                .by_kind
+                .iter()
+                .map(|(k, n)| format!("{}={}", k.name(), n))
+                .collect();
+            println!("hlnp-fuzz: kind mix: {}", kinds.join(" "));
+            ExitCode::SUCCESS
+        }
+        Err(Failure::Defect(msg)) => {
+            eprintln!("hlnp-fuzz: DEFECT (seed {}): {msg}", opts.seed);
+            ExitCode::from(1)
+        }
+        Err(Failure::Timeout(msg)) => {
+            eprintln!(
+                "hlnp-fuzz: wall-clock guard ({}s) fired: {msg}",
+                opts.max_seconds
+            );
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run(opts: &Opts) -> Result<Summary, Failure> {
+    let started = Instant::now();
+    let deadline = started + Duration::from_secs(opts.max_seconds);
+    let mut summary = Summary::default();
+
+    // Ground truth and the serving stack under test. The store round-trip
+    // (labeling -> HLBS bytes -> engine) is deliberate: the same image
+    // feeds the store campaign below.
+    let g = generators::connected_gnm(opts.nodes, opts.nodes, opts.seed ^ 0x9e37_79b9);
+    let hl = PrunedLandmarkLabeling::by_degree(&g).into_labeling();
+    let label_store = LabelStore::from_labeling(&hl);
+    let mut store_bytes = Vec::new();
+    label_store
+        .write_to(&mut store_bytes)
+        .map_err(|e| Failure::Defect(format!("serializing the store: {e}")))?;
+    let engine = QueryEngine::from_store(&label_store, 2)
+        .map_err(|e| Failure::Defect(format!("building the engine: {e}")))?;
+
+    let sources: Vec<NodeId> = (0..8.min(opts.nodes) as NodeId).collect();
+    let truth: Vec<Vec<Distance>> = sources.iter().map(|&s| bfs::bfs_distances(&g, s)).collect();
+
+    let config = ServerConfig {
+        max_connections: 32,
+        read_timeout: Duration::from_millis(800),
+        write_timeout: Duration::from_secs(1),
+        frame_timeout: Duration::from_millis(300),
+        max_frame_len: DEFAULT_MAX_FRAME_LEN,
+        // Found by this very fuzzer: with remote shutdown on, any
+        // mutated frame that happens to decode as the one-byte Shutdown
+        // opcode stops the daemon mid-campaign.
+        allow_remote_shutdown: false,
+    };
+    let server = NetServer::bind(Arc::new(engine), "127.0.0.1:0", config)
+        .map_err(|e| Failure::Defect(format!("binding the server: {e}")))?;
+    let addr = server.local_addr();
+    let stop = server.stop_handle();
+    let server_thread = std::thread::spawn(move || server.serve());
+
+    // Short pauses keep thousands of iterations inside the CI budget
+    // while still being long against the server's 300 ms frame budget.
+    let fault_config = FaultConfig {
+        loris_pace: Duration::from_millis(25),
+        loris_max_bytes: 6,
+        stall: Duration::from_millis(60),
+    };
+    let mut plan = FaultPlan::with_config(opts.seed, fault_config);
+    let mut rng = Xorshift64::seed_from_u64(opts.seed ^ 0xd1b5_4a32_d192_ed03);
+    let mut kind_counts = std::collections::HashMap::new();
+
+    let result = (|| -> Result<(), Failure> {
+        for i in 0..opts.iters {
+            if Instant::now() > deadline {
+                return Err(Failure::Timeout(format!(
+                    "network campaign stuck at iteration {i} of {}",
+                    opts.iters
+                )));
+            }
+            let mut kind = plan.pick_kind();
+            // Timing faults sleep; keep them in the mix but rare enough
+            // that iteration counts stay cheap.
+            if matches!(kind, FaultKind::SlowLoris | FaultKind::Stall) && rng.gen_index(8) != 0 {
+                kind = FaultKind::ALL[rng.gen_index(6)]; // the six cheap kinds lead ALL
+            }
+            *kind_counts.entry(kind).or_insert(0usize) += 1;
+            match fault_iteration(addr, &mut plan, kind, &mut rng, opts.nodes as NodeId) {
+                Ok(Outcome::PeerClosed) => summary.peer_closed += 1,
+                Ok(_) => {}
+                Err(e) => {
+                    return Err(Failure::Defect(format!(
+                        "iteration {i} ({}): server unreachable — {e}",
+                        kind.name()
+                    )))
+                }
+            }
+            summary.fault_iterations += 1;
+            if i % opts.probe_every == 0 {
+                probe(addr, &sources, &truth, &mut rng, opts.seed)?;
+                summary.probes += 1;
+                summary.probe_queries += PROBE_QUERIES;
+            }
+        }
+        // One last probe after all the abuse.
+        probe(addr, &sources, &truth, &mut rng, opts.seed)?;
+        summary.probes += 1;
+        summary.probe_queries += PROBE_QUERIES;
+        Ok(())
+    })();
+
+    stop.stop();
+    let serve_result = server_thread.join();
+    if let Err(failure) = result {
+        // The server's own exit usually explains a dead accept loop.
+        return Err(match (failure, serve_result) {
+            (Failure::Defect(m), Ok(Err(e))) => {
+                Failure::Defect(format!("{m}; server exited with error: {e}"))
+            }
+            (Failure::Defect(m), Err(_)) => Failure::Defect(format!("{m}; server thread panicked")),
+            (f, _) => f,
+        });
+    }
+    match serve_result {
+        Ok(Ok(())) => {}
+        Ok(Err(e)) => return Err(Failure::Defect(format!("server exited with error: {e}"))),
+        Err(_) => return Err(Failure::Defect("server thread panicked".to_string())),
+    }
+
+    let mut by_kind: Vec<(FaultKind, usize)> = kind_counts.into_iter().collect();
+    by_kind.sort_by_key(|&(k, _)| k.name());
+    summary.by_kind = by_kind;
+
+    store_campaign(&store_bytes, opts, deadline, &mut rng, &mut summary)?;
+    wire_campaign(opts, deadline, &mut rng, &mut summary)?;
+    Ok(summary)
+}
+
+/// One hostile connection: handshake bytes plus a few valid request
+/// frames, rewritten by `kind`, then a bounded drain of whatever the
+/// server answers. Only failure to *connect* is an error — that means
+/// the accept loop is gone.
+fn fault_iteration(
+    addr: SocketAddr,
+    plan: &mut FaultPlan,
+    kind: FaultKind,
+    rng: &mut Xorshift64,
+    num_nodes: NodeId,
+) -> std::io::Result<Outcome> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_millis(300)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(1)))?;
+    // The server speaks first; its hello is not part of the fault script.
+    let _ = read_frame(&mut stream, DEFAULT_MAX_FRAME_LEN);
+
+    let clean = clean_request_stream(rng, num_nodes);
+    let steps = plan.script(kind, &clean);
+    let outcome = apply_script(&mut stream, &steps);
+
+    // Drain responses (typed errors, answers, or EOF) so the iteration
+    // observes the server's reaction instead of racing its own reset.
+    // Short timeout: on faults the server survives (e.g. a Malformed
+    // error frame on a live connection) the drain must not stall the
+    // whole campaign waiting for bytes that will never come.
+    stream.set_read_timeout(Some(Duration::from_millis(30)))?;
+    let mut buf = [0u8; 512];
+    for _ in 0..16 {
+        match stream.read(&mut buf) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => {}
+        }
+    }
+    Ok(outcome)
+}
+
+/// A well-formed HLNP byte stream: client hello, then 1–3 requests.
+fn clean_request_stream(rng: &mut Xorshift64, num_nodes: NodeId) -> Vec<u8> {
+    let mut buf = Vec::new();
+    let hello = ClientHello {
+        protocol_version: PROTOCOL_VERSION,
+    };
+    let _ = write_frame(&mut buf, &hello.encode());
+    for _ in 0..1 + rng.gen_index(3) {
+        let req = match rng.gen_index(3) {
+            0 => Request::Ping,
+            1 => Request::Query {
+                u: rng.gen_index(num_nodes as usize) as NodeId,
+                v: rng.gen_index(num_nodes as usize) as NodeId,
+            },
+            _ => {
+                let pairs = (0..1 + rng.gen_index(8))
+                    .map(|_| {
+                        (
+                            rng.gen_index(num_nodes as usize) as NodeId,
+                            rng.gen_index(num_nodes as usize) as NodeId,
+                        )
+                    })
+                    .collect();
+                Request::QueryBatch(pairs)
+            }
+        };
+        let _ = write_frame(&mut buf, &req.encode());
+    }
+    buf
+}
+
+const PROBE_QUERIES: usize = 4 + 16;
+
+/// A clean client asserting exact BFS distances: the liveness *and*
+/// correctness check. Any error or wrong answer here is a defect.
+fn probe(
+    addr: SocketAddr,
+    sources: &[NodeId],
+    truth: &[Vec<Distance>],
+    rng: &mut Xorshift64,
+    seed: u64,
+) -> Result<(), Failure> {
+    let config = ClientConfig {
+        connect_timeout: Duration::from_secs(2),
+        request_timeout: Duration::from_secs(2),
+        max_retries: 2,
+        seed,
+        ..ClientConfig::default()
+    };
+    let mut client = NetClient::connect(addr, config)
+        .map_err(|e| Failure::Defect(format!("liveness probe cannot connect: {e}")))?;
+    let n = truth[0].len();
+    for _ in 0..4 {
+        let si = rng.gen_index(sources.len());
+        let v = rng.gen_index(n) as NodeId;
+        let want = truth[si][v as usize];
+        let got = client
+            .query(sources[si], v)
+            .map_err(|e| Failure::Defect(format!("probe query failed: {e}")))?;
+        if got != want {
+            return Err(Failure::Defect(format!(
+                "wrong answer: d({}, {v}) = {got}, BFS says {want}",
+                sources[si]
+            )));
+        }
+    }
+    let pairs: Vec<(NodeId, NodeId)> = (0..16)
+        .map(|_| {
+            let si = rng.gen_index(sources.len());
+            (sources[si], rng.gen_index(n) as NodeId)
+        })
+        .collect();
+    let got = client
+        .query_batch_pipelined(&pairs, 4, 2)
+        .map_err(|e| Failure::Defect(format!("probe batch failed: {e}")))?;
+    for (&(u, v), &d) in pairs.iter().zip(&got) {
+        let si = sources.iter().position(|&s| s == u).unwrap_or(0);
+        let want = truth[si][v as usize];
+        if d != want {
+            return Err(Failure::Defect(format!(
+                "wrong batch answer: d({u}, {v}) = {d}, BFS says {want}"
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// Parses and fully decodes a mutated store image inside `catch_unwind`:
+/// errors are expected, panics are defects. Returns whether it parsed.
+fn check_store_bytes(bytes: &[u8]) -> Result<bool, Failure> {
+    panic::catch_unwind(AssertUnwindSafe(|| match LabelStore::parse(bytes) {
+        Ok(s) => {
+            for v in 0..s.num_nodes() {
+                let _ = s.decode_label(v as NodeId);
+            }
+            let _ = s.to_flat();
+            if s.num_nodes() >= 2 {
+                let _ = s.query(0, 1);
+            }
+            true
+        }
+        Err(_) => false,
+    }))
+    .map_err(|_| Failure::Defect("panic while parsing/decoding a mutated store".to_string()))
+}
+
+/// Seeded byte flips (the checksum's job), crafted flips with a
+/// refreshed checksum (the decoder's job), and random truncations.
+fn store_campaign(
+    clean: &[u8],
+    opts: &Opts,
+    deadline: Instant,
+    rng: &mut Xorshift64,
+    summary: &mut Summary,
+) -> Result<(), Failure> {
+    let rounds = (opts.iters / 4).max(64);
+    for i in 0..rounds {
+        if Instant::now() > deadline {
+            return Err(Failure::Timeout(format!(
+                "store campaign stuck at round {i} of {rounds}"
+            )));
+        }
+        // Blind flip: whatever it hits, nothing may panic.
+        let mut bytes = clean.to_vec();
+        let at = rng.gen_index(bytes.len());
+        bytes[at] ^= 1 << rng.gen_index(8);
+        if check_store_bytes(&bytes)? {
+            summary.store_parses_survived += 1;
+        }
+        summary.store_mutations += 1;
+
+        // Crafted flip: corrupt the body, then make the checksum agree —
+        // this is the adversary the checked decoder exists for.
+        let mut bytes = clean.to_vec();
+        if bytes.len() > store::HEADER_LEN {
+            let body = store::HEADER_LEN + rng.gen_index(bytes.len() - store::HEADER_LEN);
+            bytes[body] ^= 1 << rng.gen_index(8);
+            let sum = store::fnv1a64(&bytes[store::HEADER_LEN..]);
+            bytes[24..32].copy_from_slice(&sum.to_le_bytes());
+            if check_store_bytes(&bytes)? {
+                summary.store_parses_survived += 1;
+            }
+            summary.store_mutations += 1;
+        }
+
+        // Truncation at a random cut.
+        let mut bytes = clean.to_vec();
+        bytes.truncate(rng.gen_index(bytes.len()));
+        if check_store_bytes(&bytes)? {
+            summary.store_parses_survived += 1;
+        }
+        summary.store_mutations += 1;
+    }
+    Ok(())
+}
+
+/// Random payloads through every frame decoder; panics are defects.
+fn wire_campaign(
+    opts: &Opts,
+    deadline: Instant,
+    rng: &mut Xorshift64,
+    summary: &mut Summary,
+) -> Result<(), Failure> {
+    for i in 0..opts.iters {
+        if Instant::now() > deadline {
+            return Err(Failure::Timeout(format!(
+                "wire campaign stuck at round {i} of {}",
+                opts.iters
+            )));
+        }
+        let len = rng.gen_index(64);
+        let payload: Vec<u8> = (0..len).map(|_| rng.next_u64() as u8).collect();
+        panic::catch_unwind(AssertUnwindSafe(|| {
+            let _ = Request::decode(&payload);
+            let _ = Response::decode(&payload);
+            let _ = ServerHello::decode(&payload);
+            let _ = ClientHello::decode(&payload);
+        }))
+        .map_err(|_| {
+            Failure::Defect(format!(
+                "panic decoding a random {len}-byte payload (round {i})"
+            ))
+        })?;
+        summary.wire_decodes += 1;
+    }
+    Ok(())
+}

@@ -314,3 +314,56 @@ fn run(opts: &Opts) -> Result<(), String> {
     }
     Ok(())
 }
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The p50/p95/p99 lines above are nearest-rank quantiles out of
+    // `hl_server::LatencyHistogram`. These pin the math on the samples a
+    // load run actually produces: n=1 (a single probe), tiny n, and the
+    // empty histogram of a zero-duration run.
+
+    #[test]
+    fn report_quantiles_single_observation() {
+        let h = LatencyHistogram::new();
+        h.record(100); // bucket (64, 128]
+        assert_eq!(h.quantile(0.50), 128);
+        assert_eq!(h.quantile(0.95), 128);
+        assert_eq!(h.quantile(0.99), 128);
+    }
+
+    #[test]
+    fn report_quantiles_four_observations() {
+        let h = LatencyHistogram::new();
+        for v in [1u64, 10, 100, 1000] {
+            h.record(v);
+        }
+        // Nearest rank: p50 is the 2nd of 4 (10 ns), p95 and p99 the 4th.
+        assert_eq!(h.quantile(0.50), 16);
+        assert_eq!(h.quantile(0.95), 1024);
+        assert_eq!(h.quantile(0.99), 1024);
+    }
+
+    #[test]
+    fn report_quantiles_empty_run() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(0.50), 0);
+        assert_eq!(h.quantile(0.99), 0);
+    }
+
+    #[test]
+    fn report_quantiles_do_not_overshoot_on_f64_noise() {
+        // 50 fast + 50 slow: p50 must be the fast bucket's bound — a
+        // float-rounded rank of 51 would report the slow bucket.
+        let h = LatencyHistogram::new();
+        for _ in 0..50 {
+            h.record(100);
+        }
+        for _ in 0..50 {
+            h.record(1_000_000);
+        }
+        assert_eq!(h.quantile(0.50), 128);
+    }
+}

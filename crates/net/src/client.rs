@@ -24,8 +24,8 @@ use hl_server::MetricsSnapshot;
 
 use crate::error::NetError;
 use crate::wire::{
-    read_frame, write_frame, ClientHello, Request, Response, ServerHello, DEFAULT_MAX_FRAME_LEN,
-    PROTOCOL_VERSION,
+    read_frame_deadline, write_frame_deadline, ClientHello, Request, Response, ServerHello,
+    DEFAULT_MAX_FRAME_LEN, PROTOCOL_VERSION,
 };
 
 /// Tunables for one client.
@@ -105,9 +105,8 @@ impl NetClient {
 
     fn dial(&self) -> Result<Conn, NetError> {
         let stream = TcpStream::connect_timeout(&self.addr, self.config.connect_timeout)?;
-        stream.set_read_timeout(Some(self.config.request_timeout))?;
-        stream.set_write_timeout(Some(self.config.request_timeout))?;
         let _ = stream.set_nodelay(true);
+        let timeout = self.config.request_timeout;
         let mut conn = Conn {
             stream,
             hello: ServerHello {
@@ -116,7 +115,12 @@ impl NetClient {
                 num_nodes: 0,
             },
         };
-        let payload = read_frame(&mut conn.stream, self.config.max_frame_len)?;
+        let payload = read_frame_deadline(
+            &mut conn.stream,
+            self.config.max_frame_len,
+            timeout,
+            timeout,
+        )?;
         let hello = ServerHello::decode(&payload)?;
         if hello.protocol_version != PROTOCOL_VERSION {
             return Err(NetError::Handshake(format!(
@@ -124,12 +128,13 @@ impl NetClient {
                 hello.protocol_version
             )));
         }
-        write_frame(
+        write_frame_deadline(
             &mut conn.stream,
             &ClientHello {
                 protocol_version: PROTOCOL_VERSION,
             }
             .encode(),
+            timeout,
         )?;
         conn.hello = hello;
         Ok(conn)
@@ -161,13 +166,18 @@ impl NetClient {
     fn round_trip(&mut self, request: &Request) -> Result<Response, NetError> {
         self.ensure_connected()?;
         let max_len = self.config.max_frame_len;
+        let timeout = self.config.request_timeout;
         let conn = self
             .conn
             .as_mut()
             .ok_or_else(|| NetError::Handshake("connection vanished".into()))?;
         let result = (|| {
-            write_frame(&mut conn.stream, &request.encode())?;
-            let payload = read_frame(&mut conn.stream, max_len)?;
+            write_frame_deadline(&mut conn.stream, &request.encode(), timeout)?;
+            // The idle budget covers the server's compute time; once the
+            // response starts flowing, the whole frame races `timeout`
+            // again — a server that trickles bytes cannot pin us past
+            // 2 × request_timeout.
+            let payload = read_frame_deadline(&mut conn.stream, max_len, timeout, timeout)?;
             Ok(Response::decode(&payload)?)
         })();
         if result.is_err() {
@@ -288,6 +298,7 @@ impl NetClient {
     ) -> Result<Vec<Distance>, NetError> {
         self.ensure_connected()?;
         let max_len = self.config.max_frame_len;
+        let timeout = self.config.request_timeout;
         let conn = self
             .conn
             .as_mut()
@@ -300,10 +311,10 @@ impl NetClient {
             while received < chunks.len() {
                 while sent < chunks.len() && sent - received < window {
                     let req = Request::QueryBatch(chunks[sent].to_vec());
-                    write_frame(&mut conn.stream, &req.encode())?;
+                    write_frame_deadline(&mut conn.stream, &req.encode(), timeout)?;
                     sent += 1;
                 }
-                let payload = read_frame(&mut conn.stream, max_len)?;
+                let payload = read_frame_deadline(&mut conn.stream, max_len, timeout, timeout)?;
                 match Response::decode(&payload)? {
                     Response::DistanceBatch(ds) if ds.len() == chunks[received].len() => {
                         out.extend_from_slice(&ds);

@@ -1,0 +1,502 @@
+//! Deterministic fault injection for HLNP transports.
+//!
+//! A fuzzer that cannot replay its findings is a rumor mill. Everything
+//! here is therefore *planned before it touches a socket*: a seeded
+//! [`FaultPlan`] turns a clean byte stream (one or more well-formed
+//! frames) into a [`Step`] script — sends, pauses, a disconnect — and
+//! the same seed always yields the same script. The script is pure data;
+//! [`apply_script`] then plays it against any [`Write`] transport, and
+//! [`FaultyTransport`] wraps a whole `Read + Write` stream so every
+//! write passes through the plan.
+//!
+//! The fault kinds mirror what real traffic does to a server at scale:
+//!
+//! - [`FaultKind::BitFlip`] — frame bytes corrupted in flight (or by a
+//!   confused client).
+//! - [`FaultKind::Truncate`] — a peer dying mid-frame.
+//! - [`FaultKind::LengthLieOverCap`], [`FaultKind::LengthLieZero`],
+//!   [`FaultKind::LengthLieOffByOne`] — length prefixes that promise too
+//!   much, nothing, or almost the truth.
+//! - [`FaultKind::HandshakeGarbage`] — a peer that was never speaking
+//!   HLNP at all.
+//! - [`FaultKind::SlowLoris`] — one byte at a time, each one fast enough
+//!   to look alive, the whole never finishing.
+//! - [`FaultKind::Stall`] — a long mid-frame silence, then completion.
+//!
+//! The `hlnp-fuzz` binary drives these against a live [`crate::NetServer`]
+//! interleaved with clean liveness probes; see `DESIGN.md`'s fault matrix
+//! for the expected behavior of every layer under each kind.
+
+use std::io::{self, Read, Write};
+use std::time::Duration;
+
+use hl_graph::rng::Xorshift64;
+
+/// One scripted action against a transport.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Step {
+    /// Write these bytes (and flush).
+    Send(Vec<u8>),
+    /// Sleep this long before the next step.
+    Pause(Duration),
+    /// Stop here and drop the connection; later steps never run.
+    Disconnect,
+}
+
+/// The kinds of injected faults. `ALL` enumerates them for samplers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// Flip 1–4 random bits somewhere in the stream.
+    BitFlip,
+    /// Send a strict prefix of the stream, then disconnect.
+    Truncate,
+    /// Rewrite the first length prefix to exceed any sane frame cap.
+    LengthLieOverCap,
+    /// Rewrite the first length prefix to zero.
+    LengthLieZero,
+    /// Rewrite the first length prefix one off the truth, then disconnect.
+    LengthLieOffByOne,
+    /// Replace the stream with bytes that were never HLNP.
+    HandshakeGarbage,
+    /// Send the stream one byte at a time with a pause before each, and
+    /// disconnect before it completes.
+    SlowLoris,
+    /// Send half the stream, go silent for a while, then send the rest.
+    Stall,
+}
+
+impl FaultKind {
+    /// Every fault kind, in a fixed order (the sampler indexes into it).
+    pub const ALL: [FaultKind; 8] = [
+        FaultKind::BitFlip,
+        FaultKind::Truncate,
+        FaultKind::LengthLieOverCap,
+        FaultKind::LengthLieZero,
+        FaultKind::LengthLieOffByOne,
+        FaultKind::HandshakeGarbage,
+        FaultKind::SlowLoris,
+        FaultKind::Stall,
+    ];
+
+    /// Short stable name, for logs and campaign records.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::BitFlip => "bit-flip",
+            FaultKind::Truncate => "truncate",
+            FaultKind::LengthLieOverCap => "length-lie-over-cap",
+            FaultKind::LengthLieZero => "length-lie-zero",
+            FaultKind::LengthLieOffByOne => "length-lie-off-by-one",
+            FaultKind::HandshakeGarbage => "handshake-garbage",
+            FaultKind::SlowLoris => "slow-loris",
+            FaultKind::Stall => "stall",
+        }
+    }
+}
+
+/// Tunables for script generation. The defaults are sized for an
+/// in-process fuzz loop: pauses long enough to *be* a stall against a
+/// server with sub-second frame budgets, short enough that thousands of
+/// iterations finish in seconds.
+#[derive(Debug, Clone)]
+pub struct FaultConfig {
+    /// Pause before each slow-loris byte.
+    pub loris_pace: Duration,
+    /// Ceiling on slow-loris bytes actually sent (the point is the
+    /// pacing, not the payload).
+    pub loris_max_bytes: usize,
+    /// Length of the mid-frame silence for [`FaultKind::Stall`].
+    pub stall: Duration,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig {
+            loris_pace: Duration::from_millis(40),
+            loris_max_bytes: 12,
+            stall: Duration::from_millis(120),
+        }
+    }
+}
+
+/// A seeded fault planner. Same seed, same sequence of scripts.
+#[derive(Debug)]
+pub struct FaultPlan {
+    rng: Xorshift64,
+    config: FaultConfig,
+}
+
+impl FaultPlan {
+    /// Creates a planner with default [`FaultConfig`].
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            rng: Xorshift64::seed_from_u64(seed),
+            config: FaultConfig::default(),
+        }
+    }
+
+    /// Creates a planner with explicit tunables.
+    pub fn with_config(seed: u64, config: FaultConfig) -> Self {
+        FaultPlan {
+            rng: Xorshift64::seed_from_u64(seed),
+            config,
+        }
+    }
+
+    /// Draws the next fault kind, uniformly over [`FaultKind::ALL`].
+    pub fn pick_kind(&mut self) -> FaultKind {
+        FaultKind::ALL[self.rng.gen_index(FaultKind::ALL.len())]
+    }
+
+    /// Builds the script for `kind` against `clean`, a byte stream that
+    /// starts at a frame boundary (length prefix first). An empty
+    /// `clean` degenerates to garbage-or-disconnect scripts; nothing
+    /// here panics on any input.
+    pub fn script(&mut self, kind: FaultKind, clean: &[u8]) -> Vec<Step> {
+        match kind {
+            FaultKind::BitFlip => self.bit_flip(clean),
+            FaultKind::Truncate => self.truncate(clean),
+            FaultKind::LengthLieOverCap => self.length_lie(clean, LengthLie::OverCap),
+            FaultKind::LengthLieZero => self.length_lie(clean, LengthLie::Zero),
+            FaultKind::LengthLieOffByOne => self.length_lie(clean, LengthLie::OffByOne),
+            FaultKind::HandshakeGarbage => self.garbage(),
+            FaultKind::SlowLoris => self.slow_loris(clean),
+            FaultKind::Stall => self.stall(clean),
+        }
+    }
+
+    fn bit_flip(&mut self, clean: &[u8]) -> Vec<Step> {
+        let mut bytes = clean.to_vec();
+        if !bytes.is_empty() {
+            let flips = 1 + self.rng.gen_index(4);
+            for _ in 0..flips {
+                let at = self.rng.gen_index(bytes.len());
+                bytes[at] ^= 1 << self.rng.gen_index(8);
+            }
+        }
+        vec![Step::Send(bytes), Step::Disconnect]
+    }
+
+    fn truncate(&mut self, clean: &[u8]) -> Vec<Step> {
+        // A strict prefix: at least the cut loses one byte.
+        let keep = if clean.is_empty() {
+            0
+        } else {
+            self.rng.gen_index(clean.len())
+        };
+        vec![Step::Send(clean[..keep].to_vec()), Step::Disconnect]
+    }
+
+    fn length_lie(&mut self, clean: &[u8], lie: LengthLie) -> Vec<Step> {
+        let mut bytes = clean.to_vec();
+        if bytes.len() >= 4 {
+            let truth = u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]);
+            let lied = match lie {
+                // Far over any sane cap, but not u32::MAX every time —
+                // vary it so off-by-one cap checks get exercised too.
+                LengthLie::OverCap => u32::MAX - (self.rng.gen_u64_below(1 << 16) as u32),
+                LengthLie::Zero => 0,
+                LengthLie::OffByOne => {
+                    if self.rng.gen_bool() {
+                        truth.wrapping_add(1)
+                    } else {
+                        truth.wrapping_sub(1)
+                    }
+                }
+            };
+            bytes[..4].copy_from_slice(&lied.to_le_bytes());
+        }
+        vec![Step::Send(bytes), Step::Disconnect]
+    }
+
+    fn garbage(&mut self) -> Vec<Step> {
+        let len = 1 + self.rng.gen_index(64);
+        let bytes = (0..len).map(|_| self.rng.next_u64() as u8).collect();
+        vec![Step::Send(bytes), Step::Disconnect]
+    }
+
+    fn slow_loris(&mut self, clean: &[u8]) -> Vec<Step> {
+        // One byte per pause, never the whole stream: the signature of a
+        // loris is that the frame cannot complete.
+        let n = clean
+            .len()
+            .saturating_sub(1)
+            .min(self.config.loris_max_bytes);
+        let mut steps = Vec::with_capacity(2 * n + 1);
+        for &b in &clean[..n] {
+            steps.push(Step::Pause(self.config.loris_pace));
+            steps.push(Step::Send(vec![b]));
+        }
+        steps.push(Step::Disconnect);
+        steps
+    }
+
+    fn stall(&mut self, clean: &[u8]) -> Vec<Step> {
+        let half = clean.len() / 2;
+        vec![
+            Step::Send(clean[..half].to_vec()),
+            Step::Pause(self.config.stall),
+            Step::Send(clean[half..].to_vec()),
+        ]
+    }
+}
+
+enum LengthLie {
+    OverCap,
+    Zero,
+    OffByOne,
+}
+
+/// What playing a script against a transport amounted to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    /// Every step ran; the script did not ask for a disconnect.
+    Completed,
+    /// The script ended with [`Step::Disconnect`]; the caller should now
+    /// drop the transport.
+    Disconnected,
+    /// The peer stopped accepting bytes first (reset or close). For a
+    /// fault campaign this is a *pass*: the server cut us off.
+    PeerClosed,
+}
+
+/// Plays `steps` against `w`. Write failures are not errors here — a
+/// peer hanging up on a hostile stream is the defense working — so the
+/// result distinguishes them as [`Outcome::PeerClosed`] instead.
+pub fn apply_script<W: Write>(w: &mut W, steps: &[Step]) -> Outcome {
+    for step in steps {
+        match step {
+            Step::Send(bytes) => {
+                if w.write_all(bytes).and_then(|_| w.flush()).is_err() {
+                    return Outcome::PeerClosed;
+                }
+            }
+            Step::Pause(d) => std::thread::sleep(*d),
+            Step::Disconnect => return Outcome::Disconnected,
+        }
+    }
+    Outcome::Completed
+}
+
+/// A `Read + Write` transport whose writes are transparently rewritten
+/// by a [`FaultPlan`]: each `write` plans a script for the buffer (as if
+/// it began at a frame boundary) and plays it against the inner
+/// transport. Reads pass through untouched. After a scripted disconnect
+/// or a peer close, further writes report success without sending — the
+/// connection is considered dead and the caller learns it from reads.
+#[derive(Debug)]
+pub struct FaultyTransport<T: Read + Write> {
+    inner: T,
+    plan: FaultPlan,
+    kind: FaultKind,
+    dead: bool,
+}
+
+impl<T: Read + Write> FaultyTransport<T> {
+    /// Wraps `inner`; every write is mutated as `kind` by `plan`.
+    pub fn new(inner: T, plan: FaultPlan, kind: FaultKind) -> Self {
+        FaultyTransport {
+            inner,
+            plan,
+            kind,
+            dead: false,
+        }
+    }
+
+    /// `true` once a script disconnected or the peer closed.
+    pub fn is_dead(&self) -> bool {
+        self.dead
+    }
+
+    /// Unwraps the inner transport.
+    pub fn into_inner(self) -> T {
+        self.inner
+    }
+}
+
+impl<T: Read + Write> Read for FaultyTransport<T> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        self.inner.read(buf)
+    }
+}
+
+impl<T: Read + Write> Write for FaultyTransport<T> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        if !self.dead {
+            let steps = self.plan.script(self.kind, buf);
+            match apply_script(&mut self.inner, &steps) {
+                Outcome::Completed => {}
+                Outcome::Disconnected | Outcome::PeerClosed => self.dead = true,
+            }
+        }
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        if self.dead {
+            Ok(())
+        } else {
+            self.inner.flush()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::{write_frame, Request};
+
+    fn clean_stream() -> Vec<u8> {
+        let mut buf = Vec::new();
+        // Unwraps are fine in tests; Vec writes cannot fail.
+        write_frame(&mut buf, &Request::Query { u: 3, v: 9 }.encode()).unwrap();
+        write_frame(&mut buf, &Request::Ping.encode()).unwrap();
+        buf
+    }
+
+    #[test]
+    fn same_seed_same_scripts() {
+        let clean = clean_stream();
+        let mut a = FaultPlan::new(42);
+        let mut b = FaultPlan::new(42);
+        for _ in 0..50 {
+            let (ka, kb) = (a.pick_kind(), b.pick_kind());
+            assert_eq!(ka, kb);
+            assert_eq!(a.script(ka, &clean), b.script(kb, &clean));
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let clean = clean_stream();
+        let mut a = FaultPlan::new(1);
+        let mut b = FaultPlan::new(2);
+        let sa: Vec<_> = (0..20)
+            .map(|_| a.script(FaultKind::BitFlip, &clean))
+            .collect();
+        let sb: Vec<_> = (0..20)
+            .map(|_| b.script(FaultKind::BitFlip, &clean))
+            .collect();
+        assert_ne!(sa, sb);
+    }
+
+    fn sent_bytes(steps: &[Step]) -> Vec<u8> {
+        let mut out = Vec::new();
+        for s in steps {
+            if let Step::Send(b) = s {
+                out.extend_from_slice(b);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn scripts_have_their_kinds_shape() {
+        let clean = clean_stream();
+        let mut plan = FaultPlan::new(7);
+
+        let flip = plan.script(FaultKind::BitFlip, &clean);
+        let flipped = sent_bytes(&flip);
+        assert_eq!(flipped.len(), clean.len());
+        assert_ne!(flipped, clean, "bit flip must change something");
+
+        let trunc = plan.script(FaultKind::Truncate, &clean);
+        assert!(sent_bytes(&trunc).len() < clean.len());
+        assert_eq!(trunc.last(), Some(&Step::Disconnect));
+
+        let zero = plan.script(FaultKind::LengthLieZero, &clean);
+        assert_eq!(&sent_bytes(&zero)[..4], &[0, 0, 0, 0]);
+
+        let over = plan.script(FaultKind::LengthLieOverCap, &clean);
+        let prefix = &sent_bytes(&over)[..4];
+        let lied = u32::from_le_bytes([prefix[0], prefix[1], prefix[2], prefix[3]]);
+        assert!(lied > crate::wire::DEFAULT_MAX_FRAME_LEN);
+
+        let off = plan.script(FaultKind::LengthLieOffByOne, &clean);
+        let prefix = &sent_bytes(&off)[..4];
+        let truth = u32::from_le_bytes([clean[0], clean[1], clean[2], clean[3]]);
+        let lied = u32::from_le_bytes([prefix[0], prefix[1], prefix[2], prefix[3]]);
+        assert!(lied == truth + 1 || lied == truth - 1);
+
+        let loris = plan.script(FaultKind::SlowLoris, &clean);
+        assert!(loris.iter().any(|s| matches!(s, Step::Pause(_))));
+        assert!(
+            sent_bytes(&loris).len() < clean.len(),
+            "a loris never finishes its frame"
+        );
+        assert_eq!(loris.last(), Some(&Step::Disconnect));
+
+        let stall = plan.script(FaultKind::Stall, &clean);
+        assert_eq!(sent_bytes(&stall), clean, "a stall still delivers");
+        assert!(stall.iter().any(|s| matches!(s, Step::Pause(_))));
+    }
+
+    #[test]
+    fn scripts_survive_degenerate_inputs() {
+        let mut plan = FaultPlan::new(9);
+        for kind in FaultKind::ALL {
+            for input in [&[][..], &[0x01][..], &[1, 2, 3][..]] {
+                let steps = plan.script(kind, input);
+                // Playing against a sink must also never fail.
+                let mut sink = Vec::new();
+                let _ = apply_script(&mut sink, &steps);
+            }
+        }
+    }
+
+    #[test]
+    fn apply_reports_peer_close() {
+        /// A writer that refuses everything, like a reset socket.
+        struct Closed;
+        impl Write for Closed {
+            fn write(&mut self, _: &[u8]) -> io::Result<usize> {
+                Err(io::Error::new(io::ErrorKind::BrokenPipe, "reset"))
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        let steps = vec![Step::Send(vec![1, 2, 3]), Step::Disconnect];
+        assert_eq!(apply_script(&mut Closed, &steps), Outcome::PeerClosed);
+        let mut ok = Vec::new();
+        assert_eq!(apply_script(&mut ok, &steps), Outcome::Disconnected);
+        let steps = vec![Step::Send(vec![1])];
+        assert_eq!(apply_script(&mut ok, &steps), Outcome::Completed);
+    }
+
+    #[test]
+    fn faulty_transport_mutates_writes_and_passes_reads() {
+        use std::io::Cursor;
+        let clean = clean_stream();
+        // Inner transport: reads from a fixed buffer, writes to a Vec.
+        struct Mem {
+            r: Cursor<Vec<u8>>,
+            w: Vec<u8>,
+        }
+        impl Read for Mem {
+            fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+                self.r.read(buf)
+            }
+        }
+        impl Write for Mem {
+            fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+                self.w.write(buf)
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        let mem = Mem {
+            r: Cursor::new(vec![9, 8, 7]),
+            w: Vec::new(),
+        };
+        let mut t = FaultyTransport::new(mem, FaultPlan::new(5), FaultKind::BitFlip);
+        t.write_all(&clean).unwrap();
+        let mut got = [0u8; 3];
+        t.read_exact(&mut got).unwrap();
+        assert_eq!(got, [9, 8, 7]);
+        assert!(t.is_dead(), "bit-flip scripts end in a disconnect");
+        let inner = t.into_inner();
+        assert_eq!(inner.w.len(), clean.len());
+        assert_ne!(inner.w, clean);
+    }
+}

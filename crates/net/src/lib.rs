@@ -18,20 +18,28 @@
 //! - [`client`]: [`client::NetClient`], a blocking client with connect
 //!   and request timeouts, bounded retry with deterministic jittered
 //!   backoff, and batch pipelining.
+//! - [`faults`]: deterministic fault injection — a seeded
+//!   [`faults::FaultPlan`] scripts byte-level corruption, length-prefix
+//!   lies, truncations, slow-loris pacing and stalls against any
+//!   transport, replayable from the seed alone.
 //!
-//! Two binaries ride on top: `hubserve` (build/query/bench/serve) and
+//! Three binaries ride on top: `hubserve` (build/query/bench/serve),
 //! `netbench`, an open- and closed-loop load generator reporting
-//! throughput and latency percentiles against a live daemon.
+//! throughput and latency percentiles against a live daemon, and
+//! `hlnp-fuzz`, a seeded protocol fuzzer that hammers a live server
+//! with planned faults while liveness probes assert exact answers.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod client;
 pub mod error;
+pub mod faults;
 pub mod server;
 pub mod wire;
 
 pub use client::{ClientConfig, NetClient};
 pub use error::NetError;
+pub use faults::{FaultKind, FaultPlan, FaultyTransport, Outcome, Step};
 pub use server::{NetServer, ServerConfig, StopHandle};
 pub use wire::{ErrorCode, Request, Response, WireError, PROTOCOL_VERSION};

@@ -31,8 +31,8 @@ use hl_server::{store, EngineError, QueryEngine};
 
 use crate::error::NetError;
 use crate::wire::{
-    read_frame, write_frame, ClientHello, ErrorCode, Request, Response, ServerHello, WireError,
-    DEFAULT_MAX_FRAME_LEN, PROTOCOL_VERSION,
+    read_frame_deadline, write_frame_deadline, ClientHello, ErrorCode, Request, Response,
+    ServerHello, WireError, DEFAULT_MAX_FRAME_LEN, PROTOCOL_VERSION,
 };
 
 /// Tunables for one daemon instance.
@@ -43,11 +43,25 @@ pub struct ServerConfig {
     pub max_connections: usize,
     /// Idle limit per read: a client silent this long is dropped.
     pub read_timeout: Duration,
-    /// Stall limit per write: a client not draining responses this long
-    /// is dropped (slow-client protection).
+    /// Stall limit for writing one whole response frame: a client not
+    /// draining responses within this budget is dropped (slow-client
+    /// protection).
     pub write_timeout: Duration,
+    /// Budget for one whole request frame once its first byte arrives.
+    /// `read_timeout` only bounds the *idle* gap before a frame starts;
+    /// without a whole-frame budget a slow-loris client dribbling one
+    /// byte per `read_timeout - ε` would hold a connection slot forever.
+    pub frame_timeout: Duration,
     /// Per-frame payload cap; larger frames are rejected unread.
     pub max_frame_len: u32,
+    /// Whether a `Shutdown` request frame stops the daemon. The opcode
+    /// is one byte and the protocol is unauthenticated, so any client —
+    /// or any corrupted frame that happens to decode as `Shutdown` —
+    /// can take the server down when this is on. Keep it on only for
+    /// servers whose clients are trusted (benches, tests, localhost
+    /// tooling); when off, the request gets [`ErrorCode::Unsupported`]
+    /// and the connection keeps serving.
+    pub allow_remote_shutdown: bool,
 }
 
 impl Default for ServerConfig {
@@ -56,7 +70,9 @@ impl Default for ServerConfig {
             max_connections: 64,
             read_timeout: Duration::from_secs(30),
             write_timeout: Duration::from_secs(10),
+            frame_timeout: Duration::from_secs(10),
             max_frame_len: DEFAULT_MAX_FRAME_LEN,
+            allow_remote_shutdown: true,
         }
     }
 }
@@ -183,9 +199,28 @@ impl NetServer {
             let (stream, _peer) = match self.listener.accept() {
                 Ok(pair) => pair,
                 Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                // A queued client that resets before we accept surfaces
+                // here as ConnectionAborted (or Reset on some platforms).
+                // That is the *client's* failure: one hostile or crashed
+                // peer must not take down the accept loop for everyone.
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::ConnectionAborted | std::io::ErrorKind::ConnectionReset
+                    ) =>
+                {
+                    continue
+                }
                 Err(e) => {
                     if self.inner.stop.load(Ordering::SeqCst) {
                         break;
+                    }
+                    // File-descriptor exhaustion (EMFILE/ENFILE) is load,
+                    // not a broken listener: shed it by pausing, so the
+                    // fds already serving connections can drain.
+                    if matches!(e.raw_os_error(), Some(23) | Some(24)) {
+                        std::thread::sleep(Duration::from_millis(10));
+                        continue;
                     }
                     return Err(NetError::Io(e));
                 }
@@ -233,8 +268,8 @@ impl NetServer {
 /// two tiny frames is not worth blocking the accept loop for.
 fn reject_over_cap(stream: TcpStream, inner: &Inner) {
     let mut stream = stream;
-    let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
-    let _ = write_frame(&mut stream, &server_hello(inner).encode());
+    let budget = Duration::from_secs(1);
+    let _ = write_frame_deadline(&mut stream, &server_hello(inner).encode(), budget);
     let busy = Response::Error {
         code: ErrorCode::Busy,
         message: format!(
@@ -242,7 +277,7 @@ fn reject_over_cap(stream: TcpStream, inner: &Inner) {
             inner.config.max_connections
         ),
     };
-    let _ = write_frame(&mut stream, &busy.encode());
+    let _ = write_frame_deadline(&mut stream, &busy.encode(), budget);
 }
 
 fn server_hello(inner: &Inner) -> ServerHello {
@@ -262,7 +297,7 @@ fn send(stream: &mut TcpStream, inner: &Inner, resp: &Response) -> Result<(), Ne
             .net_errors
             .fetch_add(1, Ordering::Relaxed);
     }
-    write_frame(stream, &resp.encode())?;
+    write_frame_deadline(stream, &resp.encode(), inner.config.write_timeout)?;
     Ok(())
 }
 
@@ -270,8 +305,6 @@ fn send(stream: &mut TcpStream, inner: &Inner, resp: &Response) -> Result<(), Ne
 /// connection silently (the peer is gone); protocol violations are
 /// answered with a typed error frame first.
 fn handle_connection(inner: &Inner, mut stream: TcpStream, id: u64) -> Result<(), NetError> {
-    stream.set_read_timeout(Some(inner.config.read_timeout))?;
-    stream.set_write_timeout(Some(inner.config.write_timeout))?;
     let _ = stream.set_nodelay(true);
     inner.conns.register(id, &stream);
     let _guard = Registration {
@@ -279,10 +312,14 @@ fn handle_connection(inner: &Inner, mut stream: TcpStream, id: u64) -> Result<()
         id,
     };
 
-    write_frame(&mut stream, &server_hello(inner).encode())?;
+    write_frame_deadline(
+        &mut stream,
+        &server_hello(inner).encode(),
+        inner.config.write_timeout,
+    )?;
 
     // Handshake: the client must identify itself before anything else.
-    let payload = match read_frame(&mut stream, inner.config.max_frame_len) {
+    let payload = match read_request_frame(&mut stream, inner) {
         Ok(p) => p,
         Err(e) => return close_on_read_error(&mut stream, inner, e),
     };
@@ -310,7 +347,7 @@ fn handle_connection(inner: &Inner, mut stream: TcpStream, id: u64) -> Result<()
     }
 
     loop {
-        let payload = match read_frame(&mut stream, inner.config.max_frame_len) {
+        let payload = match read_request_frame(&mut stream, inner) {
             Ok(p) => p,
             Err(e) => return close_on_read_error(&mut stream, inner, e),
         };
@@ -340,14 +377,30 @@ fn handle_connection(inner: &Inner, mut stream: TcpStream, id: u64) -> Result<()
                 Err(e) => engine_error_response(&e),
             },
             Request::Metrics => Response::Metrics(inner.engine.snapshot()),
-            Request::Shutdown => {
+            Request::Shutdown if inner.config.allow_remote_shutdown => {
                 let _ = send(&mut stream, inner, &Response::ShutdownAck);
                 inner.trigger_stop();
                 return Ok(());
             }
+            Request::Shutdown => Response::Error {
+                code: ErrorCode::Unsupported,
+                message: "remote shutdown is disabled on this server".to_string(),
+            },
         };
         send(&mut stream, inner, &response)?;
     }
+}
+
+/// Reads one request frame under the server's two budgets: the client
+/// may idle for `read_timeout` between frames, but once a frame starts
+/// it must complete within `frame_timeout`.
+fn read_request_frame(stream: &mut TcpStream, inner: &Inner) -> Result<Vec<u8>, WireError> {
+    read_frame_deadline(
+        stream,
+        inner.config.max_frame_len,
+        inner.config.read_timeout,
+        inner.config.frame_timeout,
+    )
 }
 
 /// A failed frame read either means the peer left (close silently) or

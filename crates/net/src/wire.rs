@@ -24,6 +24,8 @@
 
 use std::fmt;
 use std::io::{self, Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
 
 use hl_graph::Distance;
 use hl_server::MetricsSnapshot;
@@ -71,6 +73,10 @@ pub enum ErrorCode {
     ShuttingDown,
     /// Anything else (engine failure, i/o while answering).
     Internal,
+    /// The request decoded but names an operation this server refuses
+    /// to perform (e.g. remote shutdown with
+    /// `allow_remote_shutdown = false`).
+    Unsupported,
 }
 
 impl ErrorCode {
@@ -84,6 +90,7 @@ impl ErrorCode {
             ErrorCode::Busy => 5,
             ErrorCode::ShuttingDown => 6,
             ErrorCode::Internal => 7,
+            ErrorCode::Unsupported => 8,
         }
     }
 
@@ -97,6 +104,7 @@ impl ErrorCode {
             5 => Some(ErrorCode::Busy),
             6 => Some(ErrorCode::ShuttingDown),
             7 => Some(ErrorCode::Internal),
+            8 => Some(ErrorCode::Unsupported),
             _ => None,
         }
     }
@@ -112,6 +120,7 @@ impl fmt::Display for ErrorCode {
             ErrorCode::Busy => "busy",
             ErrorCode::ShuttingDown => "shutting-down",
             ErrorCode::Internal => "internal",
+            ErrorCode::Unsupported => "unsupported",
         };
         write!(f, "{name}")
     }
@@ -251,6 +260,11 @@ impl<'a> Cursor<'a> {
         ]))
     }
 
+    /// Bytes left in the body.
+    fn remaining(&self) -> usize {
+        self.buf.len().saturating_sub(self.at)
+    }
+
     /// The body must be fully consumed: trailing bytes are an error.
     fn finish(self) -> Result<(), WireError> {
         if self.at == self.buf.len() {
@@ -293,6 +307,161 @@ pub fn read_frame<R: Read>(r: &mut R, max_len: u32) -> Result<Vec<u8>, WireError
     let mut payload = vec![0u8; len as usize];
     r.read_exact(&mut payload)?;
     Ok(payload)
+}
+
+/// A transport whose per-call read/write timeouts can be re-armed, which
+/// is what whole-frame deadlines are built from.
+///
+/// Plain socket timeouts reset on *every* byte: a peer trickling one byte
+/// per `timeout - ε` keeps a connection (and its server slot) alive
+/// forever — the slow-loris attack. [`read_frame_deadline`] and
+/// [`write_frame_deadline`] instead budget the whole frame, shrinking the
+/// socket timeout toward the deadline on each iteration.
+pub trait DeadlineIo: Read + Write {
+    /// Caps the next read call at `timeout`.
+    fn limit_read_timeout(&mut self, timeout: Duration) -> io::Result<()>;
+    /// Caps the next write call at `timeout`.
+    fn limit_write_timeout(&mut self, timeout: Duration) -> io::Result<()>;
+}
+
+impl DeadlineIo for TcpStream {
+    fn limit_read_timeout(&mut self, timeout: Duration) -> io::Result<()> {
+        self.set_read_timeout(Some(timeout))
+    }
+
+    fn limit_write_timeout(&mut self, timeout: Duration) -> io::Result<()> {
+        self.set_write_timeout(Some(timeout))
+    }
+}
+
+fn deadline_expired(what: &str) -> WireError {
+    WireError::Io(io::Error::new(
+        io::ErrorKind::TimedOut,
+        format!("{what}: whole-frame deadline exceeded"),
+    ))
+}
+
+/// `true` for the error kinds a timed-out socket read/write reports.
+fn is_timeout(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}
+
+/// Fills `buf` from `r`, giving up at `deadline`. Each loop iteration
+/// re-arms the socket timeout with the time left, so a peer dribbling
+/// bytes cannot extend the total beyond the budget.
+fn read_exact_deadline<R: DeadlineIo>(
+    r: &mut R,
+    buf: &mut [u8],
+    deadline: Instant,
+) -> Result<(), WireError> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        let left = deadline.saturating_duration_since(Instant::now());
+        if left.is_zero() {
+            return Err(deadline_expired("read"));
+        }
+        r.limit_read_timeout(left.max(Duration::from_millis(1)))?;
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return Err(WireError::Io(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "peer closed mid-frame",
+                )))
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) if is_timeout(&e) => return Err(deadline_expired("read")),
+            Err(e) => return Err(WireError::Io(e)),
+        }
+    }
+    Ok(())
+}
+
+/// Reads one frame like [`read_frame`], but with two time budgets: the
+/// connection may sit idle (no frame started) for up to `idle_budget`,
+/// and once the first byte of a frame arrives the *entire* frame — length
+/// prefix and payload — must complete within `frame_budget`. Expiry of
+/// either surfaces as [`WireError::Io`] with [`io::ErrorKind::TimedOut`].
+pub fn read_frame_deadline<R: DeadlineIo>(
+    r: &mut R,
+    max_len: u32,
+    idle_budget: Duration,
+    frame_budget: Duration,
+) -> Result<Vec<u8>, WireError> {
+    // Wait for the first byte under the idle budget alone.
+    r.limit_read_timeout(idle_budget.max(Duration::from_millis(1)))?;
+    let mut first = [0u8; 1];
+    loop {
+        match r.read(&mut first) {
+            Ok(0) => {
+                return Err(WireError::Io(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "peer closed before a frame",
+                )))
+            }
+            Ok(_) => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(WireError::Io(e)),
+        }
+    }
+    // A frame has begun: the rest of it races the frame budget.
+    let deadline = Instant::now() + frame_budget;
+    let mut rest = [0u8; 3];
+    read_exact_deadline(r, &mut rest, deadline)?;
+    let len = u32::from_le_bytes([first[0], rest[0], rest[1], rest[2]]);
+    if len == 0 {
+        return Err(WireError::EmptyFrame);
+    }
+    if len > max_len {
+        return Err(WireError::FrameTooLarge { len, max: max_len });
+    }
+    let mut payload = vec![0u8; len as usize];
+    read_exact_deadline(r, &mut payload, deadline)?;
+    Ok(payload)
+}
+
+/// Writes one frame like [`write_frame`], but bounds the *whole* write
+/// (all partial writes included) by `budget`, so a peer that stops
+/// draining its receive buffer cannot pin the writer past the deadline.
+pub fn write_frame_deadline<W: DeadlineIo>(
+    w: &mut W,
+    payload: &[u8],
+    budget: Duration,
+) -> Result<(), WireError> {
+    let len = u32::try_from(payload.len()).map_err(|_| WireError::FrameTooLarge {
+        len: u32::MAX,
+        max: DEFAULT_MAX_FRAME_LEN,
+    })?;
+    let mut framed = Vec::with_capacity(4 + payload.len());
+    framed.extend_from_slice(&len.to_le_bytes());
+    framed.extend_from_slice(payload);
+
+    let deadline = Instant::now() + budget;
+    let mut written = 0;
+    while written < framed.len() {
+        let left = deadline.saturating_duration_since(Instant::now());
+        if left.is_zero() {
+            return Err(deadline_expired("write"));
+        }
+        w.limit_write_timeout(left.max(Duration::from_millis(1)))?;
+        match w.write(&framed[written..]) {
+            Ok(0) => {
+                return Err(WireError::Io(io::Error::new(
+                    io::ErrorKind::WriteZero,
+                    "peer stopped accepting bytes mid-frame",
+                )))
+            }
+            Ok(n) => written += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) if is_timeout(&e) => return Err(deadline_expired("write")),
+            Err(e) => return Err(WireError::Io(e)),
+        }
+    }
+    w.flush()?;
+    Ok(())
 }
 
 /// First frame on a connection, server to client.
@@ -445,6 +614,15 @@ impl Request {
                         "batch of {count} pairs exceeds cap of {MAX_BATCH_LEN}"
                     )));
                 }
+                // The count is attacker-controlled: check it against the
+                // bytes actually present before reserving for it, so a
+                // 13-byte frame cannot demand a 1 MiB allocation.
+                if count as usize * 8 > c.remaining() {
+                    return Err(WireError::Truncated {
+                        needed: count as usize * 8,
+                        available: c.remaining(),
+                    });
+                }
                 let mut pairs = Vec::with_capacity(count as usize);
                 for _ in 0..count {
                     pairs.push((c.u32()?, c.u32()?));
@@ -551,6 +729,14 @@ impl Response {
                     return Err(WireError::Invalid(format!(
                         "batch of {count} distances exceeds cap of {MAX_BATCH_LEN}"
                     )));
+                }
+                // As with QueryBatch: validate the declared count against
+                // the body before allocating for it.
+                if count as usize * 8 > c.remaining() {
+                    return Err(WireError::Truncated {
+                        needed: count as usize * 8,
+                        available: c.remaining(),
+                    });
                 }
                 let mut ds = Vec::with_capacity(count as usize);
                 for _ in 0..count {
@@ -737,6 +923,147 @@ mod tests {
             ServerHello::decode(&payload),
             Err(WireError::BadMagic(_))
         ));
+    }
+
+    #[test]
+    fn batch_count_checked_before_allocation() {
+        // A 5-byte DistanceBatch frame declaring MAX_BATCH_LEN entries:
+        // the decoder must reject it from the byte count alone (Truncated)
+        // rather than reserving count * 8 bytes first.
+        let mut payload = vec![0x92u8]; // OP_DISTANCE_BATCH
+        payload.extend_from_slice(&MAX_BATCH_LEN.to_le_bytes());
+        assert!(matches!(
+            Response::decode(&payload),
+            Err(WireError::Truncated { .. })
+        ));
+        let mut payload = vec![0x12u8]; // OP_QUERY_BATCH
+        payload.extend_from_slice(&MAX_BATCH_LEN.to_le_bytes());
+        assert!(matches!(
+            Request::decode(&payload),
+            Err(WireError::Truncated { .. })
+        ));
+    }
+
+    /// Test transport: serves reads from a buffer one byte at a time with
+    /// a fixed delay per byte (a slow-loris peer when the delay is large),
+    /// and accepts writes one byte at a time with the same delay. The
+    /// timeout hooks are no-ops — the deadline logic being tested must
+    /// bound total time by itself via the wall clock.
+    struct TricklePeer {
+        data: Vec<u8>,
+        at: usize,
+        delay: std::time::Duration,
+        written: Vec<u8>,
+    }
+
+    impl TricklePeer {
+        fn new(data: Vec<u8>, delay: std::time::Duration) -> Self {
+            TricklePeer {
+                data,
+                at: 0,
+                delay,
+                written: Vec::new(),
+            }
+        }
+    }
+
+    impl Read for TricklePeer {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            std::thread::sleep(self.delay);
+            if self.at >= self.data.len() {
+                return Ok(0); // peer closed
+            }
+            buf[0] = self.data[self.at];
+            self.at += 1;
+            Ok(1)
+        }
+    }
+
+    impl Write for TricklePeer {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            std::thread::sleep(self.delay);
+            if buf.is_empty() {
+                return Ok(0);
+            }
+            self.written.push(buf[0]);
+            Ok(1)
+        }
+
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    impl DeadlineIo for TricklePeer {
+        fn limit_read_timeout(&mut self, _: Duration) -> io::Result<()> {
+            Ok(())
+        }
+
+        fn limit_write_timeout(&mut self, _: Duration) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn deadline_read_accepts_a_dribbled_frame_within_budget() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &Request::Ping.encode()).unwrap();
+        let mut peer = TricklePeer::new(buf, Duration::from_millis(0));
+        let payload = read_frame_deadline(
+            &mut peer,
+            64,
+            Duration::from_secs(1),
+            Duration::from_secs(1),
+        )
+        .unwrap();
+        assert_eq!(payload, Request::Ping.encode());
+    }
+
+    #[test]
+    fn deadline_read_cuts_off_a_slow_loris_peer() {
+        // 36 bytes at 10 ms/byte is 360 ms of trickle; a 60 ms frame
+        // budget must cut it off near the budget, not ride it out.
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &[0u8; 32]).unwrap();
+        let mut peer = TricklePeer::new(buf, Duration::from_millis(10));
+        let started = Instant::now();
+        let err = read_frame_deadline(
+            &mut peer,
+            64,
+            Duration::from_secs(1),
+            Duration::from_millis(60),
+        );
+        let elapsed = started.elapsed();
+        match err {
+            Err(WireError::Io(e)) => assert_eq!(e.kind(), io::ErrorKind::TimedOut),
+            other => panic!("expected timeout, got {other:?}"),
+        }
+        assert!(
+            elapsed < Duration::from_millis(300),
+            "deadline must bound the whole frame, took {elapsed:?}"
+        );
+    }
+
+    #[test]
+    fn deadline_write_cuts_off_a_stalled_peer() {
+        let mut peer = TricklePeer::new(Vec::new(), Duration::from_millis(10));
+        let started = Instant::now();
+        let err = write_frame_deadline(&mut peer, &[0u8; 32], Duration::from_millis(60));
+        let elapsed = started.elapsed();
+        match err {
+            Err(WireError::Io(e)) => assert_eq!(e.kind(), io::ErrorKind::TimedOut),
+            other => panic!("expected timeout, got {other:?}"),
+        }
+        assert!(elapsed < Duration::from_millis(300));
+    }
+
+    #[test]
+    fn deadline_write_delivers_within_budget() {
+        let mut peer = TricklePeer::new(Vec::new(), Duration::from_millis(0));
+        write_frame_deadline(&mut peer, &Request::Ping.encode(), Duration::from_secs(1)).unwrap();
+        let mut expect = Vec::new();
+        write_frame(&mut expect, &Request::Ping.encode()).unwrap();
+        assert_eq!(peer.written, expect);
     }
 
     #[test]

@@ -37,7 +37,9 @@ impl TestServer {
             max_connections: 4,
             read_timeout: Duration::from_secs(2),
             write_timeout: Duration::from_secs(2),
+            frame_timeout: Duration::from_millis(500),
             max_frame_len: TEST_MAX_FRAME,
+            allow_remote_shutdown: false,
         };
         let server = NetServer::bind(engine, "127.0.0.1:0", config).expect("bind");
         let addr = server.local_addr();
@@ -202,6 +204,161 @@ fn half_a_frame_then_silence_times_out_instead_of_hanging() {
 }
 
 #[test]
+fn slow_loris_client_is_cut_off_by_the_frame_budget() {
+    // Regression: with only per-read socket timeouts, a client dribbling
+    // one byte per `read_timeout - ε` resets the clock on every byte and
+    // holds its connection slot forever. The whole-frame budget
+    // (`frame_timeout`, 500 ms in this harness) must cut the connection
+    // regardless of how lively the trickle looks per-read.
+    let server = TestServer::start();
+    let mut stream = server.handshaken_socket();
+
+    // Announce a 64-byte frame, then trickle its body at 8 bytes/second —
+    // well under the 2 s per-read idle timeout, but the frame as a whole
+    // can never finish inside the 500 ms budget.
+    let started = std::time::Instant::now();
+    stream.write_all(&64u32.to_le_bytes()).expect("prefix");
+    let cut_off = loop {
+        if stream
+            .write_all(&[0x11])
+            .and_then(|_| stream.flush())
+            .is_err()
+        {
+            break true; // server closed; the write side noticed
+        }
+        if started.elapsed() > Duration::from_secs(4) {
+            break false; // still accepting bytes long past the budget
+        }
+        std::thread::sleep(Duration::from_millis(125));
+    };
+    // Either the trickle write failed (reset) or the read side sees EOF.
+    if !cut_off {
+        panic!(
+            "server accepted a trickled frame for {:?}",
+            started.elapsed()
+        );
+    }
+    assert!(
+        started.elapsed() < Duration::from_secs(4),
+        "cut-off took {:?}, far past the 500 ms frame budget",
+        started.elapsed()
+    );
+}
+
+#[test]
+fn rapid_connect_disconnect_churn_leaves_accept_loop_alive() {
+    // Regression, found by hlnp-fuzz: clients that vanish while still in
+    // the accept queue surface as transient accept() errors
+    // (ConnectionAborted on Linux), and the accept loop used to treat
+    // any such error as fatal — one crashed client could kill the
+    // daemon. The loop must shrug these off and keep serving.
+    let server = TestServer::start();
+    for _ in 0..200 {
+        // Connect and drop immediately, without ever reading the hello.
+        let _ = TcpStream::connect(server.addr);
+    }
+    // Handlers for the churned sockets may still be winding down, so the
+    // first few attempts can be turned away Busy (or closed mid-write) —
+    // that is the connection cap working, not the defect under test. The
+    // defect is the accept loop dying, which no amount of retrying fixes.
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    loop {
+        let answered = (|| -> Result<bool, hl_net::WireError> {
+            let mut stream = server.handshaken_socket();
+            write_frame(&mut stream, &Request::Query { u: 0, v: 24 }.encode())?;
+            let payload = read_frame(&mut stream, TEST_MAX_FRAME)?;
+            match Response::decode(&payload)? {
+                Response::Distance(d) => {
+                    assert_eq!(d, 8);
+                    Ok(true)
+                }
+                Response::Error { .. } => Ok(false), // Busy: cap still full
+                other => panic!("expected Distance or Busy, got {other:?}"),
+            }
+        })()
+        .unwrap_or(false);
+        if answered {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "server never recovered from connect/disconnect churn"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+#[test]
+fn remote_shutdown_can_be_disabled() {
+    // Regression, found by hlnp-fuzz: the Shutdown opcode is one byte on
+    // an unauthenticated protocol, so with remote shutdown always-on,
+    // any client — or any corrupted frame decoding as OP_SHUTDOWN — can
+    // stop the daemon. With `allow_remote_shutdown: false` the request
+    // must get a typed Unsupported error and the connection must keep
+    // serving; the daemon stays up.
+    let server = TestServer::start(); // harness config disables it
+    let mut stream = server.handshaken_socket();
+
+    write_frame(&mut stream, &Request::Shutdown.encode()).expect("send shutdown");
+    let message = expect_error(&mut stream, ErrorCode::Unsupported);
+    assert!(message.contains("disabled"), "uninformative: {message}");
+
+    // Same connection still answers queries...
+    write_frame(&mut stream, &Request::Query { u: 0, v: 24 }.encode()).expect("send query");
+    let payload = read_frame(&mut stream, TEST_MAX_FRAME).expect("response");
+    match Response::decode(&payload).expect("decode") {
+        Response::Distance(d) => assert_eq!(d, 8),
+        other => panic!("expected Distance, got {other:?}"),
+    }
+
+    // ...and so do fresh ones: the accept loop did not die.
+    let mut fresh = server.handshaken_socket();
+    write_frame(&mut fresh, &Request::Query { u: 0, v: 24 }.encode()).expect("send query");
+    let payload = read_frame(&mut fresh, TEST_MAX_FRAME).expect("response");
+    assert!(matches!(
+        Response::decode(&payload).expect("decode"),
+        Response::Distance(8)
+    ));
+}
+
+#[test]
+fn remote_shutdown_when_allowed_acks_and_stops() {
+    let g = generators::grid(4, 4);
+    let hl = PrunedLandmarkLabeling::by_degree(&g).into_labeling();
+    let engine = Arc::new(QueryEngine::new(hl, 1).expect("engine"));
+    let config = ServerConfig {
+        max_connections: 4,
+        read_timeout: Duration::from_secs(2),
+        write_timeout: Duration::from_secs(2),
+        frame_timeout: Duration::from_millis(500),
+        max_frame_len: TEST_MAX_FRAME,
+        allow_remote_shutdown: true,
+    };
+    let server = NetServer::bind(engine, "127.0.0.1:0", config).expect("bind");
+    let addr = server.local_addr();
+    let thread = std::thread::spawn(move || server.serve().expect("serve"));
+
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    let payload = read_frame(&mut stream, TEST_MAX_FRAME).expect("server hello");
+    let hello = ServerHello::decode(&payload).expect("decode hello");
+    let client_hello = ClientHello {
+        protocol_version: hello.protocol_version,
+    };
+    write_frame(&mut stream, &client_hello.encode()).expect("client hello");
+    write_frame(&mut stream, &Request::Shutdown.encode()).expect("send shutdown");
+    let payload = read_frame(&mut stream, TEST_MAX_FRAME).expect("ack frame");
+    assert!(matches!(
+        Response::decode(&payload).expect("decode"),
+        Response::ShutdownAck
+    ));
+    // serve() returns: the daemon honored the request.
+    thread.join().expect("server thread");
+}
+
+#[test]
 fn over_cap_connection_is_greeted_and_turned_away_busy() {
     let g = generators::grid(4, 4);
     let hl = PrunedLandmarkLabeling::by_degree(&g).into_labeling();
@@ -210,7 +367,9 @@ fn over_cap_connection_is_greeted_and_turned_away_busy() {
         max_connections: 0, // everyone is over the cap
         read_timeout: Duration::from_secs(2),
         write_timeout: Duration::from_secs(2),
+        frame_timeout: Duration::from_millis(500),
         max_frame_len: TEST_MAX_FRAME,
+        allow_remote_shutdown: false,
     };
     let server = NetServer::bind(engine, "127.0.0.1:0", config).expect("bind");
     let addr = server.local_addr();

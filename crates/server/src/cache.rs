@@ -65,6 +65,11 @@ impl CacheStats {
 
 impl LruShard {
     fn new(capacity: usize) -> Self {
+        // A zero-capacity shard would make `insert`'s eviction arm index
+        // `entries[NIL]`: with `entries.len() == capacity == 0` the "full"
+        // branch runs while `tail` is still NIL. Floor at one entry so the
+        // invariant "full shard => non-empty list" holds for every caller.
+        let capacity = capacity.max(1);
         LruShard {
             map: HashMap::with_capacity(capacity),
             entries: Vec::with_capacity(capacity),
@@ -160,7 +165,9 @@ pub struct ShardedLruCache {
 impl ShardedLruCache {
     /// Creates a cache holding about `capacity` entries across `shards`
     /// shards. The shard count is rounded up to a power of two; every
-    /// shard holds at least one entry.
+    /// shard holds at least one entry, so the effective floor on the
+    /// total capacity is the rounded shard count — `new(0, 8)` is a
+    /// working 8-entry cache, not a cache that panics on first insert.
     pub fn new(capacity: usize, shards: usize) -> Self {
         let shards = shards.max(1).next_power_of_two();
         let per_shard = capacity.div_ceil(shards).max(1);
@@ -255,6 +262,35 @@ mod tests {
         assert_eq!(cache.get(2), None);
         assert_eq!(cache.get(1), Some(10));
         assert_eq!(cache.get(3), Some(30));
+    }
+
+    #[test]
+    fn zero_capacity_shard_still_works() {
+        // Regression: a shard constructed with capacity 0 used to take
+        // the eviction arm on its *first* insert — `entries` was "full"
+        // at length 0 — and index `entries[NIL]`. The floor in
+        // `LruShard::new` makes it a one-entry LRU instead.
+        let mut shard = LruShard::new(0);
+        shard.insert(1, 10);
+        shard.insert(2, 20); // second insert exercises the eviction arm
+        assert_eq!(shard.get(2), Some(20));
+        assert_eq!(shard.get(1), None, "older entry was evicted");
+        assert_eq!(shard.len(), 1);
+    }
+
+    #[test]
+    fn capacity_smaller_than_shard_count_survives_churn() {
+        // `new(3, 8)` hands each of 8 shards ceil(3/8) = 1 entry;
+        // `new(0, 8)` relies on the documented floor. Both must absorb
+        // heavy churn (every shard's eviction path) without panicking.
+        for cache in [ShardedLruCache::new(0, 8), ShardedLruCache::new(3, 8)] {
+            for k in 0..1_000u64 {
+                cache.insert(k, k);
+            }
+            assert!(cache.len() <= 8, "one entry per shard at most");
+            let stats = cache.stats();
+            assert_eq!(stats.insertions - stats.evictions, cache.len() as u64);
+        }
     }
 
     #[test]

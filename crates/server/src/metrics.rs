@@ -68,7 +68,19 @@ impl LatencyHistogram {
         if total == 0 {
             return 0;
         }
-        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        // Nearest-rank: the ceil(q * n)-th observation. `q * n` is computed
+        // in f64, which can land a hair above the exact product (e.g.
+        // 0.07 * 100 = 7.000000000000001) and make `ceil` overshoot by a
+        // whole rank; snap back to the nearest integer when we are within
+        // f64 noise of it.
+        let scaled = q.clamp(0.0, 1.0) * total as f64;
+        let rounded = scaled.round();
+        let rank = if (scaled - rounded).abs() < 1e-9 {
+            rounded
+        } else {
+            scaled.ceil()
+        };
+        let rank = (rank as u64).clamp(1, total);
         let mut seen = 0;
         for (i, &c) in counts.iter().enumerate() {
             seen += c;
@@ -254,6 +266,54 @@ mod tests {
         assert_eq!(h.quantile(0.5), 128); // 100 ns lands in (64, 128]
         assert!(h.quantile(0.95) >= 1_000_000 / 2);
         assert!(h.quantile(0.99) >= 1_000_000 / 2);
+    }
+
+    #[test]
+    fn quantile_rank_is_exact_despite_f64_rounding() {
+        // 7 observations in bucket 1 and 93 in a higher bucket. The 7%
+        // quantile is the 7th observation — still in bucket 1. In f64,
+        // 0.07 * 100 = 7.000000000000001, so a bare `ceil` asks for rank
+        // 8 and reports the slow bucket instead.
+        let h = LatencyHistogram::new();
+        for _ in 0..7 {
+            h.record(1);
+        }
+        for _ in 0..93 {
+            h.record(1_000);
+        }
+        assert_eq!(h.quantile(0.07), 2, "rank 7 of 100 is the last 1-ns obs");
+        // And `round` alone would be wrong the other way: a genuinely
+        // fractional rank must still round *up*. q=0.72 over 10
+        // observations is rank ceil(7.2) = 8, not round(7.2) = 7.
+        let h = LatencyHistogram::new();
+        for _ in 0..7 {
+            h.record(1);
+        }
+        for _ in 0..3 {
+            h.record(1_000);
+        }
+        assert_eq!(h.quantile(0.72), 1024, "rank 8 of 10 is a slow obs");
+    }
+
+    #[test]
+    fn quantiles_tiny_samples_hand_computed() {
+        // n = 1: every quantile is that one observation's bucket.
+        let h = LatencyHistogram::new();
+        h.record(100); // bucket (64, 128]
+        for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), 128, "q={q} with n=1");
+        }
+        // n = 4 at 1, 10, 100, 1000 ns: nearest-rank places p50 on the
+        // 2nd observation, p95/p99/p100 on the 4th, p25 on the 1st.
+        let h = LatencyHistogram::new();
+        for v in [1, 10, 100, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.25), 2); // rank 1: 1 ns -> bucket (0, 2]
+        assert_eq!(h.quantile(0.5), 16); // rank 2: 10 ns -> (8, 16]
+        assert_eq!(h.quantile(0.95), 1024); // rank 4: 1000 ns -> (512, 1024]
+        assert_eq!(h.quantile(0.99), 1024);
+        assert_eq!(h.quantile(1.0), 1024);
     }
 
     #[test]

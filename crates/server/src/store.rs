@@ -36,7 +36,7 @@ use std::path::Path;
 use hl_core::{FlatLabeling, HubLabel, HubLabeling};
 use hl_graph::{Distance, NodeId};
 use hl_labeling::bits::BitVec;
-use hl_labeling::hub_scheme::{decode_label, decode_label_append, encode_label};
+use hl_labeling::hub_scheme::{encode_label, try_decode_label_append};
 use hl_labeling::scheme::BitLabel;
 
 /// File magic: "Hub Label Binary Store".
@@ -213,8 +213,44 @@ impl LabelStore {
     }
 
     /// Decodes the hub label of vertex `v`.
+    ///
+    /// The γ bits are treated as *untrusted* even though the checksum
+    /// matched: a checksum only catches accidents, and a crafted store
+    /// can carry any bit pattern behind a freshly computed FNV. Malformed
+    /// codes, lying entry counts, hub-id overflow and out-of-range hub
+    /// ids are all [`StoreError::Corrupt`], never a panic or a runaway
+    /// allocation.
     pub fn decode_label(&self, v: NodeId) -> Result<HubLabel, StoreError> {
-        Ok(decode_label(&self.bit_label(v)?))
+        let mut hubs = Vec::new();
+        let mut dists = Vec::new();
+        self.decode_label_into(v, &mut hubs, &mut dists)?;
+        Ok(HubLabel::from_pairs(hubs.into_iter().zip(dists).collect()))
+    }
+
+    /// Checked decode of label `v` appended into caller buffers — the
+    /// allocation-free path [`LabelStore::to_flat`] iterates.
+    fn decode_label_into(
+        &self,
+        v: NodeId,
+        hubs: &mut Vec<NodeId>,
+        dists: &mut Vec<Distance>,
+    ) -> Result<(), StoreError> {
+        let start = hubs.len();
+        try_decode_label_append(&self.bit_label(v)?, hubs, dists)
+            .map_err(|e| StoreError::Corrupt(format!("label {v}: {e}")))?;
+        if let Some(&hub) = hubs[start..].iter().last() {
+            // Gap coding keeps hubs strictly increasing, so checking the
+            // last one bounds them all.
+            if hub as usize >= self.num_nodes {
+                hubs.truncate(start);
+                dists.truncate(start);
+                return Err(StoreError::Corrupt(format!(
+                    "label {v}: hub {hub} out of range for {} nodes",
+                    self.num_nodes
+                )));
+            }
+        }
+        Ok(())
     }
 
     /// Decodes every label back into a [`HubLabeling`] (the nested,
@@ -240,7 +276,7 @@ impl LabelStore {
         for v in 0..self.num_nodes {
             hubs.clear();
             dists.clear();
-            decode_label_append(&self.bit_label(v as NodeId)?, &mut hubs, &mut dists);
+            self.decode_label_into(v as NodeId, &mut hubs, &mut dists)?;
             flat.push_label(&hubs, &dists);
         }
         Ok(flat)
@@ -532,6 +568,57 @@ mod tests {
             LabelStore::parse(&buf),
             Err(StoreError::Corrupt(_))
         ));
+    }
+
+    /// Rewrites the header checksum to match the (possibly corrupted)
+    /// body — what a *crafted* store does, as opposed to an accidentally
+    /// bit-flipped one.
+    fn refresh_checksum(buf: &mut [u8]) {
+        let sum = fnv1a64(&buf[HEADER_LEN..]);
+        buf[24..32].copy_from_slice(&sum.to_le_bytes());
+    }
+
+    #[test]
+    fn crafted_garbage_label_bits_are_corrupt_not_panic() {
+        // A checksum-valid file whose γ blob is all zeros: the offset
+        // tables parse fine, but every label's count code is an
+        // unterminated unary run. Found by the hlnp-fuzz store campaign —
+        // the trusting decoder panicked in `BitVec::get`.
+        let (_, store) = sample_store();
+        let mut buf = Vec::new();
+        store.write_to(&mut buf).unwrap();
+        let blob_base = HEADER_LEN + (store.num_nodes() + 1) * 8 + store.num_nodes() * 4;
+        for b in &mut buf[blob_base..] {
+            *b = 0;
+        }
+        refresh_checksum(&mut buf);
+        let crafted = LabelStore::parse(&buf).expect("structurally valid store must parse");
+        for v in 0..crafted.num_nodes() as NodeId {
+            if crafted.bit_lens[v as usize] == 0 {
+                continue; // an empty label decodes to an empty hub set
+            }
+            assert!(
+                matches!(crafted.decode_label(v), Err(StoreError::Corrupt(_))),
+                "garbage bits for label {v} must be a typed error"
+            );
+        }
+        assert!(matches!(crafted.to_flat(), Err(StoreError::Corrupt(_))));
+        assert!(matches!(crafted.query(0, 1), Err(StoreError::Corrupt(_))));
+    }
+
+    #[test]
+    fn crafted_out_of_range_hub_id_rejected() {
+        // A store whose γ bits decode cleanly but name a hub id past the
+        // store's own node count: a query against it would index out of
+        // the label universe. Must be Corrupt, not a wrong answer.
+        let labels = vec![
+            HubLabel::from_pairs(vec![(0, 0)]),
+            HubLabel::from_pairs(vec![(0, 1), (9, 0)]), // hub 9 in a 2-node store
+        ];
+        let store = LabelStore::from_labeling(&HubLabeling::from_labels(labels));
+        assert!(store.decode_label(0).is_ok());
+        assert!(matches!(store.decode_label(1), Err(StoreError::Corrupt(_))));
+        assert!(matches!(store.to_flat(), Err(StoreError::Corrupt(_))));
     }
 
     #[test]

@@ -24,6 +24,12 @@ cargo build --release
 echo "== workspace tests =="
 cargo test --workspace -q
 
+echo "== hlnp-fuzz (seeded, bounded) =="
+# Protocol + store fuzz against a throwaway in-memory labeling: exits 1
+# on any panic, wrong liveness answer, or silently-accepted corruption,
+# 2 if its own wall-clock guard fires. `timeout` is the outer hang net.
+timeout 240 ./target/release/hlnp-fuzz --seed 5 --iters 2000 --max-seconds 180
+
 echo "== kick-tires =="
 bash scripts/kick-tires.sh
 

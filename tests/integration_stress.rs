@@ -10,6 +10,19 @@ use hub_labeling::lowerbound::{GadgetParams, HGraph};
 use hub_labeling::oracles::ContractionHierarchy;
 
 #[test]
+fn pll_on_sparse_graph_smoke() {
+    // Non-ignored miniature of `pll_on_ten_thousand_vertex_sparse_graph`
+    // so CI exercises the build-verify pipeline on every run; the full
+    // 10k-vertex version stays behind `--ignored`.
+    let g = generators::connected_gnm(1_200, 600, 42);
+    let labeling = PrunedLandmarkLabeling::by_betweenness(&g, 16, 1).into_labeling();
+    let sources: Vec<NodeId> = (0..1_200).step_by(101).map(|v| v as NodeId).collect();
+    let report = verify_from_sources_parallel(&g, &labeling, &sources);
+    assert!(report.is_exact(), "{:?}", report.violations.first());
+    assert!(verify_hub_distances(&g, &labeling, &sources));
+}
+
+#[test]
 #[ignore = "stress: ~1 minute in release"]
 fn pll_on_ten_thousand_vertex_sparse_graph() {
     let g = generators::connected_gnm(10_000, 5_000, 42);
