@@ -22,11 +22,12 @@ fn main() {
     });
     bench("pll-order-ablation", "betweenness", || {
         PrunedLandmarkLabeling::by_betweenness(&g, 16, 1)
+            .expect("betweenness order")
             .into_labeling()
             .total_hubs()
     });
     bench("pll-order-ablation", "closeness", || {
-        PrunedLandmarkLabeling::with_order(&g, order::by_closeness(&g))
+        PrunedLandmarkLabeling::with_order(&g, order::by_closeness(&g).expect("closeness order"))
             .into_labeling()
             .total_hubs()
     });

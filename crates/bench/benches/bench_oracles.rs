@@ -20,7 +20,9 @@ fn main() {
     let alt = AltOracle::with_farthest_landmarks(&g, 8);
     let ch = ContractionHierarchy::build(&g);
     let hub = HubLabelOracle {
-        labeling: PrunedLandmarkLabeling::by_betweenness(&g, 24, 1).into_labeling(),
+        labeling: PrunedLandmarkLabeling::by_betweenness(&g, 24, 1)
+            .expect("betweenness order")
+            .into_labeling(),
     };
 
     let run = |oracle: &dyn DistanceOracle| {
@@ -44,6 +46,7 @@ fn main() {
     });
     bench("oracle-build", "pll-build", || {
         PrunedLandmarkLabeling::by_betweenness(&g, 24, 1)
+            .expect("betweenness order")
             .into_labeling()
             .total_hubs()
     });

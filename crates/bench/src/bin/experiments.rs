@@ -484,8 +484,14 @@ fn ablation() {
         let g = family_graph(family, 196, 3);
         let deg = PrunedLandmarkLabeling::by_degree(&g).into_labeling();
         let rnd = PrunedLandmarkLabeling::by_random_order(&g, 1).into_labeling();
-        let btw = PrunedLandmarkLabeling::by_betweenness(&g, 16, 1).into_labeling();
-        let clo = PrunedLandmarkLabeling::with_order(&g, order::by_closeness(&g)).into_labeling();
+        let btw = PrunedLandmarkLabeling::by_betweenness(&g, 16, 1)
+            .expect("betweenness order")
+            .into_labeling();
+        let clo = PrunedLandmarkLabeling::with_order(
+            &g,
+            order::by_closeness(&g).expect("closeness order"),
+        )
+        .into_labeling();
         t.row(vec![
             family.name().to_string(),
             g.num_nodes().to_string(),
@@ -570,7 +576,9 @@ fn oracles() {
     let bi = BidirectionalOracle { graph: &g };
     let alt = AltOracle::with_farthest_landmarks(&g, 8);
     let ch = ContractionHierarchy::build(&g);
-    let labeling = PrunedLandmarkLabeling::by_betweenness(&g, 24, 1).into_labeling();
+    let labeling = PrunedLandmarkLabeling::by_betweenness(&g, 24, 1)
+        .expect("betweenness order")
+        .into_labeling();
     let hub_space = labeling.total_hubs() * 12;
     let hub = HubLabelOracle { labeling };
     let alt_space = alt.landmarks().memory_bytes();
@@ -754,7 +762,9 @@ fn growth() {
         let mut points = Vec::new();
         for n in [128usize, 256, 512] {
             let g = family_graph(family, n, 5);
-            let hl = PrunedLandmarkLabeling::by_betweenness(&g, 24, 1).into_labeling();
+            let hl = PrunedLandmarkLabeling::by_betweenness(&g, 24, 1)
+                .expect("betweenness order")
+                .into_labeling();
             points.push((g.num_nodes(), hl.average_hubs()));
         }
         row(family.name(), points);
@@ -764,7 +774,9 @@ fn growth() {
     let mut sep_points = Vec::new();
     for side in [12usize, 17, 24] {
         let g = generators::grid(side, side);
-        let hl = PrunedLandmarkLabeling::by_betweenness(&g, 24, 1).into_labeling();
+        let hl = PrunedLandmarkLabeling::by_betweenness(&g, 24, 1)
+            .expect("betweenness order")
+            .into_labeling();
         pll_points.push((g.num_nodes(), hl.average_hubs()));
         let sep = separator_labeling(&g);
         sep_points.push((g.num_nodes(), sep.average_hubs()));
@@ -812,7 +824,9 @@ fn encoding() {
         let constructions: Vec<(&str, hl_core::HubLabeling)> = vec![
             (
                 "pll",
-                PrunedLandmarkLabeling::by_betweenness(&g, 24, 1).into_labeling(),
+                PrunedLandmarkLabeling::by_betweenness(&g, 24, 1)
+                    .expect("betweenness order")
+                    .into_labeling(),
             ),
             (
                 "rand-thresh",
@@ -872,7 +886,9 @@ fn tradeoff() {
             format!("{us:.1}"),
         ]);
     }
-    let hl = PrunedLandmarkLabeling::by_betweenness(&g, 24, 1).into_labeling();
+    let hl = PrunedLandmarkLabeling::by_betweenness(&g, 24, 1)
+        .expect("betweenness order")
+        .into_labeling();
     let start = Instant::now();
     let mut acc = 0u64;
     for &(u, v) in &queries {

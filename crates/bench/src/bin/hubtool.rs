@@ -98,7 +98,9 @@ fn cmd_build(args: &[String]) -> Result<(), String> {
     let labeling = match algo {
         "pll" => PrunedLandmarkLabeling::by_degree(&g).into_labeling(),
         "pll-random" => PrunedLandmarkLabeling::by_random_order(&g, 1).into_labeling(),
-        "pll-betweenness" => PrunedLandmarkLabeling::by_betweenness(&g, 24, 1).into_labeling(),
+        "pll-betweenness" => PrunedLandmarkLabeling::by_betweenness(&g, 24, 1)
+            .map_err(|e| e.to_string())?
+            .into_labeling(),
         "psl" => hl_core::psl::psl_labeling(&g, hl_core::order::by_degree(&g), 4)
             .map_err(|e| e.to_string())?,
         "separator" => hl_core::separator_labeling::separator_labeling(&g),

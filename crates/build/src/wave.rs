@@ -1,0 +1,224 @@
+//! A single pruned BFS/Dijkstra wave from one root, pruning against the
+//! immutable committed prefix.
+//!
+//! The pruning test "is `d(root, u)` already covered by committed hubs?"
+//! is exactly the merge-join query of
+//! [`hl_core::LabelingView`] between `root`'s and `u`'s
+//! committed labels. We evaluate it through a scratch table indexed by hub
+//! id — load `root`'s committed label once, then each visited vertex `u`
+//! costs one linear scan of `u`'s label — which is the standard
+//! cache-friendly formulation of the same min-plus join (the root side of
+//! the merge is pre-expanded into an array).
+//!
+//! A wave only *proposes* entries: because it cannot see the labels the
+//! rest of its batch is producing concurrently, its candidate set is a
+//! superset of what sequential PLL would assign. The commit step
+//! ([`crate::pipeline`]) filters it down.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+use hl_core::LabelingView;
+use hl_graph::{Distance, Graph, NodeId, INFINITY};
+
+use crate::committed::CommittedLabels;
+
+/// Reusable per-worker buffers: all `O(n)` allocations a wave needs, paid
+/// once per worker instead of once per root.
+pub struct WaveScratch {
+    /// Tentative distance from the current root.
+    dist: Vec<Distance>,
+    /// Vertices whose `dist` entry must be reset after the wave.
+    visited: Vec<NodeId>,
+    /// `root_dist[h]` = committed `d(root, h)`, or `INFINITY`.
+    root_dist: Vec<Distance>,
+    /// Hubs loaded into `root_dist` (for cheap reset).
+    touched: Vec<NodeId>,
+    /// Vertices popped across all waves run with this scratch.
+    pops: u64,
+    /// Pops cut by the pruning test.
+    pruned: u64,
+}
+
+impl WaveScratch {
+    /// Buffers for a graph with `n` vertices.
+    pub fn new(n: usize) -> Self {
+        WaveScratch {
+            dist: vec![INFINITY; n],
+            visited: Vec::new(),
+            root_dist: vec![INFINITY; n],
+            touched: Vec::new(),
+            pops: 0,
+            pruned: 0,
+        }
+    }
+
+    /// `(pops, pruned)` accumulated over every wave run with this scratch.
+    pub fn counters(&self) -> (u64, u64) {
+        (self.pops, self.pruned)
+    }
+
+    fn load_root(&mut self, committed: &CommittedLabels, root: NodeId) {
+        for (&h, &d) in committed.hubs_of(root).iter().zip(committed.dists_of(root)) {
+            self.root_dist[h as usize] = d;
+            self.touched.push(h);
+        }
+    }
+
+    /// Min-plus join of `root`'s (pre-loaded) and `u`'s committed labels.
+    fn covered(&mut self, committed: &CommittedLabels, u: NodeId, du: Distance) -> bool {
+        self.pops += 1;
+        let hs = committed.hubs_of(u);
+        let ds = committed.dists_of(u);
+        for (&h, &d) in hs.iter().zip(ds) {
+            let dr = self.root_dist[h as usize];
+            if dr != INFINITY && dr.saturating_add(d) <= du {
+                self.pruned += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn reset(&mut self) {
+        for &v in &self.visited {
+            self.dist[v as usize] = INFINITY;
+        }
+        self.visited.clear();
+        for &h in &self.touched {
+            self.root_dist[h as usize] = INFINITY;
+        }
+        self.touched.clear();
+    }
+}
+
+/// Runs one pruned wave from `root` and returns the candidate entries
+/// `(v, d(root, v))` in the order sequential PLL would have assigned them
+/// (BFS/heap pop order). BFS on unit-weight graphs, Dijkstra otherwise.
+pub fn run_wave(
+    g: &Graph,
+    committed: &CommittedLabels,
+    root: NodeId,
+    scratch: &mut WaveScratch,
+) -> Vec<(NodeId, Distance)> {
+    let candidates = if g.is_unit_weighted() {
+        wave_unit(g, committed, root, scratch)
+    } else {
+        wave_weighted(g, committed, root, scratch)
+    };
+    scratch.reset();
+    candidates
+}
+
+fn wave_unit(
+    g: &Graph,
+    committed: &CommittedLabels,
+    root: NodeId,
+    scratch: &mut WaveScratch,
+) -> Vec<(NodeId, Distance)> {
+    scratch.load_root(committed, root);
+    let mut out = Vec::new();
+    let mut queue = VecDeque::new();
+    scratch.dist[root as usize] = 0;
+    scratch.visited.push(root);
+    queue.push_back(root);
+    while let Some(u) = queue.pop_front() {
+        let du = scratch.dist[u as usize];
+        if scratch.covered(committed, u, du) {
+            continue;
+        }
+        out.push((u, du));
+        for &v in g.neighbor_ids(u) {
+            if scratch.dist[v as usize] == INFINITY {
+                scratch.dist[v as usize] = du + 1;
+                scratch.visited.push(v);
+                queue.push_back(v);
+            }
+        }
+    }
+    out
+}
+
+fn wave_weighted(
+    g: &Graph,
+    committed: &CommittedLabels,
+    root: NodeId,
+    scratch: &mut WaveScratch,
+) -> Vec<(NodeId, Distance)> {
+    scratch.load_root(committed, root);
+    let mut out = Vec::new();
+    let mut heap = BinaryHeap::new();
+    scratch.dist[root as usize] = 0;
+    scratch.visited.push(root);
+    heap.push(Reverse((0u64, root)));
+    while let Some(Reverse((du, u))) = heap.pop() {
+        if du > scratch.dist[u as usize] {
+            continue;
+        }
+        if scratch.covered(committed, u, du) {
+            continue;
+        }
+        out.push((u, du));
+        for (v, w) in g.neighbors(u) {
+            let nd = du.saturating_add(w);
+            if nd < scratch.dist[v as usize] {
+                if scratch.dist[v as usize] == INFINITY {
+                    scratch.visited.push(v);
+                }
+                scratch.dist[v as usize] = nd;
+                heap.push(Reverse((nd, v)));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hl_graph::generators;
+
+    #[test]
+    fn first_wave_reaches_everything() {
+        let g = generators::path(5);
+        let committed = CommittedLabels::new(5);
+        let mut scratch = WaveScratch::new(5);
+        let cand = run_wave(&g, &committed, 0, &mut scratch);
+        assert_eq!(cand, vec![(0, 0), (1, 1), (2, 2), (3, 3), (4, 4)]);
+    }
+
+    #[test]
+    fn committed_prefix_prunes_later_waves() {
+        // Path 0-1-2-3-4 with vertex 2 fully committed: a wave from 0
+        // stops expanding past 2 (every farther vertex is covered).
+        let g = generators::path(5);
+        let mut committed = CommittedLabels::new(5);
+        for v in 0..5u32 {
+            committed.insert(v, 2, (i64::from(v) - 2).unsigned_abs());
+        }
+        let mut scratch = WaveScratch::new(5);
+        let cand = run_wave(&g, &committed, 0, &mut scratch);
+        assert_eq!(cand, vec![(0, 0), (1, 1)]);
+    }
+
+    #[test]
+    fn scratch_resets_between_waves() {
+        let g = generators::cycle(6);
+        let committed = CommittedLabels::new(6);
+        let mut scratch = WaveScratch::new(6);
+        let a = run_wave(&g, &committed, 3, &mut scratch);
+        let b = run_wave(&g, &committed, 3, &mut scratch);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn weighted_wave_uses_dijkstra() {
+        let g =
+            hl_graph::builder::graph_from_weighted_edges(3, &[(0, 1, 5), (1, 2, 5), (0, 2, 20)])
+                .unwrap();
+        let committed = CommittedLabels::new(3);
+        let mut scratch = WaveScratch::new(3);
+        let cand = run_wave(&g, &committed, 0, &mut scratch);
+        assert_eq!(cand, vec![(0, 0), (1, 5), (2, 10)]);
+    }
+}

@@ -67,4 +67,5 @@ pub mod tree;
 
 pub use flat::FlatLabeling;
 pub use label::{HubLabel, HubLabeling, LabelingView};
+pub use order::{OrderError, VertexOrder};
 pub use stats::LabelingStats;

@@ -14,6 +14,7 @@ use hl_graph::{Distance, Graph, NodeId, INFINITY};
 
 use crate::label::{HubLabel, HubLabeling};
 use crate::order;
+use crate::order::{OrderError, VertexOrder};
 
 /// A finished PLL labeling, remembering the order it was built with.
 #[derive(Debug, Clone)]
@@ -35,8 +36,26 @@ impl PrunedLandmarkLabeling {
     }
 
     /// Builds the labeling with sampled-betweenness order.
-    pub fn by_betweenness(g: &Graph, samples: usize, seed: u64) -> Self {
-        Self::with_order(g, order::by_sampled_betweenness(g, samples, seed))
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OrderError`] when the order heuristic cannot produce a
+    /// meaningful order (`samples == 0`, disconnected graph) — the old
+    /// behaviour silently fell back to a signal-free permutation.
+    pub fn by_betweenness(g: &Graph, samples: usize, seed: u64) -> Result<Self, OrderError> {
+        Ok(Self::with_order(
+            g,
+            order::by_sampled_betweenness(g, samples, seed)?,
+        ))
+    }
+
+    /// Builds the labeling with a pluggable [`VertexOrder`] strategy.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the strategy's [`OrderError`].
+    pub fn with_strategy(g: &Graph, strategy: &dyn VertexOrder) -> Result<Self, OrderError> {
+        Ok(Self::with_order(g, strategy.compute(g)?))
     }
 
     /// Builds the labeling processing vertices in the given order.
@@ -220,8 +239,9 @@ mod tests {
         for hl in [
             PrunedLandmarkLabeling::by_degree(&g),
             PrunedLandmarkLabeling::by_random_order(&g, 1),
-            PrunedLandmarkLabeling::by_betweenness(&g, 10, 2),
-            PrunedLandmarkLabeling::with_order(&g, order::by_closeness(&g)),
+            PrunedLandmarkLabeling::by_betweenness(&g, 10, 2).unwrap(),
+            PrunedLandmarkLabeling::with_order(&g, order::by_closeness(&g).unwrap()),
+            PrunedLandmarkLabeling::with_strategy(&g, &order::BfsLevelOrder).unwrap(),
         ] {
             assert!(verify_exact(&g, hl.labeling()).unwrap().is_exact());
         }
@@ -258,7 +278,9 @@ mod tests {
     #[test]
     fn tree_labels_logarithmic_scale() {
         let g = generators::balanced_binary_tree(7); // 255 vertices
-        let hl = PrunedLandmarkLabeling::by_betweenness(&g, 32, 3).into_labeling();
+        let hl = PrunedLandmarkLabeling::by_betweenness(&g, 32, 3)
+            .unwrap()
+            .into_labeling();
         // Heuristic orders on a balanced tree should stay well below n/2.
         assert!(hl.average_hubs() < 24.0, "avg = {}", hl.average_hubs());
         assert!(verify_exact(&g, &hl).unwrap().is_exact());

@@ -171,7 +171,7 @@ mod tests {
     #[test]
     fn size_close_to_pll() {
         let g = generators::grid(9, 9);
-        let ord = order::by_sampled_betweenness(&g, 16, 1);
+        let ord = order::by_sampled_betweenness(&g, 16, 1).unwrap();
         let psl = psl_labeling(&g, ord.clone(), 4).unwrap();
         let pll = PrunedLandmarkLabeling::with_order(&g, ord).into_labeling();
         assert!(

@@ -350,6 +350,189 @@ pub fn skewed_sparse(n: usize, hub_degree: usize, seed: u64) -> Graph {
     b.build()
 }
 
+/// Connects a possibly-fragmented edge set by threading one unit edge from
+/// each additional component to component 0's representative, in vertex-id
+/// order. Deterministic, adds at most `components - 1` edges, and keeps
+/// every generator below it guaranteed-connected without rejection loops.
+fn bridge_components(b: &mut GraphBuilder, uf: &mut crate::unionfind::UnionFind, n: usize) {
+    if n == 0 {
+        return;
+    }
+    let anchor = uf.find(0);
+    for v in 1..n {
+        let root = uf.find(v as u32);
+        if root != anchor {
+            must_add_unit(b, 0, v as NodeId);
+            uf.union(0, v as u32);
+        }
+    }
+}
+
+/// R-MAT / Kronecker-style power-law graph (Chakrabarti–Zhan–Faloutsos):
+/// each of the `m` edges picks its endpoints by descending `scale` levels
+/// of a 2×2 quadrant matrix with probabilities `(a, b, c, d) =
+/// (0.57, 0.19, 0.19, 0.05)` — the standard Graph500 parameters. The
+/// vertex count is `2^scale`. Self-loops are re-rolled; duplicate edges
+/// collapse in the builder (so `num_edges` is at most `m`). A final
+/// union-find pass threads stray components onto vertex 0 so the result
+/// is always connected.
+///
+/// Deterministic for a given `(scale, m, seed)` triple.
+///
+/// # Panics
+///
+/// Panics if `scale == 0`, `scale > 31`, or `m == 0`.
+pub fn rmat(scale: u32, m: usize, seed: u64) -> Graph {
+    assert!(scale > 0 && scale <= 31, "rmat requires 1 <= scale <= 31");
+    assert!(m > 0, "rmat requires m >= 1");
+    let n = 1usize << scale;
+    let mut rng = Xorshift64::seed_from_u64(seed);
+    let mut uf = crate::unionfind::UnionFind::new(n);
+    let mut b = GraphBuilder::with_capacity(n, m + 64);
+    // Graph500 quadrant probabilities; cumulative thresholds for one draw.
+    const A: f64 = 0.57;
+    const AB: f64 = 0.57 + 0.19;
+    const ABC: f64 = 0.57 + 0.19 + 0.19;
+    let mut placed = 0usize;
+    while placed < m {
+        let (mut u, mut v) = (0usize, 0usize);
+        for _ in 0..scale {
+            let r = rng.gen_f64();
+            let (bit_u, bit_v) = if r < A {
+                (0, 0)
+            } else if r < AB {
+                (0, 1)
+            } else if r < ABC {
+                (1, 0)
+            } else {
+                (1, 1)
+            };
+            u = (u << 1) | bit_u;
+            v = (v << 1) | bit_v;
+        }
+        if u == v {
+            continue;
+        }
+        must_add_unit(&mut b, u as NodeId, v as NodeId);
+        uf.union(u as u32, v as u32);
+        placed += 1;
+    }
+    bridge_components(&mut b, &mut uf, n);
+    b.build()
+}
+
+/// Power-law graph via the configuration model: vertex `v >= 1` gets
+/// `max(1, floor(c / v^(1/(gamma-1))))` stubs — the discretized inverse of
+/// a power-law degree CDF with exponent `gamma` — the stub list is
+/// shuffled once, and consecutive stub pairs become edges (self-loops
+/// skipped, duplicates collapsed by the builder). A union-find bridging
+/// pass connects the leftovers. `gamma` is given in tenths (e.g. `25`
+/// means `γ = 2.5`) to keep the signature integral and hashable.
+///
+/// Deterministic for a given `(n, gamma_tenths, seed)` triple.
+///
+/// # Panics
+///
+/// Panics if `n < 2` or `gamma_tenths <= 10` (the exponent must exceed 1).
+pub fn power_law_configuration(n: usize, gamma_tenths: u32, seed: u64) -> Graph {
+    assert!(n >= 2, "power_law_configuration requires n >= 2");
+    assert!(
+        gamma_tenths > 10,
+        "power-law exponent must exceed 1.0 (gamma_tenths > 10)"
+    );
+    let gamma = f64::from(gamma_tenths) / 10.0;
+    let inv = 1.0 / (gamma - 1.0);
+    // Scale constant so the largest degree is ~n^(1/(gamma-1)), capped at
+    // n-1 to stay simple.
+    let c = (n as f64).powf(inv);
+    let mut stubs: Vec<NodeId> = Vec::new();
+    for v in 0..n {
+        let rank = (v + 1) as f64;
+        let deg = (c / rank.powf(inv)).floor().max(1.0) as usize;
+        let deg = deg.min(n - 1);
+        for _ in 0..deg {
+            stubs.push(v as NodeId);
+        }
+    }
+    if !stubs.len().is_multiple_of(2) {
+        stubs.pop();
+    }
+    let mut rng = Xorshift64::seed_from_u64(seed);
+    rng.shuffle(&mut stubs);
+    let mut uf = crate::unionfind::UnionFind::new(n);
+    let mut b = GraphBuilder::with_capacity(n, stubs.len() / 2 + 64);
+    for pair in stubs.chunks_exact(2) {
+        if pair[0] == pair[1] {
+            continue;
+        }
+        must_add_unit(&mut b, pair[0], pair[1]);
+        uf.union(pair[0], pair[1]);
+    }
+    bridge_components(&mut b, &mut uf, n);
+    b.build()
+}
+
+/// Road-style network: a `rows × cols` grid with seeded-random integer
+/// edge weights in `[1, max_w]` (local streets), plus `shortcuts` long-range
+/// weighted edges between uniformly random vertex pairs (highways). The
+/// grid skeleton keeps it connected and near-planar; the shortcuts give it
+/// the small-separator-but-not-quite structure of real road networks the
+/// paper's §1.1 discusses.
+///
+/// Deterministic for a given `(rows, cols, shortcuts, seed)` tuple.
+///
+/// # Panics
+///
+/// Panics if `rows == 0` or `cols == 0`.
+pub fn grid_with_shortcuts(rows: usize, cols: usize, shortcuts: usize, seed: u64) -> Graph {
+    assert!(
+        rows > 0 && cols > 0,
+        "grid_with_shortcuts requires rows, cols >= 1"
+    );
+    let n = rows * cols;
+    let max_w: u64 = 8;
+    let mut rng = Xorshift64::seed_from_u64(seed);
+    let mut b = GraphBuilder::with_capacity(n, 2 * n + shortcuts);
+    let id = |r: usize, c: usize| (r * cols + c) as NodeId;
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                must_add(
+                    &mut b,
+                    id(r, c),
+                    id(r, c + 1),
+                    rng.gen_range_inclusive_u64(1, max_w),
+                );
+            }
+            if r + 1 < rows {
+                must_add(
+                    &mut b,
+                    id(r, c),
+                    id(r + 1, c),
+                    rng.gen_range_inclusive_u64(1, max_w),
+                );
+            }
+        }
+    }
+    let mut placed = 0usize;
+    while placed < shortcuts && n >= 2 {
+        let u = rng.gen_index(n);
+        let v = rng.gen_index(n);
+        if u == v {
+            continue;
+        }
+        // Highways are fast relative to hop count: weight scales sublinearly
+        // with grid distance so they actually shorten routes.
+        let (ur, uc) = (u / cols, u % cols);
+        let (vr, vc) = (v / cols, v % cols);
+        let manhattan = ur.abs_diff(vr) + uc.abs_diff(vc);
+        let w = ((manhattan as u64) / 2).max(1);
+        must_add(&mut b, u as NodeId, v as NodeId, w);
+        placed += 1;
+    }
+    b.build()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -497,5 +680,44 @@ mod tests {
         assert_eq!(random_tree(30, 1), random_tree(30, 1));
         assert_eq!(connected_gnm(30, 10, 2), connected_gnm(30, 10, 2));
         assert_eq!(union_of_matchings(30, 2, 3), union_of_matchings(30, 2, 3));
+    }
+
+    #[test]
+    fn rmat_shape_and_determinism() {
+        let g = rmat(10, 4096, 7);
+        assert_eq!(g.num_nodes(), 1024);
+        assert!(g.num_edges() > 0 && g.num_edges() <= 4096 + 1024);
+        assert!(properties::is_connected(&g), "bridging pass connects rmat");
+        assert!(g.is_unit_weighted());
+        // Skew: the busiest vertex sits far above the average degree.
+        assert!(g.max_degree() as f64 > 4.0 * g.average_degree());
+        assert_eq!(rmat(10, 4096, 7), g, "same seed, identical edge list");
+        assert_ne!(rmat(10, 4096, 8), g, "different seed, different graph");
+    }
+
+    #[test]
+    fn power_law_configuration_shape_and_determinism() {
+        let g = power_law_configuration(2000, 25, 5);
+        assert_eq!(g.num_nodes(), 2000);
+        assert!(properties::is_connected(&g));
+        assert!(g.average_degree() < 12.0, "stays sparse");
+        assert!(
+            g.max_degree() as f64 > 5.0 * g.average_degree(),
+            "heavy tail"
+        );
+        assert_eq!(power_law_configuration(2000, 25, 5), g);
+        assert_ne!(power_law_configuration(2000, 25, 6), g);
+    }
+
+    #[test]
+    fn grid_with_shortcuts_shape_and_determinism() {
+        let g = grid_with_shortcuts(20, 30, 50, 9);
+        assert_eq!(g.num_nodes(), 600);
+        assert!(properties::is_connected(&g), "grid skeleton connects it");
+        assert!(!g.is_unit_weighted(), "road weights are non-uniform");
+        // 2·20·30 - 20 - 30 grid edges plus up to 50 shortcuts.
+        assert!(g.num_edges() >= 1150);
+        assert_eq!(grid_with_shortcuts(20, 30, 50, 9), g);
+        assert_ne!(grid_with_shortcuts(20, 30, 50, 10), g);
     }
 }

@@ -2,16 +2,26 @@
 //! stores.
 //!
 //! ```text
-//! hubserve build <graph-file> <store-file> [algo]    graph -> binary store
-//! hubserve query <store-file> [pairs-file]           answer "u v" lines
-//! hubserve stats <store-file>                        store + arena sizes
-//! hubserve bench <store-file> [options]              in-process load test
-//! hubserve serve <store-file> [options]              TCP daemon (HLNP)
+//! hubserve build <graph-file> <store-file> [options]  graph -> binary store
+//! hubserve query <store-file> [pairs-file]            answer "u v" lines
+//! hubserve stats <store-file>                         store + arena sizes
+//! hubserve bench <store-file> [options]               in-process load test
+//! hubserve serve <store-file> [options]               TCP daemon (HLNP)
 //! ```
 //!
-//! `build` reads the plain-text edge list of `hl_graph::io`, constructs a
-//! labeling (`pll` by default; also `pll-random`, `pll-betweenness`) and
-//! writes the versioned binary store of `hl_server::store`.
+//! `build` reads the plain-text edge list of `hl_graph::io` — or
+//! synthesizes a seeded graph in-process with `--gen rmat|power-law|grid|gnm
+//! --nodes N` — and constructs the labeling through the `hl_build`
+//! batch/commit pipeline: `--threads N` parallelizes (output is
+//! bit-identical to sequential PLL), `--order` picks the vertex-ordering
+//! strategy (`degree`, `bfs-level`, `betweenness`, `closeness`, `random`,
+//! `identity`). The result is written as the versioned binary store of
+//! `hl_server::store`; `--verify K` spot-checks the freshly written store
+//! against ground-truth distances from `K` seeded sources, and
+//! `--bench-json FILE` additionally drops a machine-readable build
+//! snapshot (see BENCH_build.json). The legacy
+//! positional algorithms `pll`, `pll-random` and `pll-betweenness` still
+//! parse and map onto the matching order strategy.
 //!
 //! `query` reads whitespace-separated `u v` pairs — from a file when given
 //! (served as one batch across the pool), else line-by-line from stdin
@@ -41,10 +51,13 @@ use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use hl_core::pll::PrunedLandmarkLabeling;
-use hl_core::HubLabeling;
+use hl_build::BuildConfig;
+use hl_core::order::{
+    BetweennessOrder, BfsLevelOrder, ClosenessOrder, DegreeOrder, IdentityOrder, RandomOrder,
+};
+use hl_core::VertexOrder;
 use hl_graph::rng::Xorshift64;
-use hl_graph::{NodeId, INFINITY};
+use hl_graph::{generators, Graph, NodeId, INFINITY};
 use hl_net::{NetServer, ServerConfig};
 use hl_server::{LabelStore, QueryEngine};
 
@@ -58,10 +71,14 @@ fn main() -> ExitCode {
         Some("serve") => cmd_serve(&args[1..]),
         _ => {
             eprintln!("usage: hubserve build|query|stats|bench|serve ...");
-            eprintln!("  build <graph-file> <store-file> [pll|pll-random|pll-betweenness]");
+            eprintln!("  build [<graph-file>] <store-file> [legacy-algo]");
+            eprintln!("        [--gen rmat|power-law|grid|gnm --nodes N [--edges M]]");
+            eprintln!("        [--threads N] [--order degree|bfs-level|betweenness|closeness|random|identity]");
+            eprintln!("        [--seed S] [--bench-json FILE]");
             eprintln!("  query <store-file> [pairs-file]");
             eprintln!("  stats <store-file>");
             eprintln!("  bench <store-file> [--queries N] [--workers N] [--batch N] [--seed S]");
+            eprintln!("        [--bench-json FILE]");
             eprintln!("  serve <store-file> [--addr HOST:PORT] [--workers N] [--max-conns N]");
             eprintln!("        [--read-timeout-ms N] [--write-timeout-ms N]");
             return ExitCode::from(2);
@@ -86,32 +103,260 @@ fn open_store(path: &str) -> Result<LabelStore, String> {
     LabelStore::open(path).map_err(|e| format!("cannot open store {path}: {e}"))
 }
 
+struct BuildOpts {
+    graph_path: Option<String>,
+    store_path: String,
+    gen: Option<String>,
+    nodes: usize,
+    edges: usize,
+    seed: u64,
+    threads: usize,
+    order: String,
+    verify_sources: usize,
+    bench_json: Option<String>,
+}
+
+const BUILD_USAGE: &str = "usage: hubserve build [<graph-file>] <store-file> [legacy-algo] \
+     [--gen rmat|power-law|grid|gnm --nodes N [--edges M]] [--threads N] \
+     [--order degree|bfs-level|betweenness|closeness|random|identity] [--seed S] \
+     [--verify SOURCES] [--bench-json FILE]";
+
+fn parse_build_opts(args: &[String]) -> Result<BuildOpts, String> {
+    let mut positionals: Vec<String> = Vec::new();
+    let mut gen = None;
+    let mut nodes = 0usize;
+    let mut edges = 0usize;
+    let mut seed = 1u64;
+    let mut threads = 1usize;
+    let mut order: Option<String> = None;
+    let mut verify_sources = 0usize;
+    let mut bench_json = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut take = |name: &str| {
+            it.next()
+                .map(String::as_str)
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--gen" => gen = Some(take("--gen")?.to_string()),
+            "--nodes" => {
+                nodes = take("--nodes")?
+                    .parse()
+                    .map_err(|e| format!("--nodes: {e}"))?
+            }
+            "--edges" => {
+                edges = take("--edges")?
+                    .parse()
+                    .map_err(|e| format!("--edges: {e}"))?
+            }
+            "--seed" => {
+                seed = take("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?
+            }
+            "--threads" => {
+                threads = take("--threads")?
+                    .parse()
+                    .map_err(|e| format!("--threads: {e}"))?
+            }
+            "--order" => order = Some(take("--order")?.to_string()),
+            "--verify" => {
+                verify_sources = take("--verify")?
+                    .parse()
+                    .map_err(|e| format!("--verify: {e}"))?
+            }
+            "--bench-json" => bench_json = Some(take("--bench-json")?.to_string()),
+            other if !other.starts_with('-') => positionals.push(other.to_string()),
+            other => return Err(format!("unexpected argument '{other}'")),
+        }
+    }
+    // Legacy positional algorithms map onto order strategies.
+    let legacy = |algo: &str| -> Result<String, String> {
+        match algo {
+            "pll" => Ok("degree".into()),
+            "pll-random" => Ok("random".into()),
+            "pll-betweenness" => Ok("betweenness".into()),
+            other => Err(format!("unknown algorithm '{other}'")),
+        }
+    };
+    let (graph_path, store_path, legacy_order) = if gen.is_some() {
+        match positionals.as_slice() {
+            [s] => (None, s.clone(), None),
+            _ => return Err(BUILD_USAGE.into()),
+        }
+    } else {
+        match positionals.as_slice() {
+            [g, s] => (Some(g.clone()), s.clone(), None),
+            [g, s, a] => (Some(g.clone()), s.clone(), Some(legacy(a)?)),
+            _ => return Err(BUILD_USAGE.into()),
+        }
+    };
+    if let (Some(o), Some(l)) = (&order, &legacy_order) {
+        if *o != *l {
+            return Err(format!(
+                "--order {o} conflicts with legacy algo (implies {l})"
+            ));
+        }
+    }
+    if threads == 0 {
+        return Err("--threads must be positive".into());
+    }
+    Ok(BuildOpts {
+        graph_path,
+        store_path,
+        gen,
+        nodes,
+        edges,
+        seed,
+        threads,
+        order: order.or(legacy_order).unwrap_or_else(|| "degree".into()),
+        verify_sources,
+        bench_json,
+    })
+}
+
+fn order_strategy(name: &str, seed: u64) -> Result<Box<dyn VertexOrder>, String> {
+    match name {
+        "degree" => Ok(Box::new(DegreeOrder)),
+        "bfs-level" => Ok(Box::new(BfsLevelOrder)),
+        "betweenness" => Ok(Box::new(BetweennessOrder { samples: 24, seed })),
+        "closeness" => Ok(Box::new(ClosenessOrder)),
+        "random" => Ok(Box::new(RandomOrder { seed })),
+        "identity" => Ok(Box::new(IdentityOrder)),
+        other => Err(format!(
+            "unknown order '{other}' (degree, bfs-level, betweenness, closeness, random, identity)"
+        )),
+    }
+}
+
+/// Synthesizes one of the seeded graph families of `hl_graph::generators`
+/// sized from `--nodes`/`--edges`.
+fn generate_graph(name: &str, nodes: usize, edges: usize, seed: u64) -> Result<Graph, String> {
+    if nodes == 0 {
+        return Err("--gen needs --nodes N".into());
+    }
+    match name {
+        "rmat" => {
+            let scale = (usize::BITS - (nodes - 1).max(1).leading_zeros()).max(1);
+            let m = if edges > 0 { edges } else { nodes * 8 };
+            Ok(generators::rmat(scale, m, seed))
+        }
+        "power-law" | "powerlaw" => Ok(generators::power_law_configuration(nodes, 25, seed)),
+        "grid" => {
+            let side = (nodes as f64).sqrt().ceil() as usize;
+            let shortcuts = if edges > 0 { edges } else { nodes / 50 };
+            Ok(generators::grid_with_shortcuts(side, side, shortcuts, seed))
+        }
+        "gnm" => {
+            let extra = if edges > 0 {
+                edges.saturating_sub(nodes - 1)
+            } else {
+                nodes
+            };
+            Ok(generators::connected_gnm(nodes, extra, seed))
+        }
+        other => Err(format!(
+            "unknown generator '{other}' (rmat, power-law, grid, gnm)"
+        )),
+    }
+}
+
 fn cmd_build(args: &[String]) -> Result<(), String> {
-    let (graph_path, store_path, algo) = match args {
-        [g, s] => (g, s, "pll"),
-        [g, s, a] => (g, s, a.as_str()),
-        _ => return Err("usage: hubserve build <graph-file> <store-file> [algo]".into()),
+    let opts = parse_build_opts(args)?;
+    let (g, graph_desc) = match (&opts.gen, &opts.graph_path) {
+        (Some(name), _) => (
+            generate_graph(name, opts.nodes, opts.edges, opts.seed)?,
+            name.clone(),
+        ),
+        (None, Some(path)) => {
+            let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+            let g =
+                hl_graph::io::read_edge_list(BufReader::new(file)).map_err(|e| e.to_string())?;
+            (g, path.clone())
+        }
+        (None, None) => return Err(BUILD_USAGE.into()),
     };
-    let file = File::open(graph_path).map_err(|e| format!("cannot open {graph_path}: {e}"))?;
-    let g = hl_graph::io::read_edge_list(BufReader::new(file)).map_err(|e| e.to_string())?;
+    let strategy = order_strategy(&opts.order, opts.seed)?;
     let started = Instant::now();
-    let labeling: HubLabeling = match algo {
-        "pll" => PrunedLandmarkLabeling::by_degree(&g).into_labeling(),
-        "pll-random" => PrunedLandmarkLabeling::by_random_order(&g, 1).into_labeling(),
-        "pll-betweenness" => PrunedLandmarkLabeling::by_betweenness(&g, 24, 1).into_labeling(),
-        other => return Err(format!("unknown algorithm '{other}'")),
-    };
+    let out = hl_build::build_with_strategy(
+        &g,
+        strategy.as_ref(),
+        BuildConfig::with_threads(opts.threads),
+    )
+    .map_err(|e| e.to_string())?;
     let build_s = started.elapsed().as_secs_f64();
-    let store = LabelStore::from_labeling(&labeling);
+    let store = LabelStore::from_labeling(&out.labeling.to_labeling());
     store
-        .save(store_path)
-        .map_err(|e| format!("cannot write {store_path}: {e}"))?;
+        .save(&opts.store_path)
+        .map_err(|e| format!("cannot write {}: {e}", opts.store_path))?;
     println!(
-        "built {algo} labels for {} nodes in {build_s:.2}s; store {} bytes ({:.1} bits/label)",
-        labeling.num_nodes(),
+        "built {}-order labels for {} nodes ({} edges) in {build_s:.2}s \
+         ({} threads, {} entries); store {} bytes ({:.1} bits/label)",
+        opts.order,
+        g.num_nodes(),
+        g.num_edges(),
+        opts.threads,
+        out.labeling.num_entries(),
         store.file_len(),
-        store.total_bits() as f64 / labeling.num_nodes().max(1) as f64,
+        store.total_bits() as f64 / g.num_nodes().max(1) as f64,
     );
+    let mut verified_pairs = 0usize;
+    if opts.verify_sources > 0 {
+        // Spot-check the *saved* store — reopen it, decode the flat arena,
+        // and compare against ground-truth single-source distances, so the
+        // whole generate -> build -> encode -> decode path is on the hook.
+        let reopened = open_store(&opts.store_path)?;
+        let flat = reopened
+            .to_flat()
+            .map_err(|e| format!("cannot decode freshly written store: {e}"))?;
+        let n = g.num_nodes();
+        let mut rng = Xorshift64::seed_from_u64(opts.seed ^ 0x5107_C4EC);
+        for _ in 0..opts.verify_sources {
+            let s = rng.gen_index(n) as NodeId;
+            let truth = hl_graph::dijkstra::shortest_path_distances(&g, s);
+            for _ in 0..512 {
+                let v = rng.gen_index(n) as NodeId;
+                let got = flat.query(s, v);
+                if got != truth[v as usize] {
+                    return Err(format!(
+                        "verify FAILED: store answers d({s},{v}) = {got}, \
+                         ground truth says {}",
+                        truth[v as usize]
+                    ));
+                }
+                verified_pairs += 1;
+            }
+        }
+        println!(
+            "verify: OK — {verified_pairs} store answers from {} sources match \
+             ground-truth distances exactly",
+            opts.verify_sources
+        );
+    }
+    if let Some(path) = &opts.bench_json {
+        let json = format!(
+            concat!(
+                "{{\"bench\":\"build\",\"graph\":\"{}\",\"n\":{},\"m\":{},",
+                "\"threads\":{},\"order\":\"{}\",\"seed\":{},\"build_seconds\":{:.6},",
+                "\"label_entries\":{},\"store_bytes\":{},\"verified_pairs\":{},",
+                "\"stats\":{}}}\n"
+            ),
+            graph_desc,
+            g.num_nodes(),
+            g.num_edges(),
+            opts.threads,
+            out.stats.order,
+            opts.seed,
+            build_s,
+            out.labeling.num_entries(),
+            store.file_len(),
+            verified_pairs,
+            out.stats.to_json(),
+        );
+        std::fs::write(path, json).map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("build snapshot written to {path}");
+    }
     Ok(())
 }
 
@@ -219,6 +464,7 @@ struct BenchOpts {
     workers: usize,
     batch: usize,
     seed: u64,
+    bench_json: Option<String>,
 }
 
 fn parse_bench_opts(args: &[String]) -> Result<(String, BenchOpts), String> {
@@ -228,6 +474,7 @@ fn parse_bench_opts(args: &[String]) -> Result<(String, BenchOpts), String> {
         workers: default_workers(),
         batch: 1024,
         seed: 42,
+        bench_json: None,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -257,6 +504,7 @@ fn parse_bench_opts(args: &[String]) -> Result<(String, BenchOpts), String> {
                     .parse()
                     .map_err(|e| format!("--seed: {e}"))?
             }
+            "--bench-json" => opts.bench_json = Some(take("--bench-json")?.to_string()),
             other if store_path.is_none() && !other.starts_with('-') => {
                 store_path = Some(other.to_string())
             }
@@ -264,7 +512,8 @@ fn parse_bench_opts(args: &[String]) -> Result<(String, BenchOpts), String> {
         }
     }
     let store_path = store_path.ok_or_else(|| {
-        "usage: hubserve bench <store-file> [--queries N] [--workers N] [--batch N] [--seed S]"
+        "usage: hubserve bench <store-file> [--queries N] [--workers N] [--batch N] [--seed S] \
+         [--bench-json FILE]"
             .to_string()
     })?;
     if opts.queries == 0 || opts.batch == 0 {
@@ -347,7 +596,33 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
     );
 
     println!("--- metrics ({} workers engine) ---", opts.workers);
-    println!("{}", pooled.snapshot().render_text());
+    let snap = pooled.snapshot();
+    println!("{}", snap.render_text());
+    if let Some(path) = &opts.bench_json {
+        let json = format!(
+            concat!(
+                "{{\"bench\":\"query\",\"store\":\"{}\",\"n\":{},\"label_entries\":{},",
+                "\"queries\":{},\"batch\":{},\"seed\":{},\"workers\":{},",
+                "\"single_qps\":{:.0},\"pooled_qps\":{:.0},\"speedup\":{:.3},",
+                "\"cached_single_qps\":{:.0},\"p50_ns\":{},\"p99_ns\":{}}}\n"
+            ),
+            store_path,
+            n,
+            pooled.num_entries(),
+            opts.queries,
+            opts.batch,
+            opts.seed,
+            opts.workers,
+            opts.queries as f64 / t1,
+            opts.queries as f64 / tn,
+            t1 / tn,
+            singles as f64 / ts,
+            snap.p50_ns,
+            snap.p99_ns,
+        );
+        std::fs::write(path, json).map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("query snapshot written to {path}");
+    }
     Ok(())
 }
 

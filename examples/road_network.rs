@@ -30,7 +30,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let by_degree = PrunedLandmarkLabeling::by_degree(&g).into_labeling();
     let t_deg = t0.elapsed();
     let t0 = Instant::now();
-    let by_btw = PrunedLandmarkLabeling::by_betweenness(&g, 24, 3).into_labeling();
+    let by_btw = PrunedLandmarkLabeling::by_betweenness(&g, 24, 3)
+        .expect("betweenness order")
+        .into_labeling();
     let t_btw = t0.elapsed();
     println!(
         "PLL degree order:      {} (built in {t_deg:.2?})",

@@ -30,6 +30,19 @@ echo "== hlnp-fuzz (seeded, bounded) =="
 # 2 if its own wall-clock guard fires. `timeout` is the outer hang net.
 timeout 240 ./target/release/hlnp-fuzz --seed 5 --iters 2000 --max-seconds 180
 
+echo "== parallel-build smoke (~100k vertices, bounded) =="
+# Exercises the hl-build batch/commit pipeline at a size the unit tests
+# don't reach: a ~131k-vertex RMAT graph, 2 worker threads, degree
+# order, flowing into the binary store and back out through stats.
+SMOKE=$(mktemp -d)
+trap 'rm -rf "$SMOKE"' EXIT
+timeout 600 ./target/release/hubserve build "$SMOKE/parallel.hlbs" \
+  --gen rmat --nodes 100000 --edges 400000 --seed 9 --threads 2 \
+  --order degree --bench-json "$SMOKE/parallel.json"
+grep -q '"bench":"build"' "$SMOKE/parallel.json"
+./target/release/hubserve stats "$SMOKE/parallel.hlbs" > "$SMOKE/stats.txt"
+grep -q 'arena entries' "$SMOKE/stats.txt"
+
 echo "== kick-tires =="
 bash scripts/kick-tires.sh
 

@@ -35,8 +35,8 @@ echo "== ground truth: text labeling, verified exact =="
 "$HUBTOOL" build "$TMP/graph.txt" "$TMP/labels.txt" pll
 "$HUBTOOL" verify "$TMP/graph.txt" "$TMP/labels.txt"
 
-echo "== serving path: binary store =="
-"$HUBSERVE" build "$TMP/graph.txt" "$TMP/store.hlbs"
+echo "== serving path: binary store (parallel build, 2 threads) =="
+"$HUBSERVE" build "$TMP/graph.txt" "$TMP/store.hlbs" --threads 2
 
 echo "== store stats report the flat arena =="
 "$HUBSERVE" stats "$TMP/store.hlbs" | tee "$TMP/stats.txt"

@@ -8,6 +8,8 @@
 //! * [`graph`] — CSR graph substrate, traversal, generators, transforms;
 //! * [`core`] — hub labelings and all constructions (PLL, greedy,
 //!   random-threshold, the Theorem 4.1 RS-based algorithm, centroid trees);
+//! * [`build`] — parallel, ordering-aware PLL construction for
+//!   million-vertex graphs (bit-identical to sequential PLL);
 //! * [`rs`] — Behrend sets, Ruzsa–Szemerédi graphs, induced matchings;
 //! * [`lowerbound`] — the `H_{b,ℓ}` / `G_{b,ℓ}` gadgets of Theorem 2.1,
 //!   Lemma 2.2 verification and hub-size accounting;
@@ -31,6 +33,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use hl_build as build;
 pub use hl_core as core;
 pub use hl_graph as graph;
 pub use hl_labeling as labeling;

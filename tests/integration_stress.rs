@@ -15,7 +15,9 @@ fn pll_on_sparse_graph_smoke() {
     // so CI exercises the build-verify pipeline on every run; the full
     // 10k-vertex version stays behind `--ignored`.
     let g = generators::connected_gnm(1_200, 600, 42);
-    let labeling = PrunedLandmarkLabeling::by_betweenness(&g, 16, 1).into_labeling();
+    let labeling = PrunedLandmarkLabeling::by_betweenness(&g, 16, 1)
+        .expect("betweenness order")
+        .into_labeling();
     let sources: Vec<NodeId> = (0..1_200).step_by(101).map(|v| v as NodeId).collect();
     let report = verify_from_sources_parallel(&g, &labeling, &sources);
     assert!(report.is_exact(), "{:?}", report.violations.first());
@@ -26,7 +28,9 @@ fn pll_on_sparse_graph_smoke() {
 #[ignore = "stress: ~1 minute in release"]
 fn pll_on_ten_thousand_vertex_sparse_graph() {
     let g = generators::connected_gnm(10_000, 5_000, 42);
-    let labeling = PrunedLandmarkLabeling::by_betweenness(&g, 32, 1).into_labeling();
+    let labeling = PrunedLandmarkLabeling::by_betweenness(&g, 32, 1)
+        .expect("betweenness order")
+        .into_labeling();
     let sources: Vec<NodeId> = (0..10_000).step_by(211).map(|v| v as NodeId).collect();
     let report = verify_from_sources_parallel(&g, &labeling, &sources);
     assert!(report.is_exact(), "{:?}", report.violations.first());

@@ -86,7 +86,9 @@ fn theorem11_hub_growth_shape() {
     assert!(gadget_avgs[1].1 > 2.0 * gadget_avgs[0].1, "{gadget_avgs:?}");
     // Contrast: a tree of the same size as H(3,2) has tiny labels.
     let tree = hub_labeling::graph::generators::random_tree(320, 1);
-    let tree_hl = PrunedLandmarkLabeling::by_betweenness(&tree, 32, 2).into_labeling();
+    let tree_hl = PrunedLandmarkLabeling::by_betweenness(&tree, 32, 2)
+        .expect("betweenness order")
+        .into_labeling();
     assert!(tree_hl.average_hubs() * 4.0 < gadget_avgs[1].1);
 }
 
