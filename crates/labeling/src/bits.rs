@@ -293,7 +293,8 @@ impl<'a> BitReader<'a> {
         let rest = if n == 0 {
             0
         } else {
-            self.try_read_bits(n as u32)?
+            let width = u32::try_from(n).ok()?;
+            self.try_read_bits(width)?
         };
         Some((1u64 << n) | rest)
     }

@@ -156,16 +156,19 @@ fn try_decode_label_inner(
         at_bit: r.position(),
     };
     let count = r.try_read_gamma0().ok_or_else(|| bad_gamma(&r))?;
+    let k = usize::try_from(count).map_err(|_| LabelDecodeError::CountTooLarge {
+        count,
+        remaining_bits: r.remaining(),
+    })?;
     // Each entry is one γ-coded hub (≥ 1 bit) plus one γ-coded distance
     // (≥ 1 bit), so a count beyond remaining/2 cannot be honest. This
     // also bounds the reserves below by the label's physical size.
-    if count > (r.remaining() / 2) as u64 {
+    if k > r.remaining() / 2 {
         return Err(LabelDecodeError::CountTooLarge {
             count,
             remaining_bits: r.remaining(),
         });
     }
-    let k = count as usize;
     hubs.reserve(k);
     let mut cur = 0u64;
     for i in 0..k {

@@ -1,0 +1,321 @@
+//! Findings baseline: suppress known findings so CI gates on new ones.
+//!
+//! A baseline file is simply a previous `hublint --json` report committed
+//! to the repository. `--baseline <file>` subtracts its violations from
+//! the current run as a **multiset keyed on (rule, file, message)** —
+//! deliberately ignoring line numbers, so unrelated edits that shift a
+//! known finding up or down a file do not break the gate, while a *new*
+//! finding of the same rule in the same file still fails (the count
+//! exceeds the baseline's).
+//!
+//! The parser below reads exactly the subset of JSON that
+//! [`crate::output::render_json`] emits (an object with a `"violations"`
+//! array of flat objects with string/number fields) and tolerates
+//! unknown keys, so older or newer report shapes keep working.
+
+use std::collections::HashMap;
+
+/// One suppressed finding from a baseline file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BaselineEntry {
+    /// Rule identifier, e.g. `cast-truncation`.
+    pub rule: String,
+    /// Workspace-relative path.
+    pub file: String,
+    /// Full diagnostic message.
+    pub message: String,
+}
+
+/// Parses the `"violations"` array out of a `hublint --json` report.
+///
+/// Returns an error describing the first malformed construct; an empty
+/// report (`"violations": []`) yields an empty list.
+pub fn parse_baseline(src: &str) -> Result<Vec<BaselineEntry>, String> {
+    let bytes = src.as_bytes();
+    let key = b"\"violations\"";
+    let mut at = None;
+    let mut i = 0;
+    while i + key.len() <= bytes.len() {
+        if &bytes[i..i + key.len()] == key {
+            at = Some(i + key.len());
+            break;
+        }
+        // Skip over string literals so a message containing the word
+        // "violations" cannot confuse the scan.
+        if bytes[i] == b'"' {
+            i += 1;
+            skip_string_body(bytes, &mut i)?;
+        } else {
+            i += 1;
+        }
+    }
+    let Some(mut i) = at else {
+        return Err("baseline file has no \"violations\" array".to_string());
+    };
+    skip_ws(bytes, &mut i);
+    if bytes.get(i) != Some(&b':') {
+        return Err("expected ':' after \"violations\"".to_string());
+    }
+    i += 1;
+    skip_ws(bytes, &mut i);
+    if bytes.get(i) != Some(&b'[') {
+        return Err("expected '[' to open the violations array".to_string());
+    }
+    i += 1;
+    let mut out = Vec::new();
+    loop {
+        skip_ws(bytes, &mut i);
+        match bytes.get(i) {
+            Some(b']') => return Ok(out),
+            Some(b',') => {
+                i += 1;
+                continue;
+            }
+            Some(b'{') => {
+                i += 1;
+                out.push(parse_entry(bytes, &mut i)?);
+            }
+            _ => return Err("malformed violations array".to_string()),
+        }
+    }
+}
+
+/// Parses one flat `{ "key": value, … }` object; collects string fields.
+fn parse_entry(bytes: &[u8], i: &mut usize) -> Result<BaselineEntry, String> {
+    let mut rule = None;
+    let mut file = None;
+    let mut message = None;
+    loop {
+        skip_ws(bytes, i);
+        match bytes.get(*i) {
+            Some(b'}') => {
+                *i += 1;
+                break;
+            }
+            Some(b',') => {
+                *i += 1;
+                continue;
+            }
+            Some(b'"') => {
+                let key = parse_string(bytes, i)?;
+                skip_ws(bytes, i);
+                if bytes.get(*i) != Some(&b':') {
+                    return Err(format!("expected ':' after key \"{key}\""));
+                }
+                *i += 1;
+                skip_ws(bytes, i);
+                match bytes.get(*i) {
+                    Some(b'"') => {
+                        let val = parse_string(bytes, i)?;
+                        match key.as_str() {
+                            "rule" => rule = Some(val),
+                            "file" => file = Some(val),
+                            "message" => message = Some(val),
+                            _ => {}
+                        }
+                    }
+                    Some(c) if c.is_ascii_digit() || *c == b'-' => {
+                        while bytes.get(*i).is_some_and(|c| {
+                            c.is_ascii_digit() || matches!(c, b'-' | b'+' | b'.' | b'e' | b'E')
+                        }) {
+                            *i += 1;
+                        }
+                    }
+                    Some(b't') | Some(b'f') | Some(b'n') => {
+                        while bytes.get(*i).is_some_and(|c| c.is_ascii_alphabetic()) {
+                            *i += 1;
+                        }
+                    }
+                    _ => return Err(format!("unsupported value for key \"{key}\"")),
+                }
+            }
+            _ => return Err("malformed violation object".to_string()),
+        }
+    }
+    match (rule, file, message) {
+        (Some(rule), Some(file), Some(message)) => Ok(BaselineEntry {
+            rule,
+            file,
+            message,
+        }),
+        _ => Err("violation object missing rule/file/message".to_string()),
+    }
+}
+
+/// Parses a JSON string literal starting at `"` into its unescaped value.
+fn parse_string(bytes: &[u8], i: &mut usize) -> Result<String, String> {
+    if bytes.get(*i) != Some(&b'"') {
+        return Err("expected string".to_string());
+    }
+    *i += 1;
+    let mut out = Vec::new();
+    loop {
+        match bytes.get(*i) {
+            None => return Err("unterminated string in baseline".to_string()),
+            Some(b'"') => {
+                *i += 1;
+                return String::from_utf8(out).map_err(|_| "invalid utf-8 in baseline".to_string());
+            }
+            Some(b'\\') => {
+                *i += 1;
+                match bytes.get(*i) {
+                    Some(b'"') => out.push(b'"'),
+                    Some(b'\\') => out.push(b'\\'),
+                    Some(b'/') => out.push(b'/'),
+                    Some(b'n') => out.push(b'\n'),
+                    Some(b't') => out.push(b'\t'),
+                    Some(b'r') => out.push(b'\r'),
+                    Some(b'b') => out.push(0x08),
+                    Some(b'f') => out.push(0x0c),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*i + 1..*i + 5)
+                            .ok_or_else(|| "truncated \\u escape".to_string())?;
+                        let s =
+                            std::str::from_utf8(hex).map_err(|_| "bad \\u escape".to_string())?;
+                        let code =
+                            u32::from_str_radix(s, 16).map_err(|_| "bad \\u escape".to_string())?;
+                        let ch = char::from_u32(code).unwrap_or('\u{fffd}');
+                        let mut buf = [0u8; 4];
+                        out.extend_from_slice(ch.encode_utf8(&mut buf).as_bytes());
+                        *i += 4;
+                    }
+                    _ => return Err("unknown escape in baseline string".to_string()),
+                }
+                *i += 1;
+            }
+            Some(&c) => {
+                out.push(c);
+                *i += 1;
+            }
+        }
+    }
+}
+
+/// Advances past the body of a string whose opening `"` was consumed.
+fn skip_string_body(bytes: &[u8], i: &mut usize) -> Result<(), String> {
+    loop {
+        match bytes.get(*i) {
+            None => return Err("unterminated string".to_string()),
+            Some(b'"') => {
+                *i += 1;
+                return Ok(());
+            }
+            Some(b'\\') => *i += 2,
+            Some(_) => *i += 1,
+        }
+    }
+}
+
+fn skip_ws(bytes: &[u8], i: &mut usize) {
+    while bytes.get(*i).is_some_and(|c| c.is_ascii_whitespace()) {
+        *i += 1;
+    }
+}
+
+/// Splits `violations` into (new, baselined): each baseline entry
+/// suppresses at most one matching violation (multiset semantics).
+pub fn split_by_baseline(
+    violations: Vec<crate::rules::Diagnostic>,
+    entries: &[BaselineEntry],
+) -> (Vec<crate::rules::Diagnostic>, Vec<crate::rules::Diagnostic>) {
+    let mut budget: HashMap<(String, String, String), usize> = HashMap::new();
+    for e in entries {
+        *budget
+            .entry((e.rule.clone(), e.file.clone(), e.message.clone()))
+            .or_insert(0) += 1;
+    }
+    let mut fresh = Vec::new();
+    let mut baselined = Vec::new();
+    for d in violations {
+        let key = (d.rule.to_string(), d.file.clone(), d.message.clone());
+        let hit = match budget.get_mut(&key) {
+            Some(n) if *n > 0 => {
+                *n -= 1;
+                true
+            }
+            _ => false,
+        };
+        if hit {
+            baselined.push(d);
+        } else {
+            fresh.push(d);
+        }
+    }
+    (fresh, baselined)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::Diagnostic;
+
+    fn diag(rule: &'static str, file: &str, line: u32, message: &str) -> Diagnostic {
+        Diagnostic {
+            rule,
+            file: file.to_string(),
+            line,
+            message: message.to_string(),
+        }
+    }
+
+    #[test]
+    fn parses_render_json_shape() {
+        let src = r#"{
+  "violations": [
+    { "rule": "no-panic", "file": "src/lib.rs", "line": 3, "message": "panic! in library code" },
+    { "rule": "cast-truncation", "file": "src/a.rs", "line": 9, "message": "narrowing `as u32` on `n`" }
+  ],
+  "waivers": [],
+  "summary": { "violations": 2, "waived": 0 }
+}"#;
+        let entries = parse_baseline(src).expect("parses");
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].rule, "no-panic");
+        assert_eq!(entries[1].file, "src/a.rs");
+    }
+
+    #[test]
+    fn unescapes_message_strings() {
+        let src =
+            r#"{ "violations": [ { "rule": "r", "file": "f", "message": "say \"hi\" & more" } ] }"#;
+        let entries = parse_baseline(src).expect("parses");
+        assert_eq!(entries[0].message, "say \"hi\" & more");
+    }
+
+    #[test]
+    fn missing_array_is_an_error() {
+        assert!(parse_baseline("{}").is_err());
+        assert!(parse_baseline("not json at all").is_err());
+    }
+
+    #[test]
+    fn multiset_semantics_suppress_counted_matches_only() {
+        let entries = vec![BaselineEntry {
+            rule: "no-panic".to_string(),
+            file: "src/lib.rs".to_string(),
+            message: "m".to_string(),
+        }];
+        // Two identical findings, one baselined slot: one stays new.
+        let v = vec![
+            diag("no-panic", "src/lib.rs", 3, "m"),
+            diag("no-panic", "src/lib.rs", 9, "m"),
+        ];
+        let (fresh, base) = split_by_baseline(v, &entries);
+        assert_eq!(base.len(), 1);
+        assert_eq!(fresh.len(), 1);
+    }
+
+    #[test]
+    fn line_shifts_do_not_defeat_the_baseline() {
+        let entries = vec![BaselineEntry {
+            rule: "no-print".to_string(),
+            file: "src/lib.rs".to_string(),
+            message: "m".to_string(),
+        }];
+        let (fresh, base) =
+            split_by_baseline(vec![diag("no-print", "src/lib.rs", 99, "m")], &entries);
+        assert!(fresh.is_empty());
+        assert_eq!(base.len(), 1);
+    }
+}

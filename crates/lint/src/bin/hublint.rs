@@ -2,7 +2,7 @@
 //! invariants.
 //!
 //! ```text
-//! hublint [--json] [--root <dir>]
+//! hublint [--json] [--root <dir>] [--baseline <report.json> [--diff]]
 //! ```
 //!
 //! Scans the workspace rooted at `--root` (default: the current
@@ -10,17 +10,25 @@
 //! reports violations as `file:line: [rule] message` lines, or as a JSON
 //! document with `--json`.
 //!
+//! `--baseline <file>` subtracts the violations recorded in a previous
+//! `hublint --json` report: known findings are counted as "baselined"
+//! and only *new* findings affect the exit code. `--diff` is an explicit
+//! alias documenting that intent in CI scripts; it requires `--baseline`.
+//!
 //! Exit codes match `hubserve`: 0 clean, 1 violations found (or a runtime
 //! failure such as an unreadable file), 2 usage error.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
+use hl_lint::baseline::{parse_baseline, split_by_baseline};
 use hl_lint::lint_workspace;
 use hl_lint::output::{render_json, render_text};
 
+const USAGE: &str = "usage: hublint [--json] [--root <dir>] [--baseline <report.json> [--diff]]";
+
 fn usage() -> ExitCode {
-    eprintln!("usage: hublint [--json] [--root <dir>]");
+    eprintln!("{USAGE}");
     ExitCode::from(2)
 }
 
@@ -44,6 +52,8 @@ fn find_workspace_root(start: &Path) -> Option<PathBuf> {
 fn main() -> ExitCode {
     let mut json = false;
     let mut root: Option<PathBuf> = None;
+    let mut baseline: Option<PathBuf> = None;
+    let mut diff = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -52,13 +62,42 @@ fn main() -> ExitCode {
                 Some(dir) => root = Some(PathBuf::from(dir)),
                 None => return usage(),
             },
+            "--baseline" => match args.next() {
+                Some(path) => baseline = Some(PathBuf::from(path)),
+                None => return usage(),
+            },
+            "--diff" => diff = true,
             "-h" | "--help" => {
-                println!("usage: hublint [--json] [--root <dir>]");
+                println!("{USAGE}");
                 return ExitCode::SUCCESS;
             }
             _ => return usage(),
         }
     }
+    if diff && baseline.is_none() {
+        eprintln!("hublint: --diff requires --baseline <report.json>");
+        return usage();
+    }
+
+    let baseline_entries = match &baseline {
+        None => Vec::new(),
+        Some(path) => {
+            let contents = match std::fs::read_to_string(path) {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("hublint: cannot read baseline {}: {e}", path.display());
+                    return ExitCode::FAILURE;
+                }
+            };
+            match parse_baseline(&contents) {
+                Ok(entries) => entries,
+                Err(e) => {
+                    eprintln!("hublint: malformed baseline {}: {e}", path.display());
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    };
 
     let root = match root {
         Some(r) => r,
@@ -84,7 +123,13 @@ fn main() -> ExitCode {
     };
 
     match lint_workspace(&root) {
-        Ok(report) => {
+        Ok(mut report) => {
+            if !baseline_entries.is_empty() {
+                let violations = std::mem::take(&mut report.violations);
+                let (fresh, baselined) = split_by_baseline(violations, &baseline_entries);
+                report.violations = fresh;
+                report.baselined = baselined;
+            }
             if json {
                 print!("{}", render_json(&report));
             } else {

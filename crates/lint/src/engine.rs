@@ -3,7 +3,9 @@
 use std::fs;
 use std::path::Path;
 
+use crate::ast::parse_file;
 use crate::manifest::scan_manifest;
+use crate::resolve::{semantic_scan, SemFile};
 use crate::rules::{check_unsafe_attr, scan_source, Diagnostic, FileContext};
 use crate::tokenizer::tokenize;
 use crate::waivers::{apply_waivers, extract_waivers, Waiver};
@@ -16,6 +18,8 @@ pub struct LintReport {
     pub violations: Vec<Diagnostic>,
     /// Diagnostics silenced by a waiver, with the waiver that did it.
     pub waived: Vec<(Diagnostic, Waiver)>,
+    /// Violations suppressed by the `--baseline` file (known backlog).
+    pub baselined: Vec<Diagnostic>,
     /// Well-formed waivers that matched no diagnostic (likely stale).
     pub unused_waivers: Vec<Waiver>,
     /// Number of `.rs` files scanned.
@@ -44,6 +48,9 @@ pub fn lint_workspace(root: &Path) -> Result<LintReport, DiscoverError> {
     let mut report = LintReport::default();
     let mut diagnostics: Vec<Diagnostic> = Vec::new();
     let mut waivers: Vec<Waiver> = Vec::new();
+    // Library files across every crate, kept for the workspace-level
+    // semantic pass (cross-crate fact join).
+    let mut sem_files: Vec<SemFile> = Vec::new();
 
     // Manifests: the workspace root plus every member.
     let root_manifest = root.join("Cargo.toml");
@@ -111,9 +118,19 @@ pub fn lint_workspace(root: &Path) -> Result<LintReport, DiscoverError> {
                     diagnostics.push(d);
                 }
             }
+            if ctx == FileContext::Lib {
+                let ast = parse_file(&tokens);
+                sem_files.push(SemFile {
+                    rel,
+                    toks: tokens.tokens,
+                    ast,
+                });
+            }
             report.files_scanned += 1;
         }
     }
+
+    diagnostics.extend(semantic_scan(&sem_files));
 
     diagnostics.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
     let (violations, waived, used) = apply_waivers(diagnostics, &waivers);

@@ -17,15 +17,26 @@
 //! declared per line with `// lint:allow(rule): reason` and surfaced in
 //! the lint summary.
 //!
+//! On top of the token scan sits a semantic layer ([`ast`] + [`resolve`]):
+//! a lightweight item parser extracts function signatures, struct fields,
+//! and body token ranges; a workspace join over those facts powers four
+//! dataflow rules — `cast-truncation`, `swallowed-result`, `lock-order`,
+//! and `untrusted-length-alloc`. A committed findings baseline
+//! ([`baseline`]) lets CI gate on *new* findings only (`--baseline` /
+//! `--diff`).
+//!
 //! See `DESIGN.md` ("Static analysis") for the rule catalog and the
-//! reasoning behind token-level — rather than AST-level — matching.
+//! reasoning behind this layering.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod ast;
+pub mod baseline;
 pub mod engine;
 pub mod manifest;
 pub mod output;
+pub mod resolve;
 pub mod rules;
 pub mod tokenizer;
 pub mod waivers;

@@ -54,9 +54,10 @@ pub fn render_text(report: &LintReport) -> String {
     }
     let _ = writeln!(
         out,
-        "hublint: {} violation(s), {} waived, {} file(s), {} manifest(s)",
+        "hublint: {} violation(s), {} waived, {} baselined, {} file(s), {} manifest(s)",
         report.violations.len(),
         report.waived.len(),
+        report.baselined.len(),
         report.files_scanned,
         report.manifests_scanned
     );
@@ -97,9 +98,10 @@ pub fn render_json(report: &LintReport) -> String {
     }
     let _ = write!(
         out,
-        "],\n  \"summary\": {{\"violations\": {}, \"waived\": {}, \"unused_waivers\": {}, \"files_scanned\": {}, \"manifests_scanned\": {}}}\n}}",
+        "],\n  \"summary\": {{\"violations\": {}, \"waived\": {}, \"baselined\": {}, \"unused_waivers\": {}, \"files_scanned\": {}, \"manifests_scanned\": {}}}\n}}",
         report.violations.len(),
         report.waived.len(),
+        report.baselined.len(),
         report.unused_waivers.len(),
         report.files_scanned,
         report.manifests_scanned
@@ -136,6 +138,7 @@ mod tests {
                     file: "crates/y/src/lib.rs".into(),
                 },
             )],
+            baselined: Vec::new(),
             unused_waivers: Vec::new(),
             files_scanned: 2,
             manifests_scanned: 1,

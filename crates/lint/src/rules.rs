@@ -1,6 +1,7 @@
 //! The rule engine: token-pattern rules over classified source files.
 //!
-//! Five rules, mirroring the workspace's hard invariants:
+//! Nine rules, mirroring the workspace's hard invariants. Five are
+//! token-pattern rules implemented here:
 //!
 //! | rule             | scope            | fires on |
 //! |------------------|------------------|----------|
@@ -9,6 +10,16 @@
 //! | `exit-in-lib`    | library code     | `process::exit` (and `use std::process::exit`) |
 //! | `no-unsafe-attr` | crate roots      | missing `#![forbid(unsafe_code)]` |
 //! | `offline-deps`   | manifests        | any non-`path` dependency |
+//!
+//! and four are semantic dataflow rules implemented in [`crate::resolve`]
+//! over the [`crate::ast`] item layer:
+//!
+//! | rule                     | scope        | fires on |
+//! |--------------------------|--------------|----------|
+//! | `cast-truncation`        | library code | narrowing `as` on decode-tainted values |
+//! | `swallowed-result`       | library code | `let _ =` / `.ok();` on workspace `Result` calls |
+//! | `lock-order`             | workspace    | cycles in the lock-acquisition graph |
+//! | `untrusted-length-alloc` | library code | allocations sized by unchecked decoded lengths |
 //!
 //! "Library code" is everything under a crate's `src/` except `src/bin/`
 //! and `src/main.rs`; files under `tests/`, `benches/` and `examples/` are
@@ -42,12 +53,16 @@ pub struct Diagnostic {
 }
 
 /// All known line-level and file-level rule names (for waiver validation).
-pub const RULE_NAMES: [&str; 5] = [
+pub const RULE_NAMES: [&str; 9] = [
     "no-panic",
     "no-print",
     "exit-in-lib",
     "no-unsafe-attr",
     "offline-deps",
+    "cast-truncation",
+    "swallowed-result",
+    "lock-order",
+    "untrusted-length-alloc",
 ];
 
 const PANIC_METHODS: [&str; 2] = ["unwrap", "expect"];
@@ -84,14 +99,14 @@ pub fn scan_source(tokens: &Tokenized, ctx: FileContext, file: &str) -> SourceSc
     scan
 }
 
-fn ident_at(toks: &[Tok], i: usize) -> Option<&str> {
+pub(crate) fn ident_at(toks: &[Tok], i: usize) -> Option<&str> {
     match toks.get(i).map(|t| &t.kind) {
         Some(TokKind::Ident(s)) => Some(s),
         _ => None,
     }
 }
 
-fn punct_at(toks: &[Tok], i: usize) -> Option<char> {
+pub(crate) fn punct_at(toks: &[Tok], i: usize) -> Option<char> {
     match toks.get(i).map(|t| &t.kind) {
         Some(TokKind::Punct(c)) => Some(*c),
         _ => None,
@@ -160,7 +175,11 @@ fn check_at(toks: &[Tok], i: usize, file: &str, out: &mut Vec<Diagnostic>) {
 
 /// If `i` starts a `#[cfg(test)]`-attributed item, returns the token index
 /// just past that item (skipping it). Also records `mod name;` targets.
-fn cfg_test_item_end(toks: &[Tok], i: usize, test_mods: &mut Vec<String>) -> Option<usize> {
+pub(crate) fn cfg_test_item_end(
+    toks: &[Tok],
+    i: usize,
+    test_mods: &mut Vec<String>,
+) -> Option<usize> {
     // Match `# [ cfg ( … test … ) ]` — also covers `cfg(all(test, …))`.
     if punct_at(toks, i) != Some('#') || punct_at(toks, i + 1) != Some('[') {
         return None;
@@ -208,7 +227,7 @@ fn cfg_test_item_end(toks: &[Tok], i: usize, test_mods: &mut Vec<String>) -> Opt
 }
 
 /// Index of the `close` punct matching the `open` punct at `start`.
-fn matching_close(toks: &[Tok], start: usize, open: char, close: char) -> Option<usize> {
+pub(crate) fn matching_close(toks: &[Tok], start: usize, open: char, close: char) -> Option<usize> {
     let mut depth = 0usize;
     let mut k = start;
     while k < toks.len() {

@@ -1,0 +1,13 @@
+/// Allocates from a decoded length with no cap check: fires on line 3.
+pub fn bad_alloc(buf: [u8; 4]) -> Vec<u8> {
+    Vec::with_capacity(u32::from_le_bytes(buf) as usize)
+}
+
+/// The same allocation behind a cap check: clean.
+pub fn checked_alloc(buf: [u8; 4]) -> Vec<u8> {
+    let n = u32::from_le_bytes(buf) as usize;
+    if n > 4096 {
+        return Vec::new();
+    }
+    Vec::with_capacity(n)
+}

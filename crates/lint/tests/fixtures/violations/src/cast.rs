@@ -1,0 +1,9 @@
+/// Truncates a decoded u64 header field: cast-truncation fires on line 3.
+pub fn bad_cast(buf: [u8; 8]) -> u32 {
+    u64::from_le_bytes(buf) as u32
+}
+
+/// The same narrowing, waived with a justification.
+pub fn waived_cast(buf: [u8; 8]) -> u32 {
+    u64::from_le_bytes(buf) as u32 // lint:allow(cast-truncation): fixture keeps the narrowing to exercise the waiver path
+}

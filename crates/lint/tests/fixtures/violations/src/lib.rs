@@ -22,3 +22,8 @@ mod tests {
         panic!("fine in tests");
     }
 }
+
+pub mod alloc;
+pub mod cast;
+pub mod locks;
+pub mod swallow;

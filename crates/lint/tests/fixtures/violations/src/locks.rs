@@ -1,0 +1,25 @@
+//! Fixture: two locks acquired in both orders — lock-order reports the
+//! cycle once, at the earliest nested acquisition (line 15).
+
+use std::sync::Mutex;
+
+pub struct Pair {
+    a: Mutex<u32>,
+    b: Mutex<u32>,
+}
+
+impl Pair {
+    /// Locks `a`, then `b`.
+    pub fn ab(&self) -> u32 {
+        let g = self.a.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let h = self.b.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        *g + *h
+    }
+
+    /// Locks `b`, then `a`: the other half of the cycle.
+    pub fn ba(&self) -> u32 {
+        let g = self.b.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let h = self.a.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        *g - *h
+    }
+}

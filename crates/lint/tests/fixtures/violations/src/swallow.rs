@@ -1,0 +1,12 @@
+/// A Result-returning function the fixtures below discard.
+pub fn fallible() -> Result<(), String> {
+    Err("fixture".to_string())
+}
+
+pub fn drops_via_let() {
+    let _ = fallible();
+}
+
+pub fn drops_via_ok() {
+    fallible().ok();
+}

@@ -98,6 +98,7 @@ impl ConnRegistry {
     /// wake with EOF while responses still in flight can finish writing.
     fn shutdown_reads(&self) {
         for stream in lock_unpoisoned(&self.streams).values() {
+            // lint:allow(swallowed-result): std TcpStream::shutdown (not the client's); an already-dead socket is fine here
             let _ = stream.shutdown(Shutdown::Read);
         }
     }
@@ -241,6 +242,7 @@ impl NetServer {
             let spawned = std::thread::Builder::new()
                 .name(format!("hlnet-conn-{id}"))
                 .spawn(move || {
+                    // lint:allow(swallowed-result): per-peer I/O errors must not kill the daemon; metrics count them
                     let _ = handle_connection(&inner, stream, id);
                 });
             match spawned {
@@ -269,6 +271,7 @@ impl NetServer {
 fn reject_over_cap(stream: TcpStream, inner: &Inner) {
     let mut stream = stream;
     let budget = Duration::from_secs(1);
+    // lint:allow(swallowed-result): best-effort courtesy hello to a peer we are about to drop
     let _ = write_frame_deadline(&mut stream, &server_hello(inner).encode(), budget);
     let busy = Response::Error {
         code: ErrorCode::Busy,
@@ -277,6 +280,7 @@ fn reject_over_cap(stream: TcpStream, inner: &Inner) {
             inner.config.max_connections
         ),
     };
+    // lint:allow(swallowed-result): best-effort busy notice; the connection is over-cap either way
     let _ = write_frame_deadline(&mut stream, &busy.encode(), budget);
 }
 
@@ -333,6 +337,7 @@ fn handle_connection(inner: &Inner, mut stream: TcpStream, id: u64) -> Result<()
                     hello.protocol_version
                 ),
             };
+            // lint:allow(swallowed-result): courtesy version-mismatch error before closing; the close happens regardless
             let _ = send(&mut stream, inner, &resp);
             return Ok(());
         }
@@ -341,6 +346,7 @@ fn handle_connection(inner: &Inner, mut stream: TcpStream, id: u64) -> Result<()
                 code: ErrorCode::Malformed,
                 message: format!("expected client hello: {e}"),
             };
+            // lint:allow(swallowed-result): courtesy malformed-hello error before closing; the close happens regardless
             let _ = send(&mut stream, inner, &resp);
             return Ok(());
         }
@@ -378,6 +384,7 @@ fn handle_connection(inner: &Inner, mut stream: TcpStream, id: u64) -> Result<()
             },
             Request::Metrics => Response::Metrics(inner.engine.snapshot()),
             Request::Shutdown if inner.config.allow_remote_shutdown => {
+                // lint:allow(swallowed-result): the ack is best-effort; the server stops whether or not it landed
                 let _ = send(&mut stream, inner, &Response::ShutdownAck);
                 inner.trigger_stop();
                 return Ok(());
@@ -418,6 +425,7 @@ fn close_on_read_error(
                 code: ErrorCode::FrameTooLarge,
                 message: format!("frame of {len} bytes exceeds cap of {max}"),
             };
+            // lint:allow(swallowed-result): error response to a peer that sent an oversized frame; connection ends either way
             let _ = send(stream, inner, &resp);
             Ok(())
         }
@@ -426,6 +434,7 @@ fn close_on_read_error(
                 code: ErrorCode::Malformed,
                 message: other.to_string(),
             };
+            // lint:allow(swallowed-result): error response to a peer that sent garbage; connection ends either way
             let _ = send(stream, inner, &resp);
             Ok(())
         }

@@ -586,7 +586,11 @@ impl Request {
             Request::QueryBatch(pairs) => {
                 let mut out = Vec::with_capacity(5 + pairs.len() * 8);
                 out.push(OP_QUERY_BATCH);
-                out.extend_from_slice(&(pairs.len() as u32).to_le_bytes());
+                // A count beyond u32 saturates instead of truncating; the
+                // resulting length mismatch (and the frame-size cap) makes
+                // the peer reject the frame rather than misread it.
+                let count = u32::try_from(pairs.len()).unwrap_or(u32::MAX);
+                out.extend_from_slice(&count.to_le_bytes());
                 for &(u, v) in pairs {
                     out.extend_from_slice(&u.to_le_bytes());
                     out.extend_from_slice(&v.to_le_bytes());
@@ -675,7 +679,9 @@ impl Response {
             Response::DistanceBatch(ds) => {
                 let mut out = Vec::with_capacity(5 + ds.len() * 8);
                 out.push(OP_DISTANCE_BATCH);
-                out.extend_from_slice(&(ds.len() as u32).to_le_bytes());
+                // Saturate rather than truncate; see Request::QueryBatch.
+                let count = u32::try_from(ds.len()).unwrap_or(u32::MAX);
+                out.extend_from_slice(&count.to_le_bytes());
                 for &d in ds {
                     out.extend_from_slice(&d.to_le_bytes());
                 }
@@ -710,7 +716,9 @@ impl Response {
                 let mut out = Vec::with_capacity(7 + bytes.len());
                 out.push(OP_ERROR);
                 out.extend_from_slice(&code.as_u16().to_le_bytes());
-                out.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+                // Saturate rather than truncate; see Request::QueryBatch.
+                let len = u32::try_from(bytes.len()).unwrap_or(u32::MAX);
+                out.extend_from_slice(&len.to_le_bytes());
                 out.extend_from_slice(bytes);
                 out
             }

@@ -150,6 +150,21 @@ fn batch_length_lie_gets_malformed_not_a_hang() {
 }
 
 #[test]
+fn batch_count_u32_max_is_rejected_without_huge_allocation() {
+    let server = TestServer::start();
+    let mut stream = server.handshaken_socket();
+
+    // The extreme crafted length: a count of u32::MAX implies a ~32 GiB
+    // batch. The decoder must bounce it off the remaining-bytes check
+    // before reserving anything — a trusting `with_capacity(count)`
+    // here is the exact shape the untrusted-length-alloc lint forbids.
+    let mut lie = vec![0x12u8];
+    lie.extend_from_slice(&u32::MAX.to_le_bytes());
+    write_frame(&mut stream, &lie).expect("send u32::MAX batch");
+    expect_error(&mut stream, ErrorCode::Malformed);
+}
+
+#[test]
 fn oversized_frame_is_rejected_unread_with_typed_error() {
     let server = TestServer::start();
     let mut stream = server.handshaken_socket();

@@ -200,8 +200,13 @@ impl LabelStore {
     /// The γ-coded label of vertex `v`, without decoding it.
     pub fn bit_label(&self, v: NodeId) -> Result<BitLabel, StoreError> {
         let idx = self.check_node(v)?;
-        let lo = self.offsets[idx] as usize;
-        let hi = self.offsets[idx + 1] as usize;
+        // The offsets were range-checked against the blob during parse(),
+        // but they are still decoded-from-disk values: narrow them with
+        // try_from so a 32-bit target cannot silently truncate.
+        let lo = usize::try_from(self.offsets[idx])
+            .map_err(|_| StoreError::Corrupt(format!("label {v}: offset overflows usize")))?;
+        let hi = usize::try_from(self.offsets[idx + 1])
+            .map_err(|_| StoreError::Corrupt(format!("label {v}: offset overflows usize")))?;
         let len = self.bit_lens[idx] as usize;
         let bits = BitVec::from_bytes(self.blob[lo..hi].to_vec(), len).ok_or_else(|| {
             StoreError::Corrupt(format!(
@@ -389,8 +394,10 @@ impl LabelStore {
         }
 
         // Tables: (n + 1) u64 offsets, n u32 bit lengths, then the blob.
-        let tables_len = (n_usize + 1)
-            .checked_mul(8)
+        // Even the `n + 1` must be checked: n = usize::MAX would wrap it.
+        let tables_len = n_usize
+            .checked_add(1)
+            .and_then(|c| c.checked_mul(8))
             .and_then(|o| o.checked_add(n_usize.checked_mul(4)?))
             .ok_or_else(|| StoreError::Corrupt(format!("node count {n} overflows table size")))?;
         if body.len() < tables_len {
@@ -576,6 +583,40 @@ mod tests {
     fn refresh_checksum(buf: &mut [u8]) {
         let sum = fnv1a64(&buf[HEADER_LEN..]);
         buf[24..32].copy_from_slice(&sum.to_le_bytes());
+    }
+
+    /// A checksum-valid header claiming `n` nodes over an empty body.
+    fn crafted_header(n: u64) -> Vec<u8> {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&MAGIC);
+        buf.extend_from_slice(&VERSION.to_le_bytes());
+        buf.extend_from_slice(&0u16.to_le_bytes());
+        buf.extend_from_slice(&n.to_le_bytes());
+        buf.extend_from_slice(&0u64.to_le_bytes()); // body_len = 0
+        buf.extend_from_slice(&fnv1a64(b"").to_le_bytes());
+        buf
+    }
+
+    #[test]
+    fn crafted_huge_node_count_is_rejected_before_allocation() {
+        // A lying node count must be rejected against the actual body
+        // size *before* the offset tables are allocated — the exact shape
+        // the untrusted-length-alloc lint guards. A terabyte-scale table
+        // claim over a 0-byte body would OOM a trusting parser.
+        let err = LabelStore::parse(&crafted_header(1 << 40)).unwrap_err();
+        assert!(
+            matches!(err, StoreError::Corrupt(ref m) if m.contains("body too small")),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn crafted_overflowing_node_count_is_corrupt_not_panic() {
+        // n = u64::MAX overflows the table-size arithmetic itself; the
+        // checked math must turn that into Corrupt, not a wrap-around
+        // that under-allocates.
+        let err = LabelStore::parse(&crafted_header(u64::MAX)).unwrap_err();
+        assert!(matches!(err, StoreError::Corrupt(_)), "{err:?}");
     }
 
     #[test]

@@ -10,8 +10,11 @@ cargo fmt --all -- --check
 echo "== cargo clippy (workspace, warnings are errors) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "== hublint (panic-freedom + offline-deps invariants) =="
-cargo run -q --release -p hl-lint
+echo "== hublint (token + semantic rules, gated against the committed baseline) =="
+# The baseline is committed empty; --diff makes any new finding — a fresh
+# narrowing cast, a swallowed Result, a lock-order cycle, an unchecked
+# allocation — fail the gate even if someone pads the baseline later.
+cargo run -q --release -p hl-lint -- --baseline hublint-baseline.json --diff
 
 echo "== cargo doc (no-deps, warnings are errors) =="
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
