@@ -38,6 +38,83 @@ use hl_graph::{Distance, NodeId};
 
 use crate::label::{merge_join, merge_join_with_witness, HubLabel, HubLabeling, LabelingView};
 
+/// Why a triple of raw arrays was rejected by
+/// [`FlatLabeling::from_raw_parts`].
+///
+/// Every variant names the structural invariant that failed, so callers
+/// deserializing untrusted bytes (the HLBS v2 store reader) can surface a
+/// precise corruption message instead of a panic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FlatLayoutError {
+    /// `offsets` was empty; even a zero-vertex arena stores `[0]`.
+    EmptyOffsets,
+    /// `offsets[0]` was not zero.
+    FirstOffsetNonZero(u64),
+    /// `offsets` decreased between two consecutive vertices.
+    NonMonotoneOffsets {
+        /// The vertex whose span start exceeds its span end.
+        vertex: usize,
+    },
+    /// The final offset disagrees with the entry-array length.
+    FinalOffsetMismatch {
+        /// `offsets[n]`.
+        final_offset: u64,
+        /// `hubs.len()` (== `dists.len()`).
+        entries: usize,
+    },
+    /// `hubs` and `dists` differ in length.
+    UnparallelArrays {
+        /// `hubs.len()`.
+        hubs: usize,
+        /// `dists.len()`.
+        dists: usize,
+    },
+    /// A vertex's hub run was not strictly increasing.
+    UnsortedHubs {
+        /// The offending vertex.
+        vertex: usize,
+    },
+    /// A hub id was `>= num_nodes`.
+    HubOutOfRange {
+        /// The vertex whose label holds the hub.
+        vertex: usize,
+        /// The out-of-range hub id.
+        hub: NodeId,
+    },
+}
+
+impl std::fmt::Display for FlatLayoutError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FlatLayoutError::EmptyOffsets => write!(f, "offset array is empty"),
+            FlatLayoutError::FirstOffsetNonZero(o) => {
+                write!(f, "first offset is {o}, expected 0")
+            }
+            FlatLayoutError::NonMonotoneOffsets { vertex } => {
+                write!(f, "offsets decrease at vertex {vertex}")
+            }
+            FlatLayoutError::FinalOffsetMismatch {
+                final_offset,
+                entries,
+            } => write!(
+                f,
+                "final offset {final_offset} disagrees with {entries} entries"
+            ),
+            FlatLayoutError::UnparallelArrays { hubs, dists } => {
+                write!(f, "{hubs} hubs but {dists} distances")
+            }
+            FlatLayoutError::UnsortedHubs { vertex } => {
+                write!(f, "hubs of vertex {vertex} are not strictly increasing")
+            }
+            FlatLayoutError::HubOutOfRange { vertex, hub } => {
+                write!(f, "vertex {vertex} lists out-of-range hub {hub}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FlatLayoutError {}
+
 /// A complete hub labeling in a single CSR arena: three flat arrays
 /// instead of two heap vectors per vertex. Immutable once built — grow it
 /// with [`FlatLabeling::push_label`] (vertices append in id order), or
@@ -98,6 +175,98 @@ impl FlatLabeling {
         self.hubs.extend_from_slice(hubs);
         self.dists.extend_from_slice(dists);
         self.offsets.push(self.hubs.len() as u64);
+    }
+
+    /// Assembles an arena directly from its three raw arrays, validating
+    /// every structural invariant the accessors and the merge-join rely
+    /// on: `offsets` starts at 0, never decreases, and ends at the entry
+    /// count; `hubs` and `dists` are parallel; each vertex's hub run is
+    /// strictly increasing with every hub id `< num_nodes`.
+    ///
+    /// This is the trust boundary for deserializers (the HLBS v2 store
+    /// body *is* these three arrays): a malformed triple comes back as a
+    /// typed [`FlatLayoutError`], never a panic in a later accessor.
+    pub fn from_raw_parts(
+        offsets: Vec<u64>,
+        hubs: Vec<NodeId>,
+        dists: Vec<Distance>,
+    ) -> Result<Self, FlatLayoutError> {
+        if offsets.is_empty() {
+            return Err(FlatLayoutError::EmptyOffsets);
+        }
+        if offsets[0] != 0 {
+            return Err(FlatLayoutError::FirstOffsetNonZero(offsets[0]));
+        }
+        if hubs.len() != dists.len() {
+            return Err(FlatLayoutError::UnparallelArrays {
+                hubs: hubs.len(),
+                dists: dists.len(),
+            });
+        }
+        let num_nodes = offsets.len() - 1;
+        if offsets[num_nodes] != hubs.len() as u64 {
+            return Err(FlatLayoutError::FinalOffsetMismatch {
+                final_offset: offsets[num_nodes],
+                entries: hubs.len(),
+            });
+        }
+        // Full monotonicity pass *before* any slicing: only the complete
+        // chain (together with offsets[0] == 0 and the final-offset check)
+        // bounds every intermediate offset by the entry count — a single
+        // huge offsets[v] would otherwise slice out of range below.
+        for v in 0..num_nodes {
+            if offsets[v] > offsets[v + 1] {
+                return Err(FlatLayoutError::NonMonotoneOffsets { vertex: v });
+            }
+        }
+        for v in 0..num_nodes {
+            let (lo, hi) = (offsets[v], offsets[v + 1]);
+            let run = &hubs[lo as usize..hi as usize];
+            // Branch-free accumulation instead of an early-exit scan:
+            // `fold` with `&` lets the comparison loop vectorize, and on
+            // a hundred-million-entry arena (every v2 store load takes
+            // this path) that is the difference between a memory-speed
+            // pass and a per-element branch chain. Errors stay per-run
+            // precise because the fold is per vertex.
+            let sorted = run
+                .iter()
+                .zip(run.iter().skip(1))
+                .fold(true, |ok, (a, b)| ok & (a < b));
+            if !sorted {
+                return Err(FlatLayoutError::UnsortedHubs { vertex: v });
+            }
+            if let Some(&last) = run.last() {
+                // Runs are strictly increasing, so checking the largest
+                // hub covers the whole run.
+                if last as usize >= num_nodes {
+                    return Err(FlatLayoutError::HubOutOfRange {
+                        vertex: v,
+                        hub: last,
+                    });
+                }
+            }
+        }
+        Ok(FlatLabeling {
+            offsets,
+            hubs,
+            dists,
+        })
+    }
+
+    /// The raw offset array: `num_nodes + 1` entries, vertex `v` owns
+    /// `offsets[v]..offsets[v+1]` of [`FlatLabeling::raw_hubs`].
+    pub fn raw_offsets(&self) -> &[u64] {
+        &self.offsets
+    }
+
+    /// The raw hub-id array, all per-vertex runs back to back.
+    pub fn raw_hubs(&self) -> &[NodeId] {
+        &self.hubs
+    }
+
+    /// The raw distance array, aligned with [`FlatLabeling::raw_hubs`].
+    pub fn raw_dists(&self) -> &[Distance] {
+        &self.dists
     }
 
     /// Flattens a nested labeling into one arena (lossless).
@@ -369,6 +538,57 @@ mod tests {
         assert_eq!(flat.to_labeling().num_nodes(), 0);
         assert_eq!(flat.max_hubs(), 0);
         assert_eq!(flat.average_hubs(), 0.0);
+    }
+
+    #[test]
+    fn from_raw_parts_accepts_valid_arena() {
+        let nested = sample_nested();
+        let flat = FlatLabeling::from_labeling(&nested);
+        let rebuilt = FlatLabeling::from_raw_parts(
+            flat.raw_offsets().to_vec(),
+            flat.raw_hubs().to_vec(),
+            flat.raw_dists().to_vec(),
+        )
+        .expect("valid arena");
+        assert_eq!(rebuilt, flat);
+        // The zero-vertex arena is valid too.
+        let empty = FlatLabeling::from_raw_parts(vec![0], vec![], vec![]).expect("empty arena");
+        assert_eq!(empty.num_nodes(), 0);
+    }
+
+    #[test]
+    fn from_raw_parts_rejects_malformed_arenas() {
+        use FlatLayoutError as E;
+        let err = |o: Vec<u64>, h: Vec<NodeId>, d: Vec<Distance>| {
+            FlatLabeling::from_raw_parts(o, h, d).expect_err("must reject")
+        };
+        assert_eq!(err(vec![], vec![], vec![]), E::EmptyOffsets);
+        assert_eq!(err(vec![1, 1], vec![0], vec![0]), E::FirstOffsetNonZero(1));
+        assert_eq!(
+            err(vec![0, 1], vec![0, 1], vec![0]),
+            E::UnparallelArrays { hubs: 2, dists: 1 }
+        );
+        assert_eq!(
+            err(vec![0, 2], vec![0], vec![0]),
+            E::FinalOffsetMismatch {
+                final_offset: 2,
+                entries: 1
+            }
+        );
+        assert_eq!(
+            err(vec![0, 2, 1, 3], vec![0, 1, 2], vec![0, 0, 0]),
+            E::NonMonotoneOffsets { vertex: 1 }
+        );
+        assert_eq!(
+            err(vec![0, 2], vec![1, 1], vec![0, 0]),
+            E::UnsortedHubs { vertex: 0 }
+        );
+        assert_eq!(
+            err(vec![0, 1, 2], vec![0, 7], vec![0, 0]),
+            E::HubOutOfRange { vertex: 1, hub: 7 }
+        );
+        // Errors render without panicking.
+        assert!(!format!("{}", E::EmptyOffsets).is_empty());
     }
 
     #[test]

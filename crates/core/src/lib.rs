@@ -65,7 +65,7 @@ pub mod separator_labeling;
 pub mod stats;
 pub mod tree;
 
-pub use flat::FlatLabeling;
+pub use flat::{FlatLabeling, FlatLayoutError};
 pub use label::{HubLabel, HubLabeling, LabelingView};
 pub use order::{OrderError, VertexOrder};
 pub use stats::LabelingStats;

@@ -8,11 +8,21 @@
 //! of an otherwise-healthy thread. These helpers centralize that policy
 //! so callers never need `lock().unwrap()`.
 
-use std::sync::{Mutex, MutexGuard, PoisonError};
+use std::sync::{Mutex, MutexGuard, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 /// Locks `m`, recovering the guard if the mutex was poisoned.
 pub fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Acquires a read guard on `l`, recovering from poison.
+pub fn read_unpoisoned<T>(l: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+    l.read().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Acquires a write guard on `l`, recovering from poison.
+pub fn write_unpoisoned<T>(l: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
+    l.write().unwrap_or_else(PoisonError::into_inner)
 }
 
 /// Unwraps a `Mutex` into its inner value, recovering from poison.
@@ -23,13 +33,34 @@ pub fn into_inner_unpoisoned<T>(m: Mutex<T>) -> T {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::Mutex;
+    use std::sync::{Mutex, RwLock};
 
     #[test]
     fn lock_and_into_inner_roundtrip() {
         let m = Mutex::new(7u32);
         *lock_unpoisoned(&m) += 1;
         assert_eq!(into_inner_unpoisoned(m), 8);
+    }
+
+    #[test]
+    fn rwlock_read_write_roundtrip() {
+        let l = RwLock::new(3u32);
+        *write_unpoisoned(&l) += 1;
+        assert_eq!(*read_unpoisoned(&l), 4);
+    }
+
+    #[test]
+    fn poisoned_rwlock_is_recovered() {
+        let l = std::sync::Arc::new(RwLock::new(9u32));
+        let l2 = l.clone();
+        let _ = std::thread::spawn(move || {
+            let _guard = l2.write();
+            panic!("poison the lock");
+        })
+        .join();
+        assert!(l.is_poisoned());
+        *write_unpoisoned(&l) += 1;
+        assert_eq!(*read_unpoisoned(&l), 10);
     }
 
     #[test]

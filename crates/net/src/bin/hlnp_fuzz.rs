@@ -15,10 +15,15 @@
 //!    iterations a clean [`NetClient`] probe asserts *exact* distances
 //!    against BFS ground truth: the server must stay both alive and
 //!    correct while being abused.
-//! 2. **Store**: the serialized HLBS image takes seeded byte flips
-//!    (checksum must catch them), crafted flips with a refreshed
-//!    checksum (the decoder must reject them without panicking), and
-//!    random truncations.
+//! 2. **Store**: both serialized HLBS images take abuse. The v1
+//!    (γ-coded) image gets seeded byte flips (the checksum's job),
+//!    crafted flips with a refreshed checksum (the decoder's job), and
+//!    random truncations. The v2 (flat-arena) image additionally gets
+//!    per-section crafted flips with *that section's* checksum and the
+//!    table checksum both refreshed, plus misaligned-section-offset
+//!    mutations; because every v2 byte sits under a checksum or the
+//!    zero-padding rule, a blind flip that parses anyway is itself a
+//!    defect.
 //! 3. **Wire**: random payloads through every frame decoder.
 //!
 //! Any panic, hang, wrong answer, or silently-accepted corruption is a
@@ -42,7 +47,7 @@ use hl_net::wire::{
     PROTOCOL_VERSION,
 };
 use hl_net::{ClientConfig, NetClient, NetServer, ServerConfig};
-use hl_server::{store, LabelStore, QueryEngine};
+use hl_server::{store, store_v2, AnyStore, FlatStore, LabelStore, QueryEngine};
 
 struct Opts {
     seed: u64,
@@ -125,6 +130,8 @@ struct Summary {
     probe_queries: usize,
     store_mutations: usize,
     store_parses_survived: usize,
+    store_v2_mutations: usize,
+    store_v2_parses_survived: usize,
     wire_decodes: usize,
 }
 
@@ -141,7 +148,8 @@ fn main() -> ExitCode {
         Ok(s) => {
             println!(
                 "hlnp-fuzz: clean. {} fault iterations ({} cut off by the server), \
-                 {} probes / {} exact answers verified, {} store mutations \
+                 {} probes / {} exact answers verified, {} v1 store mutations \
+                 ({} parsed anyway, none panicked), {} v2 store mutations \
                  ({} parsed anyway, none panicked), {} wire decodes.",
                 s.fault_iterations,
                 s.peer_closed,
@@ -149,6 +157,8 @@ fn main() -> ExitCode {
                 s.probe_queries,
                 s.store_mutations,
                 s.store_parses_survived,
+                s.store_v2_mutations,
+                s.store_v2_parses_survived,
                 s.wire_decodes,
             );
             let kinds: Vec<String> = s
@@ -188,6 +198,10 @@ fn run(opts: &Opts) -> Result<Summary, Failure> {
     label_store
         .write_to(&mut store_bytes)
         .map_err(|e| Failure::Defect(format!("serializing the store: {e}")))?;
+    let store_v2_bytes = label_store
+        .to_flat()
+        .map(|flat| FlatStore::from_flat(flat).encode())
+        .map_err(|e| Failure::Defect(format!("serializing the v2 store: {e}")))?;
     let engine = QueryEngine::from_store(&label_store, 2)
         .map_err(|e| Failure::Defect(format!("building the engine: {e}")))?;
 
@@ -202,8 +216,12 @@ fn run(opts: &Opts) -> Result<Summary, Failure> {
         max_frame_len: DEFAULT_MAX_FRAME_LEN,
         // Found by this very fuzzer: with remote shutdown on, any
         // mutated frame that happens to decode as the one-byte Shutdown
-        // opcode stops the daemon mid-campaign.
+        // opcode stops the daemon mid-campaign. Reload is equally
+        // dangerous: a mutated frame decoding as Reload would swap the
+        // served store (or spray error frames about unreadable paths).
         allow_remote_shutdown: false,
+        allow_remote_reload: false,
+        ..ServerConfig::default()
     };
     let server = NetServer::bind(Arc::new(engine), "127.0.0.1:0", config)
         .map_err(|e| Failure::Defect(format!("binding the server: {e}")))?;
@@ -284,6 +302,7 @@ fn run(opts: &Opts) -> Result<Summary, Failure> {
     summary.by_kind = by_kind;
 
     store_campaign(&store_bytes, opts, deadline, &mut rng, &mut summary)?;
+    store_v2_campaign(&store_v2_bytes, opts, deadline, &mut rng, &mut summary)?;
     wire_campaign(opts, deadline, &mut rng, &mut summary)?;
     Ok(summary)
 }
@@ -477,6 +496,135 @@ fn store_campaign(
             summary.store_parses_survived += 1;
         }
         summary.store_mutations += 1;
+    }
+    Ok(())
+}
+
+/// Parses a mutated v2 store through the version-sniffing [`AnyStore`]
+/// entry point (the path a daemon takes) inside `catch_unwind`, then
+/// walks the decoded arena. Errors are expected, panics are defects.
+/// Returns whether it parsed.
+fn check_store_v2_bytes(bytes: &[u8]) -> Result<bool, Failure> {
+    panic::catch_unwind(AssertUnwindSafe(|| {
+        match AnyStore::parse(bytes).and_then(AnyStore::into_flat) {
+            Ok(flat) => {
+                for v in 0..flat.num_nodes() as NodeId {
+                    let _ = flat.hubs_of(v);
+                    let _ = flat.dists_of(v);
+                }
+                if flat.num_nodes() >= 2 {
+                    let _ = flat.query(0, 1);
+                }
+                true
+            }
+            Err(_) => false,
+        }
+    }))
+    .map_err(|_| Failure::Defect("panic while parsing/decoding a mutated v2 store".to_string()))
+}
+
+/// The byte range of the v2 section table record for section `s`.
+fn v2_record(s: usize) -> std::ops::Range<usize> {
+    // Header layout: table at 32, three 24-byte (offset, len, fnv) records.
+    let rec = 32 + s * 24;
+    rec..rec + 24
+}
+
+/// Refreshes the table checksum at bytes `[24..32)` after a table edit.
+fn refresh_v2_table_checksum(bytes: &mut [u8]) {
+    let sum = store::fnv1a64(&bytes[32..store_v2::HEADER_LEN]);
+    bytes[24..32].copy_from_slice(&sum.to_le_bytes());
+}
+
+/// The v2 image under four seeded attacks per round:
+///
+/// * **blind flip** — every byte is covered by the table checksum, a
+///   section checksum, a validated header field, or the zero-padding
+///   rule, so a flip that still parses is a defect in itself;
+/// * **crafted section flip** — a section body byte is flipped and both
+///   that section's checksum record and the table checksum are refreshed,
+///   leaving only the structural pass to object (it may legitimately
+///   accept, e.g. a flipped distance value is still a valid arena);
+/// * **misaligned section offset** — a table record's file offset is
+///   nudged off the 64-byte grid with checksums refreshed, which the
+///   record validator must reject;
+/// * **truncation** — the file must end exactly where `dists` does.
+///
+/// Everything must come back as a typed error or a clean parse — never a
+/// panic.
+fn store_v2_campaign(
+    clean: &[u8],
+    opts: &Opts,
+    deadline: Instant,
+    rng: &mut Xorshift64,
+    summary: &mut Summary,
+) -> Result<(), Failure> {
+    let rounds = (opts.iters / 4).max(64);
+    for i in 0..rounds {
+        if Instant::now() > deadline {
+            return Err(Failure::Timeout(format!(
+                "v2 store campaign stuck at round {i} of {rounds}"
+            )));
+        }
+        // Blind flip: must be rejected, wherever it lands.
+        let mut bytes = clean.to_vec();
+        let at = rng.gen_index(bytes.len());
+        bytes[at] ^= 1 << rng.gen_index(8);
+        if check_store_v2_bytes(&bytes)? {
+            return Err(Failure::Defect(format!(
+                "v2 store accepted a blind flip at byte {at} (round {i})"
+            )));
+        }
+        summary.store_v2_mutations += 1;
+
+        // Crafted flip: corrupt one section body, then make both the
+        // section checksum and the table checksum agree.
+        let mut bytes = clean.to_vec();
+        let s = rng.gen_index(3);
+        let rec = v2_record(s);
+        let off = u64::from_le_bytes(bytes[rec.start..rec.start + 8].try_into().unwrap_or([0; 8]))
+            as usize;
+        let len = u64::from_le_bytes(
+            bytes[rec.start + 8..rec.start + 16]
+                .try_into()
+                .unwrap_or([0; 8]),
+        ) as usize;
+        if len > 0 {
+            bytes[off + rng.gen_index(len)] ^= 1 << rng.gen_index(8);
+            let sum = store_v2::section_checksum(&bytes[off..off + len]);
+            bytes[rec.start + 16..rec.end].copy_from_slice(&sum.to_le_bytes());
+            refresh_v2_table_checksum(&mut bytes);
+            if check_store_v2_bytes(&bytes)? {
+                summary.store_v2_parses_survived += 1;
+            }
+            summary.store_v2_mutations += 1;
+        }
+
+        // Misaligned section offset, with every checksum telling the
+        // same lie: only the alignment/bounds validator stands.
+        let mut bytes = clean.to_vec();
+        let rec = v2_record(rng.gen_index(3));
+        let off = u64::from_le_bytes(bytes[rec.start..rec.start + 8].try_into().unwrap_or([0; 8]));
+        let nudged = off.wrapping_add(1 + rng.gen_index(store_v2::SECTION_ALIGN - 1) as u64);
+        bytes[rec.start..rec.start + 8].copy_from_slice(&nudged.to_le_bytes());
+        refresh_v2_table_checksum(&mut bytes);
+        if check_store_v2_bytes(&bytes)? {
+            return Err(Failure::Defect(format!(
+                "v2 store accepted a section offset nudged {off} -> {nudged} (round {i})"
+            )));
+        }
+        summary.store_v2_mutations += 1;
+
+        // Truncation at a random cut.
+        let mut bytes = clean.to_vec();
+        bytes.truncate(rng.gen_index(bytes.len()));
+        if check_store_v2_bytes(&bytes)? {
+            return Err(Failure::Defect(format!(
+                "v2 store accepted a truncation to {} bytes (round {i})",
+                bytes.len()
+            )));
+        }
+        summary.store_v2_mutations += 1;
     }
     Ok(())
 }

@@ -7,6 +7,9 @@
 //! hubserve stats <store-file>                         store + arena sizes
 //! hubserve bench <store-file> [options]               in-process load test
 //! hubserve serve <store-file> [options]               TCP daemon (HLNP)
+//! hubserve convert <in-store> <out-store> --to v1|v2  migrate store formats
+//! hubserve reload <host:port> <server-store-path>     hot-swap a daemon's store
+//! hubserve storebench <store-file> [options]          v1-vs-v2 load timing
 //! ```
 //!
 //! `build` reads the plain-text edge list of `hl_graph::io` — or
@@ -38,10 +41,27 @@
 //! single-query workload to exercise the cache, and dumps the metrics
 //! snapshot.
 //!
-//! `serve` loads the store into a [`hl_net::NetServer`] and answers HLNP
-//! frames until a `Shutdown` request arrives, then drains and prints the
-//! final metrics snapshot. It announces `listening on <addr>` on stdout
-//! so scripts binding port 0 can discover the ephemeral port.
+//! `serve` loads a store of either format into a [`hl_net::NetServer`]
+//! and answers HLNP frames until a `Shutdown` request arrives, then
+//! drains and prints the final metrics snapshot. It announces
+//! `listening on <addr>` on stdout so scripts binding port 0 can
+//! discover the ephemeral port. A running daemon hot-swaps its store on
+//! a `Reload` frame (disable with `--no-remote-reload`): in-flight
+//! queries finish on the old epoch, new ones answer from the new store.
+//!
+//! `convert` migrates a store between HLBS v1 (γ-coded archival format)
+//! and HLBS v2 (the flat serving arena, verbatim). Both γ-coding and the
+//! v2 layout are canonical functions of the labeling, so
+//! `convert --to v2` then `convert --to v1` reproduces the original file
+//! byte for byte — `--verify-roundtrip` proves it on the spot.
+//!
+//! `reload` asks a running daemon (one with remote reload enabled) to
+//! mount the store at a *server-local* path and reports the new epoch.
+//!
+//! `storebench` measures what v2 exists for: wall-time from store bytes
+//! to a query-ready arena. It re-encodes the given store into both
+//! formats in memory, times parse+decode for each, and reports MB/s and
+//! the speedup (`--bench-json` drops the BENCH_store.json snapshot).
 //!
 //! Exit codes: 0 success, 1 runtime failure (bad store, i/o), 2 usage.
 
@@ -58,8 +78,8 @@ use hl_core::order::{
 use hl_core::VertexOrder;
 use hl_graph::rng::Xorshift64;
 use hl_graph::{generators, Graph, NodeId, INFINITY};
-use hl_net::{NetServer, ServerConfig};
-use hl_server::{LabelStore, QueryEngine};
+use hl_net::{ClientConfig, NetClient, NetServer, ServerConfig};
+use hl_server::{AnyStore, FlatStore, LabelStore, QueryEngine};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -69,8 +89,13 @@ fn main() -> ExitCode {
         Some("stats") => cmd_stats(&args[1..]),
         Some("bench") => cmd_bench(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
+        Some("convert") => cmd_convert(&args[1..]),
+        Some("reload") => cmd_reload(&args[1..]),
+        Some("storebench") => cmd_storebench(&args[1..]),
         _ => {
-            eprintln!("usage: hubserve build|query|stats|bench|serve ...");
+            eprintln!(
+                "usage: hubserve build|query|stats|bench|serve|convert|reload|storebench ..."
+            );
             eprintln!("  build [<graph-file>] <store-file> [legacy-algo]");
             eprintln!("        [--gen rmat|power-law|grid|gnm --nodes N [--edges M]]");
             eprintln!("        [--threads N] [--order degree|bfs-level|betweenness|closeness|random|identity]");
@@ -81,6 +106,10 @@ fn main() -> ExitCode {
             eprintln!("        [--bench-json FILE]");
             eprintln!("  serve <store-file> [--addr HOST:PORT] [--workers N] [--max-conns N]");
             eprintln!("        [--read-timeout-ms N] [--write-timeout-ms N]");
+            eprintln!("        [--no-remote-shutdown] [--no-remote-reload]");
+            eprintln!("  convert <in-store> <out-store> --to v1|v2 [--verify-roundtrip]");
+            eprintln!("  reload <host:port> <server-store-path>");
+            eprintln!("  storebench <store-file> [--repeat N] [--bench-json FILE]");
             return ExitCode::from(2);
         }
     };
@@ -101,6 +130,22 @@ fn default_workers() -> usize {
 
 fn open_store(path: &str) -> Result<LabelStore, String> {
     LabelStore::open(path).map_err(|e| format!("cannot open store {path}: {e}"))
+}
+
+/// Arena plus the facts `stats`-style output wants: format version,
+/// on-disk size, per-section `(name, bytes)` sizes.
+type FlatWithFacts = (hl_core::FlatLabeling, u16, u64, [(&'static str, u64); 3]);
+
+/// Opens a store of either format and decodes it to the serving arena.
+fn open_any_flat(path: &str) -> Result<FlatWithFacts, String> {
+    let store = AnyStore::open(path).map_err(|e| format!("cannot open store {path}: {e}"))?;
+    let version = store.version();
+    let file_len = store.file_len();
+    let sections = store.section_bytes();
+    let flat = store
+        .into_flat()
+        .map_err(|e| format!("cannot decode store {path}: {e}"))?;
+    Ok((flat, version, file_len, sections))
 }
 
 struct BuildOpts {
@@ -394,9 +439,9 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
         [s, p] => (s, Some(p)),
         _ => return Err("usage: hubserve query <store-file> [pairs-file]".into()),
     };
-    let store = open_store(store_path)?;
-    let n = store.num_nodes();
-    let engine = QueryEngine::from_store(&store, default_workers())
+    let (flat, _, _, _) = open_any_flat(store_path)?;
+    let n = flat.num_nodes();
+    let engine = QueryEngine::new(flat, default_workers())
         .map_err(|e| format!("cannot start engine: {e}"))?;
     let stdout = std::io::stdout();
     let mut out = BufWriter::new(stdout.lock());
@@ -437,18 +482,24 @@ fn cmd_stats(args: &[String]) -> Result<(), String> {
     let [store_path] = args else {
         return Err("usage: hubserve stats <store-file>".into());
     };
-    let store = open_store(store_path)?;
-    let n = store.num_nodes();
-    let flat = store
-        .to_flat()
-        .map_err(|e| format!("cannot decode store: {e}"))?;
+    let (flat, version, file_len, sections) = open_any_flat(store_path)?;
+    let n = flat.num_nodes();
     println!("store {store_path}");
+    println!("  format version     {version}");
     println!("  nodes              {n}");
-    println!(
-        "  file bytes         {} ({:.1} bits/label gamma-coded)",
-        store.file_len(),
-        store.total_bits() as f64 / n.max(1) as f64
-    );
+    match version {
+        1 => println!(
+            "  file bytes         {file_len} ({:.1} bits/label gamma-coded)",
+            sections[2].1 as f64 * 8.0 / n.max(1) as f64
+        ),
+        _ => println!(
+            "  file bytes         {file_len} ({:.1} bits/label flat arena)",
+            (sections[1].1 + sections[2].1) as f64 * 8.0 / n.max(1) as f64
+        ),
+    }
+    for (name, bytes) in sections {
+        println!("  section {name:<10} {bytes} bytes");
+    }
     println!("  arena entries      {}", flat.num_entries());
     println!(
         "  arena heap bytes   {} ({:.1} avg hubs/vertex, max {})",
@@ -539,14 +590,11 @@ fn run_batches(
 
 fn cmd_bench(args: &[String]) -> Result<(), String> {
     let (store_path, opts) = parse_bench_opts(args)?;
-    let store = open_store(&store_path)?;
-    let n = store.num_nodes();
+    let (labeling, _, file_len, _) = open_any_flat(&store_path)?;
+    let n = labeling.num_nodes();
     if n < 2 {
         return Err("store too small to bench".into());
     }
-    let labeling = store
-        .to_flat()
-        .map_err(|e| format!("cannot decode store: {e}"))?;
 
     let mut rng = Xorshift64::seed_from_u64(opts.seed);
     let pairs: Vec<(NodeId, NodeId)> = (0..opts.queries)
@@ -554,10 +602,8 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
         .collect();
 
     println!(
-        "store: {n} nodes, {} bytes; load: {} queries in batches of {}",
-        store.file_len(),
-        opts.queries,
-        opts.batch
+        "store: {n} nodes, {file_len} bytes; load: {} queries in batches of {}",
+        opts.queries, opts.batch
     );
 
     let single =
@@ -632,6 +678,8 @@ struct ServeOpts {
     max_conns: usize,
     read_timeout: Duration,
     write_timeout: Duration,
+    allow_remote_shutdown: bool,
+    allow_remote_reload: bool,
 }
 
 fn parse_serve_opts(args: &[String]) -> Result<(String, ServeOpts), String> {
@@ -642,6 +690,8 @@ fn parse_serve_opts(args: &[String]) -> Result<(String, ServeOpts), String> {
         max_conns: 64,
         read_timeout: Duration::from_secs(30),
         write_timeout: Duration::from_secs(10),
+        allow_remote_shutdown: true,
+        allow_remote_reload: true,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -674,6 +724,8 @@ fn parse_serve_opts(args: &[String]) -> Result<(String, ServeOpts), String> {
                     .map_err(|e| format!("--write-timeout-ms: {e}"))?;
                 opts.write_timeout = Duration::from_millis(ms.max(1));
             }
+            "--no-remote-shutdown" => opts.allow_remote_shutdown = false,
+            "--no-remote-reload" => opts.allow_remote_reload = false,
             other if store_path.is_none() && !other.starts_with('-') => {
                 store_path = Some(other.to_string())
             }
@@ -682,7 +734,8 @@ fn parse_serve_opts(args: &[String]) -> Result<(String, ServeOpts), String> {
     }
     let store_path = store_path.ok_or_else(|| {
         "usage: hubserve serve <store-file> [--addr HOST:PORT] [--workers N] [--max-conns N] \
-         [--read-timeout-ms N] [--write-timeout-ms N]"
+         [--read-timeout-ms N] [--write-timeout-ms N] [--no-remote-shutdown] \
+         [--no-remote-reload]"
             .to_string()
     })?;
     if opts.max_conns == 0 {
@@ -693,22 +746,24 @@ fn parse_serve_opts(args: &[String]) -> Result<(String, ServeOpts), String> {
 
 fn cmd_serve(args: &[String]) -> Result<(), String> {
     let (store_path, opts) = parse_serve_opts(args)?;
-    let store = open_store(&store_path)?;
+    let (flat, version, _, _) = open_any_flat(&store_path)?;
     let engine = Arc::new(
-        QueryEngine::from_store(&store, opts.workers)
-            .map_err(|e| format!("cannot start engine: {e}"))?,
+        QueryEngine::new(flat, opts.workers).map_err(|e| format!("cannot start engine: {e}"))?,
     );
     let config = ServerConfig {
         max_connections: opts.max_conns,
         read_timeout: opts.read_timeout,
         write_timeout: opts.write_timeout,
+        allow_remote_shutdown: opts.allow_remote_shutdown,
+        allow_remote_reload: opts.allow_remote_reload,
+        store_version: version,
         ..ServerConfig::default()
     };
     let server = NetServer::bind(Arc::clone(&engine), opts.addr.as_str(), config)
         .map_err(|e| format!("cannot bind {}: {e}", opts.addr))?;
     println!(
-        "serving {} nodes, {} label entries ({} arena bytes, {} workers, {} max conns)",
-        store.num_nodes(),
+        "serving {} nodes, {} label entries (store v{version}, {} arena bytes, {} workers, {} max conns)",
+        engine.num_nodes(),
         engine.num_entries(),
         engine.heap_bytes(),
         opts.workers,
@@ -723,5 +778,224 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     println!("--- final metrics ---");
     println!("{}", engine.snapshot().render_text());
     println!("shutdown complete");
+    Ok(())
+}
+
+const CONVERT_USAGE: &str =
+    "usage: hubserve convert <in-store> <out-store> --to v1|v2 [--verify-roundtrip]";
+
+/// Encodes `flat` in the requested store format.
+fn encode_as(flat: &hl_core::FlatLabeling, version: u16) -> Result<Vec<u8>, String> {
+    match version {
+        1 => {
+            let mut bytes = Vec::new();
+            LabelStore::from_flat(flat)
+                .write_to(&mut bytes)
+                .map_err(|e| format!("cannot encode v1: {e}"))?;
+            Ok(bytes)
+        }
+        2 => Ok(FlatStore::from_flat(flat.clone()).encode()),
+        other => Err(format!("unknown target version v{other}")),
+    }
+}
+
+fn cmd_convert(args: &[String]) -> Result<(), String> {
+    let mut positionals = Vec::new();
+    let mut to = None;
+    let mut verify_roundtrip = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut take = |name: &str| {
+            it.next()
+                .map(String::as_str)
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--to" => to = Some(take("--to")?.to_string()),
+            "--verify-roundtrip" => verify_roundtrip = true,
+            other if !other.starts_with('-') => positionals.push(other.to_string()),
+            other => return Err(format!("unexpected argument '{other}'")),
+        }
+    }
+    let ([in_path, out_path], Some(to)) = (positionals.as_slice(), to) else {
+        return Err(CONVERT_USAGE.into());
+    };
+    let target: u16 = match to.as_str() {
+        "v1" | "1" => 1,
+        "v2" | "2" => 2,
+        other => return Err(format!("--to must be v1 or v2, not '{other}'")),
+    };
+
+    let in_bytes = std::fs::read(in_path).map_err(|e| format!("cannot read {in_path}: {e}"))?;
+    let store =
+        AnyStore::parse(&in_bytes).map_err(|e| format!("cannot parse store {in_path}: {e}"))?;
+    let source = store.version();
+    let flat = store
+        .into_flat()
+        .map_err(|e| format!("cannot decode store {in_path}: {e}"))?;
+    let out_bytes = encode_as(&flat, target)?;
+    std::fs::write(out_path, &out_bytes).map_err(|e| format!("cannot write {out_path}: {e}"))?;
+    println!(
+        "converted {in_path} (v{source}, {} bytes) -> {out_path} (v{target}, {} bytes, {:.2}x)",
+        in_bytes.len(),
+        out_bytes.len(),
+        out_bytes.len() as f64 / in_bytes.len().max(1) as f64
+    );
+
+    if verify_roundtrip {
+        // Both encodings are canonical functions of the labeling, so
+        // decoding what we just wrote and re-encoding in the *source*
+        // format must reproduce the input byte for byte.
+        let back = AnyStore::parse(&out_bytes)
+            .map_err(|e| format!("roundtrip: cannot re-parse output: {e}"))?
+            .into_flat()
+            .map_err(|e| format!("roundtrip: cannot re-decode output: {e}"))?;
+        let again = encode_as(&back, source)?;
+        if again != in_bytes {
+            return Err(format!(
+                "roundtrip FAILED: v{target} -> v{source} re-encoding differs from the input \
+                 ({} vs {} bytes)",
+                again.len(),
+                in_bytes.len()
+            ));
+        }
+        println!(
+            "roundtrip verified: v{source} -> v{target} -> v{source} is byte-identical \
+             ({} bytes)",
+            in_bytes.len()
+        );
+    }
+    Ok(())
+}
+
+fn cmd_reload(args: &[String]) -> Result<(), String> {
+    let [addr, store_path] = args else {
+        return Err("usage: hubserve reload <host:port> <server-store-path>".into());
+    };
+    let mut client = NetClient::connect(addr.as_str(), ClientConfig::default())
+        .map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    let before = client.num_nodes();
+    let (epoch, num_nodes) = client
+        .reload(store_path)
+        .map_err(|e| format!("reload failed: {e}"))?;
+    println!(
+        "reloaded {addr} from {store_path}: epoch {epoch}, {num_nodes} nodes \
+         (was {before})"
+    );
+    Ok(())
+}
+
+struct StorebenchOpts {
+    repeat: usize,
+    bench_json: Option<String>,
+}
+
+fn cmd_storebench(args: &[String]) -> Result<(), String> {
+    let usage = "usage: hubserve storebench <store-file> [--repeat N] [--bench-json FILE]";
+    let mut store_path = None;
+    let mut opts = StorebenchOpts {
+        repeat: 3,
+        bench_json: None,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut take = |name: &str| {
+            it.next()
+                .map(String::as_str)
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--repeat" => {
+                opts.repeat = take("--repeat")?
+                    .parse()
+                    .map_err(|e| format!("--repeat: {e}"))?
+            }
+            "--bench-json" => opts.bench_json = Some(take("--bench-json")?.to_string()),
+            other if store_path.is_none() && !other.starts_with('-') => {
+                store_path = Some(other.to_string())
+            }
+            other => return Err(format!("unexpected argument '{other}'")),
+        }
+    }
+    let store_path = store_path.ok_or_else(|| usage.to_string())?;
+    if opts.repeat == 0 {
+        return Err("--repeat must be positive".into());
+    }
+
+    let (flat, source, _, _) = open_any_flat(&store_path)?;
+    println!(
+        "store {store_path} (v{source}): {} nodes, {} entries",
+        flat.num_nodes(),
+        flat.num_entries()
+    );
+    println!("re-encoding both formats in memory, timing bytes -> query-ready arena:");
+
+    // Both formats parse from RAM, so the numbers isolate decode cost
+    // from disk and page-cache behavior.
+    let v1_bytes = encode_as(&flat, 1)?;
+    let v2_bytes = encode_as(&flat, 2)?;
+    drop(flat);
+
+    let time_load = |bytes: &[u8]| -> Result<f64, String> {
+        let mut best = f64::INFINITY;
+        for _ in 0..opts.repeat {
+            let started = Instant::now();
+            let flat = AnyStore::parse(bytes)
+                .map_err(|e| format!("bench parse: {e}"))?
+                .into_flat()
+                .map_err(|e| format!("bench decode: {e}"))?;
+            best = best.min(started.elapsed().as_secs_f64());
+            std::hint::black_box(flat);
+        }
+        Ok(best)
+    };
+    let t1 = time_load(&v1_bytes)?;
+    let t2 = time_load(&v2_bytes)?;
+    let mbs = |bytes: usize, t: f64| bytes as f64 / 1e6 / t.max(1e-12);
+    println!(
+        "  v1 (gamma-coded): {:>12} bytes  {t1:>9.3}s  {:>8.1} MB/s",
+        v1_bytes.len(),
+        mbs(v1_bytes.len(), t1)
+    );
+    println!(
+        "  v2 (flat arena) : {:>12} bytes  {t2:>9.3}s  {:>8.1} MB/s",
+        v2_bytes.len(),
+        mbs(v2_bytes.len(), t2)
+    );
+    println!(
+        "  load speedup: {:.1}x wall-time (best of {} runs each)",
+        t1 / t2.max(1e-12),
+        opts.repeat
+    );
+
+    if let Some(path) = &opts.bench_json {
+        let flat = AnyStore::parse(&v2_bytes)
+            .map_err(|e| format!("bench parse: {e}"))?
+            .into_flat()
+            .map_err(|e| format!("bench decode: {e}"))?;
+        let json = format!(
+            concat!(
+                "{{\"bench\":\"store\",\"store\":\"{}\",\"source_version\":{},",
+                "\"n\":{},\"label_entries\":{},\"repeat\":{},",
+                "\"v1_bytes\":{},\"v2_bytes\":{},",
+                "\"v1_load_seconds\":{:.6},\"v2_load_seconds\":{:.6},",
+                "\"v1_mb_per_s\":{:.1},\"v2_mb_per_s\":{:.1},\"load_speedup\":{:.2}}}\n"
+            ),
+            store_path,
+            source,
+            flat.num_nodes(),
+            flat.num_entries(),
+            opts.repeat,
+            v1_bytes.len(),
+            v2_bytes.len(),
+            t1,
+            t2,
+            mbs(v1_bytes.len(), t1),
+            mbs(v2_bytes.len(), t2),
+            t1 / t2.max(1e-12),
+        );
+        std::fs::write(path, json).map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("store snapshot written to {path}");
+    }
     Ok(())
 }

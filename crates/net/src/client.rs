@@ -341,6 +341,125 @@ impl NetClient {
         result
     }
 
+    /// Asks the daemon to mount the store at `path` (a path on the
+    /// *server's* filesystem). Returns the new epoch serial and node
+    /// count. Safe to retry: mounting the same store twice is idempotent
+    /// (the epoch serial just advances again).
+    pub fn reload(&mut self, path: &str) -> Result<(u64, u64), NetError> {
+        let req = Request::Reload {
+            path: path.to_string(),
+        };
+        match self.request(&req)? {
+            Response::ReloadAck { epoch, num_nodes } => Ok((epoch, num_nodes)),
+            other => Err(Self::expect_error(other, "ReloadAck")),
+        }
+    }
+
+    /// Fetches the hub label of one vertex as sorted `(hub, dist)` pairs.
+    pub fn label(&mut self, v: NodeId) -> Result<Vec<(NodeId, Distance)>, NetError> {
+        match self.request(&Request::Label { v })? {
+            Response::Label(pairs) => Ok(pairs),
+            other => Err(Self::expect_error(other, "Label")),
+        }
+    }
+
+    /// Fetches the labels of many vertices, in request order.
+    pub fn label_batch(&mut self, vs: &[NodeId]) -> Result<Vec<Vec<(NodeId, Distance)>>, NetError> {
+        match self.request(&Request::LabelBatch(vs.to_vec()))? {
+            Response::LabelBatch(labels) if labels.len() == vs.len() => Ok(labels),
+            Response::LabelBatch(labels) => Err(NetError::UnexpectedResponse {
+                expected: "LabelBatch of matching length",
+                got: format!("LabelBatch of {} (sent {})", labels.len(), vs.len()),
+            }),
+            other => Err(Self::expect_error(other, "LabelBatch")),
+        }
+    }
+
+    /// Fetches many labels by splitting into `chunk`-vertex frames with
+    /// up to `window` in flight, mirroring [`Self::query_batch_pipelined`].
+    /// Label frames are far heavier than distance frames (12 bytes per
+    /// hub entry), so callers should keep `chunk` small enough that a
+    /// chunk's worth of labels fits the frame cap.
+    pub fn label_batch_pipelined(
+        &mut self,
+        vs: &[NodeId],
+        chunk: usize,
+        window: usize,
+    ) -> Result<Vec<Vec<(NodeId, Distance)>>, NetError> {
+        let chunk = chunk.max(1);
+        let window = window.max(1);
+        let attempts = self.config.max_retries.saturating_add(1);
+        let mut attempt = 0;
+        loop {
+            match self.try_label_pipelined(vs, chunk, window) {
+                Ok(out) => return Ok(out),
+                Err(e) if e.is_retryable() && attempt + 1 < attempts => {
+                    let pause = self.backoff(attempt);
+                    std::thread::sleep(pause);
+                    attempt += 1;
+                }
+                Err(e) if attempt > 0 => {
+                    return Err(NetError::RetriesExhausted {
+                        attempts: attempt + 1,
+                        last: Box::new(e),
+                    })
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    fn try_label_pipelined(
+        &mut self,
+        vs: &[NodeId],
+        chunk: usize,
+        window: usize,
+    ) -> Result<Vec<Vec<(NodeId, Distance)>>, NetError> {
+        self.ensure_connected()?;
+        let max_len = self.config.max_frame_len;
+        let timeout = self.config.request_timeout;
+        let conn = self
+            .conn
+            .as_mut()
+            .ok_or_else(|| NetError::Handshake("connection vanished".into()))?;
+        let result = (|| {
+            let mut out = Vec::with_capacity(vs.len());
+            let chunks: Vec<&[NodeId]> = vs.chunks(chunk).collect();
+            let mut sent = 0usize;
+            let mut received = 0usize;
+            while received < chunks.len() {
+                while sent < chunks.len() && sent - received < window {
+                    let req = Request::LabelBatch(chunks[sent].to_vec());
+                    write_frame_deadline(&mut conn.stream, &req.encode(), timeout)?;
+                    sent += 1;
+                }
+                let payload = read_frame_deadline(&mut conn.stream, max_len, timeout, timeout)?;
+                match Response::decode(&payload)? {
+                    Response::LabelBatch(labels) if labels.len() == chunks[received].len() => {
+                        out.extend(labels);
+                        received += 1;
+                    }
+                    Response::LabelBatch(labels) => {
+                        return Err(NetError::UnexpectedResponse {
+                            expected: "LabelBatch of matching length",
+                            got: format!(
+                                "LabelBatch of {} (sent {})",
+                                labels.len(),
+                                chunks[received].len()
+                            ),
+                        })
+                    }
+                    other => return Err(Self::expect_error(other, "LabelBatch")),
+                }
+            }
+            Ok(out)
+        })();
+        if result.is_err() {
+            self.conn = None;
+        }
+        result
+    }
+
     /// Fetches the server's metrics snapshot.
     pub fn metrics(&mut self) -> Result<MetricsSnapshot, NetError> {
         match self.request(&Request::Metrics)? {

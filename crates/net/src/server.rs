@@ -21,13 +21,13 @@
 
 use std::collections::HashMap;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU16, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
 use hl_graph::sync::lock_unpoisoned;
-use hl_server::{store, EngineError, QueryEngine};
+use hl_server::{store, AnyStore, EngineError, QueryEngine};
 
 use crate::error::NetError;
 use crate::wire::{
@@ -62,6 +62,18 @@ pub struct ServerConfig {
     /// tooling); when off, the request gets [`ErrorCode::Unsupported`]
     /// and the connection keeps serving.
     pub allow_remote_shutdown: bool,
+    /// Whether a `Reload` request frame may swap the served store for one
+    /// read from a server-local path. Same trust calculus as
+    /// [`ServerConfig::allow_remote_shutdown`]: the protocol is
+    /// unauthenticated, and a reload both reads an attacker-chosen path
+    /// and replaces every answer the daemon gives, so keep it on only for
+    /// trusted-client deployments. When off, the request gets
+    /// [`ErrorCode::Unsupported`] and the connection keeps serving.
+    pub allow_remote_reload: bool,
+    /// Store format version advertised in the hello (the version of the
+    /// file the engine was loaded from). Updated live when a `Reload`
+    /// mounts a store of a different version.
+    pub store_version: u16,
 }
 
 impl Default for ServerConfig {
@@ -73,6 +85,8 @@ impl Default for ServerConfig {
             frame_timeout: Duration::from_secs(10),
             max_frame_len: DEFAULT_MAX_FRAME_LEN,
             allow_remote_shutdown: true,
+            allow_remote_reload: true,
+            store_version: store::VERSION,
         }
     }
 }
@@ -123,6 +137,10 @@ struct Inner {
     stop: Arc<AtomicBool>,
     conns: Arc<ConnRegistry>,
     local_addr: SocketAddr,
+    /// Format version of the store currently mounted, reflected in every
+    /// hello. Starts at [`ServerConfig::store_version`] and tracks
+    /// successful reloads.
+    store_version: AtomicU16,
 }
 
 impl Inner {
@@ -168,12 +186,14 @@ impl NetServer {
     ) -> Result<Self, NetError> {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
+        let store_version = AtomicU16::new(config.store_version);
         let inner = Arc::new(Inner {
             engine,
             config,
             stop: Arc::new(AtomicBool::new(false)),
             conns: Arc::new(ConnRegistry::default()),
             local_addr,
+            store_version,
         });
         Ok(NetServer { listener, inner })
     }
@@ -287,7 +307,7 @@ fn reject_over_cap(stream: TcpStream, inner: &Inner) {
 fn server_hello(inner: &Inner) -> ServerHello {
     ServerHello {
         protocol_version: PROTOCOL_VERSION,
-        store_version: store::VERSION,
+        store_version: inner.store_version.load(Ordering::SeqCst),
         num_nodes: inner.engine.num_nodes() as u64,
     }
 }
@@ -393,9 +413,69 @@ fn handle_connection(inner: &Inner, mut stream: TcpStream, id: u64) -> Result<()
                 code: ErrorCode::Unsupported,
                 message: "remote shutdown is disabled on this server".to_string(),
             },
+            Request::Reload { path } if inner.config.allow_remote_reload => {
+                handle_reload(inner, &path)
+            }
+            Request::Reload { .. } => Response::Error {
+                code: ErrorCode::Unsupported,
+                message: "remote reload is disabled on this server".to_string(),
+            },
+            Request::Label { v } => match inner.engine.label_of(v) {
+                Ok((hubs, dists)) => Response::Label(hubs.into_iter().zip(dists).collect()),
+                Err(e) => engine_error_response(&e),
+            },
+            Request::LabelBatch(vs) => match label_batch(inner, &vs) {
+                Ok(labels) => Response::LabelBatch(labels),
+                Err(e) => engine_error_response(&e),
+            },
         };
         send(&mut stream, inner, &response)?;
     }
+}
+
+/// Mounts the store at `path` into the engine. The new store is opened
+/// and fully validated *before* the swap, so a missing or corrupt file
+/// reports an error and leaves the current epoch serving untouched.
+fn handle_reload(inner: &Inner, path: &str) -> Response {
+    let store = match AnyStore::open(path) {
+        Ok(s) => s,
+        Err(e) => {
+            return Response::Error {
+                code: ErrorCode::Internal,
+                message: format!("reload of {path:?} failed: {e}"),
+            }
+        }
+    };
+    let version = store.version();
+    let labeling = match store.into_flat() {
+        Ok(f) => f,
+        Err(e) => {
+            return Response::Error {
+                code: ErrorCode::Internal,
+                message: format!("reload of {path:?} failed to decode: {e}"),
+            }
+        }
+    };
+    let num_nodes = labeling.num_nodes() as u64;
+    let epoch = inner.engine.reload(labeling);
+    inner.store_version.store(version, Ordering::SeqCst);
+    Response::ReloadAck { epoch, num_nodes }
+}
+
+/// Fetches the label of every requested vertex; fails atomically on the
+/// first out-of-range vertex so a partial batch is never returned.
+fn label_batch(
+    inner: &Inner,
+    vs: &[u32],
+) -> Result<Vec<Vec<(u32, hl_graph::Distance)>>, EngineError> {
+    vs.iter()
+        .map(|&v| {
+            inner
+                .engine
+                .label_of(v)
+                .map(|(hubs, dists)| hubs.into_iter().zip(dists).collect())
+        })
+        .collect()
 }
 
 /// Reads one request frame under the server's two budgets: the client

@@ -39,6 +39,14 @@ pub const PROTOCOL_VERSION: u16 = 1;
 pub const DEFAULT_MAX_FRAME_LEN: u32 = 1 << 20;
 /// Largest batch a single `QueryBatch` frame may carry.
 pub const MAX_BATCH_LEN: u32 = (DEFAULT_MAX_FRAME_LEN - 16) / 8;
+/// Largest store path a `Reload` frame may carry. Paths are server-local
+/// filenames, not data; anything longer is a protocol violation.
+pub const MAX_RELOAD_PATH_LEN: u32 = 4096;
+/// Largest vertex list a single `LabelBatch` frame may carry. The
+/// *response* is the real frame-size risk (each label multiplies), so
+/// routers chunk label fetches well below this; see
+/// [`crate::client::NetClient::label_batch_pipelined`].
+pub const MAX_LABEL_BATCH_LEN: u32 = (DEFAULT_MAX_FRAME_LEN - 16) / 4;
 
 // Opcodes. Handshake frames are 0x0_, requests 0x1_, responses 0x9_,
 // and the error response stands alone at 0xEE.
@@ -49,11 +57,17 @@ const OP_QUERY: u8 = 0x11;
 const OP_QUERY_BATCH: u8 = 0x12;
 const OP_METRICS: u8 = 0x13;
 const OP_SHUTDOWN: u8 = 0x14;
+const OP_RELOAD: u8 = 0x15;
+const OP_LABEL: u8 = 0x16;
+const OP_LABEL_BATCH: u8 = 0x17;
 const OP_PONG: u8 = 0x90;
 const OP_DISTANCE: u8 = 0x91;
 const OP_DISTANCE_BATCH: u8 = 0x92;
 const OP_METRICS_SNAPSHOT: u8 = 0x93;
 const OP_SHUTDOWN_ACK: u8 = 0x94;
+const OP_RELOAD_ACK: u8 = 0x95;
+const OP_LABEL_RESP: u8 = 0x96;
+const OP_LABEL_BATCH_RESP: u8 = 0x97;
 const OP_ERROR: u8 = 0xEE;
 
 /// Typed error codes carried by [`Response::Error`] frames.
@@ -569,6 +583,23 @@ pub enum Request {
     Metrics,
     /// Ask the daemon to drain and exit.
     Shutdown,
+    /// Ask the daemon to swap in a new store from a path on *its own*
+    /// filesystem — zero-downtime reload. Gated server-side like remote
+    /// shutdown; the daemon fully validates the file before the swap, so
+    /// a bad path or corrupt store is a typed error and the old epoch
+    /// keeps serving.
+    Reload {
+        /// Store path as the server sees it.
+        path: String,
+    },
+    /// Fetch one vertex's label — the building block of sharded serving:
+    /// a router joins two labels fetched from their owning shards.
+    Label {
+        /// The vertex whose label to ship.
+        v: u32,
+    },
+    /// Fetch many labels in one frame.
+    LabelBatch(Vec<u32>),
 }
 
 impl Request {
@@ -599,6 +630,32 @@ impl Request {
             }
             Request::Metrics => vec![OP_METRICS],
             Request::Shutdown => vec![OP_SHUTDOWN],
+            Request::Reload { path } => {
+                let bytes = path.as_bytes();
+                let mut out = Vec::with_capacity(5 + bytes.len());
+                out.push(OP_RELOAD);
+                // Saturate rather than truncate; see QueryBatch above.
+                let len = u32::try_from(bytes.len()).unwrap_or(u32::MAX);
+                out.extend_from_slice(&len.to_le_bytes());
+                out.extend_from_slice(bytes);
+                out
+            }
+            Request::Label { v } => {
+                let mut out = Vec::with_capacity(5);
+                out.push(OP_LABEL);
+                out.extend_from_slice(&v.to_le_bytes());
+                out
+            }
+            Request::LabelBatch(vs) => {
+                let mut out = Vec::with_capacity(5 + vs.len() * 4);
+                out.push(OP_LABEL_BATCH);
+                let count = u32::try_from(vs.len()).unwrap_or(u32::MAX);
+                out.extend_from_slice(&count.to_le_bytes());
+                for &v in vs {
+                    out.extend_from_slice(&v.to_le_bytes());
+                }
+                out
+            }
         }
     }
 
@@ -635,6 +692,40 @@ impl Request {
             }
             OP_METRICS => Request::Metrics,
             OP_SHUTDOWN => Request::Shutdown,
+            OP_RELOAD => {
+                let len = c.u32()?;
+                if len > MAX_RELOAD_PATH_LEN {
+                    return Err(WireError::Invalid(format!(
+                        "reload path of {len} bytes exceeds cap of {MAX_RELOAD_PATH_LEN}"
+                    )));
+                }
+                let bytes = c.take(len as usize)?;
+                let path = String::from_utf8(bytes.to_vec())
+                    .map_err(|_| WireError::Invalid("reload path is not UTF-8".into()))?;
+                Request::Reload { path }
+            }
+            OP_LABEL => Request::Label { v: c.u32()? },
+            OP_LABEL_BATCH => {
+                let count = c.u32()?;
+                if count > MAX_LABEL_BATCH_LEN {
+                    return Err(WireError::Invalid(format!(
+                        "label batch of {count} vertices exceeds cap of {MAX_LABEL_BATCH_LEN}"
+                    )));
+                }
+                // Attacker-controlled count: check against the bytes that
+                // are actually present before allocating for it.
+                if count as usize * 4 > c.remaining() {
+                    return Err(WireError::Truncated {
+                        needed: count as usize * 4,
+                        available: c.remaining(),
+                    });
+                }
+                let mut vs = Vec::with_capacity(count as usize);
+                for _ in 0..count {
+                    vs.push(c.u32()?);
+                }
+                Request::LabelBatch(vs)
+            }
             op => return Err(WireError::UnknownOpcode(op)),
         };
         c.finish()?;
@@ -655,6 +746,18 @@ pub enum Response {
     Metrics(MetricsSnapshot),
     /// Answer to [`Request::Shutdown`]; the connection closes after.
     ShutdownAck,
+    /// Answer to [`Request::Reload`]: the swap happened.
+    ReloadAck {
+        /// The new epoch serial now being served.
+        epoch: u64,
+        /// Vertex count of the newly served store.
+        num_nodes: u64,
+    },
+    /// Answer to [`Request::Label`]: the vertex's `(hub, distance)`
+    /// pairs in increasing hub order.
+    Label(Vec<(u32, Distance)>),
+    /// Answer to [`Request::LabelBatch`], labels in request order.
+    LabelBatch(Vec<Vec<(u32, Distance)>>),
     /// Typed failure; the server never closes a live connection without
     /// one except on socket death.
     Error {
@@ -711,6 +814,31 @@ impl Response {
                 out
             }
             Response::ShutdownAck => vec![OP_SHUTDOWN_ACK],
+            Response::ReloadAck { epoch, num_nodes } => {
+                let mut out = Vec::with_capacity(17);
+                out.push(OP_RELOAD_ACK);
+                out.extend_from_slice(&epoch.to_le_bytes());
+                out.extend_from_slice(&num_nodes.to_le_bytes());
+                out
+            }
+            Response::Label(pairs) => {
+                let mut out = Vec::with_capacity(5 + pairs.len() * 12);
+                out.push(OP_LABEL_RESP);
+                encode_label_pairs(&mut out, pairs);
+                out
+            }
+            Response::LabelBatch(labels) => {
+                let total: usize = labels.iter().map(|l| 4 + l.len() * 12).sum();
+                let mut out = Vec::with_capacity(5 + total);
+                out.push(OP_LABEL_BATCH_RESP);
+                // Saturate rather than truncate; see QueryBatch above.
+                let count = u32::try_from(labels.len()).unwrap_or(u32::MAX);
+                out.extend_from_slice(&count.to_le_bytes());
+                for label in labels {
+                    encode_label_pairs(&mut out, label);
+                }
+                out
+            }
             Response::Error { code, message } => {
                 let bytes = message.as_bytes();
                 let mut out = Vec::with_capacity(7 + bytes.len());
@@ -775,6 +903,27 @@ impl Response {
                 })
             }
             OP_SHUTDOWN_ACK => Response::ShutdownAck,
+            OP_RELOAD_ACK => Response::ReloadAck {
+                epoch: c.u64()?,
+                num_nodes: c.u64()?,
+            },
+            OP_LABEL_RESP => Response::Label(decode_label_pairs(&mut c)?),
+            OP_LABEL_BATCH_RESP => {
+                let count = c.u32()?;
+                // Each label needs at least its own 4-byte count; check
+                // the outer count against that before allocating.
+                if count as usize * 4 > c.remaining() {
+                    return Err(WireError::Truncated {
+                        needed: count as usize * 4,
+                        available: c.remaining(),
+                    });
+                }
+                let mut labels = Vec::with_capacity(count as usize);
+                for _ in 0..count {
+                    labels.push(decode_label_pairs(&mut c)?);
+                }
+                Response::LabelBatch(labels)
+            }
             OP_ERROR => {
                 let raw = c.u16()?;
                 let code = ErrorCode::from_u16(raw)
@@ -790,6 +939,34 @@ impl Response {
         c.finish()?;
         Ok(resp)
     }
+}
+
+/// Encodes one label as `count: u32` then `count` × `(hub u32, dist u64)`.
+fn encode_label_pairs(out: &mut Vec<u8>, pairs: &[(u32, Distance)]) {
+    // Saturate rather than truncate; see Request::QueryBatch.
+    let count = u32::try_from(pairs.len()).unwrap_or(u32::MAX);
+    out.extend_from_slice(&count.to_le_bytes());
+    for &(h, d) in pairs {
+        out.extend_from_slice(&h.to_le_bytes());
+        out.extend_from_slice(&d.to_le_bytes());
+    }
+}
+
+/// Decodes one label; the declared entry count is validated against the
+/// bytes actually remaining before any allocation.
+fn decode_label_pairs(c: &mut Cursor<'_>) -> Result<Vec<(u32, Distance)>, WireError> {
+    let count = c.u32()?;
+    if count as usize * 12 > c.remaining() {
+        return Err(WireError::Truncated {
+            needed: count as usize * 12,
+            available: c.remaining(),
+        });
+    }
+    let mut pairs = Vec::with_capacity(count as usize);
+    for _ in 0..count {
+        pairs.push((c.u32()?, c.u64()?));
+    }
+    Ok(pairs)
 }
 
 #[cfg(test)]
@@ -814,6 +991,81 @@ mod tests {
         roundtrip_req(Request::QueryBatch(vec![(0, 1), (7, 7), (u32::MAX, 0)]));
         roundtrip_req(Request::Metrics);
         roundtrip_req(Request::Shutdown);
+        roundtrip_req(Request::Reload {
+            path: "/data/stores/rmat1m.hlbs".into(),
+        });
+        roundtrip_req(Request::Label { v: 12345 });
+        roundtrip_req(Request::LabelBatch(vec![]));
+        roundtrip_req(Request::LabelBatch(vec![0, 7, u32::MAX]));
+    }
+
+    #[test]
+    fn label_and_reload_responses_roundtrip() {
+        roundtrip_resp(Response::ReloadAck {
+            epoch: 3,
+            num_nodes: 1_048_576,
+        });
+        roundtrip_resp(Response::Label(vec![]));
+        roundtrip_resp(Response::Label(vec![(0, 0), (9, u64::MAX)]));
+        roundtrip_resp(Response::LabelBatch(vec![]));
+        roundtrip_resp(Response::LabelBatch(vec![
+            vec![(0, 0), (3, 2)],
+            vec![],
+            vec![(7, 1)],
+        ]));
+    }
+
+    #[test]
+    fn reload_path_lies_are_rejected() {
+        // Declared path length over the cap.
+        let mut payload = vec![0x15u8]; // OP_RELOAD
+        payload.extend_from_slice(&(MAX_RELOAD_PATH_LEN + 1).to_le_bytes());
+        assert!(matches!(
+            Request::decode(&payload),
+            Err(WireError::Invalid(_))
+        ));
+        // Declared length longer than the body.
+        let mut payload = vec![0x15u8];
+        payload.extend_from_slice(&100u32.to_le_bytes());
+        payload.extend_from_slice(b"short");
+        assert!(matches!(
+            Request::decode(&payload),
+            Err(WireError::Truncated { .. })
+        ));
+        // Non-UTF-8 path bytes.
+        let mut payload = vec![0x15u8];
+        payload.extend_from_slice(&2u32.to_le_bytes());
+        payload.extend_from_slice(&[0xff, 0xfe]);
+        assert!(matches!(
+            Request::decode(&payload),
+            Err(WireError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn label_count_lies_are_rejected_before_allocation() {
+        // A Label response declaring far more entries than the body holds.
+        let mut payload = vec![0x96u8]; // OP_LABEL_RESP
+        payload.extend_from_slice(&1_000_000u32.to_le_bytes());
+        assert!(matches!(
+            Response::decode(&payload),
+            Err(WireError::Truncated { .. })
+        ));
+        // An outer LabelBatch count with no inner bodies behind it.
+        let mut payload = vec![0x97u8]; // OP_LABEL_BATCH_RESP
+        payload.extend_from_slice(&1_000_000u32.to_le_bytes());
+        assert!(matches!(
+            Response::decode(&payload),
+            Err(WireError::Truncated { .. })
+        ));
+        // A LabelBatch request with a lying vertex count.
+        let mut payload = vec![0x17u8]; // OP_LABEL_BATCH
+        payload.extend_from_slice(&50u32.to_le_bytes());
+        payload.extend_from_slice(&[0u8; 4]);
+        assert!(matches!(
+            Request::decode(&payload),
+            Err(WireError::Truncated { .. })
+        ));
     }
 
     #[test]

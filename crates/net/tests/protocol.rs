@@ -40,6 +40,8 @@ impl TestServer {
             frame_timeout: Duration::from_millis(500),
             max_frame_len: TEST_MAX_FRAME,
             allow_remote_shutdown: false,
+            allow_remote_reload: false,
+            ..ServerConfig::default()
         };
         let server = NetServer::bind(engine, "127.0.0.1:0", config).expect("bind");
         let addr = server.local_addr();
@@ -348,6 +350,7 @@ fn remote_shutdown_when_allowed_acks_and_stops() {
         frame_timeout: Duration::from_millis(500),
         max_frame_len: TEST_MAX_FRAME,
         allow_remote_shutdown: true,
+        ..ServerConfig::default()
     };
     let server = NetServer::bind(engine, "127.0.0.1:0", config).expect("bind");
     let addr = server.local_addr();
@@ -385,6 +388,8 @@ fn over_cap_connection_is_greeted_and_turned_away_busy() {
         frame_timeout: Duration::from_millis(500),
         max_frame_len: TEST_MAX_FRAME,
         allow_remote_shutdown: false,
+        allow_remote_reload: false,
+        ..ServerConfig::default()
     };
     let server = NetServer::bind(engine, "127.0.0.1:0", config).expect("bind");
     let addr = server.local_addr();
@@ -401,6 +406,135 @@ fn over_cap_connection_is_greeted_and_turned_away_busy() {
 
     stop.stop();
     thread.join().expect("server thread");
+}
+
+#[test]
+fn remote_reload_can_be_disabled() {
+    // Reload shares Shutdown's trust calculus: one opcode on an
+    // unauthenticated protocol that replaces every answer the daemon
+    // gives. With `allow_remote_reload: false` (the harness config) the
+    // request must get a typed Unsupported error and the connection must
+    // keep serving from the store it already has.
+    let server = TestServer::start();
+    let mut stream = server.handshaken_socket();
+
+    let req = Request::Reload {
+        path: "/definitely/not/consulted.hlbs".into(),
+    };
+    write_frame(&mut stream, &req.encode()).expect("send reload");
+    let message = expect_error(&mut stream, ErrorCode::Unsupported);
+    assert!(message.contains("disabled"), "uninformative: {message}");
+
+    write_frame(&mut stream, &Request::Query { u: 0, v: 24 }.encode()).expect("send query");
+    let payload = read_frame(&mut stream, TEST_MAX_FRAME).expect("response");
+    assert!(matches!(
+        Response::decode(&payload).expect("decode"),
+        Response::Distance(8)
+    ));
+}
+
+#[test]
+fn reload_swaps_store_updates_hello_and_survives_bad_paths() {
+    use hl_core::FlatLabeling;
+    use hl_net::{ClientConfig, NetClient, NetError};
+    use hl_server::FlatStore;
+
+    let g1 = generators::grid(5, 5);
+    let hl1 = PrunedLandmarkLabeling::by_degree(&g1).into_labeling();
+    let engine = Arc::new(QueryEngine::new(hl1, 1).expect("engine"));
+    let config = ServerConfig {
+        max_connections: 4,
+        read_timeout: Duration::from_secs(2),
+        write_timeout: Duration::from_secs(2),
+        frame_timeout: Duration::from_millis(500),
+        max_frame_len: TEST_MAX_FRAME,
+        allow_remote_shutdown: false,
+        allow_remote_reload: true,
+        ..ServerConfig::default()
+    };
+    let server = NetServer::bind(engine, "127.0.0.1:0", config).expect("bind");
+    let addr = server.local_addr();
+    let stop = server.stop_handle();
+    let thread = std::thread::spawn(move || server.serve().expect("serve"));
+
+    // A v2 store of a *different* graph, staged on disk for the daemon.
+    let g2 = generators::grid(6, 6);
+    let f2 = FlatLabeling::from(PrunedLandmarkLabeling::by_degree(&g2).into_labeling());
+    let mut path = std::env::temp_dir();
+    path.push(format!("hlnet-proto-reload-{}.hlbs", std::process::id()));
+    FlatStore::from_flat(f2.clone()).save(&path).expect("save");
+
+    let mut client = NetClient::connect(addr, ClientConfig::default()).expect("connect");
+    assert_eq!(client.server_hello().map(|h| h.store_version), Some(1));
+    assert_eq!(client.query(0, 24).expect("pre-reload query"), 8);
+
+    // A bad path must fail loudly and leave the old epoch serving.
+    match client.reload("/definitely/missing.hlbs") {
+        Err(NetError::Remote { code, .. }) => assert_eq!(code, ErrorCode::Internal),
+        other => panic!("expected an Internal error frame, got {other:?}"),
+    }
+    assert_eq!(client.query(0, 24).expect("query after failed reload"), 8);
+
+    // A good path swaps the store: 36 vertices, new distances.
+    let (epoch, num_nodes) = client
+        .reload(path.to_str().expect("utf-8 path"))
+        .expect("reload");
+    assert_eq!(epoch, 1);
+    assert_eq!(num_nodes, 36);
+    assert_eq!(client.query(0, 35).expect("post-reload query"), 10);
+
+    // A fresh handshake advertises the v2 store and the new node count.
+    let fresh = NetClient::connect(addr, ClientConfig::default()).expect("reconnect");
+    let hello = fresh.server_hello().expect("hello").clone();
+    assert_eq!(hello.store_version, 2);
+    assert_eq!(hello.num_nodes, 36);
+
+    let _ = std::fs::remove_file(&path);
+    stop.stop();
+    thread.join().expect("server thread");
+}
+
+#[test]
+fn label_fetches_match_the_served_labeling() {
+    use hl_core::FlatLabeling;
+    use hl_net::{ClientConfig, NetClient, NetError};
+
+    let g = generators::grid(5, 5);
+    let hl = PrunedLandmarkLabeling::by_degree(&g).into_labeling();
+    let flat = FlatLabeling::from_labeling(&hl);
+    let server = TestServer::start(); // serves the same 5x5 labeling
+
+    let mut client = NetClient::connect(server.addr, ClientConfig::default()).expect("connect");
+
+    // Single label: exactly the arena's (hub, dist) run for the vertex.
+    for v in [0u32, 12, 24] {
+        let pairs = client.label(v).expect("label");
+        let want: Vec<(u32, u64)> = flat.pairs_of(v).collect();
+        assert_eq!(pairs, want, "label({v}) disagrees with the arena");
+    }
+
+    // Batch and pipelined batch, in request order.
+    let vs: Vec<u32> = (0..25).collect();
+    let want: Vec<Vec<(u32, u64)>> = vs.iter().map(|&v| flat.pairs_of(v).collect()).collect();
+    assert_eq!(client.label_batch(&vs).expect("label batch"), want);
+    assert_eq!(
+        client
+            .label_batch_pipelined(&vs, 4, 3)
+            .expect("pipelined labels"),
+        want
+    );
+
+    // Out-of-range vertices get the typed error, atomically for batches.
+    match client.label(25) {
+        Err(NetError::Remote { code, .. }) => assert_eq!(code, ErrorCode::NodeOutOfRange),
+        other => panic!("expected NodeOutOfRange, got {other:?}"),
+    }
+    match client.label_batch(&[0, 1, 999]) {
+        Err(NetError::Remote { code, .. }) => assert_eq!(code, ErrorCode::NodeOutOfRange),
+        other => panic!("expected NodeOutOfRange, got {other:?}"),
+    }
+    // And the connection keeps serving afterwards.
+    assert!(!client.label(0).expect("label after error").is_empty());
 }
 
 #[test]

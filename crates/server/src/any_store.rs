@@ -1,0 +1,182 @@
+//! Version dispatch over the HLBS store family.
+//!
+//! Both formats share the magic and the header prefix through the version
+//! field; [`AnyStore`] peeks at that field
+//! ([`crate::store::format_version`]) and hands the bytes to the right
+//! reader. Serving code (`hubserve serve`, `query`, `stats`, the reload
+//! path) goes through this type so a daemon can mount either encoding —
+//! v1 as the compact archival form, v2 as the load-is-a-read serving
+//! form.
+
+use std::fs::File;
+use std::io::Read;
+use std::path::Path;
+
+use hl_core::FlatLabeling;
+
+use crate::store::{self, LabelStore, StoreError};
+use crate::store_v2::{self, FlatStore};
+
+/// A parsed store of either format version.
+#[derive(Debug, Clone)]
+pub enum AnyStore {
+    /// HLBS v1: γ-coded labels behind an offset table.
+    V1(LabelStore),
+    /// HLBS v2: the flat arena laid out verbatim.
+    V2(FlatStore),
+}
+
+impl AnyStore {
+    /// Parses a serialized store of either version, fully validated.
+    pub fn parse(bytes: &[u8]) -> Result<Self, StoreError> {
+        match store::format_version(bytes)? {
+            store::VERSION => Ok(AnyStore::V1(LabelStore::parse(bytes)?)),
+            store_v2::VERSION => Ok(AnyStore::V2(FlatStore::parse(bytes)?)),
+            other => Err(StoreError::UnsupportedVersion(other)),
+        }
+    }
+
+    /// Reads and validates a store from a reader.
+    pub fn read_from<R: Read>(mut input: R) -> Result<Self, StoreError> {
+        let mut bytes = Vec::new();
+        input.read_to_end(&mut bytes)?;
+        Self::parse(&bytes)
+    }
+
+    /// Reads and validates a store from a file.
+    pub fn open<P: AsRef<Path>>(path: P) -> Result<Self, StoreError> {
+        Self::read_from(File::open(path)?)
+    }
+
+    /// The format version of this store.
+    pub fn version(&self) -> u16 {
+        match self {
+            AnyStore::V1(_) => store::VERSION,
+            AnyStore::V2(_) => store_v2::VERSION,
+        }
+    }
+
+    /// Number of vertices the store holds labels for.
+    pub fn num_nodes(&self) -> usize {
+        match self {
+            AnyStore::V1(s) => s.num_nodes(),
+            AnyStore::V2(s) => s.num_nodes(),
+        }
+    }
+
+    /// Size of the serialized file in bytes.
+    pub fn file_len(&self) -> u64 {
+        match self {
+            AnyStore::V1(s) => s.file_len() as u64,
+            AnyStore::V2(s) => s.file_len(),
+        }
+    }
+
+    /// Per-section byte sizes (v1: offsets/bit_lens/blob; v2:
+    /// offsets/hubs/dists), for stats reporting.
+    pub fn section_bytes(&self) -> [(&'static str, u64); 3] {
+        match self {
+            AnyStore::V1(s) => s.section_bytes(),
+            AnyStore::V2(s) => s.section_bytes(),
+        }
+    }
+
+    /// Converts into the canonical query-time arena. For v1 this γ-decodes
+    /// every label (the untrusted-decode path, so it can fail on a crafted
+    /// store); for v2 the arena is already built and moves out for free.
+    pub fn into_flat(self) -> Result<FlatLabeling, StoreError> {
+        match self {
+            AnyStore::V1(s) => s.to_flat(),
+            AnyStore::V2(s) => Ok(s.into_flat()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hl_core::pll::PrunedLandmarkLabeling;
+    use hl_core::HubLabeling;
+    use hl_graph::generators;
+
+    fn sample() -> (HubLabeling, FlatLabeling) {
+        let g = generators::connected_gnm(60, 60, 5);
+        let hl = PrunedLandmarkLabeling::by_degree(&g).into_labeling();
+        let flat = FlatLabeling::from_labeling(&hl);
+        (hl, flat)
+    }
+
+    #[test]
+    fn dispatches_both_versions() {
+        let (hl, flat) = sample();
+        let mut v1_bytes = Vec::new();
+        LabelStore::from_labeling(&hl)
+            .write_to(&mut v1_bytes)
+            .unwrap();
+        let v2_bytes = FlatStore::from_flat(flat.clone()).encode();
+
+        let v1 = AnyStore::parse(&v1_bytes).unwrap();
+        assert_eq!(v1.version(), 1);
+        assert_eq!(v1.num_nodes(), flat.num_nodes());
+        assert_eq!(v1.file_len(), v1_bytes.len() as u64);
+        assert_eq!(v1.into_flat().unwrap(), flat);
+
+        let v2 = AnyStore::parse(&v2_bytes).unwrap();
+        assert_eq!(v2.version(), 2);
+        assert_eq!(v2.file_len(), v2_bytes.len() as u64);
+        assert_eq!(v2.into_flat().unwrap(), flat);
+    }
+
+    #[test]
+    fn unknown_version_rejected() {
+        let (hl, _) = sample();
+        let mut bytes = Vec::new();
+        LabelStore::from_labeling(&hl).write_to(&mut bytes).unwrap();
+        bytes[4] = 77;
+        assert!(matches!(
+            AnyStore::parse(&bytes),
+            Err(StoreError::UnsupportedVersion(77))
+        ));
+    }
+
+    #[test]
+    fn format_version_peek() {
+        assert!(matches!(
+            store::format_version(b"HLB"),
+            Err(StoreError::Truncated { .. })
+        ));
+        assert!(matches!(
+            store::format_version(b"NOPE0000"),
+            Err(StoreError::BadMagic(_))
+        ));
+        let (_, flat) = sample();
+        let bytes = FlatStore::from_flat(flat).encode();
+        assert_eq!(store::format_version(&bytes).unwrap(), 2);
+    }
+
+    #[test]
+    fn v1_v2_v1_is_byte_identical() {
+        // The convert round-trip contract: γ-encoding is a canonical
+        // function of the labeling, so decoding v1 to the arena and
+        // re-encoding reproduces the original file exactly.
+        let (hl, _) = sample();
+        let mut v1_bytes = Vec::new();
+        LabelStore::from_labeling(&hl)
+            .write_to(&mut v1_bytes)
+            .unwrap();
+
+        let flat = AnyStore::parse(&v1_bytes).unwrap().into_flat().unwrap();
+        let v2_bytes = FlatStore::from_flat(flat).encode();
+        let flat_back = AnyStore::parse(&v2_bytes).unwrap().into_flat().unwrap();
+        let mut v1_again = Vec::new();
+        LabelStore::from_flat(&flat_back)
+            .write_to(&mut v1_again)
+            .unwrap();
+        assert_eq!(v1_again, v1_bytes);
+
+        // And v2 → v1 → v2 is byte-identical too.
+        let v2_again =
+            FlatStore::from_flat(AnyStore::parse(&v1_again).unwrap().into_flat().unwrap()).encode();
+        assert_eq!(v2_again, v2_bytes);
+    }
+}

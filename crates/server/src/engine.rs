@@ -3,11 +3,14 @@
 //!
 //! Labels are decoded from the store once at construction — straight into
 //! a [`FlatLabeling`] CSR arena, the canonical query-time representation.
-//! Serving then touches only that immutable arena, so workers share it
-//! through a plain `Arc` with no locking (and no per-vertex pointer
-//! chasing) on the hot path. Construction-time code hands the engine a
-//! nested [`hl_core::HubLabeling`] if that is what it has; the engine
-//! flattens it once at startup.
+//! The arena (plus its LRU cache) lives inside an immutable **epoch**
+//! behind a versioned `Arc` cell: every query snapshots the current epoch
+//! with one brief read-lock clone and then runs lock-free against that
+//! generation. [`QueryEngine::reload`] swaps in a new epoch atomically —
+//! in-flight queries finish on the old one, which is freed when its last
+//! snapshot drops. Construction-time code hands the engine a nested
+//! [`hl_core::HubLabeling`] if that is what it has; the engine flattens
+//! it once at startup.
 //!
 //! Two paths:
 //!
@@ -26,12 +29,12 @@
 use std::fmt;
 use std::sync::atomic::Ordering::Relaxed;
 use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
 use hl_core::FlatLabeling;
-use hl_graph::sync::lock_unpoisoned;
+use hl_graph::sync::{lock_unpoisoned, read_unpoisoned, write_unpoisoned};
 use hl_graph::{Distance, NodeId};
 
 use crate::cache::ShardedLruCache;
@@ -91,17 +94,43 @@ impl From<StoreError> for EngineError {
     }
 }
 
-/// State shared between the engine handle and its workers.
-struct Shared {
+/// One immutable generation of served data: the arena plus its own LRU
+/// cache. The cache lives *inside* the epoch so a reload can never serve
+/// a distance cached from a different store — swapping the epoch swaps
+/// the cache with it, atomically.
+struct Epoch {
+    /// Monotonically increasing generation number, starting at 0.
+    serial: u64,
     labeling: FlatLabeling,
     cache: ShardedLruCache,
+}
+
+/// State shared between the engine handle and its workers. Queries
+/// snapshot the current epoch `Arc` (one brief read-lock clone) and then
+/// run lock-free against that immutable generation; a concurrent
+/// [`QueryEngine::reload`] write-locks only for the pointer swap.
+/// In-flight queries keep the old epoch alive through their clone, and
+/// the old arena + cache are freed when the last such clone drops.
+struct Shared {
+    epoch: RwLock<Arc<Epoch>>,
     metrics: Metrics,
+    cache_capacity: usize,
+    cache_shards: usize,
+}
+
+impl Shared {
+    fn snapshot(&self) -> Arc<Epoch> {
+        Arc::clone(&read_unpoisoned(&self.epoch))
+    }
 }
 
 struct BatchJob {
     pairs: Vec<(NodeId, NodeId)>,
     /// Index of this shard's first pair within the original batch.
     offset: usize,
+    /// The generation this batch was validated against: every shard of a
+    /// batch answers from the same epoch even if a reload lands mid-batch.
+    epoch: Arc<Epoch>,
     reply: Sender<(usize, Vec<Distance>)>,
 }
 
@@ -141,10 +170,16 @@ impl QueryEngine {
         cache_capacity: usize,
     ) -> Result<Self, EngineError> {
         let num_workers = num_workers.max(1);
+        let cache_shards = num_workers.max(4);
         let shared = Arc::new(Shared {
-            labeling: labeling.into(),
-            cache: ShardedLruCache::new(cache_capacity, num_workers.max(4)),
+            epoch: RwLock::new(Arc::new(Epoch {
+                serial: 0,
+                labeling: labeling.into(),
+                cache: ShardedLruCache::new(cache_capacity, cache_shards),
+            })),
             metrics: Metrics::new(),
+            cache_capacity,
+            cache_shards,
         });
         let (tx, rx) = channel::<BatchJob>();
         let rx = Arc::new(Mutex::new(rx));
@@ -181,19 +216,60 @@ impl QueryEngine {
         self.num_workers
     }
 
-    /// Number of vertices the engine serves.
+    /// Number of vertices the engine currently serves.
     pub fn num_nodes(&self) -> usize {
-        self.shared.labeling.num_nodes()
+        self.shared.snapshot().labeling.num_nodes()
     }
 
     /// Total `(hub, distance)` entries in the served arena, `Σ_v |S_v|`.
     pub fn num_entries(&self) -> usize {
-        self.shared.labeling.num_entries()
+        self.shared.snapshot().labeling.num_entries()
     }
 
     /// Heap footprint of the served [`FlatLabeling`] arena, in bytes.
     pub fn heap_bytes(&self) -> usize {
-        self.shared.labeling.heap_bytes()
+        self.shared.snapshot().labeling.heap_bytes()
+    }
+
+    /// Serial number of the epoch currently being served. Starts at 0 and
+    /// increments on every successful [`QueryEngine::reload`].
+    pub fn epoch(&self) -> u64 {
+        self.shared.snapshot().serial
+    }
+
+    /// Atomically replaces the served labeling with `labeling` and
+    /// returns the new epoch serial. Queries that already snapshotted the
+    /// old epoch finish against it — consistently, including whole
+    /// batches — and the old arena and its cache are freed when the last
+    /// such query retires. The new epoch starts with a fresh, empty cache
+    /// so no stale distance can cross the swap.
+    ///
+    /// Validation is the *caller's* job: hand this only a store that
+    /// already parsed cleanly (the serving daemon opens and validates the
+    /// file before calling reload, so a corrupt file never evicts the
+    /// healthy epoch).
+    pub fn reload(&self, labeling: impl Into<FlatLabeling>) -> u64 {
+        let labeling = labeling.into();
+        let cache = ShardedLruCache::new(self.shared.cache_capacity, self.shared.cache_shards);
+        let mut slot = write_unpoisoned(&self.shared.epoch);
+        let serial = slot.serial + 1;
+        *slot = Arc::new(Epoch {
+            serial,
+            labeling,
+            cache,
+        });
+        serial
+    }
+
+    /// The label of vertex `v` in the current epoch, as owned parallel
+    /// arrays — what the wire layer ships for router-side merge joins.
+    pub fn label_of(&self, v: NodeId) -> Result<(Vec<NodeId>, Vec<Distance>), EngineError> {
+        let epoch = self.shared.snapshot();
+        check_node_in(&epoch, v)?;
+        Ok((
+            epoch.labeling.hubs_of(v).to_vec(),
+            epoch.labeling.dists_of(v).to_vec(),
+        ))
     }
 
     /// Live metrics for this engine.
@@ -206,32 +282,23 @@ impl QueryEngine {
         self.shared.metrics.snapshot()
     }
 
-    fn check_node(&self, v: NodeId) -> Result<(), EngineError> {
-        if (v as usize) < self.shared.labeling.num_nodes() {
-            Ok(())
-        } else {
-            Err(EngineError::NodeOutOfRange {
-                node: v,
-                num_nodes: self.shared.labeling.num_nodes(),
-            })
-        }
-    }
-
-    /// Answers one query through the LRU cache, on the calling thread.
+    /// Answers one query through the current epoch's LRU cache, on the
+    /// calling thread.
     pub fn query(&self, u: NodeId, v: NodeId) -> Result<Distance, EngineError> {
-        self.check_node(u)?;
-        self.check_node(v)?;
+        let epoch = self.shared.snapshot();
+        check_node_in(&epoch, u)?;
+        check_node_in(&epoch, v)?;
         let started = Instant::now();
         let key = ShardedLruCache::pair_key(u, v);
         let m = &self.shared.metrics;
-        let d = match self.shared.cache.get(key) {
+        let d = match epoch.cache.get(key) {
             Some(d) => {
                 m.cache_hits.fetch_add(1, Relaxed);
                 d
             }
             None => {
-                let d = self.shared.labeling.query(u, v);
-                self.shared.cache.insert(key, d);
+                let d = epoch.labeling.query(u, v);
+                epoch.cache.insert(key, d);
                 m.cache_misses.fetch_add(1, Relaxed);
                 d
             }
@@ -244,11 +311,14 @@ impl QueryEngine {
     /// Answers a batch of queries, sharded across the worker pool.
     /// Results come back in input order. The whole batch is validated
     /// before any work is dispatched, so an out-of-range pair costs
-    /// nothing but the scan.
+    /// nothing but the scan — and the epoch snapshotted for validation is
+    /// the one every shard answers from, so a reload landing mid-batch
+    /// cannot mix two stores in one result.
     pub fn query_batch(&self, pairs: &[(NodeId, NodeId)]) -> Result<Vec<Distance>, EngineError> {
+        let epoch = self.shared.snapshot();
         for &(u, v) in pairs {
-            self.check_node(u)?;
-            self.check_node(v)?;
+            check_node_in(&epoch, u)?;
+            check_node_in(&epoch, v)?;
         }
         let m = &self.shared.metrics;
         m.batches.fetch_add(1, Relaxed);
@@ -263,7 +333,7 @@ impl QueryEngine {
             let mut out = Vec::with_capacity(pairs.len());
             for &(u, v) in pairs {
                 let started = Instant::now();
-                out.push(self.shared.labeling.query(u, v));
+                out.push(epoch.labeling.query(u, v));
                 m.latency.record(elapsed_ns(started));
             }
             m.batch_queries.fetch_add(pairs.len() as u64, Relaxed);
@@ -280,6 +350,7 @@ impl QueryEngine {
                 tx.send(BatchJob {
                     pairs: part.to_vec(),
                     offset: i * chunk,
+                    epoch: Arc::clone(&epoch),
                     reply: reply_tx.clone(),
                 })
                 .map_err(|_| EngineError::PoolShutdown)?;
@@ -311,6 +382,17 @@ fn elapsed_ns(started: Instant) -> u64 {
     u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX)
 }
 
+fn check_node_in(epoch: &Epoch, v: NodeId) -> Result<(), EngineError> {
+    if (v as usize) < epoch.labeling.num_nodes() {
+        Ok(())
+    } else {
+        Err(EngineError::NodeOutOfRange {
+            node: v,
+            num_nodes: epoch.labeling.num_nodes(),
+        })
+    }
+}
+
 fn worker_loop(shared: Arc<Shared>, rx: Arc<Mutex<Receiver<BatchJob>>>) {
     loop {
         // Hold the receiver lock only while dequeuing, never while working.
@@ -321,7 +403,9 @@ fn worker_loop(shared: Arc<Shared>, rx: Arc<Mutex<Receiver<BatchJob>>>) {
         let mut distances = Vec::with_capacity(job.pairs.len());
         for &(u, v) in &job.pairs {
             let started = Instant::now();
-            distances.push(shared.labeling.query(u, v));
+            // The job's pinned epoch, not the current one: the batch was
+            // validated against it, and all shards must agree on a store.
+            distances.push(job.epoch.labeling.query(u, v));
             shared.metrics.latency.record(elapsed_ns(started));
         }
         shared

@@ -25,12 +25,16 @@
 
 #![forbid(unsafe_code)]
 
+pub mod any_store;
 pub mod cache;
 pub mod engine;
 pub mod metrics;
 pub mod store;
+pub mod store_v2;
 
+pub use any_store::AnyStore;
 pub use cache::{CacheStats, ShardedLruCache};
 pub use engine::{EngineError, QueryEngine};
 pub use metrics::{LatencyHistogram, Metrics, MetricsSnapshot};
 pub use store::{LabelStore, StoreError};
+pub use store_v2::FlatStore;

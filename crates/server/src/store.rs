@@ -41,10 +41,34 @@ use hl_labeling::scheme::BitLabel;
 
 /// File magic: "Hub Label Binary Store".
 pub const MAGIC: [u8; 4] = *b"HLBS";
-/// Current format version.
+/// Format version this module (the γ-coded archival encoding) speaks.
+/// Version 2, the flat-arena serving encoding, lives in
+/// [`crate::store_v2`]; [`crate::any_store::AnyStore`] dispatches on
+/// [`format_version`].
 pub const VERSION: u16 = 1;
 /// Size of the fixed header in bytes.
 pub const HEADER_LEN: usize = 32;
+
+/// Peeks at the magic and format version of a serialized store without
+/// parsing the rest — how [`crate::any_store::AnyStore`] picks a reader.
+/// Returns whatever version the header declares; rejecting unknown
+/// versions is the caller's job.
+pub fn format_version(bytes: &[u8]) -> Result<u16, StoreError> {
+    if bytes.len() < 8 {
+        return Err(StoreError::Truncated {
+            expected: 8,
+            actual: bytes.len() as u64,
+        });
+    }
+    let mut magic = [0u8; 4];
+    magic.copy_from_slice(&bytes[0..4]);
+    if magic != MAGIC {
+        return Err(StoreError::BadMagic(magic));
+    }
+    let mut v = [0u8; 2];
+    v.copy_from_slice(&bytes[4..6]);
+    Ok(u16::from_le_bytes(v))
+}
 
 /// Everything that can go wrong opening or reading a store.
 #[derive(Debug)]
@@ -76,7 +100,7 @@ impl fmt::Display for StoreError {
                 write!(f, "bad magic {m:?}: not a hub label store")
             }
             StoreError::UnsupportedVersion(v) => {
-                write!(f, "unsupported store version {v} (reader speaks {VERSION})")
+                write!(f, "unsupported store version {v}")
             }
             StoreError::UnsupportedFlags(bits) => {
                 write!(f, "unsupported flag bits {bits:#06x}")
@@ -162,9 +186,46 @@ impl LabelStore {
         }
     }
 
+    /// Re-encodes a flat arena into store form — the v2 → v1 direction of
+    /// `hubserve convert`. Labels are γ-encoded one vertex at a time from
+    /// the arena slices, so no nested [`HubLabeling`] is materialized.
+    /// The encoding is canonical (a deterministic function of the
+    /// labeling), which is what makes v1 → v2 → v1 byte-identical.
+    pub fn from_flat(flat: &FlatLabeling) -> Self {
+        let n = flat.num_nodes();
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut bit_lens = Vec::with_capacity(n);
+        let mut blob = Vec::new();
+        offsets.push(0u64);
+        for v in 0..n {
+            let label: HubLabel = flat.pairs_of(v as NodeId).collect();
+            let bits = encode_label(&label);
+            blob.extend_from_slice(bits.bits().as_bytes());
+            bit_lens.push(bits.num_bits() as u32);
+            offsets.push(blob.len() as u64);
+        }
+        LabelStore {
+            num_nodes: n,
+            offsets,
+            bit_lens,
+            blob,
+        }
+    }
+
     /// Number of vertices the store holds labels for.
     pub fn num_nodes(&self) -> usize {
         self.num_nodes
+    }
+
+    /// Per-section byte sizes of the serialized body, for stats
+    /// reporting: the offset table, the bit-length table, and the γ-coded
+    /// label blob (v1's sections; v2 reports offsets/hubs/dists).
+    pub fn section_bytes(&self) -> [(&'static str, u64); 3] {
+        [
+            ("offsets", (self.num_nodes as u64 + 1) * 8),
+            ("bit_lens", self.num_nodes as u64 * 4),
+            ("blob", self.blob.len() as u64),
+        ]
     }
 
     /// Total size of the label blob in bytes (excluding tables and header).

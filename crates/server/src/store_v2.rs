@@ -1,0 +1,824 @@
+//! HLBS version 2 — the on-disk body *is* the [`FlatLabeling`] arena.
+//!
+//! Version 1 stores labels γ-coded: minimal bytes on disk, but opening a
+//! multi-GB store means bit-decoding 100M+ entries before the first query.
+//! Version 2 inverts the trade: the three CSR arrays (`offsets`, `hubs`,
+//! `dists`) are laid out verbatim, little-endian, each in its own aligned,
+//! individually checksummed section — so a load is one sequential read,
+//! one fused checksum-and-decode pass, and one structural scan. No bit
+//! twiddling, no per-label work. v1 remains the archival/transport encoding (`hubserve
+//! convert` moves between them losslessly); v2 is what a daemon mounts.
+//!
+//! ## Format (all integers little-endian)
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic  b"HLBS"
+//! 4       2     format version (2)
+//! 6       2     flags (must be 0 in version 2)
+//! 8       8     node count n
+//! 16      8     entry count e  (Σ_v |S_v|)
+//! 24      8     FNV-1a-64 checksum of the section table (bytes 32..104)
+//! 32      72    section table: 3 records of
+//!                 (file offset u64, byte length u64, checksum u64)
+//!               for the offsets, hubs and dists sections in that order;
+//!               the section checksum is the word-folded, four-lane FNV
+//!               variant of [`section_checksum`] (bulk data would be
+//!               bottlenecked by byte-serial FNV)
+//! 104     ...   zero padding to each section's 64-byte-aligned start
+//! ```
+//!
+//! The `offsets` section holds `(n + 1)` u64s, `hubs` holds `e` u32s,
+//! `dists` holds `e` u64s. Sections start at 64-byte-aligned file offsets
+//! in table order, every gap byte is zero, and the file ends exactly where
+//! the `dists` section does.
+//!
+//! A reader validates, in order: header length, magic/version/flags, the
+//! table checksum, then each section record (alignment, exact length for
+//! the declared `n`/`e`, in-bounds, ascending and non-overlapping), the
+//! zero padding, each section checksum (computed in the same pass that
+//! decodes the section — decoded data is discarded unless every checksum
+//! matches), and finally the structural
+//! invariants of the decoded arena via
+//! [`FlatLabeling::from_raw_parts`]. Anything malformed is a typed
+//! [`StoreError`], never a panic or a wrong distance — the same untrusted-
+//! bytes discipline as v1, with the checksum catching accidents and the
+//! structural pass catching crafted stores.
+
+use std::fs::File;
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+use hl_core::FlatLabeling;
+
+use crate::store::{fnv1a64, StoreError, MAGIC};
+
+/// Format version this module reads and writes.
+pub const VERSION: u16 = 2;
+/// Size of the fixed header plus the section table, in bytes.
+pub const HEADER_LEN: usize = 104;
+/// Every section starts at a multiple of this file offset.
+pub const SECTION_ALIGN: usize = 64;
+/// Section names, in table order.
+pub const SECTION_NAMES: [&str; 3] = ["offsets", "hubs", "dists"];
+
+const TABLE_OFF: usize = 32;
+const RECORD_LEN: usize = 24;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// The v2 *section* checksum: FNV-1a-64 folded over little-endian u64
+/// words in four independent lanes, with the byte-FNV of the tail and
+/// the section length absorbed into the combining hash.
+///
+/// Plain byte-at-a-time FNV-1a is a single serial xor/multiply chain —
+/// ~4 cycles of multiply latency *per byte*, which would dominate the
+/// load of a multi-GB store and defeat the format's purpose. Folding
+/// whole words cuts the work to one multiply per 8 bytes, and four
+/// independent lanes let those multiplies overlap in flight, pushing
+/// checksum throughput to memory-bandwidth territory while staying
+/// std-only and allocation-free.
+///
+/// Detection is as strong as plain FNV where it matters: every absorb
+/// step `s' = (s ^ w) * PRIME` is a bijection in both `s` and `w`
+/// (the prime is odd, hence invertible mod 2^64), so corrupting any
+/// single word — in a lane stream, the tail hash, or the length —
+/// changes that lane's state and therefore the final hash
+/// *deterministically*; broader corruption collides with probability
+/// ~2^-64 as usual. The 72-byte table keeps the classic byte-wise
+/// [`fnv1a64`]; only bulk section data uses the folded form.
+pub fn section_checksum(bytes: &[u8]) -> u64 {
+    let mut lanes = LANE_SEEDS;
+    let mut chunks = bytes.chunks_exact(32);
+    for c in chunks.by_ref() {
+        for (j, lane) in lanes.iter_mut().enumerate() {
+            *lane = (*lane ^ u64_le(&c[j * 8..j * 8 + 8])).wrapping_mul(FNV_PRIME);
+        }
+    }
+    let mut tail = FNV_OFFSET;
+    for &b in chunks.remainder() {
+        tail = (tail ^ b as u64).wrapping_mul(FNV_PRIME);
+    }
+    combine_lanes(lanes, tail, bytes.len())
+}
+
+/// Placement of one section within the file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Section {
+    /// Absolute file offset of the section's first byte.
+    pub file_offset: u64,
+    /// Exact byte length of the section.
+    pub byte_len: u64,
+}
+
+/// The canonical (writer) placement of the three sections for a store
+/// with the given node and entry counts, plus the resulting file length.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Layout {
+    /// `offsets`, `hubs`, `dists` placements in table order.
+    pub sections: [Section; 3],
+    /// Total file length: the end of the `dists` section.
+    pub file_len: u64,
+}
+
+fn align_up(off: u64) -> u64 {
+    let a = SECTION_ALIGN as u64;
+    off.div_ceil(a) * a
+}
+
+/// Computes the canonical layout for `num_nodes` vertices and
+/// `num_entries` label entries: sections in table order, each aligned to
+/// [`SECTION_ALIGN`], no trailing bytes.
+pub fn layout(num_nodes: usize, num_entries: usize) -> Layout {
+    let lens = [
+        (num_nodes as u64 + 1) * 8,
+        num_entries as u64 * 4,
+        num_entries as u64 * 8,
+    ];
+    let mut sections = [Section {
+        file_offset: 0,
+        byte_len: 0,
+    }; 3];
+    let mut at = HEADER_LEN as u64;
+    for (i, &len) in lens.iter().enumerate() {
+        at = align_up(at);
+        sections[i] = Section {
+            file_offset: at,
+            byte_len: len,
+        };
+        at += len;
+    }
+    Layout {
+        sections,
+        file_len: at,
+    }
+}
+
+/// A validated HLBS v2 store: a thin wrapper holding the decoded arena.
+/// Unlike v1's [`crate::store::LabelStore`] there is nothing left to
+/// decode — [`FlatStore::into_flat`] hands the arena to the engine by
+/// move.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlatStore {
+    flat: FlatLabeling,
+}
+
+impl FlatStore {
+    /// Wraps an arena for serialization.
+    pub fn from_flat(flat: FlatLabeling) -> Self {
+        FlatStore { flat }
+    }
+
+    /// Borrows the arena.
+    pub fn flat(&self) -> &FlatLabeling {
+        &self.flat
+    }
+
+    /// Unwraps the arena (no copy).
+    pub fn into_flat(self) -> FlatLabeling {
+        self.flat
+    }
+
+    /// Number of vertices the store holds labels for.
+    pub fn num_nodes(&self) -> usize {
+        self.flat.num_nodes()
+    }
+
+    /// Total `(hub, distance)` entries, `Σ_v |S_v|`.
+    pub fn num_entries(&self) -> usize {
+        self.flat.num_entries()
+    }
+
+    /// Per-section byte sizes in table order, for stats reporting.
+    pub fn section_bytes(&self) -> [(&'static str, u64); 3] {
+        let lay = layout(self.num_nodes(), self.num_entries());
+        [
+            (SECTION_NAMES[0], lay.sections[0].byte_len),
+            (SECTION_NAMES[1], lay.sections[1].byte_len),
+            (SECTION_NAMES[2], lay.sections[2].byte_len),
+        ]
+    }
+
+    /// Size of the serialized file in bytes.
+    pub fn file_len(&self) -> u64 {
+        layout(self.num_nodes(), self.num_entries()).file_len
+    }
+
+    /// Serializes the store into a fresh byte buffer.
+    pub fn encode(&self) -> Vec<u8> {
+        let n = self.num_nodes();
+        let e = self.num_entries();
+        let lay = layout(n, e);
+        let mut buf = vec![0u8; lay.file_len as usize];
+
+        buf[0..4].copy_from_slice(&MAGIC);
+        buf[4..6].copy_from_slice(&VERSION.to_le_bytes());
+        buf[6..8].copy_from_slice(&0u16.to_le_bytes()); // flags
+        buf[8..16].copy_from_slice(&(n as u64).to_le_bytes());
+        buf[16..24].copy_from_slice(&(e as u64).to_le_bytes());
+
+        write_u64s(&mut buf, lay.sections[0], self.flat.raw_offsets());
+        write_u32s(&mut buf, lay.sections[1], self.flat.raw_hubs());
+        write_u64s(&mut buf, lay.sections[2], self.flat.raw_dists());
+
+        for (i, sec) in lay.sections.iter().enumerate() {
+            let (lo, hi) = (
+                sec.file_offset as usize,
+                (sec.file_offset + sec.byte_len) as usize,
+            );
+            let sum = section_checksum(&buf[lo..hi]);
+            let rec = TABLE_OFF + i * RECORD_LEN;
+            buf[rec..rec + 8].copy_from_slice(&sec.file_offset.to_le_bytes());
+            buf[rec + 8..rec + 16].copy_from_slice(&sec.byte_len.to_le_bytes());
+            buf[rec + 16..rec + 24].copy_from_slice(&sum.to_le_bytes());
+        }
+        let table_sum = fnv1a64(&buf[TABLE_OFF..HEADER_LEN]);
+        buf[24..32].copy_from_slice(&table_sum.to_le_bytes());
+        buf
+    }
+
+    /// Serializes the store to a writer.
+    pub fn write_to<W: Write>(&self, mut out: W) -> Result<(), StoreError> {
+        out.write_all(&self.encode())?;
+        out.flush()?;
+        Ok(())
+    }
+
+    /// Serializes the store to a file.
+    pub fn save<P: AsRef<Path>>(&self, path: P) -> Result<(), StoreError> {
+        let file = File::create(path)?;
+        self.write_to(io::BufWriter::new(file))
+    }
+
+    /// Reads and fully validates a store from a reader.
+    pub fn read_from<R: Read>(mut input: R) -> Result<Self, StoreError> {
+        let mut bytes = Vec::new();
+        input.read_to_end(&mut bytes)?;
+        Self::parse(&bytes)
+    }
+
+    /// Reads and fully validates a store from a file: one sequential read
+    /// plus validation — the whole point of the format.
+    pub fn open<P: AsRef<Path>>(path: P) -> Result<Self, StoreError> {
+        Self::read_from(File::open(path)?)
+    }
+
+    /// Parses and validates a serialized v2 store.
+    pub fn parse(bytes: &[u8]) -> Result<Self, StoreError> {
+        if bytes.len() < HEADER_LEN {
+            return Err(StoreError::Truncated {
+                expected: HEADER_LEN as u64,
+                actual: bytes.len() as u64,
+            });
+        }
+        let magic: [u8; 4] = read_array(bytes, 0)?;
+        if magic != MAGIC {
+            return Err(StoreError::BadMagic(magic));
+        }
+        let version = u16::from_le_bytes(read_array(bytes, 4)?);
+        if version != VERSION {
+            return Err(StoreError::UnsupportedVersion(version));
+        }
+        let flags = u16::from_le_bytes(read_array(bytes, 6)?);
+        if flags != 0 {
+            return Err(StoreError::UnsupportedFlags(flags));
+        }
+        let n = u64::from_le_bytes(read_array(bytes, 8)?);
+        let e = u64::from_le_bytes(read_array(bytes, 16)?);
+        let table_checksum = u64::from_le_bytes(read_array(bytes, 24)?);
+
+        let actual_table = fnv1a64(&bytes[TABLE_OFF..HEADER_LEN]);
+        if actual_table != table_checksum {
+            return Err(StoreError::ChecksumMismatch {
+                expected: table_checksum,
+                actual: actual_table,
+            });
+        }
+
+        let n_usize = usize::try_from(n)
+            .map_err(|_| StoreError::Corrupt(format!("node count {n} exceeds address space")))?;
+        let e_usize = usize::try_from(e)
+            .map_err(|_| StoreError::Corrupt(format!("entry count {e} exceeds address space")))?;
+        // Expected exact section lengths for the declared n and e; checked
+        // arithmetic so a lying header cannot wrap into a small number.
+        let expect_lens = [
+            n.checked_add(1)
+                .and_then(|c| c.checked_mul(8))
+                .ok_or_else(|| {
+                    StoreError::Corrupt(format!("node count {n} overflows offsets section"))
+                })?,
+            e.checked_mul(4).ok_or_else(|| {
+                StoreError::Corrupt(format!("entry count {e} overflows hubs section"))
+            })?,
+            e.checked_mul(8).ok_or_else(|| {
+                StoreError::Corrupt(format!("entry count {e} overflows dists section"))
+            })?,
+        ];
+
+        // Section records: aligned, exact-length, in-bounds, ascending,
+        // non-overlapping — all validated against the *actual* file length
+        // before any section-sized allocation happens.
+        let file_len = bytes.len() as u64;
+        let mut sections = [Section {
+            file_offset: 0,
+            byte_len: 0,
+        }; 3];
+        let mut prev_end = HEADER_LEN as u64;
+        for (i, name) in SECTION_NAMES.iter().enumerate() {
+            let rec = TABLE_OFF + i * RECORD_LEN;
+            let off = u64::from_le_bytes(read_array(bytes, rec)?);
+            let len = u64::from_le_bytes(read_array(bytes, rec + 8)?);
+            if off % SECTION_ALIGN as u64 != 0 {
+                return Err(StoreError::Corrupt(format!(
+                    "section {name} misaligned: offset {off} is not a multiple of {SECTION_ALIGN}"
+                )));
+            }
+            if len != expect_lens[i] {
+                return Err(StoreError::Corrupt(format!(
+                    "section {name} length {len} does not match expected {} for the declared counts",
+                    expect_lens[i]
+                )));
+            }
+            let end = off
+                .checked_add(len)
+                .ok_or_else(|| StoreError::Corrupt(format!("section {name} extent overflows")))?;
+            if off < prev_end {
+                return Err(StoreError::Corrupt(format!(
+                    "section {name} at offset {off} overlaps the bytes before it (end {prev_end})"
+                )));
+            }
+            if end > file_len {
+                return Err(StoreError::Truncated {
+                    expected: end,
+                    actual: file_len,
+                });
+            }
+            sections[i] = Section {
+                file_offset: off,
+                byte_len: len,
+            };
+            prev_end = end;
+        }
+        if prev_end != file_len {
+            return Err(StoreError::Corrupt(format!(
+                "{} trailing bytes after the dists section",
+                file_len - prev_end
+            )));
+        }
+
+        // Padding gaps carry no checksum, so they must be all zero — that
+        // way a blind bit flip anywhere in the file is detectable.
+        let mut gap_start = HEADER_LEN as u64;
+        for (i, sec) in sections.iter().enumerate() {
+            let gap = &bytes[gap_start as usize..sec.file_offset as usize];
+            if gap.iter().any(|&b| b != 0) {
+                return Err(StoreError::Corrupt(format!(
+                    "nonzero padding before section {}",
+                    SECTION_NAMES[i]
+                )));
+            }
+            gap_start = sec.file_offset + sec.byte_len;
+        }
+
+        let mut slices = [&bytes[0..0]; 3];
+        for (i, sec) in sections.iter().enumerate() {
+            let (lo, hi) = (
+                sec.file_offset as usize,
+                (sec.file_offset + sec.byte_len) as usize,
+            );
+            slices[i] = &bytes[lo..hi];
+        }
+
+        // Checksum and little-endian decode fused into ONE pass per
+        // section: every word is read once, absorbed into the lane hash,
+        // and stored decoded. A separate verify pass would stream the
+        // whole multi-GB file through memory a second time. Decoding
+        // ahead of verification is safe because the decode is pure
+        // element-wise arithmetic — nothing indexes by the untrusted
+        // values — and the vectors are dropped unused unless every
+        // checksum matches its table record just below. The computed
+        // hashes are bit-identical to [`section_checksum`].
+        debug_assert_eq!(slices[0].len(), (n_usize + 1) * 8);
+        debug_assert_eq!(slices[1].len(), e_usize * 4);
+        debug_assert_eq!(slices[2].len(), e_usize * 8);
+        // Sections are independent, so on multi-core hosts the two big
+        // ones (hubs, dists) decode on scoped threads while this thread
+        // takes offsets — the load is memory-bandwidth-bound, and per-
+        // core bandwidth is usually well below the socket's.
+        let parallel = std::thread::available_parallelism().map_or(1, |n| n.get()) > 1;
+        let ((offsets, offsets_sum), (hubs, hubs_sum), (dists, dists_sum)) = if parallel {
+            std::thread::scope(|scope| -> Result<_, StoreError> {
+                let hubs = scope.spawn(|| decode_u32_section(slices[1]));
+                let dists = scope.spawn(|| decode_u64_section(slices[2]));
+                let offsets = decode_u64_section(slices[0]);
+                // The decoders are pure arithmetic and cannot panic; a
+                // join error still maps to a typed StoreError rather
+                // than propagating as a panic.
+                let joined = |name: &str| StoreError::Corrupt(format!("{name} decode thread died"));
+                Ok((
+                    offsets,
+                    hubs.join().map_err(|_| joined("hubs"))?,
+                    dists.join().map_err(|_| joined("dists"))?,
+                ))
+            })?
+        } else {
+            (
+                decode_u64_section(slices[0]),
+                decode_u32_section(slices[1]),
+                decode_u64_section(slices[2]),
+            )
+        };
+        for (i, actual) in [offsets_sum, hubs_sum, dists_sum].into_iter().enumerate() {
+            let rec = TABLE_OFF + i * RECORD_LEN;
+            let declared = u64::from_le_bytes(read_array(bytes, rec + 16)?);
+            if actual != declared {
+                return Err(StoreError::Corrupt(format!(
+                    "section {} checksum mismatch: table says {declared:#018x}, bytes hash to {actual:#018x}",
+                    SECTION_NAMES[i]
+                )));
+            }
+        }
+
+        let flat = FlatLabeling::from_raw_parts(offsets, hubs, dists)
+            .map_err(|e| StoreError::Corrupt(format!("arena invariant violated: {e}")))?;
+        Ok(FlatStore { flat })
+    }
+}
+
+impl From<FlatLabeling> for FlatStore {
+    fn from(flat: FlatLabeling) -> Self {
+        FlatStore::from_flat(flat)
+    }
+}
+
+/// Reads an `N`-byte field at `at`; a short read is a typed error, never
+/// a slice-index panic.
+fn read_array<const N: usize>(bytes: &[u8], at: usize) -> Result<[u8; N], StoreError> {
+    at.checked_add(N)
+        .and_then(|end| bytes.get(at..end))
+        .and_then(|s| <[u8; N]>::try_from(s).ok())
+        .ok_or_else(|| StoreError::Corrupt(format!("truncated read of {N} bytes at offset {at}")))
+}
+
+fn u64_le(chunk: &[u8]) -> u64 {
+    let mut b = [0u8; 8];
+    b.copy_from_slice(chunk);
+    u64::from_le_bytes(b)
+}
+
+fn u32_le(chunk: &[u8]) -> u32 {
+    let mut b = [0u8; 4];
+    b.copy_from_slice(chunk);
+    u32::from_le_bytes(b)
+}
+
+/// Combines the four lane states, the byte-FNV tail hash, and the byte
+/// length into the final section hash — the last step of
+/// [`section_checksum`], shared with the fused decoders below.
+fn combine_lanes(lanes: [u64; 4], tail: u64, byte_len: usize) -> u64 {
+    let mut h = FNV_OFFSET;
+    for w in lanes.into_iter().chain([tail, byte_len as u64]) {
+        h = (h ^ w).wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+const LANE_SEEDS: [u64; 4] = [
+    FNV_OFFSET ^ 1,
+    FNV_OFFSET ^ 2,
+    FNV_OFFSET ^ 3,
+    FNV_OFFSET ^ 4,
+];
+
+/// Decodes a section of little-endian u64s while computing its
+/// [`section_checksum`] in the same pass over the bytes. `bytes.len()`
+/// must be a multiple of 8 (the caller validated section lengths).
+fn decode_u64_section(bytes: &[u8]) -> (Vec<u64>, u64) {
+    let mut out = vec![0u64; bytes.len() / 8];
+    let mut lanes = LANE_SEEDS;
+    let mut src = bytes.chunks_exact(32);
+    let mut dst = out.chunks_exact_mut(4);
+    for (d, s) in (&mut dst).zip(&mut src) {
+        for (j, slot) in d.iter_mut().enumerate() {
+            let w = u64_le(&s[j * 8..j * 8 + 8]);
+            lanes[j] = (lanes[j] ^ w).wrapping_mul(FNV_PRIME);
+            *slot = w;
+        }
+    }
+    let mut tail = FNV_OFFSET;
+    for &b in src.remainder() {
+        tail = (tail ^ b as u64).wrapping_mul(FNV_PRIME);
+    }
+    for (slot, chunk) in dst
+        .into_remainder()
+        .iter_mut()
+        .zip(src.remainder().chunks_exact(8))
+    {
+        *slot = u64_le(chunk);
+    }
+    let h = combine_lanes(lanes, tail, bytes.len());
+    (out, h)
+}
+
+/// Decodes a section of little-endian u32s while computing its
+/// [`section_checksum`] in the same pass. `bytes.len()` must be a
+/// multiple of 4; note the hash still folds u64 *words*, so each word
+/// yields two u32s (low half first — little-endian order).
+fn decode_u32_section(bytes: &[u8]) -> (Vec<u32>, u64) {
+    let mut out = vec![0u32; bytes.len() / 4];
+    let mut lanes = LANE_SEEDS;
+    let mut src = bytes.chunks_exact(32);
+    let mut dst = out.chunks_exact_mut(8);
+    for (d, s) in (&mut dst).zip(&mut src) {
+        for j in 0..4 {
+            let w = u64_le(&s[j * 8..j * 8 + 8]);
+            lanes[j] = (lanes[j] ^ w).wrapping_mul(FNV_PRIME);
+            d[2 * j] = w as u32;
+            d[2 * j + 1] = (w >> 32) as u32;
+        }
+    }
+    let mut tail = FNV_OFFSET;
+    for &b in src.remainder() {
+        tail = (tail ^ b as u64).wrapping_mul(FNV_PRIME);
+    }
+    for (slot, chunk) in dst
+        .into_remainder()
+        .iter_mut()
+        .zip(src.remainder().chunks_exact(4))
+    {
+        *slot = u32_le(chunk);
+    }
+    let h = combine_lanes(lanes, tail, bytes.len());
+    (out, h)
+}
+
+fn write_u64s(buf: &mut [u8], sec: Section, values: &[u64]) {
+    let base = sec.file_offset as usize;
+    for (i, &v) in values.iter().enumerate() {
+        buf[base + i * 8..base + i * 8 + 8].copy_from_slice(&v.to_le_bytes());
+    }
+}
+
+fn write_u32s(buf: &mut [u8], sec: Section, values: &[u32]) {
+    let base = sec.file_offset as usize;
+    for (i, &v) in values.iter().enumerate() {
+        buf[base + i * 4..base + i * 4 + 4].copy_from_slice(&v.to_le_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hl_core::pll::PrunedLandmarkLabeling;
+    use hl_graph::{generators, NodeId};
+
+    fn sample_flat() -> FlatLabeling {
+        let g = generators::grid(5, 6);
+        let hl = PrunedLandmarkLabeling::by_degree(&g).into_labeling();
+        FlatLabeling::from_labeling(&hl)
+    }
+
+    fn refresh_table_checksum(buf: &mut [u8]) {
+        let sum = fnv1a64(&buf[TABLE_OFF..HEADER_LEN]);
+        buf[24..32].copy_from_slice(&sum.to_le_bytes());
+    }
+
+    fn refresh_section_checksum(buf: &mut [u8], section: usize) {
+        let rec = TABLE_OFF + section * RECORD_LEN;
+        let off = u64::from_le_bytes(buf[rec..rec + 8].try_into().unwrap()) as usize;
+        let len = u64::from_le_bytes(buf[rec + 8..rec + 16].try_into().unwrap()) as usize;
+        let sum = section_checksum(&buf[off..off + len]);
+        buf[rec + 16..rec + 24].copy_from_slice(&sum.to_le_bytes());
+        refresh_table_checksum(buf);
+    }
+
+    #[test]
+    fn layout_is_aligned_and_dense() {
+        let lay = layout(1000, 12345);
+        let mut prev_end = HEADER_LEN as u64;
+        for sec in &lay.sections {
+            assert_eq!(sec.file_offset % SECTION_ALIGN as u64, 0);
+            assert!(sec.file_offset >= prev_end);
+            assert!(sec.file_offset - prev_end < SECTION_ALIGN as u64);
+            prev_end = sec.file_offset + sec.byte_len;
+        }
+        assert_eq!(lay.file_len, prev_end);
+        assert_eq!(lay.sections[0].byte_len, 1001 * 8);
+        assert_eq!(lay.sections[1].byte_len, 12345 * 4);
+        assert_eq!(lay.sections[2].byte_len, 12345 * 8);
+    }
+
+    #[test]
+    fn roundtrip_preserves_arena_exactly() {
+        let flat = sample_flat();
+        let store = FlatStore::from_flat(flat.clone());
+        let bytes = store.encode();
+        assert_eq!(bytes.len() as u64, store.file_len());
+        let back = FlatStore::parse(&bytes).expect("own encoding must parse");
+        assert_eq!(back.flat(), &flat);
+        // Deterministic writer: encoding again is byte-identical.
+        assert_eq!(FlatStore::from_flat(back.into_flat()).encode(), bytes);
+    }
+
+    #[test]
+    fn empty_arena_roundtrips() {
+        let store = FlatStore::from_flat(FlatLabeling::new());
+        let bytes = store.encode();
+        let back = FlatStore::parse(&bytes).unwrap();
+        assert_eq!(back.num_nodes(), 0);
+        assert_eq!(back.num_entries(), 0);
+    }
+
+    #[test]
+    fn header_fields_rejected() {
+        let bytes = FlatStore::from_flat(sample_flat()).encode();
+        let mut bad = bytes.clone();
+        bad[0] = b'X';
+        assert!(matches!(
+            FlatStore::parse(&bad),
+            Err(StoreError::BadMagic(_))
+        ));
+        let mut bad = bytes.clone();
+        bad[4] = 9;
+        assert!(matches!(
+            FlatStore::parse(&bad),
+            Err(StoreError::UnsupportedVersion(9))
+        ));
+        let mut bad = bytes.clone();
+        bad[6] = 1;
+        assert!(matches!(
+            FlatStore::parse(&bad),
+            Err(StoreError::UnsupportedFlags(1))
+        ));
+    }
+
+    #[test]
+    fn truncation_rejected_at_every_length() {
+        let bytes = FlatStore::from_flat(sample_flat()).encode();
+        for cut in [
+            0,
+            3,
+            HEADER_LEN - 1,
+            HEADER_LEN,
+            bytes.len() / 2,
+            bytes.len() - 1,
+        ] {
+            assert!(
+                FlatStore::parse(&bytes[..cut]).is_err(),
+                "prefix of {cut} bytes must not parse"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let mut bytes = FlatStore::from_flat(sample_flat()).encode();
+        bytes.extend_from_slice(b"junk");
+        assert!(matches!(
+            FlatStore::parse(&bytes),
+            Err(StoreError::Corrupt(ref m)) if m.contains("trailing")
+        ));
+    }
+
+    #[test]
+    fn every_blind_byte_flip_is_detected() {
+        // The format's corruption-detection contract: flip any single
+        // byte anywhere — header, table, padding, any section — and the
+        // parse must fail with a typed error.
+        let flat = sample_flat();
+        let bytes = FlatStore::from_flat(flat).encode();
+        for at in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[at] ^= 0x01;
+            assert!(
+                FlatStore::parse(&bad).is_err(),
+                "flipped byte at {at} went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn crafted_section_flip_fails_structural_validation() {
+        // Overwrite offsets[1] with a huge value and refresh the section
+        // checksum — the crafted-store shape. The checksum now matches,
+        // so only the structural pass can catch it (monotonicity).
+        let flat = sample_flat();
+        let mut bytes = FlatStore::from_flat(flat.clone()).encode();
+        let off0 = layout(flat.num_nodes(), flat.num_entries()).sections[0].file_offset as usize;
+        bytes[off0 + 8..off0 + 16].copy_from_slice(&(u64::MAX / 2).to_le_bytes());
+        refresh_section_checksum(&mut bytes, 0);
+        let err = FlatStore::parse(&bytes).expect_err("crafted offsets must be rejected");
+        assert!(matches!(err, StoreError::Corrupt(_)), "{err:?}");
+    }
+
+    #[test]
+    fn crafted_misaligned_section_offset_rejected() {
+        let mut bytes = FlatStore::from_flat(sample_flat()).encode();
+        let rec = TABLE_OFF; // offsets record
+        let off = u64::from_le_bytes(bytes[rec..rec + 8].try_into().unwrap());
+        bytes[rec..rec + 8].copy_from_slice(&(off + 1).to_le_bytes());
+        refresh_table_checksum(&mut bytes);
+        let err = FlatStore::parse(&bytes).expect_err("misaligned section must be rejected");
+        assert!(
+            matches!(err, StoreError::Corrupt(ref m) if m.contains("misaligned")),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn crafted_huge_counts_rejected_before_allocation() {
+        // Lie about n/e in the header (checksums refreshed): the expected
+        // section lengths no longer match the table records, so the parse
+        // dies before any table-sized allocation.
+        let mut bytes = FlatStore::from_flat(sample_flat()).encode();
+        bytes[8..16].copy_from_slice(&(1u64 << 40).to_le_bytes());
+        refresh_table_checksum(&mut bytes);
+        let err = FlatStore::parse(&bytes).expect_err("lying node count");
+        assert!(matches!(err, StoreError::Corrupt(_)), "{err:?}");
+
+        let mut bytes2 = FlatStore::from_flat(sample_flat()).encode();
+        bytes2[16..24].copy_from_slice(&u64::MAX.to_le_bytes());
+        refresh_table_checksum(&mut bytes2);
+        let err = FlatStore::parse(&bytes2).expect_err("overflowing entry count");
+        assert!(matches!(err, StoreError::Corrupt(_)), "{err:?}");
+    }
+
+    #[test]
+    fn crafted_unsorted_hubs_rejected() {
+        // Swap two hub ids inside one vertex's run and refresh the hubs
+        // checksum: the arena structural pass must reject it.
+        let flat = sample_flat();
+        let e = flat.num_entries();
+        let mut bytes = FlatStore::from_flat(flat.clone()).encode();
+        let lay = layout(flat.num_nodes(), e);
+        // Find a vertex with >= 2 hubs and swap its first two entries.
+        let v = (0..flat.num_nodes())
+            .find(|&v| flat.hubs_of(v as NodeId).len() >= 2)
+            .expect("grid labels have multi-hub vertices");
+        let run_start = flat.raw_offsets()[v] as usize;
+        let base = lay.sections[1].file_offset as usize + run_start * 4;
+        let (a, b) = (base, base + 4);
+        for i in 0..4 {
+            bytes.swap(a + i, b + i);
+        }
+        refresh_section_checksum(&mut bytes, 1);
+        let err = FlatStore::parse(&bytes).expect_err("unsorted hubs must be rejected");
+        assert!(
+            matches!(err, StoreError::Corrupt(ref m) if m.contains("strictly increasing")),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn fused_decoders_match_section_checksum() {
+        // The parse path hashes sections inside the decode loop; that
+        // fused hash must be bit-identical to the spec function the
+        // writer uses, including at tail lengths that exercise the
+        // byte-FNV remainder (0..4 words past a 32-byte boundary).
+        let mut bytes = Vec::new();
+        for i in 0..200u32 {
+            bytes.push((i as u8).wrapping_mul(37).wrapping_add(11));
+        }
+        for len in [0, 8, 16, 24, 32, 40, 64, 72, 96, 104, 136, 200] {
+            let s = &bytes[..len];
+            let (vals, h) = decode_u64_section(s);
+            assert_eq!(h, section_checksum(s), "u64 fused hash at len {len}");
+            assert_eq!(vals.len(), len / 8);
+            for (i, &v) in vals.iter().enumerate() {
+                assert_eq!(v, u64_le(&s[i * 8..i * 8 + 8]));
+            }
+        }
+        for len in [0, 4, 12, 28, 32, 36, 60, 64, 68, 100, 196, 200] {
+            let s = &bytes[..len];
+            let (vals, h) = decode_u32_section(s);
+            assert_eq!(h, section_checksum(s), "u32 fused hash at len {len}");
+            assert_eq!(vals.len(), len / 4);
+            for (i, &v) in vals.iter().enumerate() {
+                assert_eq!(v, u32_le(&s[i * 4..i * 4 + 4]));
+            }
+        }
+    }
+
+    #[test]
+    fn section_bytes_report_matches_layout() {
+        let flat = sample_flat();
+        let store = FlatStore::from_flat(flat.clone());
+        let report = store.section_bytes();
+        assert_eq!(report[0], ("offsets", (flat.num_nodes() as u64 + 1) * 8));
+        assert_eq!(report[1], ("hubs", flat.num_entries() as u64 * 4));
+        assert_eq!(report[2], ("dists", flat.num_entries() as u64 * 8));
+    }
+
+    #[test]
+    fn save_and_open_roundtrip() {
+        let flat = sample_flat();
+        let dir = std::env::temp_dir().join(format!("hlbs2-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("store.hlbs2");
+        FlatStore::from_flat(flat.clone()).save(&path).unwrap();
+        let back = FlatStore::open(&path).unwrap();
+        assert_eq!(back.flat(), &flat);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

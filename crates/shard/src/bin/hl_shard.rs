@@ -1,0 +1,267 @@
+//! `hl-shard` — partition hub label stores and query a sharded fleet.
+//!
+//! ```text
+//! hl-shard partition <store-file> <out-dir> --shards K [options]
+//! hl-shard query --shard HOST:PORT [--shard HOST:PORT ...] [pairs-file]
+//! ```
+//!
+//! `partition` opens a store of either HLBS version, splits its labels
+//! into K full-width vertex-routed shard stores (`v % K` owns vertex
+//! `v`), writes `shard-0.hlbs` … `shard-(K-1).hlbs` plus a
+//! `manifest.hlsm` into `<out-dir>`, and prints a per-shard summary.
+//! Shard stores default to HLBS v2 (the serving format); `--v1` emits
+//! the γ-coded archival format instead. Each shard is then served by a
+//! perfectly ordinary `hubserve serve shard-i.hlbs`.
+//!
+//! `query` connects to one daemon per `--shard` flag — order must match
+//! shard ids — and answers `u v` pair lines: from a file as one routed
+//! batch, else line-by-line from stdin. Same-shard pairs are answered by
+//! the owning daemon; cross-shard pairs fetch both labels and merge-join
+//! in the router. Output is `u v <distance>` with `inf` for unreachable,
+//! byte-compatible with `hubserve query`.
+//!
+//! Exit codes: 0 success, 1 runtime failure, 2 usage.
+
+use std::fs::File;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use hl_graph::{NodeId, INFINITY};
+use hl_net::ClientConfig;
+use hl_server::{AnyStore, FlatStore, LabelStore};
+use hl_shard::{partition, ShardManifest, ShardRouter};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("partition") => cmd_partition(&args[1..]),
+        Some("query") => cmd_query(&args[1..]),
+        _ => {
+            eprintln!("usage: hl-shard partition|query ...");
+            eprintln!("  partition <store-file> <out-dir> --shards K [--v1]");
+            eprintln!("  query --shard HOST:PORT [--shard HOST:PORT ...] [pairs-file]");
+            return ExitCode::from(2);
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("hl-shard: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+struct PartitionOpts {
+    store_path: String,
+    out_dir: String,
+    shards: usize,
+    v1: bool,
+}
+
+fn parse_partition_opts(args: &[String]) -> Result<PartitionOpts, String> {
+    let usage = "usage: hl-shard partition <store-file> <out-dir> --shards K [--v1]";
+    let mut positionals = Vec::new();
+    let mut shards = 0usize;
+    let mut v1 = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut take = |name: &str| {
+            it.next()
+                .map(String::as_str)
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--shards" => {
+                shards = take("--shards")?
+                    .parse()
+                    .map_err(|e| format!("--shards: {e}"))?
+            }
+            "--v1" => v1 = true,
+            other if !other.starts_with('-') => positionals.push(other.to_string()),
+            other => return Err(format!("unexpected argument '{other}'")),
+        }
+    }
+    let [store_path, out_dir] = positionals.as_slice() else {
+        return Err(usage.into());
+    };
+    if shards == 0 {
+        return Err("--shards must be at least 1".into());
+    }
+    Ok(PartitionOpts {
+        store_path: store_path.clone(),
+        out_dir: out_dir.clone(),
+        shards,
+        v1,
+    })
+}
+
+fn cmd_partition(args: &[String]) -> Result<(), String> {
+    let opts = parse_partition_opts(args)?;
+    let started = Instant::now();
+    let store = AnyStore::open(&opts.store_path)
+        .map_err(|e| format!("cannot open store {}: {e}", opts.store_path))?;
+    let version = store.version();
+    let flat = store
+        .into_flat()
+        .map_err(|e| format!("cannot decode store {}: {e}", opts.store_path))?;
+    println!(
+        "partitioning {} (v{version}, {} nodes, {} entries) into {} shards",
+        opts.store_path,
+        flat.num_nodes(),
+        flat.num_entries(),
+        opts.shards
+    );
+
+    let out_dir = Path::new(&opts.out_dir);
+    std::fs::create_dir_all(out_dir).map_err(|e| format!("cannot create {}: {e}", opts.out_dir))?;
+    let num_nodes = flat.num_nodes() as u64;
+    let num_entries = flat.num_entries() as u64;
+    let shards = partition(&flat, opts.shards).map_err(|e| e.to_string())?;
+    drop(flat);
+
+    let mut shard_paths = Vec::with_capacity(shards.len());
+    for (i, shard) in shards.into_iter().enumerate() {
+        let name = format!("shard-{i}.hlbs");
+        let path = out_dir.join(&name);
+        let n = num_nodes as usize;
+        let owned = n / opts.shards + usize::from(i < n % opts.shards);
+        let entries = shard.num_entries();
+        let bytes = if opts.v1 {
+            let store = LabelStore::from_flat(&shard);
+            store
+                .save(&path)
+                .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+            store.file_len() as u64
+        } else {
+            let store = FlatStore::from_flat(shard);
+            store
+                .save(&path)
+                .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+            store.file_len()
+        };
+        println!(
+            "  shard {i}: {owned} vertices owned, {entries} entries, {bytes} bytes -> {}",
+            path.display()
+        );
+        shard_paths.push(name);
+    }
+
+    let manifest = ShardManifest {
+        num_nodes,
+        num_entries,
+        shard_paths,
+    };
+    let manifest_path = out_dir.join("manifest.hlsm");
+    manifest
+        .save(&manifest_path)
+        .map_err(|e| format!("cannot write {}: {e}", manifest_path.display()))?;
+    println!(
+        "manifest -> {} ({:.2}s total)",
+        manifest_path.display(),
+        started.elapsed().as_secs_f64()
+    );
+    Ok(())
+}
+
+struct QueryOpts {
+    addrs: Vec<String>,
+    pairs_path: Option<String>,
+}
+
+fn parse_query_opts(args: &[String]) -> Result<QueryOpts, String> {
+    let usage = "usage: hl-shard query --shard HOST:PORT [--shard HOST:PORT ...] [pairs-file]";
+    let mut addrs = Vec::new();
+    let mut pairs_path = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut take = |name: &str| {
+            it.next()
+                .map(String::as_str)
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--shard" => addrs.push(take("--shard")?.to_string()),
+            other if pairs_path.is_none() && !other.starts_with('-') => {
+                pairs_path = Some(other.to_string())
+            }
+            other => return Err(format!("unexpected argument '{other}'")),
+        }
+    }
+    if addrs.is_empty() {
+        return Err(usage.into());
+    }
+    Ok(QueryOpts { addrs, pairs_path })
+}
+
+fn parse_pair(line: &str, n: u64) -> Result<Option<(NodeId, NodeId)>, String> {
+    let line = line.trim();
+    if line.is_empty() || line.starts_with('#') {
+        return Ok(None);
+    }
+    let mut it = line.split_whitespace();
+    let (Some(u), Some(v), None) = (it.next(), it.next(), it.next()) else {
+        return Err(format!("expected 'u v', got '{line}'"));
+    };
+    let u: NodeId = u.parse().map_err(|_| format!("bad vertex id '{u}'"))?;
+    let v: NodeId = v.parse().map_err(|_| format!("bad vertex id '{v}'"))?;
+    if u64::from(u) >= n || u64::from(v) >= n {
+        return Err(format!(
+            "vertex out of range in '{line}' (fleet covers 0..{n})"
+        ));
+    }
+    Ok(Some((u, v)))
+}
+
+fn print_answer(out: &mut impl Write, u: NodeId, v: NodeId, d: u64) -> Result<(), String> {
+    let r = if d == INFINITY {
+        writeln!(out, "{u} {v} inf")
+    } else {
+        writeln!(out, "{u} {v} {d}")
+    };
+    r.map_err(|e| e.to_string())
+}
+
+fn cmd_query(args: &[String]) -> Result<(), String> {
+    let opts = parse_query_opts(args)?;
+    let mut router = ShardRouter::connect(&opts.addrs, &ClientConfig::default())
+        .map_err(|e| format!("cannot connect fleet: {e}"))?;
+    let n = router.num_nodes();
+    eprintln!(
+        "routing over {} shards covering {n} vertices",
+        router.num_shards()
+    );
+    let stdout = std::io::stdout();
+    let mut out = BufWriter::new(stdout.lock());
+
+    match &opts.pairs_path {
+        Some(path) => {
+            let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+            let mut pairs = Vec::new();
+            for line in BufReader::new(file).lines() {
+                let line = line.map_err(|e| e.to_string())?;
+                if let Some(pair) = parse_pair(&line, n)? {
+                    pairs.push(pair);
+                }
+            }
+            let distances = router.query_many(&pairs).map_err(|e| e.to_string())?;
+            for (&(u, v), &d) in pairs.iter().zip(&distances) {
+                print_answer(&mut out, u, v, d)?;
+            }
+        }
+        None => {
+            let stdin = std::io::stdin();
+            for line in stdin.lock().lines() {
+                let line = line.map_err(|e| e.to_string())?;
+                if let Some((u, v)) = parse_pair(&line, n)? {
+                    let d = router.query(u, v).map_err(|e| e.to_string())?;
+                    print_answer(&mut out, u, v, d)?;
+                }
+            }
+        }
+    }
+    out.flush().map_err(|e| e.to_string())?;
+    Ok(())
+}

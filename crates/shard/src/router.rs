@@ -1,0 +1,214 @@
+//! The routing client: one logical distance oracle over a fleet of
+//! ordinary `hubserve` daemons, each serving one shard store.
+//!
+//! Routing rules, per query pair `(u, v)`:
+//!
+//! - **Same shard** (`u % k == v % k`): the owning daemon holds both
+//!   labels, so the pair ships as a plain `Query`/`QueryBatch` frame and
+//!   the merge-join happens server-side — identical cost to unsharded
+//!   serving.
+//! - **Cross shard**: no single daemon can join the pair, so the router
+//!   fetches `u`'s label from its owner and `v`'s from its owner
+//!   (`Label`/`LabelBatch` frames) and merge-joins them locally. Hub ids
+//!   are global across shards (see [`crate::partition()`]), which is what
+//!   makes the local join sound.
+//!
+//! Batch workloads dedup label fetches per shard and pipeline both the
+//! per-shard query batches and the label fetches, so a `k`-way fleet
+//! sees `O(k)` round-trip waves per workload, not one per pair.
+
+use std::collections::HashMap;
+
+use hl_graph::{Distance, NodeId};
+use hl_net::{ClientConfig, NetClient};
+
+use crate::error::ShardError;
+use crate::partition::shard_of;
+
+/// How many vertices ride in one `LabelBatch` frame. Labels are heavy
+/// (12 wire bytes per entry) and unbounded per vertex; 32 keeps even
+/// thousand-hub labels comfortably under the 1 MiB default frame cap.
+const LABEL_CHUNK: usize = 32;
+/// How many pairs ride in one `QueryBatch` frame on the same-shard path.
+const QUERY_CHUNK: usize = 256;
+/// Pipeline depth for both frame kinds.
+const WINDOW: usize = 4;
+
+/// A connected fleet of shard daemons behaving as one distance oracle.
+pub struct ShardRouter {
+    clients: Vec<NetClient>,
+    num_nodes: u64,
+}
+
+impl ShardRouter {
+    /// Connects to one daemon per shard, in shard order, and verifies
+    /// the fleet is coherent (every shard serves the same vertex count).
+    pub fn connect(addrs: &[String], config: &ClientConfig) -> Result<Self, ShardError> {
+        if addrs.is_empty() {
+            return Err(ShardError::NoShards);
+        }
+        let mut clients = Vec::with_capacity(addrs.len());
+        let mut num_nodes = 0u64;
+        for (shard, addr) in addrs.iter().enumerate() {
+            let client = NetClient::connect(addr.as_str(), config.clone())?;
+            let got = client.num_nodes();
+            if shard == 0 {
+                num_nodes = got;
+            } else if got != num_nodes {
+                return Err(ShardError::ShardMismatch {
+                    shard,
+                    expected: num_nodes,
+                    got,
+                });
+            }
+            clients.push(client);
+        }
+        Ok(ShardRouter { clients, num_nodes })
+    }
+
+    /// Number of shards behind this router.
+    pub fn num_shards(&self) -> usize {
+        self.clients.len()
+    }
+
+    /// Number of vertices the sharded labeling covers.
+    pub fn num_nodes(&self) -> u64 {
+        self.num_nodes
+    }
+
+    fn check(&self, v: NodeId) -> Result<(), ShardError> {
+        if u64::from(v) < self.num_nodes {
+            Ok(())
+        } else {
+            Err(ShardError::NodeOutOfRange {
+                v,
+                num_nodes: self.num_nodes,
+            })
+        }
+    }
+
+    /// One exact distance, routed to the owning shard or joined locally.
+    pub fn query(&mut self, u: NodeId, v: NodeId) -> Result<Distance, ShardError> {
+        self.check(u)?;
+        self.check(v)?;
+        let k = self.clients.len();
+        let (su, sv) = (shard_of(u, k), shard_of(v, k));
+        if su == sv {
+            return Ok(self.clients[su].query(u, v)?);
+        }
+        let lu = self.clients[su].label(u)?;
+        let lv = self.clients[sv].label(v)?;
+        Ok(join_pairs(&lu, &lv))
+    }
+
+    /// A batch of exact distances, answered in request order. Same-shard
+    /// pairs go out as per-shard query batches; cross-shard pairs are
+    /// answered by fetching each distinct referenced label once per
+    /// owning shard and joining locally.
+    pub fn query_many(&mut self, pairs: &[(NodeId, NodeId)]) -> Result<Vec<Distance>, ShardError> {
+        for &(u, v) in pairs {
+            self.check(u)?;
+            self.check(v)?;
+        }
+        let k = self.clients.len();
+        let mut out = vec![0u64; pairs.len()];
+
+        // Same-shard pairs, grouped by owner: the original result
+        // indexes and the pairs themselves, kept in lockstep.
+        type OwnedGroup = (Vec<usize>, Vec<(NodeId, NodeId)>);
+        let mut owned: Vec<OwnedGroup> = vec![Default::default(); k];
+        // Distinct label fetches per shard for the cross-shard pairs.
+        let mut wanted: Vec<Vec<NodeId>> = vec![Vec::new(); k];
+        let mut slot: HashMap<NodeId, usize> = HashMap::new();
+        let mut cross: Vec<usize> = Vec::new();
+        for (i, &(u, v)) in pairs.iter().enumerate() {
+            let (su, sv) = (shard_of(u, k), shard_of(v, k));
+            if su == sv {
+                owned[su].0.push(i);
+                owned[su].1.push((u, v));
+            } else {
+                cross.push(i);
+                for (s, w) in [(su, u), (sv, v)] {
+                    slot.entry(w).or_insert_with(|| {
+                        wanted[s].push(w);
+                        wanted[s].len() - 1
+                    });
+                }
+            }
+        }
+
+        for (s, (idxs, batch)) in owned.iter().enumerate() {
+            if batch.is_empty() {
+                continue;
+            }
+            let ds = self.clients[s].query_batch_pipelined(batch, QUERY_CHUNK, WINDOW)?;
+            for (&i, d) in idxs.iter().zip(ds) {
+                out[i] = d;
+            }
+        }
+
+        let mut labels: Vec<Vec<Vec<(NodeId, Distance)>>> = Vec::with_capacity(k);
+        for (s, vs) in wanted.iter().enumerate() {
+            labels.push(if vs.is_empty() {
+                Vec::new()
+            } else {
+                self.clients[s].label_batch_pipelined(vs, LABEL_CHUNK, WINDOW)?
+            });
+        }
+        for i in cross {
+            let (u, v) = pairs[i];
+            let lu = &labels[shard_of(u, k)][slot[&u]];
+            let lv = &labels[shard_of(v, k)][slot[&v]];
+            out[i] = join_pairs(lu, lv);
+        }
+        Ok(out)
+    }
+
+    /// Asks every shard daemon to drain and exit (test/bench teardown).
+    pub fn shutdown_fleet(&mut self) -> Result<(), ShardError> {
+        for client in &mut self.clients {
+            client.shutdown()?;
+        }
+        Ok(())
+    }
+}
+
+/// Merge-join over two labels in wire form (sorted `(hub, dist)` pairs).
+fn join_pairs(a: &[(NodeId, Distance)], b: &[(NodeId, Distance)]) -> Distance {
+    // Small labels dominate, so unzipping to slices would cost more than
+    // it saves; walk the pair vectors directly.
+    let mut best = hl_graph::INFINITY;
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        match a[i].0.cmp(&b[j].0) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                let d = a[i].1.saturating_add(b[j].1);
+                if d < best {
+                    best = d;
+                }
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hl_core::label::merge_join;
+
+    #[test]
+    fn join_pairs_matches_slice_merge_join() {
+        let a = vec![(0u32, 1u64), (3, 2), (9, 5)];
+        let b = vec![(1u32, 1u64), (3, 4), (8, 1), (9, 0)];
+        let (ah, ad): (Vec<_>, Vec<_>) = a.iter().copied().unzip();
+        let (bh, bd): (Vec<_>, Vec<_>) = b.iter().copied().unzip();
+        assert_eq!(join_pairs(&a, &b), merge_join(&ah, &ad, &bh, &bd));
+        assert_eq!(join_pairs(&a, &b), 5);
+        assert_eq!(join_pairs(&a, &[]), hl_graph::INFINITY);
+    }
+}

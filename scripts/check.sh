@@ -20,7 +20,10 @@ echo "== cargo doc (no-deps, warnings are errors) =="
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 
 echo "== tier-1 build =="
-cargo build --release
+# --workspace so every member's binaries land in target/release (the
+# root package alone builds members as libs only, skipping e.g. the
+# hl-shard and hlnp-fuzz bins the smokes below invoke).
+cargo build --release --workspace
 
 # The workspace suite is a strict superset of the root package's suite
 # (root targets are workspace members), so one invocation covers tier-1.
@@ -45,6 +48,49 @@ timeout 600 ./target/release/hubserve build "$SMOKE/parallel.hlbs" \
 grep -q '"bench":"build"' "$SMOKE/parallel.json"
 ./target/release/hubserve stats "$SMOKE/parallel.hlbs" > "$SMOKE/stats.txt"
 grep -q 'arena entries' "$SMOKE/stats.txt"
+
+echo "== store format round-trip (v1 -> v2 -> v1, byte-identical) =="
+# γ-coding is canonical and v2 is a verbatim arena dump, so converting
+# there and back must reproduce the original file exactly — the property
+# that makes `hubserve convert` safe to run on archival stores.
+timeout 120 ./target/release/hubserve build "$SMOKE/rt-v1.hlbs" \
+  --gen gnm --nodes 2000 --edges 6000 --seed 3
+timeout 120 ./target/release/hubserve convert "$SMOKE/rt-v1.hlbs" "$SMOKE/rt-v2.hlbs" \
+  --to v2 --verify-roundtrip
+timeout 120 ./target/release/hubserve convert "$SMOKE/rt-v2.hlbs" "$SMOKE/rt-back.hlbs" \
+  --to v1 --verify-roundtrip
+cmp "$SMOKE/rt-v1.hlbs" "$SMOKE/rt-back.hlbs"
+./target/release/hubserve stats "$SMOKE/rt-v2.hlbs" > "$SMOKE/rt-stats.txt"
+grep -Eq 'format version +2' "$SMOKE/rt-stats.txt"
+grep -q 'section offsets' "$SMOKE/rt-stats.txt"
+
+echo "== sharded serving smoke (2 shards, routed == unsharded) =="
+# Partition the round-trip store, serve each shard from its own daemon,
+# and check the router's answers byte-for-byte against the unsharded
+# query path — including cross-shard pairs (0 % 2 != 1 % 2).
+timeout 120 ./target/release/hl-shard partition "$SMOKE/rt-v2.hlbs" "$SMOKE/shards" --shards 2
+printf '0 1\n0 2\n1 3\n5 1999\n' > "$SMOKE/shard-pairs.txt"
+timeout 120 ./target/release/hubserve query "$SMOKE/rt-v2.hlbs" "$SMOKE/shard-pairs.txt" \
+  > "$SMOKE/unsharded.txt"
+./target/release/hubserve serve "$SMOKE/shards/shard-0.hlbs" --addr 127.0.0.1:0 \
+  > "$SMOKE/shard0.log" 2>&1 &
+SHARD0_PID=$!
+./target/release/hubserve serve "$SMOKE/shards/shard-1.hlbs" --addr 127.0.0.1:0 \
+  > "$SMOKE/shard1.log" 2>&1 &
+SHARD1_PID=$!
+for log in "$SMOKE/shard0.log" "$SMOKE/shard1.log"; do
+  for _ in $(seq 1 100); do
+    grep -q '^listening on ' "$log" && break
+    sleep 0.1
+  done
+done
+ADDR0=$(sed -n 's/^listening on //p' "$SMOKE/shard0.log" | head -n 1)
+ADDR1=$(sed -n 's/^listening on //p' "$SMOKE/shard1.log" | head -n 1)
+timeout 120 ./target/release/hl-shard query --shard "$ADDR0" --shard "$ADDR1" \
+  "$SMOKE/shard-pairs.txt" > "$SMOKE/routed.txt"
+kill "$SHARD0_PID" "$SHARD1_PID"
+wait "$SHARD0_PID" "$SHARD1_PID" 2>/dev/null || true
+diff -u "$SMOKE/unsharded.txt" "$SMOKE/routed.txt"
 
 echo "== kick-tires =="
 bash scripts/kick-tires.sh

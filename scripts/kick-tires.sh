@@ -9,6 +9,10 @@
 #   diff              -> store answers == ground-truth label answers
 #   hubserve bench    -> the load generator runs and reports a snapshot
 #   hubserve serve    -> TCP daemon on an ephemeral loopback port
+#   hubserve convert  -> v1 store migrated to v2, round-trip verified
+#   hubserve reload   -> live daemon hot-swaps onto the v2 store; a
+#                        reload from a missing path must fail without
+#                        evicting the healthy epoch
 #   netbench          -> drives the daemon over the wire, then shuts it
 #                        down; the daemon must exit 0
 # Exits nonzero on the first mismatch or failure.
@@ -93,6 +97,19 @@ if [ -z "$ADDR" ]; then
   exit 1
 fi
 echo "daemon is listening on $ADDR"
+
+echo "== hot reload: swap the live daemon onto a v2 store =="
+"$HUBSERVE" convert "$TMP/store.hlbs" "$TMP/store-v2.hlbs" --to v2 --verify-roundtrip
+"$HUBSERVE" reload "$ADDR" "$TMP/store-v2.hlbs" | tee "$TMP/reload.txt"
+grep -q 'epoch 1' "$TMP/reload.txt"
+if "$HUBSERVE" reload "$ADDR" "$TMP/does-not-exist.hlbs" 2> "$TMP/reload-bad.err"; then
+  echo "kick-tires: FAIL — reload from a missing store reported success" >&2
+  exit 1
+fi
+echo "bad reload rejected: $(cat "$TMP/reload-bad.err")"
+# The failed reload must not have evicted the healthy epoch: the bench
+# below hammers the daemon post-swap and it must still answer exactly.
+
 "$NETBENCH" "$ADDR" --mode closed --conns 2 --queries 20000 --batch 256 --seed 7 --shutdown
 if ! wait "$SERVE_PID"; then
   echo "kick-tires: FAIL — daemon did not exit cleanly after shutdown" >&2
