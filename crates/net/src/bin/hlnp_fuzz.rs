@@ -15,7 +15,18 @@
 //!    iterations a clean [`NetClient`] probe asserts *exact* distances
 //!    against BFS ground truth: the server must stay both alive and
 //!    correct while being abused.
-//! 2. **Store**: both serialized HLBS images take abuse. The v1
+//! 2. **Mux**: the same live server under protocol-v2 abuse. Each
+//!    iteration handshakes v2 cleanly, then plays a mux-specific
+//!    [`FaultKind::MUX`] script — many-id streams chopped into
+//!    arbitrary chunks, duplicate ids, shuffled frames, id-field bit
+//!    flips, runt frames too short for an id. Clean [`MuxClient`]
+//!    probes submit a window of queries and reap them newest-first,
+//!    asserting BFS-exact answers under out-of-order completion. A
+//!    handshake matrix then pins the negotiation: hello 1 serves v1
+//!    framing, hello 2 serves v2 framing, hello 3 gets a typed
+//!    `VersionMismatch`, garbage gets a typed `Malformed` — and the
+//!    rejections close the connection.
+//! 3. **Store**: both serialized HLBS images take abuse. The v1
 //!    (γ-coded) image gets seeded byte flips (the checksum's job),
 //!    crafted flips with a refreshed checksum (the decoder's job), and
 //!    random truncations. The v2 (flat-arena) image additionally gets
@@ -24,7 +35,7 @@
 //!    mutations; because every v2 byte sits under a checksum or the
 //!    zero-padding rule, a blind flip that parses anyway is itself a
 //!    defect.
-//! 3. **Wire**: random payloads through every frame decoder.
+//! 4. **Wire**: random payloads through every frame decoder.
 //!
 //! Any panic, hang, wrong answer, or silently-accepted corruption is a
 //! defect. Exit codes: 0 clean, 1 defect found, 2 usage or the
@@ -43,10 +54,10 @@ use hl_graph::rng::Xorshift64;
 use hl_graph::{bfs, generators, Distance, NodeId};
 use hl_net::faults::{apply_script, FaultConfig, FaultKind, FaultPlan, Outcome};
 use hl_net::wire::{
-    read_frame, write_frame, ClientHello, Request, Response, ServerHello, DEFAULT_MAX_FRAME_LEN,
-    PROTOCOL_VERSION,
+    encode_mux, read_frame, split_mux, write_frame, ClientHello, ErrorCode, Request, Response,
+    ServerHello, DEFAULT_MAX_FRAME_LEN, MAX_PROTOCOL_VERSION, PROTOCOL_V2, PROTOCOL_VERSION,
 };
-use hl_net::{ClientConfig, NetClient, NetServer, ServerConfig};
+use hl_net::{ClientConfig, MuxClient, NetClient, NetServer, ServerConfig};
 use hl_server::{store, store_v2, AnyStore, FlatStore, LabelStore, QueryEngine};
 
 struct Opts {
@@ -68,7 +79,10 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         iters: 10_000,
         nodes: 256,
         probe_every: 32,
-        max_seconds: 300,
+        // Sized for the default 10k-iteration profile on a slow shared
+        // core — the v1 + mux network campaigns alone are ~6 minutes
+        // there. CI passes an explicit, tighter guard.
+        max_seconds: 900,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -128,6 +142,10 @@ struct Summary {
     peer_closed: usize,
     probes: usize,
     probe_queries: usize,
+    mux_fault_iterations: usize,
+    mux_probes: usize,
+    mux_probe_queries: usize,
+    handshake_matrix_rounds: usize,
     store_mutations: usize,
     store_parses_survived: usize,
     store_v2_mutations: usize,
@@ -148,13 +166,19 @@ fn main() -> ExitCode {
         Ok(s) => {
             println!(
                 "hlnp-fuzz: clean. {} fault iterations ({} cut off by the server), \
-                 {} probes / {} exact answers verified, {} v1 store mutations \
+                 {} probes / {} exact answers verified, {} mux fault iterations, \
+                 {} mux probes / {} out-of-order answers verified, \
+                 {} handshake matrix rounds, {} v1 store mutations \
                  ({} parsed anyway, none panicked), {} v2 store mutations \
                  ({} parsed anyway, none panicked), {} wire decodes.",
                 s.fault_iterations,
                 s.peer_closed,
                 s.probes,
                 s.probe_queries,
+                s.mux_fault_iterations,
+                s.mux_probes,
+                s.mux_probe_queries,
+                s.handshake_matrix_rounds,
                 s.store_mutations,
                 s.store_parses_survived,
                 s.store_v2_mutations,
@@ -276,6 +300,48 @@ fn run(opts: &Opts) -> Result<Summary, Failure> {
         probe(addr, &sources, &truth, &mut rng, opts.seed)?;
         summary.probes += 1;
         summary.probe_queries += PROBE_QUERIES;
+
+        // Mux campaign: protocol-v2 abuse against the same live server.
+        // Half the v1 iteration count — mux scripts mostly *complete*
+        // (no disconnect), so each iteration also drains real answers.
+        for i in 0..opts.iters / 2 {
+            if Instant::now() > deadline {
+                return Err(Failure::Timeout(format!(
+                    "mux campaign stuck at iteration {i} of {}",
+                    opts.iters / 2
+                )));
+            }
+            let kind = plan.pick_mux_kind();
+            *kind_counts.entry(kind).or_insert(0usize) += 1;
+            match mux_fault_iteration(addr, &mut plan, kind, &mut rng, opts.nodes as NodeId) {
+                Ok(Outcome::PeerClosed) => summary.peer_closed += 1,
+                Ok(_) => {}
+                Err(e) => {
+                    return Err(Failure::Defect(format!(
+                        "mux iteration {i} ({}): server unreachable — {e}",
+                        kind.name()
+                    )))
+                }
+            }
+            summary.mux_fault_iterations += 1;
+            if i % opts.probe_every == 0 {
+                mux_probe(addr, &sources, &truth, &mut rng)?;
+                summary.mux_probes += 1;
+                summary.mux_probe_queries += MUX_PROBE_QUERIES;
+            }
+        }
+
+        // Handshake version matrix, then one last mux probe.
+        for _ in 0..8 {
+            if Instant::now() > deadline {
+                return Err(Failure::Timeout("handshake matrix stuck".to_string()));
+            }
+            handshake_matrix(addr, &mut rng)?;
+            summary.handshake_matrix_rounds += 1;
+        }
+        mux_probe(addr, &sources, &truth, &mut rng)?;
+        summary.mux_probes += 1;
+        summary.mux_probe_queries += MUX_PROBE_QUERIES;
         Ok(())
     })();
 
@@ -373,6 +439,242 @@ fn clean_request_stream(rng: &mut Xorshift64, num_nodes: NodeId) -> Vec<u8> {
         let _ = write_frame(&mut buf, &req.encode());
     }
     buf
+}
+
+/// One hostile v2 connection: a *clean* v2 handshake (the matrix covers
+/// negotiation abuse), then a multi-id mux request stream rewritten by
+/// `kind`, then a bounded drain. Only failure to connect is an error.
+fn mux_fault_iteration(
+    addr: SocketAddr,
+    plan: &mut FaultPlan,
+    kind: FaultKind,
+    rng: &mut Xorshift64,
+    num_nodes: NodeId,
+) -> std::io::Result<Outcome> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_millis(300)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(1)))?;
+    let _ = read_frame(&mut stream, DEFAULT_MAX_FRAME_LEN);
+    let hello = ClientHello {
+        protocol_version: PROTOCOL_V2,
+    };
+    if write_frame(&mut stream, &hello.encode()).is_err() {
+        return Ok(Outcome::PeerClosed);
+    }
+
+    let clean = clean_mux_stream(rng, num_nodes);
+    let steps = plan.script(kind, &clean);
+    let outcome = apply_script(&mut stream, &steps);
+
+    // Bounded drain: mux scripts mostly complete, so the server answers
+    // every well-formed id — read those (and any typed errors) without
+    // stalling the campaign on a quiet socket.
+    stream.set_read_timeout(Some(Duration::from_millis(30)))?;
+    let mut buf = [0u8; 512];
+    for _ in 0..16 {
+        match stream.read(&mut buf) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => {}
+        }
+    }
+    Ok(outcome)
+}
+
+/// A well-formed v2 request stream: 2–6 mux-framed requests with
+/// distinct ids (the handshake is sent separately, unfaulted).
+fn clean_mux_stream(rng: &mut Xorshift64, num_nodes: NodeId) -> Vec<u8> {
+    let mut buf = Vec::new();
+    let mut id: u64 = 0;
+    for _ in 0..2 + rng.gen_index(5) {
+        id += 1;
+        let req = match rng.gen_index(3) {
+            0 => Request::Ping,
+            1 => Request::Query {
+                u: rng.gen_index(num_nodes as usize) as NodeId,
+                v: rng.gen_index(num_nodes as usize) as NodeId,
+            },
+            _ => {
+                let pairs = (0..1 + rng.gen_index(8))
+                    .map(|_| {
+                        (
+                            rng.gen_index(num_nodes as usize) as NodeId,
+                            rng.gen_index(num_nodes as usize) as NodeId,
+                        )
+                    })
+                    .collect();
+                Request::QueryBatch(pairs)
+            }
+        };
+        let _ = write_frame(&mut buf, &encode_mux(id, &req.encode()));
+    }
+    buf
+}
+
+const MUX_PROBE_QUERIES: usize = 16;
+
+/// A clean [`MuxClient`] submitting a window of queries and reaping them
+/// newest-first: liveness, correctness, *and* out-of-order completion
+/// in one check. Any error or wrong answer is a defect.
+fn mux_probe(
+    addr: SocketAddr,
+    sources: &[NodeId],
+    truth: &[Vec<Distance>],
+    rng: &mut Xorshift64,
+) -> Result<(), Failure> {
+    let config = ClientConfig {
+        connect_timeout: Duration::from_secs(2),
+        request_timeout: Duration::from_secs(2),
+        ..ClientConfig::default()
+    };
+    let client = MuxClient::connect(addr, config)
+        .map_err(|e| Failure::Defect(format!("mux probe cannot connect: {e}")))?;
+    let n = truth[0].len();
+    let mut pending = Vec::with_capacity(MUX_PROBE_QUERIES);
+    for _ in 0..MUX_PROBE_QUERIES {
+        let si = rng.gen_index(sources.len());
+        let v = rng.gen_index(n) as NodeId;
+        let id = client
+            .submit(&Request::Query { u: sources[si], v })
+            .map_err(|e| Failure::Defect(format!("mux probe submit failed: {e}")))?;
+        pending.push((id, si, v));
+    }
+    for (id, si, v) in pending.into_iter().rev() {
+        match client.wait(id, Duration::from_secs(2)) {
+            Ok(Response::Distance(d)) => {
+                let want = truth[si][v as usize];
+                if d != want {
+                    return Err(Failure::Defect(format!(
+                        "mux probe wrong answer: d({}, {v}) = {d}, BFS says {want}",
+                        sources[si]
+                    )));
+                }
+            }
+            Ok(other) => {
+                return Err(Failure::Defect(format!(
+                    "mux probe expected a Distance for id {id}, got {other:?}"
+                )))
+            }
+            Err(e) => return Err(Failure::Defect(format!("mux probe wait({id}) failed: {e}"))),
+        }
+    }
+    Ok(())
+}
+
+/// Connects and consumes the server hello, asserting it advertises the
+/// v2 ceiling. The shared front half of every handshake-matrix case.
+fn matrix_connect(addr: SocketAddr) -> Result<TcpStream, Failure> {
+    let defect = |m: String| Failure::Defect(format!("handshake matrix: {m}"));
+    let mut s = TcpStream::connect(addr).map_err(|e| defect(format!("connect: {e}")))?;
+    s.set_read_timeout(Some(Duration::from_secs(2)))
+        .map_err(|e| defect(format!("set timeout: {e}")))?;
+    s.set_write_timeout(Some(Duration::from_secs(2)))
+        .map_err(|e| defect(format!("set timeout: {e}")))?;
+    let payload = read_frame(&mut s, DEFAULT_MAX_FRAME_LEN)
+        .map_err(|e| defect(format!("reading server hello: {e}")))?;
+    let hello =
+        ServerHello::decode(&payload).map_err(|e| defect(format!("bad server hello: {e}")))?;
+    if hello.protocol_version != MAX_PROTOCOL_VERSION {
+        return Err(defect(format!(
+            "server hello advertises ceiling {}, want {MAX_PROTOCOL_VERSION}",
+            hello.protocol_version
+        )));
+    }
+    Ok(s)
+}
+
+/// Reads one response frame and requires a typed error of `code`,
+/// followed by the server closing the connection.
+fn expect_error_then_close(mut s: TcpStream, code: ErrorCode, case: &str) -> Result<(), Failure> {
+    let defect = |m: String| Failure::Defect(format!("handshake matrix [{case}]: {m}"));
+    let payload = read_frame(&mut s, DEFAULT_MAX_FRAME_LEN)
+        .map_err(|e| defect(format!("reading the rejection: {e}")))?;
+    match Response::decode(&payload) {
+        Ok(Response::Error { code: got, message }) if got == code => {
+            // The server must also hang up: the next read is EOF.
+            let mut byte = [0u8; 1];
+            match s.read(&mut byte) {
+                Ok(0) => {
+                    let _ = message;
+                    Ok(())
+                }
+                Ok(_) => Err(defect("server kept talking after the rejection".into())),
+                Err(e) => Err(defect(format!("waiting for the close: {e}"))),
+            }
+        }
+        Ok(other) => Err(defect(format!("expected {code:?}, got {other:?}"))),
+        Err(e) => Err(defect(format!("undecodable rejection frame: {e}"))),
+    }
+}
+
+/// One pass of the v1-vs-v2 handshake matrix: hello 1 serves v1
+/// framing, hello 2 serves v2 framing, hello 3 draws `VersionMismatch`,
+/// and a non-hello first frame draws `Malformed` — both rejections
+/// closing the connection.
+fn handshake_matrix(addr: SocketAddr, rng: &mut Xorshift64) -> Result<(), Failure> {
+    // Hello 1: plain v1 framing; a ping comes back as a bare Pong.
+    let mut s = matrix_connect(addr)?;
+    let defect = |m: String| Failure::Defect(format!("handshake matrix [v1]: {m}"));
+    let hello = ClientHello {
+        protocol_version: PROTOCOL_VERSION,
+    };
+    write_frame(&mut s, &hello.encode()).map_err(|e| defect(format!("hello: {e}")))?;
+    write_frame(&mut s, &Request::Ping.encode()).map_err(|e| defect(format!("ping: {e}")))?;
+    let payload =
+        read_frame(&mut s, DEFAULT_MAX_FRAME_LEN).map_err(|e| defect(format!("pong: {e}")))?;
+    match Response::decode(&payload) {
+        Ok(Response::Pong) => {}
+        other => return Err(defect(format!("expected a bare Pong, got {other:?}"))),
+    }
+    drop(s);
+
+    // Hello 2: mux framing; the pong comes back under the request's id.
+    let mut s = matrix_connect(addr)?;
+    let defect = |m: String| Failure::Defect(format!("handshake matrix [v2]: {m}"));
+    let hello = ClientHello {
+        protocol_version: PROTOCOL_V2,
+    };
+    write_frame(&mut s, &hello.encode()).map_err(|e| defect(format!("hello: {e}")))?;
+    let id = 1 + (rng.next_u64() >> 1);
+    write_frame(&mut s, &encode_mux(id, &Request::Ping.encode()))
+        .map_err(|e| defect(format!("mux ping: {e}")))?;
+    let payload =
+        read_frame(&mut s, DEFAULT_MAX_FRAME_LEN).map_err(|e| defect(format!("mux pong: {e}")))?;
+    let (got_id, inner) = split_mux(&payload).map_err(|e| defect(format!("split: {e}")))?;
+    if got_id != id {
+        return Err(defect(format!("pong under id {got_id}, want {id}")));
+    }
+    match Response::decode(inner) {
+        Ok(Response::Pong) => {}
+        other => {
+            return Err(defect(format!(
+                "expected Pong under id {id}, got {other:?}"
+            )))
+        }
+    }
+    drop(s);
+
+    // Hello 3: above the ceiling — a typed VersionMismatch, then close.
+    let mut s = matrix_connect(addr)?;
+    let defect = |m: String| Failure::Defect(format!("handshake matrix [v3]: {m}"));
+    let hello = ClientHello {
+        protocol_version: MAX_PROTOCOL_VERSION + 1,
+    };
+    write_frame(&mut s, &hello.encode()).map_err(|e| defect(format!("hello: {e}")))?;
+    expect_error_then_close(s, ErrorCode::VersionMismatch, "v3")?;
+
+    // Garbage hello: a first frame that is not a hello at all — typed
+    // Malformed, then close. (First byte pinned off the hello opcode so
+    // random bytes cannot accidentally spell a valid handshake.)
+    let mut s = matrix_connect(addr)?;
+    let defect = |m: String| Failure::Defect(format!("handshake matrix [garbage]: {m}"));
+    let mut junk = vec![0xFF];
+    for _ in 0..rng.gen_index(16) {
+        junk.push(rng.next_u64() as u8);
+    }
+    write_frame(&mut s, &junk).map_err(|e| defect(format!("junk hello: {e}")))?;
+    expect_error_then_close(s, ErrorCode::Malformed, "garbage")?;
+
+    Ok(())
 }
 
 const PROBE_QUERIES: usize = 4 + 16;

@@ -2,8 +2,9 @@
 //! `hubserve serve` daemon.
 //!
 //! ```text
-//! netbench <addr> [--mode closed|open] [--conns N] [--queries N]
-//!          [--batch N] [--pipeline W] [--rate R] [--seed S] [--shutdown]
+//! netbench <addr> [--mode closed|open|mux] [--conns N] [--queries N]
+//!          [--batch N] [--pipeline W] [--rate R] [--inflight N]
+//!          [--sweep] [--bench-json PATH] [--seed S] [--shutdown]
 //! ```
 //!
 //! **Closed loop** (default): `--conns` client threads issue requests
@@ -20,6 +21,14 @@
 //! overload shows up as the reported *lag* between schedule and send —
 //! the honest open-loop signal that the daemon is saturated.
 //!
+//! **Mux** (`--mode mux`, or just `--inflight N` which implies it):
+//! each connection is a protocol-v2 [`MuxClient`] keeping up to
+//! `--inflight` single-query requests in flight at once, reaping
+//! completions as they land. `--sweep` runs the whole thing at in-flight
+//! windows of 1, 8, 64 and 512 — the concurrency curve of one
+//! connection — and `--bench-json PATH` writes every row as machine-
+//! readable JSON.
+//!
 //! Vertex pairs are drawn uniformly from the served labeling's node
 //! count (learned in the handshake), seeded per connection so runs are
 //! reproducible. With `--shutdown`, the last thing the run does is send
@@ -33,7 +42,8 @@ use std::time::{Duration, Instant};
 
 use hl_graph::rng::Xorshift64;
 use hl_graph::NodeId;
-use hl_net::{ClientConfig, NetClient};
+use hl_net::wire::{Request, Response};
+use hl_net::{ClientConfig, MuxClient, NetClient};
 use hl_server::LatencyHistogram;
 
 struct Opts {
@@ -44,6 +54,9 @@ struct Opts {
     batch: usize,
     pipeline: usize,
     rate: f64,
+    inflight: usize,
+    sweep: bool,
+    bench_json: Option<String>,
     seed: u64,
     shutdown: bool,
 }
@@ -52,11 +65,13 @@ struct Opts {
 enum Mode {
     Closed,
     Open,
+    Mux,
 }
 
 fn usage() -> String {
-    "usage: netbench <addr> [--mode closed|open] [--conns N] [--queries N] \
-     [--batch N] [--pipeline W] [--rate R] [--seed S] [--shutdown]"
+    "usage: netbench <addr> [--mode closed|open|mux] [--conns N] [--queries N] \
+     [--batch N] [--pipeline W] [--rate R] [--inflight N] [--sweep] \
+     [--bench-json PATH] [--seed S] [--shutdown]"
         .to_string()
 }
 
@@ -70,6 +85,9 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         batch: 256,
         pipeline: 1,
         rate: 10_000.0,
+        inflight: 64,
+        sweep: false,
+        bench_json: None,
         seed: 42,
         shutdown: false,
     };
@@ -85,7 +103,8 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
                 opts.mode = match take("--mode")? {
                     "closed" => Mode::Closed,
                     "open" => Mode::Open,
-                    other => return Err(format!("--mode must be closed|open, got '{other}'")),
+                    "mux" => Mode::Mux,
+                    other => return Err(format!("--mode must be closed|open|mux, got '{other}'")),
                 }
             }
             "--conns" => {
@@ -113,6 +132,18 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
                     .parse()
                     .map_err(|e| format!("--rate: {e}"))?
             }
+            "--inflight" => {
+                opts.inflight = take("--inflight")?
+                    .parse()
+                    .map_err(|e| format!("--inflight: {e}"))?;
+                // Asking for an in-flight window is asking for mux mode.
+                opts.mode = Mode::Mux;
+            }
+            "--sweep" => {
+                opts.sweep = true;
+                opts.mode = Mode::Mux;
+            }
+            "--bench-json" => opts.bench_json = Some(take("--bench-json")?.to_string()),
             "--seed" => {
                 opts.seed = take("--seed")?
                     .parse()
@@ -131,6 +162,9 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
     }
     if opts.mode == Mode::Open && opts.rate <= 0.0 {
         return Err("--rate must be positive in open-loop mode".into());
+    }
+    if opts.inflight == 0 {
+        return Err("--inflight must be positive".into());
     }
     Ok(Opts { ..opts })
 }
@@ -178,6 +212,9 @@ fn run(opts: &Opts) -> Result<(), String> {
     let n = probe.num_nodes();
     if n < 2 {
         return Err(format!("served labeling has {n} nodes; nothing to query"));
+    }
+    if opts.mode == Mode::Mux {
+        return run_mux(opts, &mut probe, n);
     }
     println!(
         "daemon at {} serves {n} nodes; {} mode, {} conns, {} queries, batch {}, pipeline {}",
@@ -313,6 +350,168 @@ fn run(opts: &Opts) -> Result<(), String> {
         println!("daemon acknowledged shutdown");
     }
     Ok(())
+}
+
+/// One row of the mux concurrency curve.
+struct MuxRow {
+    inflight: usize,
+    queries: u64,
+    wall_s: f64,
+    qps: f64,
+    p50_ns: u64,
+    p95_ns: u64,
+    p99_ns: u64,
+}
+
+/// Multiplexed (protocol v2) load: per window size, `--conns` threads
+/// each hold one [`MuxClient`] connection and keep up to `inflight`
+/// single-query requests outstanding, reaping oldest-first while the
+/// submit side keeps the window full.
+fn run_mux(opts: &Opts, probe: &mut NetClient, n: u64) -> Result<(), String> {
+    let windows: Vec<usize> = if opts.sweep {
+        vec![1, 8, 64, 512]
+    } else {
+        vec![opts.inflight]
+    };
+    println!(
+        "daemon at {} serves {n} nodes; mux mode, {} conns, {} queries per window, windows {:?}",
+        opts.addr, opts.conns, opts.queries, windows,
+    );
+
+    let mut rows = Vec::with_capacity(windows.len());
+    for &window in &windows {
+        let row = mux_round(opts, n, window)?;
+        println!(
+            "inflight {:>4}: {} queries in {:.3}s: {:>10.0} queries/s \
+             (p50 < {} ns, p95 < {} ns, p99 < {} ns)",
+            row.inflight, row.queries, row.wall_s, row.qps, row.p50_ns, row.p95_ns, row.p99_ns,
+        );
+        rows.push(row);
+    }
+
+    if let Some(path) = &opts.bench_json {
+        write_bench_json(path, opts, n, &rows).map_err(|e| format!("writing {path}: {e}"))?;
+        println!("wrote {path}");
+    }
+
+    let snapshot = probe
+        .metrics()
+        .map_err(|e| format!("cannot fetch server metrics: {e}"))?;
+    println!("--- server metrics ---");
+    println!("{}", snapshot.render_text());
+
+    if opts.shutdown {
+        probe
+            .shutdown()
+            .map_err(|e| format!("shutdown not acknowledged: {e}"))?;
+        println!("daemon acknowledged shutdown");
+    }
+    Ok(())
+}
+
+/// One timed run at a fixed in-flight window.
+fn mux_round(opts: &Opts, n: u64, window: usize) -> Result<MuxRow, String> {
+    let latency = Arc::new(LatencyHistogram::new());
+    let per_conn = opts.queries.div_ceil(opts.conns);
+    let started = Instant::now();
+    let mut workers = Vec::with_capacity(opts.conns);
+    for worker in 0..opts.conns {
+        let latency = Arc::clone(&latency);
+        let addr = opts.addr.clone();
+        let seed = opts
+            .seed
+            .wrapping_add(worker as u64)
+            .wrapping_mul(0x9e37)
+            .wrapping_add(window as u64);
+        let handle = std::thread::Builder::new()
+            .name(format!("netbench-mux-{worker}"))
+            .spawn(move || -> Result<u64, String> {
+                let client = MuxClient::connect(addr.as_str(), client_config(seed))
+                    .map_err(|e| format!("mux worker {worker} cannot connect: {e}"))?;
+                let mut rng = Xorshift64::seed_from_u64(seed);
+                let mut pending: std::collections::VecDeque<(u64, Instant)> =
+                    std::collections::VecDeque::with_capacity(window);
+                let mut submitted = 0usize;
+                let mut done = 0u64;
+                while (done as usize) < per_conn {
+                    // Keep the window full before reaping anything.
+                    while submitted < per_conn && pending.len() < window {
+                        let u = rng.gen_index(n as usize) as NodeId;
+                        let v = rng.gen_index(n as usize) as NodeId;
+                        let sent = Instant::now();
+                        let id = client
+                            .submit(&Request::Query { u, v })
+                            .map_err(|e| format!("mux worker {worker} submit: {e}"))?;
+                        pending.push_back((id, sent));
+                        submitted += 1;
+                    }
+                    let Some((id, sent)) = pending.pop_front() else {
+                        break;
+                    };
+                    match client
+                        .wait(id, Duration::from_secs(30))
+                        .map_err(|e| format!("mux worker {worker} wait({id}): {e}"))?
+                    {
+                        Response::Distance(_) => {}
+                        other => {
+                            return Err(format!(
+                                "mux worker {worker}: expected a Distance for id {id}, \
+                                 got {other:?}"
+                            ))
+                        }
+                    }
+                    latency.record(sent.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64);
+                    done += 1;
+                }
+                Ok(done)
+            })
+            .map_err(|e| format!("cannot spawn mux worker {worker}: {e}"))?;
+        workers.push(handle);
+    }
+
+    let mut total = 0u64;
+    for handle in workers {
+        total += handle.join().map_err(|_| "worker panicked".to_string())??;
+    }
+    let wall_s = started.elapsed().as_secs_f64();
+    Ok(MuxRow {
+        inflight: window,
+        queries: total,
+        wall_s,
+        qps: total as f64 / wall_s.max(1e-9),
+        p50_ns: latency.quantile(0.50),
+        p95_ns: latency.quantile(0.95),
+        p99_ns: latency.quantile(0.99),
+    })
+}
+
+/// Hand-rolled JSON (the workspace is dependency-free): one object with
+/// the run's shape and one row per in-flight window.
+fn write_bench_json(path: &str, opts: &Opts, n: u64, rows: &[MuxRow]) -> std::io::Result<()> {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"bench\": \"netbench-mux\",\n");
+    s.push_str(&format!("  \"nodes\": {n},\n"));
+    s.push_str(&format!("  \"conns\": {},\n", opts.conns));
+    s.push_str(&format!("  \"queries_per_window\": {},\n", opts.queries));
+    s.push_str(&format!("  \"seed\": {},\n", opts.seed));
+    s.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"inflight\": {}, \"queries\": {}, \"wall_s\": {:.6}, \
+             \"queries_per_s\": {:.1}, \"p50_ns\": {}, \"p95_ns\": {}, \"p99_ns\": {}}}{}\n",
+            r.inflight,
+            r.queries,
+            r.wall_s,
+            r.qps,
+            r.p50_ns,
+            r.p95_ns,
+            r.p99_ns,
+            if i + 1 == rows.len() { "" } else { "," },
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    std::fs::write(path, s)
 }
 
 #[cfg(test)]

@@ -122,9 +122,14 @@ impl NetClient {
             timeout,
         )?;
         let hello = ServerHello::decode(&payload)?;
-        if hello.protocol_version != PROTOCOL_VERSION {
+        // The hello advertises the *highest* version the server speaks;
+        // this client always picks v1 (lock-step), which any server with
+        // a ceiling of at least 1 must honor. Servers that dropped v1
+        // entirely would advertise a ceiling of 0... which none do, but
+        // the check keeps the failure typed instead of a frame mess.
+        if hello.protocol_version < PROTOCOL_VERSION {
             return Err(NetError::Handshake(format!(
-                "server speaks protocol {}, this client speaks {PROTOCOL_VERSION}",
+                "server's highest protocol is {}, this client needs at least {PROTOCOL_VERSION}",
                 hello.protocol_version
             )));
         }

@@ -36,6 +36,19 @@ pub enum NetError {
         /// The error the last attempt died with.
         last: Box<NetError>,
     },
+    /// A multiplexed request's deadline passed with no response; other
+    /// requests on the same connection are unaffected.
+    RequestTimeout {
+        /// The request id that went unanswered.
+        request_id: u64,
+        /// How long the caller was willing to wait.
+        waited: std::time::Duration,
+    },
+    /// The multiplexed connection died (reader failure or shutdown);
+    /// every in-flight and future request on it fails with this. The
+    /// reason is a rendered copy of the original error, shared by all
+    /// waiters.
+    ConnectionDead(String),
 }
 
 impl fmt::Display for NetError {
@@ -52,6 +65,12 @@ impl fmt::Display for NetError {
             }
             NetError::RetriesExhausted { attempts, last } => {
                 write!(f, "gave up after {attempts} attempts: {last}")
+            }
+            NetError::RequestTimeout { request_id, waited } => {
+                write!(f, "request {request_id} unanswered after {waited:?}")
+            }
+            NetError::ConnectionDead(reason) => {
+                write!(f, "multiplexed connection is dead: {reason}")
             }
         }
     }
@@ -96,6 +115,11 @@ impl NetError {
             NetError::Remote { code, .. } => *code == ErrorCode::Busy,
             NetError::UnexpectedResponse { .. } => false,
             NetError::RetriesExhausted { .. } => false,
+            // A fresh *connection* might fix these, but the mux client
+            // owns its connection's lifecycle; callers reconnect
+            // deliberately rather than through blind retry.
+            NetError::RequestTimeout { .. } => false,
+            NetError::ConnectionDead(_) => false,
         }
     }
 }

@@ -23,6 +23,22 @@
 //!   to look alive, the whole never finishing.
 //! - [`FaultKind::Stall`] — a long mid-frame silence, then completion.
 //!
+//! Protocol v2 (multiplexed) adds id-aware kinds, enumerated separately
+//! in [`FaultKind::MUX`] so [`FaultKind::ALL`]'s indices — and with
+//! them every recorded v1 campaign seed — stay stable:
+//!
+//! - [`FaultKind::MuxChunkedInterleave`] — a many-frame stream delivered
+//!   in arbitrary chunks with pauses, so partial frames from many
+//!   request ids straddle every read.
+//! - [`FaultKind::MuxDuplicateId`] — one frame sent twice, id and all.
+//! - [`FaultKind::MuxReorderedIds`] — whole frames shuffled, so ids hit
+//!   the server in neither submission nor monotonic order.
+//! - [`FaultKind::MuxIdBitFlip`] — a bit flipped inside one frame's
+//!   8-byte id field: a valid request under a phantom id.
+//! - [`FaultKind::MuxShortIdFrame`] — an injected frame whose payload is
+//!   shorter than an id; the server must answer `Malformed` on id 0 and
+//!   keep the connection.
+//!
 //! The `hlnp-fuzz` binary drives these against a live [`crate::NetServer`]
 //! interleaved with clean liveness probes; see `DESIGN.md`'s fault matrix
 //! for the expected behavior of every layer under each kind.
@@ -63,10 +79,26 @@ pub enum FaultKind {
     SlowLoris,
     /// Send half the stream, go silent for a while, then send the rest.
     Stall,
+    /// Deliver the whole stream, but in random-sized chunks with pauses
+    /// between them, so frames from many ids arrive interleaved with
+    /// partial frames across read boundaries.
+    MuxChunkedInterleave,
+    /// Send every frame once, then one of them a second time (same id).
+    MuxDuplicateId,
+    /// Send all frames, whole, in a shuffled order.
+    MuxReorderedIds,
+    /// Flip one bit inside one frame's request-id field.
+    MuxIdBitFlip,
+    /// Inject a frame whose payload is 1–7 bytes: too short to carry a
+    /// v2 request id at all.
+    MuxShortIdFrame,
 }
 
 impl FaultKind {
-    /// Every fault kind, in a fixed order (the sampler indexes into it).
+    /// Every *v1* fault kind, in a fixed order (the sampler indexes into
+    /// it — appending or reordering here would silently change what every
+    /// recorded campaign seed replays, so the mux kinds live in
+    /// [`FaultKind::MUX`] instead).
     pub const ALL: [FaultKind; 8] = [
         FaultKind::BitFlip,
         FaultKind::Truncate,
@@ -76,6 +108,16 @@ impl FaultKind {
         FaultKind::HandshakeGarbage,
         FaultKind::SlowLoris,
         FaultKind::Stall,
+    ];
+
+    /// The multiplexing-specific (protocol v2) fault kinds, in a fixed
+    /// order of their own.
+    pub const MUX: [FaultKind; 5] = [
+        FaultKind::MuxChunkedInterleave,
+        FaultKind::MuxDuplicateId,
+        FaultKind::MuxReorderedIds,
+        FaultKind::MuxIdBitFlip,
+        FaultKind::MuxShortIdFrame,
     ];
 
     /// Short stable name, for logs and campaign records.
@@ -89,6 +131,11 @@ impl FaultKind {
             FaultKind::HandshakeGarbage => "handshake-garbage",
             FaultKind::SlowLoris => "slow-loris",
             FaultKind::Stall => "stall",
+            FaultKind::MuxChunkedInterleave => "mux-chunked-interleave",
+            FaultKind::MuxDuplicateId => "mux-duplicate-id",
+            FaultKind::MuxReorderedIds => "mux-reordered-ids",
+            FaultKind::MuxIdBitFlip => "mux-id-bit-flip",
+            FaultKind::MuxShortIdFrame => "mux-short-id-frame",
         }
     }
 }
@@ -147,6 +194,12 @@ impl FaultPlan {
         FaultKind::ALL[self.rng.gen_index(FaultKind::ALL.len())]
     }
 
+    /// Draws the next multiplexing fault kind, uniformly over
+    /// [`FaultKind::MUX`].
+    pub fn pick_mux_kind(&mut self) -> FaultKind {
+        FaultKind::MUX[self.rng.gen_index(FaultKind::MUX.len())]
+    }
+
     /// Builds the script for `kind` against `clean`, a byte stream that
     /// starts at a frame boundary (length prefix first). An empty
     /// `clean` degenerates to garbage-or-disconnect scripts; nothing
@@ -161,6 +214,11 @@ impl FaultPlan {
             FaultKind::HandshakeGarbage => self.garbage(),
             FaultKind::SlowLoris => self.slow_loris(clean),
             FaultKind::Stall => self.stall(clean),
+            FaultKind::MuxChunkedInterleave => self.mux_chunked(clean),
+            FaultKind::MuxDuplicateId => self.mux_duplicate(clean),
+            FaultKind::MuxReorderedIds => self.mux_reorder(clean),
+            FaultKind::MuxIdBitFlip => self.mux_id_flip(clean),
+            FaultKind::MuxShortIdFrame => self.mux_short_id(clean),
         }
     }
 
@@ -238,6 +296,106 @@ impl FaultPlan {
             Step::Send(clean[half..].to_vec()),
         ]
     }
+
+    fn mux_chunked(&mut self, clean: &[u8]) -> Vec<Step> {
+        // Everything arrives, in order, but split at arbitrary points
+        // with brief pauses between — so nearly every read the server
+        // does ends mid-frame, with several ids' frames in flight.
+        let mut steps = Vec::new();
+        let mut at = 0usize;
+        while at < clean.len() {
+            let take = 1 + self.rng.gen_index(16.min(clean.len() - at));
+            steps.push(Step::Send(clean[at..at + take].to_vec()));
+            at += take;
+            if at < clean.len() {
+                steps.push(Step::Pause(Duration::from_millis(1)));
+            }
+        }
+        steps
+    }
+
+    fn mux_duplicate(&mut self, clean: &[u8]) -> Vec<Step> {
+        let frames = frames_of(clean);
+        if frames.is_empty() {
+            return vec![Step::Disconnect];
+        }
+        // Whole stream first, then one frame again — same bytes, same
+        // request id. The server answers both (it keeps no id table);
+        // the *client* must survive the surplus response.
+        let again = frames[self.rng.gen_index(frames.len())].clone();
+        let mut steps: Vec<Step> = frames.into_iter().map(Step::Send).collect();
+        steps.push(Step::Send(again));
+        steps
+    }
+
+    fn mux_reorder(&mut self, clean: &[u8]) -> Vec<Step> {
+        let mut frames = frames_of(clean);
+        // Fisher–Yates off the seeded rng: whole frames stay intact,
+        // but ids reach the server in neither submission nor monotonic
+        // order.
+        for i in (1..frames.len()).rev() {
+            let j = self.rng.gen_index(i + 1);
+            frames.swap(i, j);
+        }
+        frames.into_iter().map(Step::Send).collect()
+    }
+
+    fn mux_id_flip(&mut self, clean: &[u8]) -> Vec<Step> {
+        let mut frames = frames_of(clean);
+        // A v2 frame's request id is payload bytes 0..8, i.e. frame
+        // bytes 4..12 (after the length prefix). Flip one bit of one id
+        // in a frame long enough to hold one; if none is, the stream
+        // goes out clean.
+        let candidates: Vec<usize> = (0..frames.len())
+            .filter(|&i| frames[i].len() >= 12)
+            .collect();
+        if !candidates.is_empty() {
+            let at = candidates[self.rng.gen_index(candidates.len())];
+            let byte = 4 + self.rng.gen_index(8);
+            frames[at][byte] ^= 1 << self.rng.gen_index(8);
+        }
+        frames.into_iter().map(Step::Send).collect()
+    }
+
+    fn mux_short_id(&mut self, clean: &[u8]) -> Vec<Step> {
+        // A complete, honestly-framed runt: 1–7 payload bytes, too few
+        // to carry a request id. The server must answer Malformed on
+        // id 0 and keep serving the surrounding frames.
+        let n = 1 + self.rng.gen_index(7);
+        let mut runt = u32::try_from(n).unwrap_or(7).to_le_bytes().to_vec();
+        for _ in 0..n {
+            runt.push(self.rng.next_u64() as u8);
+        }
+        let mut frames = frames_of(clean);
+        let at = self.rng.gen_index(frames.len() + 1);
+        frames.insert(at, runt);
+        frames.into_iter().map(Step::Send).collect()
+    }
+}
+
+/// Splits a stream into whole frames (length prefix included). A tail
+/// that is not a complete frame — a short prefix, or a length running
+/// past the end of the input — is kept as one final partial chunk, so
+/// the concatenation of the output is always exactly the input.
+fn frames_of(clean: &[u8]) -> Vec<Vec<u8>> {
+    let mut frames = Vec::new();
+    let mut at = 0usize;
+    while clean.len() - at >= 4 {
+        let len = u32::from_le_bytes([clean[at], clean[at + 1], clean[at + 2], clean[at + 3]]);
+        let end = match (len as usize)
+            .checked_add(4)
+            .and_then(|t| at.checked_add(t))
+        {
+            Some(end) if end <= clean.len() => end,
+            _ => break,
+        };
+        frames.push(clean[at..end].to_vec());
+        at = end;
+    }
+    if at < clean.len() {
+        frames.push(clean[at..].to_vec());
+    }
+    frames
 }
 
 enum LengthLie {
@@ -353,6 +511,16 @@ mod tests {
         buf
     }
 
+    /// A clean v2 stream: four mux-wrapped query frames, ids 1..=4.
+    fn mux_clean_stream() -> Vec<u8> {
+        let mut buf = Vec::new();
+        for id in 1..=4u64 {
+            let inner = Request::Query { u: 3, v: 9 }.encode();
+            write_frame(&mut buf, &crate::wire::encode_mux(id, &inner)).unwrap();
+        }
+        buf
+    }
+
     #[test]
     fn same_seed_same_scripts() {
         let clean = clean_stream();
@@ -362,6 +530,13 @@ mod tests {
             let (ka, kb) = (a.pick_kind(), b.pick_kind());
             assert_eq!(ka, kb);
             assert_eq!(a.script(ka, &clean), b.script(kb, &clean));
+        }
+        let mux = mux_clean_stream();
+        for _ in 0..50 {
+            let (ka, kb) = (a.pick_mux_kind(), b.pick_mux_kind());
+            assert_eq!(ka, kb);
+            assert!(FaultKind::MUX.contains(&ka));
+            assert_eq!(a.script(ka, &mux), b.script(kb, &mux));
         }
     }
 
@@ -431,9 +606,93 @@ mod tests {
     }
 
     #[test]
+    fn mux_scripts_have_their_kinds_shape() {
+        let clean = mux_clean_stream();
+        let frames = frames_of(&clean);
+        assert_eq!(frames.len(), 4, "test stream is four whole frames");
+        let mut plan = FaultPlan::new(11);
+
+        // Chunked interleave: every byte, in order, across many sends.
+        let chunked = plan.script(FaultKind::MuxChunkedInterleave, &clean);
+        assert_eq!(sent_bytes(&chunked), clean);
+        let sends = chunked
+            .iter()
+            .filter(|s| matches!(s, Step::Send(_)))
+            .count();
+        assert!(sends > 1, "chunking must actually split the stream");
+
+        // Duplicate: the clean stream, then one of its frames again.
+        let dup = plan.script(FaultKind::MuxDuplicateId, &clean);
+        let sent = sent_bytes(&dup);
+        assert_eq!(&sent[..clean.len()], &clean[..]);
+        let extra = &sent[clean.len()..];
+        assert!(
+            frames.iter().any(|f| f[..] == *extra),
+            "the surplus bytes must be one of the original frames"
+        );
+
+        // Reorder: the same frames as a multiset, each one intact.
+        let reordered = plan.script(FaultKind::MuxReorderedIds, &clean);
+        let mut got: Vec<Vec<u8>> = reordered
+            .iter()
+            .filter_map(|s| match s {
+                Step::Send(b) => Some(b.clone()),
+                _ => None,
+            })
+            .collect();
+        let mut want = frames.clone();
+        got.sort();
+        want.sort();
+        assert_eq!(got, want);
+
+        // Id flip: same length, exactly one byte changed, and that byte
+        // sits inside some frame's id field (frame bytes 4..12).
+        let flipped = sent_bytes(&plan.script(FaultKind::MuxIdBitFlip, &clean));
+        assert_eq!(flipped.len(), clean.len());
+        let diffs: Vec<usize> = (0..clean.len())
+            .filter(|&i| flipped[i] != clean[i])
+            .collect();
+        assert_eq!(diffs.len(), 1, "exactly one byte flips");
+        let frame_len = frames[0].len();
+        assert!(
+            (4..12).contains(&(diffs[0] % frame_len)),
+            "flip lands in an id field"
+        );
+
+        // Short-id injection: one extra complete frame of 1–7 payload
+        // bytes; removing it recovers the original frames.
+        let runted = sent_bytes(&plan.script(FaultKind::MuxShortIdFrame, &clean));
+        let grew = runted.len() - clean.len();
+        assert!(
+            (5..=11).contains(&grew),
+            "runt is 4-byte prefix + 1..=7 payload"
+        );
+        let reframed = frames_of(&runted);
+        assert_eq!(reframed.len(), 5);
+        let originals: Vec<&Vec<u8>> = reframed.iter().filter(|f| f.len() != grew).collect();
+        assert_eq!(originals.len(), 4);
+    }
+
+    #[test]
+    fn frames_of_keeps_every_byte() {
+        // Two good frames, then a lying tail that claims more than the
+        // input holds: the tail comes back as one partial chunk.
+        let mut buf = clean_stream();
+        let good = frames_of(&buf).len();
+        buf.extend_from_slice(&[200, 0, 0, 0, 0xAA]);
+        let frames = frames_of(&buf);
+        assert_eq!(frames.len(), good + 1);
+        assert_eq!(frames.last().unwrap(), &vec![200, 0, 0, 0, 0xAA]);
+        let rejoined: Vec<u8> = frames.concat();
+        assert_eq!(rejoined, buf);
+        assert!(frames_of(&[]).is_empty());
+        assert_eq!(frames_of(&[1, 2]), vec![vec![1, 2]]);
+    }
+
+    #[test]
     fn scripts_survive_degenerate_inputs() {
         let mut plan = FaultPlan::new(9);
-        for kind in FaultKind::ALL {
+        for kind in FaultKind::ALL.into_iter().chain(FaultKind::MUX) {
             for input in [&[][..], &[0x01][..], &[1, 2, 3][..]] {
                 let steps = plan.script(kind, input);
                 // Playing against a sink must also never fail.

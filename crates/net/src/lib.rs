@@ -12,12 +12,19 @@
 //!   discipline: truncated, oversized or trailing-byte frames are typed
 //!   errors, never panics.
 //! - [`server`]: [`server::NetServer`], the daemon behind
-//!   `hubserve serve` — bounded accept loop, per-connection worker
-//!   threads, per-socket timeouts, graceful drain-and-shutdown, metrics
-//!   into the engine's existing [`hl_server::Metrics`].
-//! - [`client`]: [`client::NetClient`], a blocking client with connect
-//!   and request timeouts, bounded retry with deterministic jittered
-//!   backoff, and batch pipelining.
+//!   `hubserve serve` — one event-driven readiness loop (`poll(2)` via
+//!   [`hl_sys`]) over nonblocking sockets, per-connection partial-frame
+//!   state machines and write queues, a bounded worker pool completing
+//!   requests out of order, per-socket timeouts, graceful
+//!   drain-and-shutdown, metrics into the engine's existing
+//!   [`hl_server::Metrics`].
+//! - [`client`]: [`client::NetClient`], a blocking protocol-v1 client
+//!   with connect and request timeouts, bounded retry with
+//!   deterministic jittered backoff, and batch pipelining.
+//! - [`mux`]: [`mux::MuxClient`], the protocol-v2 client — many
+//!   concurrent in-flight requests on one connection, correlated by
+//!   request id, each with its own deadline and no head-of-line
+//!   blocking.
 //! - [`faults`]: deterministic fault injection — a seeded
 //!   [`faults::FaultPlan`] scripts byte-level corruption, length-prefix
 //!   lies, truncations, slow-loris pacing and stalls against any
@@ -35,11 +42,15 @@
 pub mod client;
 pub mod error;
 pub mod faults;
+pub mod mux;
 pub mod server;
 pub mod wire;
 
 pub use client::{ClientConfig, NetClient};
 pub use error::NetError;
 pub use faults::{FaultKind, FaultPlan, FaultyTransport, Outcome, Step};
+pub use mux::MuxClient;
 pub use server::{NetServer, ServerConfig, StopHandle};
-pub use wire::{ErrorCode, Request, Response, WireError, PROTOCOL_VERSION};
+pub use wire::{
+    ErrorCode, Request, Response, WireError, MAX_PROTOCOL_VERSION, PROTOCOL_V2, PROTOCOL_VERSION,
+};

@@ -1,39 +1,71 @@
-//! The serving daemon: a bounded accept loop over per-connection worker
-//! threads, answering HLNP frames from a shared [`QueryEngine`].
+//! The serving daemon: an event-driven readiness loop over nonblocking
+//! sockets, answering HLNP frames from a shared [`QueryEngine`].
+//!
+//! One thread runs `poll(2)` (via the zero-dependency [`hl_sys`] shim)
+//! over the listener, a self-wake pipe, and every live connection. Each
+//! connection carries its own read buffer with an incremental
+//! partial-frame state machine and a write queue drained as the socket
+//! allows, so 10k idle-ish clients cost file descriptors, not stacks. A
+//! bounded worker pool executes engine requests and completes them *out
+//! of order*; protocol-v2 connections correlate completions by request
+//! id, protocol-v1 connections are dispatched strictly one at a time so
+//! their in-order lock-step contract survives.
 //!
 //! Design constraints, in order:
 //!
-//! - **Never panic, never hang past a timeout.** Every socket carries
-//!   read/write timeouts; every frame is length-capped before buffering;
-//!   every malformed input is answered with a typed error frame.
-//! - **Bounded resources.** At most `max_connections` handler threads
-//!   exist at once; a connection over the cap is greeted and turned away
-//!   with [`ErrorCode::Busy`] so the client can back off and retry.
+//! - **Never panic, never hang past a timeout.** Frames are
+//!   length-capped before buffering; malformed input gets a typed error
+//!   frame; the loop ticks every `POLL_TICK` (50 ms) to enforce the idle,
+//!   whole-frame and write-stall budgets regardless of socket state.
+//! - **Bounded resources.** At most `max_connections` connections are
+//!   served at once (excess is greeted and turned away
+//!   [`ErrorCode::Busy`]); at most `max_inflight_per_conn` requests per
+//!   v2 connection are in flight (excess gets a per-id `Busy`); reads
+//!   pause when a connection's write queue backs up.
 //! - **Graceful shutdown.** A `Shutdown` request (or [`StopHandle`])
-//!   flips one atomic flag and nudges the accept loop awake. The loop
-//!   stops accepting, half-closes the read side of every live connection
-//!   (in-flight responses still flush), and joins every handler before
+//!   flips one atomic flag and nudges the loop awake. The loop stops
+//!   accepting, stops reading, flushes every queued response (bounded by
+//!   the write budget), then joins the worker pool before
 //!   [`NetServer::serve`] returns.
 //!
 //! Metrics flow into the engine's existing [`hl_server::Metrics`]:
 //! connections opened/rejected, request frames handled, error frames
 //! sent, and per-query latency via the engine's own histogram.
 
-use std::collections::HashMap;
-use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicU16, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::collections::{HashMap, VecDeque};
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::os::unix::io::AsRawFd;
+use std::os::unix::net::UnixStream;
+use std::sync::atomic::{AtomicBool, AtomicU16, Ordering};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use hl_graph::sync::lock_unpoisoned;
 use hl_server::{store, AnyStore, EngineError, QueryEngine};
+use hl_sys::{poll, PollFd, POLLIN, POLLOUT};
 
 use crate::error::NetError;
 use crate::wire::{
-    read_frame_deadline, write_frame_deadline, ClientHello, ErrorCode, Request, Response,
-    ServerHello, WireError, DEFAULT_MAX_FRAME_LEN, PROTOCOL_VERSION,
+    encode_mux, ClientHello, ErrorCode, Request, Response, ServerHello, WireError,
+    DEFAULT_MAX_FRAME_LEN, MAX_PROTOCOL_VERSION, PROTOCOL_V2,
 };
+
+/// The readiness loop's maximum sleep: deadline sweeps (idle, frame and
+/// write-stall budgets) run at least this often even with no socket
+/// activity at all.
+const POLL_TICK: Duration = Duration::from_millis(50);
+
+/// Parsed-but-undispatched request frames a connection may hold before
+/// the loop stops reading from it (v1 pipelining backpressure).
+const MAX_PENDING_FRAMES: usize = 1024;
+
+/// Queued-but-unwritten response bytes a connection may hold before the
+/// loop stops reading from it, so a client that floods requests without
+/// draining responses backs up its own TCP window instead of our heap.
+const MAX_QUEUED_WRITE_BYTES: usize = 8 << 20;
 
 /// Tunables for one daemon instance.
 #[derive(Debug, Clone)]
@@ -41,10 +73,11 @@ pub struct ServerConfig {
     /// Maximum concurrently served connections; further clients are
     /// greeted with [`ErrorCode::Busy`] and closed.
     pub max_connections: usize,
-    /// Idle limit per read: a client silent this long is dropped.
+    /// Idle limit: a connection with no bytes arriving, no queued work
+    /// and no queued responses for this long is dropped.
     pub read_timeout: Duration,
-    /// Stall limit for writing one whole response frame: a client not
-    /// draining responses within this budget is dropped (slow-client
+    /// Stall limit for draining queued responses: a client accepting no
+    /// bytes for this long while responses wait is dropped (slow-client
     /// protection).
     pub write_timeout: Duration,
     /// Budget for one whole request frame once its first byte arrives.
@@ -74,6 +107,15 @@ pub struct ServerConfig {
     /// file the engine was loaded from). Updated live when a `Reload`
     /// mounts a store of a different version.
     pub store_version: u16,
+    /// Threads in the request-execution pool. Requests from *all*
+    /// connections share these; a slow request occupies one worker, not
+    /// a connection slot.
+    pub worker_threads: usize,
+    /// Concurrent in-flight requests one protocol-v2 connection may
+    /// hold; requests beyond the cap are answered immediately with a
+    /// per-id [`ErrorCode::Busy`] so the client can back off. (Protocol
+    /// v1 is lock-step: always exactly one in flight.)
+    pub max_inflight_per_conn: usize,
 }
 
 impl Default for ServerConfig {
@@ -87,55 +129,17 @@ impl Default for ServerConfig {
             allow_remote_shutdown: true,
             allow_remote_reload: true,
             store_version: store::VERSION,
+            worker_threads: 4,
+            max_inflight_per_conn: 1024,
         }
     }
 }
 
-/// Live connections, indexed by id, so shutdown can half-close them.
-#[derive(Default)]
-struct ConnRegistry {
-    streams: Mutex<HashMap<u64, TcpStream>>,
-}
-
-impl ConnRegistry {
-    fn register(&self, id: u64, stream: &TcpStream) {
-        if let Ok(clone) = stream.try_clone() {
-            lock_unpoisoned(&self.streams).insert(id, clone);
-        }
-    }
-
-    fn deregister(&self, id: u64) {
-        lock_unpoisoned(&self.streams).remove(&id);
-    }
-
-    /// Half-closes the read side of every live connection: blocked reads
-    /// wake with EOF while responses still in flight can finish writing.
-    fn shutdown_reads(&self) {
-        for stream in lock_unpoisoned(&self.streams).values() {
-            // lint:allow(swallowed-result): std TcpStream::shutdown (not the client's); an already-dead socket is fine here
-            let _ = stream.shutdown(Shutdown::Read);
-        }
-    }
-}
-
-/// Deregisters a connection even when its handler errors out early.
-struct Registration {
-    conns: Arc<ConnRegistry>,
-    id: u64,
-}
-
-impl Drop for Registration {
-    fn drop(&mut self) {
-        self.conns.deregister(self.id);
-    }
-}
-
-/// Shared state between the accept loop, handlers, and stop handles.
+/// Shared state between the event loop, workers, and stop handles.
 struct Inner {
     engine: Arc<QueryEngine>,
     config: ServerConfig,
-    stop: Arc<AtomicBool>,
-    conns: Arc<ConnRegistry>,
+    stop: AtomicBool,
     local_addr: SocketAddr,
     /// Format version of the store currently mounted, reflected in every
     /// hello. Starts at [`ServerConfig::store_version`] and tracks
@@ -144,8 +148,9 @@ struct Inner {
 }
 
 impl Inner {
-    /// Flips the stop flag (once) and nudges the accept loop awake with a
-    /// throwaway connection to ourselves.
+    /// Flips the stop flag (once) and nudges the event loop awake with a
+    /// throwaway connection to ourselves (the listener turning readable
+    /// wakes the poll).
     fn trigger_stop(&self) {
         if !self.stop.swap(true, Ordering::SeqCst) {
             let _ = TcpStream::connect_timeout(&self.local_addr, Duration::from_secs(1));
@@ -171,6 +176,111 @@ impl StopHandle {
     }
 }
 
+/// One request handed to the worker pool.
+struct Job {
+    conn: u64,
+    id: u64,
+    version: u16,
+    request: Request,
+}
+
+/// One finished request on its way back to the event loop.
+struct Completion {
+    conn: u64,
+    /// Fully framed bytes (length prefix included, id prefix for v2).
+    frame: Vec<u8>,
+    is_error: bool,
+}
+
+/// Connection lifecycle, as the frame dispatcher sees it.
+enum ConnState {
+    /// Hello queued; the next frame must be the client's hello.
+    Handshake,
+    /// Handshake done; frames are requests under this protocol version.
+    Serving(u16),
+    /// Over the connection cap: greeted and turned away, never read.
+    Rejecting,
+}
+
+/// Everything the loop tracks per connection.
+struct Conn {
+    stream: TcpStream,
+    state: ConnState,
+    /// Inbound bytes not yet parsed into frames.
+    rbuf: Vec<u8>,
+    /// Outbound frames (fully framed bytes), oldest first.
+    wqueue: VecDeque<Vec<u8>>,
+    /// Progress into `wqueue.front()`.
+    wfront_at: usize,
+    /// Total bytes across `wqueue` (backpressure accounting).
+    wbytes: usize,
+    /// Parsed requests not yet dispatched, with their v2 ids (0 for v1).
+    pending: VecDeque<(u64, Request)>,
+    /// Requests handed to the worker pool and not yet completed.
+    inflight: usize,
+    /// When the last byte arrived (or the connection was accepted).
+    last_read: Instant,
+    /// When the current partial frame's first byte arrived, if one is
+    /// mid-flight — the whole-frame (slow-loris) budget anchors here.
+    frame_started: Option<Instant>,
+    /// Since when the write queue has been non-empty without the socket
+    /// accepting a single byte.
+    write_stalled: Option<Instant>,
+    /// Flush what is queued, then close; stop reading immediately.
+    close_after_flush: bool,
+    /// The peer half-closed (or broke framing): read no further.
+    read_closed: bool,
+}
+
+impl Conn {
+    fn new(stream: TcpStream, state: ConnState) -> Self {
+        Conn {
+            stream,
+            state,
+            rbuf: Vec::new(),
+            wqueue: VecDeque::new(),
+            wfront_at: 0,
+            wbytes: 0,
+            pending: VecDeque::new(),
+            inflight: 0,
+            last_read: Instant::now(),
+            frame_started: None,
+            write_stalled: None,
+            close_after_flush: false,
+            read_closed: false,
+        }
+    }
+
+    /// Whether the poll set should watch this connection for input.
+    fn wants_read(&self) -> bool {
+        !self.read_closed
+            && !self.close_after_flush
+            && self.pending.len() < MAX_PENDING_FRAMES
+            && self.wbytes < MAX_QUEUED_WRITE_BYTES
+    }
+
+    /// Queues fully framed bytes for writing.
+    fn queue_frame(&mut self, frame: Vec<u8>) {
+        self.wbytes += frame.len();
+        self.wqueue.push_back(frame);
+    }
+
+    /// `true` once nothing more can ever happen on this connection.
+    fn is_finished(&self) -> bool {
+        let flushed = self.wqueue.is_empty();
+        (self.close_after_flush && flushed)
+            || (self.read_closed && flushed && self.inflight == 0 && self.pending.is_empty())
+    }
+}
+
+/// What handling readiness on a connection concluded.
+#[derive(PartialEq, Eq)]
+enum Verdict {
+    Keep,
+    /// Remove the connection now (socket dead or work complete).
+    Close,
+}
+
 /// A bound-but-not-yet-serving HLNP daemon.
 pub struct NetServer {
     listener: TcpListener,
@@ -190,8 +300,7 @@ impl NetServer {
         let inner = Arc::new(Inner {
             engine,
             config,
-            stop: Arc::new(AtomicBool::new(false)),
-            conns: Arc::new(ConnRegistry::default()),
+            stop: AtomicBool::new(false),
             local_addr,
             store_version,
         });
@@ -210,16 +319,197 @@ impl NetServer {
         }
     }
 
-    /// Runs the accept loop on the calling thread until a `Shutdown`
+    /// Runs the readiness loop on the calling thread until a `Shutdown`
     /// request or [`StopHandle::stop`] arrives, then drains: stops
-    /// accepting, half-closes live connections, joins every handler.
+    /// accepting and reading, flushes queued responses (bounded by the
+    /// write budget), and joins the worker pool.
     pub fn serve(self) -> Result<(), NetError> {
-        let mut handlers: Vec<JoinHandle<()>> = Vec::new();
-        let conn_ids = AtomicU64::new(0);
+        self.listener.set_nonblocking(true)?;
+        let (waker_rx, waker_tx) = UnixStream::pair()?;
+        waker_rx.set_nonblocking(true)?;
+        waker_tx.set_nonblocking(true)?;
+        let waker_tx = Arc::new(waker_tx);
+
+        let (job_tx, job_rx) = mpsc::channel::<Job>();
+        let (done_tx, done_rx) = mpsc::channel::<Completion>();
+        let job_rx = Arc::new(Mutex::new(job_rx));
+        let mut workers: Vec<JoinHandle<()>> = Vec::new();
+        for i in 0..self.inner.config.worker_threads.max(1) {
+            let inner = Arc::clone(&self.inner);
+            let job_rx = Arc::clone(&job_rx);
+            let done_tx = done_tx.clone();
+            let waker = Arc::clone(&waker_tx);
+            let handle = std::thread::Builder::new()
+                .name(format!("hlnet-worker-{i}"))
+                .spawn(move || worker_loop(&inner, &job_rx, &done_tx, &waker))?;
+            workers.push(handle);
+        }
+        drop(done_tx); // the loop's receiver sees EOF once workers exit
+
+        let result = self.event_loop(&waker_rx, &job_tx, &done_rx);
+
+        // Teardown: closing the job channel sends every worker home once
+        // the queue drains; in-flight completions go to a dead receiver.
+        drop(job_tx);
+        for handle in workers {
+            let _ = handle.join();
+        }
+        result
+    }
+
+    fn event_loop(
+        &self,
+        waker_rx: &UnixStream,
+        job_tx: &Sender<Job>,
+        done_rx: &Receiver<Completion>,
+    ) -> Result<(), NetError> {
+        let inner = &self.inner;
+        let mut conns: HashMap<u64, Conn> = HashMap::new();
+        let mut next_conn_id: u64 = 0;
+        let mut pollfds: Vec<PollFd> = Vec::new();
+        let mut tokens: Vec<Token> = Vec::new();
+        let mut draining = false;
+        let mut drain_deadline = Instant::now();
+
+        loop {
+            if inner.stop.load(Ordering::SeqCst) && !draining {
+                draining = true;
+                drain_deadline = Instant::now() + inner.config.write_timeout;
+                for c in conns.values_mut() {
+                    // Half-close semantics: in-flight work finishes and
+                    // queued responses flush, but nothing new is read.
+                    c.read_closed = true;
+                    c.close_after_flush = true;
+                }
+            }
+            if draining {
+                conns.retain(|_, c| !(c.wqueue.is_empty() && c.inflight == 0));
+                if conns.is_empty() || Instant::now() >= drain_deadline {
+                    return Ok(());
+                }
+            }
+
+            pollfds.clear();
+            tokens.clear();
+            if !draining {
+                pollfds.push(PollFd::new(self.listener.as_raw_fd(), POLLIN));
+                tokens.push(Token::Listener);
+            }
+            pollfds.push(PollFd::new(waker_rx.as_raw_fd(), POLLIN));
+            tokens.push(Token::Waker);
+            for (&cid, c) in conns.iter() {
+                let mut events = 0i16;
+                if c.wants_read() {
+                    events |= POLLIN;
+                }
+                if !c.wqueue.is_empty() {
+                    events |= POLLOUT;
+                }
+                if events != 0 {
+                    pollfds.push(PollFd::new(c.stream.as_raw_fd(), events));
+                    tokens.push(Token::Conn(cid));
+                }
+            }
+            poll(&mut pollfds, Some(POLL_TICK))?;
+
+            for (fd, token) in pollfds.iter().zip(tokens.iter()) {
+                match *token {
+                    Token::Listener => {
+                        if fd.readable() {
+                            self.accept_ready(&mut conns, &mut next_conn_id, job_tx)?;
+                        }
+                    }
+                    Token::Waker => {
+                        if fd.readable() {
+                            drain_waker(waker_rx);
+                        }
+                    }
+                    Token::Conn(cid) => {
+                        if fd.invalid() {
+                            conns.remove(&cid);
+                            continue;
+                        }
+                        let Some(c) = conns.get_mut(&cid) else {
+                            continue;
+                        };
+                        let mut verdict = Verdict::Keep;
+                        if fd.readable() && verdict == Verdict::Keep {
+                            verdict = conn_readable(inner, c, cid, job_tx);
+                        }
+                        if verdict == Verdict::Keep {
+                            verdict = conn_write(c);
+                        }
+                        if verdict == Verdict::Close {
+                            conns.remove(&cid);
+                        }
+                    }
+                }
+            }
+
+            // Completions from the worker pool: queue the frame, free the
+            // in-flight slot, dispatch whatever that unblocked.
+            while let Ok(done) = done_rx.try_recv() {
+                let Some(c) = conns.get_mut(&done.conn) else {
+                    continue; // connection died while the job ran
+                };
+                if done.is_error {
+                    inner
+                        .engine
+                        .metrics()
+                        .net_errors
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+                c.inflight = c.inflight.saturating_sub(1);
+                c.queue_frame(done.frame);
+                pump(inner, c, done.conn, job_tx);
+                if conn_write(c) == Verdict::Close {
+                    conns.remove(&done.conn);
+                }
+            }
+
+            // Deadline sweep: every budget is enforced from the tick, so
+            // a peer the kernel never reports on still cannot overstay.
+            let now = Instant::now();
+            conns.retain(|_, c| {
+                if c.is_finished() {
+                    return false;
+                }
+                if let Some(t0) = c.frame_started {
+                    if now.duration_since(t0) > inner.config.frame_timeout {
+                        return false; // slow-loris: silent close, like v1
+                    }
+                }
+                if let Some(t0) = c.write_stalled {
+                    if now.duration_since(t0) > inner.config.write_timeout {
+                        return false; // peer not draining responses
+                    }
+                }
+                let idle = c.inflight == 0
+                    && c.pending.is_empty()
+                    && c.wqueue.is_empty()
+                    && c.frame_started.is_none();
+                if idle && now.duration_since(c.last_read) > inner.config.read_timeout {
+                    return false; // silent idle drop, like v1
+                }
+                true
+            });
+        }
+    }
+
+    /// Accepts every connection the kernel has queued, greeting each and
+    /// turning away those over the cap.
+    fn accept_ready(
+        &self,
+        conns: &mut HashMap<u64, Conn>,
+        next_conn_id: &mut u64,
+        job_tx: &Sender<Job>,
+    ) -> Result<(), NetError> {
+        let inner = &self.inner;
         loop {
             let (stream, _peer) = match self.listener.accept() {
                 Ok(pair) => pair,
-                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(()),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
                 // A queued client that resets before we accept surfaces
                 // here as ConnectionAborted (or Reset on some platforms).
                 // That is the *client's* failure: one hostile or crashed
@@ -227,93 +517,113 @@ impl NetServer {
                 Err(e)
                     if matches!(
                         e.kind(),
-                        std::io::ErrorKind::ConnectionAborted | std::io::ErrorKind::ConnectionReset
+                        io::ErrorKind::ConnectionAborted | io::ErrorKind::ConnectionReset
                     ) =>
                 {
                     continue
                 }
                 Err(e) => {
-                    if self.inner.stop.load(Ordering::SeqCst) {
-                        break;
+                    if inner.stop.load(Ordering::SeqCst) {
+                        return Ok(());
                     }
                     // File-descriptor exhaustion (EMFILE/ENFILE) is load,
-                    // not a broken listener: shed it by pausing, so the
-                    // fds already serving connections can drain.
+                    // not a broken listener: stop accepting this tick so
+                    // the fds already serving connections can drain.
                     if matches!(e.raw_os_error(), Some(23) | Some(24)) {
-                        std::thread::sleep(Duration::from_millis(10));
-                        continue;
+                        return Ok(());
                     }
                     return Err(NetError::Io(e));
                 }
             };
-            if self.inner.stop.load(Ordering::SeqCst) {
-                break; // the stream may be the shutdown nudge; drop it
+            if inner.stop.load(Ordering::SeqCst) {
+                continue; // likely the shutdown nudge; drop it
             }
-            handlers.retain(|h| !h.is_finished());
-            let metrics = self.inner.engine.metrics();
-            if handlers.len() >= self.inner.config.max_connections {
+            let _ = stream.set_nodelay(true);
+            if stream.set_nonblocking(true).is_err() {
+                continue; // socket already dead
+            }
+            let metrics = inner.engine.metrics();
+            let serving = conns
+                .values()
+                .filter(|c| !matches!(c.state, ConnState::Rejecting))
+                .count();
+            let cid = *next_conn_id;
+            *next_conn_id += 1;
+            let mut c = if serving >= inner.config.max_connections {
                 metrics.connections_rejected.fetch_add(1, Ordering::Relaxed);
                 metrics.net_errors.fetch_add(1, Ordering::Relaxed);
-                reject_over_cap(stream, &self.inner);
-                continue;
+                let mut c = Conn::new(stream, ConnState::Rejecting);
+                c.queue_frame(frame_payload(&server_hello(inner).encode()));
+                let busy = Response::Error {
+                    code: ErrorCode::Busy,
+                    message: format!(
+                        "server at its {}-connection cap; retry with backoff",
+                        inner.config.max_connections
+                    ),
+                };
+                c.queue_frame(frame_payload(&busy.encode()));
+                c.read_closed = true;
+                c.close_after_flush = true;
+                c
+            } else {
+                metrics.connections_opened.fetch_add(1, Ordering::Relaxed);
+                let mut c = Conn::new(stream, ConnState::Handshake);
+                c.queue_frame(frame_payload(&server_hello(inner).encode()));
+                c
+            };
+            // The greeting usually fits the socket buffer whole; write it
+            // now so a ready client can answer within this same tick.
+            if conn_write(&mut c) == Verdict::Keep {
+                conns.insert(cid, c);
             }
-            let id = conn_ids.fetch_add(1, Ordering::Relaxed);
-            let inner = Arc::clone(&self.inner);
-            let spawned = std::thread::Builder::new()
-                .name(format!("hlnet-conn-{id}"))
-                .spawn(move || {
-                    // lint:allow(swallowed-result): per-peer I/O errors must not kill the daemon; metrics count them
-                    let _ = handle_connection(&inner, stream, id);
-                });
-            match spawned {
-                Ok(handle) => {
-                    metrics.connections_opened.fetch_add(1, Ordering::Relaxed);
-                    handlers.push(handle);
-                }
-                Err(_) => {
-                    // Thread exhaustion. The stream died with the closure,
-                    // so no greeting is possible — just account for it.
-                    metrics.connections_rejected.fetch_add(1, Ordering::Relaxed);
-                }
-            }
+            // Unused only when every accepted client is over cap.
+            let _ = job_tx;
         }
-        self.inner.conns.shutdown_reads();
-        for handle in handlers {
-            let _ = handle.join();
-        }
-        Ok(())
     }
 }
 
-/// Greets an over-cap client with hello + `Busy` so it can back off,
-/// then closes. Short write timeout: a client that cannot even absorb
-/// two tiny frames is not worth blocking the accept loop for.
-fn reject_over_cap(stream: TcpStream, inner: &Inner) {
-    let mut stream = stream;
-    let budget = Duration::from_secs(1);
-    // lint:allow(swallowed-result): best-effort courtesy hello to a peer we are about to drop
-    let _ = write_frame_deadline(&mut stream, &server_hello(inner).encode(), budget);
-    let busy = Response::Error {
-        code: ErrorCode::Busy,
-        message: format!(
-            "server at its {}-connection cap; retry with backoff",
-            inner.config.max_connections
-        ),
-    };
-    // lint:allow(swallowed-result): best-effort busy notice; the connection is over-cap either way
-    let _ = write_frame_deadline(&mut stream, &busy.encode(), budget);
+/// The poll-set entry kinds, parallel to the `PollFd` vector.
+#[derive(Clone, Copy)]
+enum Token {
+    Listener,
+    Waker,
+    Conn(u64),
+}
+
+/// Empties the self-wake pipe so the next poll blocks again.
+fn drain_waker(waker_rx: &UnixStream) {
+    let mut buf = [0u8; 64];
+    loop {
+        match (&*waker_rx).read(&mut buf) {
+            Ok(0) => return,
+            Ok(_) => continue,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => return, // WouldBlock: drained
+        }
+    }
 }
 
 fn server_hello(inner: &Inner) -> ServerHello {
     ServerHello {
-        protocol_version: PROTOCOL_VERSION,
+        protocol_version: MAX_PROTOCOL_VERSION,
         store_version: inner.store_version.load(Ordering::SeqCst),
         num_nodes: inner.engine.num_nodes() as u64,
     }
 }
 
-/// Writes a response frame, counting error frames into the metrics.
-fn send(stream: &mut TcpStream, inner: &Inner, resp: &Response) -> Result<(), NetError> {
+/// Wraps a payload with its length prefix into one writable buffer.
+fn frame_payload(payload: &[u8]) -> Vec<u8> {
+    // Saturate rather than truncate, mirroring the wire encoders; a
+    // response this large cannot be produced by any capped request.
+    let len = u32::try_from(payload.len()).unwrap_or(u32::MAX);
+    let mut framed = Vec::with_capacity(4 + payload.len());
+    framed.extend_from_slice(&len.to_le_bytes());
+    framed.extend_from_slice(payload);
+    framed
+}
+
+/// Queues `resp` on `c` under `version` framing, counting error frames.
+fn queue_response(inner: &Inner, c: &mut Conn, version: u16, id: u64, resp: &Response) {
     if matches!(resp, Response::Error { .. }) {
         inner
             .engine
@@ -321,115 +631,365 @@ fn send(stream: &mut TcpStream, inner: &Inner, resp: &Response) -> Result<(), Ne
             .net_errors
             .fetch_add(1, Ordering::Relaxed);
     }
-    write_frame_deadline(stream, &resp.encode(), inner.config.write_timeout)?;
-    Ok(())
+    let payload = resp.encode();
+    let framed = if version >= PROTOCOL_V2 {
+        frame_payload(&encode_mux(id, &payload))
+    } else {
+        frame_payload(&payload)
+    };
+    c.queue_frame(framed);
 }
 
-/// Serves one connection to completion. Socket-level failures end the
-/// connection silently (the peer is gone); protocol violations are
-/// answered with a typed error frame first.
-fn handle_connection(inner: &Inner, mut stream: TcpStream, id: u64) -> Result<(), NetError> {
-    let _ = stream.set_nodelay(true);
-    inner.conns.register(id, &stream);
-    let _guard = Registration {
-        conns: Arc::clone(&inner.conns),
-        id,
-    };
-
-    write_frame_deadline(
-        &mut stream,
-        &server_hello(inner).encode(),
-        inner.config.write_timeout,
-    )?;
-
-    // Handshake: the client must identify itself before anything else.
-    let payload = match read_request_frame(&mut stream, inner) {
-        Ok(p) => p,
-        Err(e) => return close_on_read_error(&mut stream, inner, e),
-    };
-    match ClientHello::decode(&payload) {
-        Ok(hello) if hello.protocol_version == PROTOCOL_VERSION => {}
-        Ok(hello) => {
-            let resp = Response::Error {
-                code: ErrorCode::VersionMismatch,
-                message: format!(
-                    "server speaks protocol {PROTOCOL_VERSION}, client spoke {}",
-                    hello.protocol_version
-                ),
-            };
-            // lint:allow(swallowed-result): courtesy version-mismatch error before closing; the close happens regardless
-            let _ = send(&mut stream, inner, &resp);
-            return Ok(());
+/// Reads everything the socket has, parses complete frames, dispatches.
+fn conn_readable(inner: &Inner, c: &mut Conn, cid: u64, job_tx: &Sender<Job>) -> Verdict {
+    let mut buf = [0u8; 16 * 1024];
+    loop {
+        if !c.wants_read() {
+            break;
         }
-        Err(e) => {
-            let resp = Response::Error {
-                code: ErrorCode::Malformed,
-                message: format!("expected client hello: {e}"),
-            };
-            // lint:allow(swallowed-result): courtesy malformed-hello error before closing; the close happens regardless
-            let _ = send(&mut stream, inner, &resp);
-            return Ok(());
+        match c.stream.read(&mut buf) {
+            Ok(0) => {
+                c.read_closed = true;
+                break;
+            }
+            Ok(n) => {
+                c.rbuf.extend_from_slice(&buf[..n]);
+                c.last_read = Instant::now();
+                if n < buf.len() {
+                    break;
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => return Verdict::Close, // reset: silent close, like v1
         }
     }
+    parse_frames(inner, c);
+    pump(inner, c, cid, job_tx);
+    if c.is_finished() {
+        return Verdict::Close;
+    }
+    Verdict::Keep
+}
 
+/// Splits `c.rbuf` into complete frames and routes each through the
+/// connection's state machine. Framing violations (oversized or empty
+/// frames) get a typed error and end the connection once it flushes;
+/// per-frame decode errors answer typed and keep serving.
+fn parse_frames(inner: &Inner, c: &mut Conn) {
+    let mut at = 0usize;
     loop {
-        let payload = match read_request_frame(&mut stream, inner) {
-            Ok(p) => p,
-            Err(e) => return close_on_read_error(&mut stream, inner, e),
-        };
-        let metrics = inner.engine.metrics();
-        metrics.net_requests.fetch_add(1, Ordering::Relaxed);
-        let request = match Request::decode(&payload) {
-            Ok(r) => r,
+        let avail = c.rbuf.len().saturating_sub(at);
+        if avail < 4 {
+            break;
+        }
+        let len = u32::from_le_bytes([c.rbuf[at], c.rbuf[at + 1], c.rbuf[at + 2], c.rbuf[at + 3]]);
+        if len == 0 {
+            let resp = Response::Error {
+                code: ErrorCode::Malformed,
+                message: WireError::EmptyFrame.to_string(),
+            };
+            queue_response(inner, c, framing_version(c), 0, &resp);
+            c.read_closed = true;
+            c.close_after_flush = true;
+            c.rbuf.clear();
+            c.frame_started = None;
+            return;
+        }
+        if len > inner.config.max_frame_len {
+            let resp = Response::Error {
+                code: ErrorCode::FrameTooLarge,
+                message: format!(
+                    "frame of {len} bytes exceeds cap of {}",
+                    inner.config.max_frame_len
+                ),
+            };
+            queue_response(inner, c, framing_version(c), 0, &resp);
+            c.read_closed = true;
+            c.close_after_flush = true;
+            c.rbuf.clear();
+            c.frame_started = None;
+            return;
+        }
+        if avail < 4 + len as usize {
+            break;
+        }
+        let payload = c.rbuf[at + 4..at + 4 + len as usize].to_vec();
+        at += 4 + len as usize;
+        accept_frame(inner, c, &payload);
+        if c.read_closed {
+            // A handshake failure mid-buffer: discard the rest.
+            c.rbuf.clear();
+            c.frame_started = None;
+            return;
+        }
+    }
+    if at > 0 {
+        c.rbuf.drain(..at);
+    }
+    c.frame_started = if c.rbuf.is_empty() {
+        None
+    } else {
+        c.frame_started.or_else(|| Some(Instant::now()))
+    };
+}
+
+/// The framing to answer under *before* dispatch is possible (handshake
+/// errors answer in v1 framing — the peer has not negotiated anything).
+fn framing_version(c: &Conn) -> u16 {
+    match c.state {
+        ConnState::Serving(v) => v,
+        _ => 1,
+    }
+}
+
+/// Routes one complete frame payload through the connection state.
+fn accept_frame(inner: &Inner, c: &mut Conn, payload: &[u8]) {
+    match c.state {
+        ConnState::Rejecting => {} // never read, never dispatched
+        ConnState::Handshake => match ClientHello::decode(payload) {
+            Ok(hello) if (1..=MAX_PROTOCOL_VERSION).contains(&hello.protocol_version) => {
+                c.state = ConnState::Serving(hello.protocol_version);
+            }
+            Ok(hello) => {
+                let resp = Response::Error {
+                    code: ErrorCode::VersionMismatch,
+                    message: format!(
+                        "server speaks protocol versions 1..={MAX_PROTOCOL_VERSION}, \
+                         client spoke {}",
+                        hello.protocol_version
+                    ),
+                };
+                queue_response(inner, c, 1, 0, &resp);
+                c.read_closed = true;
+                c.close_after_flush = true;
+            }
             Err(e) => {
-                // The frame boundary is intact, so the connection can
-                // keep serving after reporting the bad frame.
                 let resp = Response::Error {
                     code: ErrorCode::Malformed,
-                    message: e.to_string(),
+                    message: format!("expected client hello: {e}"),
                 };
-                send(&mut stream, inner, &resp)?;
-                continue;
+                queue_response(inner, c, 1, 0, &resp);
+                c.read_closed = true;
+                c.close_after_flush = true;
             }
+        },
+        ConnState::Serving(version) => {
+            inner
+                .engine
+                .metrics()
+                .net_requests
+                .fetch_add(1, Ordering::Relaxed);
+            let (id, inner_payload) = if version >= PROTOCOL_V2 {
+                match crate::wire::split_mux(payload) {
+                    Ok(split) => split,
+                    Err(e) => {
+                        // Echo the id when the payload carried one; a
+                        // payload too short even for that answers id 0.
+                        let id = payload
+                            .get(..8)
+                            .map(|b| {
+                                u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]])
+                            })
+                            .unwrap_or(0);
+                        let resp = Response::Error {
+                            code: ErrorCode::Malformed,
+                            message: e.to_string(),
+                        };
+                        queue_response(inner, c, version, id, &resp);
+                        return;
+                    }
+                }
+            } else {
+                (0u64, payload)
+            };
+            match Request::decode(inner_payload) {
+                Ok(request) => c.pending.push_back((id, request)),
+                Err(e) => {
+                    // The frame boundary is intact, so the connection
+                    // can keep serving after reporting the bad frame.
+                    let resp = Response::Error {
+                        code: ErrorCode::Malformed,
+                        message: e.to_string(),
+                    };
+                    queue_response(inner, c, version, id, &resp);
+                }
+            }
+        }
+    }
+}
+
+/// Dispatches as many pending requests as the protocol allows: v1 is
+/// strictly one at a time (lock-step order), v2 up to the in-flight cap
+/// with overflow answered `Busy` per id.
+fn pump(inner: &Inner, c: &mut Conn, cid: u64, job_tx: &Sender<Job>) {
+    let ConnState::Serving(version) = c.state else {
+        return;
+    };
+    while let Some(&(id, _)) = c.pending.front() {
+        if version < PROTOCOL_V2 && c.inflight > 0 {
+            break; // lock-step: the previous request must answer first
+        }
+        let Some((_, request)) = c.pending.pop_front() else {
+            break;
         };
-        let response = match request {
-            Request::Ping => Response::Pong,
-            Request::Query { u, v } => match inner.engine.query(u, v) {
-                Ok(d) => Response::Distance(d),
-                Err(e) => engine_error_response(&e),
-            },
-            Request::QueryBatch(pairs) => match inner.engine.query_batch(&pairs) {
-                Ok(ds) => Response::DistanceBatch(ds),
-                Err(e) => engine_error_response(&e),
-            },
-            Request::Metrics => Response::Metrics(inner.engine.snapshot()),
+        match request {
+            Request::Ping => queue_response(inner, c, version, id, &Response::Pong),
+            Request::Metrics => {
+                let snap = Response::Metrics(inner.engine.snapshot());
+                queue_response(inner, c, version, id, &snap);
+            }
             Request::Shutdown if inner.config.allow_remote_shutdown => {
-                // lint:allow(swallowed-result): the ack is best-effort; the server stops whether or not it landed
-                let _ = send(&mut stream, inner, &Response::ShutdownAck);
+                queue_response(inner, c, version, id, &Response::ShutdownAck);
                 inner.trigger_stop();
-                return Ok(());
             }
-            Request::Shutdown => Response::Error {
-                code: ErrorCode::Unsupported,
-                message: "remote shutdown is disabled on this server".to_string(),
-            },
-            Request::Reload { path } if inner.config.allow_remote_reload => {
-                handle_reload(inner, &path)
+            Request::Shutdown => {
+                let resp = Response::Error {
+                    code: ErrorCode::Unsupported,
+                    message: "remote shutdown is disabled on this server".to_string(),
+                };
+                queue_response(inner, c, version, id, &resp);
             }
-            Request::Reload { .. } => Response::Error {
-                code: ErrorCode::Unsupported,
-                message: "remote reload is disabled on this server".to_string(),
-            },
-            Request::Label { v } => match inner.engine.label_of(v) {
-                Ok((hubs, dists)) => Response::Label(hubs.into_iter().zip(dists).collect()),
-                Err(e) => engine_error_response(&e),
-            },
-            Request::LabelBatch(vs) => match label_batch(inner, &vs) {
-                Ok(labels) => Response::LabelBatch(labels),
-                Err(e) => engine_error_response(&e),
-            },
+            Request::Reload { .. } if !inner.config.allow_remote_reload => {
+                let resp = Response::Error {
+                    code: ErrorCode::Unsupported,
+                    message: "remote reload is disabled on this server".to_string(),
+                };
+                queue_response(inner, c, version, id, &resp);
+            }
+            heavy => {
+                // Engine-bound work goes to the pool. v2 connections may
+                // stack these to the cap; overflow answers Busy so the
+                // pool's queue stays bounded per connection.
+                if version >= PROTOCOL_V2 && c.inflight >= inner.config.max_inflight_per_conn {
+                    let resp = Response::Error {
+                        code: ErrorCode::Busy,
+                        message: format!(
+                            "connection at its {}-request in-flight cap; retry with backoff",
+                            inner.config.max_inflight_per_conn
+                        ),
+                    };
+                    queue_response(inner, c, version, id, &resp);
+                    continue;
+                }
+                c.inflight += 1;
+                let job = Job {
+                    conn: cid,
+                    id,
+                    version,
+                    request: heavy,
+                };
+                if job_tx.send(job).is_err() {
+                    // The pool is gone (teardown): answer typed rather
+                    // than leaving the id unanswered forever.
+                    c.inflight = c.inflight.saturating_sub(1);
+                    let resp = Response::Error {
+                        code: ErrorCode::ShuttingDown,
+                        message: "server is draining".to_string(),
+                    };
+                    queue_response(inner, c, version, id, &resp);
+                }
+            }
+        }
+    }
+}
+
+/// Drains the write queue as far as the socket allows.
+fn conn_write(c: &mut Conn) -> Verdict {
+    while let Some(front) = c.wqueue.front() {
+        match c.stream.write(&front[c.wfront_at..]) {
+            Ok(0) => return Verdict::Close, // peer stopped accepting bytes
+            Ok(n) => {
+                c.wfront_at += n;
+                c.wbytes = c.wbytes.saturating_sub(n);
+                c.write_stalled = None;
+                if c.wfront_at >= front.len() {
+                    c.wqueue.pop_front();
+                    c.wfront_at = 0;
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                if c.write_stalled.is_none() {
+                    c.write_stalled = Some(Instant::now());
+                }
+                break;
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => return Verdict::Close, // reset mid-response
+        }
+    }
+    if c.wqueue.is_empty() {
+        c.write_stalled = None;
+    }
+    if c.is_finished() {
+        Verdict::Close
+    } else {
+        Verdict::Keep
+    }
+}
+
+/// One worker: executes engine-bound requests and posts framed
+/// completions back to the loop, waking it through the pipe.
+fn worker_loop(
+    inner: &Inner,
+    job_rx: &Mutex<Receiver<Job>>,
+    done_tx: &Sender<Completion>,
+    waker: &UnixStream,
+) {
+    loop {
+        // Holding the lock across `recv` parks exactly one idle worker on
+        // the channel; the rest queue on the mutex. Hand-off is fair
+        // enough for a pool this small and keeps the channel single-consumer.
+        let job = { lock_unpoisoned(job_rx).recv() };
+        let Ok(job) = job else {
+            return; // channel closed: the server is done
         };
-        send(&mut stream, inner, &response)?;
+        let response = execute(inner, job.request);
+        let is_error = matches!(response, Response::Error { .. });
+        let payload = response.encode();
+        let frame = if job.version >= PROTOCOL_V2 {
+            frame_payload(&encode_mux(job.id, &payload))
+        } else {
+            frame_payload(&payload)
+        };
+        let completion = Completion {
+            conn: job.conn,
+            frame,
+            is_error,
+        };
+        if done_tx.send(completion).is_err() {
+            return; // loop is gone: nothing left to complete into
+        }
+        // lint:allow(swallowed-result): a full wake pipe already guarantees a pending wake; any other failure means teardown
+        let _ = (&*waker).write(&[1]);
+    }
+}
+
+/// Executes one engine-bound request (the `pump` fast paths — ping,
+/// metrics, shutdown, gating — never reach here).
+fn execute(inner: &Inner, request: Request) -> Response {
+    match request {
+        Request::Query { u, v } => match inner.engine.query(u, v) {
+            Ok(d) => Response::Distance(d),
+            Err(e) => engine_error_response(&e),
+        },
+        Request::QueryBatch(pairs) => match inner.engine.query_batch(&pairs) {
+            Ok(ds) => Response::DistanceBatch(ds),
+            Err(e) => engine_error_response(&e),
+        },
+        Request::Label { v } => match inner.engine.label_of(v) {
+            Ok((hubs, dists)) => Response::Label(hubs.into_iter().zip(dists).collect()),
+            Err(e) => engine_error_response(&e),
+        },
+        Request::LabelBatch(vs) => match label_batch(inner, &vs) {
+            Ok(labels) => Response::LabelBatch(labels),
+            Err(e) => engine_error_response(&e),
+        },
+        Request::Reload { path } => handle_reload(inner, &path),
+        // Already answered inline by `pump`; kept total for safety.
+        Request::Ping => Response::Pong,
+        Request::Metrics => Response::Metrics(inner.engine.snapshot()),
+        Request::Shutdown => Response::ShutdownAck,
     }
 }
 
@@ -476,49 +1036,6 @@ fn label_batch(
                 .map(|(hubs, dists)| hubs.into_iter().zip(dists).collect())
         })
         .collect()
-}
-
-/// Reads one request frame under the server's two budgets: the client
-/// may idle for `read_timeout` between frames, but once a frame starts
-/// it must complete within `frame_timeout`.
-fn read_request_frame(stream: &mut TcpStream, inner: &Inner) -> Result<Vec<u8>, WireError> {
-    read_frame_deadline(
-        stream,
-        inner.config.max_frame_len,
-        inner.config.read_timeout,
-        inner.config.frame_timeout,
-    )
-}
-
-/// A failed frame read either means the peer left (close silently) or
-/// broke protocol (answer with a typed error, then close — the frame
-/// boundary is unrecoverable).
-fn close_on_read_error(
-    stream: &mut TcpStream,
-    inner: &Inner,
-    e: WireError,
-) -> Result<(), NetError> {
-    match e {
-        WireError::Io(_) => Ok(()), // disconnect, idle timeout, or drain
-        WireError::FrameTooLarge { len, max } => {
-            let resp = Response::Error {
-                code: ErrorCode::FrameTooLarge,
-                message: format!("frame of {len} bytes exceeds cap of {max}"),
-            };
-            // lint:allow(swallowed-result): error response to a peer that sent an oversized frame; connection ends either way
-            let _ = send(stream, inner, &resp);
-            Ok(())
-        }
-        other => {
-            let resp = Response::Error {
-                code: ErrorCode::Malformed,
-                message: other.to_string(),
-            };
-            // lint:allow(swallowed-result): error response to a peer that sent garbage; connection ends either way
-            let _ = send(stream, inner, &resp);
-            Ok(())
-        }
-    }
 }
 
 fn engine_error_response(e: &EngineError) -> Response {

@@ -10,11 +10,19 @@
 //! ```
 //!
 //! A connection opens with a handshake: the server sends [`ServerHello`]
-//! (magic, protocol version, store format version, node count), the
-//! client answers with [`ClientHello`] (magic, protocol version), and
-//! only then do [`Request`]/[`Response`] frames flow. Either side closes
-//! on a version it does not speak — the server with a typed
-//! [`Response::Error`] frame, the client with [`WireError::Version`].
+//! (magic, *highest* protocol version it speaks, store format version,
+//! node count), the client answers with [`ClientHello`] naming the
+//! version it wants to speak — any version from 1 up to the server's
+//! ceiling — and the connection speaks that version from then on. The
+//! server closes with a typed [`Response::Error`] frame on a version it
+//! does not speak; the client closes with [`WireError::Version`] when
+//! the server's ceiling is below what the client requires.
+//!
+//! Version 1 is lock-step: the payload is exactly one [`Request`] or
+//! [`Response`], answered strictly in order. Version 2 multiplexes: the
+//! payload is `[request_id: u64][v1 payload]` ([`encode_mux`] /
+//! [`split_mux`]), many requests may be in flight at once, and responses
+//! complete in *any* order, correlated by id — error frames included.
 //!
 //! Decoding follows the label-store discipline: every read is
 //! length-checked, a short body is a typed error (never a panic), a
@@ -32,8 +40,18 @@ use hl_server::MetricsSnapshot;
 
 /// Handshake magic: "Hub Label Net Protocol".
 pub const MAGIC: [u8; 4] = *b"HLNP";
-/// Protocol version spoken by this module.
+/// The original lock-step protocol: requests answered strictly in order,
+/// one frame payload per [`Request`]/[`Response`].
 pub const PROTOCOL_VERSION: u16 = 1;
+/// The multiplexed protocol: every request/response payload is prefixed
+/// with a little-endian `request_id: u64` (see [`encode_mux`] /
+/// [`split_mux`]), responses may complete out of order, and error frames
+/// carry the id of the request they answer.
+pub const PROTOCOL_V2: u16 = 2;
+/// The highest protocol version this module speaks. A [`ServerHello`]
+/// advertises this as its ceiling; the client picks any version up to it
+/// in its [`ClientHello`] and the connection speaks that version.
+pub const MAX_PROTOCOL_VERSION: u16 = PROTOCOL_V2;
 /// Default cap on a frame payload. A `QueryBatch` of 64k pairs fits with
 /// room to spare; anything larger is a protocol violation, not load.
 pub const DEFAULT_MAX_FRAME_LEN: u32 = 1 << 20;
@@ -478,10 +496,49 @@ pub fn write_frame_deadline<W: DeadlineIo>(
     Ok(())
 }
 
+/// Prefixes `inner` (an encoded [`Request`] or [`Response`]) with the
+/// little-endian request id, producing a protocol-v2 frame payload.
+pub fn encode_mux(request_id: u64, inner: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(8 + inner.len());
+    out.extend_from_slice(&request_id.to_le_bytes());
+    out.extend_from_slice(inner);
+    out
+}
+
+/// Splits a protocol-v2 frame payload into its request id and the inner
+/// v1 payload. A payload too short to even hold the id (or holding
+/// nothing after it) is [`WireError::Truncated`] — the peer broke the
+/// mux framing, but the *frame boundary* is intact, so the connection
+/// can answer with a typed error and keep serving.
+pub fn split_mux(payload: &[u8]) -> Result<(u64, &[u8]), WireError> {
+    let Some(id_bytes) = payload.get(..8) else {
+        return Err(WireError::Truncated {
+            needed: 8,
+            available: payload.len(),
+        });
+    };
+    let id = u64::from_le_bytes([
+        id_bytes[0],
+        id_bytes[1],
+        id_bytes[2],
+        id_bytes[3],
+        id_bytes[4],
+        id_bytes[5],
+        id_bytes[6],
+        id_bytes[7],
+    ]);
+    let inner = &payload[8..];
+    if inner.is_empty() {
+        return Err(WireError::EmptyFrame);
+    }
+    Ok((id, inner))
+}
+
 /// First frame on a connection, server to client.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ServerHello {
-    /// Protocol version the server speaks.
+    /// The *highest* protocol version the server speaks; the client may
+    /// pick this or anything lower (down to 1) in its [`ClientHello`].
     pub protocol_version: u16,
     /// Format version of the label store being served (HLBS version).
     pub store_version: u16,
@@ -529,7 +586,8 @@ impl ServerHello {
 /// Second frame on a connection, client to server.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ClientHello {
-    /// Protocol version the client speaks.
+    /// The protocol version this connection will speak — the client's
+    /// pick, at most the [`ServerHello`]'s advertised ceiling.
     pub protocol_version: u16,
 }
 
@@ -1110,6 +1168,37 @@ mod tests {
             protocol_version: PROTOCOL_VERSION,
         };
         assert_eq!(ClientHello::decode(&ch.encode()).unwrap(), ch);
+    }
+
+    #[test]
+    fn mux_framing_roundtrips_and_rejects_short_payloads() {
+        let inner = Request::Query { u: 3, v: 9 }.encode();
+        let framed = encode_mux(0xDEAD_BEEF_CAFE_F00D, &inner);
+        let (id, body) = split_mux(&framed).unwrap();
+        assert_eq!(id, 0xDEAD_BEEF_CAFE_F00D);
+        assert_eq!(
+            Request::decode(body).unwrap(),
+            Request::Query { u: 3, v: 9 }
+        );
+
+        // Extreme ids survive the round trip.
+        for id in [0u64, 1, u64::MAX] {
+            let framed = encode_mux(id, &Response::Pong.encode());
+            assert_eq!(split_mux(&framed).unwrap().0, id);
+        }
+
+        // Shorter than the id itself: typed truncation, never a panic.
+        for cut in 0..8 {
+            assert!(matches!(
+                split_mux(&framed[..cut]),
+                Err(WireError::Truncated { .. })
+            ));
+        }
+        // Exactly the id with no inner payload: an empty message.
+        assert!(matches!(
+            split_mux(&framed[..8]),
+            Err(WireError::EmptyFrame)
+        ));
     }
 
     #[test]

@@ -11,7 +11,7 @@ use std::time::Duration;
 use hl_core::pll::PrunedLandmarkLabeling;
 use hl_graph::rng::Xorshift64;
 use hl_graph::{generators, NodeId};
-use hl_net::{ClientConfig, NetClient, NetError, PROTOCOL_VERSION};
+use hl_net::{ClientConfig, NetClient, NetError, MAX_PROTOCOL_VERSION};
 use hl_server::QueryEngine;
 
 fn tempfile(name: &str) -> std::path::PathBuf {
@@ -84,9 +84,11 @@ fn daemon_answers_match_in_process_engine_then_shuts_down_cleanly() {
 
     let mut client = NetClient::connect(&addr, client_config()).expect("connect");
     assert_eq!(client.num_nodes(), n as u64);
+    // The hello advertises the server's *ceiling* (v2); this blocking
+    // client still speaks v1 underneath.
     assert_eq!(
         client.server_hello().map(|h| h.protocol_version),
-        Some(PROTOCOL_VERSION)
+        Some(MAX_PROTOCOL_VERSION)
     );
     client.ping().expect("ping");
 

@@ -70,11 +70,13 @@ impl TestServer {
         (stream, hello)
     }
 
-    /// A raw socket past a correct handshake, ready for request frames.
+    /// A raw socket past a correct *v1* handshake, ready for request
+    /// frames. The hello advertises the server's ceiling (v2); these
+    /// tests pin the lock-step v1 protocol deliberately.
     fn handshaken_socket(&self) -> TcpStream {
-        let (mut stream, hello) = self.raw_socket();
+        let (mut stream, _hello) = self.raw_socket();
         let client_hello = ClientHello {
-            protocol_version: hello.protocol_version,
+            protocol_version: hl_net::PROTOCOL_VERSION,
         };
         write_frame(&mut stream, &client_hello.encode()).expect("client hello");
         stream
@@ -361,9 +363,9 @@ fn remote_shutdown_when_allowed_acks_and_stops() {
         .set_read_timeout(Some(Duration::from_secs(5)))
         .unwrap();
     let payload = read_frame(&mut stream, TEST_MAX_FRAME).expect("server hello");
-    let hello = ServerHello::decode(&payload).expect("decode hello");
+    ServerHello::decode(&payload).expect("decode hello");
     let client_hello = ClientHello {
-        protocol_version: hello.protocol_version,
+        protocol_version: hl_net::PROTOCOL_VERSION,
     };
     write_frame(&mut stream, &client_hello.encode()).expect("client hello");
     write_frame(&mut stream, &Request::Shutdown.encode()).expect("send shutdown");

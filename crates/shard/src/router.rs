@@ -13,14 +13,22 @@
 //!   are global across shards (see [`crate::partition()`]), which is what
 //!   makes the local join sound.
 //!
-//! Batch workloads dedup label fetches per shard and pipeline both the
-//! per-shard query batches and the label fetches, so a `k`-way fleet
-//! sees `O(k)` round-trip waves per workload, not one per pair.
+//! The router holds one *multiplexed* HLNP v2 connection per shard
+//! ([`hl_net::MuxClient`]), opened at [`ShardRouter::connect`] and
+//! reused for every query after — connecting per query would pay a TCP
+//! and handshake round trip each time and show up as one opened
+//! connection per query in the daemons' metrics. Fan-out rides the
+//! multiplexing: a cross-shard pair submits both label fetches before
+//! waiting on either, and batch workloads keep a window of chunk frames
+//! in flight on *every* shard at once, so the fleet computes in
+//! parallel while the router joins.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
+use std::time::Duration;
 
 use hl_graph::{Distance, NodeId};
-use hl_net::{ClientConfig, NetClient};
+use hl_net::{ClientConfig, MuxClient, NetError, Request, Response};
+use hl_server::MetricsSnapshot;
 
 use crate::error::ShardError;
 use crate::partition::shard_of;
@@ -31,18 +39,36 @@ use crate::partition::shard_of;
 const LABEL_CHUNK: usize = 32;
 /// How many pairs ride in one `QueryBatch` frame on the same-shard path.
 const QUERY_CHUNK: usize = 256;
-/// Pipeline depth for both frame kinds.
-const WINDOW: usize = 4;
+/// Chunk frames kept in flight *per shard*. Well under the server's
+/// default per-connection cap (1024), so the fleet never answers `Busy`
+/// to its own router.
+const WINDOW: usize = 16;
+
+/// One shard's unit of batch work: a chunk frame to submit and enough
+/// context to file its response.
+enum Work {
+    /// A same-shard `QueryBatch` chunk; `idxs` are the output slots the
+    /// resulting distances land in, in order.
+    Query {
+        idxs: Vec<usize>,
+        pairs: Vec<(NodeId, NodeId)>,
+    },
+    /// A `LabelBatch` chunk of distinct vertices this shard owns.
+    Labels { vs: Vec<NodeId> },
+}
 
 /// A connected fleet of shard daemons behaving as one distance oracle.
 pub struct ShardRouter {
-    clients: Vec<NetClient>,
+    clients: Vec<MuxClient>,
     num_nodes: u64,
+    request_timeout: Duration,
 }
 
 impl ShardRouter {
-    /// Connects to one daemon per shard, in shard order, and verifies
-    /// the fleet is coherent (every shard serves the same vertex count).
+    /// Connects one multiplexed connection to each daemon, in shard
+    /// order, and verifies the fleet is coherent (every shard serves the
+    /// same vertex count). These connections are held for the router's
+    /// whole life; no query opens another.
     pub fn connect(addrs: &[String], config: &ClientConfig) -> Result<Self, ShardError> {
         if addrs.is_empty() {
             return Err(ShardError::NoShards);
@@ -50,7 +76,7 @@ impl ShardRouter {
         let mut clients = Vec::with_capacity(addrs.len());
         let mut num_nodes = 0u64;
         for (shard, addr) in addrs.iter().enumerate() {
-            let client = NetClient::connect(addr.as_str(), config.clone())?;
+            let client = MuxClient::connect(addr.as_str(), config.clone())?;
             let got = client.num_nodes();
             if shard == 0 {
                 num_nodes = got;
@@ -63,7 +89,11 @@ impl ShardRouter {
             }
             clients.push(client);
         }
-        Ok(ShardRouter { clients, num_nodes })
+        Ok(ShardRouter {
+            clients,
+            num_nodes,
+            request_timeout: config.request_timeout,
+        })
     }
 
     /// Number of shards behind this router.
@@ -88,6 +118,8 @@ impl ShardRouter {
     }
 
     /// One exact distance, routed to the owning shard or joined locally.
+    /// Cross-shard pairs overlap their two label fetches: both are on
+    /// the wire before either response is awaited.
     pub fn query(&mut self, u: NodeId, v: NodeId) -> Result<Distance, ShardError> {
         self.check(u)?;
         self.check(v)?;
@@ -96,15 +128,19 @@ impl ShardRouter {
         if su == sv {
             return Ok(self.clients[su].query(u, v)?);
         }
-        let lu = self.clients[su].label(u)?;
-        let lv = self.clients[sv].label(v)?;
+        let id_u = self.clients[su].submit(&Request::Label { v: u })?;
+        let id_v = self.clients[sv].submit(&Request::Label { v })?;
+        let lu = expect_label(self.clients[su].wait(id_u, self.request_timeout)?)?;
+        let lv = expect_label(self.clients[sv].wait(id_v, self.request_timeout)?)?;
         Ok(join_pairs(&lu, &lv))
     }
 
     /// A batch of exact distances, answered in request order. Same-shard
     /// pairs go out as per-shard query batches; cross-shard pairs are
-    /// answered by fetching each distinct referenced label once per
-    /// owning shard and joining locally.
+    /// answered by fetching each distinct referenced label once from its
+    /// owning shard and joining locally. All shards crunch their chunks
+    /// concurrently — the router keeps up to `WINDOW` (16) frames in flight
+    /// on every connection while reaping completions.
     pub fn query_many(&mut self, pairs: &[(NodeId, NodeId)]) -> Result<Vec<Distance>, ShardError> {
         for &(u, v) in pairs {
             self.check(u)?;
@@ -137,23 +173,78 @@ impl ShardRouter {
             }
         }
 
+        // Chunk every shard's share into wire-sized work items.
+        let mut work: Vec<Vec<Work>> = Vec::with_capacity(k);
         for (s, (idxs, batch)) in owned.iter().enumerate() {
-            if batch.is_empty() {
-                continue;
+            let mut items = Vec::new();
+            for (ic, pc) in idxs.chunks(QUERY_CHUNK).zip(batch.chunks(QUERY_CHUNK)) {
+                items.push(Work::Query {
+                    idxs: ic.to_vec(),
+                    pairs: pc.to_vec(),
+                });
             }
-            let ds = self.clients[s].query_batch_pipelined(batch, QUERY_CHUNK, WINDOW)?;
-            for (&i, d) in idxs.iter().zip(ds) {
-                out[i] = d;
+            for vc in wanted[s].chunks(LABEL_CHUNK) {
+                items.push(Work::Labels { vs: vc.to_vec() });
+            }
+            work.push(items);
+        }
+
+        // Submit/reap engine: fill every shard's window, then take one
+        // completion per shard per sweep so refills rotate fairly and no
+        // shard sits idle while another drains.
+        let mut next: Vec<usize> = vec![0; k];
+        let mut inflight: Vec<VecDeque<(usize, u64)>> = vec![VecDeque::new(); k];
+        let mut responses: Vec<Vec<Option<Response>>> = work
+            .iter()
+            .map(|w| (0..w.len()).map(|_| None).collect())
+            .collect();
+        loop {
+            let mut done = true;
+            for s in 0..k {
+                while inflight[s].len() < WINDOW && next[s] < work[s].len() {
+                    let req = match &work[s][next[s]] {
+                        Work::Query { pairs, .. } => Request::QueryBatch(pairs.clone()),
+                        Work::Labels { vs } => Request::LabelBatch(vs.clone()),
+                    };
+                    let id = self.clients[s].submit(&req)?;
+                    inflight[s].push_back((next[s], id));
+                    next[s] += 1;
+                }
+                if next[s] < work[s].len() || !inflight[s].is_empty() {
+                    done = false;
+                }
+            }
+            if done {
+                break;
+            }
+            for s in 0..k {
+                if let Some((at, id)) = inflight[s].pop_front() {
+                    let resp = self.clients[s].wait(id, self.request_timeout)?;
+                    responses[s][at] = Some(resp);
+                }
             }
         }
 
-        let mut labels: Vec<Vec<Vec<(NodeId, Distance)>>> = Vec::with_capacity(k);
-        for (s, vs) in wanted.iter().enumerate() {
-            labels.push(if vs.is_empty() {
-                Vec::new()
-            } else {
-                self.clients[s].label_batch_pipelined(vs, LABEL_CHUNK, WINDOW)?
-            });
+        // File the completions: distances into their slots, label chunks
+        // concatenated back into per-shard tables for the local joins.
+        let mut labels: Vec<Vec<Vec<(NodeId, Distance)>>> = vec![Vec::new(); k];
+        for (s, (items, resps)) in work.into_iter().zip(responses).enumerate() {
+            for (item, resp) in items.into_iter().zip(resps) {
+                let resp = resp.ok_or_else(|| {
+                    NetError::ConnectionDead("batch completion went missing".to_string())
+                })?;
+                match item {
+                    Work::Query { idxs, pairs } => {
+                        let ds = expect_distance_batch(resp, pairs.len())?;
+                        for (i, d) in idxs.into_iter().zip(ds) {
+                            out[i] = d;
+                        }
+                    }
+                    Work::Labels { vs } => {
+                        labels[s].extend(expect_label_batch(resp, vs.len())?);
+                    }
+                }
+            }
         }
         for i in cross {
             let (u, v) = pairs[i];
@@ -164,12 +255,65 @@ impl ShardRouter {
         Ok(out)
     }
 
+    /// Metrics snapshots from every shard daemon, in shard order. Rides
+    /// the same multiplexed connections as the queries.
+    pub fn fleet_metrics(&mut self) -> Result<Vec<MetricsSnapshot>, ShardError> {
+        self.clients
+            .iter()
+            .map(|c| c.metrics().map_err(ShardError::from))
+            .collect()
+    }
+
     /// Asks every shard daemon to drain and exit (test/bench teardown).
     pub fn shutdown_fleet(&mut self) -> Result<(), ShardError> {
-        for client in &mut self.clients {
+        for client in &self.clients {
             client.shutdown()?;
         }
         Ok(())
+    }
+}
+
+fn expect_label(resp: Response) -> Result<Vec<(NodeId, Distance)>, NetError> {
+    match resp {
+        Response::Label(pairs) => Ok(pairs),
+        Response::Error { code, message } => Err(NetError::Remote { code, message }),
+        other => Err(NetError::UnexpectedResponse {
+            expected: "Label",
+            got: format!("{other:?}"),
+        }),
+    }
+}
+
+fn expect_distance_batch(resp: Response, sent: usize) -> Result<Vec<Distance>, NetError> {
+    match resp {
+        Response::DistanceBatch(ds) if ds.len() == sent => Ok(ds),
+        Response::DistanceBatch(ds) => Err(NetError::UnexpectedResponse {
+            expected: "DistanceBatch of matching length",
+            got: format!("DistanceBatch of {} (sent {sent})", ds.len()),
+        }),
+        Response::Error { code, message } => Err(NetError::Remote { code, message }),
+        other => Err(NetError::UnexpectedResponse {
+            expected: "DistanceBatch",
+            got: format!("{other:?}"),
+        }),
+    }
+}
+
+fn expect_label_batch(
+    resp: Response,
+    sent: usize,
+) -> Result<Vec<Vec<(NodeId, Distance)>>, NetError> {
+    match resp {
+        Response::LabelBatch(labels) if labels.len() == sent => Ok(labels),
+        Response::LabelBatch(labels) => Err(NetError::UnexpectedResponse {
+            expected: "LabelBatch of matching length",
+            got: format!("LabelBatch of {} (sent {sent})", labels.len()),
+        }),
+        Response::Error { code, message } => Err(NetError::Remote { code, message }),
+        other => Err(NetError::UnexpectedResponse {
+            expected: "LabelBatch",
+            got: format!("{other:?}"),
+        }),
     }
 }
 

@@ -144,6 +144,47 @@ fn two_shard_fleet_handles_singletons_and_range_errors() {
 }
 
 #[test]
+fn router_reuses_one_connection_per_shard() {
+    // Regression test: the router must hold its multiplexed connections
+    // for its whole life. An earlier design dialed per label fetch,
+    // which shows up in the daemons' metrics as connections_opened
+    // growing with the query count.
+    let g = generators::grid(6, 6);
+    let n = g.num_nodes();
+    let shards = partition(&flatten(&g), 2).expect("partition");
+    let fleet = Fleet::launch(shards);
+    let mut router = ShardRouter::connect(&fleet.addrs, &ClientConfig::default()).expect("connect");
+
+    // A mixed workload: batches (owned + cross) and singles (cross).
+    let mut pairs = Vec::new();
+    for u in 0..n as NodeId {
+        for v in 0..n as NodeId {
+            pairs.push((u, v));
+        }
+    }
+    router.query_many(&pairs).expect("batch");
+    for u in 0..8 {
+        router.query(u, u + 7).expect("single");
+    }
+
+    // The metrics probe rides the same multiplexed connections, so each
+    // daemon has seen exactly one connection ever: the router's.
+    let snaps = router.fleet_metrics().expect("metrics");
+    assert_eq!(snaps.len(), 2);
+    for (s, snap) in snaps.iter().enumerate() {
+        assert_eq!(
+            snap.connections_opened, 1,
+            "shard {s} saw {} connections; the router must reuse one",
+            snap.connections_opened
+        );
+        assert_eq!(
+            snap.connections_rejected, 0,
+            "shard {s} rejected connections"
+        );
+    }
+}
+
+#[test]
 fn router_rejects_an_incoherent_fleet() {
     // Two daemons serving *different-width* labelings cannot be one
     // partitioned store; the router must refuse at connect time.

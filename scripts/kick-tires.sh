@@ -13,8 +13,11 @@
 #   hubserve reload   -> live daemon hot-swaps onto the v2 store; a
 #                        reload from a missing path must fail without
 #                        evicting the healthy epoch
-#   netbench          -> drives the daemon over the wire, then shuts it
-#                        down; the daemon must exit 0
+#   netbench          -> drives the daemon over the wire twice — a
+#                        protocol-v2 multiplexed client with 256
+#                        requests in flight on one connection, then a
+#                        protocol-v1 lock-step client on the same port —
+#                        then shuts it down; the daemon must exit 0
 # Exits nonzero on the first mismatch or failure.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -110,6 +113,12 @@ echo "bad reload rejected: $(cat "$TMP/reload-bad.err")"
 # The failed reload must not have evicted the healthy epoch: the bench
 # below hammers the daemon post-swap and it must still answer exactly.
 
+echo "== mux client: v2 handshake, 256 requests in flight on one connection =="
+"$NETBENCH" "$ADDR" --mode mux --inflight 256 --conns 1 --queries 20000 --seed 7 \
+  | tee "$TMP/mux.txt"
+grep -q 'inflight  256' "$TMP/mux.txt"
+
+echo "== lock-step client: v1 handshake still served on the same port =="
 "$NETBENCH" "$ADDR" --mode closed --conns 2 --queries 20000 --batch 256 --seed 7 --shutdown
 if ! wait "$SERVE_PID"; then
   echo "kick-tires: FAIL — daemon did not exit cleanly after shutdown" >&2
