@@ -5,9 +5,10 @@
 
 use hl_bench::timing::bench;
 use hl_bench::{family_graph, Family};
+use hl_core::label::{merge_join, merge_join_branchy};
 use hl_core::pll::PrunedLandmarkLabeling;
 use hl_core::random_threshold::{random_threshold_labeling, RandomThresholdParams};
-use hl_core::FlatLabeling;
+use hl_core::{freq, CompactLabeling, FlatLabeling};
 use hl_graph::rng::Xorshift64;
 use hl_graph::{generators, NodeId};
 
@@ -78,6 +79,55 @@ fn main() {
         let mut acc = 0u64;
         for &(u, v) in stream.iter().take(1024) {
             acc = acc.wrapping_add(flat.query(u, v));
+        }
+        acc
+    });
+
+    // Flat CSR vs the compact arena (delta-coded hubs, narrow distance
+    // lanes), plain and frequency-reordered — the same labeling, the same
+    // stream, so the rows isolate decode cost against footprint.
+    let compact = CompactLabeling::from_flat(&flat).expect("unit-weight distances fit u32");
+    let (tuned_flat, _) = freq::reorder_by_hub_frequency(&flat);
+    let tuned = CompactLabeling::from_flat(&tuned_flat).expect("reorder keeps distances");
+    bench("query-repr", "gnm12k/compact-batch1024", || {
+        let mut acc = 0u64;
+        for &(u, v) in stream.iter().take(1024) {
+            acc = acc.wrapping_add(compact.query(u, v));
+        }
+        acc
+    });
+    bench("query-repr", "gnm12k/compact-freq-batch1024", || {
+        let mut acc = 0u64;
+        for &(u, v) in stream.iter().take(1024) {
+            acc = acc.wrapping_add(tuned.query(u, v));
+        }
+        acc
+    });
+
+    // Merge-join kernel head-to-head on raw label slices: the shipping
+    // branchless formulation against the branchy three-way-match
+    // reference, over the same slice pairs.
+    bench("merge-join", "gnm12k/branchy-batch1024", || {
+        let mut acc = 0u64;
+        for &(u, v) in stream.iter().take(1024) {
+            acc = acc.wrapping_add(merge_join_branchy(
+                flat.hubs_of(u),
+                flat.dists_of(u),
+                flat.hubs_of(v),
+                flat.dists_of(v),
+            ));
+        }
+        acc
+    });
+    bench("merge-join", "gnm12k/branchless-batch1024", || {
+        let mut acc = 0u64;
+        for &(u, v) in stream.iter().take(1024) {
+            acc = acc.wrapping_add(merge_join(
+                flat.hubs_of(u),
+                flat.dists_of(u),
+                flat.hubs_of(v),
+                flat.dists_of(v),
+            ));
         }
         acc
     });

@@ -1,0 +1,819 @@
+//! `CompactLabeling` — the byte-tuned CSR label arena.
+//!
+//! The paper's lower bounds are statements about the *total size* of hub
+//! label structures, which makes bytes-per-label-entry the fundamental
+//! serving cost: at 100M+ entries the merge-join is memory-bound, and
+//! halving the bytes it streams is worth more than any instruction trick.
+//! [`crate::flat::FlatLabeling`] spends 12 bytes per entry (u32 hub +
+//! u64 distance); this arena narrows both lanes:
+//!
+//! * **distances** are stored as `u16` when every distance in the arena
+//!   fits, with a checked fallback to `u32` otherwise (a distance beyond
+//!   `u32::MAX` — including the [`INFINITY`] sentinel, which valid labels
+//!   never store — is a typed [`CompactError`], never silent truncation);
+//! * **hub ids** are delta-coded within each per-vertex sorted run (the
+//!   first entry is the absolute id, every later entry the gap to its
+//!   predecessor) and decoded on the fly inside the merge-join; deltas are
+//!   `u16` when every gap in the arena fits, `u32` otherwise.
+//!
+//! Width selection is arena-wide, so the query loop monomorphizes into
+//! four branch-free variants and per-vertex runs stay directly sliceable.
+//! Best case (`u16`+`u16`) is 4 bytes per entry — a 67% cut; worst case
+//! (`u32`+`u32`) is 8 bytes — still 33%. Conversion to and from the flat
+//! arena is lossless: same hubs, same distances, same query answers.
+//!
+//! Delta-coding rewards the frequency-aware id remapping of
+//! [`crate::freq`]: once hot hubs get small ids they cluster at the front
+//! of every run, gaps shrink, and the `u16` hub lane applies more often.
+//!
+//! # Example
+//!
+//! ```
+//! use hl_graph::generators;
+//! use hl_core::pll::PrunedLandmarkLabeling;
+//! use hl_core::{CompactLabeling, FlatLabeling};
+//!
+//! let g = generators::grid(4, 4);
+//! let flat = FlatLabeling::from(PrunedLandmarkLabeling::by_degree(&g).into_labeling());
+//! let compact = CompactLabeling::from_flat(&flat).unwrap();
+//! assert_eq!(compact.query(0, 15), flat.query(0, 15));
+//! assert_eq!(compact.to_flat(), flat);
+//! assert!(compact.heap_bytes() < flat.heap_bytes());
+//! ```
+
+use hl_graph::{Distance, NodeId, INFINITY};
+
+use crate::flat::{FlatLabeling, FlatLayoutError};
+
+/// Why a labeling could not be compacted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompactError {
+    /// A label distance exceeds `u32::MAX`, the widest lane the compact
+    /// encoding carries. (The [`INFINITY`] sentinel trips this too — a
+    /// valid labeling never stores it, so seeing it here means the input
+    /// was malformed, not that the encoding is lossy.)
+    DistanceTooWide {
+        /// The vertex whose label holds the distance.
+        vertex: usize,
+        /// The offending distance.
+        distance: Distance,
+    },
+}
+
+impl std::fmt::Display for CompactError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CompactError::DistanceTooWide { vertex, distance } => write!(
+                f,
+                "distance {distance} of vertex {vertex} exceeds the u32 compact lane"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CompactError {}
+
+/// The delta-coded hub lane: one arena-wide width.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HubDeltas {
+    /// Every delta (including each run's absolute first id) fits 16 bits.
+    U16(Vec<u16>),
+    /// The general case: 32-bit deltas.
+    U32(Vec<u32>),
+}
+
+impl HubDeltas {
+    /// Number of entries in the lane.
+    pub fn len(&self) -> usize {
+        match self {
+            HubDeltas::U16(v) => v.len(),
+            HubDeltas::U32(v) => v.len(),
+        }
+    }
+
+    /// `true` when the lane holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Bytes per entry: 2 or 4.
+    pub fn entry_bytes(&self) -> usize {
+        match self {
+            HubDeltas::U16(_) => 2,
+            HubDeltas::U32(_) => 4,
+        }
+    }
+
+    fn get(&self, i: usize) -> u64 {
+        match self {
+            HubDeltas::U16(v) => v[i] as u64,
+            HubDeltas::U32(v) => v[i] as u64,
+        }
+    }
+}
+
+/// The distance lane: one arena-wide width.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompactDists {
+    /// Every distance in the arena fits 16 bits.
+    U16(Vec<u16>),
+    /// Fallback: 32-bit distances.
+    U32(Vec<u32>),
+}
+
+impl CompactDists {
+    /// Number of entries in the lane.
+    pub fn len(&self) -> usize {
+        match self {
+            CompactDists::U16(v) => v.len(),
+            CompactDists::U32(v) => v.len(),
+        }
+    }
+
+    /// `true` when the lane holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Bytes per entry: 2 or 4.
+    pub fn entry_bytes(&self) -> usize {
+        match self {
+            CompactDists::U16(_) => 2,
+            CompactDists::U32(_) => 4,
+        }
+    }
+
+    fn get(&self, i: usize) -> Distance {
+        match self {
+            CompactDists::U16(v) => v[i] as Distance,
+            CompactDists::U32(v) => v[i] as Distance,
+        }
+    }
+}
+
+/// A complete hub labeling in the compact CSR arena: `u64` offsets plus
+/// the two narrow lanes. Immutable once built; convert from a
+/// [`FlatLabeling`] (width selection happens there) or assemble from raw
+/// lanes with full validation via [`CompactLabeling::from_raw_parts`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompactLabeling {
+    /// `num_nodes + 1` entry offsets; vertex `v` owns `offsets[v]..offsets[v+1]`.
+    offsets: Vec<u64>,
+    /// Delta-coded hub ids, per-vertex runs.
+    hubs: HubDeltas,
+    /// Distances, aligned with `hubs`.
+    dists: CompactDists,
+}
+
+impl CompactLabeling {
+    /// Compacts a flat arena, choosing the narrowest widths that hold
+    /// every value. Lossless: [`CompactLabeling::to_flat`] reproduces the
+    /// input exactly.
+    pub fn from_flat(flat: &FlatLabeling) -> Result<Self, CompactError> {
+        let offsets = flat.raw_offsets().to_vec();
+        let hubs = flat.raw_hubs();
+        let dists = flat.raw_dists();
+        let n = flat.num_nodes();
+
+        let mut max_delta: NodeId = 0;
+        let mut max_dist: Distance = 0;
+        for v in 0..n {
+            let (lo, hi) = (offsets[v] as usize, offsets[v + 1] as usize);
+            let mut prev: NodeId = 0;
+            for k in lo..hi {
+                // First entry of a run is its absolute id (delta from 0).
+                let delta = hubs[k] - prev;
+                prev = hubs[k];
+                max_delta = max_delta.max(delta);
+                if dists[k] > max_dist {
+                    max_dist = dists[k];
+                    if max_dist > u32::MAX as Distance {
+                        return Err(CompactError::DistanceTooWide {
+                            vertex: v,
+                            distance: max_dist,
+                        });
+                    }
+                }
+            }
+        }
+
+        let enc_hubs = |wide: bool| {
+            let mut out16 = Vec::new();
+            let mut out32 = Vec::new();
+            if wide {
+                out32.reserve_exact(hubs.len());
+            } else {
+                out16.reserve_exact(hubs.len());
+            }
+            for v in 0..n {
+                let (lo, hi) = (offsets[v] as usize, offsets[v + 1] as usize);
+                let mut prev: NodeId = 0;
+                for &h in &hubs[lo..hi] {
+                    let delta = h - prev;
+                    prev = h;
+                    if wide {
+                        out32.push(delta);
+                    } else {
+                        out16.push(delta as u16);
+                    }
+                }
+            }
+            if wide {
+                HubDeltas::U32(out32)
+            } else {
+                HubDeltas::U16(out16)
+            }
+        };
+        let hub_lane = enc_hubs(max_delta > u16::MAX as NodeId);
+        let dist_lane = if max_dist > u16::MAX as Distance {
+            CompactDists::U32(dists.iter().map(|&d| d as u32).collect())
+        } else {
+            CompactDists::U16(dists.iter().map(|&d| d as u16).collect())
+        };
+        Ok(CompactLabeling {
+            offsets,
+            hubs: hub_lane,
+            dists: dist_lane,
+        })
+    }
+
+    /// Assembles an arena from raw lanes, validating every invariant the
+    /// query loop relies on — the trust boundary for deserializers (the
+    /// HLBS v2 compact flavor's body *is* these three lanes): offsets
+    /// start at 0, never decrease, and end at the entry count; lanes are
+    /// parallel; each run's decoded hub ids are strictly increasing
+    /// (every delta after a run's first entry is nonzero) and in range.
+    /// Accumulation happens in `u64`, so a crafted delta stream cannot
+    /// wrap the id space undetected.
+    pub fn from_raw_parts(
+        offsets: Vec<u64>,
+        hubs: HubDeltas,
+        dists: CompactDists,
+    ) -> Result<Self, FlatLayoutError> {
+        if offsets.is_empty() {
+            return Err(FlatLayoutError::EmptyOffsets);
+        }
+        if offsets[0] != 0 {
+            return Err(FlatLayoutError::FirstOffsetNonZero(offsets[0]));
+        }
+        if hubs.len() != dists.len() {
+            return Err(FlatLayoutError::UnparallelArrays {
+                hubs: hubs.len(),
+                dists: dists.len(),
+            });
+        }
+        let num_nodes = offsets.len() - 1;
+        if offsets[num_nodes] != hubs.len() as u64 {
+            return Err(FlatLayoutError::FinalOffsetMismatch {
+                final_offset: offsets[num_nodes],
+                entries: hubs.len(),
+            });
+        }
+        for v in 0..num_nodes {
+            if offsets[v] > offsets[v + 1] {
+                return Err(FlatLayoutError::NonMonotoneOffsets { vertex: v });
+            }
+        }
+        for v in 0..num_nodes {
+            let (lo, hi) = (offsets[v] as usize, offsets[v + 1] as usize);
+            let mut acc: u64 = 0;
+            for k in lo..hi {
+                let delta = hubs.get(k);
+                if k > lo && delta == 0 {
+                    // A zero gap decodes to a duplicate hub id.
+                    return Err(FlatLayoutError::UnsortedHubs { vertex: v });
+                }
+                acc += delta;
+                if acc >= num_nodes as u64 {
+                    return Err(FlatLayoutError::HubOutOfRange {
+                        vertex: v,
+                        hub: acc.min(NodeId::MAX as u64) as NodeId,
+                    });
+                }
+            }
+        }
+        Ok(CompactLabeling {
+            offsets,
+            hubs,
+            dists,
+        })
+    }
+
+    /// Expands back into the flat arena (exact inverse of
+    /// [`CompactLabeling::from_flat`]).
+    pub fn to_flat(&self) -> FlatLabeling {
+        let mut flat = FlatLabeling::with_capacity(self.num_nodes(), self.num_entries());
+        let mut hubs = Vec::new();
+        let mut dists = Vec::new();
+        for v in 0..self.num_nodes() as NodeId {
+            hubs.clear();
+            dists.clear();
+            self.decode_label_into(v, &mut hubs, &mut dists);
+            flat.push_label(&hubs, &dists);
+        }
+        flat
+    }
+
+    /// Number of vertices.
+    pub fn num_nodes(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Total `(hub, distance)` entries in the arena, `Σ_v |S_v|`.
+    pub fn num_entries(&self) -> usize {
+        self.hubs.len()
+    }
+
+    /// The raw offset array.
+    pub fn raw_offsets(&self) -> &[u64] {
+        &self.offsets
+    }
+
+    /// The delta-coded hub lane.
+    pub fn raw_hubs(&self) -> &HubDeltas {
+        &self.hubs
+    }
+
+    /// The distance lane.
+    pub fn raw_dists(&self) -> &CompactDists {
+        &self.dists
+    }
+
+    /// Bytes per hub entry in this arena (2 or 4).
+    pub fn hub_entry_bytes(&self) -> usize {
+        self.hubs.entry_bytes()
+    }
+
+    /// Bytes per distance entry in this arena (2 or 4).
+    pub fn dist_entry_bytes(&self) -> usize {
+        self.dists.entry_bytes()
+    }
+
+    /// Heap footprint of the three lanes, in bytes — *exact*, by length:
+    /// there are no side tables in this encoding, so the accounting is
+    /// `offsets + entries × (hub width + dist width)` and nothing else.
+    /// Comparable with [`FlatLabeling::heap_bytes`].
+    pub fn heap_bytes(&self) -> usize {
+        self.offsets.len() * std::mem::size_of::<u64>()
+            + self.hubs.len() * self.hubs.entry_bytes()
+            + self.dists.len() * self.dists.entry_bytes()
+    }
+
+    /// Average hubs per vertex, `Σ_v |S_v| / n`.
+    pub fn average_hubs(&self) -> f64 {
+        if self.num_nodes() == 0 {
+            return 0.0;
+        }
+        self.num_entries() as f64 / self.num_nodes() as f64
+    }
+
+    /// Largest label size.
+    pub fn max_hubs(&self) -> usize {
+        self.offsets
+            .windows(2)
+            .map(|w| (w[1] - w[0]) as usize)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Average bytes per `(hub, distance)` entry, offsets included — the
+    /// serving-cost figure the flat-vs-compact head-to-heads report.
+    pub fn bytes_per_entry(&self) -> f64 {
+        if self.num_entries() == 0 {
+            return 0.0;
+        }
+        self.heap_bytes() as f64 / self.num_entries() as f64
+    }
+
+    fn span(&self, v: NodeId) -> std::ops::Range<usize> {
+        let lo = self.offsets[v as usize] as usize;
+        let hi = self.offsets[v as usize + 1] as usize;
+        lo..hi
+    }
+
+    /// Decodes vertex `v`'s label into caller-owned buffers (appended).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn decode_label_into(&self, v: NodeId, hubs: &mut Vec<NodeId>, dists: &mut Vec<Distance>) {
+        let span = self.span(v);
+        let mut acc: NodeId = 0;
+        for k in span {
+            acc += self.hubs.get(k) as NodeId;
+            hubs.push(acc);
+            dists.push(self.dists.get(k));
+        }
+    }
+
+    /// The label of vertex `v` as owned parallel arrays, decoded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn label_of(&self, v: NodeId) -> (Vec<NodeId>, Vec<Distance>) {
+        let mut hubs = Vec::with_capacity(self.span(v).len());
+        let mut dists = Vec::with_capacity(self.span(v).len());
+        self.decode_label_into(v, &mut hubs, &mut dists);
+        (hubs, dists)
+    }
+
+    /// Answers the distance query `u, v` by merge-joining the two runs,
+    /// decoding hub deltas on the fly. Returns [`INFINITY`] when the
+    /// labels share no hub — or when every common-hub sum saturates,
+    /// matching [`crate::label::merge_join`]'s sentinel discipline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` or `v` is out of range.
+    pub fn query(&self, u: NodeId, v: NodeId) -> Distance {
+        let (ra, rb) = (self.span(u), self.span(v));
+        match (&self.hubs, &self.dists) {
+            (HubDeltas::U16(h), CompactDists::U16(d)) => {
+                join_delta_runs(&h[ra.clone()], &d[ra], &h[rb.clone()], &d[rb])
+            }
+            (HubDeltas::U16(h), CompactDists::U32(d)) => {
+                join_delta_runs(&h[ra.clone()], &d[ra], &h[rb.clone()], &d[rb])
+            }
+            (HubDeltas::U32(h), CompactDists::U16(d)) => {
+                join_delta_runs(&h[ra.clone()], &d[ra], &h[rb.clone()], &d[rb])
+            }
+            (HubDeltas::U32(h), CompactDists::U32(d)) => {
+                join_delta_runs(&h[ra.clone()], &d[ra], &h[rb.clone()], &d[rb])
+            }
+        }
+    }
+
+    /// Like [`CompactLabeling::query`] but also reports the (decoded,
+    /// absolute) hub realizing the minimum; `None` when the labels share
+    /// no hub or every common-hub sum saturated.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` or `v` is out of range.
+    pub fn query_with_witness(&self, u: NodeId, v: NodeId) -> Option<(Distance, NodeId)> {
+        let (ra, rb) = (self.span(u), self.span(v));
+        match (&self.hubs, &self.dists) {
+            (HubDeltas::U16(h), CompactDists::U16(d)) => {
+                join_delta_runs_witness(&h[ra.clone()], &d[ra], &h[rb.clone()], &d[rb])
+            }
+            (HubDeltas::U16(h), CompactDists::U32(d)) => {
+                join_delta_runs_witness(&h[ra.clone()], &d[ra], &h[rb.clone()], &d[rb])
+            }
+            (HubDeltas::U32(h), CompactDists::U16(d)) => {
+                join_delta_runs_witness(&h[ra.clone()], &d[ra], &h[rb.clone()], &d[rb])
+            }
+            (HubDeltas::U32(h), CompactDists::U32(d)) => {
+                join_delta_runs_witness(&h[ra.clone()], &d[ra], &h[rb.clone()], &d[rb])
+            }
+        }
+    }
+}
+
+impl TryFrom<&FlatLabeling> for CompactLabeling {
+    type Error = CompactError;
+
+    fn try_from(flat: &FlatLabeling) -> Result<Self, CompactError> {
+        CompactLabeling::from_flat(flat)
+    }
+}
+
+impl From<&CompactLabeling> for FlatLabeling {
+    fn from(compact: &CompactLabeling) -> Self {
+        compact.to_flat()
+    }
+}
+
+/// Touches one element per cache line of both hub-delta lanes before the
+/// decode starts, mirroring `label::warm_hub_lanes`: the touches are
+/// independent loads the memory system overlaps, while the delta-decode
+/// chain below is serial and would otherwise pay one DRAM round-trip per
+/// line. `black_box` keeps the reads alive.
+#[inline]
+fn warm_delta_lanes<H: Copy>(a_hubs: &[H], b_hubs: &[H]) {
+    let stride = (64 / std::mem::size_of::<H>()).max(1);
+    let mut p = 0usize;
+    while p < a_hubs.len() {
+        std::hint::black_box(a_hubs[p]);
+        p += stride;
+    }
+    let mut q = 0usize;
+    while q < b_hubs.len() {
+        std::hint::black_box(b_hubs[q]);
+        q += stride;
+    }
+}
+
+/// The delta-decoding merge-join kernel, monomorphized per lane width.
+/// Cursor movement mirrors the branchless [`crate::label::merge_join`];
+/// the accumulator updates are guarded because advancing past the end of
+/// a run must not read (or add) a delta that belongs to the next vertex.
+#[inline]
+fn join_delta_runs<H, D>(a_hubs: &[H], a_dists: &[D], b_hubs: &[H], b_dists: &[D]) -> Distance
+where
+    H: Copy,
+    NodeId: From<H>,
+    D: Copy,
+    Distance: From<D>,
+{
+    // Truncating each side to its common length lets the loop condition
+    // prove every index in bounds for both lanes — no per-iteration
+    // bounds checks (same trick as `crate::label::merge_join`).
+    let n = a_hubs.len().min(a_dists.len());
+    let m = b_hubs.len().min(b_dists.len());
+    if n == 0 || m == 0 {
+        return INFINITY;
+    }
+    let (a_hubs, a_dists) = (&a_hubs[..n], &a_dists[..n]);
+    let (b_hubs, b_dists) = (&b_hubs[..m], &b_dists[..m]);
+    warm_delta_lanes(a_hubs, b_hubs);
+    let (mut i, mut j) = (0usize, 0usize);
+    let mut ha = NodeId::from(a_hubs[0]);
+    let mut hb = NodeId::from(b_hubs[0]);
+    let mut best = INFINITY;
+    loop {
+        let d = Distance::from(a_dists[i]).saturating_add(Distance::from(b_dists[j]));
+        let candidate = if ha == hb { d } else { INFINITY };
+        best = best.min(candidate);
+        let adv_a = ha <= hb;
+        let adv_b = hb <= ha;
+        i += adv_a as usize;
+        j += adv_b as usize;
+        if i >= n || j >= m {
+            break;
+        }
+        if adv_a {
+            ha += NodeId::from(a_hubs[i]);
+        }
+        if adv_b {
+            hb += NodeId::from(b_hubs[j]);
+        }
+    }
+    best
+}
+
+/// Witness-reporting variant of [`join_delta_runs`], with the same
+/// saturation discipline as [`crate::label::merge_join_with_witness`].
+#[inline]
+fn join_delta_runs_witness<H, D>(
+    a_hubs: &[H],
+    a_dists: &[D],
+    b_hubs: &[H],
+    b_dists: &[D],
+) -> Option<(Distance, NodeId)>
+where
+    H: Copy,
+    NodeId: From<H>,
+    D: Copy,
+    Distance: From<D>,
+{
+    // Same slice truncation as `join_delta_runs`.
+    let n = a_hubs.len().min(a_dists.len());
+    let m = b_hubs.len().min(b_dists.len());
+    if n == 0 || m == 0 {
+        return None;
+    }
+    let (a_hubs, a_dists) = (&a_hubs[..n], &a_dists[..n]);
+    let (b_hubs, b_dists) = (&b_hubs[..m], &b_dists[..m]);
+    warm_delta_lanes(a_hubs, b_hubs);
+    let (mut i, mut j) = (0usize, 0usize);
+    let mut ha = NodeId::from(a_hubs[0]);
+    let mut hb = NodeId::from(b_hubs[0]);
+    let mut best = INFINITY;
+    let mut witness: NodeId = 0;
+    loop {
+        let d = Distance::from(a_dists[i]).saturating_add(Distance::from(b_dists[j]));
+        let take = ha == hb && d < best;
+        best = if take { d } else { best };
+        witness = if take { ha } else { witness };
+        let adv_a = ha <= hb;
+        let adv_b = hb <= ha;
+        i += adv_a as usize;
+        j += adv_b as usize;
+        if i >= n || j >= m {
+            break;
+        }
+        if adv_a {
+            ha += NodeId::from(a_hubs[i]);
+        }
+        if adv_b {
+            hb += NodeId::from(b_hubs[j]);
+        }
+    }
+    (best != INFINITY).then_some((best, witness))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::label::{HubLabel, HubLabeling};
+    use crate::pll::PrunedLandmarkLabeling;
+    use hl_graph::generators;
+
+    fn sample_flat() -> FlatLabeling {
+        let g = generators::grid(5, 5);
+        FlatLabeling::from(PrunedLandmarkLabeling::by_degree(&g).into_labeling())
+    }
+
+    #[test]
+    fn roundtrip_is_lossless_and_narrow() {
+        let flat = sample_flat();
+        let compact = CompactLabeling::from_flat(&flat).unwrap();
+        assert_eq!(compact.to_flat(), flat);
+        assert_eq!(compact.num_nodes(), flat.num_nodes());
+        assert_eq!(compact.num_entries(), flat.num_entries());
+        // A 25-vertex grid has tiny ids and tiny distances: both lanes u16.
+        assert_eq!(compact.hub_entry_bytes(), 2);
+        assert_eq!(compact.dist_entry_bytes(), 2);
+        assert!(compact.heap_bytes() < flat.heap_bytes());
+    }
+
+    #[test]
+    fn queries_match_flat_exactly() {
+        let flat = sample_flat();
+        let compact = CompactLabeling::from_flat(&flat).unwrap();
+        let n = flat.num_nodes() as NodeId;
+        for u in 0..n {
+            for v in 0..n {
+                assert_eq!(compact.query(u, v), flat.query(u, v), "d({u},{v})");
+                assert_eq!(
+                    compact.query_with_witness(u, v),
+                    flat.query_with_witness(u, v),
+                    "witness({u},{v})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn wide_values_select_wide_lanes() {
+        // Distances above u16::MAX force the u32 distance lane; a hub gap
+        // above u16::MAX forces the u32 hub lane.
+        let mut hl = HubLabeling::empty(200_000);
+        *hl.label_mut(0) = HubLabel::from_pairs(vec![(0, 0), (70_000, 1 << 20)]);
+        *hl.label_mut(70_000) = HubLabel::from_pairs(vec![(70_000, 0)]);
+        let flat = FlatLabeling::from(hl);
+        let compact = CompactLabeling::from_flat(&flat).unwrap();
+        assert_eq!(compact.hub_entry_bytes(), 4);
+        assert_eq!(compact.dist_entry_bytes(), 4);
+        assert_eq!(compact.query(0, 70_000), 1 << 20);
+        assert_eq!(compact.to_flat(), flat);
+    }
+
+    #[test]
+    fn distance_beyond_u32_is_a_typed_error() {
+        let mut hl = HubLabeling::empty(2);
+        *hl.label_mut(0) = HubLabel::from_pairs(vec![(0, 0), (1, (u32::MAX as u64) + 1)]);
+        *hl.label_mut(1) = HubLabel::from_pairs(vec![(1, 0)]);
+        let flat = FlatLabeling::from(hl);
+        assert_eq!(
+            CompactLabeling::from_flat(&flat),
+            Err(CompactError::DistanceTooWide {
+                vertex: 0,
+                distance: (u32::MAX as u64) + 1
+            })
+        );
+        assert!(!format!(
+            "{}",
+            CompactError::DistanceTooWide {
+                vertex: 0,
+                distance: 5
+            }
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn saturation_matches_flat_sentinel_discipline() {
+        // u32-lane distances that sum past u32::MAX must still be finite
+        // (the join runs in u64)...
+        let mut hl = HubLabeling::empty(2);
+        *hl.label_mut(0) = HubLabel::from_pairs(vec![(1, u32::MAX as u64)]);
+        *hl.label_mut(1) = HubLabel::from_pairs(vec![(1, u32::MAX as u64)]);
+        let flat = FlatLabeling::from(hl);
+        let compact = CompactLabeling::from_flat(&flat).unwrap();
+        assert_eq!(compact.query(0, 1), 2 * (u32::MAX as u64));
+        assert_eq!(
+            compact.query_with_witness(0, 1),
+            Some((2 * (u32::MAX as u64), 1))
+        );
+        // ...and disjoint hub sets read as unreachable with no witness.
+        let mut hl = HubLabeling::empty(3);
+        *hl.label_mut(0) = HubLabel::from_pairs(vec![(0, 0)]);
+        *hl.label_mut(2) = HubLabel::from_pairs(vec![(2, 0)]);
+        let flat = FlatLabeling::from(hl);
+        let compact = CompactLabeling::from_flat(&flat).unwrap();
+        assert_eq!(compact.query(0, 2), INFINITY);
+        assert_eq!(compact.query_with_witness(0, 2), None);
+        assert_eq!(compact.query_with_witness(0, 1), None); // empty label
+    }
+
+    #[test]
+    fn from_raw_parts_accepts_own_lanes() {
+        let flat = sample_flat();
+        let compact = CompactLabeling::from_flat(&flat).unwrap();
+        let rebuilt = CompactLabeling::from_raw_parts(
+            compact.raw_offsets().to_vec(),
+            compact.raw_hubs().clone(),
+            compact.raw_dists().clone(),
+        )
+        .expect("own lanes must validate");
+        assert_eq!(rebuilt, compact);
+        let empty = CompactLabeling::from_raw_parts(
+            vec![0],
+            HubDeltas::U16(vec![]),
+            CompactDists::U16(vec![]),
+        )
+        .expect("empty arena");
+        assert_eq!(empty.num_nodes(), 0);
+        assert_eq!(empty.heap_bytes(), 8);
+    }
+
+    #[test]
+    fn from_raw_parts_rejects_malformed_lanes() {
+        use FlatLayoutError as E;
+        let err = |o: Vec<u64>, h: HubDeltas, d: CompactDists| {
+            CompactLabeling::from_raw_parts(o, h, d).expect_err("must reject")
+        };
+        assert_eq!(
+            err(vec![], HubDeltas::U16(vec![]), CompactDists::U16(vec![])),
+            E::EmptyOffsets
+        );
+        assert_eq!(
+            err(
+                vec![1, 1],
+                HubDeltas::U16(vec![0]),
+                CompactDists::U16(vec![0])
+            ),
+            E::FirstOffsetNonZero(1)
+        );
+        assert_eq!(
+            err(
+                vec![0, 2],
+                HubDeltas::U16(vec![0, 1]),
+                CompactDists::U16(vec![0])
+            ),
+            E::UnparallelArrays { hubs: 2, dists: 1 }
+        );
+        assert_eq!(
+            err(
+                vec![0, 2],
+                HubDeltas::U16(vec![0]),
+                CompactDists::U16(vec![0])
+            ),
+            E::FinalOffsetMismatch {
+                final_offset: 2,
+                entries: 1
+            }
+        );
+        assert_eq!(
+            err(
+                vec![0, 2, 1, 3],
+                HubDeltas::U16(vec![0, 1, 1]),
+                CompactDists::U16(vec![0, 0, 0])
+            ),
+            E::NonMonotoneOffsets { vertex: 1 }
+        );
+        // Zero delta after a run's first entry = duplicate hub.
+        assert_eq!(
+            err(
+                vec![0, 2, 2],
+                HubDeltas::U16(vec![1, 0]),
+                CompactDists::U16(vec![0, 0])
+            ),
+            E::UnsortedHubs { vertex: 0 }
+        );
+        // Accumulated id walks out of the vertex range.
+        assert_eq!(
+            err(
+                vec![0, 2],
+                HubDeltas::U16(vec![0, 9]),
+                CompactDists::U16(vec![0, 0])
+            ),
+            E::HubOutOfRange { vertex: 0, hub: 9 }
+        );
+    }
+
+    #[test]
+    fn heap_bytes_is_exact_by_lane_width() {
+        let flat = sample_flat();
+        let compact = CompactLabeling::from_flat(&flat).unwrap();
+        let e = compact.num_entries();
+        let expect = (compact.num_nodes() + 1) * 8
+            + e * compact.hub_entry_bytes()
+            + e * compact.dist_entry_bytes();
+        assert_eq!(compact.heap_bytes(), expect);
+        assert!((compact.bytes_per_entry() - expect as f64 / e as f64).abs() < 1e-12);
+    }
+
+    #[test]
+    fn label_of_decodes_absolute_ids() {
+        let flat = sample_flat();
+        let compact = CompactLabeling::from_flat(&flat).unwrap();
+        for v in 0..flat.num_nodes() as NodeId {
+            let (hubs, dists) = compact.label_of(v);
+            assert_eq!(hubs.as_slice(), flat.hubs_of(v), "hubs of {v}");
+            assert_eq!(dists.as_slice(), flat.dists_of(v), "dists of {v}");
+        }
+    }
+}

@@ -12,6 +12,37 @@
 
 use hl_graph::{Distance, NodeId, INFINITY};
 
+/// Gallop stride of the merge-join kernels: how far (in entries) each
+/// cursor tests ahead on the hub lane per iteration. One 64-byte cache
+/// line of u32 hub ids — big enough that length-skewed joins skip whole
+/// lines per step, and the stride-ahead read doubles as a prefetch that
+/// hides an LLC/DRAM round-trip behind the serial advance chain.
+const LOOKAHEAD: usize = 16;
+
+/// Touches one hub id per cache line of both lanes before the merge
+/// starts. The touches are independent loads, so the memory system
+/// overlaps all the line fetches; the serial (data-dependent) advance
+/// chain of the branchless merge then runs against warm cache instead of
+/// paying one DRAM round-trip per line. The OR-fold into [`black_box`]
+/// keeps the reads alive without `unsafe` prefetch intrinsics.
+///
+/// [`black_box`]: std::hint::black_box
+#[inline]
+fn warm_hub_lanes(a_hubs: &[NodeId], b_hubs: &[NodeId]) {
+    let mut warm = 0u32;
+    let mut p = 0usize;
+    while p < a_hubs.len() {
+        warm |= a_hubs[p];
+        p += LOOKAHEAD;
+    }
+    let mut q = 0usize;
+    while q < b_hubs.len() {
+        warm |= b_hubs[q];
+        q += LOOKAHEAD;
+    }
+    std::hint::black_box(warm);
+}
+
 /// The sorted-merge join over two labels given as parallel slices:
 /// `min over common hubs h of d(u, h) + d(h, v)`, or [`INFINITY`] when the
 /// hub sets are disjoint. Both hub slices must be sorted by hub id, with
@@ -19,7 +50,120 @@ use hl_graph::{Distance, NodeId, INFINITY};
 ///
 /// This is *the* hot-path kernel: every representation's `query` bottoms
 /// out here, so layout experiments (SIMD, prefetch) have one place to go.
+///
+/// The cursor advance is branchless: on a hub mismatch both cursors move
+/// by the boolean comparison results (fine step) and gallop a whole
+/// cache line when even the stride-ahead hub is still behind the other
+/// side (coarse step) — conditional moves throughout, so the effectively
+/// random interleaving of two sorted hub runs never feeds the branch
+/// predictor. A branchless advance is a serial data-dependency chain the
+/// core cannot speculate past, so the kernel first warms both hub lanes
+/// by issuing every cache-line fetch as independent overlapping loads. Only the hub
+/// *equality* test remains a real branch — labels share a hot prefix of
+/// top-ranked hubs, making it highly predictable. Sums that saturate at
+/// [`INFINITY`] never beat `best` (it starts there), so a pair of huge
+/// finite label distances reads as unreachable, exactly like a disjoint
+/// hub set.
 pub fn merge_join(
+    a_hubs: &[NodeId],
+    a_dists: &[Distance],
+    b_hubs: &[NodeId],
+    b_dists: &[Distance],
+) -> Distance {
+    // Truncate each pair to its common length: the loop condition then
+    // proves every index in bounds for *both* slices of a side, so the
+    // four per-iteration bounds checks vanish from the hot loop.
+    let n = a_hubs.len().min(a_dists.len());
+    let m = b_hubs.len().min(b_dists.len());
+    let (a_hubs, a_dists) = (&a_hubs[..n], &a_dists[..n]);
+    let (b_hubs, b_dists) = (&b_hubs[..m], &b_dists[..m]);
+    warm_hub_lanes(a_hubs, b_hubs);
+    let mut best = INFINITY;
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < n && j < m {
+        let (ha, hb) = (a_hubs[i], b_hubs[j]);
+        let ia = (i + LOOKAHEAD).min(n - 1);
+        let jb = (j + LOOKAHEAD).min(m - 1);
+        if ha == hb {
+            // The equality test stays a real branch: hub labels built by
+            // vertex order share a hot prefix of top-ranked hubs, so this
+            // branch is highly predictable and letting the core speculate
+            // through it overlaps the next iterations' loads.
+            best = best.min(a_dists[i].saturating_add(b_dists[j]));
+            i += 1;
+            j += 1;
+        } else {
+            // Branchless advance, fine and coarse. The fine step moves
+            // each cursor by the boolean comparison result — the ordering
+            // of two mismatched sorted runs is effectively random, so
+            // there is nothing for the predictor to miss on. The coarse
+            // step gallops: hubs are sorted, so if even the hub a whole
+            // stride ahead is still below the other cursor's current hub,
+            // every skipped entry is provably matchless and the cursor
+            // jumps the stride (real hub labels are length-skewed — long
+            // single-side runs are the common case, and the stride-ahead
+            // loads double as prefetch for the serial advance chain).
+            let fi = i + (ha < hb) as usize;
+            let fj = j + (hb < ha) as usize;
+            i = if a_hubs[ia] < hb { ia + 1 } else { fi };
+            j = if b_hubs[jb] < ha { jb + 1 } else { fj };
+        }
+    }
+    best
+}
+
+/// Like [`merge_join`] but also reports the hub realizing the minimum;
+/// `None` when the hub sets are disjoint **or** every common-hub sum
+/// saturated at [`INFINITY`] — a saturated sum means "farther than the
+/// distance type can say", and returning it with a witness would claim a
+/// finite meeting point that does not exist.
+pub fn merge_join_with_witness(
+    a_hubs: &[NodeId],
+    a_dists: &[Distance],
+    b_hubs: &[NodeId],
+    b_dists: &[Distance],
+) -> Option<(Distance, NodeId)> {
+    // Same slice truncation as `merge_join`: bounds checks leave the loop.
+    let n = a_hubs.len().min(a_dists.len());
+    let m = b_hubs.len().min(b_dists.len());
+    let (a_hubs, a_dists) = (&a_hubs[..n], &a_dists[..n]);
+    let (b_hubs, b_dists) = (&b_hubs[..m], &b_dists[..m]);
+    warm_hub_lanes(a_hubs, b_hubs);
+    let mut best = INFINITY;
+    let mut witness: NodeId = 0;
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < n && j < m {
+        let (ha, hb) = (a_hubs[i], b_hubs[j]);
+        let ia = (i + LOOKAHEAD).min(n - 1);
+        let jb = (j + LOOKAHEAD).min(m - 1);
+        if ha == hb {
+            let d = a_dists[i].saturating_add(b_dists[j]);
+            // Strict `<` keeps the first hub realizing the minimum, as a
+            // conditional move — `d` can never displace a tie, and `best`
+            // starts at INFINITY so a saturated sum never takes.
+            let take = d < best;
+            best = if take { d } else { best };
+            witness = if take { ha } else { witness };
+            i += 1;
+            j += 1;
+        } else {
+            // Fine + galloping coarse advance, exactly as in
+            // [`merge_join`]; skipped entries are provably matchless, so
+            // the witness bookkeeping above never sees them.
+            let fi = i + (ha < hb) as usize;
+            let fj = j + (hb < ha) as usize;
+            i = if a_hubs[ia] < hb { ia + 1 } else { fi };
+            j = if b_hubs[jb] < ha { jb + 1 } else { fj };
+        }
+    }
+    (best != INFINITY).then_some((best, witness))
+}
+
+/// The pre-branchless three-way-`match` formulation of [`merge_join`],
+/// kept as the differential-testing and benchmarking baseline: the
+/// head-to-head in `bench_query` pins "branchless is no slower", and the
+/// property tests assert both formulations agree on every input.
+pub fn merge_join_branchy(
     a_hubs: &[NodeId],
     a_dists: &[Distance],
     b_hubs: &[NodeId],
@@ -35,33 +179,6 @@ pub fn merge_join(
                 let d = a_dists[i].saturating_add(b_dists[j]);
                 if d < best {
                     best = d;
-                }
-                i += 1;
-                j += 1;
-            }
-        }
-    }
-    best
-}
-
-/// Like [`merge_join`] but also reports the hub realizing the minimum;
-/// `None` when the hub sets are disjoint.
-pub fn merge_join_with_witness(
-    a_hubs: &[NodeId],
-    a_dists: &[Distance],
-    b_hubs: &[NodeId],
-    b_dists: &[Distance],
-) -> Option<(Distance, NodeId)> {
-    let mut best: Option<(Distance, NodeId)> = None;
-    let (mut i, mut j) = (0usize, 0usize);
-    while i < a_hubs.len() && j < b_hubs.len() {
-        match a_hubs[i].cmp(&b_hubs[j]) {
-            std::cmp::Ordering::Less => i += 1,
-            std::cmp::Ordering::Greater => j += 1,
-            std::cmp::Ordering::Equal => {
-                let d = a_dists[i].saturating_add(b_dists[j]);
-                if best.is_none_or(|(bd, _)| d < bd) {
-                    best = Some((d, a_hubs[i]));
                 }
                 i += 1;
                 j += 1;
@@ -426,6 +543,105 @@ mod tests {
         let a = HubLabel::from_pairs(vec![(0, u64::MAX - 1)]);
         let b = HubLabel::from_pairs(vec![(0, 5)]);
         assert_eq!(a.join(&b), INFINITY);
+    }
+
+    #[test]
+    fn saturated_sum_is_unreachable_not_witnessed() {
+        // Regression (the PR-10 headline bug): two large *finite* label
+        // distances saturate to the INFINITY sentinel. The witness path
+        // used to hand that sentinel back as a witnessed "finite" minimum;
+        // a saturated sum must read exactly like a disjoint hub set.
+        let a = HubLabel::from_pairs(vec![(3, u64::MAX - 1)]);
+        let b = HubLabel::from_pairs(vec![(3, 5)]);
+        assert_eq!(a.join(&b), INFINITY);
+        assert_eq!(a.join_with_witness(&b), None);
+        // Exactly at the boundary: the sum lands on u64::MAX itself.
+        let a = HubLabel::from_pairs(vec![(3, u64::MAX - 5)]);
+        assert_eq!(a.join_with_witness(&b), None);
+        // One below the sentinel is still a real, witnessed distance.
+        let a = HubLabel::from_pairs(vec![(3, u64::MAX - 6)]);
+        assert_eq!(a.join_with_witness(&b), Some((u64::MAX - 1, 3)));
+        // A saturating pair must not shadow a finite sum on another hub.
+        let a = HubLabel::from_pairs(vec![(3, u64::MAX - 1), (7, 10)]);
+        let b = HubLabel::from_pairs(vec![(3, 5), (7, 2)]);
+        assert_eq!(a.join(&b), 12);
+        assert_eq!(a.join_with_witness(&b), Some((12, 7)));
+    }
+
+    #[test]
+    fn branchless_matches_branchy_reference() {
+        // Differential check on adversarial shapes: overlapping, disjoint,
+        // nested ranges, duplicates of length 0/1, saturating distances.
+        type Pairs = Vec<(NodeId, Distance)>;
+        let cases: &[(Pairs, Pairs)] = &[
+            (vec![], vec![]),
+            (vec![(1, 1)], vec![]),
+            (vec![(1, 2), (5, 0)], vec![(1, 9), (5, 1)]),
+            (vec![(0, 3), (2, 1), (9, 4)], vec![(1, 1), (2, 3), (8, 0)]),
+            (vec![(4, u64::MAX - 1)], vec![(4, 7)]),
+            (
+                vec![(0, 1), (1, 1), (2, 1), (3, 1)],
+                vec![(3, 1), (4, 1), (5, 1)],
+            ),
+        ];
+        for (pa, pb) in cases {
+            let a = HubLabel::from_pairs(pa.clone());
+            let b = HubLabel::from_pairs(pb.clone());
+            assert_eq!(
+                merge_join(a.hubs(), a.distances(), b.hubs(), b.distances()),
+                merge_join_branchy(a.hubs(), a.distances(), b.hubs(), b.distances()),
+                "{pa:?} vs {pb:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn gallop_agrees_with_branchy_on_long_skewed_labels() {
+        // The coarse stride-skip advance only fires on labels longer than
+        // the gallop stride; the fixed cases above never reach it. Seeded
+        // random labels far above the stride, balanced and heavily skewed
+        // in both directions, pin the galloping kernels against the
+        // branchy reference and a naive binary-search witness oracle.
+        let mut rng = hl_graph::rng::Xorshift64::seed_from_u64(0xC0FFEE);
+        for case in 0..200usize {
+            let (la, lb) = match case % 3 {
+                0 => (1 + rng.gen_index(600), 1 + rng.gen_index(600)),
+                1 => (1 + rng.gen_index(600), 1 + rng.gen_index(20)),
+                _ => (1 + rng.gen_index(20), 1 + rng.gen_index(600)),
+            };
+            let mut make_label = |len: usize| {
+                let mut hubs: Vec<NodeId> = Vec::with_capacity(len);
+                let mut dists: Vec<Distance> = Vec::with_capacity(len);
+                let mut h: u64 = 0;
+                for _ in 0..len {
+                    h += 1 + rng.gen_index(6) as u64;
+                    hubs.push(h as NodeId);
+                    dists.push(rng.gen_index(1_000) as Distance);
+                }
+                (hubs, dists)
+            };
+            let (ah, ad) = make_label(la);
+            let (bh, bd) = make_label(lb);
+            assert_eq!(
+                merge_join(&ah, &ad, &bh, &bd),
+                merge_join_branchy(&ah, &ad, &bh, &bd),
+                "case {case}"
+            );
+            let mut naive: Option<(Distance, NodeId)> = None;
+            for (i, &h) in ah.iter().enumerate() {
+                if let Ok(j) = bh.binary_search(&h) {
+                    let d = ad[i].saturating_add(bd[j]);
+                    if d < naive.map_or(INFINITY, |(b, _)| b) {
+                        naive = Some((d, h));
+                    }
+                }
+            }
+            assert_eq!(
+                merge_join_with_witness(&ah, &ad, &bh, &bd),
+                naive,
+                "witness, case {case}"
+            );
+        }
     }
 
     #[test]

@@ -14,6 +14,10 @@
 //!   the [`LabelingView`] borrowed view both representations implement;
 //! * [`flat`] — [`FlatLabeling`], the single-arena CSR layout that is the
 //!   canonical query-time representation (serving code holds this form);
+//! * [`compact`] — [`CompactLabeling`], the byte-tuned arena (u16/u32
+//!   distance lanes, delta-coded hub ids decoded on the fly);
+//! * [`freq`] — hub-frequency label reordering, a layout pass that moves
+//!   hot hubs to the front of every run;
 //! * [`cover`] — verification that a labeling answers every query exactly;
 //! * [`pll`] — Pruned Landmark Labeling (the canonical practical
 //!   construction, exact by design);
@@ -47,9 +51,11 @@
 #![warn(missing_docs)]
 
 pub mod approx;
+pub mod compact;
 pub mod corrected;
 pub mod cover;
 pub mod flat;
+pub mod freq;
 pub mod greedy;
 pub mod hierarchical;
 pub mod io;
@@ -65,6 +71,7 @@ pub mod separator_labeling;
 pub mod stats;
 pub mod tree;
 
+pub use compact::{CompactDists, CompactError, CompactLabeling, HubDeltas};
 pub use flat::{FlatLabeling, FlatLayoutError};
 pub use label::{HubLabel, HubLabeling, LabelingView};
 pub use order::{OrderError, VertexOrder};

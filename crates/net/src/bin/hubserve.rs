@@ -7,9 +7,9 @@
 //! hubserve stats <store-file>                         store + arena sizes
 //! hubserve bench <store-file> [options]               in-process load test
 //! hubserve serve <store-file> [options]               TCP daemon (HLNP)
-//! hubserve convert <in-store> <out-store> --to v1|v2  migrate store formats
+//! hubserve convert <in-store> <out-store> --to v1|v2|v2c  migrate store formats
 //! hubserve reload <host:port> <server-store-path>     hot-swap a daemon's store
-//! hubserve storebench <store-file> [options]          v1-vs-v2 load timing
+//! hubserve storebench <store-file> [options]          v1/v2/v2c load timing
 //! ```
 //!
 //! `build` reads the plain-text edge list of `hl_graph::io` — or
@@ -31,15 +31,19 @@
 //! through the cached single-query path — and prints `u v <distance>` per
 //! pair, with `inf` for unreachable.
 //!
-//! `stats` validates the store, decodes it into the flat query-time arena
-//! (`hl_core::FlatLabeling`, exactly what `serve`/`bench` load), and
-//! prints both the on-disk and in-memory sizes, so the store-size claims
-//! in EXPERIMENTS.md regenerate from the CLI.
+//! `stats` validates the store, decodes it into the query-time arena it
+//! would actually serve from (flat CSR, or the compact arena for the
+//! `v2c` flavor — exactly what `serve`/`bench` mount), and prints both
+//! the on-disk and in-memory sizes, so the store-size claims in
+//! EXPERIMENTS.md regenerate from the CLI.
 //!
 //! `bench` drives the engine with seeded random batches on 1 worker and on
 //! N workers, reports throughput and the speedup, then replays a skewed
 //! single-query workload to exercise the cache, and dumps the metrics
-//! snapshot.
+//! snapshot. It also runs the flat-vs-compact arena head-to-head on the
+//! same pair stream (verifying both arenas return identical answers) and
+//! a branchy-vs-branchless merge-join kernel microbench, so the tuning
+//! claims in EXPERIMENTS.md regenerate from one command.
 //!
 //! `serve` loads a store of either format into a [`hl_net::NetServer`]
 //! and answers HLNP frames until a `Shutdown` request arrives, then
@@ -49,19 +53,24 @@
 //! a `Reload` frame (disable with `--no-remote-reload`): in-flight
 //! queries finish on the old epoch, new ones answer from the new store.
 //!
-//! `convert` migrates a store between HLBS v1 (γ-coded archival format)
-//! and HLBS v2 (the flat serving arena, verbatim). Both γ-coding and the
-//! v2 layout are canonical functions of the labeling, so
-//! `convert --to v2` then `convert --to v1` reproduces the original file
-//! byte for byte — `--verify-roundtrip` proves it on the spot.
+//! `convert` migrates a store between HLBS v1 (γ-coded archival format),
+//! HLBS v2 (the flat serving arena, verbatim) and HLBS v2c (the compact
+//! flavor: delta-coded hubs, narrow distance lanes). All three encodings
+//! are canonical functions of the labeling, so `convert --to v2` then
+//! `convert --to v1` reproduces the original file byte for byte —
+//! `--verify-roundtrip` proves it on the spot. `--reorder freq` applies
+//! the hub-frequency id remap before encoding (hot hubs get small ids,
+//! which shrinks the compact deltas); the remap changes hub ids, so it
+//! refuses to combine with `--verify-roundtrip`.
 //!
 //! `reload` asks a running daemon (one with remote reload enabled) to
 //! mount the store at a *server-local* path and reports the new epoch.
 //!
 //! `storebench` measures what v2 exists for: wall-time from store bytes
-//! to a query-ready arena. It re-encodes the given store into both
-//! formats in memory, times parse+decode for each, and reports MB/s and
-//! the speedup (`--bench-json` drops the BENCH_store.json snapshot).
+//! to a query-ready arena. It re-encodes the given store into all three
+//! formats in memory, times parse+decode for each (the v2c row mounts
+//! the compact arena natively, no expansion), and reports MB/s and the
+//! speedup (`--bench-json` drops the BENCH_store.json snapshot).
 //!
 //! Exit codes: 0 success, 1 runtime failure (bad store, i/o), 2 usage.
 
@@ -72,14 +81,15 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use hl_build::BuildConfig;
+use hl_core::label::{merge_join, merge_join_branchy};
 use hl_core::order::{
     BetweennessOrder, BfsLevelOrder, ClosenessOrder, DegreeOrder, IdentityOrder, RandomOrder,
 };
-use hl_core::VertexOrder;
+use hl_core::{freq, CompactLabeling, VertexOrder};
 use hl_graph::rng::Xorshift64;
 use hl_graph::{generators, Graph, NodeId, INFINITY};
 use hl_net::{ClientConfig, NetClient, NetServer, ServerConfig};
-use hl_server::{AnyStore, FlatStore, LabelStore, QueryEngine};
+use hl_server::{AnyStore, CompactStore, FlatStore, LabelStore, QueryEngine, ServedLabeling};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -107,7 +117,8 @@ fn main() -> ExitCode {
             eprintln!("  serve <store-file> [--addr HOST:PORT] [--workers N] [--max-conns N]");
             eprintln!("        [--read-timeout-ms N] [--write-timeout-ms N]");
             eprintln!("        [--no-remote-shutdown] [--no-remote-reload]");
-            eprintln!("  convert <in-store> <out-store> --to v1|v2 [--verify-roundtrip]");
+            eprintln!("  convert <in-store> <out-store> --to v1|v2|v2c [--reorder freq]");
+            eprintln!("        [--verify-roundtrip]");
             eprintln!("  reload <host:port> <server-store-path>");
             eprintln!("  storebench <store-file> [--repeat N] [--bench-json FILE]");
             return ExitCode::from(2);
@@ -136,7 +147,7 @@ fn open_store(path: &str) -> Result<LabelStore, String> {
 /// on-disk size, per-section `(name, bytes)` sizes.
 type FlatWithFacts = (hl_core::FlatLabeling, u16, u64, [(&'static str, u64); 3]);
 
-/// Opens a store of either format and decodes it to the serving arena.
+/// Opens a store of either format and decodes it to the flat arena.
 fn open_any_flat(path: &str) -> Result<FlatWithFacts, String> {
     let store = AnyStore::open(path).map_err(|e| format!("cannot open store {path}: {e}"))?;
     let version = store.version();
@@ -146,6 +157,30 @@ fn open_any_flat(path: &str) -> Result<FlatWithFacts, String> {
         .into_flat()
         .map_err(|e| format!("cannot decode store {path}: {e}"))?;
     Ok((flat, version, file_len, sections))
+}
+
+/// Arena in the store's *native* mounted form, plus stats facts: flavor
+/// tag (`"v1"`/`"v2"`/`"v2c"`), format version, on-disk size, sections.
+type ServedWithFacts = (
+    ServedLabeling,
+    &'static str,
+    u16,
+    u64,
+    [(&'static str, u64); 3],
+);
+
+/// Opens a store of any flavor and mounts it the way `serve` would: the
+/// compact flavor stays compact, everything else decodes to the flat CSR.
+fn open_any_served(path: &str) -> Result<ServedWithFacts, String> {
+    let store = AnyStore::open(path).map_err(|e| format!("cannot open store {path}: {e}"))?;
+    let flavor = store.flavor();
+    let version = store.version();
+    let file_len = store.file_len();
+    let sections = store.section_bytes();
+    let served = store
+        .into_served()
+        .map_err(|e| format!("cannot decode store {path}: {e}"))?;
+    Ok((served, flavor, version, file_len, sections))
 }
 
 struct BuildOpts {
@@ -383,7 +418,7 @@ fn cmd_build(args: &[String]) -> Result<(), String> {
         let json = format!(
             concat!(
                 "{{\"bench\":\"build\",\"graph\":\"{}\",\"n\":{},\"m\":{},",
-                "\"threads\":{},\"order\":\"{}\",\"seed\":{},\"build_seconds\":{:.6},",
+                "\"threads\":{},\"nproc\":{},\"order\":\"{}\",\"seed\":{},\"build_seconds\":{:.6},",
                 "\"label_entries\":{},\"store_bytes\":{},\"verified_pairs\":{},",
                 "\"stats\":{}}}\n"
             ),
@@ -391,6 +426,7 @@ fn cmd_build(args: &[String]) -> Result<(), String> {
             g.num_nodes(),
             g.num_edges(),
             opts.threads,
+            default_workers(),
             out.stats.order,
             opts.seed,
             build_s,
@@ -439,9 +475,9 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
         [s, p] => (s, Some(p)),
         _ => return Err("usage: hubserve query <store-file> [pairs-file]".into()),
     };
-    let (flat, _, _, _) = open_any_flat(store_path)?;
-    let n = flat.num_nodes();
-    let engine = QueryEngine::new(flat, default_workers())
+    let (served, _, _, _, _) = open_any_served(store_path)?;
+    let n = served.num_nodes();
+    let engine = QueryEngine::new(served, default_workers())
         .map_err(|e| format!("cannot start engine: {e}"))?;
     let stdout = std::io::stdout();
     let mut out = BufWriter::new(stdout.lock());
@@ -482,15 +518,19 @@ fn cmd_stats(args: &[String]) -> Result<(), String> {
     let [store_path] = args else {
         return Err("usage: hubserve stats <store-file>".into());
     };
-    let (flat, version, file_len, sections) = open_any_flat(store_path)?;
-    let n = flat.num_nodes();
+    let (served, flavor, version, file_len, sections) = open_any_served(store_path)?;
+    let n = served.num_nodes();
     println!("store {store_path}");
-    println!("  format version     {version}");
+    println!("  format version     {version} (flavor {flavor})");
     println!("  nodes              {n}");
-    match version {
-        1 => println!(
+    match flavor {
+        "v1" => println!(
             "  file bytes         {file_len} ({:.1} bits/label gamma-coded)",
             sections[2].1 as f64 * 8.0 / n.max(1) as f64
+        ),
+        "v2c" => println!(
+            "  file bytes         {file_len} ({:.1} bits/label compact arena)",
+            (sections[1].1 + sections[2].1) as f64 * 8.0 / n.max(1) as f64
         ),
         _ => println!(
             "  file bytes         {file_len} ({:.1} bits/label flat arena)",
@@ -500,12 +540,21 @@ fn cmd_stats(args: &[String]) -> Result<(), String> {
     for (name, bytes) in sections {
         println!("  section {name:<10} {bytes} bytes");
     }
-    println!("  arena entries      {}", flat.num_entries());
+    println!("  arena kind         {}", served.kind());
+    if let ServedLabeling::Compact(c) = &served {
+        println!(
+            "  compact lanes      hubs u{}, dists u{} ({:.2} B/entry incl. offsets)",
+            c.hub_entry_bytes() * 8,
+            c.dist_entry_bytes() * 8,
+            c.bytes_per_entry()
+        );
+    }
+    println!("  arena entries      {}", served.num_entries());
     println!(
         "  arena heap bytes   {} ({:.1} avg hubs/vertex, max {})",
-        flat.heap_bytes(),
-        flat.average_hubs(),
-        flat.max_hubs()
+        served.heap_bytes(),
+        served.average_hubs(),
+        served.max_hubs()
     );
     Ok(())
 }
@@ -590,8 +639,8 @@ fn run_batches(
 
 fn cmd_bench(args: &[String]) -> Result<(), String> {
     let (store_path, opts) = parse_bench_opts(args)?;
-    let (labeling, _, file_len, _) = open_any_flat(&store_path)?;
-    let n = labeling.num_nodes();
+    let (served, flavor, _, file_len, _) = open_any_served(&store_path)?;
+    let n = served.num_nodes();
     if n < 2 {
         return Err("store too small to bench".into());
     }
@@ -602,27 +651,113 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
         .collect();
 
     println!(
-        "store: {n} nodes, {file_len} bytes; load: {} queries in batches of {}",
+        "store: {n} nodes, {file_len} bytes ({flavor}); load: {} queries in batches of {}",
         opts.queries, opts.batch
     );
 
+    // Head-to-head arenas from the same labeling, whatever flavor was on
+    // disk. The compact build only fails when a distance overflows u32 —
+    // report it and carry on flat-only.
+    let flat = served.into_flat();
+    let entries = flat.num_entries();
+    let compact = match CompactLabeling::from_flat(&flat) {
+        Ok(c) => Some(c),
+        Err(e) => {
+            println!("  (skipping compact head-to-head: {e})");
+            None
+        }
+    };
+
     let single =
-        QueryEngine::new(labeling.clone(), 1).map_err(|e| format!("cannot start engine: {e}"))?;
+        QueryEngine::new(flat.clone(), 1).map_err(|e| format!("cannot start engine: {e}"))?;
     let t1 = run_batches(&single, &pairs, opts.batch)?;
     println!(
-        "  1 worker : {:>10.0} queries/s ({t1:.3}s)",
-        opts.queries as f64 / t1
+        "  flat     1 worker : {:>10.0} queries/s ({t1:.3}s, {:.1} B/entry)",
+        opts.queries as f64 / t1,
+        flat.heap_bytes() as f64 / entries.max(1) as f64
     );
     drop(single);
 
-    let pooled = QueryEngine::new(labeling, opts.workers)
+    let pooled = QueryEngine::new(flat.clone(), opts.workers)
         .map_err(|e| format!("cannot start engine: {e}"))?;
     let tn = run_batches(&pooled, &pairs, opts.batch)?;
     println!(
-        "  {} workers: {:>10.0} queries/s ({tn:.3}s)  speedup {:.2}x",
+        "  flat     {} workers: {:>10.0} queries/s ({tn:.3}s)  speedup {:.2}x",
         opts.workers,
         opts.queries as f64 / tn,
         t1 / tn
+    );
+
+    // Same engine, same pair stream, compact arena mounted instead.
+    let (tc1, tcn, verified, compact_bpe) = match &compact {
+        Some(c) => {
+            let mut verified = 0usize;
+            for &(u, v) in &pairs {
+                if flat.query(u, v) != c.query(u, v) {
+                    return Err(format!(
+                        "head-to-head FAILED: flat and compact arenas disagree on d({u},{v})"
+                    ));
+                }
+                verified += 1;
+            }
+            let c_single =
+                QueryEngine::new(c.clone(), 1).map_err(|e| format!("cannot start engine: {e}"))?;
+            let tc1 = run_batches(&c_single, &pairs, opts.batch)?;
+            drop(c_single);
+            let c_pooled = QueryEngine::new(c.clone(), opts.workers)
+                .map_err(|e| format!("cannot start engine: {e}"))?;
+            let tcn = run_batches(&c_pooled, &pairs, opts.batch)?;
+            drop(c_pooled);
+            println!(
+                "  compact  1 worker : {:>10.0} queries/s ({tc1:.3}s, {:.1} B/entry)",
+                opts.queries as f64 / tc1,
+                c.bytes_per_entry()
+            );
+            println!(
+                "  compact  {} workers: {:>10.0} queries/s ({tcn:.3}s)  speedup {:.2}x",
+                opts.workers,
+                opts.queries as f64 / tcn,
+                tc1 / tcn
+            );
+            println!(
+                "  head-to-head: {verified} answers identical; compact arena {:.1}% of flat bytes",
+                100.0 * c.heap_bytes() as f64 / flat.heap_bytes().max(1) as f64
+            );
+            (tc1, tcn, verified, c.bytes_per_entry())
+        }
+        None => (0.0, 0.0, 0, 0.0),
+    };
+
+    // Merge-join kernel microbench on raw label slices: the shipping
+    // branchless kernel against the branchy reference formulation.
+    type JoinFn = dyn Fn(&[NodeId], &[u64], &[NodeId], &[u64]) -> u64;
+    let time_kernel = |f: &JoinFn| -> f64 {
+        let started = Instant::now();
+        let mut sink = 0u64;
+        for &(u, v) in &pairs {
+            sink = sink.wrapping_add(f(
+                flat.hubs_of(u),
+                flat.dists_of(u),
+                flat.hubs_of(v),
+                flat.dists_of(v),
+            ));
+        }
+        std::hint::black_box(sink);
+        started.elapsed().as_secs_f64()
+    };
+    // Alternate repetitions and keep each kernel's best pass, so a cache
+    // warm-up or scheduler hiccup cannot decide the head-to-head.
+    let (mut t_branchy, mut t_branchless) = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..3 {
+        t_branchy = t_branchy.min(time_kernel(&merge_join_branchy));
+        t_branchless = t_branchless.min(time_kernel(&merge_join));
+    }
+    let per_join = |t: f64| t * 1e9 / pairs.len().max(1) as f64;
+    println!(
+        "  kernel: branchy {:.1} ns/join, branchless {:.1} ns/join ({:.2}x)",
+        per_join(t_branchy),
+        per_join(t_branchless),
+        t_branchy / t_branchless.max(1e-12)
     );
 
     // Skewed point lookups: a small hot set replayed through the cache.
@@ -645,23 +780,44 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
     let snap = pooled.snapshot();
     println!("{}", snap.render_text());
     if let Some(path) = &opts.bench_json {
+        let qps = |t: f64| {
+            if t > 0.0 {
+                opts.queries as f64 / t
+            } else {
+                0.0
+            }
+        };
         let json = format!(
             concat!(
-                "{{\"bench\":\"query\",\"store\":\"{}\",\"n\":{},\"label_entries\":{},",
-                "\"queries\":{},\"batch\":{},\"seed\":{},\"workers\":{},",
+                "{{\"bench\":\"query\",\"store\":\"{}\",\"flavor\":\"{}\",\"n\":{},",
+                "\"label_entries\":{},\"queries\":{},\"batch\":{},\"seed\":{},",
+                "\"workers\":{},\"nproc\":{},",
                 "\"single_qps\":{:.0},\"pooled_qps\":{:.0},\"speedup\":{:.3},",
+                "\"compact_single_qps\":{:.0},\"compact_pooled_qps\":{:.0},",
+                "\"verified_identical\":{},",
+                "\"flat_bytes_per_entry\":{:.2},\"compact_bytes_per_entry\":{:.2},",
+                "\"branchy_ns_per_join\":{:.1},\"branchless_ns_per_join\":{:.1},",
                 "\"cached_single_qps\":{:.0},\"p50_ns\":{},\"p99_ns\":{}}}\n"
             ),
             store_path,
+            flavor,
             n,
-            pooled.num_entries(),
+            entries,
             opts.queries,
             opts.batch,
             opts.seed,
             opts.workers,
-            opts.queries as f64 / t1,
-            opts.queries as f64 / tn,
+            default_workers(),
+            qps(t1),
+            qps(tn),
             t1 / tn,
+            qps(tc1),
+            qps(tcn),
+            verified,
+            flat.heap_bytes() as f64 / entries.max(1) as f64,
+            compact_bpe,
+            per_join(t_branchy),
+            per_join(t_branchless),
             singles as f64 / ts,
             snap.p50_ns,
             snap.p99_ns,
@@ -746,9 +902,10 @@ fn parse_serve_opts(args: &[String]) -> Result<(String, ServeOpts), String> {
 
 fn cmd_serve(args: &[String]) -> Result<(), String> {
     let (store_path, opts) = parse_serve_opts(args)?;
-    let (flat, version, _, _) = open_any_flat(&store_path)?;
+    let (served, flavor, version, _, _) = open_any_served(&store_path)?;
+    let arena_kind = served.kind();
     let engine = Arc::new(
-        QueryEngine::new(flat, opts.workers).map_err(|e| format!("cannot start engine: {e}"))?,
+        QueryEngine::new(served, opts.workers).map_err(|e| format!("cannot start engine: {e}"))?,
     );
     let config = ServerConfig {
         max_connections: opts.max_conns,
@@ -762,7 +919,8 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     let server = NetServer::bind(Arc::clone(&engine), opts.addr.as_str(), config)
         .map_err(|e| format!("cannot bind {}: {e}", opts.addr))?;
     println!(
-        "serving {} nodes, {} label entries (store v{version}, {} arena bytes, {} workers, {} max conns)",
+        "serving {} nodes, {} label entries (store {flavor}, {arena_kind} arena, \
+         {} arena bytes, {} workers, {} max conns)",
         engine.num_nodes(),
         engine.num_entries(),
         engine.heap_bytes(),
@@ -781,27 +939,33 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-const CONVERT_USAGE: &str =
-    "usage: hubserve convert <in-store> <out-store> --to v1|v2 [--verify-roundtrip]";
+const CONVERT_USAGE: &str = "usage: hubserve convert <in-store> <out-store> \
+     --to v1|v2|v2c [--reorder freq] [--verify-roundtrip]";
 
-/// Encodes `flat` in the requested store format.
-fn encode_as(flat: &hl_core::FlatLabeling, version: u16) -> Result<Vec<u8>, String> {
-    match version {
-        1 => {
+/// Encodes `flat` in the requested store flavor (`"v1"`, `"v2"`, `"v2c"`).
+fn encode_as(flat: &hl_core::FlatLabeling, flavor: &str) -> Result<Vec<u8>, String> {
+    match flavor {
+        "v1" => {
             let mut bytes = Vec::new();
             LabelStore::from_flat(flat)
                 .write_to(&mut bytes)
                 .map_err(|e| format!("cannot encode v1: {e}"))?;
             Ok(bytes)
         }
-        2 => Ok(FlatStore::from_flat(flat.clone()).encode()),
-        other => Err(format!("unknown target version v{other}")),
+        "v2" => Ok(FlatStore::from_flat(flat.clone()).encode()),
+        "v2c" => {
+            let compact =
+                CompactLabeling::from_flat(flat).map_err(|e| format!("cannot encode v2c: {e}"))?;
+            Ok(CompactStore::from_compact(compact).encode())
+        }
+        other => Err(format!("unknown target flavor '{other}'")),
     }
 }
 
 fn cmd_convert(args: &[String]) -> Result<(), String> {
     let mut positionals = Vec::new();
     let mut to = None;
+    let mut reorder = None;
     let mut verify_roundtrip = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -812,6 +976,7 @@ fn cmd_convert(args: &[String]) -> Result<(), String> {
         };
         match arg.as_str() {
             "--to" => to = Some(take("--to")?.to_string()),
+            "--reorder" => reorder = Some(take("--reorder")?.to_string()),
             "--verify-roundtrip" => verify_roundtrip = true,
             other if !other.starts_with('-') => positionals.push(other.to_string()),
             other => return Err(format!("unexpected argument '{other}'")),
@@ -820,32 +985,54 @@ fn cmd_convert(args: &[String]) -> Result<(), String> {
     let ([in_path, out_path], Some(to)) = (positionals.as_slice(), to) else {
         return Err(CONVERT_USAGE.into());
     };
-    let target: u16 = match to.as_str() {
-        "v1" | "1" => 1,
-        "v2" | "2" => 2,
-        other => return Err(format!("--to must be v1 or v2, not '{other}'")),
+    let target = match to.as_str() {
+        "v1" | "1" => "v1",
+        "v2" | "2" => "v2",
+        "v2c" | "2c" => "v2c",
+        other => return Err(format!("--to must be v1, v2 or v2c, not '{other}'")),
     };
+    match reorder.as_deref() {
+        None => {}
+        Some("freq") if verify_roundtrip => {
+            return Err(
+                "--reorder freq remaps hub ids, so the output cannot re-encode to the \
+                 input bytes; drop --verify-roundtrip"
+                    .into(),
+            )
+        }
+        Some("freq") => {}
+        Some(other) => return Err(format!("--reorder must be freq, not '{other}'")),
+    }
 
     let in_bytes = std::fs::read(in_path).map_err(|e| format!("cannot read {in_path}: {e}"))?;
     let store =
         AnyStore::parse(&in_bytes).map_err(|e| format!("cannot parse store {in_path}: {e}"))?;
-    let source = store.version();
-    let flat = store
+    let source = store.flavor();
+    let mut flat = store
         .into_flat()
         .map_err(|e| format!("cannot decode store {in_path}: {e}"))?;
+    if reorder.is_some() {
+        let before = flat.heap_bytes();
+        let (tuned, _) = freq::reorder_by_hub_frequency(&flat);
+        flat = tuned;
+        println!(
+            "reordered hub ids by global frequency ({} entries, flat arena {before} bytes)",
+            flat.num_entries()
+        );
+    }
     let out_bytes = encode_as(&flat, target)?;
     std::fs::write(out_path, &out_bytes).map_err(|e| format!("cannot write {out_path}: {e}"))?;
     println!(
-        "converted {in_path} (v{source}, {} bytes) -> {out_path} (v{target}, {} bytes, {:.2}x)",
+        "converted {in_path} ({source}, {} bytes) -> {out_path} ({target}, {} bytes, {:.2}x)",
         in_bytes.len(),
         out_bytes.len(),
         out_bytes.len() as f64 / in_bytes.len().max(1) as f64
     );
 
     if verify_roundtrip {
-        // Both encodings are canonical functions of the labeling, so
+        // All three encodings are canonical functions of the labeling, so
         // decoding what we just wrote and re-encoding in the *source*
-        // format must reproduce the input byte for byte.
+        // flavor must reproduce the input byte for byte.
         let back = AnyStore::parse(&out_bytes)
             .map_err(|e| format!("roundtrip: cannot re-parse output: {e}"))?
             .into_flat()
@@ -853,14 +1040,14 @@ fn cmd_convert(args: &[String]) -> Result<(), String> {
         let again = encode_as(&back, source)?;
         if again != in_bytes {
             return Err(format!(
-                "roundtrip FAILED: v{target} -> v{source} re-encoding differs from the input \
+                "roundtrip FAILED: {target} -> {source} re-encoding differs from the input \
                  ({} vs {} bytes)",
                 again.len(),
                 in_bytes.len()
             ));
         }
         println!(
-            "roundtrip verified: v{source} -> v{target} -> v{source} is byte-identical \
+            "roundtrip verified: {source} -> {target} -> {source} is byte-identical \
              ({} bytes)",
             in_bytes.len()
         );
@@ -923,75 +1110,97 @@ fn cmd_storebench(args: &[String]) -> Result<(), String> {
     }
 
     let (flat, source, _, _) = open_any_flat(&store_path)?;
-    println!(
-        "store {store_path} (v{source}): {} nodes, {} entries",
-        flat.num_nodes(),
-        flat.num_entries()
-    );
-    println!("re-encoding both formats in memory, timing bytes -> query-ready arena:");
+    let (n, entries) = (flat.num_nodes(), flat.num_entries());
+    println!("store {store_path} (v{source}): {n} nodes, {entries} entries");
+    println!("re-encoding all formats in memory, timing bytes -> query-ready arena:");
 
-    // Both formats parse from RAM, so the numbers isolate decode cost
+    // All formats parse from RAM, so the numbers isolate decode cost
     // from disk and page-cache behavior.
-    let v1_bytes = encode_as(&flat, 1)?;
-    let v2_bytes = encode_as(&flat, 2)?;
+    let v1_bytes = encode_as(&flat, "v1")?;
+    let v2_bytes = encode_as(&flat, "v2")?;
+    let v2c_bytes = match encode_as(&flat, "v2c") {
+        Ok(b) => Some(b),
+        Err(e) => {
+            println!("  (skipping v2c row: {e})");
+            None
+        }
+    };
     drop(flat);
 
+    // Each flavor is timed to *its own* mounted arena — flat for v1/v2,
+    // the compact arena for v2c — matching what `serve` does.
     let time_load = |bytes: &[u8]| -> Result<f64, String> {
         let mut best = f64::INFINITY;
         for _ in 0..opts.repeat {
             let started = Instant::now();
-            let flat = AnyStore::parse(bytes)
+            let served = AnyStore::parse(bytes)
                 .map_err(|e| format!("bench parse: {e}"))?
-                .into_flat()
+                .into_served()
                 .map_err(|e| format!("bench decode: {e}"))?;
             best = best.min(started.elapsed().as_secs_f64());
-            std::hint::black_box(flat);
+            std::hint::black_box(served);
         }
         Ok(best)
     };
     let t1 = time_load(&v1_bytes)?;
     let t2 = time_load(&v2_bytes)?;
+    let t2c = match &v2c_bytes {
+        Some(b) => Some(time_load(b)?),
+        None => None,
+    };
     let mbs = |bytes: usize, t: f64| bytes as f64 / 1e6 / t.max(1e-12);
     println!(
-        "  v1 (gamma-coded): {:>12} bytes  {t1:>9.3}s  {:>8.1} MB/s",
+        "  v1  (gamma-coded)  : {:>12} bytes  {t1:>9.3}s  {:>8.1} MB/s",
         v1_bytes.len(),
         mbs(v1_bytes.len(), t1)
     );
     println!(
-        "  v2 (flat arena) : {:>12} bytes  {t2:>9.3}s  {:>8.1} MB/s",
+        "  v2  (flat arena)   : {:>12} bytes  {t2:>9.3}s  {:>8.1} MB/s",
         v2_bytes.len(),
         mbs(v2_bytes.len(), t2)
     );
+    if let (Some(b), Some(t)) = (&v2c_bytes, t2c) {
+        println!(
+            "  v2c (compact arena): {:>12} bytes  {t:>9.3}s  {:>8.1} MB/s",
+            b.len(),
+            mbs(b.len(), t)
+        );
+    }
     println!(
-        "  load speedup: {:.1}x wall-time (best of {} runs each)",
+        "  load speedup: {:.1}x wall-time v1 -> v2 (best of {} runs each)",
         t1 / t2.max(1e-12),
         opts.repeat
     );
 
     if let Some(path) = &opts.bench_json {
-        let flat = AnyStore::parse(&v2_bytes)
-            .map_err(|e| format!("bench parse: {e}"))?
-            .into_flat()
-            .map_err(|e| format!("bench decode: {e}"))?;
         let json = format!(
             concat!(
                 "{{\"bench\":\"store\",\"store\":\"{}\",\"source_version\":{},",
-                "\"n\":{},\"label_entries\":{},\"repeat\":{},",
-                "\"v1_bytes\":{},\"v2_bytes\":{},",
+                "\"n\":{},\"label_entries\":{},\"repeat\":{},\"seed\":0,\"nproc\":{},",
+                "\"v1_bytes\":{},\"v2_bytes\":{},\"v2c_bytes\":{},",
                 "\"v1_load_seconds\":{:.6},\"v2_load_seconds\":{:.6},",
-                "\"v1_mb_per_s\":{:.1},\"v2_mb_per_s\":{:.1},\"load_speedup\":{:.2}}}\n"
+                "\"v2c_load_seconds\":{:.6},",
+                "\"v1_mb_per_s\":{:.1},\"v2_mb_per_s\":{:.1},\"v2c_mb_per_s\":{:.1},",
+                "\"load_speedup\":{:.2}}}\n"
             ),
             store_path,
             source,
-            flat.num_nodes(),
-            flat.num_entries(),
+            n,
+            entries,
             opts.repeat,
+            default_workers(),
             v1_bytes.len(),
             v2_bytes.len(),
+            v2c_bytes.as_ref().map_or(0, Vec::len),
             t1,
             t2,
+            t2c.unwrap_or(0.0),
             mbs(v1_bytes.len(), t1),
             mbs(v2_bytes.len(), t2),
+            match (&v2c_bytes, t2c) {
+                (Some(b), Some(t)) => mbs(b.len(), t),
+                _ => 0.0,
+            },
             t1 / t2.max(1e-12),
         );
         std::fs::write(path, json).map_err(|e| format!("cannot write {path}: {e}"))?;

@@ -491,7 +491,12 @@ fn write_bench_json(path: &str, opts: &Opts, n: u64, rows: &[MuxRow]) -> std::io
     let mut s = String::new();
     s.push_str("{\n");
     s.push_str("  \"bench\": \"netbench-mux\",\n");
+    s.push_str(&format!("  \"n\": {n},\n"));
     s.push_str(&format!("  \"nodes\": {n},\n"));
+    s.push_str(&format!(
+        "  \"nproc\": {},\n",
+        std::thread::available_parallelism().map_or(1, |p| p.get())
+    ));
     s.push_str(&format!("  \"conns\": {},\n", opts.conns));
     s.push_str(&format!("  \"queries_per_window\": {},\n", opts.queries));
     s.push_str(&format!("  \"seed\": {},\n", opts.seed));

@@ -1007,7 +1007,7 @@ fn handle_reload(inner: &Inner, path: &str) -> Response {
         }
     };
     let version = store.version();
-    let labeling = match store.into_flat() {
+    let labeling = match store.into_served() {
         Ok(f) => f,
         Err(e) => {
             return Response::Error {

@@ -163,6 +163,121 @@ fn stats_reports_arena_size() {
 }
 
 #[test]
+fn convert_to_compact_flavor_serves_identical_answers() {
+    let graph = tempfile("v2c-g.txt");
+    let store = tempfile("v2c-s.hlbs");
+    let compact = tempfile("v2c-c.hlbs");
+    let tuned = tempfile("v2c-t.hlbs");
+    let pairs = tempfile("v2c-p.txt");
+    write_grid_graph(&graph, 8, 8);
+
+    let out = hubserve()
+        .args(["build", graph.to_str().unwrap(), store.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // v1 -> v2c, and a frequency-reordered variant alongside.
+    let out = hubserve()
+        .args([
+            "convert",
+            store.to_str().unwrap(),
+            compact.to_str().unwrap(),
+            "--to",
+            "v2c",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "convert failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let out = hubserve()
+        .args([
+            "convert",
+            store.to_str().unwrap(),
+            tuned.to_str().unwrap(),
+            "--to",
+            "v2c",
+            "--reorder",
+            "freq",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "reorder convert failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // --reorder remaps hub ids, so the byte-roundtrip check must refuse.
+    let out = hubserve()
+        .args([
+            "convert",
+            store.to_str().unwrap(),
+            tuned.to_str().unwrap(),
+            "--to",
+            "v2c",
+            "--reorder",
+            "freq",
+            "--verify-roundtrip",
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+
+    // stats mounts the compact arena natively, and the reported heap
+    // bytes are the exact sum of the lane sizes (satellite c contract).
+    let out = hubserve()
+        .args(["stats", compact.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("flavor v2c"), "{stdout}");
+    assert!(stdout.contains("arena kind         compact"), "{stdout}");
+    let c = match hl_server::AnyStore::open(&compact)
+        .unwrap()
+        .into_served()
+        .unwrap()
+    {
+        hl_server::ServedLabeling::Compact(c) => c,
+        _ => panic!("expected compact arena"),
+    };
+    assert!(stdout.contains(&format!("arena entries      {}", c.num_entries())));
+    assert!(stdout.contains(&format!("arena heap bytes   {}", c.heap_bytes())));
+
+    // All three stores answer the same pairs identically.
+    std::fs::write(&pairs, "0 63\n5 58\n0 0\n7 56\n").unwrap();
+    let mut answers = Vec::new();
+    for p in [&store, &compact, &tuned] {
+        let out = hubserve()
+            .args(["query", p.to_str().unwrap(), pairs.to_str().unwrap()])
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "query failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        answers.push(String::from_utf8_lossy(&out.stdout).into_owned());
+    }
+    assert_eq!(answers[0], answers[1]);
+    assert_eq!(answers[0], answers[2]);
+    // 8x8 grid: corner to corner = 14.
+    assert!(answers[0].starts_with("0 63 14\n"), "{}", answers[0]);
+
+    for f in [graph, store, compact, tuned, pairs] {
+        let _ = std::fs::remove_file(f);
+    }
+}
+
+#[test]
 fn corrupt_store_fails_with_nonzero_exit() {
     let graph = tempfile("bad-g.txt");
     let store = tempfile("bad-s.hlbs");

@@ -14,24 +14,34 @@ use std::path::Path;
 
 use hl_core::FlatLabeling;
 
+use crate::served::ServedLabeling;
 use crate::store::{self, LabelStore, StoreError};
-use crate::store_v2::{self, FlatStore};
+use crate::store_v2::{self, CompactStore, FlatStore};
 
-/// A parsed store of either format version.
+/// A parsed store of either format version (and, for v2, either flavor).
 #[derive(Debug, Clone)]
 pub enum AnyStore {
     /// HLBS v1: γ-coded labels behind an offset table.
     V1(LabelStore),
-    /// HLBS v2: the flat arena laid out verbatim.
+    /// HLBS v2, flat flavor: the flat arena laid out verbatim.
     V2(FlatStore),
+    /// HLBS v2, compact flavor: delta-coded hubs and narrow distances.
+    V2Compact(CompactStore),
 }
 
 impl AnyStore {
-    /// Parses a serialized store of either version, fully validated.
+    /// Parses a serialized store of either version, fully validated. For
+    /// v2 the header flag word picks the flavor ([`store_v2::FLAG_COMPACT`]).
     pub fn parse(bytes: &[u8]) -> Result<Self, StoreError> {
         match store::format_version(bytes)? {
             store::VERSION => Ok(AnyStore::V1(LabelStore::parse(bytes)?)),
-            store_v2::VERSION => Ok(AnyStore::V2(FlatStore::parse(bytes)?)),
+            store_v2::VERSION => {
+                if store_v2::header_flags(bytes)? & store_v2::FLAG_COMPACT != 0 {
+                    Ok(AnyStore::V2Compact(CompactStore::parse(bytes)?))
+                } else {
+                    Ok(AnyStore::V2(FlatStore::parse(bytes)?))
+                }
+            }
             other => Err(StoreError::UnsupportedVersion(other)),
         }
     }
@@ -52,7 +62,17 @@ impl AnyStore {
     pub fn version(&self) -> u16 {
         match self {
             AnyStore::V1(_) => store::VERSION,
-            AnyStore::V2(_) => store_v2::VERSION,
+            AnyStore::V2(_) | AnyStore::V2Compact(_) => store_v2::VERSION,
+        }
+    }
+
+    /// Short flavor tag for stats and CLI output: `"v1"`, `"v2"`, or
+    /// `"v2c"` (the compact flavor).
+    pub fn flavor(&self) -> &'static str {
+        match self {
+            AnyStore::V1(_) => "v1",
+            AnyStore::V2(_) => "v2",
+            AnyStore::V2Compact(_) => "v2c",
         }
     }
 
@@ -61,6 +81,7 @@ impl AnyStore {
         match self {
             AnyStore::V1(s) => s.num_nodes(),
             AnyStore::V2(s) => s.num_nodes(),
+            AnyStore::V2Compact(s) => s.num_nodes(),
         }
     }
 
@@ -69,25 +90,40 @@ impl AnyStore {
         match self {
             AnyStore::V1(s) => s.file_len() as u64,
             AnyStore::V2(s) => s.file_len(),
+            AnyStore::V2Compact(s) => s.file_len(),
         }
     }
 
-    /// Per-section byte sizes (v1: offsets/bit_lens/blob; v2:
+    /// Per-section byte sizes (v1: offsets/bit_lens/blob; v2 flavors:
     /// offsets/hubs/dists), for stats reporting.
     pub fn section_bytes(&self) -> [(&'static str, u64); 3] {
         match self {
             AnyStore::V1(s) => s.section_bytes(),
             AnyStore::V2(s) => s.section_bytes(),
+            AnyStore::V2Compact(s) => s.section_bytes(),
         }
     }
 
     /// Converts into the canonical query-time arena. For v1 this γ-decodes
     /// every label (the untrusted-decode path, so it can fail on a crafted
-    /// store); for v2 the arena is already built and moves out for free.
+    /// store); for v2 the arena is already built and moves out for free;
+    /// the compact flavor expands its delta lanes.
     pub fn into_flat(self) -> Result<FlatLabeling, StoreError> {
         match self {
             AnyStore::V1(s) => s.to_flat(),
             AnyStore::V2(s) => Ok(s.into_flat()),
+            AnyStore::V2Compact(s) => Ok(s.into_compact().to_flat()),
+        }
+    }
+
+    /// Converts into the arena the engine mounts, preserving the store's
+    /// native form: the compact flavor stays compact (no expansion — the
+    /// whole point of serving it), everything else lands flat.
+    pub fn into_served(self) -> Result<ServedLabeling, StoreError> {
+        match self {
+            AnyStore::V1(s) => Ok(ServedLabeling::Flat(s.to_flat()?)),
+            AnyStore::V2(s) => Ok(ServedLabeling::Flat(s.into_flat())),
+            AnyStore::V2Compact(s) => Ok(ServedLabeling::Compact(s.into_compact())),
         }
     }
 }
@@ -125,6 +161,31 @@ mod tests {
         assert_eq!(v2.version(), 2);
         assert_eq!(v2.file_len(), v2_bytes.len() as u64);
         assert_eq!(v2.into_flat().unwrap(), flat);
+    }
+
+    #[test]
+    fn dispatches_compact_flavor() {
+        let (_, flat) = sample();
+        let compact = hl_core::CompactLabeling::from_flat(&flat).unwrap();
+        let bytes = CompactStore::from_compact(compact.clone()).encode();
+        let any = AnyStore::parse(&bytes).unwrap();
+        assert_eq!(any.version(), 2);
+        assert_eq!(any.flavor(), "v2c");
+        assert_eq!(any.num_nodes(), flat.num_nodes());
+        assert_eq!(any.file_len(), bytes.len() as u64);
+        // into_served keeps the native compact arena; into_flat expands.
+        match AnyStore::parse(&bytes).unwrap().into_served().unwrap() {
+            ServedLabeling::Compact(c) => assert_eq!(c, compact),
+            other => panic!("expected compact arena, got {}", other.kind()),
+        }
+        assert_eq!(any.into_flat().unwrap(), flat);
+        // The flat flavors report their own tags.
+        let v2 = AnyStore::parse(&FlatStore::from_flat(flat.clone()).encode()).unwrap();
+        assert_eq!(v2.flavor(), "v2");
+        assert!(matches!(
+            v2.into_served().unwrap(),
+            ServedLabeling::Flat(f) if f == flat
+        ));
     }
 
     #[test]

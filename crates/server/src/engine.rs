@@ -1,8 +1,9 @@
 //! The query engine: a fixed-size worker pool answering distance queries
 //! from a decoded, read-only labeling shared across threads.
 //!
-//! Labels are decoded from the store once at construction — straight into
-//! a [`FlatLabeling`] CSR arena, the canonical query-time representation.
+//! Labels are decoded from the store once at construction — into a
+//! [`ServedLabeling`]: either the canonical [`hl_core::FlatLabeling`] CSR
+//! arena or the byte-tuned [`hl_core::CompactLabeling`] form.
 //! The arena (plus its LRU cache) lives inside an immutable **epoch**
 //! behind a versioned `Arc` cell: every query snapshots the current epoch
 //! with one brief read-lock clone and then runs lock-free against that
@@ -33,12 +34,12 @@ use std::sync::{Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
-use hl_core::FlatLabeling;
 use hl_graph::sync::{lock_unpoisoned, read_unpoisoned, write_unpoisoned};
 use hl_graph::{Distance, NodeId};
 
 use crate::cache::ShardedLruCache;
 use crate::metrics::{Metrics, MetricsSnapshot};
+use crate::served::ServedLabeling;
 use crate::store::{LabelStore, StoreError};
 
 /// Default number of entries the single-query cache holds.
@@ -101,7 +102,7 @@ impl From<StoreError> for EngineError {
 struct Epoch {
     /// Monotonically increasing generation number, starting at 0.
     serial: u64,
-    labeling: FlatLabeling,
+    labeling: ServedLabeling,
     cache: ShardedLruCache,
 }
 
@@ -153,10 +154,14 @@ impl QueryEngine {
         Self::new(store.to_flat()?, num_workers)
     }
 
-    /// Starts an engine over an already-decoded labeling. Accepts the
-    /// flat arena directly or anything convertible into it (a nested
-    /// [`hl_core::HubLabeling`] is flattened once, here).
-    pub fn new(labeling: impl Into<FlatLabeling>, num_workers: usize) -> Result<Self, EngineError> {
+    /// Starts an engine over an already-decoded labeling. Accepts either
+    /// query-time arena (the flat CSR or the compact form) or anything
+    /// convertible into one — a nested [`hl_core::HubLabeling`] is
+    /// flattened once, here.
+    pub fn new(
+        labeling: impl Into<ServedLabeling>,
+        num_workers: usize,
+    ) -> Result<Self, EngineError> {
         Self::with_cache_capacity(labeling, num_workers, DEFAULT_CACHE_CAPACITY)
     }
 
@@ -165,7 +170,7 @@ impl QueryEngine {
     /// Fails with [`EngineError::WorkerSpawn`] if the OS cannot start a
     /// worker thread; any workers already started are reaped first.
     pub fn with_cache_capacity(
-        labeling: impl Into<FlatLabeling>,
+        labeling: impl Into<ServedLabeling>,
         num_workers: usize,
         cache_capacity: usize,
     ) -> Result<Self, EngineError> {
@@ -226,9 +231,15 @@ impl QueryEngine {
         self.shared.snapshot().labeling.num_entries()
     }
 
-    /// Heap footprint of the served [`FlatLabeling`] arena, in bytes.
+    /// Heap footprint of the served arena, in bytes — exact for both
+    /// arena forms.
     pub fn heap_bytes(&self) -> usize {
         self.shared.snapshot().labeling.heap_bytes()
+    }
+
+    /// Which arena form the current epoch serves: `"flat"` or `"compact"`.
+    pub fn arena_kind(&self) -> &'static str {
+        self.shared.snapshot().labeling.kind()
     }
 
     /// Serial number of the epoch currently being served. Starts at 0 and
@@ -248,7 +259,7 @@ impl QueryEngine {
     /// already parsed cleanly (the serving daemon opens and validates the
     /// file before calling reload, so a corrupt file never evicts the
     /// healthy epoch).
-    pub fn reload(&self, labeling: impl Into<FlatLabeling>) -> u64 {
+    pub fn reload(&self, labeling: impl Into<ServedLabeling>) -> u64 {
         let labeling = labeling.into();
         let cache = ShardedLruCache::new(self.shared.cache_capacity, self.shared.cache_shards);
         let mut slot = write_unpoisoned(&self.shared.epoch);
@@ -266,10 +277,7 @@ impl QueryEngine {
     pub fn label_of(&self, v: NodeId) -> Result<(Vec<NodeId>, Vec<Distance>), EngineError> {
         let epoch = self.shared.snapshot();
         check_node_in(&epoch, v)?;
-        Ok((
-            epoch.labeling.hubs_of(v).to_vec(),
-            epoch.labeling.dists_of(v).to_vec(),
-        ))
+        Ok(epoch.labeling.label_of(v))
     }
 
     /// Live metrics for this engine.

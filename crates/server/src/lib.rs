@@ -29,6 +29,7 @@ pub mod any_store;
 pub mod cache;
 pub mod engine;
 pub mod metrics;
+pub mod served;
 pub mod store;
 pub mod store_v2;
 
@@ -36,5 +37,6 @@ pub use any_store::AnyStore;
 pub use cache::{CacheStats, ShardedLruCache};
 pub use engine::{EngineError, QueryEngine};
 pub use metrics::{LatencyHistogram, Metrics, MetricsSnapshot};
+pub use served::ServedLabeling;
 pub use store::{LabelStore, StoreError};
-pub use store_v2::FlatStore;
+pub use store_v2::{CompactStore, FlatStore};

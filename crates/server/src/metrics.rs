@@ -317,6 +317,55 @@ mod tests {
     }
 
     #[test]
+    fn quantile_matches_sorted_vector_oracle() {
+        // Exact nearest-rank oracle on the raw observations: for q =
+        // num/den, the q-quantile is the ceil(q*n)-th smallest observation
+        // (rank 1 for q = 0), and the histogram must report that
+        // observation's bucket bound. Rational rank arithmetic keeps the
+        // oracle itself exempt from the f64 rounding the histogram has to
+        // defend against.
+        let mut state = 0x243F_6A88_85A3_08D3u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for n in [1usize, 2, 3, 7, 10, 64, 100, 1000] {
+            let h = LatencyHistogram::new();
+            let mut values: Vec<u64> = (0..n).map(|_| (next() % 1000) << (next() % 30)).collect();
+            for &v in &values {
+                h.record(v);
+            }
+            values.sort_unstable();
+            for den in [1u64, 2, 3, 4, 7, 10, 20, 100] {
+                for num in 0..=den {
+                    let q = num as f64 / den as f64;
+                    let rank =
+                        ((num as u128 * n as u128).div_ceil(den as u128) as usize).clamp(1, n);
+                    let expect = LatencyHistogram::bucket_bound(LatencyHistogram::bucket_of(
+                        values[rank - 1],
+                    ));
+                    assert_eq!(
+                        h.quantile(q),
+                        expect,
+                        "q={num}/{den} over n={n} must hit rank {rank}"
+                    );
+                }
+            }
+        }
+        // Single-bucket corner: every observation in one bucket, so every
+        // quantile (q=1.0 rank rounding included) reports that bound.
+        let h = LatencyHistogram::new();
+        for _ in 0..5 {
+            h.record(300); // bucket (256, 512]
+        }
+        for q in [0.0, 0.2, 0.5, 0.9999, 1.0] {
+            assert_eq!(h.quantile(q), 512, "q={q} in the single-bucket case");
+        }
+    }
+
+    #[test]
     fn empty_histogram_quantile_is_zero() {
         let h = LatencyHistogram::new();
         assert_eq!(h.quantile(0.99), 0);

@@ -15,7 +15,7 @@
 //! offset  size  field
 //! 0       4     magic  b"HLBS"
 //! 4       2     format version (2)
-//! 6       2     flags (must be 0 in version 2)
+//! 6       2     flags (0 = flat flavor; see below for the compact flavor)
 //! 8       8     node count n
 //! 16      8     entry count e  (Σ_v |S_v|)
 //! 24      8     FNV-1a-64 checksum of the section table (bytes 32..104)
@@ -33,6 +33,23 @@
 //! in table order, every gap byte is zero, and the file ends exactly where
 //! the `dists` section does.
 //!
+//! ## The compact flavor (`flags != 0`)
+//!
+//! The same frame — header, section table, alignment, lane checksums,
+//! zero padding, no trailing bytes — can carry the byte-tuned
+//! [`CompactLabeling`] arena instead. Flag bits declare it:
+//!
+//! * [`FLAG_COMPACT`] (bit 0): the body is the compact arena — `hubs`
+//!   holds per-run delta-coded ids, `dists` the narrow distance lane;
+//! * [`FLAG_HUBS_WIDE`] (bit 1): hub deltas are u32 (u16 when clear);
+//! * [`FLAG_DISTS_WIDE`] (bit 2): distances are u32 (u16 when clear).
+//!
+//! Section byte lengths scale with the declared widths; everything else
+//! is unchanged, so the two flavors share one checksum scheme and one
+//! frame validator. Readers that predate the compact flavor reject it
+//! cleanly ([`StoreError::UnsupportedFlags`]) because they require
+//! `flags == 0` — the flag word doubles as the flavor version gate.
+//!
 //! A reader validates, in order: header length, magic/version/flags, the
 //! table checksum, then each section record (alignment, exact length for
 //! the declared `n`/`e`, in-bounds, ascending and non-overlapping), the
@@ -49,7 +66,7 @@ use std::fs::File;
 use std::io::{self, Read, Write};
 use std::path::Path;
 
-use hl_core::FlatLabeling;
+use hl_core::{CompactDists, CompactLabeling, FlatLabeling, HubDeltas};
 
 use crate::store::{fnv1a64, StoreError, MAGIC};
 
@@ -61,6 +78,18 @@ pub const HEADER_LEN: usize = 104;
 pub const SECTION_ALIGN: usize = 64;
 /// Section names, in table order.
 pub const SECTION_NAMES: [&str; 3] = ["offsets", "hubs", "dists"];
+
+/// Flag bit: the body is the compact arena (delta-coded hubs, narrow
+/// distances) rather than the flat one.
+pub const FLAG_COMPACT: u16 = 1;
+/// Flag bit: hub deltas are u32 (u16 when clear). Meaningful only with
+/// [`FLAG_COMPACT`].
+pub const FLAG_HUBS_WIDE: u16 = 1 << 1;
+/// Flag bit: distances are u32 (u16 when clear). Meaningful only with
+/// [`FLAG_COMPACT`].
+pub const FLAG_DISTS_WIDE: u16 = 1 << 2;
+/// Every flag bit this reader understands; anything else is rejected.
+pub const FLAGS_KNOWN: u16 = FLAG_COMPACT | FLAG_HUBS_WIDE | FLAG_DISTS_WIDE;
 
 const TABLE_OFF: usize = 32;
 const RECORD_LEN: usize = 24;
@@ -128,13 +157,26 @@ fn align_up(off: u64) -> u64 {
 }
 
 /// Computes the canonical layout for `num_nodes` vertices and
-/// `num_entries` label entries: sections in table order, each aligned to
+/// `num_entries` label entries in the flat flavor (4-byte hubs, 8-byte
+/// distances): sections in table order, each aligned to
 /// [`SECTION_ALIGN`], no trailing bytes.
 pub fn layout(num_nodes: usize, num_entries: usize) -> Layout {
+    layout_with(num_nodes, num_entries, 4, 8)
+}
+
+/// [`layout`] generalized over per-entry lane widths — the compact
+/// flavor's sections shrink with its `u16`/`u32` lanes while the frame
+/// rules (order, alignment, density) stay identical.
+pub fn layout_with(
+    num_nodes: usize,
+    num_entries: usize,
+    hub_bytes: usize,
+    dist_bytes: usize,
+) -> Layout {
     let lens = [
         (num_nodes as u64 + 1) * 8,
-        num_entries as u64 * 4,
-        num_entries as u64 * 8,
+        num_entries as u64 * hub_bytes as u64,
+        num_entries as u64 * dist_bytes as u64,
     ];
     let mut sections = [Section {
         file_offset: 0,
@@ -264,131 +306,22 @@ impl FlatStore {
         Self::read_from(File::open(path)?)
     }
 
-    /// Parses and validates a serialized v2 store.
+    /// Parses and validates a serialized v2 store (flat flavor;
+    /// `flags != 0` — including the compact flavor — is rejected here,
+    /// [`crate::any_store::AnyStore`] dispatches on the flag word).
     pub fn parse(bytes: &[u8]) -> Result<Self, StoreError> {
-        if bytes.len() < HEADER_LEN {
-            return Err(StoreError::Truncated {
-                expected: HEADER_LEN as u64,
-                actual: bytes.len() as u64,
-            });
-        }
-        let magic: [u8; 4] = read_array(bytes, 0)?;
-        if magic != MAGIC {
-            return Err(StoreError::BadMagic(magic));
-        }
-        let version = u16::from_le_bytes(read_array(bytes, 4)?);
-        if version != VERSION {
-            return Err(StoreError::UnsupportedVersion(version));
-        }
-        let flags = u16::from_le_bytes(read_array(bytes, 6)?);
+        let (flags, n, e) = parse_header(bytes)?;
         if flags != 0 {
             return Err(StoreError::UnsupportedFlags(flags));
-        }
-        let n = u64::from_le_bytes(read_array(bytes, 8)?);
-        let e = u64::from_le_bytes(read_array(bytes, 16)?);
-        let table_checksum = u64::from_le_bytes(read_array(bytes, 24)?);
-
-        let actual_table = fnv1a64(&bytes[TABLE_OFF..HEADER_LEN]);
-        if actual_table != table_checksum {
-            return Err(StoreError::ChecksumMismatch {
-                expected: table_checksum,
-                actual: actual_table,
-            });
         }
 
         let n_usize = usize::try_from(n)
             .map_err(|_| StoreError::Corrupt(format!("node count {n} exceeds address space")))?;
         let e_usize = usize::try_from(e)
             .map_err(|_| StoreError::Corrupt(format!("entry count {e} exceeds address space")))?;
-        // Expected exact section lengths for the declared n and e; checked
-        // arithmetic so a lying header cannot wrap into a small number.
-        let expect_lens = [
-            n.checked_add(1)
-                .and_then(|c| c.checked_mul(8))
-                .ok_or_else(|| {
-                    StoreError::Corrupt(format!("node count {n} overflows offsets section"))
-                })?,
-            e.checked_mul(4).ok_or_else(|| {
-                StoreError::Corrupt(format!("entry count {e} overflows hubs section"))
-            })?,
-            e.checked_mul(8).ok_or_else(|| {
-                StoreError::Corrupt(format!("entry count {e} overflows dists section"))
-            })?,
-        ];
-
-        // Section records: aligned, exact-length, in-bounds, ascending,
-        // non-overlapping — all validated against the *actual* file length
-        // before any section-sized allocation happens.
-        let file_len = bytes.len() as u64;
-        let mut sections = [Section {
-            file_offset: 0,
-            byte_len: 0,
-        }; 3];
-        let mut prev_end = HEADER_LEN as u64;
-        for (i, name) in SECTION_NAMES.iter().enumerate() {
-            let rec = TABLE_OFF + i * RECORD_LEN;
-            let off = u64::from_le_bytes(read_array(bytes, rec)?);
-            let len = u64::from_le_bytes(read_array(bytes, rec + 8)?);
-            if off % SECTION_ALIGN as u64 != 0 {
-                return Err(StoreError::Corrupt(format!(
-                    "section {name} misaligned: offset {off} is not a multiple of {SECTION_ALIGN}"
-                )));
-            }
-            if len != expect_lens[i] {
-                return Err(StoreError::Corrupt(format!(
-                    "section {name} length {len} does not match expected {} for the declared counts",
-                    expect_lens[i]
-                )));
-            }
-            let end = off
-                .checked_add(len)
-                .ok_or_else(|| StoreError::Corrupt(format!("section {name} extent overflows")))?;
-            if off < prev_end {
-                return Err(StoreError::Corrupt(format!(
-                    "section {name} at offset {off} overlaps the bytes before it (end {prev_end})"
-                )));
-            }
-            if end > file_len {
-                return Err(StoreError::Truncated {
-                    expected: end,
-                    actual: file_len,
-                });
-            }
-            sections[i] = Section {
-                file_offset: off,
-                byte_len: len,
-            };
-            prev_end = end;
-        }
-        if prev_end != file_len {
-            return Err(StoreError::Corrupt(format!(
-                "{} trailing bytes after the dists section",
-                file_len - prev_end
-            )));
-        }
-
-        // Padding gaps carry no checksum, so they must be all zero — that
-        // way a blind bit flip anywhere in the file is detectable.
-        let mut gap_start = HEADER_LEN as u64;
-        for (i, sec) in sections.iter().enumerate() {
-            let gap = &bytes[gap_start as usize..sec.file_offset as usize];
-            if gap.iter().any(|&b| b != 0) {
-                return Err(StoreError::Corrupt(format!(
-                    "nonzero padding before section {}",
-                    SECTION_NAMES[i]
-                )));
-            }
-            gap_start = sec.file_offset + sec.byte_len;
-        }
-
-        let mut slices = [&bytes[0..0]; 3];
-        for (i, sec) in sections.iter().enumerate() {
-            let (lo, hi) = (
-                sec.file_offset as usize,
-                (sec.file_offset + sec.byte_len) as usize,
-            );
-            slices[i] = &bytes[lo..hi];
-        }
+        let expect_lens = expected_section_lens(n, e, 4, 8)?;
+        let sections = validate_frame(bytes, &expect_lens)?;
+        let slices = section_slices(bytes, &sections);
 
         // Checksum and little-endian decode fused into ONE pass per
         // section: every word is read once, absorbed into the lane hash,
@@ -429,16 +362,7 @@ impl FlatStore {
                 decode_u64_section(slices[2]),
             )
         };
-        for (i, actual) in [offsets_sum, hubs_sum, dists_sum].into_iter().enumerate() {
-            let rec = TABLE_OFF + i * RECORD_LEN;
-            let declared = u64::from_le_bytes(read_array(bytes, rec + 16)?);
-            if actual != declared {
-                return Err(StoreError::Corrupt(format!(
-                    "section {} checksum mismatch: table says {declared:#018x}, bytes hash to {actual:#018x}",
-                    SECTION_NAMES[i]
-                )));
-            }
-        }
+        verify_section_checksums(bytes, [offsets_sum, hubs_sum, dists_sum])?;
 
         let flat = FlatLabeling::from_raw_parts(offsets, hubs, dists)
             .map_err(|e| StoreError::Corrupt(format!("arena invariant violated: {e}")))?;
@@ -449,6 +373,352 @@ impl FlatStore {
 impl From<FlatLabeling> for FlatStore {
     fn from(flat: FlatLabeling) -> Self {
         FlatStore::from_flat(flat)
+    }
+}
+
+/// The flag word of a v2 header, for flavor dispatch before a full parse.
+/// Validates only what the peek needs: length, magic, version.
+pub fn header_flags(bytes: &[u8]) -> Result<u16, StoreError> {
+    let magic: [u8; 4] = read_array(bytes, 0)?;
+    if magic != MAGIC {
+        return Err(StoreError::BadMagic(magic));
+    }
+    let version = u16::from_le_bytes(read_array(bytes, 4)?);
+    if version != VERSION {
+        return Err(StoreError::UnsupportedVersion(version));
+    }
+    Ok(u16::from_le_bytes(read_array(bytes, 6)?))
+}
+
+/// Validates the fixed header shared by both flavors — length, magic,
+/// version, table checksum — and returns `(flags, n, e)`. Flavor-specific
+/// flag interpretation stays with the caller.
+fn parse_header(bytes: &[u8]) -> Result<(u16, u64, u64), StoreError> {
+    if bytes.len() < HEADER_LEN {
+        return Err(StoreError::Truncated {
+            expected: HEADER_LEN as u64,
+            actual: bytes.len() as u64,
+        });
+    }
+    let flags = header_flags(bytes)?;
+    let n = u64::from_le_bytes(read_array(bytes, 8)?);
+    let e = u64::from_le_bytes(read_array(bytes, 16)?);
+    let table_checksum = u64::from_le_bytes(read_array(bytes, 24)?);
+
+    let actual_table = fnv1a64(&bytes[TABLE_OFF..HEADER_LEN]);
+    if actual_table != table_checksum {
+        return Err(StoreError::ChecksumMismatch {
+            expected: table_checksum,
+            actual: actual_table,
+        });
+    }
+    Ok((flags, n, e))
+}
+
+/// Expected exact section lengths for the declared counts and lane
+/// widths; checked arithmetic so a lying header cannot wrap into a small
+/// number.
+fn expected_section_lens(
+    n: u64,
+    e: u64,
+    hub_bytes: u64,
+    dist_bytes: u64,
+) -> Result<[u64; 3], StoreError> {
+    Ok([
+        n.checked_add(1)
+            .and_then(|c| c.checked_mul(8))
+            .ok_or_else(|| {
+                StoreError::Corrupt(format!("node count {n} overflows offsets section"))
+            })?,
+        e.checked_mul(hub_bytes).ok_or_else(|| {
+            StoreError::Corrupt(format!("entry count {e} overflows hubs section"))
+        })?,
+        e.checked_mul(dist_bytes).ok_or_else(|| {
+            StoreError::Corrupt(format!("entry count {e} overflows dists section"))
+        })?,
+    ])
+}
+
+/// Validates the section table records (aligned, exact-length, in-bounds,
+/// ascending, non-overlapping — all against the *actual* file length
+/// before any section-sized allocation happens), the zero padding between
+/// sections, and the absence of trailing bytes. Shared by both flavors;
+/// only the expected lengths differ.
+fn validate_frame(bytes: &[u8], expect_lens: &[u64; 3]) -> Result<[Section; 3], StoreError> {
+    let file_len = bytes.len() as u64;
+    let mut sections = [Section {
+        file_offset: 0,
+        byte_len: 0,
+    }; 3];
+    let mut prev_end = HEADER_LEN as u64;
+    for (i, name) in SECTION_NAMES.iter().enumerate() {
+        let rec = TABLE_OFF + i * RECORD_LEN;
+        let off = u64::from_le_bytes(read_array(bytes, rec)?);
+        let len = u64::from_le_bytes(read_array(bytes, rec + 8)?);
+        if off % SECTION_ALIGN as u64 != 0 {
+            return Err(StoreError::Corrupt(format!(
+                "section {name} misaligned: offset {off} is not a multiple of {SECTION_ALIGN}"
+            )));
+        }
+        if len != expect_lens[i] {
+            return Err(StoreError::Corrupt(format!(
+                "section {name} length {len} does not match expected {} for the declared counts",
+                expect_lens[i]
+            )));
+        }
+        let end = off
+            .checked_add(len)
+            .ok_or_else(|| StoreError::Corrupt(format!("section {name} extent overflows")))?;
+        if off < prev_end {
+            return Err(StoreError::Corrupt(format!(
+                "section {name} at offset {off} overlaps the bytes before it (end {prev_end})"
+            )));
+        }
+        if end > file_len {
+            return Err(StoreError::Truncated {
+                expected: end,
+                actual: file_len,
+            });
+        }
+        sections[i] = Section {
+            file_offset: off,
+            byte_len: len,
+        };
+        prev_end = end;
+    }
+    if prev_end != file_len {
+        return Err(StoreError::Corrupt(format!(
+            "{} trailing bytes after the dists section",
+            file_len - prev_end
+        )));
+    }
+
+    // Padding gaps carry no checksum, so they must be all zero — that
+    // way a blind bit flip anywhere in the file is detectable.
+    let mut gap_start = HEADER_LEN as u64;
+    for (i, sec) in sections.iter().enumerate() {
+        let gap = &bytes[gap_start as usize..sec.file_offset as usize];
+        if gap.iter().any(|&b| b != 0) {
+            return Err(StoreError::Corrupt(format!(
+                "nonzero padding before section {}",
+                SECTION_NAMES[i]
+            )));
+        }
+        gap_start = sec.file_offset + sec.byte_len;
+    }
+    Ok(sections)
+}
+
+fn section_slices<'a>(bytes: &'a [u8], sections: &[Section; 3]) -> [&'a [u8]; 3] {
+    let mut slices = [&bytes[0..0]; 3];
+    for (i, sec) in sections.iter().enumerate() {
+        let (lo, hi) = (
+            sec.file_offset as usize,
+            (sec.file_offset + sec.byte_len) as usize,
+        );
+        slices[i] = &bytes[lo..hi];
+    }
+    slices
+}
+
+/// Compares the fused-decode section hashes against the table records.
+fn verify_section_checksums(bytes: &[u8], actual: [u64; 3]) -> Result<(), StoreError> {
+    for (i, actual) in actual.into_iter().enumerate() {
+        let rec = TABLE_OFF + i * RECORD_LEN;
+        let declared = u64::from_le_bytes(read_array(bytes, rec + 16)?);
+        if actual != declared {
+            return Err(StoreError::Corrupt(format!(
+                "section {} checksum mismatch: table says {declared:#018x}, bytes hash to {actual:#018x}",
+                SECTION_NAMES[i]
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// A validated compact-flavor HLBS v2 store: the same frame as
+/// [`FlatStore`], carrying the byte-tuned [`CompactLabeling`] arena.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompactStore {
+    compact: CompactLabeling,
+}
+
+impl CompactStore {
+    /// Wraps a compact arena for serialization.
+    pub fn from_compact(compact: CompactLabeling) -> Self {
+        CompactStore { compact }
+    }
+
+    /// Borrows the arena.
+    pub fn compact(&self) -> &CompactLabeling {
+        &self.compact
+    }
+
+    /// Unwraps the arena (no copy).
+    pub fn into_compact(self) -> CompactLabeling {
+        self.compact
+    }
+
+    /// Number of vertices the store holds labels for.
+    pub fn num_nodes(&self) -> usize {
+        self.compact.num_nodes()
+    }
+
+    /// Total `(hub, distance)` entries, `Σ_v |S_v|`.
+    pub fn num_entries(&self) -> usize {
+        self.compact.num_entries()
+    }
+
+    /// The flag word this store serializes with: [`FLAG_COMPACT`] plus
+    /// the width bits matching the arena's lanes.
+    pub fn flags(&self) -> u16 {
+        let mut flags = FLAG_COMPACT;
+        if self.compact.hub_entry_bytes() == 4 {
+            flags |= FLAG_HUBS_WIDE;
+        }
+        if self.compact.dist_entry_bytes() == 4 {
+            flags |= FLAG_DISTS_WIDE;
+        }
+        flags
+    }
+
+    fn layout(&self) -> Layout {
+        layout_with(
+            self.num_nodes(),
+            self.num_entries(),
+            self.compact.hub_entry_bytes(),
+            self.compact.dist_entry_bytes(),
+        )
+    }
+
+    /// Per-section byte sizes in table order, for stats reporting.
+    pub fn section_bytes(&self) -> [(&'static str, u64); 3] {
+        let lay = self.layout();
+        [
+            (SECTION_NAMES[0], lay.sections[0].byte_len),
+            (SECTION_NAMES[1], lay.sections[1].byte_len),
+            (SECTION_NAMES[2], lay.sections[2].byte_len),
+        ]
+    }
+
+    /// Size of the serialized file in bytes.
+    pub fn file_len(&self) -> u64 {
+        self.layout().file_len
+    }
+
+    /// Serializes the store into a fresh byte buffer.
+    pub fn encode(&self) -> Vec<u8> {
+        let lay = self.layout();
+        let mut buf = vec![0u8; lay.file_len as usize];
+
+        buf[0..4].copy_from_slice(&MAGIC);
+        buf[4..6].copy_from_slice(&VERSION.to_le_bytes());
+        buf[6..8].copy_from_slice(&self.flags().to_le_bytes());
+        buf[8..16].copy_from_slice(&(self.num_nodes() as u64).to_le_bytes());
+        buf[16..24].copy_from_slice(&(self.num_entries() as u64).to_le_bytes());
+
+        write_u64s(&mut buf, lay.sections[0], self.compact.raw_offsets());
+        match self.compact.raw_hubs() {
+            HubDeltas::U16(v) => write_u16s(&mut buf, lay.sections[1], v),
+            HubDeltas::U32(v) => write_u32s(&mut buf, lay.sections[1], v),
+        }
+        match self.compact.raw_dists() {
+            CompactDists::U16(v) => write_u16s(&mut buf, lay.sections[2], v),
+            CompactDists::U32(v) => write_u32s(&mut buf, lay.sections[2], v),
+        }
+
+        for (i, sec) in lay.sections.iter().enumerate() {
+            let (lo, hi) = (
+                sec.file_offset as usize,
+                (sec.file_offset + sec.byte_len) as usize,
+            );
+            let sum = section_checksum(&buf[lo..hi]);
+            let rec = TABLE_OFF + i * RECORD_LEN;
+            buf[rec..rec + 8].copy_from_slice(&sec.file_offset.to_le_bytes());
+            buf[rec + 8..rec + 16].copy_from_slice(&sec.byte_len.to_le_bytes());
+            buf[rec + 16..rec + 24].copy_from_slice(&sum.to_le_bytes());
+        }
+        let table_sum = fnv1a64(&buf[TABLE_OFF..HEADER_LEN]);
+        buf[24..32].copy_from_slice(&table_sum.to_le_bytes());
+        buf
+    }
+
+    /// Serializes the store to a writer.
+    pub fn write_to<W: Write>(&self, mut out: W) -> Result<(), StoreError> {
+        out.write_all(&self.encode())?;
+        out.flush()?;
+        Ok(())
+    }
+
+    /// Serializes the store to a file.
+    pub fn save<P: AsRef<Path>>(&self, path: P) -> Result<(), StoreError> {
+        let file = File::create(path)?;
+        self.write_to(io::BufWriter::new(file))
+    }
+
+    /// Reads and fully validates a store from a reader.
+    pub fn read_from<R: Read>(mut input: R) -> Result<Self, StoreError> {
+        let mut bytes = Vec::new();
+        input.read_to_end(&mut bytes)?;
+        Self::parse(&bytes)
+    }
+
+    /// Reads and fully validates a store from a file.
+    pub fn open<P: AsRef<Path>>(path: P) -> Result<Self, StoreError> {
+        Self::read_from(File::open(path)?)
+    }
+
+    /// Parses and validates a serialized compact-flavor store:
+    /// [`FLAG_COMPACT`] must be set and no unknown flag bits present.
+    /// The frame checks, fused checksum+decode discipline, and structural
+    /// validation ([`CompactLabeling::from_raw_parts`]) mirror the flat
+    /// parser exactly.
+    pub fn parse(bytes: &[u8]) -> Result<Self, StoreError> {
+        let (flags, n, e) = parse_header(bytes)?;
+        if flags & FLAG_COMPACT == 0 || flags & !FLAGS_KNOWN != 0 {
+            return Err(StoreError::UnsupportedFlags(flags));
+        }
+        let hub_bytes: u64 = if flags & FLAG_HUBS_WIDE != 0 { 4 } else { 2 };
+        let dist_bytes: u64 = if flags & FLAG_DISTS_WIDE != 0 { 4 } else { 2 };
+
+        usize::try_from(n)
+            .map_err(|_| StoreError::Corrupt(format!("node count {n} exceeds address space")))?;
+        usize::try_from(e)
+            .map_err(|_| StoreError::Corrupt(format!("entry count {e} exceeds address space")))?;
+        let expect_lens = expected_section_lens(n, e, hub_bytes, dist_bytes)?;
+        let sections = validate_frame(bytes, &expect_lens)?;
+        let slices = section_slices(bytes, &sections);
+
+        // Fused checksum + decode, one pass per section, exactly like the
+        // flat parser. The narrow lanes are at most half the flat sizes,
+        // so this stays sequential — the frame is small enough that the
+        // scoped-thread split buys nothing here.
+        let (offsets, offsets_sum) = decode_u64_section(slices[0]);
+        let (hubs, hubs_sum) = if hub_bytes == 4 {
+            let (v, s) = decode_u32_section(slices[1]);
+            (HubDeltas::U32(v), s)
+        } else {
+            let (v, s) = decode_u16_section(slices[1]);
+            (HubDeltas::U16(v), s)
+        };
+        let (dists, dists_sum) = if dist_bytes == 4 {
+            let (v, s) = decode_u32_section(slices[2]);
+            (CompactDists::U32(v), s)
+        } else {
+            let (v, s) = decode_u16_section(slices[2]);
+            (CompactDists::U16(v), s)
+        };
+        verify_section_checksums(bytes, [offsets_sum, hubs_sum, dists_sum])?;
+
+        let compact = CompactLabeling::from_raw_parts(offsets, hubs, dists)
+            .map_err(|e| StoreError::Corrupt(format!("arena invariant violated: {e}")))?;
+        Ok(CompactStore { compact })
+    }
+}
+
+impl From<CompactLabeling> for CompactStore {
+    fn from(compact: CompactLabeling) -> Self {
+        CompactStore::from_compact(compact)
     }
 }
 
@@ -471,6 +741,12 @@ fn u32_le(chunk: &[u8]) -> u32 {
     let mut b = [0u8; 4];
     b.copy_from_slice(chunk);
     u32::from_le_bytes(b)
+}
+
+fn u16_le(chunk: &[u8]) -> u16 {
+    let mut b = [0u8; 2];
+    b.copy_from_slice(chunk);
+    u16::from_le_bytes(b)
 }
 
 /// Combines the four lane states, the byte-FNV tail hash, and the byte
@@ -553,6 +829,39 @@ fn decode_u32_section(bytes: &[u8]) -> (Vec<u32>, u64) {
     (out, h)
 }
 
+/// Decodes a section of little-endian u16s while computing its
+/// [`section_checksum`] in the same pass. `bytes.len()` must be a
+/// multiple of 2; the hash folds u64 *words*, so each word yields four
+/// u16s (lowest half first — little-endian order).
+fn decode_u16_section(bytes: &[u8]) -> (Vec<u16>, u64) {
+    let mut out = vec![0u16; bytes.len() / 2];
+    let mut lanes = LANE_SEEDS;
+    let mut src = bytes.chunks_exact(32);
+    let mut dst = out.chunks_exact_mut(16);
+    for (d, s) in (&mut dst).zip(&mut src) {
+        for j in 0..4 {
+            let w = u64_le(&s[j * 8..j * 8 + 8]);
+            lanes[j] = (lanes[j] ^ w).wrapping_mul(FNV_PRIME);
+            for k in 0..4 {
+                d[4 * j + k] = (w >> (16 * k)) as u16;
+            }
+        }
+    }
+    let mut tail = FNV_OFFSET;
+    for &b in src.remainder() {
+        tail = (tail ^ b as u64).wrapping_mul(FNV_PRIME);
+    }
+    for (slot, chunk) in dst
+        .into_remainder()
+        .iter_mut()
+        .zip(src.remainder().chunks_exact(2))
+    {
+        *slot = u16_le(chunk);
+    }
+    let h = combine_lanes(lanes, tail, bytes.len());
+    (out, h)
+}
+
 fn write_u64s(buf: &mut [u8], sec: Section, values: &[u64]) {
     let base = sec.file_offset as usize;
     for (i, &v) in values.iter().enumerate() {
@@ -564,6 +873,13 @@ fn write_u32s(buf: &mut [u8], sec: Section, values: &[u32]) {
     let base = sec.file_offset as usize;
     for (i, &v) in values.iter().enumerate() {
         buf[base + i * 4..base + i * 4 + 4].copy_from_slice(&v.to_le_bytes());
+    }
+}
+
+fn write_u16s(buf: &mut [u8], sec: Section, values: &[u16]) {
+    let base = sec.file_offset as usize;
+    for (i, &v) in values.iter().enumerate() {
+        buf[base + i * 2..base + i * 2 + 2].copy_from_slice(&v.to_le_bytes());
     }
 }
 
@@ -808,6 +1124,132 @@ mod tests {
         assert_eq!(report[0], ("offsets", (flat.num_nodes() as u64 + 1) * 8));
         assert_eq!(report[1], ("hubs", flat.num_entries() as u64 * 4));
         assert_eq!(report[2], ("dists", flat.num_entries() as u64 * 8));
+    }
+
+    fn sample_compact() -> CompactLabeling {
+        CompactLabeling::from_flat(&sample_flat()).expect("grid labels compact cleanly")
+    }
+
+    #[test]
+    fn compact_roundtrip_preserves_arena_exactly() {
+        let compact = sample_compact();
+        let store = CompactStore::from_compact(compact.clone());
+        let bytes = store.encode();
+        assert_eq!(bytes.len() as u64, store.file_len());
+        let back = CompactStore::parse(&bytes).expect("own encoding must parse");
+        assert_eq!(back.compact(), &compact);
+        // Deterministic writer: encoding again is byte-identical.
+        assert_eq!(
+            CompactStore::from_compact(back.into_compact()).encode(),
+            bytes
+        );
+        // And the decoded arena answers exactly like the flat one.
+        let flat = sample_flat();
+        for u in 0..flat.num_nodes() as NodeId {
+            for v in 0..flat.num_nodes() as NodeId {
+                assert_eq!(compact.query(u, v), flat.query(u, v));
+            }
+        }
+    }
+
+    #[test]
+    fn compact_flag_word_tracks_lane_widths() {
+        let narrow = CompactStore::from_compact(sample_compact());
+        assert_eq!(narrow.flags(), FLAG_COMPACT);
+        let mut wide_hl = hl_core::HubLabeling::empty(200_000);
+        *wide_hl.label_mut(0) = hl_core::HubLabel::from_pairs(vec![(0, 0), (70_000, 1 << 20)]);
+        *wide_hl.label_mut(70_000) = hl_core::HubLabel::from_pairs(vec![(70_000, 0)]);
+        let wide = CompactStore::from_compact(
+            CompactLabeling::from_flat(&FlatLabeling::from(wide_hl)).unwrap(),
+        );
+        assert_eq!(
+            wide.flags(),
+            FLAG_COMPACT | FLAG_HUBS_WIDE | FLAG_DISTS_WIDE
+        );
+        // Both flavors roundtrip through their own flags.
+        assert_eq!(
+            CompactStore::parse(&wide.encode()).unwrap().compact(),
+            wide.compact()
+        );
+    }
+
+    #[test]
+    fn compact_flavor_rejected_by_flat_parser_and_vice_versa() {
+        let compact_bytes = CompactStore::from_compact(sample_compact()).encode();
+        assert!(matches!(
+            FlatStore::parse(&compact_bytes),
+            Err(StoreError::UnsupportedFlags(f)) if f & FLAG_COMPACT != 0
+        ));
+        let flat_bytes = FlatStore::from_flat(sample_flat()).encode();
+        assert!(matches!(
+            CompactStore::parse(&flat_bytes),
+            Err(StoreError::UnsupportedFlags(0))
+        ));
+        // Unknown flag bits are rejected even with FLAG_COMPACT set.
+        let mut bad = compact_bytes.clone();
+        bad[6] |= 1 << 3;
+        assert!(CompactStore::parse(&bad).is_err());
+    }
+
+    #[test]
+    fn compact_every_blind_byte_flip_is_detected() {
+        // The corruption-detection contract extends to the compact
+        // flavor: flip any single byte anywhere — header, flag word,
+        // table, padding, any narrow-lane section — and the parse fails.
+        let bytes = CompactStore::from_compact(sample_compact()).encode();
+        for at in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[at] ^= 0x01;
+            assert!(
+                CompactStore::parse(&bad).is_err(),
+                "flipped byte at {at} went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn compact_heap_bytes_equals_sum_of_section_byte_lens() {
+        // The stats contract: the arena's exact heap accounting and the
+        // store's section table describe the same bytes — no hidden side
+        // tables, no double-counted fallback lanes.
+        let store = CompactStore::from_compact(sample_compact());
+        let section_sum: u64 = store.section_bytes().iter().map(|&(_, b)| b).sum();
+        assert_eq!(store.compact().heap_bytes() as u64, section_sum);
+        // Same invariant on the flat side, for the head-to-head math.
+        let flat_store = FlatStore::from_flat(sample_flat());
+        let flat_sum: u64 = flat_store.section_bytes().iter().map(|&(_, b)| b).sum();
+        assert_eq!(flat_store.flat().heap_bytes() as u64, flat_sum);
+    }
+
+    #[test]
+    fn fused_u16_decoder_matches_section_checksum() {
+        let mut bytes = Vec::new();
+        for i in 0..200u32 {
+            bytes.push((i as u8).wrapping_mul(53).wrapping_add(7));
+        }
+        for len in [0, 2, 6, 16, 30, 32, 34, 62, 64, 66, 98, 130, 200] {
+            let s = &bytes[..len];
+            let (vals, h) = decode_u16_section(s);
+            assert_eq!(h, section_checksum(s), "u16 fused hash at len {len}");
+            assert_eq!(vals.len(), len / 2);
+            for (i, &v) in vals.iter().enumerate() {
+                assert_eq!(v, u16_le(&s[i * 2..i * 2 + 2]));
+            }
+        }
+    }
+
+    #[test]
+    fn compact_save_and_open_roundtrip() {
+        let compact = sample_compact();
+        let dir = std::env::temp_dir().join(format!("hlbs2c-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("store.hlbs2c");
+        CompactStore::from_compact(compact.clone())
+            .save(&path)
+            .unwrap();
+        let back = CompactStore::open(&path).unwrap();
+        assert_eq!(back.compact(), &compact);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -92,6 +92,40 @@ kill "$SHARD0_PID" "$SHARD1_PID"
 wait "$SHARD0_PID" "$SHARD1_PID" 2>/dev/null || true
 diff -u "$SMOKE/unsharded.txt" "$SMOKE/routed.txt"
 
+echo "== compact arena smoke (v2c flavor, flat == compact answers) =="
+# The v2c flavor delta-codes hub ids and narrows the distance lanes;
+# converting there and back must lose nothing, the query path must match
+# the flat store line for line, and the bench head-to-head must verify
+# identical answers on its whole pair stream.
+timeout 120 ./target/release/hubserve convert "$SMOKE/rt-v2.hlbs" "$SMOKE/rt-v2c.hlbs" \
+  --to v2c --verify-roundtrip
+./target/release/hubserve stats "$SMOKE/rt-v2c.hlbs" > "$SMOKE/v2c-stats.txt"
+grep -q 'flavor v2c' "$SMOKE/v2c-stats.txt"
+grep -q 'arena kind         compact' "$SMOKE/v2c-stats.txt"
+timeout 120 ./target/release/hubserve query "$SMOKE/rt-v2c.hlbs" "$SMOKE/shard-pairs.txt" \
+  > "$SMOKE/v2c-answers.txt"
+diff -u "$SMOKE/unsharded.txt" "$SMOKE/v2c-answers.txt"
+timeout 240 ./target/release/hubserve bench "$SMOKE/rt-v2c.hlbs" --queries 20000 \
+  --workers 2 --bench-json "$SMOKE/v2c-bench.json" > "$SMOKE/v2c-bench.txt"
+grep -q 'head-to-head' "$SMOKE/v2c-bench.txt"
+grep -q '"verified_identical":20000' "$SMOKE/v2c-bench.json"
+
+echo "== bench snapshot schema check =="
+# Every committed BENCH_*.json carries the shared schema keys — bench
+# name, RNG seed, graph size, and the host-parallelism caveat field — so
+# cross-PR comparisons always know what they are looking at.
+for f in BENCH_*.json; do
+  for key in '"bench"' '"seed"' '"n"' '"nproc"'; do
+    grep -q "$key" "$f" || { echo "schema check FAILED: $f lacks $key"; exit 1; }
+  done
+done
+# And the snapshots the smokes just produced follow the same schema.
+for f in "$SMOKE/parallel.json" "$SMOKE/v2c-bench.json"; do
+  for key in '"bench"' '"seed"' '"n"' '"nproc"'; do
+    grep -q "$key" "$f" || { echo "schema check FAILED: $f lacks $key"; exit 1; }
+  done
+done
+
 echo "== kick-tires =="
 bash scripts/kick-tires.sh
 
